@@ -1,0 +1,183 @@
+//! Conflict reporting for the extended union.
+//!
+//! §2.2: *"In case none of the focal elements of two mass functions
+//! intersect, we use ∅ to denote the conflicting information provided
+//! by the source databases. Some actions may be necessary to inform
+//! the data administrators or integrators about the conflict."*
+//!
+//! The extended union therefore records, per merged attribute, the
+//! observed conflict mass κ, and resolves κ = 1 (total conflict)
+//! according to a caller-chosen [`ConflictPolicy`]. The accumulated
+//! [`ConflictReport`] is the artifact handed to the data
+//! administrator.
+
+use evirel_relation::Value;
+use std::fmt;
+
+/// What to do when two matched tuples are in *total* conflict (κ = 1)
+/// on some attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// Abort the union with [`crate::AlgebraError::TotalConflict`] —
+    /// the strictest reading of the paper's "inform the integrators".
+    #[default]
+    Error,
+    /// Keep the left relation's value, record the conflict.
+    KeepLeft,
+    /// Keep the right relation's value, record the conflict.
+    KeepRight,
+    /// Replace the value with total ignorance (the vacuous evidence
+    /// set), record the conflict. This mirrors Yager's treatment of
+    /// conflict as ignorance.
+    Vacuous,
+}
+
+impl fmt::Display for ConflictPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConflictPolicy::Error => "error",
+            ConflictPolicy::KeepLeft => "keep-left",
+            ConflictPolicy::KeepRight => "keep-right",
+            ConflictPolicy::Vacuous => "vacuous",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One attribute-level conflict observation from a tuple merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeConflict {
+    /// Key of the matched tuple pair.
+    pub key: Vec<Value>,
+    /// Attribute that was merged.
+    pub attr: String,
+    /// Conflict mass κ of the Dempster combination (1.0 for total
+    /// conflict).
+    pub kappa: f64,
+    /// `true` if κ = 1 and a [`ConflictPolicy`] had to be applied.
+    pub total: bool,
+}
+
+/// The union's conflict artifact: every nonzero κ observed, plus any
+/// total conflicts and how they were resolved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConflictReport {
+    conflicts: Vec<AttributeConflict>,
+}
+
+impl ConflictReport {
+    /// An empty report.
+    pub fn new() -> ConflictReport {
+        ConflictReport::default()
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, c: AttributeConflict) {
+        self.conflicts.push(c);
+    }
+
+    /// All observations in merge order.
+    pub fn conflicts(&self) -> &[AttributeConflict] {
+        &self.conflicts
+    }
+
+    /// Observations with κ = 1.
+    pub fn total_conflicts(&self) -> impl Iterator<Item = &AttributeConflict> {
+        self.conflicts.iter().filter(|c| c.total)
+    }
+
+    /// `true` when no conflict at all was observed.
+    pub fn is_empty(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// The largest κ observed (0.0 for an empty report).
+    pub fn max_kappa(&self) -> f64 {
+        self.conflicts.iter().map(|c| c.kappa).fold(0.0, f64::max)
+    }
+
+    /// Mean κ over all observations (0.0 for an empty report).
+    pub fn mean_kappa(&self) -> f64 {
+        if self.conflicts.is_empty() {
+            0.0
+        } else {
+            self.conflicts.iter().map(|c| c.kappa).sum::<f64>() / self.conflicts.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for ConflictReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no attribute conflicts");
+        }
+        writeln!(
+            f,
+            "{} attribute conflict(s), max κ = {:.3}, mean κ = {:.3}",
+            self.len(),
+            self.max_kappa(),
+            self.mean_kappa()
+        )?;
+        for c in &self.conflicts {
+            writeln!(
+                f,
+                "  key {} attr {:?}: κ = {:.3}{}",
+                Value::render_key(&c.key),
+                c.attr,
+                c.kappa,
+                if c.total { " (TOTAL, policy applied)" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(kappa: f64, total: bool) -> AttributeConflict {
+        AttributeConflict {
+            key: vec![Value::str("wok")],
+            attr: "rating".into(),
+            kappa,
+            total,
+        }
+    }
+
+    #[test]
+    fn report_statistics() {
+        let mut r = ConflictReport::new();
+        assert!(r.is_empty());
+        assert_eq!(r.max_kappa(), 0.0);
+        assert_eq!(r.mean_kappa(), 0.0);
+        r.record(obs(0.2, false));
+        r.record(obs(0.6, false));
+        r.record(obs(1.0, true));
+        assert_eq!(r.len(), 3);
+        assert!((r.max_kappa() - 1.0).abs() < 1e-12);
+        assert!((r.mean_kappa() - 0.6).abs() < 1e-12);
+        assert_eq!(r.total_conflicts().count(), 1);
+    }
+
+    #[test]
+    fn report_display() {
+        let mut r = ConflictReport::new();
+        assert_eq!(r.to_string(), "no attribute conflicts");
+        r.record(obs(1.0, true));
+        let text = r.to_string();
+        assert!(text.contains("(wok)"));
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn policy_display_and_default() {
+        assert_eq!(ConflictPolicy::default(), ConflictPolicy::Error);
+        assert_eq!(ConflictPolicy::Vacuous.to_string(), "vacuous");
+    }
+}

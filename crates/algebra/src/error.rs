@@ -1,0 +1,128 @@
+//! Error types for the extended relational algebra.
+
+use evirel_evidence::EvidenceError;
+use evirel_relation::RelationError;
+use std::fmt;
+
+/// Errors produced by the extended relational operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// An underlying relational-model error.
+    Relation(RelationError),
+    /// An underlying evidence error.
+    Evidence(EvidenceError),
+    /// A predicate referenced operands whose types cannot be compared.
+    PredicateType {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A projection omitted a key attribute; §3.3 requires the
+    /// projected attribute list to include the key (and the membership
+    /// attribute, which is implicit here).
+    ProjectionMissingKey {
+        /// The omitted key attribute.
+        attr: String,
+    },
+    /// A projection named the same attribute twice.
+    DuplicateProjection {
+        /// The repeated attribute.
+        attr: String,
+    },
+    /// A membership threshold that admits `sn = 0` tuples would break
+    /// the CWA_ER interpretation of result relations (§3.1.3).
+    ThresholdNotPositive {
+        /// Rendering of the offending threshold.
+        threshold: String,
+    },
+    /// Total conflict (κ = 1) while merging an attribute of matched
+    /// tuples under [`crate::conflict::ConflictPolicy::Error`]. Carries
+    /// enough context for the data administrator the paper wants
+    /// informed.
+    TotalConflict {
+        /// Rendered key of the conflicting tuple pair.
+        key: String,
+        /// The attribute in conflict.
+        attr: String,
+    },
+    /// Cartesian product requires the operand schemas to have disjoint
+    /// attribute names after qualification.
+    AmbiguousAttribute {
+        /// The clashing name.
+        attr: String,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Relation(e) => write!(f, "relation error: {e}"),
+            Self::Evidence(e) => write!(f, "evidence error: {e}"),
+            Self::PredicateType { reason } => write!(f, "predicate type error: {reason}"),
+            Self::ProjectionMissingKey { attr } => {
+                write!(f, "projection must include key attribute {attr:?} (section 3.3)")
+            }
+            Self::DuplicateProjection { attr } => {
+                write!(f, "attribute {attr:?} appears twice in projection list")
+            }
+            Self::ThresholdNotPositive { threshold } => {
+                write!(
+                    f,
+                    "membership threshold {threshold} admits sn = 0 tuples, violating CWA_ER"
+                )
+            }
+            Self::TotalConflict { key, attr } => {
+                write!(
+                    f,
+                    "total conflict (κ = 1) merging attribute {attr:?} of tuples with key {key}"
+                )
+            }
+            Self::AmbiguousAttribute { attr } => {
+                write!(f, "attribute {attr:?} is ambiguous in the product schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Relation(e) => Some(e),
+            Self::Evidence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for AlgebraError {
+    fn from(e: RelationError) -> Self {
+        AlgebraError::Relation(e)
+    }
+}
+
+impl From<EvidenceError> for AlgebraError {
+    fn from(e: EvidenceError) -> Self {
+        AlgebraError::Evidence(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_nest() {
+        let e: AlgebraError = RelationError::CwaViolation.into();
+        assert!(matches!(e, AlgebraError::Relation(_)));
+        let e: AlgebraError = EvidenceError::TotalConflict.into();
+        assert!(matches!(e, AlgebraError::Evidence(_)));
+    }
+
+    #[test]
+    fn messages() {
+        let e = AlgebraError::TotalConflict { key: "(wok)".into(), attr: "rating".into() };
+        assert!(e.to_string().contains("rating"));
+        assert!(e.to_string().contains("(wok)"));
+        let e = AlgebraError::ProjectionMissingKey { attr: "rname".into() };
+        assert!(e.to_string().contains("rname"));
+    }
+}

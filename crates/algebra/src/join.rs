@@ -1,0 +1,161 @@
+//! Extended join ⋈̃ (§3.5).
+//!
+//! Defined exactly as in the paper: an extended cartesian product
+//! followed by an extended selection,
+//! `R ⋈̃QP S ≡ σ̃QP(R ×̃ S)`.
+//!
+//! Join predicates reference the product's (possibly qualified)
+//! attribute names — e.g. `R.rname = RM.rname` when both relations
+//! carry an `rname` attribute.
+
+use crate::error::AlgebraError;
+use crate::predicate::Predicate;
+use crate::product::product;
+use crate::select::select;
+use crate::threshold::Threshold;
+use evirel_relation::ExtendedRelation;
+
+/// Compute `left ⋈̃QP right`.
+///
+/// # Errors
+/// Errors from [`product`] and [`select`].
+pub fn join(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+    pred: &Predicate,
+    threshold: &Threshold,
+) -> Result<ExtendedRelation, AlgebraError> {
+    let p = product(left, right)?;
+    select(&p, pred, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Operand, ThetaOp};
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, SupportPair, Value, ValueKind};
+    use std::sync::Arc;
+
+    /// The paper's Figure 2 schema fragment: restaurants and the
+    /// Managed-by relationship, joined on rname.
+    fn restaurants() -> ExtendedRelation {
+        let spec = Arc::new(AttrDomain::categorical("spec", ["mu", "it"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("R")
+                .key_str("rname")
+                .evidential("spec", spec)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_evidence("spec", [(&["mu"][..], 0.8), (&["it"][..], 0.2)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "olive").set_evidence("spec", [(&["it"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    fn managed_by() -> ExtendedRelation {
+        let schema = Arc::new(
+            Schema::builder("RM")
+                .key_str("rname")
+                .definite("mname", ValueKind::Str)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_str("mname", "alice")
+                    .membership_pair(0.9, 1.0)
+            })
+            .unwrap()
+            .tuple(|t| t.set_str("rname", "wok").set_str("mname", "bob"))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn key_join_matches_pairs() {
+        let joined = join(
+            &restaurants(),
+            &managed_by(),
+            &Predicate::theta(
+                Operand::attr("R.rname"),
+                ThetaOp::Eq,
+                Operand::attr("RM.rname"),
+            ),
+            &Threshold::POSITIVE,
+        )
+        .unwrap();
+        // Only (mehl, mehl) matches definitely; (olive, wok) etc. get
+        // support (0,0) and are dropped.
+        assert_eq!(joined.len(), 1);
+        let t = joined
+            .get_by_key(&[Value::str("mehl"), Value::str("mehl")])
+            .unwrap();
+        // Membership: (1,1) × (0.9,1.0) via product, predicate (1,1).
+        assert!(t.membership().approx_eq(&SupportPair::new(0.9, 1.0).unwrap()));
+    }
+
+    #[test]
+    fn join_with_evidential_condition() {
+        let joined = join(
+            &restaurants(),
+            &managed_by(),
+            &Predicate::theta(
+                Operand::attr("R.rname"),
+                ThetaOp::Eq,
+                Operand::attr("RM.rname"),
+            )
+            .and(Predicate::is("spec", ["mu"])),
+            &Threshold::POSITIVE,
+        )
+        .unwrap();
+        assert_eq!(joined.len(), 1);
+        let t = joined
+            .get_by_key(&[Value::str("mehl"), Value::str("mehl")])
+            .unwrap();
+        // 0.9 (membership product) × 0.8 (Bel of spec is {mu}).
+        assert!((t.membership().sn() - 0.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_threshold_filters() {
+        let joined = join(
+            &restaurants(),
+            &managed_by(),
+            &Predicate::theta(
+                Operand::attr("R.rname"),
+                ThetaOp::Eq,
+                Operand::attr("RM.rname"),
+            )
+            .and(Predicate::is("spec", ["mu"])),
+            &Threshold::SnAtLeast(0.8),
+        )
+        .unwrap();
+        assert!(joined.is_empty());
+    }
+
+    #[test]
+    fn join_is_product_then_select() {
+        let pred = Predicate::theta(
+            Operand::attr("R.rname"),
+            ThetaOp::Eq,
+            Operand::attr("RM.rname"),
+        );
+        let direct = join(&restaurants(), &managed_by(), &pred, &Threshold::POSITIVE).unwrap();
+        let via = select(
+            &product(&restaurants(), &managed_by()).unwrap(),
+            &pred,
+            &Threshold::POSITIVE,
+        )
+        .unwrap();
+        assert!(direct.approx_eq(&via));
+    }
+}

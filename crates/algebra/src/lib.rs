@@ -1,0 +1,65 @@
+//! # evirel-algebra — the extended relational operations
+//!
+//! The heart of Lim, Srivastava & Shekhar (ICDE 1994), §3: a complete
+//! algebra over extended relations. Every operation carries a tilde in
+//! the paper (σ̃, ∪̃, π̃, ×̃, ⋈̃); here they are:
+//!
+//! | paper | module | function |
+//! |-------|--------|----------|
+//! | σ̃ (selection, §3.1)        | [`mod@select`]  | [`select::select`] |
+//! | ∪̃ (extended union, §3.2)   | [`union`]   | [`union::union_extended`] |
+//! | π̃ (projection, §3.3)       | [`mod@project`] | [`project::project`] |
+//! | ×̃ (cartesian product, §3.4)| [`product`] | [`product::product`] |
+//! | ⋈̃ (join, §3.5)             | [`mod@join`]    | [`join::join`] |
+//!
+//! Supporting machinery:
+//!
+//! * [`predicate`] — the selection-condition AST: *is*-predicates,
+//!   θ-predicates, and conjunctions (§3.1.1), plus the documented
+//!   extensions `Or`/`Not`;
+//! * [`support`] — the selection support function `F_SS` assigning a
+//!   `(sn, sp)` pair to every (tuple, predicate) pair;
+//! * [`threshold`] — membership threshold conditions `Q` (§3.1.3);
+//! * [`conflict`] — conflict reports and resolution policies for the
+//!   extended union (the paper's "inform the data administrators");
+//! * [`setops`] — extensions: extended intersection and difference;
+//! * [`rename`] — relation/attribute renaming;
+//! * [`properties`] — empirical verifiers for the closure and
+//!   boundedness properties of Theorem 1 (§3.6);
+//! * [`par`] — a parallel extended-union executor partitioned by key
+//!   hash (std threads only).
+//!
+//! All operations yield relations that satisfy CWA_ER by construction:
+//! result tuples with `sn = 0` are *not stored* (they are exactly the
+//! tuples the closed-world interpretation already accounts for), which
+//! is how the closure property manifests in an executable system.
+
+pub mod conflict;
+pub mod error;
+pub mod join;
+pub mod par;
+pub mod predicate;
+pub mod product;
+pub mod project;
+pub mod properties;
+pub mod rename;
+pub mod select;
+pub mod setops;
+pub mod support;
+pub mod threshold;
+pub mod union;
+
+pub use conflict::{AttributeConflict, ConflictPolicy, ConflictReport};
+pub use error::AlgebraError;
+pub use join::join;
+pub use predicate::{Operand, Predicate, ThetaOp};
+pub use product::product;
+pub use project::project;
+pub use rename::{rename_attribute, rename_relation};
+pub use select::select;
+pub use support::predicate_support;
+pub use threshold::Threshold;
+pub use union::{union_extended, UnionOptions, UnionOutcome};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

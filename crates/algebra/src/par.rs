@@ -1,0 +1,171 @@
+//! Parallel extended union.
+//!
+//! Tuple merging is embarrassingly parallel: matched pairs are
+//! independent, so the key space can be partitioned by hash and merged
+//! on separate threads. Uses only `std::thread::scope` — no extra
+//! dependencies — and reproduces exactly the sequential result
+//! (deterministic: partitions are re-assembled in left-relation
+//! insertion order before right-only tuples).
+//!
+//! The `benches/union.rs` harness compares this path against the
+//! sequential [`crate::union::union_with`].
+
+use crate::conflict::ConflictReport;
+use crate::error::AlgebraError;
+use crate::union::{UnionOptions, UnionOutcome};
+use evirel_relation::{ExtendedRelation, Tuple, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Parallel `left ∪̃ right` over `threads` worker threads.
+///
+/// Falls back to the sequential implementation when `threads <= 1` or
+/// the input is small enough that partitioning cannot pay off.
+///
+/// # Errors
+/// As [`crate::union::union_with`].
+pub fn par_union(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+    options: &UnionOptions,
+    threads: usize,
+) -> Result<UnionOutcome, AlgebraError> {
+    const MIN_TUPLES_PER_THREAD: usize = 64;
+    if threads <= 1 || left.len() < threads * MIN_TUPLES_PER_THREAD {
+        return crate::union::union_with(left, right, options);
+    }
+    let ls = left.schema();
+    let rs = right.schema();
+    ls.check_union_compatible(rs)?;
+
+    // Partition the left tuples (with their match, if any) by key hash.
+    type Partition<'a> = Vec<(usize, Vec<Value>, &'a Tuple, Option<&'a Tuple>)>;
+    let mut partitions: Vec<Partition<'_>> = (0..threads).map(|_| Vec::new()).collect();
+    for (order, (key, l_tuple)) in left.iter_keyed().enumerate() {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let slot = (h.finish() as usize) % threads;
+        let m = right.get_by_key(&key);
+        partitions[slot].push((order, key, l_tuple, m));
+    }
+
+    // Merge each partition on its own thread.
+    type Merged = Vec<(usize, Option<Tuple>, ConflictReport)>;
+    let results: Vec<Result<Merged, AlgebraError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut merged: Merged = Vec::with_capacity(part.len());
+                    for (order, key, l_tuple, r_tuple) in part {
+                        let mut report = ConflictReport::new();
+                        let out = match r_tuple {
+                            None => {
+                                if l_tuple.membership().is_positive() {
+                                    Some((*l_tuple).clone())
+                                } else {
+                                    None
+                                }
+                            }
+                            Some(r) => crate::union::merge_tuples(
+                                ls, key, l_tuple, r, options, &mut report,
+                            )?,
+                        };
+                        merged.push((*order, out, report));
+                    }
+                    Ok(merged)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    // Re-assemble deterministically: left order first, then right-only.
+    let mut all: Vec<(usize, Option<Tuple>, ConflictReport)> = Vec::with_capacity(left.len());
+    for r in results {
+        all.extend(r?);
+    }
+    all.sort_by_key(|(order, _, _)| *order);
+
+    let out_schema = Arc::new(ls.renamed(format!("{}∪{}", ls.name(), rs.name())));
+    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
+    let mut report = ConflictReport::new();
+    for (_, tuple, r) in all {
+        for c in r.conflicts() {
+            report.record(c.clone());
+        }
+        if let Some(t) = tuple {
+            out.insert(t)?;
+        }
+    }
+    for (key, r_tuple) in right.iter_keyed() {
+        if !left.contains_key(&key) && r_tuple.membership().is_positive() {
+            out.insert(r_tuple.clone())?;
+        }
+    }
+    Ok(UnionOutcome { relation: out, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema};
+
+    fn big_pair(n: usize) -> (ExtendedRelation, ExtendedRelation) {
+        let domain = Arc::new(AttrDomain::categorical("d", ["x", "y", "z"]).unwrap());
+        let schema = |name: &str| {
+            Arc::new(
+                Schema::builder(name)
+                    .key_str("k")
+                    .evidential("d", Arc::clone(&domain))
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let mut a = RelationBuilder::new(schema("A"));
+        let mut b = RelationBuilder::new(schema("B"));
+        for i in 0..n {
+            let k = format!("key-{i}");
+            a = a
+                .tuple(|t| {
+                    t.set_str("k", k.clone())
+                        .set_evidence_with_omega("d", [(&["x"][..], 0.6)], 0.4)
+                })
+                .unwrap();
+            if i % 2 == 0 {
+                b = b
+                    .tuple(|t| {
+                        t.set_str("k", k.clone())
+                            .set_evidence_with_omega("d", [(&["x"][..], 0.3), (&["y"][..], 0.3)], 0.4)
+                    })
+                    .unwrap();
+            }
+        }
+        (a.build(), b.build())
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (a, b) = big_pair(512);
+        let seq = crate::union::union_with(&a, &b, &UnionOptions::default()).unwrap();
+        let par = par_union(&a, &b, &UnionOptions::default(), 4).unwrap();
+        assert!(seq.relation.approx_eq(&par.relation));
+        assert_eq!(seq.report.len(), par.report.len());
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        let (a, b) = big_pair(8);
+        let par = par_union(&a, &b, &UnionOptions::default(), 4).unwrap();
+        let seq = crate::union::union_with(&a, &b, &UnionOptions::default()).unwrap();
+        assert!(seq.relation.approx_eq(&par.relation));
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let (a, b) = big_pair(512);
+        let par = par_union(&a, &b, &UnionOptions::default(), 1).unwrap();
+        assert_eq!(par.relation.len(), a.len());
+    }
+}

@@ -1,0 +1,307 @@
+//! Selection-condition AST (§3.1.1).
+//!
+//! A selection condition is an *atomic predicate* or a *compound
+//! predicate* built from atomic ones. The paper defines:
+//!
+//! * **is-predicates** `A is {c₁, …, cₙ}` — does the (evidential)
+//!   attribute value commit to the given set of domain values?
+//! * **θ-predicates** `A θ B`, θ ∈ {=, <, >, ≤, ≥} — order
+//!   comparisons between two evidence sets;
+//! * **conjunction** `S ∧ T` of mutually independent predicates.
+//!
+//! As documented extensions (used by the query language and marked as
+//! such), we add disjunction `S ∨ T` and negation `¬S` with the
+//! standard independent-event support arithmetic; the paper's
+//! operations never require them.
+
+use evirel_relation::Value;
+use std::fmt;
+
+/// A θ comparison operator. The paper's set is {=, >, <, ≥, ≤}; `≠` is
+/// included as an extension for the query layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThetaOp {
+    /// `=`
+    Eq,
+    /// `≠` (extension)
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl ThetaOp {
+    /// Apply the operator to two domain-order indices.
+    pub fn test(&self, a: usize, b: usize) -> bool {
+        match self {
+            ThetaOp::Eq => a == b,
+            ThetaOp::Ne => a != b,
+            ThetaOp::Lt => a < b,
+            ThetaOp::Le => a <= b,
+            ThetaOp::Gt => a > b,
+            ThetaOp::Ge => a >= b,
+        }
+    }
+
+    /// Apply the operator to two definite values (natural order).
+    pub fn test_values(&self, a: &Value, b: &Value) -> bool {
+        let ord = a.cmp(b);
+        match self {
+            ThetaOp::Eq => ord.is_eq(),
+            ThetaOp::Ne => ord.is_ne(),
+            ThetaOp::Lt => ord.is_lt(),
+            ThetaOp::Le => ord.is_le(),
+            ThetaOp::Gt => ord.is_gt(),
+            ThetaOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+impl fmt::Display for ThetaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThetaOp::Eq => "=",
+            ThetaOp::Ne => "!=",
+            ThetaOp::Lt => "<",
+            ThetaOp::Le => "<=",
+            ThetaOp::Gt => ">",
+            ThetaOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One side of a θ-predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An attribute of the tuple under evaluation.
+    Attr(String),
+    /// A definite literal value. Against an evidential attribute it is
+    /// promoted to the certain evidence set `m({v}) = 1`.
+    Value(Value),
+    /// An evidence-set literal given as `(domain values, mass)` pairs —
+    /// resolved against the attribute's domain at evaluation time.
+    /// This is how the paper's inline example
+    /// `[{1,4}^0.6, {2,6}^0.4] ≤ [{2,4}^0.8, 5^0.2]` is expressed.
+    Evidence(Vec<(Vec<Value>, f64)>),
+}
+
+impl Operand {
+    /// Shorthand for an attribute operand.
+    pub fn attr(name: impl Into<String>) -> Operand {
+        Operand::Attr(name.into())
+    }
+
+    /// Shorthand for a definite literal.
+    pub fn value(v: impl Into<Value>) -> Operand {
+        Operand::Value(v.into())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr(a) => write!(f, "{a}"),
+            Operand::Value(v) => write!(f, "{v}"),
+            Operand::Evidence(entries) => {
+                write!(f, "[")?;
+                for (i, (vals, w)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if vals.len() == 1 {
+                        write!(f, "{}", vals[0])?;
+                    } else {
+                        write!(f, "{{")?;
+                        for (j, v) in vals.iter().enumerate() {
+                            if j > 0 {
+                                write!(f, ",")?;
+                            }
+                            write!(f, "{v}")?;
+                        }
+                        write!(f, "}}")?;
+                    }
+                    write!(f, "^{w}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A selection condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `A is {c₁, …, cₙ}` — support is `(Bel(C), Pls(C))` of the
+    /// attribute's evidence set for the target set `C`.
+    Is {
+        /// Attribute name.
+        attr: String,
+        /// The target domain values `C`.
+        values: Vec<Value>,
+    },
+    /// `A θ B` over evidence sets, with the paper's ∀∀/∃∃ support
+    /// semantics.
+    Theta {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: ThetaOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// Conjunction of independent predicates (multiplicative rule).
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction (extension; independent-event arithmetic).
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (extension; `(sn, sp) ↦ (1 − sp, 1 − sn)`).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Build `attr is {values}`.
+    pub fn is<V: Into<Value>>(
+        attr: impl Into<String>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Predicate {
+        Predicate::Is {
+            attr: attr.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Build `left θ right`.
+    pub fn theta(left: Operand, op: ThetaOp, right: Operand) -> Predicate {
+        Predicate::Theta { left, op, right }
+    }
+
+    /// Conjoin with another predicate.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjoin with another predicate (extension).
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negate (extension).
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// All attribute names referenced by the predicate.
+    pub fn referenced_attrs(&self) -> Vec<&str> {
+        fn walk<'a>(p: &'a Predicate, out: &mut Vec<&'a str>) {
+            match p {
+                Predicate::Is { attr, .. } => out.push(attr),
+                Predicate::Theta { left, right, .. } => {
+                    for op in [left, right] {
+                        if let Operand::Attr(a) = op {
+                            out.push(a);
+                        }
+                    }
+                }
+                Predicate::And(a, b) | Predicate::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Predicate::Not(a) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Is { attr, values } => {
+                write!(f, "{attr} is {{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Predicate::Theta { left, op, right } => write!(f, "({left} {op} {right})"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(a) => write!(f, "(NOT {a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_on_indices() {
+        assert!(ThetaOp::Le.test(1, 1));
+        assert!(ThetaOp::Lt.test(0, 1));
+        assert!(!ThetaOp::Gt.test(0, 1));
+        assert!(ThetaOp::Ge.test(2, 2));
+        assert!(ThetaOp::Eq.test(3, 3));
+        assert!(ThetaOp::Ne.test(3, 4));
+    }
+
+    #[test]
+    fn theta_on_values() {
+        assert!(ThetaOp::Lt.test_values(&Value::int(1), &Value::int(2)));
+        assert!(ThetaOp::Eq.test_values(&Value::str("a"), &Value::str("a")));
+        assert!(ThetaOp::Ge.test_values(&Value::float(2.0), &Value::float(2.0)));
+    }
+
+    #[test]
+    fn builders_and_display() {
+        let p = Predicate::is("speciality", ["si"])
+            .and(Predicate::is("rating", ["ex"]));
+        assert_eq!(
+            p.to_string(),
+            "(speciality is {si} AND rating is {ex})"
+        );
+        let t = Predicate::theta(
+            Operand::attr("bldg"),
+            ThetaOp::Le,
+            Operand::value(1000i64),
+        );
+        assert_eq!(t.to_string(), "(bldg <= 1000)");
+        let n = Predicate::is("a", ["x"]).negate().or(Predicate::is("b", ["y"]));
+        assert!(n.to_string().contains("NOT"));
+        assert!(n.to_string().contains("OR"));
+    }
+
+    #[test]
+    fn evidence_operand_display() {
+        let e = Operand::Evidence(vec![
+            (vec![Value::int(1), Value::int(4)], 0.6),
+            (vec![Value::int(2), Value::int(6)], 0.4),
+        ]);
+        assert_eq!(e.to_string(), "[{1,4}^0.6, {2,6}^0.4]");
+        let single = Operand::Evidence(vec![(vec![Value::int(5)], 0.2)]);
+        assert_eq!(single.to_string(), "[5^0.2]");
+    }
+
+    #[test]
+    fn referenced_attrs_walks_tree() {
+        let p = Predicate::is("a", ["x"])
+            .and(Predicate::theta(
+                Operand::attr("b"),
+                ThetaOp::Eq,
+                Operand::attr("c"),
+            ))
+            .or(Predicate::is("d", ["y"]).negate());
+        let attrs = p.referenced_attrs();
+        assert_eq!(attrs, vec!["a", "b", "c", "d"]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Extended cartesian product ×̃ (§3.4).
+//!
+//! Concatenates every pair of tuples from `R` and `S` and combines
+//! their membership pairs with the multiplicative `F_TM` — the two
+//! tuples' memberships are treated as independent events. Attribute
+//! names that clash are qualified with the source relation's name
+//! (`R.a`, `S.a`); the result key is the concatenation of both keys.
+
+use crate::error::AlgebraError;
+use evirel_relation::{AttrType, AttrValue, ExtendedRelation, Schema, Tuple};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Compute `left ×̃ right`.
+///
+/// # Errors
+/// [`AlgebraError::AmbiguousAttribute`] if qualification still leaves
+/// duplicate attribute names (e.g. both relations are named
+/// identically and share an attribute name).
+pub fn product(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+) -> Result<ExtendedRelation, AlgebraError> {
+    let ls = left.schema();
+    let rs = right.schema();
+
+    // Determine which names clash and need qualification.
+    let left_names: HashSet<&str> = ls.attrs().iter().map(|a| a.name()).collect();
+    let right_names: HashSet<&str> = rs.attrs().iter().map(|a| a.name()).collect();
+
+    let qualify = |schema: &Schema, other: &HashSet<&str>, name: &str| -> String {
+        if other.contains(name) {
+            format!("{}.{}", schema.name(), name)
+        } else {
+            name.to_owned()
+        }
+    };
+
+    let mut builder = Schema::builder(format!("{}×{}", ls.name(), rs.name()));
+    let mut seen: HashSet<String> = HashSet::new();
+    for (schema, other) in [(ls, &right_names), (rs, &left_names)] {
+        for attr in schema.attrs() {
+            let name = qualify(schema, other, attr.name());
+            if !seen.insert(name.clone()) {
+                return Err(AlgebraError::AmbiguousAttribute { attr: name });
+            }
+            builder = match (attr.is_key(), attr.ty()) {
+                (true, AttrType::Definite(kind)) => builder.key(name, *kind),
+                (false, AttrType::Definite(kind)) => builder.definite(name, *kind),
+                (_, AttrType::Evidential(domain)) => {
+                    builder.evidential(name, Arc::clone(domain))
+                }
+            };
+        }
+    }
+    let out_schema = Arc::new(builder.build()?);
+
+    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
+    for l in left.iter() {
+        for r in right.iter() {
+            // F_TM: memberships of independent tuples multiply (§3.4).
+            let membership = l.membership().and_independent(&r.membership());
+            if !membership.is_positive() {
+                continue; // CWA_ER: zero-support results are not stored.
+            }
+            let values: Vec<AttrValue> = l
+                .values()
+                .iter()
+                .chain(r.values().iter())
+                .cloned()
+                .collect();
+            out.insert(Tuple::new(&out_schema, values, membership)?)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, SupportPair, Value, ValueKind};
+
+    fn restaurants() -> ExtendedRelation {
+        let spec = Arc::new(AttrDomain::categorical("spec", ["mu", "it"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("R")
+                .key_str("rname")
+                .evidential("spec", spec)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_evidence("spec", [(&["mu"][..], 1.0)])
+                    .membership_pair(0.5, 0.5)
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "olive").set_evidence("spec", [(&["it"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    fn managers() -> ExtendedRelation {
+        let schema = Arc::new(
+            Schema::builder("M")
+                .key_str("mname")
+                .definite("position", ValueKind::Str)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("mname", "alice")
+                    .set_str("position", "chef")
+                    .membership_pair(0.8, 1.0)
+            })
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn product_concatenates_and_multiplies_membership() {
+        let p = product(&restaurants(), &managers()).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.schema().arity(), 4);
+        // Composite key: both keys.
+        assert_eq!(p.schema().key_positions().len(), 2);
+        let t = p
+            .get_by_key(&[Value::str("mehl"), Value::str("alice")])
+            .unwrap();
+        // (0.5, 0.5) × (0.8, 1.0) = (0.4, 0.5).
+        assert!(t.membership().approx_eq(&SupportPair::new(0.4, 0.5).unwrap()));
+        let t = p
+            .get_by_key(&[Value::str("olive"), Value::str("alice")])
+            .unwrap();
+        assert!(t.membership().approx_eq(&SupportPair::new(0.8, 1.0).unwrap()));
+    }
+
+    #[test]
+    fn name_clashes_are_qualified() {
+        let a = restaurants();
+        let schema_b = Arc::new(
+            Schema::builder("S")
+                .key_str("rname")
+                .definite("city", ValueKind::Str)
+                .build()
+                .unwrap(),
+        );
+        let b = RelationBuilder::new(schema_b)
+            .tuple(|t| t.set_str("rname", "x").set_str("city", "mpls"))
+            .unwrap()
+            .build();
+        let p = product(&a, &b).unwrap();
+        let names: Vec<_> = p.schema().attrs().iter().map(|x| x.name().to_owned()).collect();
+        assert!(names.contains(&"R.rname".to_owned()));
+        assert!(names.contains(&"S.rname".to_owned()));
+        assert!(names.contains(&"spec".to_owned()));
+        assert!(names.contains(&"city".to_owned()));
+    }
+
+    #[test]
+    fn self_product_is_ambiguous() {
+        let a = restaurants();
+        assert!(matches!(
+            product(&a, &a),
+            Err(AlgebraError::AmbiguousAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let a = restaurants();
+        let empty = ExtendedRelation::new(Arc::clone(managers().schema()));
+        let p = product(&a, &empty).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn zero_support_pairs_not_stored() {
+        // A tuple pair whose membership product has sn = 0 is dropped.
+        let spec = Arc::new(AttrDomain::categorical("d", ["x"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("Z")
+                .key_str("k")
+                .evidential("d", spec)
+                .build()
+                .unwrap(),
+        );
+        let z = RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("k", "a")
+                    .set_evidence("d", [(&["x"][..], 1.0)])
+                    .membership_pair(0.5, 0.5)
+            })
+            .unwrap()
+            .build();
+        // Product with a relation whose only tuple has sn > 0 keeps it:
+        let p = product(&z, &managers()).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p.validate().is_ok());
+    }
+}

@@ -1,0 +1,162 @@
+//! Extended projection π̃ (§3.3).
+//!
+//! `π̃_Ã(R) ≡ { r.Ã | r ∈ R }` where the attribute list `Ã` must
+//! include the key attributes and (implicitly) the tuple-membership
+//! attribute. Because keys are always retained, projected tuples stay
+//! unique and membership values carry over unchanged — Table 5 of the
+//! paper.
+
+use crate::error::AlgebraError;
+use evirel_relation::{ExtendedRelation, Schema};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Project `rel` onto the named attributes (in the given order).
+///
+/// # Errors
+/// * [`AlgebraError::ProjectionMissingKey`] if any key attribute is
+///   omitted;
+/// * [`AlgebraError::DuplicateProjection`] for repeated names;
+/// * [`AlgebraError::Relation`] for unknown attributes.
+pub fn project(rel: &ExtendedRelation, attrs: &[&str]) -> Result<ExtendedRelation, AlgebraError> {
+    let schema = rel.schema();
+
+    let mut seen = HashSet::new();
+    let mut positions = Vec::with_capacity(attrs.len());
+    for name in attrs {
+        if !seen.insert(*name) {
+            return Err(AlgebraError::DuplicateProjection { attr: (*name).to_owned() });
+        }
+        positions.push(schema.position(name)?);
+    }
+
+    for &key_pos in schema.key_positions() {
+        if !positions.contains(&key_pos) {
+            return Err(AlgebraError::ProjectionMissingKey {
+                attr: schema.attr(key_pos).name().to_owned(),
+            });
+        }
+    }
+
+    // Build the projected schema, preserving key-ness and types.
+    let mut builder = Schema::builder(format!("π({})", schema.name()));
+    for &pos in &positions {
+        let attr = schema.attr(pos);
+        builder = match (attr.is_key(), attr.ty()) {
+            (true, evirel_relation::AttrType::Definite(kind)) => builder.key(attr.name(), *kind),
+            (false, evirel_relation::AttrType::Definite(kind)) => {
+                builder.definite(attr.name(), *kind)
+            }
+            (_, evirel_relation::AttrType::Evidential(domain)) => {
+                builder.evidential(attr.name(), Arc::clone(domain))
+            }
+        };
+    }
+    let out_schema = Arc::new(builder.build()?);
+
+    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
+    for tuple in rel.iter() {
+        // Closure: zero-support tuples are not stored (only possible
+        // when projecting a complement-augmented relation).
+        if tuple.membership().is_positive() {
+            out.insert(tuple.project(&positions))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, SupportPair, Value, ValueKind};
+
+    fn rel() -> ExtendedRelation {
+        let spec = Arc::new(AttrDomain::categorical("spec", ["mu", "ta"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("RA")
+                .key_str("rname")
+                .definite("street", ValueKind::Str)
+                .definite("phone", ValueKind::Str)
+                .evidential("spec", spec)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_str("street", "9th-street")
+                    .set_str("phone", "333-4035")
+                    .set_evidence("spec", [(&["mu"][..], 0.8), (&["ta"][..], 0.2)])
+                    .membership_pair(0.5, 0.5)
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "olive")
+                    .set_str("street", "nic.ave.")
+                    .set_str("phone", "338-0355")
+                    .set_evidence("spec", [(&["mu"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    /// Table 5 semantics: membership carries over unchanged; projected
+    /// attributes keep their values.
+    #[test]
+    fn paper_table5_projection() {
+        let p = project(&rel(), &["rname", "phone", "spec"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.schema().arity(), 3);
+        let mehl = p.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!(mehl
+            .membership()
+            .approx_eq(&SupportPair::new(0.5, 0.5).unwrap()));
+        assert_eq!(
+            mehl.value(1).as_definite().unwrap(),
+            &Value::str("333-4035")
+        );
+        assert!(mehl.value(2).as_evidential().is_some());
+    }
+
+    #[test]
+    fn key_must_be_included() {
+        let err = project(&rel(), &["phone", "spec"]);
+        assert!(matches!(err, Err(AlgebraError::ProjectionMissingKey { .. })));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = project(&rel(), &["rname", "phone", "phone"]);
+        assert!(matches!(err, Err(AlgebraError::DuplicateProjection { .. })));
+    }
+
+    #[test]
+    fn unknown_attr_rejected() {
+        let err = project(&rel(), &["rname", "nope"]);
+        assert!(matches!(err, Err(AlgebraError::Relation(_))));
+    }
+
+    #[test]
+    fn projection_reorders() {
+        let p = project(&rel(), &["phone", "rname"]).unwrap();
+        let attrs: Vec<_> = p.schema().attrs().iter().map(|a| a.name().to_owned()).collect();
+        assert_eq!(attrs, vec!["phone", "rname"]);
+        // Key-ness preserved on the moved key attribute.
+        assert!(p.schema().attr(1).is_key());
+        assert!(!p.schema().attr(0).is_key());
+    }
+
+    #[test]
+    fn identity_projection() {
+        let r = rel();
+        let all: Vec<&str> = r.schema().attrs().iter().map(|a| a.name()).collect();
+        let p = project(&r, &all).unwrap();
+        assert!(p.approx_eq(&r));
+    }
+
+    #[test]
+    fn result_is_cwa_consistent() {
+        let p = project(&rel(), &["rname", "spec"]).unwrap();
+        assert!(p.validate().is_ok());
+    }
+}

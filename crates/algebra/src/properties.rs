@@ -1,0 +1,283 @@
+//! Empirical verifiers for the Closure and Boundedness properties
+//! (§3.6, Theorem 1).
+//!
+//! * **Closure**: for any extended operation `o` and input relations
+//!   with `sn > 0` tuples only, every tuple of `o(R₁, …, Rₙ)` has
+//!   `sn > 0`.
+//! * **Boundedness**: `{t ∈ o(R) : sn > 0} = {t ∈ o(R ∪̃ R̄) : sn > 0}`
+//!   where `R̄` is the (hypothetical) complement of `R` — tuples with
+//!   fresh keys and no necessary support (`sn = 0`). Query processing
+//!   therefore never needs to consult complements, keeping evaluation
+//!   finite.
+//!
+//! The paper proves Theorem 1 in technical report TR93-14, which is
+//! not publicly retrievable; these verifiers check the properties
+//! empirically on arbitrary inputs and back the property-based test
+//! suite.
+
+use crate::error::AlgebraError;
+use evirel_relation::cwa::CwaPolicy;
+use evirel_relation::{AttrType, AttrValue, ExtendedRelation, SupportPair, Tuple, Value};
+
+/// Closure check: every stored tuple of `rel` has `sn > 0`.
+pub fn satisfies_closure(rel: &ExtendedRelation) -> bool {
+    rel.iter().all(|t| t.membership().is_positive())
+}
+
+/// Materialize `n` complement tuples for `rel`: fresh keys not present
+/// in `rel`, default attribute values, and membership `(0, 1)` — the
+/// CWA_ER interpretation of absent tuples.
+///
+/// # Errors
+/// Tuple-construction errors (should not occur for well-formed
+/// schemas).
+pub fn complement_tuples(
+    rel: &ExtendedRelation,
+    n: usize,
+) -> Result<Vec<Tuple>, AlgebraError> {
+    let schema = rel.schema();
+    let mut out = Vec::with_capacity(n);
+    let mut counter = 0usize;
+    while out.len() < n {
+        let mut values = Vec::with_capacity(schema.arity());
+        for attr in schema.attrs() {
+            let v = match attr.ty() {
+                AttrType::Definite(kind) => {
+                    let v = if attr.is_key() {
+                        fresh_value(*kind, counter)
+                    } else {
+                        default_value(*kind)
+                    };
+                    AttrValue::Definite(v)
+                }
+                AttrType::Evidential(domain) => AttrValue::Evidential(
+                    evirel_evidence::MassFunction::vacuous(std::sync::Arc::clone(domain.frame()))
+                        .map_err(evirel_relation::RelationError::from)?,
+                ),
+            };
+            values.push(v);
+        }
+        let tuple = Tuple::new(schema, values, SupportPair::unknown())?;
+        let key = tuple.key(schema);
+        counter += 1;
+        if rel.contains_key(&key) {
+            continue; // extraordinarily unlikely, but keys must be fresh
+        }
+        out.push(tuple);
+    }
+    Ok(out)
+}
+
+fn fresh_value(kind: evirel_relation::ValueKind, i: usize) -> Value {
+    match kind {
+        evirel_relation::ValueKind::Str => Value::str(format!("⊥complement-{i}")),
+        evirel_relation::ValueKind::Int => Value::int(i64::MIN / 2 + i as i64),
+        evirel_relation::ValueKind::Float => Value::float(-1e308 + i as f64),
+    }
+}
+
+fn default_value(kind: evirel_relation::ValueKind) -> Value {
+    match kind {
+        evirel_relation::ValueKind::Str => Value::str(""),
+        evirel_relation::ValueKind::Int => Value::int(0),
+        evirel_relation::ValueKind::Float => Value::float(0.0),
+    }
+}
+
+/// `rel` with `n` complement tuples admitted (`sn = 0`), representing
+/// `R ∪̃ R̄` from the boundedness statement.
+///
+/// # Errors
+/// As [`complement_tuples`].
+pub fn augment_with_complement(
+    rel: &ExtendedRelation,
+    n: usize,
+) -> Result<ExtendedRelation, AlgebraError> {
+    let mut out = rel.clone();
+    for t in complement_tuples(rel, n)? {
+        out.insert_with_policy(t, CwaPolicy::AllowZero)
+            .map_err(AlgebraError::Relation)?;
+    }
+    Ok(out)
+}
+
+/// Boundedness check for a unary operation: `op(R)` and
+/// `op(R ∪̃ R̄)` must agree on their `sn > 0` tuples.
+///
+/// # Errors
+/// Errors raised by `op` itself.
+pub fn check_boundedness_unary<F>(op: F, rel: &ExtendedRelation) -> Result<bool, AlgebraError>
+where
+    F: Fn(&ExtendedRelation) -> Result<ExtendedRelation, AlgebraError>,
+{
+    let plain = op(rel)?;
+    let augmented = op(&augment_with_complement(rel, COMPLEMENT_SAMPLE)?)?;
+    Ok(positive_eq(&plain, &augmented))
+}
+
+/// Boundedness check for a binary operation: both operands are
+/// augmented with complements.
+///
+/// # Errors
+/// Errors raised by `op` itself.
+pub fn check_boundedness_binary<F>(
+    op: F,
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+) -> Result<bool, AlgebraError>
+where
+    F: Fn(&ExtendedRelation, &ExtendedRelation) -> Result<ExtendedRelation, AlgebraError>,
+{
+    let plain = op(left, right)?;
+    let augmented = op(
+        &augment_with_complement(left, COMPLEMENT_SAMPLE)?,
+        &augment_with_complement(right, COMPLEMENT_SAMPLE)?,
+    )?;
+    Ok(positive_eq(&plain, &augmented))
+}
+
+/// Number of complement tuples materialized per relation by the
+/// boundedness verifiers.
+pub const COMPLEMENT_SAMPLE: usize = 3;
+
+/// Compare the `sn > 0` tuple sets of two relations (keyed, order
+/// independent, `f64` tolerance).
+fn positive_eq(a: &ExtendedRelation, b: &ExtendedRelation) -> bool {
+    let a_pos: Vec<_> = a.iter_keyed().filter(|(_, t)| t.membership().is_positive()).collect();
+    let b_pos: Vec<_> = b.iter_keyed().filter(|(_, t)| t.membership().is_positive()).collect();
+    if a_pos.len() != b_pos.len() {
+        return false;
+    }
+    a_pos.iter().all(|(key, t)| {
+        b.get_by_key(key).is_some_and(|o| o.approx_eq(t))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::select::select;
+    use crate::threshold::Threshold;
+    use crate::union::union_extended;
+    use crate::{join, product, project};
+    use crate::predicate::{Operand, ThetaOp};
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, ValueKind};
+    use std::sync::Arc;
+
+    fn domain() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("d", ["x", "y", "z"]).unwrap())
+    }
+
+    fn rel(name: &str, rows: &[(&str, &str, f64)]) -> ExtendedRelation {
+        let schema = Arc::new(
+            Schema::builder(name)
+                .key_str("k")
+                .definite("v", ValueKind::Int)
+                .evidential("d", domain())
+                .build()
+                .unwrap(),
+        );
+        let mut b = RelationBuilder::new(schema);
+        for (k, label, sn) in rows {
+            b = b
+                .tuple(|t| {
+                    t.set_str("k", *k)
+                        .set_int("v", 1)
+                        .set_evidence_with_omega("d", [(&[*label][..], 0.6)], 0.4)
+                        .membership_pair(*sn, 1.0)
+                })
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn closure_of_all_operations() {
+        let a = rel("A", &[("p", "x", 1.0), ("q", "y", 0.5)]);
+        let b = rel("B", &[("q", "x", 0.8), ("r", "z", 1.0)]);
+        let pred = Predicate::is("d", ["x"]);
+        assert!(satisfies_closure(
+            &select(&a, &pred, &Threshold::POSITIVE).unwrap()
+        ));
+        assert!(satisfies_closure(&union_extended(&a, &b).unwrap().relation));
+        assert!(satisfies_closure(&project(&a, &["k", "d"]).unwrap()));
+        let b2 = crate::rename::rename_relation(&b, "B2");
+        let b2 = crate::rename::rename_attribute(&b2, "k", "k2").unwrap();
+        let b2 = crate::rename::rename_attribute(&b2, "v", "v2").unwrap();
+        let b2 = crate::rename::rename_attribute(&b2, "d", "d2").unwrap();
+        assert!(satisfies_closure(&product(&a, &b2).unwrap()));
+        assert!(satisfies_closure(
+            &join(
+                &a,
+                &b2,
+                &Predicate::theta(Operand::attr("k"), ThetaOp::Eq, Operand::attr("k2")),
+                &Threshold::POSITIVE
+            )
+            .unwrap()
+        ));
+    }
+
+    #[test]
+    fn complement_tuples_are_fresh_and_zero() {
+        let a = rel("A", &[("p", "x", 1.0)]);
+        let comps = complement_tuples(&a, 3).unwrap();
+        assert_eq!(comps.len(), 3);
+        for t in &comps {
+            assert!(!t.membership().is_positive());
+            assert!(!a.contains_key(&t.key(a.schema())));
+        }
+    }
+
+    #[test]
+    fn boundedness_of_select() {
+        let a = rel("A", &[("p", "x", 1.0), ("q", "y", 0.5)]);
+        let pred = Predicate::is("d", ["x"]);
+        let ok = check_boundedness_unary(
+            |r| select(r, &pred, &Threshold::POSITIVE),
+            &a,
+        )
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn boundedness_of_project() {
+        let a = rel("A", &[("p", "x", 1.0), ("q", "y", 0.5)]);
+        let ok = check_boundedness_unary(|r| project(r, &["k", "d"]), &a).unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn boundedness_of_union() {
+        let a = rel("A", &[("p", "x", 1.0), ("q", "y", 0.5)]);
+        let b = rel("B", &[("q", "x", 0.8), ("r", "z", 1.0)]);
+        let ok = check_boundedness_binary(
+            |l, r| Ok(union_extended(l, r)?.relation),
+            &a,
+            &b,
+        )
+        .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn boundedness_of_product_and_join() {
+        let a = rel("A", &[("p", "x", 1.0)]);
+        let b = rel("B", &[("q", "y", 0.8)]);
+        let b = crate::rename::rename_relation(&b, "B2");
+        let b = crate::rename::rename_attribute(&b, "k", "k2").unwrap();
+        let b = crate::rename::rename_attribute(&b, "v", "v2").unwrap();
+        let b = crate::rename::rename_attribute(&b, "d", "d2").unwrap();
+        let ok = check_boundedness_binary(product, &a, &b).unwrap();
+        assert!(ok);
+        let pred = Predicate::is("d", ["x"]);
+        let ok = check_boundedness_binary(
+            |l, r| join(l, r, &pred, &Threshold::POSITIVE),
+            &a,
+            &b,
+        )
+        .unwrap();
+        assert!(ok);
+    }
+}

@@ -1,0 +1,144 @@
+//! Extended set operations beyond the paper's union: intersection and
+//! difference. **Extensions**, documented as such.
+//!
+//! * *Extended intersection* `R ∩̃ S`: only key-matched tuples
+//!   survive, merged exactly as in the extended union. This is the
+//!   natural "both sources know this entity" operator.
+//! * *Extended difference* `R −̃ S`: tuples of `R` whose key does not
+//!   appear in `S`, unchanged. (Membership subtraction has no sound
+//!   evidential semantics — removing it would violate closure — so
+//!   difference is key-based, mirroring how the paper treats unmatched
+//!   tuples as "the other relation is totally ignorant".)
+//!
+//! Both operations preserve closure and boundedness (verified in the
+//! property suite).
+
+use crate::conflict::ConflictReport;
+use crate::error::AlgebraError;
+use crate::union::{union_with, UnionOptions};
+use evirel_relation::ExtendedRelation;
+use std::sync::Arc;
+
+/// Extended intersection: key-matched tuples, merged with the same
+/// machinery as the extended union.
+///
+/// # Errors
+/// As [`crate::union::union_with`].
+pub fn intersect_extended(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+    options: &UnionOptions,
+) -> Result<(ExtendedRelation, ConflictReport), AlgebraError> {
+    // Merge via union, then keep only keys present in both inputs.
+    let merged = union_with(left, right, options)?;
+    let schema = Arc::new(
+        left.schema()
+            .renamed(format!("{}∩{}", left.schema().name(), right.schema().name())),
+    );
+    let mut out = ExtendedRelation::new(schema);
+    for (key, tuple) in merged.relation.iter_keyed() {
+        if left.contains_key(&key) && right.contains_key(&key) {
+            out.insert(tuple.clone())?;
+        }
+    }
+    Ok((out, merged.report))
+}
+
+/// Extended difference: tuples of `left` whose key is absent from
+/// `right`.
+///
+/// # Errors
+/// [`AlgebraError::Relation`] if the schemas are not union-compatible.
+pub fn difference_extended(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+) -> Result<ExtendedRelation, AlgebraError> {
+    left.schema().check_union_compatible(right.schema())?;
+    let schema = Arc::new(
+        left.schema()
+            .renamed(format!("{}−{}", left.schema().name(), right.schema().name())),
+    );
+    let mut out = ExtendedRelation::new(schema);
+    for (key, tuple) in left.iter_keyed() {
+        if !right.contains_key(&key) && tuple.membership().is_positive() {
+            out.insert(tuple.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, Value};
+
+    fn domain() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("d", ["x", "y", "z"]).unwrap())
+    }
+
+    fn schema(name: &str) -> Arc<Schema> {
+        Arc::new(
+            Schema::builder(name)
+                .key_str("k")
+                .evidential("d", domain())
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn rel(name: &str, keys: &[(&str, &str)]) -> ExtendedRelation {
+        let mut b = RelationBuilder::new(schema(name));
+        for (k, label) in keys {
+            b = b
+                .tuple(|t| t.set_str("k", *k).set_evidence("d", [(&[*label][..], 1.0)]))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn intersection_keeps_common_keys_merged() {
+        let a = rel("A", &[("p", "x"), ("q", "y")]);
+        let b = rel("B", &[("q", "y"), ("r", "z")]);
+        let (i, report) = intersect_extended(&a, &b, &UnionOptions::default()).unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains_key(&[Value::str("q")]));
+        assert!(report.is_empty()); // agreeing evidence: no conflict
+    }
+
+    #[test]
+    fn difference_drops_matched_keys() {
+        let a = rel("A", &[("p", "x"), ("q", "y")]);
+        let b = rel("B", &[("q", "y"), ("r", "z")]);
+        let d = difference_extended(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains_key(&[Value::str("p")]));
+        // Tuples unchanged.
+        let t = d.get_by_key(&[Value::str("p")]).unwrap();
+        assert!(t.membership().is_certain());
+    }
+
+    #[test]
+    fn difference_with_self_is_empty() {
+        let a = rel("A", &[("p", "x")]);
+        let d = difference_extended(&a, &a).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn intersection_with_disjoint_is_empty() {
+        let a = rel("A", &[("p", "x")]);
+        let b = rel("B", &[("q", "y")]);
+        let (i, _) = intersect_extended(&a, &b, &UnionOptions::default()).unwrap();
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn incompatible_schemas_rejected() {
+        let a = rel("A", &[("p", "x")]);
+        let other_schema = Arc::new(Schema::builder("X").key_int("n").build().unwrap());
+        let b = ExtendedRelation::new(other_schema);
+        assert!(difference_extended(&a, &b).is_err());
+        assert!(intersect_extended(&a, &b, &UnionOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Membership threshold conditions `Q` (§3.1.3).
+//!
+//! A threshold constrains the *revised* tuple membership of selection
+//! (and join) results. To stay consistent with the CWA_ER
+//! interpretation of extended relations, a threshold must guarantee
+//! `sn > 0` for admitted tuples; thresholds that admit zero-support
+//! tuples are rejected at operation time with
+//! [`crate::AlgebraError::ThresholdNotPositive`].
+
+use std::fmt;
+
+use evirel_relation::SupportPair;
+
+/// A membership threshold condition on the revised `(sn, sp)` of a
+/// result tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// `sn > c`. The paper's running example uses `sn > 0`.
+    SnGreater(f64),
+    /// `sn ≥ c` (requires `c > 0` for CWA_ER consistency).
+    SnAtLeast(f64),
+    /// `sn = 1` — only tuples that *definitely* satisfy the query.
+    Definite,
+    /// `sp ≥ c` **and** `sn > 0` — plausibility screening; the
+    /// explicit `sn > 0` conjunct keeps the result CWA_ER-consistent.
+    SpAtLeastPositive(f64),
+}
+
+impl Threshold {
+    /// The paper's default threshold `sn > 0`.
+    pub const POSITIVE: Threshold = Threshold::SnGreater(0.0);
+
+    /// Does the revised membership satisfy the threshold?
+    pub fn admits(&self, m: &SupportPair) -> bool {
+        match self {
+            Threshold::SnGreater(c) => m.sn() > *c,
+            Threshold::SnAtLeast(c) => m.sn() >= *c,
+            Threshold::Definite => (m.sn() - 1.0).abs() < 1e-9,
+            Threshold::SpAtLeastPositive(c) => m.sp() >= *c && m.sn() > 0.0,
+        }
+    }
+
+    /// `true` iff every admitted pair necessarily has `sn > 0`,
+    /// keeping the result a valid extended relation (§3.1.3).
+    pub fn ensures_positive_support(&self) -> bool {
+        match self {
+            Threshold::SnGreater(c) => *c >= 0.0,
+            Threshold::SnAtLeast(c) => *c > 0.0,
+            Threshold::Definite => true,
+            Threshold::SpAtLeastPositive(_) => true,
+        }
+    }
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        Threshold::POSITIVE
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Threshold::SnGreater(c) => write!(f, "sn > {c}"),
+            Threshold::SnAtLeast(c) => write!(f, "sn >= {c}"),
+            Threshold::Definite => write!(f, "sn = 1"),
+            Threshold::SpAtLeastPositive(c) => write!(f, "sp >= {c} and sn > 0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(sn: f64, spv: f64) -> SupportPair {
+        SupportPair::new(sn, spv).unwrap()
+    }
+
+    #[test]
+    fn positive_threshold() {
+        assert!(Threshold::POSITIVE.admits(&sp(0.01, 0.5)));
+        assert!(!Threshold::POSITIVE.admits(&sp(0.0, 1.0)));
+        assert!(Threshold::POSITIVE.ensures_positive_support());
+    }
+
+    #[test]
+    fn definite_threshold() {
+        assert!(Threshold::Definite.admits(&sp(1.0, 1.0)));
+        assert!(!Threshold::Definite.admits(&sp(0.99, 1.0)));
+        assert!(Threshold::Definite.ensures_positive_support());
+    }
+
+    #[test]
+    fn sn_at_least() {
+        let t = Threshold::SnAtLeast(0.5);
+        assert!(t.admits(&sp(0.5, 0.7)));
+        assert!(!t.admits(&sp(0.49, 0.7)));
+        assert!(t.ensures_positive_support());
+        // sn >= 0 would admit sn = 0 — not CWA_ER-consistent.
+        assert!(!Threshold::SnAtLeast(0.0).ensures_positive_support());
+    }
+
+    #[test]
+    fn sp_screening_keeps_positivity() {
+        let t = Threshold::SpAtLeastPositive(0.8);
+        assert!(t.admits(&sp(0.1, 0.9)));
+        assert!(!t.admits(&sp(0.0, 0.9)));
+        assert!(!t.admits(&sp(0.1, 0.7)));
+        assert!(t.ensures_positive_support());
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(Threshold::default(), Threshold::POSITIVE);
+        assert_eq!(Threshold::SnGreater(0.0).to_string(), "sn > 0");
+        assert_eq!(Threshold::Definite.to_string(), "sn = 1");
+        assert!(Threshold::SnGreater(-0.5).to_string().contains("-0.5"));
+        assert!(!Threshold::SnGreater(-0.5).ensures_positive_support());
+    }
+}

@@ -1,0 +1,505 @@
+//! Extended union ∪̃ (§3.2) — the attribute-value conflict resolution
+//! operation.
+//!
+//! For two union-compatible extended relations `R`, `S` with common
+//! key `K̃` and non-key attributes `Ñ`:
+//!
+//! * a tuple of `R` whose key matches no tuple of `S` (or vice versa)
+//!   is retained as-is — the other relation is totally ignorant about
+//!   that entity, and combining with total ignorance is the identity;
+//! * matched tuples are merged: every common non-key attribute is
+//!   combined with Dempster's rule (`t.C = r.C ⊕ s.C`), and the
+//!   membership pairs are combined with the paper's `F` — Dempster's
+//!   rule over Ψ = {true, false}.
+//!
+//! Like the ordinary union, ∪̃ is commutative and associative (checked
+//! by the property suite). Conflicts are recorded per
+//! [`crate::conflict`]; total conflict on an attribute or on
+//! membership is resolved by the configured [`ConflictPolicy`].
+
+use crate::conflict::{AttributeConflict, ConflictPolicy, ConflictReport};
+use crate::error::AlgebraError;
+use evirel_evidence::{combine, rules::CombinationRule, EvidenceError, MassFunction};
+use evirel_relation::{
+    AttrType, AttrValue, ExtendedRelation, RelationError, SupportPair, Tuple, Value,
+};
+use std::sync::Arc;
+
+/// Options for the extended union.
+#[derive(Debug, Clone, Default)]
+pub struct UnionOptions {
+    /// How to resolve total conflict (κ = 1) on an attribute or on
+    /// tuple membership.
+    pub on_total_conflict: ConflictPolicy,
+    /// Combination rule for attribute evidence. The paper uses
+    /// Dempster's rule; the alternatives exist for ablation studies.
+    /// Membership pairs always use the paper's `F` (Dempster over Ψ).
+    pub rule: CombinationRule,
+    /// If set, summarize each combined attribute evidence set to at
+    /// most this many focal elements (see
+    /// [`evirel_evidence::approx::summarize`]).
+    pub max_focal: Option<usize>,
+}
+
+/// The result of an extended union: the integrated relation plus the
+/// conflict report for the data administrator.
+#[derive(Debug, Clone)]
+pub struct UnionOutcome {
+    /// `R ∪̃ S`.
+    pub relation: ExtendedRelation,
+    /// Attribute- and membership-level conflict observations.
+    pub report: ConflictReport,
+}
+
+/// Compute `left ∪̃ right` with default options (Dempster's rule,
+/// error on total conflict).
+///
+/// # Errors
+/// * [`AlgebraError::Relation`] if the schemas are not
+///   union-compatible;
+/// * [`AlgebraError::TotalConflict`] under
+///   [`ConflictPolicy::Error`].
+pub fn union_extended(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+) -> Result<UnionOutcome, AlgebraError> {
+    union_with(left, right, &UnionOptions::default())
+}
+
+/// Compute `left ∪̃ right` with explicit options.
+///
+/// # Errors
+/// See [`union_extended`].
+pub fn union_with(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+    options: &UnionOptions,
+) -> Result<UnionOutcome, AlgebraError> {
+    let ls = left.schema();
+    let rs = right.schema();
+    ls.check_union_compatible(rs)?;
+
+    let out_schema = Arc::new(ls.renamed(format!("{}∪{}", ls.name(), rs.name())));
+    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
+    let mut report = ConflictReport::new();
+
+    // Matched keys and left-only tuples, in left insertion order.
+    for (key, l_tuple) in left.iter_keyed() {
+        match right.get_by_key(&key) {
+            None => {
+                // Closure: zero-support tuples (possible when the input
+                // is an augmented complement relation) are not stored.
+                if l_tuple.membership().is_positive() {
+                    out.insert(l_tuple.clone())?;
+                }
+            }
+            Some(r_tuple) => {
+                if let Some(merged) =
+                    merge_tuples(ls, &key, l_tuple, r_tuple, options, &mut report)?
+                {
+                    out.insert(merged)?;
+                }
+            }
+        }
+    }
+    // Right-only tuples, in right insertion order.
+    for (key, r_tuple) in right.iter_keyed() {
+        if !left.contains_key(&key) && r_tuple.membership().is_positive() {
+            out.insert(r_tuple.clone())?;
+        }
+    }
+    Ok(UnionOutcome { relation: out, report })
+}
+
+/// Merge one matched tuple pair. Returns `None` when the combined
+/// membership has `sn = 0` (the merged tuple is then not stored,
+/// consistent with CWA_ER). Shared with the parallel executor in
+/// [`crate::par`].
+pub(crate) fn merge_tuples(
+    schema: &evirel_relation::Schema,
+    key: &[Value],
+    l: &Tuple,
+    r: &Tuple,
+    options: &UnionOptions,
+    report: &mut ConflictReport,
+) -> Result<Option<Tuple>, AlgebraError> {
+    let mut values: Vec<AttrValue> = Vec::with_capacity(schema.arity());
+    for (pos, attr) in schema.attrs().iter().enumerate() {
+        let lv = l.value(pos);
+        let rv = r.value(pos);
+        if attr.is_key() {
+            values.push(lv.clone());
+            continue;
+        }
+        match attr.ty() {
+            AttrType::Definite(_) => {
+                // Open-domain definite attributes cannot be combined
+                // evidentially; equal values merge trivially, unequal
+                // values are a total conflict.
+                if lv == rv {
+                    values.push(lv.clone());
+                } else {
+                    report.record(AttributeConflict {
+                        key: key.to_vec(),
+                        attr: attr.name().to_owned(),
+                        kappa: 1.0,
+                        total: true,
+                    });
+                    match options.on_total_conflict {
+                        ConflictPolicy::Error => {
+                            return Err(AlgebraError::TotalConflict {
+                                key: Value::render_key(key),
+                                attr: attr.name().to_owned(),
+                            })
+                        }
+                        ConflictPolicy::KeepLeft => values.push(lv.clone()),
+                        ConflictPolicy::KeepRight => values.push(rv.clone()),
+                        // There is no vacuous definite value; keep left
+                        // (documented behaviour for definite attrs).
+                        ConflictPolicy::Vacuous => values.push(lv.clone()),
+                    }
+                }
+            }
+            AttrType::Evidential(domain) => {
+                let lm = lv.to_evidence(domain)?;
+                let rm = rv.to_evidence(domain)?;
+                let combined = combine_attr(&lm, &rm, options);
+                match combined {
+                    Ok((mass, kappa)) => {
+                        if kappa > 0.0 {
+                            report.record(AttributeConflict {
+                                key: key.to_vec(),
+                                attr: attr.name().to_owned(),
+                                kappa,
+                                total: false,
+                            });
+                        }
+                        let mass = match options.max_focal {
+                            Some(k) => evirel_evidence::approx::summarize(&mass, k)
+                                .map_err(RelationError::from)?,
+                            None => mass,
+                        };
+                        values.push(AttrValue::Evidential(mass));
+                    }
+                    Err(EvidenceError::TotalConflict) => {
+                        report.record(AttributeConflict {
+                            key: key.to_vec(),
+                            attr: attr.name().to_owned(),
+                            kappa: 1.0,
+                            total: true,
+                        });
+                        match options.on_total_conflict {
+                            ConflictPolicy::Error => {
+                                return Err(AlgebraError::TotalConflict {
+                                    key: Value::render_key(key),
+                                    attr: attr.name().to_owned(),
+                                })
+                            }
+                            ConflictPolicy::KeepLeft => values.push(AttrValue::Evidential(lm)),
+                            ConflictPolicy::KeepRight => values.push(AttrValue::Evidential(rm)),
+                            ConflictPolicy::Vacuous => values.push(AttrValue::Evidential(
+                                MassFunction::vacuous(Arc::clone(domain.frame()))
+                                    .map_err(RelationError::from)?,
+                            )),
+                        }
+                    }
+                    Err(e) => return Err(AlgebraError::Evidence(e)),
+                }
+            }
+        }
+    }
+
+    // Membership: the paper's F — Dempster over Ψ.
+    let membership = match l.membership().combine_dempster(&r.membership()) {
+        Ok(m) => m,
+        Err(RelationError::Evidence(EvidenceError::TotalConflict)) => {
+            report.record(AttributeConflict {
+                key: key.to_vec(),
+                attr: "(sn,sp)".to_owned(),
+                kappa: 1.0,
+                total: true,
+            });
+            match options.on_total_conflict {
+                ConflictPolicy::Error => {
+                    return Err(AlgebraError::TotalConflict {
+                        key: Value::render_key(key),
+                        attr: "(sn,sp)".to_owned(),
+                    })
+                }
+                ConflictPolicy::KeepLeft => l.membership(),
+                ConflictPolicy::KeepRight => r.membership(),
+                ConflictPolicy::Vacuous => SupportPair::unknown(),
+            }
+        }
+        Err(e) => return Err(AlgebraError::Relation(e)),
+    };
+
+    if !membership.is_positive() {
+        // CWA_ER: the merged tuple has no necessary support — not stored.
+        return Ok(None);
+    }
+    Ok(Some(Tuple::new(schema, values, membership)?))
+}
+
+fn combine_attr(
+    l: &MassFunction<f64>,
+    r: &MassFunction<f64>,
+    options: &UnionOptions,
+) -> Result<(MassFunction<f64>, f64), EvidenceError> {
+    match options.rule {
+        CombinationRule::Dempster => {
+            let c = combine::dempster(l, r)?;
+            Ok((c.mass, c.conflict))
+        }
+        rule => {
+            // Alternative rules absorb conflict internally; still
+            // report the κ that Dempster would have seen.
+            let kappa = combine::conflict(l, r)?;
+            let mass = rule.combine(l, r)?;
+            Ok((mass, kappa))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, ValueKind};
+
+    fn rating_domain() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap())
+    }
+
+    fn schema(name: &str) -> Arc<Schema> {
+        Arc::new(
+            Schema::builder(name)
+                .key_str("rname")
+                .definite("phone", ValueKind::Str)
+                .evidential("rating", rating_domain())
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn garden_a() -> ExtendedRelation {
+        RelationBuilder::new(schema("RA"))
+            .tuple(|t| {
+                t.set_str("rname", "garden")
+                    .set_str("phone", "371-2155")
+                    .set_evidence(
+                        "rating",
+                        [(&["ex"][..], 0.33), (&["gd"][..], 0.5), (&["avg"][..], 0.17)],
+                    )
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "ashiana")
+                    .set_str("phone", "371-0824")
+                    .set_evidence("rating", [(&["ex"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    fn garden_b() -> ExtendedRelation {
+        RelationBuilder::new(schema("RB"))
+            .tuple(|t| {
+                t.set_str("rname", "garden")
+                    .set_str("phone", "371-2155")
+                    .set_evidence("rating", [(&["ex"][..], 0.2), (&["gd"][..], 0.8)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "wok")
+                    .set_str("phone", "382-4165")
+                    .set_evidence("rating", [(&["gd"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    /// Table 4's garden rating: [ex^0.33, gd^0.5, avg^0.17] ⊕
+    /// [ex^0.2, gd^0.8] = [ex^0.143, gd^0.857] (κ = 0.534).
+    #[test]
+    fn paper_table4_garden_rating() {
+        let out = union_extended(&garden_a(), &garden_b()).unwrap();
+        assert_eq!(out.relation.len(), 3);
+        let garden = out.relation.get_by_key(&[Value::str("garden")]).unwrap();
+        let rating = garden.value(2).as_evidential().unwrap();
+        let ex = rating_domain().subset_of_values([&Value::str("ex")]).unwrap();
+        let gd = rating_domain().subset_of_values([&Value::str("gd")]).unwrap();
+        assert!((rating.mass_of(&ex) - 0.066 / 0.466).abs() < 1e-9);
+        assert!((rating.mass_of(&gd) - 0.4 / 0.466).abs() < 1e-9);
+        assert!(garden.membership().is_certain());
+        // Conflict κ = 0.534 was reported.
+        assert_eq!(out.report.len(), 1);
+        assert!((out.report.conflicts()[0].kappa - 0.534).abs() < 1e-9);
+    }
+
+    /// Unmatched tuples pass through unchanged — the other relation is
+    /// totally ignorant about them.
+    #[test]
+    fn unmatched_tuples_retained() {
+        let out = union_extended(&garden_a(), &garden_b()).unwrap();
+        let ashiana = out.relation.get_by_key(&[Value::str("ashiana")]).unwrap();
+        let orig = garden_a();
+        let orig_ashiana = orig.get_by_key(&[Value::str("ashiana")]).unwrap();
+        assert!(ashiana.approx_eq(orig_ashiana));
+        assert!(out.relation.contains_key(&[Value::str("wok")]));
+    }
+
+    /// ∪̃ is commutative (up to tuple order, which approx_eq ignores).
+    #[test]
+    fn union_commutative() {
+        let ab = union_extended(&garden_a(), &garden_b()).unwrap();
+        let ba = union_extended(&garden_b(), &garden_a()).unwrap();
+        assert!(ab.relation.approx_eq(&ba.relation));
+    }
+
+    #[test]
+    fn union_requires_compatibility() {
+        let other_schema = Arc::new(
+            Schema::builder("X")
+                .key_str("id")
+                .evidential("rating", rating_domain())
+                .build()
+                .unwrap(),
+        );
+        let other = ExtendedRelation::new(other_schema);
+        assert!(matches!(
+            union_extended(&garden_a(), &other),
+            Err(AlgebraError::Relation(RelationError::NotUnionCompatible { .. }))
+        ));
+    }
+
+    #[test]
+    fn definite_attr_conflict_policies() {
+        let mk = |phone: &str| {
+            RelationBuilder::new(schema("R"))
+                .tuple(|t| {
+                    t.set_str("rname", "wok")
+                        .set_str("phone", phone)
+                        .set_evidence("rating", [(&["gd"][..], 1.0)])
+                })
+                .unwrap()
+                .build()
+        };
+        let a = mk("111");
+        let b = mk("222");
+        // Default policy errors.
+        assert!(matches!(
+            union_extended(&a, &b),
+            Err(AlgebraError::TotalConflict { .. })
+        ));
+        // KeepLeft keeps 111 and records the conflict.
+        let out = union_with(
+            &a,
+            &b,
+            &UnionOptions { on_total_conflict: ConflictPolicy::KeepLeft, ..Default::default() },
+        )
+        .unwrap();
+        let t = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        assert_eq!(t.value(1).as_definite().unwrap(), &Value::str("111"));
+        assert_eq!(out.report.total_conflicts().count(), 1);
+        // KeepRight keeps 222.
+        let out = union_with(
+            &a,
+            &b,
+            &UnionOptions { on_total_conflict: ConflictPolicy::KeepRight, ..Default::default() },
+        )
+        .unwrap();
+        let t = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        assert_eq!(t.value(1).as_definite().unwrap(), &Value::str("222"));
+    }
+
+    #[test]
+    fn evidential_total_conflict_policies() {
+        let mk = |label: &str| {
+            RelationBuilder::new(schema("R"))
+                .tuple(|t| {
+                    t.set_str("rname", "wok")
+                        .set_str("phone", "111")
+                        .set_evidence("rating", [(&[label][..], 1.0)])
+                })
+                .unwrap()
+                .build()
+        };
+        let a = mk("ex");
+        let b = mk("avg");
+        assert!(matches!(
+            union_extended(&a, &b),
+            Err(AlgebraError::TotalConflict { .. })
+        ));
+        let out = union_with(
+            &a,
+            &b,
+            &UnionOptions { on_total_conflict: ConflictPolicy::Vacuous, ..Default::default() },
+        )
+        .unwrap();
+        let t = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        assert!(t.value(2).as_evidential().unwrap().is_vacuous());
+        assert_eq!(out.report.total_conflicts().count(), 1);
+    }
+
+    /// Membership combination mirrors Table 4's mehl row:
+    /// (0.5, 0.5) ⊕ (0.8, 1) = (0.83, 0.83).
+    #[test]
+    fn membership_combined_with_paper_f() {
+        let a = RelationBuilder::new(schema("RA"))
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_str("phone", "333-4035")
+                    .set_evidence("rating", [(&["ex"][..], 0.8), (&["gd"][..], 0.2)])
+                    .membership_pair(0.5, 0.5)
+            })
+            .unwrap()
+            .build();
+        let b = RelationBuilder::new(schema("RB"))
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_str("phone", "333-4035")
+                    .set_evidence("rating", [(&["ex"][..], 1.0)])
+                    .membership_pair(0.8, 1.0)
+            })
+            .unwrap()
+            .build();
+        let out = union_extended(&a, &b).unwrap();
+        let mehl = out.relation.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!((mehl.membership().sn() - 5.0 / 6.0).abs() < 1e-9);
+        assert!((mehl.membership().sp() - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternative_rule_still_reports_dempster_kappa() {
+        let out = union_with(
+            &garden_a(),
+            &garden_b(),
+            &UnionOptions { rule: CombinationRule::Yager, ..Default::default() },
+        )
+        .unwrap();
+        // Yager absorbs the conflict into Ω but the report still shows κ.
+        assert!((out.report.conflicts()[0].kappa - 0.534).abs() < 1e-9);
+        let garden = out.relation.get_by_key(&[Value::str("garden")]).unwrap();
+        let rating = garden.value(2).as_evidential().unwrap();
+        let omega = rating.frame().omega();
+        assert!(rating.mass_of(&omega) > 0.5);
+    }
+
+    #[test]
+    fn max_focal_summarizes() {
+        let out = union_with(
+            &garden_a(),
+            &garden_b(),
+            &UnionOptions { max_focal: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        let garden = out.relation.get_by_key(&[Value::str("garden")]).unwrap();
+        assert!(garden.value(2).as_evidential().unwrap().focal_count() <= 1);
+    }
+
+    #[test]
+    fn union_result_is_cwa_consistent() {
+        let out = union_extended(&garden_a(), &garden_b()).unwrap();
+        assert!(out.relation.validate().is_ok());
+    }
+}

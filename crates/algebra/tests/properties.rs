@@ -1,0 +1,254 @@
+//! Property-based verification of Theorem 1 (§3.6): the extended
+//! operations σ̃, ∪̃, π̃, ×̃, ⋈̃ satisfy the Closure and Boundedness
+//! properties — plus the algebraic laws the paper asserts for ∪̃
+//! (commutativity, associativity).
+
+use evirel_algebra::properties::{
+    check_boundedness_binary, check_boundedness_unary, satisfies_closure,
+};
+use evirel_algebra::{
+    join, product, project, select, union_extended, Operand, Predicate, ThetaOp, Threshold,
+};
+use evirel_relation::{
+    AttrDomain, ExtendedRelation, RelationBuilder, Schema, SupportPair, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LABELS: [&str; 5] = ["v0", "v1", "v2", "v3", "v4"];
+
+fn domain() -> Arc<AttrDomain> {
+    Arc::new(AttrDomain::categorical("d", LABELS).unwrap())
+}
+
+fn schema(name: &str) -> Arc<Schema> {
+    Arc::new(
+        Schema::builder(name)
+            .key_str("k")
+            .evidential("d", domain())
+            .build()
+            .unwrap(),
+    )
+}
+
+/// One random row: key id, evidence (label-index bitmask + weight
+/// split), membership.
+#[derive(Debug, Clone)]
+struct Row {
+    key: u8,
+    focal: Vec<(u8, u16)>, // (bitmask over 5 labels, raw weight)
+    sn_millis: u16,        // in (0, 1000]
+    sp_extra: u16,         // sp = sn + extra, clamped to 1000
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        0u8..12,
+        proptest::collection::vec((1u8..32, 1u16..100), 1..4),
+        1u16..=1000,
+        0u16..=1000,
+    )
+        .prop_map(|(key, focal, sn_millis, sp_extra)| Row { key, focal, sn_millis, sp_extra })
+}
+
+fn build_relation(name: &str, rows: &[Row]) -> ExtendedRelation {
+    let schema = schema(name);
+    let dom = domain();
+    let mut builder = RelationBuilder::new(schema);
+    let mut seen = std::collections::HashSet::new();
+    for row in rows {
+        if !seen.insert(row.key) {
+            continue; // unique keys
+        }
+        let total: u32 = row.focal.iter().map(|(_, w)| *w as u32).sum();
+        // Deduplicate masks, accumulating weights.
+        let mut acc: std::collections::HashMap<u8, u32> = std::collections::HashMap::new();
+        for (mask, w) in &row.focal {
+            *acc.entry(*mask).or_insert(0) += *w as u32;
+        }
+        let entries: Vec<(Vec<Value>, f64)> = acc
+            .into_iter()
+            .map(|(mask, w)| {
+                let vals: Vec<Value> = (0..5)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| Value::str(LABELS[i as usize]))
+                    .collect();
+                (vals, w as f64 / total as f64)
+            })
+            .collect();
+        let sn = row.sn_millis as f64 / 1000.0;
+        let sp = ((row.sn_millis + row.sp_extra).min(1000)) as f64 / 1000.0;
+        let dom2 = Arc::clone(&dom);
+        builder = builder
+            .tuple(move |t| {
+                let mut t = t.set_str("k", format!("key-{}", row.key));
+                // Assemble the evidence via the raw mass builder to
+                // allow multi-label focal sets.
+                let mut mb = evirel_evidence::MassFunction::<f64>::builder(Arc::clone(
+                    dom2.frame(),
+                ));
+                for (vals, w) in &entries {
+                    let set = dom2.subset_of_values(vals.iter()).unwrap();
+                    mb = mb.add_set(set, *w).unwrap();
+                }
+                let mass = mb.build().unwrap();
+                t = t.set("d", evirel_relation::AttrValue::Evidential(mass));
+                t.membership(SupportPair::new(sn, sp).unwrap())
+            })
+            .unwrap();
+    }
+    builder.build()
+}
+
+fn rel_strategy(name: &'static str) -> impl Strategy<Value = ExtendedRelation> {
+    proptest::collection::vec(row_strategy(), 0..8).prop_map(move |rows| build_relation(name, &rows))
+}
+
+fn some_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        Just(Predicate::is("d", ["v0"])),
+        Just(Predicate::is("d", ["v1", "v2"])),
+        Just(Predicate::is("d", ["v0"]).and(Predicate::is("d", ["v0", "v3"]))),
+        Just(Predicate::theta(
+            Operand::attr("d"),
+            ThetaOp::Ge,
+            Operand::value("v2")
+        )),
+        Just(Predicate::theta(
+            Operand::attr("d"),
+            ThetaOp::Lt,
+            Operand::value("v3")
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closure_select(rel in rel_strategy("A"), pred in some_predicate()) {
+        let out = select(&rel, &pred, &Threshold::POSITIVE).unwrap();
+        prop_assert!(satisfies_closure(&out));
+        prop_assert!(out.validate().is_ok());
+    }
+
+    #[test]
+    fn closure_union(a in rel_strategy("A"), b in rel_strategy("B")) {
+        if let Ok(out) = union_extended(&a, &b) {
+            prop_assert!(satisfies_closure(&out.relation));
+            prop_assert!(out.relation.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn closure_project(rel in rel_strategy("A")) {
+        let out = project(&rel, &["k", "d"]).unwrap();
+        prop_assert!(satisfies_closure(&out));
+    }
+
+    #[test]
+    fn boundedness_select(rel in rel_strategy("A"), pred in some_predicate()) {
+        prop_assert!(check_boundedness_unary(
+            |r| select(r, &pred, &Threshold::POSITIVE),
+            &rel
+        ).unwrap());
+    }
+
+    #[test]
+    fn boundedness_project(rel in rel_strategy("A")) {
+        prop_assert!(check_boundedness_unary(|r| project(r, &["k", "d"]), &rel).unwrap());
+    }
+
+    #[test]
+    fn boundedness_union(a in rel_strategy("A"), b in rel_strategy("B")) {
+        let result = check_boundedness_binary(
+            |l, r| Ok(union_extended(l, r)?.relation),
+            &a,
+            &b,
+        );
+        match result {
+            Ok(ok) => prop_assert!(ok),
+            // Total conflict aborts both runs identically; nothing to compare.
+            Err(evirel_algebra::AlgebraError::TotalConflict { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn union_commutative(a in rel_strategy("A"), b in rel_strategy("B")) {
+        match (union_extended(&a, &b), union_extended(&b, &a)) {
+            (Ok(x), Ok(y)) => prop_assert!(x.relation.approx_eq(&y.relation)),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "conflict asymmetry"),
+        }
+    }
+
+    #[test]
+    fn union_associative(
+        a in rel_strategy("A"),
+        b in rel_strategy("B"),
+        c in rel_strategy("C"),
+    ) {
+        let left = union_extended(&a, &b)
+            .and_then(|ab| union_extended(&ab.relation, &c));
+        let right = union_extended(&b, &c)
+            .and_then(|bc| union_extended(&a, &bc.relation));
+        if let (Ok(l), Ok(r)) = (left, right) {
+            // Compare membership and evidence per key with a looser
+            // tolerance: three chained f64 normalizations.
+            for (key, t) in l.relation.iter_keyed() {
+                let o = r.relation.get_by_key(&key);
+                prop_assert!(o.is_some(), "key {key:?} missing on one side");
+                let o = o.unwrap();
+                prop_assert!((t.membership().sn() - o.membership().sn()).abs() < 1e-6);
+                prop_assert!((t.membership().sp() - o.membership().sp()).abs() < 1e-6);
+            }
+            prop_assert_eq!(l.relation.len(), r.relation.len());
+        }
+    }
+
+    #[test]
+    fn product_and_join_closure(a in rel_strategy("A"), b in rel_strategy("B")) {
+        // Disambiguate attribute names for the product.
+        let b = evirel_algebra::rename::rename_relation(&b, "B2");
+        let b = evirel_algebra::rename::rename_attribute(&b, "k", "k2").unwrap();
+        let b = evirel_algebra::rename::rename_attribute(&b, "d", "d2").unwrap();
+        let p = product(&a, &b).unwrap();
+        prop_assert!(satisfies_closure(&p));
+        let j = join(
+            &a,
+            &b,
+            &Predicate::theta(Operand::attr("k"), ThetaOp::Eq, Operand::attr("k2")),
+            &Threshold::POSITIVE,
+        ).unwrap();
+        prop_assert!(satisfies_closure(&j));
+        // The equi-join on keys can never exceed the smaller operand.
+        prop_assert!(j.len() <= a.len().min(b.len()));
+    }
+
+    /// Selection monotonicity: a stricter threshold never admits more
+    /// tuples.
+    #[test]
+    fn threshold_monotonicity(rel in rel_strategy("A"), pred in some_predicate()) {
+        let loose = select(&rel, &pred, &Threshold::POSITIVE).unwrap();
+        let tight = select(&rel, &pred, &Threshold::SnAtLeast(0.5)).unwrap();
+        let definite = select(&rel, &pred, &Threshold::Definite).unwrap();
+        prop_assert!(tight.len() <= loose.len());
+        prop_assert!(definite.len() <= tight.len());
+        for (key, _) in tight.iter_keyed() {
+            prop_assert!(loose.contains_key(&key));
+        }
+    }
+
+    /// Selection support is bounded by the original membership:
+    /// F_TM can only shrink (sn, sp).
+    #[test]
+    fn selection_shrinks_membership(rel in rel_strategy("A"), pred in some_predicate()) {
+        let out = select(&rel, &pred, &Threshold::POSITIVE).unwrap();
+        for (key, t) in out.iter_keyed() {
+            let orig = rel.get_by_key(&key).unwrap();
+            prop_assert!(t.membership().sn() <= orig.membership().sn() + 1e-9);
+            prop_assert!(t.membership().sp() <= orig.membership().sp() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Dayal's aggregate-function resolution (VLDB 1983).
+//!
+//! Conflicting *numeric* attribute values are resolved by an aggregate
+//! function over the conflicting instances — e.g. the integrated
+//! salary is the average of the source salaries. The paper positions
+//! this as complementary to the evidential approach: usable when
+//! values are numeric and definite, inapplicable to non-numeric or
+//! uncertain values (which is where evidence sets take over). Both can
+//! coexist as attribute integration methods in the framework, and the
+//! integration layer's method registry does exactly that.
+
+use evirel_relation::Value;
+use std::fmt;
+
+/// The aggregate used to resolve a numeric conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AggregateFn {
+    /// Arithmetic mean (Dayal's canonical example).
+    #[default]
+    Average,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// First source wins (a degenerate but common policy).
+    First,
+}
+
+impl AggregateFn {
+    /// Resolve a non-empty slice of numeric values.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn resolve(&self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(match self {
+            AggregateFn::Average => values.iter().sum::<f64>() / values.len() as f64,
+            AggregateFn::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregateFn::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggregateFn::Sum => values.iter().sum(),
+            AggregateFn::First => values[0],
+        })
+    }
+
+    /// Resolve two relational [`Value`]s; only numeric kinds are
+    /// resolvable (the paper's point about the method's scope).
+    pub fn resolve_values(&self, a: &Value, b: &Value) -> Option<Value> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => {
+                let out = self.resolve(&[*x as f64, *y as f64])?;
+                // Integer aggregates that stay integral remain Int.
+                if (out.fract()).abs() < f64::EPSILON {
+                    Some(Value::Int(out as i64))
+                } else {
+                    Some(Value::Float(out))
+                }
+            }
+            (Value::Float(x), Value::Float(y)) => Some(Value::Float(self.resolve(&[*x, *y])?)),
+            (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => {
+                Some(Value::Float(self.resolve(&[*x as f64, *y])?))
+            }
+            _ => None, // non-numeric: out of scope for Dayal's method
+        }
+    }
+
+    /// All variants, for sweeps.
+    pub const ALL: [AggregateFn; 5] = [
+        AggregateFn::Average,
+        AggregateFn::Min,
+        AggregateFn::Max,
+        AggregateFn::Sum,
+        AggregateFn::First,
+    ];
+}
+
+impl fmt::Display for AggregateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggregateFn::Average => "avg",
+            AggregateFn::Min => "min",
+            AggregateFn::Max => "max",
+            AggregateFn::Sum => "sum",
+            AggregateFn::First => "first",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_aggregates() {
+        let xs = [40_000.0, 44_000.0];
+        assert_eq!(AggregateFn::Average.resolve(&xs), Some(42_000.0));
+        assert_eq!(AggregateFn::Min.resolve(&xs), Some(40_000.0));
+        assert_eq!(AggregateFn::Max.resolve(&xs), Some(44_000.0));
+        assert_eq!(AggregateFn::Sum.resolve(&xs), Some(84_000.0));
+        assert_eq!(AggregateFn::First.resolve(&xs), Some(40_000.0));
+        assert_eq!(AggregateFn::Average.resolve(&[]), None);
+    }
+
+    #[test]
+    fn value_level_resolution() {
+        let out = AggregateFn::Average
+            .resolve_values(&Value::int(10), &Value::int(20))
+            .unwrap();
+        assert_eq!(out, Value::int(15));
+        let out = AggregateFn::Average
+            .resolve_values(&Value::int(10), &Value::int(11))
+            .unwrap();
+        assert_eq!(out, Value::float(10.5));
+        let out = AggregateFn::Max
+            .resolve_values(&Value::float(1.5), &Value::int(2))
+            .unwrap();
+        assert_eq!(out, Value::float(2.0));
+    }
+
+    #[test]
+    fn non_numeric_out_of_scope() {
+        // Dayal's method cannot resolve string conflicts — the gap the
+        // evidential approach fills.
+        assert_eq!(
+            AggregateFn::Average.resolve_values(&Value::str("hunan"), &Value::str("sichuan")),
+            None
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        for f in AggregateFn::ALL {
+            assert!(!f.to_string().is_empty());
+        }
+        assert_eq!(AggregateFn::default(), AggregateFn::Average);
+    }
+}

@@ -1,0 +1,32 @@
+//! # evirel-baselines — executable versions of the prior approaches
+//!
+//! §1.3 of the paper relates the evidential approach to three earlier
+//! attribute-value-conflict resolution schemes. To make the comparison
+//! executable (for the `benches/baselines.rs` harness and the
+//! comparison example), each is implemented here against the same
+//! inputs the evidential pipeline consumes:
+//!
+//! * [`partial`] — **DeMichiel (1989)**: *partial values* — a set of
+//!   candidate values of which exactly one is correct; combination is
+//!   set intersection; queries return *true* tuples and *may-be*
+//!   tuples.
+//! * [`prob_partial`] — **Tseng, Chen & Yang (1992)**: *probabilistic
+//!   partial values* — probabilities on individual values (never on
+//!   subsets); extended selection filters on the probability of
+//!   satisfying the condition.
+//! * [`aggregate`] — **Dayal (1983)**: *aggregate functions* (avg,
+//!   min, max, …) over conflicting numeric attribute values.
+//! * [`compare`] — instrumentation: converts evidential inputs into
+//!   each baseline's representation, merges, and scores information
+//!   retention and failure modes, so the trade-offs the paper argues
+//!   qualitatively become measurable.
+
+pub mod aggregate;
+pub mod compare;
+pub mod partial;
+pub mod prob_partial;
+
+pub use aggregate::AggregateFn;
+pub use compare::{compare_merge, MergeComparison};
+pub use partial::{PartialValue, TriBool};
+pub use prob_partial::ProbValue;

@@ -1,0 +1,163 @@
+//! DeMichiel's partial values (IEEE TKDE 1989).
+//!
+//! A *partial value* is a set of candidate domain values of which
+//! exactly one is the true value. It is precisely an evidence set with
+//! a single focal element (all mass on one subset), so the evidential
+//! model strictly generalizes it — the paper's claim in §1.3, which
+//! [`PartialValue::from_evidence`] makes concrete by collapsing an
+//! evidence set to its core (losing the graded mass information).
+//!
+//! Combination is set intersection; an empty intersection is the
+//! conflict case. Queries classify tuples as *true* (candidates ⊆
+//! target) or *may-be* (candidates ∩ target ≠ ∅) — DeMichiel's
+//! two-result-set semantics, which the evidential model replaces with
+//! a single result set carrying `(sn, sp)`.
+
+use evirel_evidence::{FocalSet, MassFunction};
+use std::fmt;
+
+/// DeMichiel's three-valued selection status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriBool {
+    /// The tuple definitely satisfies the condition.
+    True,
+    /// The tuple may satisfy the condition.
+    MayBe,
+    /// The tuple definitely does not satisfy the condition.
+    False,
+}
+
+/// A partial value: a non-empty candidate set over a domain of `n`
+/// elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialValue {
+    candidates: FocalSet,
+}
+
+impl PartialValue {
+    /// Construct from a candidate set.
+    ///
+    /// Returns `None` for an empty set (not a valid partial value).
+    pub fn new(candidates: FocalSet) -> Option<PartialValue> {
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(PartialValue { candidates })
+        }
+    }
+
+    /// A definite value.
+    pub fn definite(index: usize) -> PartialValue {
+        PartialValue { candidates: FocalSet::singleton(index) }
+    }
+
+    /// Collapse an evidence set to a partial value: the candidate set
+    /// is the *core* (union of focal elements). This is lossy — all
+    /// mass information is discarded — which is exactly the gap the
+    /// evidential model closes.
+    pub fn from_evidence(m: &MassFunction<f64>) -> PartialValue {
+        PartialValue { candidates: m.core() }
+    }
+
+    /// The candidate set.
+    pub fn candidates(&self) -> &FocalSet {
+        &self.candidates
+    }
+
+    /// Number of candidates (1 = definite).
+    pub fn cardinality(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` if only one candidate remains.
+    pub fn is_definite(&self) -> bool {
+        self.cardinality() == 1
+    }
+
+    /// DeMichiel combination: set intersection. `None` signals
+    /// conflict (no common candidate) — the analogue of κ = 1.
+    pub fn combine(&self, other: &PartialValue) -> Option<PartialValue> {
+        PartialValue::new(self.candidates.intersect(&other.candidates))
+    }
+
+    /// Selection status against a target set (`A is C`).
+    pub fn select_status(&self, target: &FocalSet) -> TriBool {
+        if self.candidates.is_subset_of(target) {
+            TriBool::True
+        } else if self.candidates.intersects(target) {
+            TriBool::MayBe
+        } else {
+            TriBool::False
+        }
+    }
+}
+
+impl fmt::Display for PartialValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partial{:?}", self.candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_evidence::Frame;
+    use std::sync::Arc;
+
+    fn set(v: &[usize]) -> FocalSet {
+        FocalSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn construction() {
+        assert!(PartialValue::new(FocalSet::empty()).is_none());
+        let pv = PartialValue::new(set(&[1, 2])).unwrap();
+        assert_eq!(pv.cardinality(), 2);
+        assert!(!pv.is_definite());
+        assert!(PartialValue::definite(3).is_definite());
+    }
+
+    #[test]
+    fn combination_is_intersection() {
+        let a = PartialValue::new(set(&[0, 1, 2])).unwrap();
+        let b = PartialValue::new(set(&[1, 2, 3])).unwrap();
+        let c = a.combine(&b).unwrap();
+        assert_eq!(c.candidates(), &set(&[1, 2]));
+        // Conflict: disjoint candidate sets.
+        let d = PartialValue::new(set(&[5])).unwrap();
+        assert!(a.combine(&d).is_none());
+    }
+
+    #[test]
+    fn selection_statuses() {
+        let pv = PartialValue::new(set(&[1, 2])).unwrap();
+        assert_eq!(pv.select_status(&set(&[0, 1, 2, 3])), TriBool::True);
+        assert_eq!(pv.select_status(&set(&[2, 3])), TriBool::MayBe);
+        assert_eq!(pv.select_status(&set(&[4])), TriBool::False);
+    }
+
+    #[test]
+    fn from_evidence_takes_core() {
+        let frame = Arc::new(Frame::new("f", ["a", "b", "c", "d"]));
+        let m = MassFunction::<f64>::builder(Arc::clone(&frame))
+            .add(["a"], 0.6)
+            .unwrap()
+            .add(["b", "c"], 0.4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let pv = PartialValue::from_evidence(&m);
+        assert_eq!(pv.candidates(), &set(&[0, 1, 2]));
+        // The graded information (0.6 vs 0.4) is gone — only the
+        // support is left. This is the §1.3 generalization claim.
+    }
+
+    #[test]
+    fn definite_evidence_roundtrips() {
+        let frame = Arc::new(Frame::new("f", ["a", "b"]));
+        let m = MassFunction::<f64>::certain(frame, "b").unwrap();
+        let pv = PartialValue::from_evidence(&m);
+        assert!(pv.is_definite());
+        assert_eq!(pv.candidates(), &set(&[1]));
+    }
+}

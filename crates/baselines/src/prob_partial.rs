@@ -1,0 +1,211 @@
+//! Tseng, Chen & Yang's probabilistic partial values (1992).
+//!
+//! Possible values of an attribute are listed with probabilities —
+//! crucially, probabilities attach only to *individual* values, never
+//! to subsets (the expressiveness gap §1.3 highlights against both the
+//! evidential model and Barbará et al.'s PDM). Extended selection
+//! filters tuples on the probability that they satisfy the condition.
+//!
+//! Tseng et al. assume sources may be *inconsistent* and their
+//! combination retains the inconsistency; we provide both their
+//! source-averaging combination ([`ProbValue::combine_mixing`]) and
+//! the consistent-sources Bayesian product
+//! ([`ProbValue::combine_bayes`]) for comparison against Dempster's
+//! rule.
+
+use evirel_evidence::{transform, FocalSet, MassFunction};
+use std::fmt;
+
+/// A probability distribution over individual domain values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbValue {
+    /// `(element index, probability)`, sorted by index, probabilities
+    /// summing to 1.
+    dist: Vec<(usize, f64)>,
+}
+
+impl ProbValue {
+    /// Construct from `(index, probability)` pairs; normalizes, drops
+    /// non-positive entries. Returns `None` when nothing positive
+    /// remains.
+    pub fn new(entries: impl IntoIterator<Item = (usize, f64)>) -> Option<ProbValue> {
+        let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for (i, p) in entries {
+            if p > 0.0 && p.is_finite() {
+                *acc.entry(i).or_insert(0.0) += p;
+            }
+        }
+        let total: f64 = acc.values().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(ProbValue {
+            dist: acc.into_iter().map(|(i, p)| (i, p / total)).collect(),
+        })
+    }
+
+    /// A definite value.
+    pub fn definite(index: usize) -> ProbValue {
+        ProbValue { dist: vec![(index, 1.0)] }
+    }
+
+    /// Flatten an evidence set to a probabilistic partial value via
+    /// the pignistic transform — the canonical lossy projection from
+    /// mass-on-subsets to mass-on-points. (Tseng's model simply cannot
+    /// represent `m({hunan, sichuan}) = 1/3` without committing to a
+    /// split.)
+    pub fn from_evidence(m: &MassFunction<f64>) -> ProbValue {
+        let probs = transform::pignistic(m).expect("f64 arithmetic is total");
+        ProbValue::new(probs.into_iter().enumerate())
+            .expect("pignistic output is a distribution")
+    }
+
+    /// The distribution entries.
+    pub fn dist(&self) -> &[(usize, f64)] {
+        &self.dist
+    }
+
+    /// Probability of a specific element.
+    pub fn prob_of(&self, index: usize) -> f64 {
+        self.dist
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    /// Probability that the value lies in `target` — Tseng's
+    /// selection certainty.
+    pub fn prob_in(&self, target: &FocalSet) -> f64 {
+        self.dist
+            .iter()
+            .filter(|(i, _)| target.contains(*i))
+            .map(|(_, p)| *p)
+            .sum()
+    }
+
+    /// Source-averaging combination (Tseng et al.: inconsistent
+    /// sources are retained, weighted equally). Never fails.
+    pub fn combine_mixing(&self, other: &ProbValue) -> ProbValue {
+        let entries = self
+            .dist
+            .iter()
+            .map(|(i, p)| (*i, p / 2.0))
+            .chain(other.dist.iter().map(|(i, p)| (*i, p / 2.0)));
+        ProbValue::new(entries).expect("mixing of distributions is a distribution")
+    }
+
+    /// Bayesian product combination for consistent independent
+    /// sources; `None` on total conflict (disjoint supports) — the
+    /// Bayesian analogue of κ = 1.
+    pub fn combine_bayes(&self, other: &ProbValue) -> Option<ProbValue> {
+        let entries: Vec<(usize, f64)> = self
+            .dist
+            .iter()
+            .map(|(i, p)| (*i, p * other.prob_of(*i)))
+            .filter(|(_, p)| *p > 0.0)
+            .collect();
+        ProbValue::new(entries)
+    }
+
+    /// Shannon entropy (nats) — the information-retention metric used
+    /// by the comparison harness.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .dist
+            .iter()
+            .map(|(_, p)| if *p > 0.0 { p * p.ln() } else { 0.0 })
+            .sum::<f64>()
+    }
+}
+
+impl fmt::Display for ProbValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prob[")?;
+        for (k, (i, p)) in self.dist.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}:{p:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_evidence::Frame;
+    use std::sync::Arc;
+
+    fn set(v: &[usize]) -> FocalSet {
+        FocalSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let pv = ProbValue::new([(0, 2.0), (1, 2.0)]).unwrap();
+        assert!((pv.prob_of(0) - 0.5).abs() < 1e-12);
+        assert!(ProbValue::new([(0, 0.0)]).is_none());
+        assert!(ProbValue::new([(0, -1.0)]).is_none());
+        // Duplicate indices accumulate.
+        let pv = ProbValue::new([(0, 1.0), (0, 1.0), (1, 2.0)]).unwrap();
+        assert!((pv.prob_of(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_probability() {
+        let pv = ProbValue::new([(0, 0.5), (1, 0.3), (2, 0.2)]).unwrap();
+        assert!((pv.prob_in(&set(&[0, 1])) - 0.8).abs() < 1e-12);
+        assert_eq!(pv.prob_in(&set(&[7])), 0.0);
+    }
+
+    #[test]
+    fn mixing_averages() {
+        let a = ProbValue::definite(0);
+        let b = ProbValue::definite(1);
+        let m = a.combine_mixing(&b);
+        assert!((m.prob_of(0) - 0.5).abs() < 1e-12);
+        assert!((m.prob_of(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bayes_products_and_conflicts() {
+        let a = ProbValue::new([(0, 0.6), (1, 0.4)]).unwrap();
+        let b = ProbValue::new([(0, 0.5), (1, 0.5)]).unwrap();
+        let c = a.combine_bayes(&b).unwrap();
+        // 0.3 vs 0.2 → 0.6 vs 0.4.
+        assert!((c.prob_of(0) - 0.6).abs() < 1e-12);
+        // Disjoint supports conflict.
+        let d = ProbValue::definite(5);
+        assert!(a.combine_bayes(&d).is_none());
+    }
+
+    #[test]
+    fn from_evidence_uses_pignistic() {
+        let frame = Arc::new(Frame::new("f", ["a", "b", "c"]));
+        let m = MassFunction::<f64>::builder(frame)
+            .add(["a"], 0.5)
+            .unwrap()
+            .add(["b", "c"], 0.5)
+            .unwrap()
+            .build()
+            .unwrap();
+        let pv = ProbValue::from_evidence(&m);
+        assert!((pv.prob_of(0) - 0.5).abs() < 1e-12);
+        assert!((pv.prob_of(1) - 0.25).abs() < 1e-12);
+        assert!((pv.prob_of(2) - 0.25).abs() < 1e-12);
+        // The subset structure ({b,c} vs. b and c independently) is
+        // lost — Tseng's model cannot state "b or c but not sure which
+        // with joint mass".
+    }
+
+    #[test]
+    fn entropy() {
+        let uniform = ProbValue::new([(0, 0.5), (1, 0.5)]).unwrap();
+        let point = ProbValue::definite(0);
+        assert!(uniform.entropy() > point.entropy());
+        assert!((point.entropy() - 0.0).abs() < 1e-12);
+        assert!((uniform.entropy() - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Merge-approach comparison: evidential (Dempster) vs. DeMichiel
+//! partial values vs. Tseng probabilistic partial values — the
+//! executable version of the paper's §1.3 comparison.
+//!
+//! Timing aside, the interesting signal (information retention and
+//! conflict-failure rates) is printed once per run by the
+//! `conflict_analysis` example; here we measure raw merge throughput
+//! over identical inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_baselines::{PartialValue, ProbValue};
+use evirel_evidence::combine;
+use evirel_relation::Value;
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use std::hint::black_box;
+
+type MassPairs = Vec<(evirel_evidence::MassFunction<f64>, evirel_evidence::MassFunction<f64>)>;
+
+/// Matched evidence pairs drawn from the generator (one per shared
+/// key).
+fn matched_pairs(tuples: usize, conflict_bias: f64) -> MassPairs {
+    let (a, b) = generate_pair(&PairConfig {
+        base: GeneratorConfig { tuples, evidential_attrs: 1, ..Default::default() },
+        key_overlap: 1.0,
+        conflict_bias,
+    })
+    .expect("valid config");
+    a.iter_keyed()
+        .filter_map(|(key, ta)| {
+            let tb = b.get_by_key(&key)?;
+            Some((
+                ta.value(1).as_evidential()?.clone(),
+                tb.value(1).as_evidential()?.clone(),
+            ))
+        })
+        .collect()
+}
+
+fn bench_merge_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/merge-throughput");
+    let pairs = matched_pairs(2000, 0.0);
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+
+    group.bench_function("evidential-dempster", |bench| {
+        bench.iter(|| {
+            let mut survived = 0usize;
+            for (a, b) in &pairs {
+                if combine::dempster(black_box(a), black_box(b)).is_ok() {
+                    survived += 1;
+                }
+            }
+            survived
+        })
+    });
+
+    group.bench_function("demichiel-partial", |bench| {
+        bench.iter(|| {
+            let mut survived = 0usize;
+            for (a, b) in &pairs {
+                let pa = PartialValue::from_evidence(black_box(a));
+                let pb = PartialValue::from_evidence(black_box(b));
+                if pa.combine(&pb).is_some() {
+                    survived += 1;
+                }
+            }
+            survived
+        })
+    });
+
+    group.bench_function("tseng-prob-bayes", |bench| {
+        bench.iter(|| {
+            let mut survived = 0usize;
+            for (a, b) in &pairs {
+                let pa = ProbValue::from_evidence(black_box(a));
+                let pb = ProbValue::from_evidence(black_box(b));
+                if pa.combine_bayes(&pb).is_some() {
+                    survived += 1;
+                }
+            }
+            survived
+        })
+    });
+
+    group.bench_function("tseng-prob-mixing", |bench| {
+        bench.iter(|| {
+            for (a, b) in &pairs {
+                let pa = ProbValue::from_evidence(black_box(a));
+                let pb = ProbValue::from_evidence(black_box(b));
+                black_box(pa.combine_mixing(&pb));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_conflict_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/conflict-sweep");
+    for bias in [0.0f64, 0.5, 1.0] {
+        let pairs = matched_pairs(500, bias);
+        group.bench_with_input(
+            BenchmarkId::new("dempster", format!("{bias:.1}")),
+            &pairs,
+            |bench, pairs| {
+                bench.iter(|| {
+                    pairs
+                        .iter()
+                        .filter(|(a, b)| combine::dempster(a, b).is_ok())
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Dayal aggregates resolve numeric definite conflicts; measured on
+/// plain numeric pairs for completeness of the §1.3 comparison.
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/dayal-aggregate");
+    let values: Vec<(Value, Value)> = (0..2000)
+        .map(|i| (Value::int(i), Value::int(i * 2 + 1)))
+        .collect();
+    for f in evirel_baselines::AggregateFn::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(f.to_string()), &f, |bench, f| {
+            bench.iter(|| {
+                values
+                    .iter()
+                    .filter_map(|(a, b)| f.resolve_values(black_box(a), black_box(b)))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_merge_throughput, bench_conflict_sensitivity, bench_aggregates
+}
+criterion_main!(benches);

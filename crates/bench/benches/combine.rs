@@ -1,0 +1,164 @@
+//! Dempster-combination microbenchmarks.
+//!
+//! The 1994 paper reports no wall-clock numbers; these benches
+//! document the algorithmic cost profile of the combination engine:
+//! scaling in focal-element count and domain size, the relative cost
+//! of the alternative rules, and the effect of the summarization
+//! approximation on long combination chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_evidence::{approx, combine, rules::CombinationRule, Frame, MassFunction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn frame(size: usize) -> Arc<Frame> {
+    Arc::new(Frame::new("bench", (0..size).map(|i| format!("v{i}"))))
+}
+
+/// A random normalized mass function with `focal` focal elements over
+/// a frame of `domain` values. `omega` reserves an ignorance floor,
+/// which guarantees κ < 1 in arbitrarily long combination chains.
+fn random_mass_with_omega(
+    rng: &mut StdRng,
+    frame: &Arc<Frame>,
+    focal: usize,
+    omega: f64,
+) -> MassFunction<f64> {
+    let n = frame.len();
+    let mut sets = Vec::with_capacity(focal);
+    while sets.len() < focal {
+        let size = rng.gen_range(1..=3.min(n));
+        let set = evirel_evidence::FocalSet::from_indices(
+            (0..size).map(|_| rng.gen_range(0..n)),
+        );
+        if !sets.contains(&set) && set.len() < n {
+            sets.push(set);
+        }
+    }
+    let weights: Vec<f64> = (0..sets.len()).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let total: f64 = weights.iter().sum::<f64>() / (1.0 - omega);
+    let mut entries: Vec<(evirel_evidence::FocalSet, f64)> = sets
+        .into_iter()
+        .zip(weights.into_iter().map(|w| w / total))
+        .collect();
+    if omega > 0.0 {
+        entries.push((evirel_evidence::FocalSet::full(n), omega));
+    }
+    MassFunction::from_entries(Arc::clone(frame), entries)
+        .expect("normalized by construction")
+}
+
+fn random_mass(rng: &mut StdRng, frame: &Arc<Frame>, focal: usize) -> MassFunction<f64> {
+    random_mass_with_omega(rng, frame, focal, 0.0)
+}
+
+fn bench_focal_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dempster/focal-count");
+    let f = frame(64);
+    for focal in [2usize, 4, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_mass(&mut rng, &f, focal);
+        let b = random_mass(&mut rng, &f, focal);
+        group.throughput(Throughput::Elements((focal * focal) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(focal), &focal, |bench, _| {
+            bench.iter(|| combine::dempster(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_domain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dempster/domain-size");
+    for size in [8usize, 64, 256, 1024] {
+        let f = frame(size);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_mass(&mut rng, &f, 8);
+        let b = random_mass(&mut rng, &f, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| combine::dempster(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rules");
+    let f = frame(64);
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = random_mass(&mut rng, &f, 8);
+    let b = random_mass(&mut rng, &f, 8);
+    for rule in CombinationRule::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(rule.name()), &rule, |bench, rule| {
+            bench.iter(|| rule.combine(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// Chained combination of 16 sources, with and without focal-count
+/// capping — the ablation DESIGN.md calls out for the `max_focal`
+/// union option.
+fn bench_chain_with_summarization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dempster/chain16");
+    let f = frame(32);
+    let mut rng = StdRng::seed_from_u64(4);
+    // Chained sources must genuinely overlap: focal elements all
+    // contain a common core element, plus an Ω floor, so κ stays
+    // bounded away from 1 over the whole chain.
+    let sources: Vec<MassFunction<f64>> = (0..16)
+        .map(|_| {
+            let mut sets = Vec::new();
+            while sets.len() < 6 {
+                let size = rng.gen_range(1..=2);
+                let mut members = vec![0usize]; // common core element
+                for _ in 0..size {
+                    members.push(rng.gen_range(0..f.len()));
+                }
+                let set = evirel_evidence::FocalSet::from_indices(members);
+                if !sets.contains(&set) {
+                    sets.push(set);
+                }
+            }
+            let weights: Vec<f64> = (0..sets.len()).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let total: f64 = weights.iter().sum::<f64>() / 0.9;
+            let mut entries: Vec<(evirel_evidence::FocalSet, f64)> = sets
+                .into_iter()
+                .zip(weights.into_iter().map(|w| w / total))
+                .collect();
+            entries.push((evirel_evidence::FocalSet::full(f.len()), 0.1));
+            MassFunction::from_entries(Arc::clone(&f), entries).expect("normalized")
+        })
+        .collect();
+    for cap in [None, Some(4usize), Some(8), Some(16)] {
+        let name = cap.map_or("unbounded".to_owned(), |k| format!("cap{k}"));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cap, |bench, cap| {
+            bench.iter(|| {
+                let mut acc = sources[0].clone();
+                for s in &sources[1..] {
+                    acc = combine::dempster(&acc, s).expect("no total conflict").mass;
+                    if let Some(k) = cap {
+                        acc = approx::summarize(&acc, *k).expect("cap >= 1");
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_focal_scaling, bench_domain_scaling, bench_rules, bench_chain_with_summarization
+}
+criterion_main!(benches);

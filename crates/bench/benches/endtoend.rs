@@ -1,0 +1,96 @@
+//! End-to-end benchmarks: the full Figure 1 pipeline, query
+//! processing over the integrated catalog, paper-table regeneration,
+//! and storage round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_integrate::Integrator;
+use evirel_query::{execute, Catalog};
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use evirel_workload::{restaurant_db_a, restaurant_db_b};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend/pipeline");
+    for tuples in [100usize, 1000, 5000] {
+        let (a, b) = generate_pair(&PairConfig {
+            base: GeneratorConfig { tuples, ..Default::default() },
+            key_overlap: 0.5,
+            conflict_bias: 0.0,
+        })
+        .expect("valid config");
+        let integrator = Integrator::new(std::sync::Arc::clone(a.schema()));
+        group.throughput(Throughput::Elements(tuples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |bench, _| {
+            bench.iter(|| integrator.run(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend/query");
+    let mut catalog = Catalog::new();
+    catalog.register("ra", restaurant_db_a().restaurants);
+    catalog.register("rb", restaurant_db_b().restaurants);
+    for (name, query) in [
+        ("table2-select", "SELECT * FROM ra WHERE speciality IS {si} WITH SN > 0"),
+        (
+            "table3-compound",
+            "SELECT * FROM ra WHERE speciality IS {mu} AND rating IS {ex} WITH SN > 0",
+        ),
+        ("table4-union", "SELECT * FROM ra UNION rb"),
+        ("table5-project", "SELECT rname, phone, speciality, rating FROM ra"),
+        (
+            "union-select-project",
+            "SELECT rname, rating FROM ra UNION rb WHERE rating >= 'gd' WITH SN >= 0.5",
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &query, |bench, q| {
+            bench.iter(|| execute(black_box(&catalog), q));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend/parse");
+    let query = "SELECT rname, phone FROM ra UNION rb \
+                 WHERE speciality IS {si, hu} AND rating >= 'gd' OR NOT rating IS {avg} \
+                 WITH SN >= 0.25;";
+    group.bench_function("parse-complex", |bench| {
+        bench.iter(|| evirel_query::parse(black_box(query)));
+    });
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend/storage");
+    let rel = evirel_workload::generator::generate(
+        "S",
+        &GeneratorConfig { tuples: 2000, ..Default::default() },
+    )
+    .expect("valid config");
+    let text = evirel_storage::write_relation(&rel);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("write-2k", |bench| {
+        bench.iter(|| evirel_storage::write_relation(black_box(&rel)));
+    });
+    group.bench_function("read-2k", |bench| {
+        bench.iter(|| evirel_storage::read_relation(black_box(&text)).expect("round trip"));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline, bench_queries, bench_query_parsing, bench_storage
+}
+criterion_main!(benches);

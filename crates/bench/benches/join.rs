@@ -1,0 +1,98 @@
+//! Extended product and join benchmarks.
+//!
+//! The paper defines ⋈̃ as ×̃ followed by σ̃, which is quadratic; the
+//! benches document that cost shape and the effect of threshold
+//! pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_algebra::{join, product, rename, Operand, Predicate, ThetaOp, Threshold};
+use evirel_workload::generator::{generate, GeneratorConfig};
+use std::hint::black_box;
+
+fn pair(tuples: usize) -> (evirel_relation::ExtendedRelation, evirel_relation::ExtendedRelation) {
+    let base = GeneratorConfig { tuples, evidential_attrs: 1, ..Default::default() };
+    let a = generate("JA", &base).expect("valid config");
+    let b = generate("JB", &GeneratorConfig { seed: base.seed + 1, ..base })
+        .expect("valid config");
+    // Disambiguate attribute names for the product.
+    let b = rename::rename_attribute(&b, "k", "k2").expect("rename");
+    let b = rename::rename_attribute(&b, "e0", "f0").expect("rename");
+    (a, b)
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product/size");
+    for tuples in [30usize, 100, 300] {
+        let (a, b) = pair(tuples);
+        group.throughput(Throughput::Elements((tuples * tuples) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |bench, _| {
+            bench.iter(|| product(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_equijoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/equijoin");
+    for tuples in [30usize, 100, 300] {
+        let (a, b) = pair(tuples);
+        let pred = Predicate::theta(Operand::attr("k"), ThetaOp::Eq, Operand::attr("k2"));
+        group.throughput(Throughput::Elements((tuples * tuples) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |bench, _| {
+            bench.iter(|| join(black_box(&a), black_box(&b), &pred, &Threshold::POSITIVE));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evidential_join_condition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/evidential-condition");
+    let (a, b) = pair(100);
+    let crisp = Predicate::theta(Operand::attr("k"), ThetaOp::Eq, Operand::attr("k2"));
+    let fuzzy = crisp.clone().and(Predicate::theta(
+        Operand::attr("e0"),
+        ThetaOp::Le,
+        Operand::attr("f0"),
+    ));
+    group.bench_function("crisp-key-only", |bench| {
+        bench.iter(|| join(black_box(&a), black_box(&b), &crisp, &Threshold::POSITIVE))
+    });
+    group.bench_function("plus-evidential-theta", |bench| {
+        bench.iter(|| join(black_box(&a), black_box(&b), &fuzzy, &Threshold::POSITIVE))
+    });
+    group.finish();
+}
+
+fn bench_threshold_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join/threshold");
+    let (a, b) = pair(100);
+    let pred = Predicate::theta(Operand::attr("e0"), ThetaOp::Le, Operand::attr("f0"));
+    for (name, threshold) in [
+        ("sn>0", Threshold::POSITIVE),
+        ("sn>=0.5", Threshold::SnAtLeast(0.5)),
+        ("definite", Threshold::Definite),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &threshold,
+            |bench, threshold| {
+                bench.iter(|| join(black_box(&a), black_box(&b), &pred, threshold));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_product, bench_equijoin, bench_evidential_join_condition, bench_threshold_pruning
+}
+criterion_main!(benches);

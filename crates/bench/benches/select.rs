@@ -1,0 +1,104 @@
+//! Extended-selection benchmarks: predicate families and thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_algebra::{select, Operand, Predicate, ThetaOp, Threshold};
+use evirel_relation::Value;
+use evirel_workload::generator::{generate, GeneratorConfig};
+use std::hint::black_box;
+
+fn relation(tuples: usize) -> evirel_relation::ExtendedRelation {
+    generate("S", &GeneratorConfig { tuples, ..Default::default() })
+        .expect("generator config is valid")
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select/predicate");
+    let rel = relation(5000);
+    let is_pred = Predicate::is("e0", ["v0", "v1"]);
+    let theta_pred = Predicate::theta(Operand::attr("e0"), ThetaOp::Ge, Operand::value("v8"));
+    let compound = Predicate::is("e0", ["v0", "v1"])
+        .and(Predicate::is("e1", ["v2", "v3"]))
+        .and(Predicate::is("e2", ["v4"]));
+    let theta_attr_attr =
+        Predicate::theta(Operand::attr("e0"), ThetaOp::Le, Operand::attr("e1"));
+    for (name, pred) in [
+        ("is", &is_pred),
+        ("theta-value", &theta_pred),
+        ("compound-and3", &compound),
+        ("theta-attr-attr", &theta_attr_attr),
+    ] {
+        group.throughput(Throughput::Elements(rel.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pred, |bench, pred| {
+            bench.iter(|| select(black_box(&rel), pred, &Threshold::POSITIVE));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thresholds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select/threshold");
+    let rel = relation(5000);
+    let pred = Predicate::is("e0", ["v0", "v1", "v2"]);
+    for (name, threshold) in [
+        ("sn>0", Threshold::POSITIVE),
+        ("sn>=0.5", Threshold::SnAtLeast(0.5)),
+        ("definite", Threshold::Definite),
+        ("sp>=0.8", Threshold::SpAtLeastPositive(0.8)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &threshold,
+            |bench, threshold| {
+                bench.iter(|| select(black_box(&rel), &pred, threshold));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select/size");
+    let pred = Predicate::is("e0", ["v0"]);
+    for tuples in [100usize, 1000, 10_000] {
+        let rel = relation(tuples);
+        group.throughput(Throughput::Elements(tuples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |bench, _| {
+            bench.iter(|| select(black_box(&rel), &pred, &Threshold::POSITIVE));
+        });
+    }
+    group.finish();
+}
+
+/// Selection over definite key attributes (crisp path) for contrast
+/// with the evidential path.
+fn bench_definite_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select/definite-vs-evidential");
+    let rel = relation(5000);
+    let crisp = Predicate::theta(
+        Operand::attr("k"),
+        ThetaOp::Eq,
+        Operand::Value(Value::str("k42")),
+    );
+    let fuzzy = Predicate::is("e0", ["v0"]);
+    group.bench_function("definite-key-eq", |b| {
+        b.iter(|| select(black_box(&rel), &crisp, &Threshold::POSITIVE))
+    });
+    group.bench_function("evidential-is", |b| {
+        b.iter(|| select(black_box(&rel), &fuzzy, &Threshold::POSITIVE))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_predicates, bench_thresholds, bench_size_scaling, bench_definite_path
+}
+criterion_main!(benches);

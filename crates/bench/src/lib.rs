@@ -1,0 +1,170 @@
+//! # evirel-bench — expected paper values and reproduction checks
+//!
+//! The expected numbers from every table and worked example of
+//! Lim, Srivastava & Shekhar (ICDE 1994), plus checker functions the
+//! `repro_tables` binary and the integration tests share. Values are
+//! stated exactly as derivable from Dempster's rule (the paper prints
+//! 3-decimal roundings of these).
+
+pub mod expected;
+
+pub use expected::*;
+
+use evirel_algebra::{select, union_extended, Predicate, Threshold};
+use evirel_relation::{ExtendedRelation, Value};
+use evirel_workload::{restaurant_db_a, restaurant_db_b};
+
+/// Tolerance used when comparing measured f64 values against the
+/// exact expectations.
+pub const TOL: f64 = 1e-9;
+
+/// One per-cell check result.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What was checked, e.g. `"garden.speciality[si]"`.
+    pub label: String,
+    /// Expected value.
+    pub expected: f64,
+    /// Measured value.
+    pub measured: f64,
+}
+
+impl Check {
+    /// `true` when measured matches expected within [`TOL`].
+    pub fn passes(&self) -> bool {
+        (self.expected - self.measured).abs() < TOL
+    }
+}
+
+/// Compute the paper's Table 2: σ̃_{sn>0, speciality is {si}}(R_A).
+pub fn compute_table2() -> ExtendedRelation {
+    let ra = restaurant_db_a().restaurants;
+    select(&ra, &Predicate::is("speciality", ["si"]), &Threshold::POSITIVE)
+        .expect("table 2 selection")
+}
+
+/// Compute the paper's Table 3:
+/// σ̃_{sn>0, (speciality is {mu}) ∧ (rating is {ex})}(R_A).
+pub fn compute_table3() -> ExtendedRelation {
+    let ra = restaurant_db_a().restaurants;
+    select(
+        &ra,
+        &Predicate::is("speciality", ["mu"]).and(Predicate::is("rating", ["ex"])),
+        &Threshold::POSITIVE,
+    )
+    .expect("table 3 selection")
+}
+
+/// Compute the paper's Table 4: R_A ∪̃_(rname) R_B.
+pub fn compute_table4() -> ExtendedRelation {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    union_extended(&ra, &rb).expect("table 4 union").relation
+}
+
+/// Compute the paper's Table 5:
+/// π̃_{rname, phone, speciality, rating, (sn,sp)}(R_A).
+pub fn compute_table5() -> ExtendedRelation {
+    let ra = restaurant_db_a().restaurants;
+    evirel_algebra::project(&ra, &["rname", "phone", "speciality", "rating"])
+        .expect("table 5 projection")
+}
+
+/// Extract the mass of a (speciality/best-dish/rating) focal set from
+/// a relation cell, by attribute name and labels.
+pub fn mass_in(rel: &ExtendedRelation, key: &str, attr: &str, labels: &[&str]) -> f64 {
+    let tuple = rel
+        .get_by_key(&[Value::str(key)])
+        .unwrap_or_else(|| panic!("tuple {key} missing"));
+    let pos = rel.schema().position(attr).expect("attribute exists");
+    let m = tuple
+        .value(pos)
+        .as_evidential()
+        .unwrap_or_else(|| panic!("{key}.{attr} is not evidential"));
+    let domain = rel.schema().attr(pos).ty().domain().expect("evidential");
+    if labels == ["Ω"] {
+        return m.mass_of(&domain.frame().omega());
+    }
+    let values: Vec<Value> = labels.iter().map(|l| Value::str(*l)).collect();
+    let set = domain
+        .subset_of_values(values.iter())
+        .expect("labels in domain");
+    m.mass_of(&set)
+}
+
+/// Membership pair of a keyed tuple.
+pub fn membership_of(rel: &ExtendedRelation, key: &str) -> (f64, f64) {
+    let t = rel
+        .get_by_key(&[Value::str(key)])
+        .unwrap_or_else(|| panic!("tuple {key} missing"));
+    (t.membership().sn(), t.membership().sp())
+}
+
+/// Run every expectation of one table against a computed relation.
+pub fn check_table(
+    computed: &ExtendedRelation,
+    cells: &[ExpectedCell],
+    memberships: &[ExpectedMembership],
+) -> Vec<Check> {
+    let mut out = Vec::new();
+    for cell in cells {
+        out.push(Check {
+            label: format!("{}.{}{:?}", cell.key, cell.attr, cell.labels),
+            expected: cell.mass,
+            measured: mass_in(computed, cell.key, cell.attr, cell.labels),
+        });
+    }
+    for m in memberships {
+        let (sn, sp) = membership_of(computed, m.key);
+        out.push(Check {
+            label: format!("{}.(sn)", m.key),
+            expected: m.sn,
+            measured: sn,
+        });
+        out.push(Check {
+            label: format!("{}.(sp)", m.key),
+            expected: m.sp,
+            measured: sp,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_table_checks_pass() {
+        for (cells, members, compute) in [
+            (
+                expected::TABLE2_CELLS,
+                expected::TABLE2_MEMBERSHIP,
+                compute_table2 as fn() -> ExtendedRelation,
+            ),
+            (expected::TABLE3_CELLS, expected::TABLE3_MEMBERSHIP, compute_table3),
+            (expected::TABLE4_CELLS, expected::TABLE4_MEMBERSHIP, compute_table4),
+            (expected::TABLE5_CELLS, expected::TABLE5_MEMBERSHIP, compute_table5),
+        ] {
+            let rel = compute();
+            for check in check_table(&rel, cells, members) {
+                assert!(
+                    check.passes(),
+                    "{}: expected {}, measured {}",
+                    check.label,
+                    check.expected,
+                    check.measured
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_shapes() {
+        assert_eq!(compute_table2().len(), 2);
+        assert_eq!(compute_table3().len(), 2);
+        assert_eq!(compute_table4().len(), 6);
+        assert_eq!(compute_table5().len(), 6);
+        assert_eq!(compute_table5().schema().arity(), 4);
+    }
+}

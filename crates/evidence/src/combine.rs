@@ -1,0 +1,311 @@
+//! Dempster's rule of combination (§2.2 of the paper).
+//!
+//! Given two mass functions `m1`, `m2` over the same frame, the
+//! combined mass is
+//!
+//! ```text
+//! m1 ⊕ m2 (Z) = Σ_{X ∩ Y = Z} m1(X)·m2(Y) / (1 − κ)
+//! κ           = Σ_{X ∩ Y = ∅} m1(X)·m2(Y)
+//! ```
+//!
+//! κ is the *conflict* between the sources. When κ = 1 the sources
+//! share no common focal element and the rule is undefined; the paper
+//! requires this case to be reported to the data administrators, which
+//! we model as [`EvidenceError::TotalConflict`].
+//!
+//! The rule is commutative and associative (checked by property tests),
+//! so the order of combining evidence from many databases is
+//! irrelevant — the basis for the extended union's correctness.
+
+use crate::error::EvidenceError;
+use crate::focal::FocalSet;
+use crate::mass::MassFunction;
+use crate::weight::Weight;
+use std::collections::HashMap;
+
+/// The result of a combination: the normalized mass function and the
+/// conflict mass κ observed during the combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Combination<W: Weight> {
+    /// `m1 ⊕ m2`, normalized.
+    pub mass: MassFunction<W>,
+    /// The conflict κ ∈ [0, 1).
+    pub conflict: W,
+}
+
+/// Accumulate the unnormalized conjunctive combination and the
+/// conflict mass. Shared by Dempster's rule and the alternative rules.
+pub(crate) fn conjunctive_raw<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<(HashMap<FocalSet, W>, W), EvidenceError> {
+    if a.frame() != b.frame() {
+        return Err(EvidenceError::FrameMismatch {
+            left: a.frame().name().to_owned(),
+            right: b.frame().name().to_owned(),
+        });
+    }
+    let mut acc: HashMap<FocalSet, W> = HashMap::with_capacity(a.focal_count() * b.focal_count());
+    let mut conflict = W::zero();
+    for (x, wx) in a.iter() {
+        for (y, wy) in b.iter() {
+            let product = wx.mul(wy)?;
+            if product.is_zero() {
+                continue;
+            }
+            let z = x.intersect(y);
+            if z.is_empty() {
+                conflict = conflict.add(&product)?;
+            } else {
+                match acc.get_mut(&z) {
+                    Some(w) => *w = w.add(&product)?,
+                    None => {
+                        acc.insert(z, product);
+                    }
+                }
+            }
+        }
+    }
+    Ok((acc, conflict))
+}
+
+/// Combine two mass functions with Dempster's rule.
+///
+/// # Errors
+/// * [`EvidenceError::FrameMismatch`] if the frames differ;
+/// * [`EvidenceError::TotalConflict`] if κ = 1.
+pub fn dempster<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<Combination<W>, EvidenceError> {
+    let (acc, conflict) = conjunctive_raw(a, b)?;
+    if acc.is_empty() || conflict.approx_eq(&W::one()) {
+        return Err(EvidenceError::TotalConflict);
+    }
+    let denom = W::one().sub(&conflict)?;
+    let entries = acc
+        .into_iter()
+        .map(|(s, w)| Ok((s, w.div(&denom)?)))
+        .collect::<Result<Vec<_>, EvidenceError>>()?;
+    let mass = MassFunction::from_entries(a.frame().clone(), entries)?;
+    Ok(Combination { mass, conflict })
+}
+
+/// Fold Dempster's rule over any number of sources.
+///
+/// Returns the single input unchanged (κ = 0) for a one-element
+/// iterator.
+///
+/// # Errors
+/// * [`EvidenceError::EmptyFocalElement`] for an empty iterator;
+/// * errors from [`dempster`] otherwise. The reported conflict is the
+///   conflict of the *last* pairwise combination, which is what the
+///   integration layer reports per merge step.
+pub fn dempster_all<'a, W: Weight + 'a>(
+    sources: impl IntoIterator<Item = &'a MassFunction<W>>,
+) -> Result<Combination<W>, EvidenceError> {
+    let mut iter = sources.into_iter();
+    let first = iter.next().ok_or(EvidenceError::EmptyFocalElement)?;
+    let mut result = Combination { mass: first.clone(), conflict: W::zero() };
+    for next in iter {
+        result = dempster(&result.mass, next)?;
+    }
+    Ok(result)
+}
+
+/// The degree of conflict κ between two sources *without* combining
+/// them — useful for conflict analysis and the integration layer's
+/// diagnostics.
+///
+/// # Errors
+/// [`EvidenceError::FrameMismatch`] if the frames differ.
+pub fn conflict<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<W, EvidenceError> {
+    Ok(conjunctive_raw(a, b)?.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use crate::ratio::Ratio;
+    use std::sync::Arc;
+
+    fn speciality() -> Arc<Frame> {
+        Arc::new(Frame::new(
+            "speciality",
+            ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+        ))
+    }
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    fn m1() -> MassFunction<Ratio> {
+        MassFunction::builder(speciality())
+            .add(["cantonese"], r(1, 2))
+            .unwrap()
+            .add(["hunan", "sichuan"], r(1, 3))
+            .unwrap()
+            .add_omega(r(1, 6))
+            .build()
+            .unwrap()
+    }
+
+    fn m2() -> MassFunction<Ratio> {
+        MassFunction::builder(speciality())
+            .add(["cantonese", "hunan"], r(1, 2))
+            .unwrap()
+            .add(["hunan"], r(1, 4))
+            .unwrap()
+            .add_omega(r(1, 4))
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's §2.2 worked example, verified with exact rationals:
+    /// κ = 1/8 and the six combined masses are exactly as printed.
+    #[test]
+    fn paper_combination_example_exact() {
+        let c = dempster(&m1(), &m2()).unwrap();
+        assert_eq!(c.conflict, r(1, 8));
+        let f = speciality();
+        let m = &c.mass;
+        assert_eq!(m.mass_of(&f.subset(["cantonese"]).unwrap()), r(3, 7));
+        assert_eq!(m.mass_of(&f.subset(["hunan"]).unwrap()), r(1, 3));
+        assert_eq!(
+            m.mass_of(&f.subset(["cantonese", "hunan"]).unwrap()),
+            r(2, 21)
+        );
+        assert_eq!(
+            m.mass_of(&f.subset(["hunan", "sichuan"]).unwrap()),
+            r(2, 21)
+        );
+        assert_eq!(m.mass_of(&f.omega()), r(1, 21));
+        // m(∅) = 0 by construction; total is 1.
+        assert_eq!(m.focal_count(), 5);
+    }
+
+    /// §2.2's observed trends: combination increases the mass of small
+    /// merged sets and decreases that of large/conflicting ones.
+    #[test]
+    fn paper_combination_trends() {
+        let c = dempster(&m1(), &m2()).unwrap();
+        let f = speciality();
+        let hu = f.subset(["hunan"]).unwrap();
+        let ca = f.subset(["cantonese"]).unwrap();
+        // hunan rose from 0 (m1) and 1/4 (m2) to 1/3.
+        assert!(c.mass.mass_of(&hu) > m2().mass_of(&hu));
+        // cantonese fell from 1/2 to 3/7.
+        assert!(c.mass.mass_of(&ca) < m1().mass_of(&ca));
+        // Ω mass shrank (uncertainty reduced).
+        assert!(c.mass.mass_of(&f.omega()) < m1().mass_of(&f.omega()));
+    }
+
+    #[test]
+    fn commutative_exact() {
+        let ab = dempster(&m1(), &m2()).unwrap();
+        let ba = dempster(&m2(), &m1()).unwrap();
+        assert_eq!(ab.mass, ba.mass);
+        assert_eq!(ab.conflict, ba.conflict);
+    }
+
+    #[test]
+    fn associative_exact() {
+        let m3 = MassFunction::builder(speciality())
+            .add(["hunan"], r(3, 5))
+            .unwrap()
+            .add_omega(r(2, 5))
+            .build()
+            .unwrap();
+        let left = dempster(&dempster(&m1(), &m2()).unwrap().mass, &m3).unwrap();
+        let right = dempster(&m1(), &dempster(&m2(), &m3).unwrap().mass).unwrap();
+        assert_eq!(left.mass, right.mass);
+    }
+
+    #[test]
+    fn vacuous_is_identity() {
+        let v = MassFunction::<Ratio>::vacuous(speciality()).unwrap();
+        let c = dempster(&m1(), &v).unwrap();
+        assert_eq!(c.mass, m1());
+        assert_eq!(c.conflict, Ratio::ZERO);
+    }
+
+    #[test]
+    fn total_conflict_detected() {
+        let a = MassFunction::<Ratio>::certain(speciality(), "hunan").unwrap();
+        let b = MassFunction::<Ratio>::certain(speciality(), "italian").unwrap();
+        assert_eq!(dempster(&a, &b), Err(EvidenceError::TotalConflict));
+        assert_eq!(conflict(&a, &b).unwrap(), Ratio::ONE);
+    }
+
+    #[test]
+    fn frame_mismatch_detected() {
+        let other = Arc::new(Frame::new("rating", ["ex", "gd", "avg"]));
+        let a = MassFunction::<Ratio>::vacuous(speciality()).unwrap();
+        let b = MassFunction::<Ratio>::vacuous(other).unwrap();
+        assert!(matches!(
+            dempster(&a, &b),
+            Err(EvidenceError::FrameMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dempster_all_folds() {
+        let v = MassFunction::<Ratio>::vacuous(speciality()).unwrap();
+        let c = dempster_all([&m1(), &v, &m2()]).unwrap();
+        let direct = dempster(&m1(), &m2()).unwrap();
+        assert_eq!(c.mass, direct.mass);
+        let single = dempster_all([&m1()]).unwrap();
+        assert_eq!(single.mass, m1());
+        assert_eq!(single.conflict, Ratio::ZERO);
+        assert!(dempster_all(Vec::<&MassFunction<Ratio>>::new()).is_err());
+    }
+
+    #[test]
+    fn f64_matches_exact_within_tolerance() {
+        let fm1 = MassFunction::<f64>::builder(speciality())
+            .add(["cantonese"], 0.5)
+            .unwrap()
+            .add(["hunan", "sichuan"], 1.0 / 3.0)
+            .unwrap()
+            .add_omega(1.0 / 6.0)
+            .build()
+            .unwrap();
+        let fm2 = MassFunction::<f64>::builder(speciality())
+            .add(["cantonese", "hunan"], 0.5)
+            .unwrap()
+            .add(["hunan"], 0.25)
+            .unwrap()
+            .add_omega(0.25)
+            .build()
+            .unwrap();
+        let c = dempster(&fm1, &fm2).unwrap();
+        let f = speciality();
+        assert!((c.conflict - 0.125).abs() < 1e-12);
+        assert!(
+            (c.mass.mass_of(&f.subset(["cantonese"]).unwrap()) - 3.0 / 7.0).abs() < 1e-12
+        );
+    }
+
+    /// Combining a Bayesian mass with itself sharpens it (Bayes-like
+    /// behaviour: Dempster generalizes Bayesian conditioning).
+    #[test]
+    fn bayesian_self_combination_sharpens() {
+        let m = MassFunction::<f64>::builder(speciality())
+            .add(["hunan"], 0.6)
+            .unwrap()
+            .add(["sichuan"], 0.4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let c = dempster(&m, &m).unwrap();
+        let hu = speciality().subset(["hunan"]).unwrap();
+        // 0.36 / (0.36 + 0.16) ≈ 0.6923 > 0.6
+        assert!(c.mass.mass_of(&hu) > 0.69);
+        assert!(c.mass.is_bayesian());
+    }
+}

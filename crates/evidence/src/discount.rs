@@ -1,0 +1,203 @@
+//! Source discounting and Dempster conditioning.
+//!
+//! **Extensions** beyond the 1994 paper, both standard Shaferian
+//! operations that slot directly into the integration story:
+//!
+//! * [`discount`] — Shafer's discounting: a source believed reliable
+//!   with probability `α` has its masses scaled by `α`, the remainder
+//!   `1 − α` going to Ω. This is how an integrator encodes "DB_B's
+//!   survey panel is sloppier than DB_A's" *before* combination, and
+//!   it provably reduces the conflict κ between discounted sources.
+//! * [`condition`] — Dempster conditioning `m(· | B)`: combination
+//!   with the categorical mass `m_B(B) = 1`, i.e. revising an evidence
+//!   set after learning that the value definitely lies in `B` (e.g. a
+//!   query-time constraint).
+
+use crate::combine::dempster;
+use crate::error::EvidenceError;
+use crate::focal::FocalSet;
+use crate::mass::MassFunction;
+use crate::weight::Weight;
+
+/// Discount `m` by reliability `alpha` ∈ [0, 1]: every focal mass is
+/// multiplied by `alpha` and `1 − alpha` is added to Ω. `alpha = 1` is
+/// the identity; `alpha = 0` yields the vacuous function.
+///
+/// # Errors
+/// [`EvidenceError::InvalidMass`] when `alpha` is outside [0, 1].
+pub fn discount<W: Weight>(
+    m: &MassFunction<W>,
+    alpha: &W,
+) -> Result<MassFunction<W>, EvidenceError> {
+    if !alpha.is_valid_mass() || *alpha > W::one() {
+        return Err(EvidenceError::InvalidMass { mass: alpha.to_string() });
+    }
+    if alpha.approx_eq(&W::one()) {
+        return Ok(m.clone());
+    }
+    let frame = m.frame().clone();
+    let omega = frame.omega();
+    if alpha.is_zero() {
+        return MassFunction::vacuous(frame);
+    }
+    let mut entries: Vec<(FocalSet, W)> = Vec::with_capacity(m.focal_count() + 1);
+    let mut omega_mass = W::one().sub(alpha)?;
+    for (set, w) in m.iter() {
+        let scaled = w.mul(alpha)?;
+        if *set == omega {
+            omega_mass = omega_mass.add(&scaled)?;
+        } else {
+            entries.push((set.clone(), scaled));
+        }
+    }
+    entries.push((omega, omega_mass));
+    MassFunction::from_entries(frame, entries)
+}
+
+/// Dempster conditioning: `m(· | b)` — combine `m` with the
+/// categorical evidence "the value is in `b`".
+///
+/// # Errors
+/// * [`EvidenceError::EmptyFocalElement`] if `b` is empty;
+/// * [`EvidenceError::TotalConflict`] if `Pls(b) = 0` (conditioning on
+///   something the evidence rules out).
+pub fn condition<W: Weight>(
+    m: &MassFunction<W>,
+    b: &FocalSet,
+) -> Result<MassFunction<W>, EvidenceError> {
+    if b.is_empty() {
+        return Err(EvidenceError::EmptyFocalElement);
+    }
+    let categorical = MassFunction::from_entries(m.frame().clone(), [(b.clone(), W::one())])?;
+    Ok(dempster(m, &categorical)?.mass)
+}
+
+/// Shafer's *weight of conflict* `log(1 / (1 − κ))` — an additive
+/// measure of how much normalization a combination required. Infinite
+/// at total conflict.
+pub fn weight_of_conflict(kappa: f64) -> f64 {
+    if kappa >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(1.0 - kappa).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine;
+    use crate::frame::Frame;
+    use crate::ratio::Ratio;
+    use std::sync::Arc;
+
+    fn frame() -> Arc<Frame> {
+        Arc::new(Frame::new("f", ["a", "b", "c"]))
+    }
+
+    fn m(entries: &[(&[&str], f64)]) -> MassFunction<f64> {
+        let mut b = MassFunction::<f64>::builder(frame());
+        for (labels, w) in entries {
+            b = b.add(labels.iter().copied(), *w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn discount_scales_and_fills_omega() {
+        let d = discount(&m(&[(&["a"], 0.6), (&["b"], 0.4)]), &0.5).unwrap();
+        let a = frame().subset(["a"]).unwrap();
+        assert!(d.mass_of(&a).approx_eq(&0.3));
+        assert!(d.mass_of(&frame().omega()).approx_eq(&0.5));
+    }
+
+    #[test]
+    fn discount_identities() {
+        let orig = m(&[(&["a"], 1.0)]);
+        assert_eq!(discount(&orig, &1.0).unwrap(), orig);
+        assert!(discount(&orig, &0.0).unwrap().is_vacuous());
+        assert!(discount(&orig, &1.5).is_err());
+        assert!(discount(&orig, &-0.1).is_err());
+    }
+
+    #[test]
+    fn discount_merges_existing_omega() {
+        let orig = m(&[(&["a"], 0.8), (&["a", "b", "c"], 0.2)]);
+        let d = discount(&orig, &0.5).unwrap();
+        // Ω gets 0.5 (unreliability) + 0.1 (scaled old Ω).
+        assert!(d.mass_of(&frame().omega()).approx_eq(&0.6));
+        assert_eq!(d.focal_count(), 2);
+    }
+
+    #[test]
+    fn discounting_reduces_conflict() {
+        let a = m(&[(&["a"], 1.0)]);
+        let b = m(&[(&["b"], 1.0)]);
+        assert!(combine::dempster(&a, &b).is_err()); // κ = 1
+        let da = discount(&a, &0.9).unwrap();
+        let db = discount(&b, &0.9).unwrap();
+        let c = combine::dempster(&da, &db).unwrap();
+        assert!(c.conflict < 1.0);
+        assert!(c.conflict > 0.5);
+    }
+
+    #[test]
+    fn discount_exact_rationals() {
+        let orig = MassFunction::<Ratio>::builder(frame())
+            .add(["a"], Ratio::new(2, 3).unwrap())
+            .unwrap()
+            .add_omega(Ratio::new(1, 3).unwrap())
+            .build()
+            .unwrap();
+        let d = discount(&orig, &Ratio::new(1, 2).unwrap()).unwrap();
+        let a = frame().subset(["a"]).unwrap();
+        assert_eq!(d.mass_of(&a), Ratio::new(1, 3).unwrap());
+        assert_eq!(d.mass_of(&frame().omega()), Ratio::new(2, 3).unwrap());
+    }
+
+    #[test]
+    fn conditioning_restricts_to_b() {
+        let orig = m(&[(&["a"], 0.5), (&["b", "c"], 0.3), (&["a", "b", "c"], 0.2)]);
+        let b_set = frame().subset(["b", "c"]).unwrap();
+        let c = condition(&orig, &b_set).unwrap();
+        // Focal elements are intersected with {b,c}; mass on {a}
+        // conflicts away.
+        assert!(c.core().is_subset_of(&b_set));
+        assert!(c.mass_of(&b_set).approx_eq(&1.0));
+    }
+
+    #[test]
+    fn conditioning_on_excluded_set_conflicts() {
+        let orig = m(&[(&["a"], 1.0)]);
+        let b_set = frame().subset(["b"]).unwrap();
+        assert_eq!(condition(&orig, &b_set), Err(EvidenceError::TotalConflict));
+        assert!(condition(&orig, &FocalSet::empty()).is_err());
+    }
+
+    #[test]
+    fn conditioning_on_core_is_bayes_like() {
+        let orig = m(&[(&["a"], 0.6), (&["b"], 0.2), (&["c"], 0.2)]);
+        let ab = frame().subset(["a", "b"]).unwrap();
+        let c = condition(&orig, &ab).unwrap();
+        let a = frame().subset(["a"]).unwrap();
+        // 0.6 / 0.8 = 0.75 — Bayesian conditioning on point masses.
+        assert!(c.mass_of(&a).approx_eq(&0.75));
+    }
+
+    #[test]
+    fn weight_of_conflict_behaviour() {
+        assert_eq!(weight_of_conflict(0.0), 0.0);
+        assert!(weight_of_conflict(0.5) > 0.0);
+        assert!(weight_of_conflict(1.0).is_infinite());
+        // Additivity over independent combinations: w(κ₁) + w(κ₂) =
+        // w(1 − (1−κ₁)(1−κ₂)).
+        let k1 = 0.3;
+        let k2 = 0.6;
+        let combined = 1.0 - (1.0 - k1) * (1.0 - k2);
+        assert!(
+            (weight_of_conflict(k1) + weight_of_conflict(k2) - weight_of_conflict(combined))
+                .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Error types for the evidence substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or combining evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvidenceError {
+    /// A label was not found in the frame of discernment.
+    UnknownLabel {
+        /// The offending label.
+        label: String,
+        /// The frame in which the lookup happened.
+        frame: String,
+    },
+    /// An element index was outside the frame.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of elements in the frame.
+        frame_size: usize,
+    },
+    /// A focal element was the empty set; mass functions require `m(∅) = 0`.
+    EmptyFocalElement,
+    /// A focal element was assigned a non-positive or non-finite mass.
+    InvalidMass {
+        /// Human-readable rendering of the offending mass value.
+        mass: String,
+    },
+    /// The masses of a function did not sum to 1.
+    NotNormalized {
+        /// Human-readable rendering of the actual sum.
+        sum: String,
+    },
+    /// The same focal element was assigned mass twice.
+    DuplicateFocalElement,
+    /// Two mass functions over different frames cannot be combined or compared.
+    FrameMismatch {
+        /// Name of the left frame.
+        left: String,
+        /// Name of the right frame.
+        right: String,
+    },
+    /// Dempster's rule is undefined when the sources are in total
+    /// conflict (κ = 1). The paper (§2.2) requires this situation to be
+    /// reported to the data administrators rather than silently resolved.
+    TotalConflict,
+    /// Rational arithmetic overflowed `i128`.
+    RatioOverflow,
+    /// Division by zero in rational arithmetic.
+    RatioDivisionByZero,
+}
+
+impl fmt::Display for EvidenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownLabel { label, frame } => {
+                write!(f, "label {label:?} is not an element of frame {frame:?}")
+            }
+            Self::IndexOutOfBounds { index, frame_size } => {
+                write!(f, "element index {index} out of bounds for frame of size {frame_size}")
+            }
+            Self::EmptyFocalElement => {
+                write!(f, "the empty set cannot be a focal element (m(∅) must be 0)")
+            }
+            Self::InvalidMass { mass } => {
+                write!(f, "focal elements require positive finite mass, got {mass}")
+            }
+            Self::NotNormalized { sum } => {
+                write!(f, "mass function does not sum to 1 (sum = {sum})")
+            }
+            Self::DuplicateFocalElement => {
+                write!(f, "duplicate focal element in mass assignment")
+            }
+            Self::FrameMismatch { left, right } => {
+                write!(f, "cannot operate across frames {left:?} and {right:?}")
+            }
+            Self::TotalConflict => {
+                write!(f, "total conflict (κ = 1): sources share no common focal element")
+            }
+            Self::RatioOverflow => write!(f, "rational arithmetic overflow"),
+            Self::RatioDivisionByZero => write!(f, "rational division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvidenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(EvidenceError, &str)> = vec![
+            (
+                EvidenceError::UnknownLabel { label: "x".into(), frame: "f".into() },
+                "not an element",
+            ),
+            (
+                EvidenceError::IndexOutOfBounds { index: 9, frame_size: 3 },
+                "out of bounds",
+            ),
+            (EvidenceError::EmptyFocalElement, "empty set"),
+            (EvidenceError::InvalidMass { mass: "-1".into() }, "positive"),
+            (EvidenceError::NotNormalized { sum: "0.5".into() }, "sum"),
+            (EvidenceError::DuplicateFocalElement, "duplicate"),
+            (
+                EvidenceError::FrameMismatch { left: "a".into(), right: "b".into() },
+                "across frames",
+            ),
+            (EvidenceError::TotalConflict, "κ = 1"),
+            (EvidenceError::RatioOverflow, "overflow"),
+            (EvidenceError::RatioDivisionByZero, "division by zero"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(EvidenceError::TotalConflict, EvidenceError::TotalConflict);
+        assert_ne!(EvidenceError::TotalConflict, EvidenceError::EmptyFocalElement);
+    }
+}

@@ -1,0 +1,295 @@
+//! Canonical bitset subsets of a frame of discernment.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A subset of a frame of discernment, stored as a canonical bitset.
+///
+/// Canonical form: trailing all-zero words are trimmed, so two sets
+/// with the same members always compare equal and hash identically
+/// regardless of the frame size they were built against. The empty set
+/// has zero words.
+///
+/// Focal sets are immutable values; build them with
+/// [`FocalSet::from_indices`], [`FocalSet::singleton`],
+/// [`FocalSet::full`], or by set algebra on existing sets.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct FocalSet {
+    words: Box<[u64]>,
+}
+
+impl FocalSet {
+    /// The empty set ∅.
+    pub fn empty() -> FocalSet {
+        FocalSet { words: Box::new([]) }
+    }
+
+    /// The singleton `{i}`.
+    pub fn singleton(i: usize) -> FocalSet {
+        let mut words = vec![0u64; i / WORD_BITS + 1];
+        words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+        FocalSet { words: words.into_boxed_slice() }
+    }
+
+    /// The full set `{0, 1, …, n-1}`.
+    pub fn full(n: usize) -> FocalSet {
+        if n == 0 {
+            return FocalSet::empty();
+        }
+        let n_words = n.div_ceil(WORD_BITS);
+        let mut words = vec![u64::MAX; n_words];
+        let rem = n % WORD_BITS;
+        if rem != 0 {
+            words[n_words - 1] = (1u64 << rem) - 1;
+        }
+        FocalSet { words: words.into_boxed_slice() }
+    }
+
+    /// Build from element indices (duplicates are fine).
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> FocalSet {
+        let mut words: Vec<u64> = Vec::new();
+        for i in indices {
+            let w = i / WORD_BITS;
+            if w >= words.len() {
+                words.resize(w + 1, 0);
+            }
+            words[w] |= 1 << (i % WORD_BITS);
+        }
+        Self::trim(words)
+    }
+
+    fn trim(mut words: Vec<u64>) -> FocalSet {
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        FocalSet { words: words.into_boxed_slice() }
+    }
+
+    /// Number of elements (popcount).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` for ∅.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / WORD_BITS)
+            .is_some_and(|w| w & (1 << (i % WORD_BITS)) != 0)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &FocalSet) -> bool {
+        if self.words.len() > other.words.len() {
+            // self has a set bit beyond other's highest word iff canonical.
+            return false;
+        }
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ∩ other ≠ ∅`.
+    pub fn intersects(&self, other: &FocalSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &FocalSet) -> FocalSet {
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| a & b)
+            .collect();
+        Self::trim(words)
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &FocalSet) -> FocalSet {
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let mut words = long.to_vec();
+        for (w, s) in words.iter_mut().zip(short.iter()) {
+            *w |= s;
+        }
+        Self::trim(words)
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &FocalSet) -> FocalSet {
+        let mut words = self.words.to_vec();
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w &= !o;
+        }
+        Self::trim(words)
+    }
+
+    /// Complement with respect to a frame of `n` elements: `Ω \ self`.
+    pub fn complement(&self, n: usize) -> FocalSet {
+        FocalSet::full(n).difference(self)
+    }
+
+    /// Iterate over member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Smallest member, if any.
+    pub fn min_index(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Largest member, if any.
+    pub fn max_index(&self) -> Option<usize> {
+        let wi = self.words.len().checked_sub(1)?;
+        let w = self.words[wi];
+        Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize))
+    }
+}
+
+impl PartialOrd for FocalSet {
+    fn partial_cmp(&self, other: &FocalSet) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FocalSet {
+    /// Deterministic total order used for canonical display and sorted
+    /// focal lists: first by cardinality, then lexicographically by
+    /// member indices. Singletons therefore print before pairs before
+    /// Ω, matching the layout of the paper's tables.
+    fn cmp(&self, other: &FocalSet) -> Ordering {
+        self.len()
+            .cmp(&other.len())
+            .then_with(|| self.iter().cmp(other.iter()))
+    }
+}
+
+impl fmt::Debug for FocalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> FocalSet {
+        FocalSet::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn construction() {
+        assert!(FocalSet::empty().is_empty());
+        assert_eq!(FocalSet::singleton(3).len(), 1);
+        assert!(FocalSet::singleton(3).contains(3));
+        assert_eq!(FocalSet::full(6).len(), 6);
+        assert_eq!(FocalSet::full(64).len(), 64);
+        assert_eq!(FocalSet::full(65).len(), 65);
+        assert_eq!(set(&[1, 2, 1]).len(), 2);
+    }
+
+    #[test]
+    fn canonical_form_is_frame_independent() {
+        // {1} built directly vs. {1} arising from intersection with a
+        // wide set must be identical.
+        let a = FocalSet::singleton(1);
+        let wide = set(&[1, 200]);
+        let b = wide.intersect(&set(&[0, 1, 2]));
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a.intersect(&b), set(&[2]));
+        assert_eq!(a.union(&b), set(&[0, 1, 2, 3]));
+        assert_eq!(a.difference(&b), set(&[0, 1]));
+        assert!(a.intersects(&b));
+        assert!(!set(&[0]).intersects(&set(&[1])));
+        assert!(set(&[1]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(FocalSet::empty().is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    fn complement() {
+        let a = set(&[0, 2]);
+        assert_eq!(a.complement(4), set(&[1, 3]));
+        assert_eq!(FocalSet::empty().complement(3), FocalSet::full(3));
+        assert_eq!(FocalSet::full(3).complement(3), FocalSet::empty());
+    }
+
+    #[test]
+    fn iteration_and_extremes() {
+        let a = set(&[5, 64, 130]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 64, 130]);
+        assert_eq!(a.min_index(), Some(5));
+        assert_eq!(a.max_index(), Some(130));
+        assert_eq!(FocalSet::empty().min_index(), None);
+        assert_eq!(FocalSet::empty().max_index(), None);
+    }
+
+    #[test]
+    fn ordering_by_cardinality_then_lex() {
+        let mut sets = vec![set(&[0, 1]), set(&[2]), set(&[0]), set(&[1, 2])];
+        sets.sort();
+        assert_eq!(sets, vec![set(&[0]), set(&[2]), set(&[0, 1]), set(&[1, 2])]);
+    }
+
+    #[test]
+    fn cross_word_subset() {
+        let small = set(&[3]);
+        let large = set(&[3, 100]);
+        assert!(small.is_subset_of(&large));
+        assert!(!large.is_subset_of(&small));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", set(&[1, 3])), "{1,3}");
+        assert_eq!(format!("{:?}", FocalSet::empty()), "{}");
+    }
+}

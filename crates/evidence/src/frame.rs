@@ -1,0 +1,232 @@
+//! Frames of discernment (attribute domains).
+
+use crate::error::EvidenceError;
+use crate::focal::FocalSet;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite frame of discernment Ω — the set of mutually exclusive,
+/// exhaustive values an attribute may take (the paper's `Ω_A`).
+///
+/// Elements are identified by their position (`0..len()`); labels are
+/// kept for presentation and lookup. The order of elements is
+/// significant: the relational layer maps it to the domain's natural
+/// value ordering, which θ-predicates rely on.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    name: Arc<str>,
+    labels: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, usize>,
+}
+
+impl Frame {
+    /// Build a frame from a name and an ordered list of labels.
+    ///
+    /// Duplicate labels are collapsed (first occurrence wins), matching
+    /// set semantics.
+    pub fn new<N, I, L>(name: N, labels: I) -> Frame
+    where
+        N: Into<Arc<str>>,
+        I: IntoIterator<Item = L>,
+        L: Into<Arc<str>>,
+    {
+        let mut out_labels: Vec<Arc<str>> = Vec::new();
+        let mut index = HashMap::new();
+        for label in labels {
+            let label: Arc<str> = label.into();
+            if !index.contains_key(&label) {
+                index.insert(Arc::clone(&label), out_labels.len());
+                out_labels.push(label);
+            }
+        }
+        Frame { name: name.into(), labels: out_labels, index }
+    }
+
+    /// The frame's name (e.g. `"speciality"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of elements |Ω|.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the frame has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of element `i`.
+    ///
+    /// # Errors
+    /// [`EvidenceError::IndexOutOfBounds`] if `i >= len()`.
+    pub fn label(&self, i: usize) -> Result<&str, EvidenceError> {
+        self.labels
+            .get(i)
+            .map(|l| &**l)
+            .ok_or(EvidenceError::IndexOutOfBounds { index: i, frame_size: self.len() })
+    }
+
+    /// Index of `label`.
+    ///
+    /// # Errors
+    /// [`EvidenceError::UnknownLabel`] if the label is not in the frame.
+    pub fn index_of(&self, label: &str) -> Result<usize, EvidenceError> {
+        self.index
+            .get(label)
+            .copied()
+            .ok_or_else(|| EvidenceError::UnknownLabel {
+                label: label.to_owned(),
+                frame: self.name.to_string(),
+            })
+    }
+
+    /// Iterate over the labels in element order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(|l| &**l)
+    }
+
+    /// Build a [`FocalSet`] from labels.
+    ///
+    /// # Errors
+    /// [`EvidenceError::UnknownLabel`] for any label missing from the frame.
+    pub fn subset<I, L>(&self, labels: I) -> Result<FocalSet, EvidenceError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<str>,
+    {
+        let mut indices = Vec::new();
+        for l in labels {
+            indices.push(self.index_of(l.as_ref())?);
+        }
+        Ok(FocalSet::from_indices(indices))
+    }
+
+    /// The full set Ω.
+    pub fn omega(&self) -> FocalSet {
+        FocalSet::full(self.len())
+    }
+
+    /// The singleton `{label}`.
+    ///
+    /// # Errors
+    /// [`EvidenceError::UnknownLabel`] if the label is not in the frame.
+    pub fn singleton(&self, label: &str) -> Result<FocalSet, EvidenceError> {
+        Ok(FocalSet::singleton(self.index_of(label)?))
+    }
+
+    /// Render a focal set with this frame's labels, in element order,
+    /// e.g. `{hunan, sichuan}`; Ω renders as `Ω`.
+    pub fn render(&self, set: &FocalSet) -> String {
+        if set.len() == self.len() && !self.is_empty() {
+            return "Ω".to_owned();
+        }
+        let mut out = String::from("{");
+        let mut first = true;
+        for i in set.iter() {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(self.labels.get(i).map(|l| &**l).unwrap_or("?"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl PartialEq for Frame {
+    /// Frames are equal when they have the same name and the same
+    /// labels in the same order. (Combination across equal-but-distinct
+    /// `Arc`s is permitted.)
+    fn eq(&self, other: &Frame) -> bool {
+        self.name == other.name && self.labels == other.labels
+    }
+}
+
+impl Eq for Frame {}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} elements)", self.name, self.len())
+    }
+}
+
+/// Convenience: build a frame of the integers `lo..=hi` (used by
+/// numeric θ-predicate tests and workload generators).
+pub fn int_frame(name: &str, lo: i64, hi: i64) -> Frame {
+    Frame::new(name, (lo..=hi).map(|v| v.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speciality() -> Frame {
+        Frame::new(
+            "speciality",
+            ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+        )
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let f = speciality();
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.name(), "speciality");
+        assert_eq!(f.index_of("hunan").unwrap(), 1);
+        assert_eq!(f.label(3).unwrap(), "cantonese");
+        assert!(f.index_of("thai").is_err());
+        assert!(f.label(6).is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_collapse() {
+        let f = Frame::new("f", ["a", "b", "a"]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.index_of("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn subsets_and_omega() {
+        let f = speciality();
+        let s = f.subset(["hunan", "sichuan"]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1) && s.contains(2));
+        assert_eq!(f.omega().len(), 6);
+        assert_eq!(f.singleton("cantonese").unwrap().len(), 1);
+        assert!(f.subset(["nope"]).is_err());
+    }
+
+    #[test]
+    fn rendering() {
+        let f = speciality();
+        let s = f.subset(["hunan", "sichuan"]).unwrap();
+        assert_eq!(f.render(&s), "{hunan, sichuan}");
+        assert_eq!(f.render(&f.omega()), "Ω");
+        assert_eq!(f.render(&f.singleton("american").unwrap()), "{american}");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(speciality(), speciality());
+        let other = Frame::new("speciality", ["a", "b"]);
+        assert_ne!(speciality(), other);
+    }
+
+    #[test]
+    fn int_frames() {
+        let f = int_frame("votes", 1, 6);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.index_of("4").unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = Frame::new("empty", Vec::<String>::new());
+        assert!(f.is_empty());
+        assert_eq!(f.omega().len(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Uncertainty measures on mass functions.
+//!
+//! **Extensions** beyond the 1994 paper: the classical information
+//! measures for belief functions, used by the comparison harness and
+//! EXPERIMENTS.md to quantify what each merge approach retains.
+//!
+//! * [`nonspecificity`] — Dubois & Prade's generalized Hartley measure
+//!   `N(m) = Σ m(A)·log₂|A|`: how *imprecise* the evidence is
+//!   (0 for Bayesian functions, log₂|Ω| for the vacuous one).
+//! * [`discord`] — Yager's dissonance `E(m) = −Σ m(A)·log₂ Pls(A)`:
+//!   how much the evidence *contradicts itself*.
+//! * [`total_uncertainty`] — their sum, an aggregate uncertainty in
+//!   the style of Klir.
+//! * [`specificity`] — expected focal cardinality `Σ m(A)·|A|`, the
+//!   simple measure the baselines comparison reports.
+
+use crate::mass::MassFunction;
+use crate::weight::Weight;
+
+/// Dubois–Prade nonspecificity `N(m) = Σ m(A) log₂ |A|` in bits.
+pub fn nonspecificity<W: Weight>(m: &MassFunction<W>) -> f64 {
+    m.iter()
+        .map(|(set, w)| w.to_f64() * (set.len() as f64).log2())
+        .sum()
+}
+
+/// Yager's discord (dissonance) `E(m) = −Σ m(A) log₂ Pls(A)` in bits.
+pub fn discord<W: Weight>(m: &MassFunction<W>) -> f64 {
+    m.iter()
+        .map(|(set, w)| {
+            let pls = m.pls(set).to_f64();
+            if pls > 0.0 {
+                -w.to_f64() * pls.log2()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// `N(m) + E(m)` — a Klir-style aggregate uncertainty in bits.
+pub fn total_uncertainty<W: Weight>(m: &MassFunction<W>) -> f64 {
+    nonspecificity(m) + discord(m)
+}
+
+/// Expected focal cardinality `Σ m(A)·|A|` (1.0 = definite,
+/// |Ω| = vacuous). Unit-free.
+pub fn specificity<W: Weight>(m: &MassFunction<W>) -> f64 {
+    m.iter().map(|(set, w)| w.to_f64() * set.len() as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use std::sync::Arc;
+
+    fn frame() -> Arc<Frame> {
+        Arc::new(Frame::new("f", ["a", "b", "c", "d"]))
+    }
+
+    fn m(entries: &[(&[&str], f64)]) -> MassFunction<f64> {
+        let mut b = MassFunction::<f64>::builder(frame());
+        for (labels, w) in entries {
+            b = b.add(labels.iter().copied(), *w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nonspecificity_extremes() {
+        // Definite: 0 bits. Vacuous: log2(4) = 2 bits.
+        assert_eq!(nonspecificity(&m(&[(&["a"], 1.0)])), 0.0);
+        let vac = MassFunction::<f64>::vacuous(frame()).unwrap();
+        assert!((nonspecificity(&vac) - 2.0).abs() < 1e-12);
+        // Bayesian functions have zero nonspecificity.
+        assert_eq!(
+            nonspecificity(&m(&[(&["a"], 0.5), (&["b"], 0.5)])),
+            0.0
+        );
+    }
+
+    #[test]
+    fn nonspecificity_monotone_in_focal_size() {
+        let narrow = m(&[(&["a", "b"], 1.0)]);
+        let wide = m(&[(&["a", "b", "c"], 1.0)]);
+        assert!(nonspecificity(&narrow) < nonspecificity(&wide));
+    }
+
+    #[test]
+    fn discord_zero_for_consonant_evidence() {
+        // Nested focal elements never contradict: Pls of every focal
+        // element is 1.
+        let consonant = m(&[(&["a"], 0.5), (&["a", "b"], 0.3), (&["a", "b", "c"], 0.2)]);
+        assert!(discord(&consonant).abs() < 1e-12);
+        // The vacuous function has no discord either.
+        let vac = MassFunction::<f64>::vacuous(frame()).unwrap();
+        assert!(discord(&vac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discord_positive_for_conflicting_evidence() {
+        let conflicted = m(&[(&["a"], 0.5), (&["b"], 0.5)]);
+        // Pls({a}) = Pls({b}) = 0.5 → E = -log2(0.5) = 1 bit.
+        assert!((discord(&conflicted) - 1.0).abs() < 1e-12);
+        let lopsided = m(&[(&["a"], 0.9), (&["b"], 0.1)]);
+        assert!(discord(&lopsided) < discord(&conflicted));
+    }
+
+    #[test]
+    fn dempster_combination_reduces_nonspecificity() {
+        use crate::combine::dempster;
+        let a = m(&[(&["a", "b"], 0.6), (&["a", "b", "c", "d"], 0.4)]);
+        let b = m(&[(&["a", "b", "c"], 1.0)]);
+        let c = dempster(&a, &b).unwrap();
+        assert!(nonspecificity(&c.mass) <= nonspecificity(&a) + 1e-12);
+    }
+
+    #[test]
+    fn total_uncertainty_and_specificity() {
+        let vac = MassFunction::<f64>::vacuous(frame()).unwrap();
+        assert!((total_uncertainty(&vac) - 2.0).abs() < 1e-12);
+        assert!((specificity(&vac) - 4.0).abs() < 1e-12);
+        assert!((specificity(&m(&[(&["a"], 1.0)])) - 1.0).abs() < 1e-12);
+        let mixed = m(&[(&["a", "b"], 0.5), (&["c"], 0.5)]);
+        assert!((specificity(&mixed) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_work_on_exact_rationals() {
+        use crate::ratio::Ratio;
+        let vac = MassFunction::<Ratio>::vacuous(frame()).unwrap();
+        assert!((nonspecificity(&vac) - 2.0).abs() < 1e-12);
+        assert!((specificity(&vac) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The paper's worked examples print exact fractions (κ = 1/8,
+//! `m1⊕m2({cantonese}) = 3/7`, `m1⊕m2(Ω) = 1/21`, …). To verify our
+//! implementation reproduces them *exactly* — rather than merely to
+//! within floating-point tolerance — the combination machinery is
+//! generic over [`crate::weight::Weight`], and this module provides the
+//! exact implementation.
+//!
+//! `Ratio` is always kept in canonical form: the denominator is
+//! positive and `gcd(|num|, den) == 1`. Arithmetic uses checked `i128`
+//! operations and reduces eagerly, which is ample for the magnitudes
+//! produced by evidence combination over realistic mass assignments.
+
+use crate::error::EvidenceError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num / den` in canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (non-negative).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Construct `num / den`, reducing to canonical form.
+    ///
+    /// # Errors
+    /// Returns [`EvidenceError::RatioDivisionByZero`] if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Result<Ratio, EvidenceError> {
+        if den == 0 {
+            return Err(EvidenceError::RatioDivisionByZero);
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ok(Ratio::ZERO);
+        }
+        Ok(Ratio { num: sign * num / g, den: (den / g).abs() })
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The numerator of the canonical form.
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the canonical form (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: &Ratio) -> Result<Ratio, EvidenceError> {
+        let g = gcd(self.den, other.den);
+        let lcm_part = other.den / g;
+        let lhs = self
+            .num
+            .checked_mul(lcm_part)
+            .ok_or(EvidenceError::RatioOverflow)?;
+        let rhs = other
+            .num
+            .checked_mul(self.den / g)
+            .ok_or(EvidenceError::RatioOverflow)?;
+        let num = lhs.checked_add(rhs).ok_or(EvidenceError::RatioOverflow)?;
+        let den = self
+            .den
+            .checked_mul(lcm_part)
+            .ok_or(EvidenceError::RatioOverflow)?;
+        Ratio::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: &Ratio) -> Result<Ratio, EvidenceError> {
+        self.checked_add(&Ratio { num: -other.num, den: other.den })
+    }
+
+    /// Checked multiplication (cross-reduces before multiplying to
+    /// keep intermediates small).
+    pub fn checked_mul(&self, other: &Ratio) -> Result<Ratio, EvidenceError> {
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(EvidenceError::RatioOverflow)?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(EvidenceError::RatioOverflow)?;
+        Ratio::new(num, den)
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, other: &Ratio) -> Result<Ratio, EvidenceError> {
+        if other.num == 0 {
+            return Err(EvidenceError::RatioDivisionByZero);
+        }
+        self.checked_mul(&Ratio { num: other.den, den: other.num })
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Compare a/b vs c/d as a*d vs c*b (b, d > 0). Use i128 checked
+        // math; fall back to f64 on (unrealistic) overflow.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    /// Renders `n` when the denominator is 1 and `n/d` otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn canonical_form_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn zero_denominator_is_error() {
+        assert_eq!(Ratio::new(1, 0), Err(EvidenceError::RatioDivisionByZero));
+    }
+
+    #[test]
+    fn addition() {
+        assert_eq!(r(1, 2).checked_add(&r(1, 3)).unwrap(), r(5, 6));
+        assert_eq!(r(1, 2).checked_add(&r(-1, 2)).unwrap(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(r(1, 2).checked_sub(&r(1, 3)).unwrap(), r(1, 6));
+        assert_eq!(Ratio::ONE.checked_sub(&r(1, 8)).unwrap(), r(7, 8));
+    }
+
+    #[test]
+    fn multiplication() {
+        assert_eq!(r(2, 3).checked_mul(&r(3, 4)).unwrap(), r(1, 2));
+        assert_eq!(r(1, 2).checked_mul(&Ratio::ZERO).unwrap(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(r(1, 2).checked_div(&r(1, 4)).unwrap(), r(2, 1));
+        assert_eq!(
+            r(1, 2).checked_div(&Ratio::ZERO),
+            Err(EvidenceError::RatioDivisionByZero)
+        );
+    }
+
+    #[test]
+    fn paper_normalization_example() {
+        // §2.2: (1/4 + 1/8) / (1 - 1/8) = 3/7
+        let raw = r(1, 4).checked_add(&r(1, 8)).unwrap();
+        let norm = Ratio::ONE.checked_sub(&r(1, 8)).unwrap();
+        assert_eq!(raw.checked_div(&norm).unwrap(), r(3, 7));
+        // (1/6 + 1/12 + 1/24) / (7/8) = 1/3
+        let raw = r(1, 6)
+            .checked_add(&r(1, 12))
+            .unwrap()
+            .checked_add(&r(1, 24))
+            .unwrap();
+        assert_eq!(raw.checked_div(&norm).unwrap(), r(1, 3));
+        // (1/12) / (7/8) = 2/21 ; (1/24) / (7/8) = 1/21
+        assert_eq!(r(1, 12).checked_div(&norm).unwrap(), r(2, 21));
+        assert_eq!(r(1, 24).checked_div(&norm).unwrap(), r(1, 21));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < Ratio::ZERO);
+        assert!(r(7, 8) < Ratio::ONE);
+        assert_eq!(r(2, 4).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 7).to_string(), "3/7");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!(Ratio::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((r(3, 7).to_f64() - 3.0 / 7.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,229 @@
+//! Decision-making transforms from mass functions to point
+//! probabilities, and the Möbius inversion back from belief to mass.
+//!
+//! Query answers in the integrated database are support *intervals*
+//! `(sn, sp)`; when a downstream consumer needs a single number per
+//! domain value (ranking restaurants by their most probable rating,
+//! say), the standard tools are the pignistic and plausibility
+//! transforms.
+
+use crate::error::EvidenceError;
+use crate::focal::FocalSet;
+use crate::frame::Frame;
+use crate::mass::MassFunction;
+use crate::weight::Weight;
+use std::sync::Arc;
+
+/// The pignistic transform `BetP(x) = Σ_{x ∈ A} m(A) / |A|` — each
+/// focal element's mass is shared equally among its members (Smets).
+///
+/// Returns one probability per frame element, indexed by element.
+pub fn pignistic<W: Weight>(m: &MassFunction<W>) -> Result<Vec<W>, EvidenceError> {
+    let n = m.frame().len();
+    let mut out = vec![W::zero(); n];
+    for (set, w) in m.iter() {
+        let card = set.len() as u32;
+        let share = w.div(&W::from_ratio(card, 1))?;
+        for i in set.iter() {
+            out[i] = out[i].add(&share)?;
+        }
+    }
+    Ok(out)
+}
+
+/// The (normalized) plausibility transform
+/// `PlP(x) = Pls({x}) / Σ_y Pls({y})`.
+pub fn plausibility_transform<W: Weight>(
+    m: &MassFunction<W>,
+) -> Result<Vec<W>, EvidenceError> {
+    let n = m.frame().len();
+    let mut pls: Vec<W> = Vec::with_capacity(n);
+    let mut total = W::zero();
+    for i in 0..n {
+        let p = m.pls(&FocalSet::singleton(i));
+        total = total.add(&p)?;
+        pls.push(p);
+    }
+    if total.is_zero() {
+        return Err(EvidenceError::NotNormalized { sum: total.to_string() });
+    }
+    pls.iter().map(|p| p.div(&total)).collect()
+}
+
+/// The element with maximal pignistic probability (ties broken by the
+/// lowest element index, which is deterministic).
+pub fn max_pignistic<W: Weight>(m: &MassFunction<W>) -> Result<usize, EvidenceError> {
+    let probs = pignistic(m)?;
+    let mut best = 0usize;
+    for (i, p) in probs.iter().enumerate() {
+        if *p > probs[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Möbius inversion: recover the mass function from belief values.
+///
+/// `m(A) = Σ_{B ⊆ A} (−1)^{|A\B|} Bel(B)` over all `A ⊆ Ω`. This is
+/// exponential in |Ω| and exists for completeness / verification of
+/// small frames (≤ [`MOBIUS_MAX_FRAME`] elements).
+pub const MOBIUS_MAX_FRAME: usize = 20;
+
+/// Reconstruct a mass function from a belief oracle.
+///
+/// # Errors
+/// * [`EvidenceError::IndexOutOfBounds`] if the frame exceeds
+///   [`MOBIUS_MAX_FRAME`] elements;
+/// * [`EvidenceError::NotNormalized`] if the oracle is not a valid
+///   belief function.
+pub fn mobius_inversion<W: Weight>(
+    frame: Arc<Frame>,
+    bel: impl Fn(&FocalSet) -> W,
+) -> Result<MassFunction<W>, EvidenceError> {
+    let n = frame.len();
+    if n > MOBIUS_MAX_FRAME {
+        return Err(EvidenceError::IndexOutOfBounds { index: n, frame_size: MOBIUS_MAX_FRAME });
+    }
+    let mut entries: Vec<(FocalSet, W)> = Vec::new();
+    // Enumerate subsets as bit patterns of an n-bit integer.
+    for a_bits in 1u32..(1u32 << n) {
+        let mut m_a = W::zero();
+        let mut negative = W::zero();
+        // Enumerate subsets b of a.
+        let mut b_bits = a_bits;
+        loop {
+            let diff = (a_bits ^ b_bits).count_ones();
+            let b_set = FocalSet::from_indices(
+                (0..n).filter(|i| b_bits & (1 << i) != 0),
+            );
+            let term = bel(&b_set);
+            if diff % 2 == 0 {
+                m_a = m_a.add(&term)?;
+            } else {
+                negative = negative.add(&term)?;
+            }
+            if b_bits == 0 {
+                break;
+            }
+            b_bits = (b_bits - 1) & a_bits;
+        }
+        if m_a < negative {
+            // Negative Möbius mass: not a belief function of a valid
+            // mass assignment (within tolerance).
+            let deficit = negative.sub(&m_a)?;
+            if !deficit.is_zero() {
+                return Err(EvidenceError::NotNormalized { sum: deficit.to_string() });
+            }
+            continue;
+        }
+        let mass = m_a.sub(&negative)?;
+        if !mass.is_zero() {
+            entries.push((
+                FocalSet::from_indices((0..n).filter(|i| a_bits & (1 << i) != 0)),
+                mass,
+            ));
+        }
+    }
+    MassFunction::from_entries(frame, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+
+    fn frame() -> Arc<Frame> {
+        Arc::new(Frame::new("f", ["a", "b", "c"]))
+    }
+
+    fn es1() -> MassFunction<Ratio> {
+        // m({a}) = 1/2, m({b,c}) = 1/3, m(Ω) = 1/6
+        MassFunction::builder(frame())
+            .add(["a"], Ratio::new(1, 2).unwrap())
+            .unwrap()
+            .add(["b", "c"], Ratio::new(1, 3).unwrap())
+            .unwrap()
+            .add_omega(Ratio::new(1, 6).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pignistic_shares_mass() {
+        let p = pignistic(&es1()).unwrap();
+        // a: 1/2 + 1/18 = 5/9; b: 1/6 + 1/18 = 2/9; c: 2/9.
+        assert_eq!(p[0], Ratio::new(5, 9).unwrap());
+        assert_eq!(p[1], Ratio::new(2, 9).unwrap());
+        assert_eq!(p[2], Ratio::new(2, 9).unwrap());
+        let sum = p
+            .iter()
+            .fold(Ratio::ZERO, |acc, x| acc.checked_add(x).unwrap());
+        assert_eq!(sum, Ratio::ONE);
+    }
+
+    #[test]
+    fn pignistic_of_bayesian_is_identity() {
+        let m = MassFunction::<f64>::builder(frame())
+            .add(["a"], 0.2)
+            .unwrap()
+            .add(["b"], 0.3)
+            .unwrap()
+            .add(["c"], 0.5)
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = pignistic(&m).unwrap();
+        assert!(p[0].approx_eq(&0.2) && p[1].approx_eq(&0.3) && p[2].approx_eq(&0.5));
+    }
+
+    #[test]
+    fn plausibility_transform_normalizes() {
+        let p = plausibility_transform(&es1()).unwrap();
+        let sum = p
+            .iter()
+            .fold(Ratio::ZERO, |acc, x| acc.checked_add(x).unwrap());
+        assert_eq!(sum, Ratio::ONE);
+        // Pls({a}) = 1/2 + 1/6 = 2/3; Pls({b}) = Pls({c}) = 1/3 + 1/6 = 1/2.
+        // Total 5/3 → a: 2/5, b: 3/10, c: 3/10.
+        assert_eq!(p[0], Ratio::new(2, 5).unwrap());
+        assert_eq!(p[1], Ratio::new(3, 10).unwrap());
+    }
+
+    #[test]
+    fn max_pignistic_picks_argmax() {
+        assert_eq!(max_pignistic(&es1()).unwrap(), 0);
+        let v = MassFunction::<Ratio>::vacuous(frame()).unwrap();
+        // Uniform: ties break to lowest index.
+        assert_eq!(max_pignistic(&v).unwrap(), 0);
+    }
+
+    #[test]
+    fn mobius_roundtrip() {
+        let m = es1();
+        let recovered =
+            mobius_inversion(frame(), |s| m.bel(s)).unwrap();
+        assert_eq!(recovered, m);
+    }
+
+    #[test]
+    fn mobius_roundtrip_f64() {
+        let m = MassFunction::<f64>::builder(frame())
+            .add(["a", "b"], 0.7)
+            .unwrap()
+            .add(["c"], 0.1)
+            .unwrap()
+            .add_omega(0.2)
+            .build()
+            .unwrap();
+        let recovered = mobius_inversion(frame(), |s| m.bel(s)).unwrap();
+        assert!(recovered.approx_eq(&m));
+    }
+
+    #[test]
+    fn mobius_rejects_large_frames() {
+        let big = Arc::new(Frame::new("big", (0..25).map(|i| i.to_string())));
+        let m = MassFunction::<f64>::vacuous(Arc::clone(&big)).unwrap();
+        assert!(mobius_inversion(big, |s| m.bel(s)).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The numeric abstraction shared by all evidence computations.
+//!
+//! Every mass-function algorithm in this crate (normalization checks,
+//! Bel/Pls, Dempster's rule, the alternative rules, the transforms) is
+//! written once, generically, against [`Weight`]. Two implementations
+//! are provided:
+//!
+//! * `f64` — the production representation used by the relational
+//!   layers;
+//! * [`crate::Ratio`] — exact `i128` rationals, used by the test suite
+//!   and the paper-reproduction harness to check the paper's printed
+//!   fractions without floating-point round-off.
+
+use crate::error::EvidenceError;
+use crate::ratio::Ratio;
+
+/// A non-negative number usable as Dempster–Shafer mass.
+///
+/// Implementations must form an ordered field over the values actually
+/// reachable from mass arithmetic (sums/products/quotients of values
+/// in `[0, 1]`).
+pub trait Weight: Clone + PartialEq + PartialOrd + std::fmt::Debug + std::fmt::Display {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact construction from a small ratio, e.g. `from_ratio(1, 3)`.
+    fn from_ratio(num: u32, den: u32) -> Self;
+    /// Addition. All weight arithmetic is fallible only for exact
+    /// rationals; `f64` never fails.
+    fn add(&self, other: &Self) -> Result<Self, EvidenceError>;
+    /// Subtraction.
+    fn sub(&self, other: &Self) -> Result<Self, EvidenceError>;
+    /// Multiplication.
+    fn mul(&self, other: &Self) -> Result<Self, EvidenceError>;
+    /// Division.
+    fn div(&self, other: &Self) -> Result<Self, EvidenceError>;
+    /// `true` if this weight is (exactly or approximately) zero.
+    fn is_zero(&self) -> bool;
+    /// `true` if strictly greater than zero (beyond tolerance).
+    fn is_positive(&self) -> bool {
+        !self.is_zero() && Self::zero() < *self
+    }
+    /// Validity check on construction: finite and non-negative.
+    fn is_valid_mass(&self) -> bool;
+    /// Equality up to the representation's tolerance: exact for
+    /// rationals, `1e-9` absolute for `f64`.
+    fn approx_eq(&self, other: &Self) -> bool;
+    /// Lossy conversion for display and thresholds.
+    fn to_f64(&self) -> f64;
+}
+
+/// Absolute tolerance for `f64` mass comparisons. Combination chains
+/// multiply and renormalize repeatedly; 1e-9 absorbs the accumulated
+/// round-off of realistic pipelines while still catching genuine
+/// normalization bugs (which miss by whole focal masses).
+pub const F64_EPS: f64 = 1e-9;
+
+impl Weight for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_ratio(num: u32, den: u32) -> Self {
+        num as f64 / den as f64
+    }
+
+    fn add(&self, other: &Self) -> Result<Self, EvidenceError> {
+        Ok(self + other)
+    }
+
+    fn sub(&self, other: &Self) -> Result<Self, EvidenceError> {
+        Ok(self - other)
+    }
+
+    fn mul(&self, other: &Self) -> Result<Self, EvidenceError> {
+        Ok(self * other)
+    }
+
+    fn div(&self, other: &Self) -> Result<Self, EvidenceError> {
+        if *other == 0.0 {
+            return Err(EvidenceError::RatioDivisionByZero);
+        }
+        Ok(self / other)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.abs() < F64_EPS
+    }
+
+    fn is_valid_mass(&self) -> bool {
+        self.is_finite() && *self >= 0.0
+    }
+
+    fn approx_eq(&self, other: &Self) -> bool {
+        (self - other).abs() < F64_EPS
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl Weight for Ratio {
+    fn zero() -> Self {
+        Ratio::ZERO
+    }
+
+    fn one() -> Self {
+        Ratio::ONE
+    }
+
+    fn from_ratio(num: u32, den: u32) -> Self {
+        // Both arguments fit in i128 and den != 0 is enforced by the
+        // public constructors that call this.
+        Ratio::new(num as i128, den as i128).expect("nonzero denominator")
+    }
+
+    fn add(&self, other: &Self) -> Result<Self, EvidenceError> {
+        self.checked_add(other)
+    }
+
+    fn sub(&self, other: &Self) -> Result<Self, EvidenceError> {
+        self.checked_sub(other)
+    }
+
+    fn mul(&self, other: &Self) -> Result<Self, EvidenceError> {
+        self.checked_mul(other)
+    }
+
+    fn div(&self, other: &Self) -> Result<Self, EvidenceError> {
+        self.checked_div(other)
+    }
+
+    fn is_zero(&self) -> bool {
+        Ratio::is_zero(self)
+    }
+
+    fn is_valid_mass(&self) -> bool {
+        !self.is_zero() || self.numer() >= 0
+    }
+
+    fn approx_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+
+    fn to_f64(&self) -> f64 {
+        Ratio::to_f64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_ops() {
+        let half = <f64 as Weight>::from_ratio(1, 2);
+        let third = <f64 as Weight>::from_ratio(1, 3);
+        assert!(half.add(&third).unwrap().approx_eq(&(5.0 / 6.0)));
+        assert!(half.mul(&third).unwrap().approx_eq(&(1.0 / 6.0)));
+        assert!(half.sub(&half).unwrap().is_zero());
+        assert!(half.div(&third).unwrap().approx_eq(&1.5));
+        assert_eq!(
+            half.div(&0.0),
+            Err(EvidenceError::RatioDivisionByZero)
+        );
+    }
+
+    #[test]
+    fn f64_mass_validity() {
+        assert!(0.0f64.is_valid_mass());
+        assert!(1.0f64.is_valid_mass());
+        assert!(!(-0.1f64).is_valid_mass());
+        assert!(!f64::NAN.is_valid_mass());
+        assert!(!f64::INFINITY.is_valid_mass());
+    }
+
+    #[test]
+    fn ratio_ops_via_trait() {
+        let half = <Ratio as Weight>::from_ratio(1, 2);
+        let third = <Ratio as Weight>::from_ratio(1, 3);
+        assert_eq!(half.add(&third).unwrap(), Ratio::new(5, 6).unwrap());
+        assert!(half.is_positive());
+        assert!(<Ratio as Weight>::zero().is_zero());
+        assert!(half.approx_eq(&Ratio::new(2, 4).unwrap()));
+    }
+
+    #[test]
+    fn f64_zero_tolerance() {
+        assert!((1e-12f64).is_zero());
+        assert!(!(1e-3f64).is_zero());
+        assert!(Weight::is_positive(&0.1f64));
+    }
+}

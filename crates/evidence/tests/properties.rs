@@ -1,0 +1,196 @@
+//! Property-based tests for the Dempster–Shafer substrate.
+//!
+//! These check the algebraic laws the relational layer depends on:
+//! Bel/Pls bounds, normalization preservation, commutativity and
+//! quasi-associativity of Dempster's rule, De Morgan duality of focal
+//! sets, and the mass-conservation property of summarization.
+
+use evirel_evidence::{approx, combine, rules, transform, FocalSet, Frame, MassFunction};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const FRAME_SIZE: usize = 8;
+
+fn frame() -> Arc<Frame> {
+    Arc::new(Frame::new("prop", (0..FRAME_SIZE).map(|i| format!("v{i}"))))
+}
+
+/// Strategy: a non-empty subset of the frame as a bitmask.
+fn subset_strategy() -> impl Strategy<Value = FocalSet> {
+    (1u32..(1 << FRAME_SIZE)).prop_map(|bits| {
+        FocalSet::from_indices((0..FRAME_SIZE).filter(|i| bits & (1 << i) != 0))
+    })
+}
+
+/// Strategy: a valid f64 mass function with 1..=5 focal elements.
+fn mass_strategy() -> impl Strategy<Value = MassFunction<f64>> {
+    proptest::collection::vec((1u32..(1 << FRAME_SIZE), 1u32..1000u32), 1..=5).prop_map(
+        |raw| {
+            // Deduplicate subsets, accumulate weights, then normalize.
+            use std::collections::HashMap;
+            let mut acc: HashMap<u32, u64> = HashMap::new();
+            for (bits, w) in raw {
+                *acc.entry(bits).or_insert(0) += w as u64;
+            }
+            let total: u64 = acc.values().sum();
+            let entries = acc.into_iter().map(|(bits, w)| {
+                (
+                    FocalSet::from_indices((0..FRAME_SIZE).filter(|i| bits & (1 << i) != 0)),
+                    w as f64 / total as f64,
+                )
+            });
+            MassFunction::from_entries(frame(), entries).expect("normalized by construction")
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn bel_le_pls(m in mass_strategy(), s in subset_strategy()) {
+        prop_assert!(m.bel(&s) <= m.pls(&s) + 1e-12);
+    }
+
+    #[test]
+    fn pls_is_one_minus_bel_complement(m in mass_strategy(), s in subset_strategy()) {
+        let comp = s.complement(FRAME_SIZE);
+        prop_assert!((m.pls(&s) - (1.0 - m.bel(&comp))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bel_monotone_under_superset(m in mass_strategy(), s in subset_strategy(), t in subset_strategy()) {
+        let u = s.union(&t);
+        prop_assert!(m.bel(&s) <= m.bel(&u) + 1e-12);
+        prop_assert!(m.pls(&s) <= m.pls(&u) + 1e-12);
+    }
+
+    #[test]
+    fn combination_preserves_normalization(a in mass_strategy(), b in mass_strategy()) {
+        if let Ok(c) = combine::dempster(&a, &b) {
+            let total: f64 = c.mass.iter().map(|(_, w)| *w).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!((0.0..1.0 + 1e-12).contains(&c.conflict));
+        }
+    }
+
+    #[test]
+    fn dempster_commutative(a in mass_strategy(), b in mass_strategy()) {
+        let ab = combine::dempster(&a, &b);
+        let ba = combine::dempster(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => {
+                prop_assert!(x.mass.approx_eq(&y.mass));
+                prop_assert!((x.conflict - y.conflict).abs() < 1e-9);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "one direction conflicted, the other did not"),
+        }
+    }
+
+    #[test]
+    fn dempster_associative(a in mass_strategy(), b in mass_strategy(), c in mass_strategy()) {
+        let left = combine::dempster(&a, &b)
+            .and_then(|ab| combine::dempster(&ab.mass, &c));
+        let right = combine::dempster(&b, &c)
+            .and_then(|bc| combine::dempster(&a, &bc.mass));
+        if let (Ok(l), Ok(r)) = (left, right) {
+            for (s, w) in l.mass.iter() {
+                prop_assert!((w - r.mass.mass_of(s)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn vacuous_is_neutral(a in mass_strategy()) {
+        let v = MassFunction::<f64>::vacuous(frame()).unwrap();
+        let c = combine::dempster(&a, &v).unwrap();
+        prop_assert!(c.mass.approx_eq(&a));
+        prop_assert!(c.conflict.abs() < 1e-12);
+    }
+
+    #[test]
+    fn yager_and_dubois_prade_total_mass(a in mass_strategy(), b in mass_strategy()) {
+        let y = rules::yager(&a, &b).unwrap();
+        let total: f64 = y.iter().map(|(_, w)| *w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let dp = rules::dubois_prade(&a, &b).unwrap();
+        let total: f64 = dp.iter().map(|(_, w)| *w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixing_never_conflicts(a in mass_strategy(), b in mass_strategy()) {
+        let m = rules::mixing(&a, &b).unwrap();
+        let total: f64 = m.iter().map(|(_, w)| *w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pignistic_is_probability(m in mass_strategy()) {
+        let p = transform::pignistic(&m).unwrap();
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|x| *x >= -1e-12));
+    }
+
+    #[test]
+    fn pignistic_within_bel_pls(m in mass_strategy()) {
+        // BetP(x) lies in [Bel({x}), Pls({x})] for every element.
+        let p = transform::pignistic(&m).unwrap();
+        for (i, betp) in p.iter().enumerate() {
+            let s = FocalSet::singleton(i);
+            prop_assert!(m.bel(&s) - 1e-9 <= *betp);
+            prop_assert!(*betp <= m.pls(&s) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summarize_conserves_mass_and_pls(m in mass_strategy(), k in 1usize..6) {
+        let s = approx::summarize(&m, k).unwrap();
+        prop_assert!(s.focal_count() <= k.max(m.focal_count().min(k)));
+        let total: f64 = s.iter().map(|(_, w)| *w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for i in 0..FRAME_SIZE {
+            let singleton = FocalSet::singleton(i);
+            prop_assert!(s.pls(&singleton) + 1e-9 >= m.pls(&singleton));
+        }
+    }
+
+    #[test]
+    fn mobius_roundtrips(m in mass_strategy()) {
+        let rec = transform::mobius_inversion(frame(), |s| m.bel(s)).unwrap();
+        for (s, w) in m.iter() {
+            prop_assert!((rec.mass_of(s) - *w).abs() < 1e-6);
+        }
+    }
+}
+
+proptest! {
+    // Focal-set algebra laws.
+    #[test]
+    fn de_morgan(s in subset_strategy(), t in subset_strategy()) {
+        let lhs = s.union(&t).complement(FRAME_SIZE);
+        let rhs = s.complement(FRAME_SIZE).intersect(&t.complement(FRAME_SIZE));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(
+        a in subset_strategy(), b in subset_strategy(), c in subset_strategy()
+    ) {
+        let lhs = a.intersect(&b.union(&c));
+        let rhs = a.intersect(&b).union(&a.intersect(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subset_iff_intersection_is_self(s in subset_strategy(), t in subset_strategy()) {
+        prop_assert_eq!(s.is_subset_of(&t), s.intersect(&t) == s);
+    }
+
+    #[test]
+    fn iter_roundtrip(s in subset_strategy()) {
+        let rebuilt = FocalSet::from_indices(s.iter());
+        prop_assert_eq!(rebuilt, s.clone());
+        prop_assert_eq!(s.iter().count(), s.len());
+    }
+}

@@ -1,0 +1,276 @@
+//! Attribute domain information: value-level mappings between source
+//! and global domains (Figure 1's "Attribute Domain Information").
+//!
+//! DeMichiel's key observation — reiterated in the paper's
+//! introduction — is that mapping conflicting attributes to a common
+//! domain can itself *generate* uncertainty: a source value may
+//! correspond to several global values. A [`DomainMapping`] therefore
+//! sends each source value to a [`MappedValue`]:
+//!
+//! * one-to-one: a definite global value;
+//! * one-to-many: an evidence set over global values (e.g. a source
+//!   rating `"B"` mapping to `[gd^0.7, avg^0.3]`, or a source cuisine
+//!   `"chinese"` mapping to the focal set `{hu, si, ca}`).
+
+use crate::error::IntegrateError;
+use evirel_evidence::MassFunction;
+use evirel_relation::{AttrDomain, AttrValue, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The image of one source value in the global domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappedValue {
+    /// Maps to a single definite global value.
+    Definite(Value),
+    /// Maps to an evidence set: `(global values, mass)` entries which
+    /// must sum to 1 (masses on multi-value sets express genuine
+    /// ambiguity).
+    Uncertain(Vec<(Vec<Value>, f64)>),
+}
+
+/// A value-level mapping into a global attribute domain.
+#[derive(Debug, Clone)]
+pub struct DomainMapping {
+    target: Arc<AttrDomain>,
+    entries: HashMap<Value, MappedValue>,
+    /// When `true`, source values already in the target domain pass
+    /// through unmapped entries (identity fallback).
+    passthrough: bool,
+}
+
+impl DomainMapping {
+    /// A mapping into `target` with identity fallback enabled.
+    pub fn new(target: Arc<AttrDomain>) -> DomainMapping {
+        DomainMapping { target, entries: HashMap::new(), passthrough: true }
+    }
+
+    /// Disable the identity fallback: every encountered source value
+    /// must be explicitly mapped.
+    pub fn strict(mut self) -> Self {
+        self.passthrough = false;
+        self
+    }
+
+    /// Map `source` to a definite global value.
+    pub fn to_definite(mut self, source: impl Into<Value>, global: impl Into<Value>) -> Self {
+        self.entries.insert(source.into(), MappedValue::Definite(global.into()));
+        self
+    }
+
+    /// Map `source` to an evidence set over the global domain.
+    pub fn to_uncertain(
+        mut self,
+        source: impl Into<Value>,
+        entries: Vec<(Vec<Value>, f64)>,
+    ) -> Self {
+        self.entries.insert(source.into(), MappedValue::Uncertain(entries));
+        self
+    }
+
+    /// The global (target) domain.
+    pub fn target(&self) -> &Arc<AttrDomain> {
+        &self.target
+    }
+
+    /// Map one source attribute value into the global domain.
+    ///
+    /// Evidence-set inputs are mapped focal-element-wise through the
+    /// value map (each member value mapped; definite images only), so
+    /// already-uncertain sources stay uncertain.
+    ///
+    /// # Errors
+    /// * [`IntegrateError::UnmappedValue`] under [`DomainMapping::strict`]
+    ///   (or when the identity fallback fails because the value is not
+    ///   in the target domain);
+    /// * evidence construction errors for ill-formed uncertain images.
+    pub fn map_value(&self, attr: &str, v: &AttrValue) -> Result<AttrValue, IntegrateError> {
+        match v {
+            AttrValue::Definite(value) => self.map_definite(attr, value),
+            AttrValue::Evidential(m) => {
+                // Translate each focal element member-wise.
+                let mut builder = MassFunction::<f64>::builder(Arc::clone(self.target.frame()));
+                for (set, w) in m.iter() {
+                    let mut member_indices = Vec::with_capacity(set.len());
+                    for i in set.iter() {
+                        let label = m.frame().label(i).map_err(evirel_relation::RelationError::from)?;
+                        let source_value = source_value_guess(label);
+                        let image = self.image_of(attr, &source_value)?;
+                        match image {
+                            MappedValue::Definite(gv) => {
+                                member_indices.push(self.target.index_of(&gv)?);
+                            }
+                            MappedValue::Uncertain(entries) => {
+                                // A set member mapping to an uncertain
+                                // image widens the focal element to the
+                                // union of its images.
+                                for (vals, _) in &entries {
+                                    for gv in vals {
+                                        member_indices.push(self.target.index_of(gv)?);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    builder = builder
+                        .add_set(
+                            evirel_evidence::FocalSet::from_indices(member_indices),
+                            *w,
+                        )
+                        .map_err(evirel_relation::RelationError::from)?;
+                }
+                Ok(AttrValue::Evidential(
+                    builder.build().map_err(evirel_relation::RelationError::from)?,
+                ))
+            }
+        }
+    }
+
+    fn map_definite(&self, attr: &str, value: &Value) -> Result<AttrValue, IntegrateError> {
+        match self.image_of(attr, value)? {
+            MappedValue::Definite(gv) => {
+                // Validate membership in the target domain.
+                self.target.index_of(&gv)?;
+                Ok(AttrValue::Definite(gv))
+            }
+            MappedValue::Uncertain(entries) => {
+                let mut builder = MassFunction::<f64>::builder(Arc::clone(self.target.frame()));
+                for (vals, w) in &entries {
+                    let set = self.target.subset_of_values(vals.iter())?;
+                    builder = builder
+                        .add_set(set, *w)
+                        .map_err(evirel_relation::RelationError::from)?;
+                }
+                Ok(AttrValue::Evidential(
+                    builder.build().map_err(evirel_relation::RelationError::from)?,
+                ))
+            }
+        }
+    }
+
+    fn image_of(&self, attr: &str, value: &Value) -> Result<MappedValue, IntegrateError> {
+        if let Some(image) = self.entries.get(value) {
+            return Ok(image.clone());
+        }
+        if self.passthrough && self.target.index_of(value).is_ok() {
+            return Ok(MappedValue::Definite(value.clone()));
+        }
+        Err(IntegrateError::UnmappedValue {
+            attr: attr.to_owned(),
+            value: value.to_string(),
+        })
+    }
+}
+
+/// Frame labels are rendered values; recover the `Value` for lookup.
+/// Labels that parse as integers are integer values, otherwise
+/// strings (floats are not used as evidential domain labels).
+fn source_value_guess(label: &str) -> Value {
+    match label.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(label),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap())
+    }
+
+    #[test]
+    fn one_to_one_mapping() {
+        let m = DomainMapping::new(target())
+            .to_definite("A", "ex")
+            .to_definite("B", "gd")
+            .to_definite("C", "avg");
+        let out = m.map_value("rating", &AttrValue::Definite(Value::str("B"))).unwrap();
+        assert_eq!(out, AttrValue::Definite(Value::str("gd")));
+    }
+
+    #[test]
+    fn one_to_many_mapping_generates_uncertainty() {
+        // Source "B+" is between gd and ex: the mapping *introduces*
+        // an evidence set — DeMichiel's phenomenon.
+        let m = DomainMapping::new(target()).to_uncertain(
+            "B+",
+            vec![
+                (vec![Value::str("gd")], 0.6),
+                (vec![Value::str("gd"), Value::str("ex")], 0.4),
+            ],
+        );
+        let out = m.map_value("rating", &AttrValue::Definite(Value::str("B+"))).unwrap();
+        let ev = out.as_evidential().unwrap();
+        assert_eq!(ev.focal_count(), 2);
+        let gd = target().subset_of_values([&Value::str("gd")]).unwrap();
+        assert!((ev.mass_of(&gd) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn passthrough_identity() {
+        let m = DomainMapping::new(target());
+        let out = m.map_value("rating", &AttrValue::Definite(Value::str("ex"))).unwrap();
+        assert_eq!(out, AttrValue::Definite(Value::str("ex")));
+    }
+
+    #[test]
+    fn strict_rejects_unmapped() {
+        let m = DomainMapping::new(target()).strict();
+        assert!(matches!(
+            m.map_value("rating", &AttrValue::Definite(Value::str("ex"))),
+            Err(IntegrateError::UnmappedValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unmappable_value_reported() {
+        let m = DomainMapping::new(target());
+        assert!(matches!(
+            m.map_value("rating", &AttrValue::Definite(Value::str("★★"))),
+            Err(IntegrateError::UnmappedValue { .. })
+        ));
+    }
+
+    #[test]
+    fn evidential_input_translates_focal_elements() {
+        // Source evidence over {A, B, C} translated into the global
+        // rating domain.
+        let source_domain =
+            Arc::new(AttrDomain::categorical("grade", ["A", "B", "C"]).unwrap());
+        let ev = MassFunction::<f64>::builder(Arc::clone(source_domain.frame()))
+            .add(["A"], 0.5)
+            .unwrap()
+            .add(["B", "C"], 0.5)
+            .unwrap()
+            .build()
+            .unwrap();
+        let m = DomainMapping::new(target())
+            .to_definite("A", "ex")
+            .to_definite("B", "gd")
+            .to_definite("C", "avg");
+        let out = m.map_value("rating", &AttrValue::Evidential(ev)).unwrap();
+        let out = out.as_evidential().unwrap();
+        let ex = target().subset_of_values([&Value::str("ex")]).unwrap();
+        let gd_avg = target()
+            .subset_of_values([&Value::str("gd"), &Value::str("avg")])
+            .unwrap();
+        assert!((out.mass_of(&ex) - 0.5).abs() < 1e-12);
+        assert!((out.mass_of(&gd_avg) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_labels_roundtrip() {
+        let int_target = Arc::new(AttrDomain::integers("n", 1, 5).unwrap());
+        let source = Arc::new(AttrDomain::integers("m", 1, 5).unwrap());
+        let ev = MassFunction::<f64>::builder(Arc::clone(source.frame()))
+            .add(["2"], 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let m = DomainMapping::new(int_target);
+        let out = m.map_value("n", &AttrValue::Evidential(ev)).unwrap();
+        assert!(out.as_evidential().unwrap().as_definite().is_some());
+    }
+}

@@ -1,0 +1,207 @@
+//! Entity identification (Figure 1): which tuples denote the same
+//! real-world entity?
+//!
+//! The paper assumes the preprocessed relations share a common
+//! definite key (§1.1: *"For simplicity, we assume that the
+//! preprocessed relations share a common key which determines the
+//! matched tuples"*) — [`KeyMatcher`]. The general problem is the
+//! authors' companion work (Lim et al., ICDE 1993); the
+//! [`EntityMatcher`] trait leaves room for richer matchers, of which
+//! [`NormalizedKeyMatcher`] (case/whitespace-insensitive string keys)
+//! is a small useful instance.
+
+use crate::error::IntegrateError;
+use evirel_relation::{ExtendedRelation, Value};
+
+/// The product of entity identification: Figure 1's "Tuple Matching
+/// Info."
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome {
+    /// Key pairs `(left key, right key)` identified as the same
+    /// entity.
+    pub matched: Vec<(Vec<Value>, Vec<Value>)>,
+    /// Left keys with no counterpart.
+    pub left_only: Vec<Vec<Value>>,
+    /// Right keys with no counterpart.
+    pub right_only: Vec<Vec<Value>>,
+}
+
+impl MatchOutcome {
+    /// Total number of matched pairs.
+    pub fn matched_count(&self) -> usize {
+        self.matched.len()
+    }
+}
+
+/// A tuple-matching strategy.
+pub trait EntityMatcher {
+    /// Identify matching tuples between two relations.
+    ///
+    /// # Errors
+    /// Matcher-specific failures (e.g. ambiguous matches).
+    fn match_tuples(
+        &self,
+        left: &ExtendedRelation,
+        right: &ExtendedRelation,
+    ) -> Result<MatchOutcome, IntegrateError>;
+}
+
+/// Exact common-key matching — the paper's assumption.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyMatcher;
+
+impl EntityMatcher for KeyMatcher {
+    fn match_tuples(
+        &self,
+        left: &ExtendedRelation,
+        right: &ExtendedRelation,
+    ) -> Result<MatchOutcome, IntegrateError> {
+        let mut matched = Vec::new();
+        let mut left_only = Vec::new();
+        for key in left.keys() {
+            if right.contains_key(&key) {
+                matched.push((key.clone(), key));
+            } else {
+                left_only.push(key);
+            }
+        }
+        let right_only = right
+            .keys()
+            .filter(|k| !left.contains_key(k))
+            .collect();
+        Ok(MatchOutcome { matched, left_only, right_only })
+    }
+}
+
+/// Key matching after normalizing string key components (lowercase,
+/// trimmed, inner whitespace collapsed) — tolerates clerical
+/// differences like `"Wok "` vs `"wok"`.
+///
+/// # Errors
+/// [`IntegrateError::BadMatch`] if normalization makes two distinct
+/// keys of the *same* relation collide (the match would be ambiguous).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedKeyMatcher;
+
+fn normalize_key(key: &[Value]) -> Vec<Value> {
+    key.iter()
+        .map(|v| match v {
+            Value::Str(s) => {
+                let collapsed = s.split_whitespace().collect::<Vec<_>>().join(" ");
+                Value::str(collapsed.to_lowercase())
+            }
+            other => other.clone(),
+        })
+        .collect()
+}
+
+impl EntityMatcher for NormalizedKeyMatcher {
+    fn match_tuples(
+        &self,
+        left: &ExtendedRelation,
+        right: &ExtendedRelation,
+    ) -> Result<MatchOutcome, IntegrateError> {
+        use std::collections::HashMap;
+        let mut norm_right: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+        for key in right.keys() {
+            let norm = normalize_key(&key);
+            if norm_right.insert(norm.clone(), key).is_some() {
+                return Err(IntegrateError::BadMatch {
+                    reason: format!(
+                        "normalization collides right keys at {}",
+                        Value::render_key(&norm)
+                    ),
+                });
+            }
+        }
+        let mut seen_left: HashMap<Vec<Value>, ()> = HashMap::new();
+        let mut matched = Vec::new();
+        let mut left_only = Vec::new();
+        for key in left.keys() {
+            let norm = normalize_key(&key);
+            if seen_left.insert(norm.clone(), ()).is_some() {
+                return Err(IntegrateError::BadMatch {
+                    reason: format!(
+                        "normalization collides left keys at {}",
+                        Value::render_key(&norm)
+                    ),
+                });
+            }
+            match norm_right.get(&norm) {
+                Some(rkey) => matched.push((key, rkey.clone())),
+                None => left_only.push(key),
+            }
+        }
+        let matched_right: std::collections::HashSet<&Vec<Value>> =
+            matched.iter().map(|(_, r)| r).collect();
+        let right_only = right
+            .keys()
+            .filter(|k| !matched_right.contains(k))
+            .collect();
+        Ok(MatchOutcome { matched, left_only, right_only })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema};
+    use std::sync::Arc;
+
+    fn rel(name: &str, keys: &[&str]) -> ExtendedRelation {
+        let d = Arc::new(AttrDomain::categorical("d", ["x"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder(name)
+                .key_str("k")
+                .evidential("d", Arc::clone(&d))
+                .build()
+                .unwrap(),
+        );
+        let mut b = RelationBuilder::new(schema);
+        for k in keys {
+            b = b
+                .tuple(|t| t.set_str("k", *k).set_evidence("d", [(&["x"][..], 1.0)]))
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn key_matcher_partitions() {
+        let a = rel("A", &["garden", "wok", "ashiana"]);
+        let b = rel("B", &["garden", "wok", "mehl"]);
+        let m = KeyMatcher.match_tuples(&a, &b).unwrap();
+        assert_eq!(m.matched_count(), 2);
+        assert_eq!(m.left_only, vec![vec![Value::str("ashiana")]]);
+        assert_eq!(m.right_only, vec![vec![Value::str("mehl")]]);
+    }
+
+    #[test]
+    fn normalized_matcher_tolerates_case_and_space() {
+        let a = rel("A", &["Garden ", "WOK"]);
+        let b = rel("B", &["garden", "wok"]);
+        let m = NormalizedKeyMatcher.match_tuples(&a, &b).unwrap();
+        assert_eq!(m.matched_count(), 2);
+        assert!(m.left_only.is_empty());
+        assert!(m.right_only.is_empty());
+    }
+
+    #[test]
+    fn normalized_matcher_rejects_collisions() {
+        let a = rel("A", &["Wok", "wok "]);
+        let b = rel("B", &["wok"]);
+        assert!(matches!(
+            NormalizedKeyMatcher.match_tuples(&a, &b),
+            Err(IntegrateError::BadMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_relations_match_trivially() {
+        let a = rel("A", &[]);
+        let b = rel("B", &["x"]);
+        let m = KeyMatcher.match_tuples(&a, &b).unwrap();
+        assert_eq!(m.matched_count(), 0);
+        assert_eq!(m.right_only.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for the integration framework.
+
+use evirel_algebra::AlgebraError;
+use evirel_evidence::EvidenceError;
+use evirel_relation::RelationError;
+use std::fmt;
+
+/// Errors produced by the integration pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntegrateError {
+    /// An underlying algebra error (union, selection, …).
+    Algebra(AlgebraError),
+    /// An underlying relational-model error.
+    Relation(RelationError),
+    /// An underlying evidence error.
+    Evidence(EvidenceError),
+    /// A schema mapping referenced a source attribute that does not
+    /// exist.
+    UnmappedAttribute {
+        /// The attribute with no mapping.
+        attr: String,
+    },
+    /// A domain mapping had no entry for an encountered source value.
+    UnmappedValue {
+        /// Attribute being mapped.
+        attr: String,
+        /// Rendering of the value with no mapping.
+        value: String,
+    },
+    /// An integration method was assigned to an attribute it cannot
+    /// handle (e.g. an aggregate on a non-numeric attribute).
+    MethodMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Why the method cannot apply.
+        reason: String,
+    },
+    /// The matcher produced a tuple pairing whose keys disagree.
+    BadMatch {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Algebra(e) => write!(f, "algebra error: {e}"),
+            Self::Relation(e) => write!(f, "relation error: {e}"),
+            Self::Evidence(e) => write!(f, "evidence error: {e}"),
+            Self::UnmappedAttribute { attr } => {
+                write!(f, "no schema mapping for source attribute {attr:?}")
+            }
+            Self::UnmappedValue { attr, value } => {
+                write!(f, "no domain mapping for value {value} of attribute {attr:?}")
+            }
+            Self::MethodMismatch { attr, reason } => {
+                write!(f, "integration method cannot handle attribute {attr:?}: {reason}")
+            }
+            Self::BadMatch { reason } => write!(f, "invalid tuple matching: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Algebra(e) => Some(e),
+            Self::Relation(e) => Some(e),
+            Self::Evidence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for IntegrateError {
+    fn from(e: AlgebraError) -> Self {
+        IntegrateError::Algebra(e)
+    }
+}
+
+impl From<RelationError> for IntegrateError {
+    fn from(e: RelationError) -> Self {
+        IntegrateError::Relation(e)
+    }
+}
+
+impl From<EvidenceError> for IntegrateError {
+    fn from(e: EvidenceError) -> Self {
+        IntegrateError::Evidence(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: IntegrateError = RelationError::CwaViolation.into();
+        assert!(matches!(e, IntegrateError::Relation(_)));
+        let e: IntegrateError = EvidenceError::TotalConflict.into();
+        assert!(matches!(e, IntegrateError::Evidence(_)));
+        let e: IntegrateError = AlgebraError::PredicateType { reason: "x".into() }.into();
+        assert!(matches!(e, IntegrateError::Algebra(_)));
+    }
+
+    #[test]
+    fn messages() {
+        let e = IntegrateError::UnmappedValue { attr: "rating".into(), value: "★★★".into() };
+        assert!(e.to_string().contains("rating"));
+        assert!(e.to_string().contains("★★★"));
+    }
+}

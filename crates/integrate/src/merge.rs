@@ -1,0 +1,394 @@
+//! Tuple merging (Figure 1): combine matched tuples into the
+//! integrated relation, driven by the attribute integration methods.
+//!
+//! This generalizes the extended union ∪̃ of the algebra layer: where
+//! ∪̃ applies Dempster's rule to *every* non-key attribute, the merger
+//! dispatches per attribute through the [`MethodRegistry`], so
+//! evidential combination, Dayal aggregates, and trust policies
+//! coexist — the §1.3 coexistence claim, executable.
+
+use crate::entity_id::MatchOutcome;
+use crate::error::IntegrateError;
+use crate::methods::{IntegrationMethod, MethodRegistry};
+use evirel_algebra::{AttributeConflict, ConflictPolicy, ConflictReport};
+use evirel_evidence::{combine, rules::CombinationRule, EvidenceError, MassFunction};
+use evirel_relation::{
+    AttrType, AttrValue, ExtendedRelation, SupportPair, Tuple, Value,
+};
+use std::sync::Arc;
+
+/// The result of tuple merging.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The integrated relation.
+    pub relation: ExtendedRelation,
+    /// Conflict observations for the data administrator.
+    pub report: ConflictReport,
+}
+
+/// Merge two preprocessed relations according to `matching` and
+/// `registry`.
+///
+/// # Errors
+/// * [`IntegrateError::Relation`] for union-incompatible schemas;
+/// * [`IntegrateError::MethodMismatch`] from registry validation;
+/// * [`IntegrateError::Algebra`] wrapping a total conflict under
+///   [`ConflictPolicy::Error`].
+pub fn merge_relations(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+    matching: &MatchOutcome,
+    registry: &MethodRegistry,
+) -> Result<MergeOutcome, IntegrateError> {
+    let schema = left.schema();
+    schema
+        .check_union_compatible(right.schema())
+        .map_err(IntegrateError::Relation)?;
+    registry.validate(schema)?;
+
+    let out_schema = Arc::new(schema.renamed(format!(
+        "{}⊎{}",
+        schema.name(),
+        right.schema().name()
+    )));
+    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
+    let mut report = ConflictReport::new();
+
+    for (lk, rk) in &matching.matched {
+        let l = left.get_by_key(lk).ok_or_else(|| IntegrateError::BadMatch {
+            reason: format!("left key {} not found", Value::render_key(lk)),
+        })?;
+        let r = right.get_by_key(rk).ok_or_else(|| IntegrateError::BadMatch {
+            reason: format!("right key {} not found", Value::render_key(rk)),
+        })?;
+        if let Some(tuple) = merge_pair(schema, lk, l, r, registry, &mut report)? {
+            out.insert(tuple)?;
+        }
+    }
+    for key in &matching.left_only {
+        let t = left.get_by_key(key).ok_or_else(|| IntegrateError::BadMatch {
+            reason: format!("left key {} not found", Value::render_key(key)),
+        })?;
+        if t.membership().is_positive() {
+            out.insert(t.clone())?;
+        }
+    }
+    for key in &matching.right_only {
+        let t = right.get_by_key(key).ok_or_else(|| IntegrateError::BadMatch {
+            reason: format!("right key {} not found", Value::render_key(key)),
+        })?;
+        if t.membership().is_positive() {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(MergeOutcome { relation: out, report })
+}
+
+fn merge_pair(
+    schema: &evirel_relation::Schema,
+    key: &[Value],
+    l: &Tuple,
+    r: &Tuple,
+    registry: &MethodRegistry,
+    report: &mut ConflictReport,
+) -> Result<Option<Tuple>, IntegrateError> {
+    let mut values = Vec::with_capacity(schema.arity());
+    for (pos, attr) in schema.attrs().iter().enumerate() {
+        let lv = l.value(pos);
+        let rv = r.value(pos);
+        if attr.is_key() {
+            // Left key is canonical (matchers may pair unequal keys).
+            values.push(lv.clone());
+            continue;
+        }
+        let merged = match registry.method_for_attr(attr) {
+            IntegrationMethod::KeepLeft => lv.clone(),
+            IntegrationMethod::KeepRight => rv.clone(),
+            IntegrationMethod::Aggregate(f) => {
+                let (a, b) = match (lv.as_definite(), rv.as_definite()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        return Err(IntegrateError::MethodMismatch {
+                            attr: attr.name().to_owned(),
+                            reason: "aggregate method requires definite values".to_owned(),
+                        })
+                    }
+                };
+                let resolved = f.resolve_values(a, b).ok_or_else(|| {
+                    IntegrateError::MethodMismatch {
+                        attr: attr.name().to_owned(),
+                        reason: format!("aggregate {f} cannot resolve {a} and {b}"),
+                    }
+                })?;
+                AttrValue::Definite(resolved)
+            }
+            IntegrationMethod::Evidential => {
+                evidential_merge(attr, key, lv, rv, CombinationRule::Dempster, registry, report)?
+            }
+            IntegrationMethod::EvidentialWith(rule) => {
+                evidential_merge(attr, key, lv, rv, rule, registry, report)?
+            }
+        };
+        values.push(merged);
+    }
+
+    let membership = match l.membership().combine_dempster(&r.membership()) {
+        Ok(m) => m,
+        Err(evirel_relation::RelationError::Evidence(EvidenceError::TotalConflict)) => {
+            report.record(AttributeConflict {
+                key: key.to_vec(),
+                attr: "(sn,sp)".to_owned(),
+                kappa: 1.0,
+                total: true,
+            });
+            match registry.on_total_conflict {
+                ConflictPolicy::Error => {
+                    return Err(IntegrateError::Algebra(
+                        evirel_algebra::AlgebraError::TotalConflict {
+                            key: Value::render_key(key),
+                            attr: "(sn,sp)".to_owned(),
+                        },
+                    ))
+                }
+                ConflictPolicy::KeepLeft => l.membership(),
+                ConflictPolicy::KeepRight => r.membership(),
+                ConflictPolicy::Vacuous => SupportPair::unknown(),
+            }
+        }
+        Err(e) => return Err(IntegrateError::Relation(e)),
+    };
+    if !membership.is_positive() {
+        return Ok(None);
+    }
+    Ok(Some(Tuple::new(schema, values, membership)?))
+}
+
+fn evidential_merge(
+    attr: &evirel_relation::AttrDef,
+    key: &[Value],
+    lv: &AttrValue,
+    rv: &AttrValue,
+    rule: CombinationRule,
+    registry: &MethodRegistry,
+    report: &mut ConflictReport,
+) -> Result<AttrValue, IntegrateError> {
+    let domain = match attr.ty() {
+        AttrType::Evidential(d) => d,
+        AttrType::Definite(_) => {
+            return Err(IntegrateError::MethodMismatch {
+                attr: attr.name().to_owned(),
+                reason: "evidential merge needs an evidential attribute".to_owned(),
+            })
+        }
+    };
+    let lm = lv.to_evidence(domain)?;
+    let rm = rv.to_evidence(domain)?;
+    let kappa = combine::conflict(&lm, &rm)?;
+    match rule.combine(&lm, &rm) {
+        Ok(mass) => {
+            if kappa > 0.0 {
+                report.record(AttributeConflict {
+                    key: key.to_vec(),
+                    attr: attr.name().to_owned(),
+                    kappa,
+                    total: false,
+                });
+            }
+            Ok(AttrValue::Evidential(mass))
+        }
+        Err(EvidenceError::TotalConflict) => {
+            report.record(AttributeConflict {
+                key: key.to_vec(),
+                attr: attr.name().to_owned(),
+                kappa: 1.0,
+                total: true,
+            });
+            match registry.on_total_conflict {
+                ConflictPolicy::Error => Err(IntegrateError::Algebra(
+                    evirel_algebra::AlgebraError::TotalConflict {
+                        key: Value::render_key(key),
+                        attr: attr.name().to_owned(),
+                    },
+                )),
+                ConflictPolicy::KeepLeft => Ok(AttrValue::Evidential(lm)),
+                ConflictPolicy::KeepRight => Ok(AttrValue::Evidential(rm)),
+                ConflictPolicy::Vacuous => Ok(AttrValue::Evidential(
+                    MassFunction::vacuous(Arc::clone(domain.frame()))
+                        .map_err(evirel_relation::RelationError::from)?,
+                )),
+            }
+        }
+        Err(e) => Err(IntegrateError::Evidence(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity_id::{EntityMatcher, KeyMatcher};
+    use evirel_baselines::AggregateFn;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, ValueKind};
+
+    fn domain() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap())
+    }
+
+    fn schema(name: &str) -> Arc<Schema> {
+        Arc::new(
+            Schema::builder(name)
+                .key_str("k")
+                .definite("seats", ValueKind::Int)
+                .evidential("rating", domain())
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn left() -> ExtendedRelation {
+        RelationBuilder::new(schema("L"))
+            .tuple(|t| {
+                t.set_str("k", "wok")
+                    .set_int("seats", 40)
+                    .set_evidence("rating", [(&["gd"][..], 0.6), (&["ex"][..], 0.4)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("k", "solo-left")
+                    .set_int("seats", 10)
+                    .set_evidence("rating", [(&["avg"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    fn right() -> ExtendedRelation {
+        RelationBuilder::new(schema("R"))
+            .tuple(|t| {
+                t.set_str("k", "wok")
+                    .set_int("seats", 50)
+                    .set_evidence("rating", [(&["gd"][..], 1.0)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("k", "solo-right")
+                    .set_int("seats", 20)
+                    .set_evidence("rating", [(&["ex"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    fn registry() -> MethodRegistry {
+        MethodRegistry::new()
+            .with_default(IntegrationMethod::KeepLeft)
+            .assign("rating", IntegrationMethod::Evidential)
+            .assign("seats", IntegrationMethod::Aggregate(AggregateFn::Average))
+    }
+
+    #[test]
+    fn methods_coexist_in_one_merge() {
+        let (l, r) = (left(), right());
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        let out = merge_relations(&l, &r, &matching, &registry()).unwrap();
+        assert_eq!(out.relation.len(), 3);
+        let wok = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        // Dayal average on seats.
+        assert_eq!(wok.value(1).as_definite(), Some(&Value::int(45)));
+        // Dempster on rating: gd = 0.6 / (1 - 0.4) = 1.0 after the ex
+        // mass conflicts away… compute: products gd∩gd 0.6, ex∩gd ∅
+        // 0.4 → κ = 0.4, gd = 1.0.
+        let rating = wok.value(2).as_evidential().unwrap();
+        let gd = domain().subset_of_values([&Value::str("gd")]).unwrap();
+        assert!((rating.mass_of(&gd) - 1.0).abs() < 1e-9);
+        // Conflict recorded.
+        assert_eq!(out.report.len(), 1);
+        assert!((out.report.conflicts()[0].kappa - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_tuples_pass_through() {
+        let (l, r) = (left(), right());
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        let out = merge_relations(&l, &r, &matching, &registry()).unwrap();
+        assert!(out.relation.contains_key(&[Value::str("solo-left")]));
+        assert!(out.relation.contains_key(&[Value::str("solo-right")]));
+    }
+
+    #[test]
+    fn keep_right_policy() {
+        let reg = MethodRegistry::new()
+            .with_default(IntegrationMethod::KeepRight)
+            .assign("rating", IntegrationMethod::Evidential);
+        let (l, r) = (left(), right());
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        let out = merge_relations(&l, &r, &matching, &reg).unwrap();
+        let wok = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        assert_eq!(wok.value(1).as_definite(), Some(&Value::int(50)));
+    }
+
+    #[test]
+    fn registry_validated_upfront() {
+        // Force the evidential method onto the definite "seats".
+        let reg = MethodRegistry::new().with_default(IntegrationMethod::Evidential);
+        let (l, r) = (left(), right());
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        assert!(matches!(
+            merge_relations(&l, &r, &matching, &reg),
+            Err(IntegrateError::MethodMismatch { .. })
+        ));
+        // The zero-config registry merges mixed schemas out of the box.
+        let out = merge_relations(&l, &r, &matching, &MethodRegistry::new()).unwrap();
+        assert_eq!(out.relation.len(), 3);
+        let wok = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        // Definite fallback keeps the left seats value.
+        assert_eq!(wok.value(1).as_definite(), Some(&Value::int(40)));
+    }
+
+    #[test]
+    fn total_conflict_respects_policy() {
+        let mk = |label: &str| {
+            RelationBuilder::new(schema("X"))
+                .tuple(|t| {
+                    t.set_str("k", "wok")
+                        .set_int("seats", 1)
+                        .set_evidence("rating", [(&[label][..], 1.0)])
+                })
+                .unwrap()
+                .build()
+        };
+        let l = mk("ex");
+        let r = mk("avg");
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        let err = merge_relations(&l, &r, &matching, &registry());
+        assert!(matches!(err, Err(IntegrateError::Algebra(_))));
+        let reg = registry().with_conflict_policy(ConflictPolicy::Vacuous);
+        let out = merge_relations(&l, &r, &matching, &reg).unwrap();
+        let wok = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        assert!(wok.value(2).as_evidential().unwrap().is_vacuous());
+    }
+
+    #[test]
+    fn alternative_rule_through_registry() {
+        let reg = registry().assign(
+            "rating",
+            IntegrationMethod::EvidentialWith(CombinationRule::Yager),
+        );
+        let mk = |label: &str| {
+            RelationBuilder::new(schema("X"))
+                .tuple(|t| {
+                    t.set_str("k", "wok")
+                        .set_int("seats", 1)
+                        .set_evidence("rating", [(&[label][..], 1.0)])
+                })
+                .unwrap()
+                .build()
+        };
+        let l = mk("ex");
+        let r = mk("avg");
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        // Yager handles total conflict by moving mass to Ω — no error.
+        let out = merge_relations(&l, &r, &matching, &reg).unwrap();
+        let wok = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
+        assert!(wok.value(2).as_evidential().unwrap().is_vacuous());
+    }
+}

@@ -1,0 +1,123 @@
+//! Schema mapping: attribute correspondences (Figure 1's "Schema
+//! Mapping" input).
+//!
+//! Schema integration (out of scope per §1, handled by [6, 8] in the
+//! paper) produces correspondences between source attribute names and
+//! global-schema attribute names. This module consumes that product: a
+//! [`SchemaMapping`] renames source attributes to their global
+//! counterparts so the preprocessed relations agree attribute-wise.
+
+use crate::error::IntegrateError;
+use evirel_algebra::rename::rename_attribute;
+use evirel_relation::ExtendedRelation;
+use std::collections::HashMap;
+
+/// A source-to-global attribute name mapping for one relation.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaMapping {
+    renames: HashMap<String, String>,
+}
+
+impl SchemaMapping {
+    /// An identity mapping (source names already match the global
+    /// schema).
+    pub fn identity() -> SchemaMapping {
+        SchemaMapping::default()
+    }
+
+    /// Add a correspondence `source_attr ↦ global_attr`.
+    pub fn map(mut self, source_attr: impl Into<String>, global_attr: impl Into<String>) -> Self {
+        self.renames.insert(source_attr.into(), global_attr.into());
+        self
+    }
+
+    /// Number of non-identity correspondences.
+    pub fn len(&self) -> usize {
+        self.renames.len()
+    }
+
+    /// `true` when the mapping is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.renames.is_empty()
+    }
+
+    /// Apply the mapping, renaming attributes.
+    ///
+    /// # Errors
+    /// [`IntegrateError::UnmappedAttribute`] when a source attribute
+    /// named in the mapping does not exist in the relation.
+    pub fn apply(&self, rel: &ExtendedRelation) -> Result<ExtendedRelation, IntegrateError> {
+        let mut out = rel.clone();
+        for (from, to) in &self.renames {
+            if from == to {
+                continue;
+            }
+            out = rename_attribute(&out, from, to).map_err(|e| match e {
+                evirel_algebra::AlgebraError::Relation(
+                    evirel_relation::RelationError::UnknownAttribute { .. },
+                ) => IntegrateError::UnmappedAttribute { attr: from.clone() },
+                other => IntegrateError::Algebra(other),
+            })?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema};
+    use std::sync::Arc;
+
+    fn rel() -> ExtendedRelation {
+        let d = Arc::new(AttrDomain::categorical("cuisine", ["x", "y"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("src")
+                .key_str("name")
+                .evidential("cuisine", d)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| t.set_str("name", "a").set_evidence("cuisine", [(&["x"][..], 1.0)]))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let out = SchemaMapping::identity().apply(&rel()).unwrap();
+        assert_eq!(out.schema().name(), "src");
+        assert!(out.schema().position("cuisine").is_ok());
+    }
+
+    #[test]
+    fn renames_apply() {
+        let m = SchemaMapping::identity()
+            .map("name", "rname")
+            .map("cuisine", "speciality");
+        assert_eq!(m.len(), 2);
+        let out = m.apply(&rel()).unwrap();
+        assert!(out.schema().position("rname").is_ok());
+        assert!(out.schema().position("speciality").is_ok());
+        assert!(out.schema().position("cuisine").is_err());
+        // Key-ness survives.
+        assert!(out.schema().attr_by_name("rname").unwrap().is_key());
+    }
+
+    #[test]
+    fn unknown_source_attr_reported() {
+        let m = SchemaMapping::identity().map("zzz", "w");
+        assert!(matches!(
+            m.apply(&rel()),
+            Err(IntegrateError::UnmappedAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn self_mapping_is_noop() {
+        let m = SchemaMapping::identity().map("cuisine", "cuisine");
+        let out = m.apply(&rel()).unwrap();
+        assert!(out.schema().position("cuisine").is_ok());
+    }
+}

@@ -1,0 +1,140 @@
+//! Abstract syntax of EQL queries.
+//!
+//! The `WHERE` grammar mirrors [`evirel_algebra::Predicate`] directly;
+//! the AST keeps source offsets out (errors carry offsets instead) and
+//! converts losslessly into algebra predicates during planning.
+
+use evirel_relation::Value;
+
+/// A literal value in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Quoted string or bare identifier used as a domain value.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+}
+
+impl Literal {
+    /// Convert to a relational value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Str(s) => Value::str(s.as_str()),
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprOperand {
+    /// An attribute reference (possibly qualified, e.g. `RA.rname`).
+    Attr(String),
+    /// A literal value.
+    Literal(Literal),
+    /// An evidence-set literal `[si^0.5, {hu, ca}^0.5]`.
+    Evidence(Vec<(Vec<Literal>, f64)>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A boolean condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `attr IS {v1, …, vn}`
+    Is {
+        /// Attribute name.
+        attr: String,
+        /// Target values.
+        values: Vec<Literal>,
+    },
+    /// `left op right`
+    Cmp {
+        /// Left operand.
+        left: ExprOperand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: ExprOperand,
+    },
+    /// `a AND b`
+    And(Box<Condition>, Box<Condition>),
+    /// `a OR b` (extension)
+    Or(Box<Condition>, Box<Condition>),
+    /// `NOT a` (extension)
+    Not(Box<Condition>),
+}
+
+/// Membership threshold clause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdClause {
+    /// `WITH SN > c`
+    SnGreater(f64),
+    /// `WITH SN >= c`
+    SnAtLeast(f64),
+    /// `WITH SN = 1`
+    Definite,
+    /// `WITH SP >= c`
+    SpAtLeast(f64),
+}
+
+/// A source expression in `FROM`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// A named relation.
+    Relation(String),
+    /// `left UNION right` — the extended union ∪̃.
+    Union(Box<Source>, Box<Source>),
+    /// `left JOIN right ON condition` — the extended join ⋈̃.
+    Join {
+        /// Left source.
+        left: Box<Source>,
+        /// Right source.
+        right: Box<Source>,
+        /// Join condition.
+        on: Condition,
+    },
+}
+
+/// A full `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `None` means `*`.
+    pub projection: Option<Vec<String>>,
+    /// The source expression.
+    pub source: Source,
+    /// Optional `WHERE` condition.
+    pub predicate: Option<Condition>,
+    /// Optional `WITH` threshold (defaults to `SN > 0`).
+    pub threshold: Option<ThresholdClause>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_conversion() {
+        assert_eq!(Literal::Str("si".into()).to_value(), Value::str("si"));
+        assert_eq!(Literal::Int(5).to_value(), Value::int(5));
+        assert_eq!(Literal::Float(0.5).to_value(), Value::float(0.5));
+    }
+}

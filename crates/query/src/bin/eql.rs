@@ -1,0 +1,148 @@
+//! `eql` — an interactive shell for extended relations.
+//!
+//! ```text
+//! eql ra.evr rb.evr              # load stored relations, start a REPL
+//! eql -e "SELECT * FROM ra" ra.evr
+//! ```
+//!
+//! Relations load under the basename of their file (`ra.evr` → `ra`).
+//! Meta-commands inside the REPL:
+//!
+//! * `\d` — list relations and schemas;
+//! * `\rank` — render the next query's result ranked by `sn`;
+//! * `\save <name> <path>` — write a relation back to disk;
+//! * `\q` — quit.
+
+use evirel_query::{execute, Catalog};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let mut inline_query: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    let mut loaded = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" | "--execute" => match args.next() {
+                Some(q) => inline_query = Some(q),
+                None => {
+                    eprintln!("-e requires a query argument");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("usage: eql [-e QUERY] [file.evr ...]");
+                return;
+            }
+            path => match load(&mut catalog, path) {
+                Ok(name) => loaded.push(name),
+                Err(e) => {
+                    eprintln!("error loading {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
+
+    if let Some(q) = inline_query {
+        run_query(&catalog, &q, false);
+        return;
+    }
+
+    eprintln!(
+        "eql — evidential query shell ({} relation(s) loaded: {})",
+        loaded.len(),
+        loaded.join(", ")
+    );
+    eprintln!("type \\q to quit, \\d to describe relations, \\explain <query> for plans");
+    let stdin = std::io::stdin();
+    let mut ranked = false;
+    loop {
+        eprint!("eql> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('\\') {
+            let mut parts = meta.split_whitespace();
+            match parts.next() {
+                Some("q") => break,
+                Some("d") => {
+                    for name in catalog.names() {
+                        if let Some(rel) = catalog.get(name) {
+                            println!("{name}: {} ({} tuples)", rel.schema(), rel.len());
+                        }
+                    }
+                }
+                Some("explain") => {
+                    let rest = meta.strip_prefix("explain").unwrap_or("").trim();
+                    if rest.is_empty() {
+                        println!("usage: \\explain <query>");
+                    } else {
+                        match evirel_query::explain(rest) {
+                            Ok(plan) => print!("{plan}"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                }
+                Some("rank") => {
+                    ranked = !ranked;
+                    println!("ranked output {}", if ranked { "on" } else { "off" });
+                }
+                Some("save") => match (parts.next(), parts.next()) {
+                    (Some(name), Some(path)) => match catalog.get(name) {
+                        Some(rel) => {
+                            let text = evirel_storage::write_relation(rel);
+                            match std::fs::write(path, text) {
+                                Ok(()) => println!("wrote {name} to {path}"),
+                                Err(e) => println!("write failed: {e}"),
+                            }
+                        }
+                        None => println!("no relation named {name:?}"),
+                    },
+                    _ => println!("usage: \\save <name> <path>"),
+                },
+                other => println!("unknown meta-command {other:?}"),
+            }
+            continue;
+        }
+        run_query(&catalog, line, ranked);
+    }
+}
+
+fn load(catalog: &mut Catalog, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let rel = evirel_storage::read_relation(&text)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation")
+        .to_owned();
+    catalog.register(name.clone(), rel);
+    Ok(name)
+}
+
+fn run_query(catalog: &Catalog, query: &str, ranked: bool) {
+    match execute(catalog, query) {
+        Ok(result) => {
+            if ranked {
+                print!("{}", evirel_query::format::render_ranked(&result));
+            } else {
+                print!("{result}");
+            }
+            println!("({} tuple(s))", result.len());
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

@@ -1,0 +1,95 @@
+//! The catalog: named extended relations available to queries.
+
+use evirel_algebra::union::UnionOptions;
+use evirel_relation::ExtendedRelation;
+use std::collections::HashMap;
+
+/// A registry of queryable relations plus execution options.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: HashMap<String, ExtendedRelation>,
+    /// Options applied to `UNION` sources (conflict policy,
+    /// combination rule, focal cap).
+    pub union_options: UnionOptions,
+}
+
+impl Catalog {
+    /// An empty catalog with default union options.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation under `name`. Lookup is by the
+    /// registered name, not the relation's schema name.
+    pub fn register(&mut self, name: impl Into<String>, rel: ExtendedRelation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Remove a relation; returns it if present.
+    pub fn deregister(&mut self, name: &str) -> Option<ExtendedRelation> {
+        self.relations.remove(name)
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&ExtendedRelation> {
+        self.relations.get(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema};
+    use std::sync::Arc;
+
+    fn rel() -> ExtendedRelation {
+        let d = Arc::new(AttrDomain::categorical("d", ["x"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("r").key_str("k").evidential("d", d).build().unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| t.set_str("k", "a").set_evidence("d", [(&["x"][..], 1.0)]))
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("ra", rel());
+        c.register("rb", rel());
+        assert_eq!(c.len(), 2);
+        assert!(c.get("ra").is_some());
+        assert!(c.get("zz").is_none());
+        assert_eq!(c.names(), vec!["ra", "rb"]);
+        assert!(c.deregister("ra").is_some());
+        assert_eq!(c.len(), 1);
+        assert!(c.deregister("ra").is_none());
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let mut c = Catalog::new();
+        c.register("r", rel());
+        c.register("r", rel());
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the query layer.
+
+use evirel_algebra::AlgebraError;
+use evirel_relation::RelationError;
+use std::fmt;
+
+/// Errors produced while lexing, parsing, planning, or executing a
+/// query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A character the lexer cannot start a token with.
+    Lex {
+        /// Byte offset into the query text.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Byte offset of the offending token.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// A referenced relation is not registered in the catalog.
+    UnknownRelation {
+        /// The missing name.
+        name: String,
+    },
+    /// An underlying algebra error during execution.
+    Algebra(AlgebraError),
+    /// An underlying relational error during execution.
+    Relation(RelationError),
+}
+
+impl QueryError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(offset: usize, message: impl Into<String>) -> QueryError {
+        QueryError::Parse { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { offset, message } => write!(f, "lex error at offset {offset}: {message}"),
+            Self::Parse { offset, message } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            Self::UnknownRelation { name } => write!(f, "unknown relation {name:?}"),
+            Self::Algebra(e) => write!(f, "execution error: {e}"),
+            Self::Relation(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Algebra(e) => Some(e),
+            Self::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for QueryError {
+    fn from(e: AlgebraError) -> Self {
+        QueryError::Algebra(e)
+    }
+}
+
+impl From<RelationError> for QueryError {
+    fn from(e: RelationError) -> Self {
+        QueryError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = QueryError::parse(10, "expected FROM");
+        assert!(e.to_string().contains("offset 10"));
+        let e = QueryError::UnknownRelation { name: "zz".into() };
+        assert!(e.to_string().contains("zz"));
+        let e: QueryError = AlgebraError::PredicateType { reason: "x".into() }.into();
+        assert!(matches!(e, QueryError::Algebra(_)));
+    }
+}

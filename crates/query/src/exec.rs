@@ -1,0 +1,231 @@
+//! Query execution against a catalog.
+
+use crate::ast::SelectStmt;
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::parser::parse;
+use crate::plan::{lower, Plan, SourcePlan};
+use evirel_algebra::{join, project, select, union::union_with};
+use evirel_relation::ExtendedRelation;
+
+/// Parse and execute a query text against `catalog`.
+///
+/// # Errors
+/// Lex/parse errors, unknown relations, and algebra errors (including
+/// total-conflict aborts from `UNION`, governed by
+/// [`Catalog::union_options`]).
+pub fn execute(catalog: &Catalog, query: &str) -> Result<ExtendedRelation, QueryError> {
+    execute_parsed(catalog, &parse(query)?)
+}
+
+/// Execute an already-parsed statement.
+///
+/// # Errors
+/// As [`execute`], minus the parse stage.
+pub fn execute_parsed(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+) -> Result<ExtendedRelation, QueryError> {
+    let plan = lower(stmt)?;
+    run_plan(catalog, &plan)
+}
+
+fn run_plan(catalog: &Catalog, plan: &Plan) -> Result<ExtendedRelation, QueryError> {
+    let mut rel = run_source(catalog, &plan.source)?;
+    if let Some(pred) = &plan.predicate {
+        rel = select(&rel, pred, &plan.threshold)?;
+    } else if plan.threshold != evirel_algebra::Threshold::POSITIVE {
+        // A WITH clause without WHERE filters on stored membership
+        // alone (predicate support is trivially (1,1)).
+        rel = select(
+            &rel,
+            &evirel_algebra::Predicate::Theta {
+                left: trivially_true_operand(&rel)?,
+                op: evirel_algebra::ThetaOp::Eq,
+                right: trivially_true_operand(&rel)?,
+            },
+            &plan.threshold,
+        )?;
+    }
+    if let Some(attrs) = &plan.projection {
+        let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        rel = project(&rel, &names)?;
+    }
+    Ok(rel)
+}
+
+/// A θ-operand that compares a key attribute with itself — support
+/// (1,1) for every tuple. Used to apply a bare `WITH` threshold.
+fn trivially_true_operand(
+    rel: &ExtendedRelation,
+) -> Result<evirel_algebra::Operand, QueryError> {
+    let key_pos = rel.schema().key_positions()[0];
+    Ok(evirel_algebra::Operand::Attr(
+        rel.schema().attr(key_pos).name().to_owned(),
+    ))
+}
+
+fn run_source(catalog: &Catalog, source: &SourcePlan) -> Result<ExtendedRelation, QueryError> {
+    match source {
+        SourcePlan::Scan(name) => catalog
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownRelation { name: name.clone() }),
+        SourcePlan::Union(l, r) => {
+            let left = run_source(catalog, l)?;
+            let right = run_source(catalog, r)?;
+            Ok(union_with(&left, &right, &catalog.union_options)?.relation)
+        }
+        SourcePlan::Join { left, right, on } => {
+            let l = run_source(catalog, left)?;
+            let r = run_source(catalog, right)?;
+            Ok(join(&l, &r, on, &evirel_algebra::Threshold::POSITIVE)?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{SupportPair, Value};
+    use evirel_workload::{restaurant_db_a, restaurant_db_b};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("ra", restaurant_db_a().restaurants);
+        c.register("rb", restaurant_db_b().restaurants);
+        c.register("rma", restaurant_db_a().managed_by);
+        c
+    }
+
+    /// Table 2 via the query language.
+    #[test]
+    fn paper_table2_query() {
+        let out = execute(
+            &catalog(),
+            "SELECT * FROM ra WHERE speciality IS {si} WITH SN > 0;",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let garden = out.get_by_key(&[Value::str("garden")]).unwrap();
+        assert!(garden
+            .membership()
+            .approx_eq(&SupportPair::new(0.5, 0.75).unwrap()));
+    }
+
+    /// Table 3 via the query language.
+    #[test]
+    fn paper_table3_query() {
+        let out = execute(
+            &catalog(),
+            "SELECT * FROM ra WHERE speciality IS {mu} AND rating IS {ex} WITH SN > 0",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let mehl = out.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!(mehl
+            .membership()
+            .approx_eq(&SupportPair::new(0.32, 0.32).unwrap()));
+        let ashiana = out.get_by_key(&[Value::str("ashiana")]).unwrap();
+        assert!(ashiana
+            .membership()
+            .approx_eq(&SupportPair::new(0.9, 1.0).unwrap()));
+    }
+
+    /// Table 4 via the query language.
+    #[test]
+    fn paper_table4_query() {
+        let out = execute(&catalog(), "SELECT * FROM ra UNION rb").unwrap();
+        assert_eq!(out.len(), 6);
+        let mehl = out.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!((mehl.membership().sn() - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    /// Table 5 via the query language.
+    #[test]
+    fn paper_table5_query() {
+        let out = execute(
+            &catalog(),
+            "SELECT rname, phone, speciality, rating FROM ra",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.schema().arity(), 4);
+    }
+
+    #[test]
+    fn join_query() {
+        let out = execute(
+            &catalog(),
+            "SELECT * FROM ra JOIN rma ON RA.rname = RMA.rname WITH SN > 0",
+        )
+        .unwrap();
+        // Both operands carry "rname", so the product qualifies the
+        // clash with the schema names (RA.rname, RMA.rname). Matches:
+        // wok-chen, mehl-rao, ashiana-rao.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn theta_query_on_ordered_domain() {
+        let out = execute(
+            &catalog(),
+            "SELECT * FROM ra WHERE rating >= 'gd' WITH SN >= 0.8",
+        )
+        .unwrap();
+        // garden 0.83, country 1.0, ashiana 1.0, mehl 1.0×(0.5)=0.5 no,
+        // olive 0.5 no, wok 0.25 no.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn bare_with_clause_filters_membership() {
+        let out = execute(&catalog(), "SELECT * FROM ra WITH SN >= 0.9").unwrap();
+        // Only mehl has sn < 0.9 in R_A.
+        assert_eq!(out.len(), 5);
+        assert!(out.get_by_key(&[Value::str("mehl")]).is_none());
+    }
+
+    #[test]
+    fn union_then_where_composes() {
+        let out = execute(
+            &catalog(),
+            "SELECT rname, rating FROM ra UNION rb WHERE rating IS {ex} WITH SN >= 0.8",
+        )
+        .unwrap();
+        // After union: country ex^1, ashiana ex^1, mehl ex^1 (0.83
+        // membership → 0.83 ≥ 0.8 ✓), garden ex^0.143 ✗, wok gd ✗,
+        // olive ✗.
+        assert_eq!(out.len(), 3);
+        assert!(out.contains_key(&[Value::str("mehl")]));
+    }
+
+    #[test]
+    fn unknown_relation_reported() {
+        assert!(matches!(
+            execute(&catalog(), "SELECT * FROM nope"),
+            Err(QueryError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_must_keep_keys() {
+        assert!(matches!(
+            execute(&catalog(), "SELECT phone FROM ra"),
+            Err(QueryError::Algebra(
+                evirel_algebra::AlgebraError::ProjectionMissingKey { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn definite_threshold_query() {
+        let out = execute(
+            &catalog(),
+            "SELECT * FROM ra WHERE speciality IS {si} WITH SN = 1",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_key(&[Value::str("wok")]));
+    }
+}

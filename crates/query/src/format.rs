@@ -1,0 +1,95 @@
+//! Result formatting for query answers.
+//!
+//! Builds on the relation display (paper-style tables) and adds a
+//! ranked view: tuples sorted by necessary support `sn`, the natural
+//! presentation of the paper's "full range of certainty" result sets
+//! (§1.3: a single result set replaces DeMichiel's true/may-be split).
+
+use evirel_relation::display::{format_attr_value, render_table};
+use evirel_relation::ExtendedRelation;
+
+/// Render the result as a paper-style table.
+pub fn render_result(rel: &ExtendedRelation) -> String {
+    render_table(rel)
+}
+
+/// Render tuples ranked by descending `sn` (ties by descending `sp`),
+/// one line each: `1. (key) (sn,sp) | attr values…`.
+pub fn render_ranked(rel: &ExtendedRelation) -> String {
+    let schema = rel.schema();
+    let mut rows: Vec<_> = rel.iter_keyed().collect();
+    rows.sort_by(|(_, a), (_, b)| {
+        b.membership()
+            .sn()
+            .partial_cmp(&a.membership().sn())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| {
+                b.membership()
+                    .sp()
+                    .partial_cmp(&a.membership().sp())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    });
+    let mut out = String::new();
+    for (rank, (key, tuple)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{}. {} {}",
+            rank + 1,
+            evirel_relation::Value::render_key(key),
+            tuple.membership()
+        ));
+        for (pos, v) in tuple.values().iter().enumerate() {
+            if schema.attr(pos).is_key() {
+                continue;
+            }
+            out.push_str(&format!(" | {}={}", schema.attr(pos).name(), format_attr_value(v)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema};
+    use std::sync::Arc;
+
+    fn rel() -> ExtendedRelation {
+        let d = Arc::new(AttrDomain::categorical("d", ["x", "y"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("r").key_str("k").evidential("d", d).build().unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("k", "low")
+                    .set_evidence("d", [(&["x"][..], 1.0)])
+                    .membership_pair(0.2, 0.4)
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("k", "high")
+                    .set_evidence("d", [(&["y"][..], 1.0)])
+                    .membership_pair(0.9, 1.0)
+            })
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn ranked_orders_by_sn() {
+        let text = render_ranked(&rel());
+        let high_pos = text.find("(high)").unwrap();
+        let low_pos = text.find("(low)").unwrap();
+        assert!(high_pos < low_pos, "{text}");
+        assert!(text.starts_with("1. (high) (0.9,1)"), "{text}");
+        assert!(text.contains("d=[y^1]"), "{text}");
+    }
+
+    #[test]
+    fn table_rendering_delegates() {
+        let text = render_result(&rel());
+        assert!(text.contains("†d"));
+        assert!(text.contains("(0.2,0.4)"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Tokenizer for the EQL surface syntax.
+
+use crate::error::QueryError;
+use std::fmt;
+
+/// One token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset into the query text.
+    pub offset: usize,
+}
+
+/// EQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords (case-insensitive in the source).
+    /// `SELECT`
+    Select,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `WITH`
+    With,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `IS`
+    Is,
+    /// `UNION`
+    Union,
+    /// `JOIN`
+    Join,
+    /// `ON`
+    On,
+    /// `SN`
+    Sn,
+    /// `SP`
+    Sp,
+    /// Identifier (relation/attribute name; may contain `-`, `.`).
+    Ident(String),
+    /// Quoted string literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `*`
+    Star,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier {s:?}"),
+            Token::Str(s) => write!(f, "string {s:?}"),
+            Token::Int(i) => write!(f, "integer {i}"),
+            Token::Float(x) => write!(f, "float {x}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Tokenize a query string.
+///
+/// # Errors
+/// [`QueryError::Lex`] on unrecognized characters or unterminated
+/// strings.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let token = match c {
+            '*' => {
+                i += 1;
+                Token::Star
+            }
+            ',' => {
+                i += 1;
+                Token::Comma
+            }
+            ';' => {
+                i += 1;
+                Token::Semicolon
+            }
+            '(' => {
+                i += 1;
+                Token::LParen
+            }
+            ')' => {
+                i += 1;
+                Token::RParen
+            }
+            '{' => {
+                i += 1;
+                Token::LBrace
+            }
+            '}' => {
+                i += 1;
+                Token::RBrace
+            }
+            '[' => {
+                i += 1;
+                Token::LBracket
+            }
+            ']' => {
+                i += 1;
+                Token::RBracket
+            }
+            '^' => {
+                i += 1;
+                Token::Caret
+            }
+            '=' => {
+                i += 1;
+                Token::Eq
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Token::Ne
+                } else {
+                    return Err(QueryError::Lex {
+                        offset: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Token::Le
+                } else {
+                    i += 1;
+                    Token::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Token::Ge
+                } else {
+                    i += 1;
+                    Token::Gt
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(QueryError::Lex {
+                                offset: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(&b) if b as char == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(&e) => {
+                                    s.push(e as char);
+                                    i += 2;
+                                }
+                                None => {
+                                    return Err(QueryError::Lex {
+                                        offset: i,
+                                        message: "dangling escape".into(),
+                                    })
+                                }
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                Token::Str(s)
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut end = i + 1;
+                let mut is_float = false;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_digit() {
+                        end += 1;
+                    } else if b == '.' && !is_float {
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..end];
+                i = end;
+                if is_float {
+                    Token::Float(text.parse().map_err(|_| QueryError::Lex {
+                        offset: start,
+                        message: format!("bad float {text:?}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| QueryError::Lex {
+                        offset: start,
+                        message: format!("bad integer {text:?}"),
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i + 1;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    // Identifiers may contain '-' (bldg-no) and '.'
+                    // (qualified names like RA.rname); a '-' must be
+                    // followed by an alphanumeric to avoid eating
+                    // comments.
+                    let ok = b.is_ascii_alphanumeric()
+                        || b == '_'
+                        || b == '.'
+                        || (b == '-'
+                            && bytes
+                                .get(end + 1)
+                                .is_some_and(|n| (*n as char).is_ascii_alphanumeric()));
+                    if ok {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..end];
+                i = end;
+                keyword_or_ident(text)
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        out.push(Spanned { token, offset: start });
+    }
+    out.push(Spanned { token: Token::Eof, offset: input.len() });
+    Ok(out)
+}
+
+fn keyword_or_ident(text: &str) -> Token {
+    match text.to_ascii_uppercase().as_str() {
+        "SELECT" => Token::Select,
+        "FROM" => Token::From,
+        "WHERE" => Token::Where,
+        "WITH" => Token::With,
+        "AND" => Token::And,
+        "OR" => Token::Or,
+        "NOT" => Token::Not,
+        "IS" => Token::Is,
+        "UNION" => Token::Union,
+        "JOIN" => Token::Join,
+        "ON" => Token::On,
+        "SN" => Token::Sn,
+        "SP" => Token::Sp,
+        _ => Token::Ident(text.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select From WHERE with"),
+            vec![Token::Select, Token::From, Token::Where, Token::With, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn identifiers_with_dashes_and_dots() {
+        assert_eq!(
+            toks("bldg-no RA.rname best-dish"),
+            vec![
+                Token::Ident("bldg-no".into()),
+                Token::Ident("RA.rname".into()),
+                Token::Ident("best-dish".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 -7 0.5"),
+            vec![Token::Int(42), Token::Int(-7), Token::Float(0.5), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#"'si' "a\"b""#),
+            vec![Token::Str("si".into()), Token::Str("a\"b".into()), Token::Eof]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators_and_punct() {
+        assert_eq!(
+            toks("= != < <= > >= { } [ ] ^ ( ) , ; *"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::LBrace,
+                Token::RBrace,
+                Token::LBracket,
+                Token::RBracket,
+                Token::Caret,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Semicolon,
+                Token::Star,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("select -- this is a comment\nfrom"),
+            vec![Token::Select, Token::From, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let spanned = tokenize("select x").unwrap();
+        assert_eq!(spanned[0].offset, 0);
+        assert_eq!(spanned[1].offset, 7);
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(tokenize("select @").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

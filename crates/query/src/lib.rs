@@ -1,0 +1,56 @@
+//! # evirel-query — a query language over extended relations
+//!
+//! The paper closes §3 with query processing over the integrated
+//! relation; this crate provides a small SQL-flavoured surface
+//! language (EQL) whose `WHERE` clause is exactly the paper's
+//! selection-condition language and whose `WITH` clause is the
+//! membership threshold condition `Q`:
+//!
+//! ```text
+//! SELECT rname, phone, speciality
+//! FROM ra UNION rb
+//! WHERE speciality IS {si} AND rating >= 'gd'
+//! WITH SN > 0.5;
+//! ```
+//!
+//! * is-predicates:    `attr IS {v1, v2}`
+//! * θ-predicates:     `attr >= 'gd'`, `a.k = b.k`,
+//!   `n <= [{1,4}^0.6, {2,6}^0.4]` (evidence literals)
+//! * compound:         `AND` (paper), `OR` / `NOT` (documented
+//!   extensions)
+//! * sources:          a named relation, `UNION` chains (the extended
+//!   union ∪̃), and binary `JOIN … ON …` (⋈̃)
+//! * thresholds:       `WITH SN > c`, `WITH SN >= c`, `WITH SN = 1`,
+//!   `WITH SP >= c`
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`plan`] → [`exec`]
+//! against a [`catalog::Catalog`] of named extended relations.
+//!
+//! ```
+//! use evirel_query::{Catalog, execute};
+//! use evirel_workload::restaurant_db_a;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register("ra", restaurant_db_a().restaurants);
+//! let result = execute(&catalog, "SELECT * FROM ra WHERE speciality IS {si} WITH SN > 0;")
+//!     .unwrap();
+//! assert_eq!(result.len(), 2); // garden and wok — the paper's Table 2
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod format;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use catalog::Catalog;
+pub use error::QueryError;
+pub use exec::{execute, execute_parsed};
+pub use parser::parse;
+pub use plan::explain;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

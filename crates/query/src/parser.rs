@@ -1,0 +1,469 @@
+//! Recursive-descent parser for EQL.
+//!
+//! ```text
+//! select    := SELECT proj FROM source [WHERE cond] [WITH threshold] [';']
+//! proj      := '*' | ident (',' ident)*
+//! source    := join_src (UNION join_src)*
+//! join_src  := primary [JOIN primary ON cond]
+//! primary   := ident | '(' source ')'
+//! cond      := and_cond (OR and_cond)*
+//! and_cond  := unary (AND unary)*
+//! unary     := NOT unary | atom
+//! atom      := '(' cond ')'
+//!            | ident IS '{' literal (',' literal)* '}'
+//!            | operand cmp operand
+//! operand   := ident | literal | evidence
+//! evidence  := '[' entry (',' entry)* ']'
+//! entry     := (literal | '{' literal (',' literal)* '}') '^' number
+//! cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! threshold := SN '>' number | SN '>=' number | SN '=' 1 | SP '>=' number
+//! ```
+
+use crate::ast::{
+    CmpOp, Condition, ExprOperand, Literal, SelectStmt, Source, ThresholdClause,
+};
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parse one `SELECT` statement.
+///
+/// # Errors
+/// [`QueryError::Lex`] / [`QueryError::Parse`] with byte offsets.
+pub fn parse(input: &str) -> Result<SelectStmt, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    // Optional trailing semicolon, then EOF.
+    if p.peek() == &Token::Semicolon {
+        p.advance();
+    }
+    p.expect(Token::Eof)?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), QueryError> {
+        if *self.peek() == want {
+            self.advance();
+            Ok(())
+        } else {
+            Err(QueryError::parse(
+                self.offset(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(QueryError::parse(
+                self.offset(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, QueryError> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.advance();
+                Ok(i as f64)
+            }
+            Token::Float(x) => {
+                self.advance();
+                Ok(x)
+            }
+            other => Err(QueryError::parse(
+                self.offset(),
+                format!("expected number, found {other}"),
+            )),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, QueryError> {
+        self.expect(Token::Select)?;
+        let projection = if *self.peek() == Token::Star {
+            self.advance();
+            None
+        } else {
+            let mut attrs = vec![self.ident()?];
+            while *self.peek() == Token::Comma {
+                self.advance();
+                attrs.push(self.ident()?);
+            }
+            Some(attrs)
+        };
+        self.expect(Token::From)?;
+        let source = self.source()?;
+        let predicate = if *self.peek() == Token::Where {
+            self.advance();
+            Some(self.condition()?)
+        } else {
+            None
+        };
+        let threshold = if *self.peek() == Token::With {
+            self.advance();
+            Some(self.threshold()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt { projection, source, predicate, threshold })
+    }
+
+    fn source(&mut self) -> Result<Source, QueryError> {
+        let mut left = self.join_source()?;
+        while *self.peek() == Token::Union {
+            self.advance();
+            let right = self.join_source()?;
+            left = Source::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn join_source(&mut self) -> Result<Source, QueryError> {
+        let left = self.primary_source()?;
+        if *self.peek() == Token::Join {
+            self.advance();
+            let right = self.primary_source()?;
+            self.expect(Token::On)?;
+            let on = self.condition()?;
+            return Ok(Source::Join { left: Box::new(left), right: Box::new(right), on });
+        }
+        Ok(left)
+    }
+
+    fn primary_source(&mut self) -> Result<Source, QueryError> {
+        if *self.peek() == Token::LParen {
+            self.advance();
+            let s = self.source()?;
+            self.expect(Token::RParen)?;
+            Ok(s)
+        } else {
+            Ok(Source::Relation(self.ident()?))
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, QueryError> {
+        let mut left = self.and_condition()?;
+        while *self.peek() == Token::Or {
+            self.advance();
+            let right = self.and_condition()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_condition(&mut self) -> Result<Condition, QueryError> {
+        let mut left = self.unary_condition()?;
+        while *self.peek() == Token::And {
+            self.advance();
+            let right = self.unary_condition()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_condition(&mut self) -> Result<Condition, QueryError> {
+        if *self.peek() == Token::Not {
+            self.advance();
+            return Ok(Condition::Not(Box::new(self.unary_condition()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Condition, QueryError> {
+        if *self.peek() == Token::LParen {
+            self.advance();
+            let c = self.condition()?;
+            self.expect(Token::RParen)?;
+            return Ok(c);
+        }
+        // `ident IS { … }` needs two-token lookahead.
+        if let Token::Ident(name) = self.peek().clone() {
+            if self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::Is) {
+                self.advance(); // ident
+                self.advance(); // IS
+                self.expect(Token::LBrace)?;
+                let mut values = vec![self.literal()?];
+                while *self.peek() == Token::Comma {
+                    self.advance();
+                    values.push(self.literal()?);
+                }
+                self.expect(Token::RBrace)?;
+                return Ok(Condition::Is { attr: name, values });
+            }
+        }
+        let left = self.operand()?;
+        let op = self.cmp_op()?;
+        let right = self.operand()?;
+        Ok(Condition::Cmp { left, op, right })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryError> {
+        let op = match self.peek() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => {
+                return Err(QueryError::parse(
+                    self.offset(),
+                    format!("expected comparison operator, found {other}"),
+                ))
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> Result<ExprOperand, QueryError> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.advance();
+                Ok(ExprOperand::Attr(name))
+            }
+            Token::Str(_) | Token::Int(_) | Token::Float(_) => {
+                Ok(ExprOperand::Literal(self.literal()?))
+            }
+            Token::LBracket => self.evidence_literal(),
+            other => Err(QueryError::parse(
+                self.offset(),
+                format!("expected operand, found {other}"),
+            )),
+        }
+    }
+
+    fn evidence_literal(&mut self) -> Result<ExprOperand, QueryError> {
+        self.expect(Token::LBracket)?;
+        let mut entries = Vec::new();
+        loop {
+            let values = if *self.peek() == Token::LBrace {
+                self.advance();
+                let mut vals = vec![self.literal()?];
+                while *self.peek() == Token::Comma {
+                    self.advance();
+                    vals.push(self.literal()?);
+                }
+                self.expect(Token::RBrace)?;
+                vals
+            } else {
+                vec![self.literal()?]
+            };
+            self.expect(Token::Caret)?;
+            let mass = self.number()?;
+            entries.push((values, mass));
+            if *self.peek() == Token::Comma {
+                self.advance();
+                continue;
+            }
+            break;
+        }
+        self.expect(Token::RBracket)?;
+        Ok(ExprOperand::Evidence(entries))
+    }
+
+    fn literal(&mut self) -> Result<Literal, QueryError> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.advance();
+                Ok(Literal::Str(s))
+            }
+            // Bare identifiers inside IS-sets and evidence literals
+            // are domain values (the paper writes `speciality is {si}`).
+            Token::Ident(s) => {
+                self.advance();
+                Ok(Literal::Str(s))
+            }
+            Token::Int(i) => {
+                self.advance();
+                Ok(Literal::Int(i))
+            }
+            Token::Float(x) => {
+                self.advance();
+                Ok(Literal::Float(x))
+            }
+            other => Err(QueryError::parse(
+                self.offset(),
+                format!("expected literal, found {other}"),
+            )),
+        }
+    }
+
+    fn threshold(&mut self) -> Result<ThresholdClause, QueryError> {
+        match self.advance() {
+            Token::Sn => match self.advance() {
+                Token::Gt => Ok(ThresholdClause::SnGreater(self.number()?)),
+                Token::Ge => Ok(ThresholdClause::SnAtLeast(self.number()?)),
+                Token::Eq => {
+                    let n = self.number()?;
+                    if (n - 1.0).abs() < 1e-12 {
+                        Ok(ThresholdClause::Definite)
+                    } else {
+                        Err(QueryError::parse(
+                            self.offset(),
+                            "only SN = 1 is supported (definite threshold)",
+                        ))
+                    }
+                }
+                other => Err(QueryError::parse(
+                    self.offset(),
+                    format!("expected >, >= or = after SN, found {other}"),
+                )),
+            },
+            Token::Sp => {
+                self.expect(Token::Ge)?;
+                Ok(ThresholdClause::SpAtLeast(self.number()?))
+            }
+            other => Err(QueryError::parse(
+                self.offset(),
+                format!("expected SN or SP, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_table2_query() {
+        let stmt = parse("SELECT * FROM ra WHERE speciality IS {si} WITH SN > 0;").unwrap();
+        assert!(stmt.projection.is_none());
+        assert_eq!(stmt.source, Source::Relation("ra".into()));
+        assert!(matches!(stmt.predicate, Some(Condition::Is { .. })));
+        assert_eq!(stmt.threshold, Some(ThresholdClause::SnGreater(0.0)));
+    }
+
+    #[test]
+    fn parses_projection_list() {
+        let stmt = parse("SELECT rname, phone, speciality FROM ra").unwrap();
+        assert_eq!(
+            stmt.projection,
+            Some(vec!["rname".into(), "phone".into(), "speciality".into()])
+        );
+        assert!(stmt.predicate.is_none());
+        assert!(stmt.threshold.is_none());
+    }
+
+    #[test]
+    fn parses_union_chain() {
+        let stmt = parse("SELECT * FROM ra UNION rb UNION rc").unwrap();
+        match stmt.source {
+            Source::Union(left, right) => {
+                assert!(matches!(*left, Source::Union(_, _)));
+                assert_eq!(*right, Source::Relation("rc".into()));
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_join() {
+        let stmt = parse("SELECT * FROM r JOIN rm ON R.rname = RM.rname WITH SN > 0").unwrap();
+        match stmt.source {
+            Source::Join { on, .. } => {
+                assert!(matches!(on, Condition::Cmp { op: CmpOp::Eq, .. }));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compound_conditions() {
+        let stmt = parse(
+            "SELECT * FROM ra WHERE speciality IS {mu} AND rating IS {ex} OR NOT rating IS {avg}",
+        )
+        .unwrap();
+        // OR binds loosest: (AND …) OR (NOT …).
+        assert!(matches!(stmt.predicate, Some(Condition::Or(_, _))));
+    }
+
+    #[test]
+    fn parses_theta_with_literals() {
+        let stmt = parse("SELECT * FROM ra WHERE rating >= 'gd'").unwrap();
+        match stmt.predicate.unwrap() {
+            Condition::Cmp { left, op, right } => {
+                assert_eq!(left, ExprOperand::Attr("rating".into()));
+                assert_eq!(op, CmpOp::Ge);
+                assert_eq!(right, ExprOperand::Literal(Literal::Str("gd".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_evidence_literal() {
+        let stmt = parse("SELECT * FROM r WHERE n <= [{1, 4}^0.6, {2, 6}^0.4]").unwrap();
+        match stmt.predicate.unwrap() {
+            Condition::Cmp { right: ExprOperand::Evidence(entries), .. } => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].0.len(), 2);
+                assert!((entries[0].1 - 0.6).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_thresholds() {
+        assert_eq!(
+            parse("SELECT * FROM r WITH SN >= 0.5").unwrap().threshold,
+            Some(ThresholdClause::SnAtLeast(0.5))
+        );
+        assert_eq!(
+            parse("SELECT * FROM r WITH SN = 1").unwrap().threshold,
+            Some(ThresholdClause::Definite)
+        );
+        assert_eq!(
+            parse("SELECT * FROM r WITH SP >= 0.8").unwrap().threshold,
+            Some(ThresholdClause::SpAtLeast(0.8))
+        );
+        assert!(parse("SELECT * FROM r WITH SN = 0.5").is_err());
+    }
+
+    #[test]
+    fn parenthesized_sources_and_conditions() {
+        let stmt =
+            parse("SELECT * FROM (ra UNION rb) WHERE (a IS {x} OR b IS {y}) AND c IS {z}")
+                .unwrap();
+        assert!(matches!(stmt.source, Source::Union(_, _)));
+        assert!(matches!(stmt.predicate, Some(Condition::And(_, _))));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("SELECT FROM r").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { offset: 7, .. }), "{err:?}");
+        assert!(parse("SELECT * r").is_err());
+        assert!(parse("SELECT * FROM r WHERE").is_err());
+        assert!(parse("SELECT * FROM r extra").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Lowering the AST into algebra operations.
+
+use crate::ast::{CmpOp, Condition, ExprOperand, SelectStmt, Source, ThresholdClause};
+use crate::error::QueryError;
+use evirel_algebra::{Operand, Predicate, ThetaOp, Threshold};
+
+/// A lowered query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The source-expression plan.
+    pub source: SourcePlan,
+    /// The selection predicate, if any.
+    pub predicate: Option<Predicate>,
+    /// The membership threshold (`SN > 0` when the query omits `WITH`).
+    pub threshold: Threshold,
+    /// Projection attribute list (`None` = all).
+    pub projection: Option<Vec<String>>,
+}
+
+/// A lowered source expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourcePlan {
+    /// Scan a catalog relation.
+    Scan(String),
+    /// Extended union of two sources.
+    Union(Box<SourcePlan>, Box<SourcePlan>),
+    /// Extended join.
+    Join {
+        /// Left input.
+        left: Box<SourcePlan>,
+        /// Right input.
+        right: Box<SourcePlan>,
+        /// Join predicate.
+        on: Predicate,
+    },
+}
+
+/// Lower a parsed statement into a [`Plan`].
+///
+/// # Errors
+/// Currently infallible once parsed, but kept fallible for future
+/// semantic checks (the signature mirrors the executor's needs).
+pub fn lower(stmt: &SelectStmt) -> Result<Plan, QueryError> {
+    Ok(Plan {
+        source: lower_source(&stmt.source)?,
+        predicate: stmt.predicate.as_ref().map(lower_condition).transpose()?,
+        threshold: stmt
+            .threshold
+            .map(lower_threshold)
+            .unwrap_or(Threshold::POSITIVE),
+        projection: stmt.projection.clone(),
+    })
+}
+
+fn lower_source(source: &Source) -> Result<SourcePlan, QueryError> {
+    Ok(match source {
+        Source::Relation(name) => SourcePlan::Scan(name.clone()),
+        Source::Union(l, r) => {
+            SourcePlan::Union(Box::new(lower_source(l)?), Box::new(lower_source(r)?))
+        }
+        Source::Join { left, right, on } => SourcePlan::Join {
+            left: Box::new(lower_source(left)?),
+            right: Box::new(lower_source(right)?),
+            on: lower_condition(on)?,
+        },
+    })
+}
+
+fn lower_condition(c: &Condition) -> Result<Predicate, QueryError> {
+    Ok(match c {
+        Condition::Is { attr, values } => Predicate::Is {
+            attr: attr.clone(),
+            values: values.iter().map(|l| l.to_value()).collect(),
+        },
+        Condition::Cmp { left, op, right } => Predicate::Theta {
+            left: lower_operand(left),
+            op: lower_cmp(*op),
+            right: lower_operand(right),
+        },
+        Condition::And(a, b) => {
+            Predicate::And(Box::new(lower_condition(a)?), Box::new(lower_condition(b)?))
+        }
+        Condition::Or(a, b) => {
+            Predicate::Or(Box::new(lower_condition(a)?), Box::new(lower_condition(b)?))
+        }
+        Condition::Not(a) => Predicate::Not(Box::new(lower_condition(a)?)),
+    })
+}
+
+fn lower_operand(o: &ExprOperand) -> Operand {
+    match o {
+        ExprOperand::Attr(name) => Operand::Attr(name.clone()),
+        ExprOperand::Literal(l) => Operand::Value(l.to_value()),
+        ExprOperand::Evidence(entries) => Operand::Evidence(
+            entries
+                .iter()
+                .map(|(vals, w)| (vals.iter().map(|l| l.to_value()).collect(), *w))
+                .collect(),
+        ),
+    }
+}
+
+fn lower_cmp(op: CmpOp) -> ThetaOp {
+    match op {
+        CmpOp::Eq => ThetaOp::Eq,
+        CmpOp::Ne => ThetaOp::Ne,
+        CmpOp::Lt => ThetaOp::Lt,
+        CmpOp::Le => ThetaOp::Le,
+        CmpOp::Gt => ThetaOp::Gt,
+        CmpOp::Ge => ThetaOp::Ge,
+    }
+}
+
+fn lower_threshold(t: ThresholdClause) -> Threshold {
+    match t {
+        ThresholdClause::SnGreater(c) => Threshold::SnGreater(c),
+        ThresholdClause::SnAtLeast(c) => Threshold::SnAtLeast(c),
+        ThresholdClause::Definite => Threshold::Definite,
+        ThresholdClause::SpAtLeast(c) => Threshold::SpAtLeastPositive(c),
+    }
+}
+
+impl Plan {
+    /// Render the plan as an indented operator tree — the `EXPLAIN`
+    /// output:
+    ///
+    /// ```text
+    /// π̃[rname, rating]
+    ///   σ̃[rating is {ex}] with sn >= 0.5
+    ///     ∪̃
+    ///       scan ra
+    ///       scan rb
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut depth = 0usize;
+        if let Some(attrs) = &self.projection {
+            out.push_str(&format!("π̃[{}]\n", attrs.join(", ")));
+            depth += 1;
+        }
+        match &self.predicate {
+            Some(pred) => {
+                out.push_str(&format!(
+                    "{}σ̃[{}] with {}\n",
+                    "  ".repeat(depth),
+                    pred,
+                    self.threshold
+                ));
+                depth += 1;
+            }
+            None if self.threshold != Threshold::POSITIVE => {
+                out.push_str(&format!(
+                    "{}σ̃[membership] with {}\n",
+                    "  ".repeat(depth),
+                    self.threshold
+                ));
+                depth += 1;
+            }
+            None => {}
+        }
+        render_source(&self.source, depth, &mut out);
+        out
+    }
+}
+
+fn render_source(source: &SourcePlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match source {
+        SourcePlan::Scan(name) => out.push_str(&format!("{pad}scan {name}\n")),
+        SourcePlan::Union(l, r) => {
+            out.push_str(&format!("{pad}∪̃\n"));
+            render_source(l, depth + 1, out);
+            render_source(r, depth + 1, out);
+        }
+        SourcePlan::Join { left, right, on } => {
+            out.push_str(&format!("{pad}⋈̃[{on}]\n"));
+            render_source(left, depth + 1, out);
+            render_source(right, depth + 1, out);
+        }
+    }
+}
+
+/// Parse and lower a query, returning the rendered plan tree without
+/// executing it — `EXPLAIN`.
+///
+/// # Errors
+/// Lex/parse errors.
+pub fn explain(query: &str) -> Result<String, QueryError> {
+    Ok(lower(&crate::parser::parse(query)?)?.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn lowers_paper_query() {
+        let plan = lower(
+            &parse("SELECT rname FROM ra WHERE speciality IS {si} WITH SN > 0").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(plan.source, SourcePlan::Scan("ra".into()));
+        assert_eq!(plan.threshold, Threshold::SnGreater(0.0));
+        assert_eq!(plan.projection, Some(vec!["rname".to_owned()]));
+        match plan.predicate.unwrap() {
+            Predicate::Is { attr, values } => {
+                assert_eq!(attr, "speciality");
+                assert_eq!(values, vec![evirel_relation::Value::str("si")]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_threshold_is_positive() {
+        let plan = lower(&parse("SELECT * FROM ra").unwrap()).unwrap();
+        assert_eq!(plan.threshold, Threshold::POSITIVE);
+        assert!(plan.predicate.is_none());
+        assert!(plan.projection.is_none());
+    }
+
+    #[test]
+    fn lowers_union_and_join() {
+        let plan = lower(&parse("SELECT * FROM ra UNION rb").unwrap()).unwrap();
+        assert!(matches!(plan.source, SourcePlan::Union(_, _)));
+        let plan =
+            lower(&parse("SELECT * FROM r JOIN rm ON R.k = RM.k").unwrap()).unwrap();
+        assert!(matches!(plan.source, SourcePlan::Join { .. }));
+    }
+
+    #[test]
+    fn explain_renders_plan_tree() {
+        let text = explain(
+            "SELECT rname, rating FROM ra UNION rb WHERE rating IS {ex} WITH SN >= 0.5",
+        )
+        .unwrap();
+        assert!(text.contains("π̃[rname, rating]"), "{text}");
+        assert!(text.contains("σ̃[rating is {ex}] with sn >= 0.5"), "{text}");
+        assert!(text.contains("∪̃"), "{text}");
+        assert!(text.contains("scan ra"), "{text}");
+        // Indentation increases down the tree.
+        let union_line = text.lines().find(|l| l.trim_start() == "∪̃").unwrap();
+        let scan_line = text.lines().find(|l| l.contains("scan ra")).unwrap();
+        assert!(
+            scan_line.len() - scan_line.trim_start().len()
+                > union_line.len() - union_line.trim_start().len()
+        );
+        // Bare WITH renders as a membership filter.
+        let text = explain("SELECT * FROM r WITH SN >= 0.9").unwrap();
+        assert!(text.contains("σ̃[membership]"), "{text}");
+        // Join condition is shown.
+        let text = explain("SELECT * FROM a JOIN b ON a.k = b.k").unwrap();
+        assert!(text.contains("⋈̃[(a.k = b.k)]"), "{text}");
+        // Parse errors propagate.
+        assert!(explain("SELEC").is_err());
+    }
+
+    #[test]
+    fn lowers_all_cmp_ops() {
+        for (text, op) in [
+            ("=", ThetaOp::Eq),
+            ("!=", ThetaOp::Ne),
+            ("<", ThetaOp::Lt),
+            ("<=", ThetaOp::Le),
+            (">", ThetaOp::Gt),
+            (">=", ThetaOp::Ge),
+        ] {
+            let q = format!("SELECT * FROM r WHERE a {text} 1");
+            let plan = lower(&parse(&q).unwrap()).unwrap();
+            match plan.predicate.unwrap() {
+                Predicate::Theta { op: got, .. } => assert_eq!(got, op),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

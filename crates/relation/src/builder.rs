@@ -1,0 +1,301 @@
+//! Ergonomic construction of tuples and relations.
+//!
+//! [`RelationBuilder`] drives [`TupleBuilder`] closures so call sites
+//! read like the paper's tables:
+//!
+//! ```
+//! # use evirel_relation::*;
+//! # use std::sync::Arc;
+//! let spec = Arc::new(AttrDomain::categorical("spec", ["si", "hu"]).unwrap());
+//! let schema = Arc::new(Schema::builder("ra")
+//!     .key_str("rname")
+//!     .evidential("spec", Arc::clone(&spec))
+//!     .build().unwrap());
+//! let rel = RelationBuilder::new(schema)
+//!     .tuple(|t| t
+//!         .set_str("rname", "garden")
+//!         .set_evidence_with_omega("spec", [(&["si"][..], 0.5), (&["hu"][..], 0.25)], 0.25)
+//!         .membership_pair(1.0, 1.0))
+//!     .unwrap()
+//!     .build();
+//! assert_eq!(rel.len(), 1);
+//! ```
+
+use crate::error::RelationError;
+use crate::membership::SupportPair;
+use crate::relation::ExtendedRelation;
+use crate::schema::Schema;
+use crate::tuple::{AttrValue, Tuple};
+use crate::value::Value;
+use evirel_evidence::MassFunction;
+use std::sync::Arc;
+
+/// Builder for a single tuple against a schema.
+#[derive(Debug)]
+pub struct TupleBuilder {
+    schema: Arc<Schema>,
+    values: Vec<Option<AttrValue>>,
+    membership: SupportPair,
+    error: Option<RelationError>,
+}
+
+impl TupleBuilder {
+    /// Start a tuple for `schema` with certain membership.
+    pub fn new(schema: Arc<Schema>) -> TupleBuilder {
+        let arity = schema.arity();
+        TupleBuilder {
+            schema,
+            values: vec![None; arity],
+            membership: SupportPair::certain(),
+            error: None,
+        }
+    }
+
+    fn record<T>(mut self, r: Result<T, RelationError>, apply: impl FnOnce(&mut Self, T)) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match r {
+            Ok(v) => {
+                apply(&mut self, v);
+                self
+            }
+            Err(e) => {
+                self.error = Some(e);
+                self
+            }
+        }
+    }
+
+    /// Set any attribute value by name.
+    pub fn set(self, name: &str, value: AttrValue) -> Self {
+        let pos = self.schema.position(name);
+        self.record(pos, |b, p| b.values[p] = Some(value))
+    }
+
+    /// Set a definite string value.
+    pub fn set_str(self, name: &str, v: impl Into<Arc<str>>) -> Self {
+        self.set(name, AttrValue::Definite(Value::Str(v.into())))
+    }
+
+    /// Set a definite integer value.
+    pub fn set_int(self, name: &str, v: i64) -> Self {
+        self.set(name, AttrValue::Definite(Value::Int(v)))
+    }
+
+    /// Set a definite float value.
+    pub fn set_float(self, name: &str, v: f64) -> Self {
+        self.set(name, AttrValue::Definite(Value::Float(v)))
+    }
+
+    /// Set an evidential attribute from `(labels, mass)` pairs; masses
+    /// must sum to 1.
+    pub fn set_evidence<'a>(
+        self,
+        name: &str,
+        entries: impl IntoIterator<Item = (&'a [&'a str], f64)>,
+    ) -> Self {
+        self.set_evidence_with_omega(name, entries, 0.0)
+    }
+
+    /// Set an evidential attribute from `(labels, mass)` pairs plus an
+    /// explicit Ω (nonbelief) mass.
+    pub fn set_evidence_with_omega<'a>(
+        self,
+        name: &str,
+        entries: impl IntoIterator<Item = (&'a [&'a str], f64)>,
+        omega: f64,
+    ) -> Self {
+        let built: Result<(usize, MassFunction<f64>), RelationError> = (|| {
+            let pos = self.schema.position(name)?;
+            let attr = self.schema.attr(pos);
+            let domain = attr.ty().domain().ok_or_else(|| RelationError::TypeMismatch {
+                attr: name.to_owned(),
+                expected: "evidential attribute".to_owned(),
+                got: "definite attribute".to_owned(),
+            })?;
+            let mut b = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
+            for (labels, w) in entries {
+                b = b.add(labels.iter().copied(), w)?;
+            }
+            if omega > 0.0 {
+                b = b.add_omega(omega);
+            }
+            Ok((pos, b.build()?))
+        })();
+        self.record(built, |b, (pos, m)| b.values[pos] = Some(AttrValue::Evidential(m)))
+    }
+
+    /// Set the membership support pair.
+    pub fn membership(mut self, m: SupportPair) -> Self {
+        self.membership = m;
+        self
+    }
+
+    /// Set the membership support pair from raw `(sn, sp)`.
+    pub fn membership_pair(self, sn: f64, sp: f64) -> Self {
+        let pair = SupportPair::new(sn, sp);
+        self.record(pair, |b, p| b.membership = p)
+    }
+
+    /// Validate and build the tuple.
+    ///
+    /// # Errors
+    /// Any error recorded along the way, or
+    /// [`RelationError::MissingAttribute`] for unset attributes, or a
+    /// validation error from [`Tuple::new`].
+    pub fn build(self) -> Result<Tuple, RelationError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut values = Vec::with_capacity(self.values.len());
+        for (i, v) in self.values.into_iter().enumerate() {
+            match v {
+                Some(v) => values.push(v),
+                None => {
+                    return Err(RelationError::MissingAttribute {
+                        name: self.schema.attr(i).name().to_owned(),
+                    })
+                }
+            }
+        }
+        Tuple::new(&self.schema, values, self.membership)
+    }
+}
+
+/// Builder for a whole relation.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    relation: ExtendedRelation,
+}
+
+impl RelationBuilder {
+    /// Start a relation over `schema`.
+    pub fn new(schema: Arc<Schema>) -> RelationBuilder {
+        RelationBuilder { relation: ExtendedRelation::new(schema) }
+    }
+
+    /// Add one tuple via a [`TupleBuilder`] closure.
+    ///
+    /// # Errors
+    /// Tuple building/validation errors, CWA violations, duplicate keys.
+    pub fn tuple(
+        mut self,
+        f: impl FnOnce(TupleBuilder) -> TupleBuilder,
+    ) -> Result<RelationBuilder, RelationError> {
+        let t = f(TupleBuilder::new(Arc::clone(self.relation.schema()))).build()?;
+        self.relation.insert(t)?;
+        Ok(self)
+    }
+
+    /// Finish and return the relation.
+    pub fn build(self) -> ExtendedRelation {
+        self.relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::AttrDomain;
+    use crate::value::ValueKind;
+
+    fn schema() -> Arc<Schema> {
+        let spec = Arc::new(AttrDomain::categorical("spec", ["am", "hu", "si"]).unwrap());
+        Arc::new(
+            Schema::builder("r")
+                .key_str("name")
+                .definite("bldg", ValueKind::Int)
+                .evidential("spec", spec)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn builds_relation() {
+        let rel = RelationBuilder::new(schema())
+            .tuple(|t| {
+                t.set_str("name", "wok")
+                    .set_int("bldg", 600)
+                    .set_evidence("spec", [(&["si"][..], 1.0)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("name", "garden")
+                    .set_int("bldg", 2011)
+                    .set_evidence_with_omega("spec", [(&["si"][..], 0.5), (&["hu"][..], 0.25)], 0.25)
+                    .membership_pair(0.5, 0.75)
+            })
+            .unwrap()
+            .build();
+        assert_eq!(rel.len(), 2);
+        let garden = rel.get_by_key(&[Value::str("garden")]).unwrap();
+        assert!((garden.membership().sp() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_attribute_reported() {
+        let err = RelationBuilder::new(schema())
+            .tuple(|t| t.set_str("name", "wok").set_int("bldg", 600));
+        assert!(matches!(
+            err,
+            Err(RelationError::MissingAttribute { name }) if name == "spec"
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_reported() {
+        let err = RelationBuilder::new(schema()).tuple(|t| t.set_str("oops", "x"));
+        assert!(matches!(err, Err(RelationError::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn evidence_on_definite_attr_reported() {
+        let err = RelationBuilder::new(schema())
+            .tuple(|t| t.set_evidence("bldg", [(&["si"][..], 1.0)]));
+        assert!(matches!(err, Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        // Both the unknown attribute and the missing values would
+        // error; the first recorded error is reported.
+        let err = RelationBuilder::new(schema())
+            .tuple(|t| t.set_str("zzz", "x").set_str("name", "wok"));
+        assert!(matches!(err, Err(RelationError::UnknownAttribute { .. })));
+    }
+
+    #[test]
+    fn bad_membership_reported() {
+        let err = RelationBuilder::new(schema()).tuple(|t| {
+            t.set_str("name", "wok")
+                .set_int("bldg", 600)
+                .set_evidence("spec", [(&["si"][..], 1.0)])
+                .membership_pair(0.9, 0.1)
+        });
+        assert!(matches!(err, Err(RelationError::InvalidSupportPair { .. })));
+    }
+
+    #[test]
+    fn float_setter() {
+        let spec = Arc::new(AttrDomain::categorical("d", ["x"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("r")
+                .key_str("k")
+                .definite("f", ValueKind::Float)
+                .evidential("d", spec)
+                .build()
+                .unwrap(),
+        );
+        let rel = RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("k", "a")
+                    .set_float("f", 2.5)
+                    .set_evidence("d", [(&["x"][..], 1.0)])
+            })
+            .unwrap()
+            .build();
+        assert_eq!(rel.len(), 1);
+    }
+}

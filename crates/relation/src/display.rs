@@ -1,0 +1,178 @@
+//! ASCII rendering of extended relations in the paper's notation.
+//!
+//! Tables print one row per tuple with evidence sets in superscript
+//! notation (`[si^0.5, hu^0.25, Ω^0.25]`) and the membership pair as a
+//! final `(sn,sp)` column, mirroring Tables 1–5 of the paper.
+
+use crate::relation::ExtendedRelation;
+use crate::tuple::AttrValue;
+use evirel_evidence::Weight;
+use std::fmt;
+
+/// Render an `f64` mass the way the paper prints them: up to three
+/// decimals, trailing zeros trimmed (`0.5`, `0.655`, `1`).
+pub fn format_mass(x: f64) -> String {
+    if x.approx_eq(&1.0) {
+        return "1".to_owned();
+    }
+    let s = format!("{x:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Render one attribute value; evidence masses use [`format_mass`].
+pub fn format_attr_value(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Definite(d) => d.to_string(),
+        AttrValue::Evidential(m) => {
+            let mut out = String::from("[");
+            for (k, (set, w)) in m.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                if set.len() == 1 {
+                    let i = set.min_index().expect("singleton");
+                    out.push_str(m.frame().label(i).unwrap_or("?"));
+                } else {
+                    out.push_str(&m.frame().render(set));
+                }
+                out.push('^');
+                out.push_str(&format_mass(*w));
+            }
+            out.push(']');
+            out
+        }
+    }
+}
+
+/// Render the full relation as an aligned ASCII table.
+pub fn render_table(rel: &ExtendedRelation) -> String {
+    let schema = rel.schema();
+    let mut headers: Vec<String> = schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if a.ty().is_evidential() {
+                format!("†{}", a.name())
+            } else {
+                a.name().to_owned()
+            }
+        })
+        .collect();
+    headers.push("†(sn,sp)".to_owned());
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(rel.len());
+    for t in rel.iter() {
+        let mut row: Vec<String> = t.values().iter().map(format_attr_value).collect();
+        row.push(t.membership().to_string());
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+
+    out.push_str(&format!("{}\n", schema.name()));
+    rule(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(widths.iter()) {
+        let pad = w - h.chars().count();
+        out.push_str(&format!(" {h}{} |", " ".repeat(pad)));
+    }
+    out.push('\n');
+    rule(&mut out);
+    for row in &rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(widths.iter()) {
+            let pad = w - cell.chars().count();
+            out.push_str(&format!(" {cell}{} |", " ".repeat(pad)));
+        }
+        out.push('\n');
+    }
+    rule(&mut out);
+    out
+}
+
+impl fmt::Display for ExtendedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render_table(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::AttrDomain;
+    use crate::membership::SupportPair;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::value::{Value, ValueKind};
+    use evirel_evidence::MassFunction;
+    use std::sync::Arc;
+
+    #[test]
+    fn format_mass_trims() {
+        assert_eq!(format_mass(0.5), "0.5");
+        assert_eq!(format_mass(1.0), "1");
+        assert_eq!(format_mass(0.655172), "0.655");
+        assert_eq!(format_mass(2.0 / 3.0), "0.667");
+        assert_eq!(format_mass(0.0), "0");
+    }
+
+    #[test]
+    fn renders_paper_style_table() {
+        let domain = Arc::new(
+            AttrDomain::categorical("speciality", ["si", "hu", "ca"]).unwrap(),
+        );
+        let schema = Arc::new(
+            Schema::builder("RA")
+                .key_str("rname")
+                .definite("bldg-no", ValueKind::Int)
+                .evidential("speciality", Arc::clone(&domain))
+                .build()
+                .unwrap(),
+        );
+        let mut rel = ExtendedRelation::new(Arc::clone(&schema));
+        let ev = MassFunction::<f64>::builder(Arc::clone(domain.frame()))
+            .add(["si"], 0.5)
+            .unwrap()
+            .add(["hu"], 0.25)
+            .unwrap()
+            .add_omega(0.25)
+            .build()
+            .unwrap();
+        rel.insert(
+            Tuple::new(
+                &schema,
+                vec![Value::str("garden").into(), Value::int(2011).into(), ev.into()],
+                SupportPair::certain(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = render_table(&rel);
+        assert!(text.contains("†speciality"), "{text}");
+        assert!(text.contains("[si^0.5, hu^0.25, Ω^0.25]"), "{text}");
+        assert!(text.contains("(1,1)"), "{text}");
+        assert!(text.contains("garden"));
+        // Display impl delegates.
+        assert_eq!(rel.to_string(), text);
+    }
+}

@@ -1,0 +1,236 @@
+//! Typed finite attribute domains.
+//!
+//! An [`AttrDomain`] pairs an evidence-layer [`Frame`] (which the mass
+//! machinery operates on by element index) with the typed [`Value`]s
+//! those indices denote. The *declaration order* of the values defines
+//! the total order used by θ-predicates in the algebra layer: integer
+//! domains built with [`AttrDomain::integers`] are in natural numeric
+//! order, and categorical domains use the declared order (e.g.
+//! `avg < gd < ex` for ratings).
+
+use crate::error::RelationError;
+use crate::value::{Value, ValueKind};
+use evirel_evidence::{FocalSet, Frame};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite, ordered, typed attribute domain (the paper's `Ω_A`).
+#[derive(Debug)]
+pub struct AttrDomain {
+    frame: Arc<Frame>,
+    values: Vec<Value>,
+    index: HashMap<Value, usize>,
+    kind: ValueKind,
+}
+
+impl AttrDomain {
+    /// Build a categorical (string) domain from labels, in the given
+    /// order.
+    ///
+    /// # Errors
+    /// [`RelationError::DuplicateAttribute`] if a label repeats.
+    pub fn categorical<I, L>(name: &str, labels: I) -> Result<AttrDomain, RelationError>
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<Arc<str>>,
+    {
+        let labels: Vec<Arc<str>> = labels.into_iter().map(Into::into).collect();
+        Self::from_values(
+            name,
+            labels.into_iter().map(Value::Str).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Build an integer domain over `lo..=hi` in numeric order.
+    ///
+    /// # Errors
+    /// [`RelationError::DuplicateAttribute`] never occurs here but the
+    /// signature matches the general constructor.
+    pub fn integers(name: &str, lo: i64, hi: i64) -> Result<AttrDomain, RelationError> {
+        Self::from_values(name, (lo..=hi).map(Value::Int).collect::<Vec<_>>())
+    }
+
+    /// Build from explicit values (all of one kind), in the given order.
+    ///
+    /// # Errors
+    /// * [`RelationError::DuplicateAttribute`] on duplicate values;
+    /// * [`RelationError::TypeMismatch`] on mixed value kinds.
+    pub fn from_values(name: &str, values: Vec<Value>) -> Result<AttrDomain, RelationError> {
+        let kind = values.first().map(Value::kind).unwrap_or(ValueKind::Str);
+        let mut index = HashMap::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if v.kind() != kind {
+                return Err(RelationError::TypeMismatch {
+                    attr: name.to_owned(),
+                    expected: kind.to_string(),
+                    got: v.kind().to_string(),
+                });
+            }
+            if index.insert(v.clone(), i).is_some() {
+                return Err(RelationError::DuplicateAttribute { name: v.to_string() });
+            }
+        }
+        let frame = Arc::new(Frame::new(
+            name,
+            values.iter().map(|v| v.to_string()),
+        ));
+        Ok(AttrDomain { frame, values, index, kind })
+    }
+
+    /// The evidence-layer frame over which mass functions are built.
+    pub fn frame(&self) -> &Arc<Frame> {
+        &self.frame
+    }
+
+    /// The domain name.
+    pub fn name(&self) -> &str {
+        self.frame.name()
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the domain has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Kind of the domain's values.
+    pub fn kind(&self) -> ValueKind {
+        self.kind
+    }
+
+    /// The typed value at element index `i`.
+    ///
+    /// # Errors
+    /// [`RelationError::Evidence`] wrapping an index error.
+    pub fn value(&self, i: usize) -> Result<&Value, RelationError> {
+        self.values.get(i).ok_or_else(|| {
+            RelationError::Evidence(evirel_evidence::EvidenceError::IndexOutOfBounds {
+                index: i,
+                frame_size: self.len(),
+            })
+        })
+    }
+
+    /// Index of a typed value.
+    ///
+    /// # Errors
+    /// [`RelationError::ValueNotInDomain`] for unknown values.
+    pub fn index_of(&self, v: &Value) -> Result<usize, RelationError> {
+        self.index
+            .get(v)
+            .copied()
+            .ok_or_else(|| RelationError::ValueNotInDomain {
+                attr: self.name().to_owned(),
+                value: v.to_string(),
+            })
+    }
+
+    /// Iterate over the typed values in element order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.values.iter()
+    }
+
+    /// Build a focal set from typed values.
+    ///
+    /// # Errors
+    /// [`RelationError::ValueNotInDomain`] for any unknown value.
+    pub fn subset_of_values<'a, I>(&self, vals: I) -> Result<FocalSet, RelationError>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let mut indices = Vec::new();
+        for v in vals {
+            indices.push(self.index_of(v)?);
+        }
+        Ok(FocalSet::from_indices(indices))
+    }
+
+    /// Structural identity check used by schema validation: same name,
+    /// same values in the same order.
+    pub fn same_as(&self, other: &AttrDomain) -> bool {
+        self.frame == other.frame && self.values == other.values
+    }
+}
+
+impl PartialEq for AttrDomain {
+    fn eq(&self, other: &AttrDomain) -> bool {
+        self.same_as(other)
+    }
+}
+
+impl Eq for AttrDomain {}
+
+impl fmt::Display for AttrDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} {} values]", self.name(), self.len(), self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_domain() {
+        let d = AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.kind(), ValueKind::Str);
+        assert_eq!(d.index_of(&Value::str("gd")).unwrap(), 1);
+        assert_eq!(d.value(2).unwrap(), &Value::str("ex"));
+        assert!(d.index_of(&Value::str("bad")).is_err());
+        assert!(d.value(9).is_err());
+    }
+
+    #[test]
+    fn integer_domain_in_numeric_order() {
+        let d = AttrDomain::integers("votes", 1, 6).unwrap();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.kind(), ValueKind::Int);
+        assert_eq!(d.index_of(&Value::int(4)).unwrap(), 3);
+        // Frame labels are the rendered values.
+        assert_eq!(d.frame().label(3).unwrap(), "4");
+    }
+
+    #[test]
+    fn duplicate_values_rejected() {
+        assert!(AttrDomain::categorical("x", ["a", "a"]).is_err());
+    }
+
+    #[test]
+    fn mixed_kinds_rejected() {
+        let err = AttrDomain::from_values("x", vec![Value::int(1), Value::str("a")]);
+        assert!(matches!(err, Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn subset_of_values() {
+        let d = AttrDomain::categorical("s", ["am", "hu", "si"]).unwrap();
+        let set = d
+            .subset_of_values([&Value::str("hu"), &Value::str("si")])
+            .unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(1) && set.contains(2));
+        assert!(d.subset_of_values([&Value::str("nope")]).is_err());
+    }
+
+    #[test]
+    fn identity() {
+        let a = AttrDomain::categorical("s", ["x", "y"]).unwrap();
+        let b = AttrDomain::categorical("s", ["x", "y"]).unwrap();
+        let c = AttrDomain::categorical("s", ["y", "x"]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "s[2 string values]");
+    }
+
+    #[test]
+    fn empty_domain() {
+        let d = AttrDomain::from_values("none", vec![]).unwrap();
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Error types for the extended relational model.
+
+use evirel_evidence::EvidenceError;
+use std::fmt;
+
+/// Errors produced by schema construction, tuple validation, and
+/// relation maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// An underlying evidence-layer error.
+    Evidence(EvidenceError),
+    /// An attribute name was not found in the schema.
+    UnknownAttribute {
+        /// The attribute that was looked up.
+        name: String,
+        /// The schema (relation) name.
+        schema: String,
+    },
+    /// A duplicate attribute name in a schema definition.
+    DuplicateAttribute {
+        /// The repeated name.
+        name: String,
+    },
+    /// A schema must declare at least one key attribute (the paper
+    /// assumes relations share a common definite key).
+    NoKey,
+    /// A tuple supplied the wrong number of attribute values.
+    ArityMismatch {
+        /// Values supplied.
+        got: usize,
+        /// Values expected by the schema.
+        expected: usize,
+    },
+    /// A value's type did not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// What the schema expects.
+        expected: String,
+        /// What was supplied.
+        got: String,
+    },
+    /// Key attributes must hold definite values (§2.3: "each extended
+    /// relation has definite key values").
+    UncertainKey {
+        /// Offending key attribute.
+        attr: String,
+    },
+    /// A definite value was not a member of the attribute's domain.
+    ValueNotInDomain {
+        /// Attribute name.
+        attr: String,
+        /// Rendering of the value.
+        value: String,
+    },
+    /// An evidential value was built over a different frame than the
+    /// attribute's domain.
+    DomainMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Frame the value was built over.
+        got: String,
+    },
+    /// Support pairs require `0 ≤ sn ≤ sp ≤ 1`.
+    InvalidSupportPair {
+        /// Offending sn.
+        sn: f64,
+        /// Offending sp.
+        sp: f64,
+    },
+    /// CWA_ER violation: stored tuples require `sn > 0`.
+    CwaViolation,
+    /// Two tuples with the same key in one relation.
+    DuplicateKey {
+        /// Rendering of the key values.
+        key: String,
+    },
+    /// An operation required union-compatible relations (§3.2) and the
+    /// schemas differ.
+    NotUnionCompatible {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A tuple was missing a required attribute during building.
+    MissingAttribute {
+        /// The attribute never set.
+        name: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Evidence(e) => write!(f, "evidence error: {e}"),
+            Self::UnknownAttribute { name, schema } => {
+                write!(f, "attribute {name:?} not in schema {schema:?}")
+            }
+            Self::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute {name:?} in schema")
+            }
+            Self::NoKey => write!(f, "schema declares no key attribute"),
+            Self::ArityMismatch { got, expected } => {
+                write!(f, "tuple has {got} values, schema expects {expected}")
+            }
+            Self::TypeMismatch { attr, expected, got } => {
+                write!(f, "attribute {attr:?} expects {expected}, got {got}")
+            }
+            Self::UncertainKey { attr } => {
+                write!(f, "key attribute {attr:?} must hold a definite value")
+            }
+            Self::ValueNotInDomain { attr, value } => {
+                write!(f, "value {value} is outside the domain of attribute {attr:?}")
+            }
+            Self::DomainMismatch { attr, got } => {
+                write!(f, "evidence for attribute {attr:?} was built over frame {got:?}")
+            }
+            Self::InvalidSupportPair { sn, sp } => {
+                write!(f, "support pair requires 0 <= sn <= sp <= 1, got ({sn}, {sp})")
+            }
+            Self::CwaViolation => {
+                write!(f, "CWA_ER violation: stored tuples require sn > 0")
+            }
+            Self::DuplicateKey { key } => {
+                write!(f, "duplicate key {key} in relation")
+            }
+            Self::NotUnionCompatible { reason } => {
+                write!(f, "relations are not union-compatible: {reason}")
+            }
+            Self::MissingAttribute { name } => {
+                write!(f, "tuple is missing a value for attribute {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Evidence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvidenceError> for RelationError {
+    fn from(e: EvidenceError) -> Self {
+        RelationError::Evidence(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_facts() {
+        let e = RelationError::TypeMismatch {
+            attr: "phone".into(),
+            expected: "string".into(),
+            got: "int".into(),
+        };
+        assert!(e.to_string().contains("phone"));
+        let e = RelationError::InvalidSupportPair { sn: 0.9, sp: 0.1 };
+        assert!(e.to_string().contains("0.9"));
+    }
+
+    #[test]
+    fn evidence_errors_convert() {
+        let e: RelationError = EvidenceError::TotalConflict.into();
+        assert!(matches!(e, RelationError::Evidence(EvidenceError::TotalConflict)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,74 @@
+//! # evirel-relation — the extended relational model
+//!
+//! Implements §2.3 of Lim, Srivastava & Shekhar (ICDE 1994): relations
+//! whose non-key attributes may hold *evidence sets* (Dempster–Shafer
+//! mass functions over the attribute domain) and whose tuples carry a
+//! *membership* evidence set over Ψ = {true, false}, encoded as a
+//! support pair `(sn, sp)` with `0 ≤ sn ≤ sp ≤ 1`.
+//!
+//! The model enforces the paper's generalized closed-world assumption
+//! **CWA_ER**: every *stored* tuple must have positive necessary
+//! support (`sn > 0`); tuples absent from the extension implicitly
+//! carry `(0, sp)`. See [`cwa`] for details and the escape hatch used
+//! by the boundedness verifier.
+//!
+//! ## Layout
+//!
+//! * [`value`] — definite values (integers, floats, strings);
+//! * [`domain`] — typed finite attribute domains wrapping an evidence
+//!   [`Frame`](evirel_evidence::Frame);
+//! * [`schema`] — attribute definitions, key declarations,
+//!   union-compatibility;
+//! * [`membership`] — support pairs and their combination rules
+//!   (the paper's `F` and `F_TM`);
+//! * [`tuple`](mod@tuple) / [`relation`](mod@relation) — tuples and keyed extended relations;
+//! * [`display`] — ASCII tables in the paper's notation;
+//! * [`builder`] — ergonomic construction of relations.
+//!
+//! ## Example
+//!
+//! ```
+//! use evirel_relation::{AttrDomain, Schema, SupportPair, RelationBuilder, Value};
+//! use std::sync::Arc;
+//!
+//! let speciality = Arc::new(AttrDomain::categorical(
+//!     "speciality", ["am", "hu", "si", "ca", "mu", "it", "ta"]).unwrap());
+//! let schema = Arc::new(Schema::builder("restaurants")
+//!     .key_str("rname")
+//!     .evidential("speciality", Arc::clone(&speciality))
+//!     .build().unwrap());
+//!
+//! let rel = RelationBuilder::new(Arc::clone(&schema))
+//!     .tuple(|t| t
+//!         .set_str("rname", "wok")
+//!         .set_evidence("speciality", [(&["si"][..], 1.0)])
+//!         .membership(SupportPair::certain()))
+//!     .unwrap()
+//!     .build();
+//! assert_eq!(rel.len(), 1);
+//! let tuple = rel.get_by_key(&[Value::str("wok")]).unwrap();
+//! assert!(tuple.membership().is_certain());
+//! ```
+
+pub mod builder;
+pub mod cwa;
+pub mod display;
+pub mod domain;
+pub mod error;
+pub mod membership;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use builder::{RelationBuilder, TupleBuilder};
+pub use domain::AttrDomain;
+pub use error::RelationError;
+pub use membership::SupportPair;
+pub use relation::ExtendedRelation;
+pub use schema::{AttrDef, AttrType, Schema, SchemaBuilder};
+pub use tuple::{AttrValue, Tuple};
+pub use value::{Value, ValueKind};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;

@@ -1,0 +1,264 @@
+//! Tuple membership support pairs (§2.3 and §3 of the paper).
+//!
+//! The membership of a tuple in an extended relation is an evidence
+//! set over Ψ = {true, false}. Mass may go to `{true}`, `{false}`, or
+//! Ψ itself, so the evidence set is fully described by the pair
+//!
+//! ```text
+//! sn = m({true})                 — necessary support
+//! sp = m({true}) + m(Ψ)          — possible support  (= 1 − m({false}))
+//! ```
+//!
+//! with the invariant `0 ≤ sn ≤ sp ≤ 1`.
+//!
+//! Two combination rules act on support pairs:
+//!
+//! * [`SupportPair::combine_dempster`] — the paper's `F` (§3.2): full
+//!   Dempster combination over Ψ, used by the extended union to merge
+//!   the membership evidence of matched tuples;
+//! * [`SupportPair::and_independent`] — the paper's `F_TM` (§3.1.2):
+//!   the multiplicative rule `(sn₁·sn₂, sp₁·sp₂)` for conjoining
+//!   *independent* events (tuple membership × predicate satisfaction).
+
+use crate::error::RelationError;
+use evirel_evidence::{EvidenceError, Weight};
+use std::fmt;
+
+/// A `(sn, sp)` support pair: the paper's tuple-membership evidence
+/// set over Ψ = {true, false}.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupportPair {
+    sn: f64,
+    sp: f64,
+}
+
+impl SupportPair {
+    /// Construct a validated pair.
+    ///
+    /// # Errors
+    /// [`RelationError::InvalidSupportPair`] unless `0 ≤ sn ≤ sp ≤ 1`.
+    pub fn new(sn: f64, sp: f64) -> Result<SupportPair, RelationError> {
+        // Tolerate float round-off from multiplicative chains.
+        let eps = 1e-9;
+        if !(sn.is_finite() && sp.is_finite()) || sn < -eps || sp > 1.0 + eps || sn > sp + eps {
+            return Err(RelationError::InvalidSupportPair { sn, sp });
+        }
+        Ok(SupportPair { sn: sn.clamp(0.0, 1.0), sp: sp.clamp(0.0, 1.0) })
+    }
+
+    /// `(1, 1)` — the tuple certainly belongs (§2.3).
+    pub const fn certain() -> SupportPair {
+        SupportPair { sn: 1.0, sp: 1.0 }
+    }
+
+    /// `(0, 0)` — the tuple certainly does not belong.
+    pub const fn impossible() -> SupportPair {
+        SupportPair { sn: 0.0, sp: 0.0 }
+    }
+
+    /// `(0, 1)` — complete ignorance about membership.
+    pub const fn unknown() -> SupportPair {
+        SupportPair { sn: 0.0, sp: 1.0 }
+    }
+
+    /// Necessary support `sn = m({true})`.
+    pub fn sn(&self) -> f64 {
+        self.sn
+    }
+
+    /// Possible support `sp = 1 − m({false})`.
+    pub fn sp(&self) -> f64 {
+        self.sp
+    }
+
+    /// Mass on `{true}`.
+    pub fn mass_true(&self) -> f64 {
+        self.sn
+    }
+
+    /// Mass on `{false}`.
+    pub fn mass_false(&self) -> f64 {
+        1.0 - self.sp
+    }
+
+    /// Mass on Ψ (ignorance).
+    pub fn mass_psi(&self) -> f64 {
+        self.sp - self.sn
+    }
+
+    /// `sn > 0` — the CWA_ER storage criterion.
+    pub fn is_positive(&self) -> bool {
+        self.sn > 0.0
+    }
+
+    /// `(1, 1)` within tolerance.
+    pub fn is_certain(&self) -> bool {
+        self.sn.approx_eq(&1.0) && self.sp.approx_eq(&1.0)
+    }
+
+    /// The paper's `F` (§3.2): Dempster's rule over Ψ = {true, false},
+    /// written in closed form. Used by the extended union to combine
+    /// the membership evidence of key-matched tuples.
+    ///
+    /// # Errors
+    /// [`RelationError::Evidence`] with
+    /// [`EvidenceError::TotalConflict`] when one source is certain the
+    /// tuple exists and the other is certain it does not (κ = 1).
+    pub fn combine_dempster(&self, other: &SupportPair) -> Result<SupportPair, RelationError> {
+        let (t1, f1, p1) = (self.mass_true(), self.mass_false(), self.mass_psi());
+        let (t2, f2, p2) = (other.mass_true(), other.mass_false(), other.mass_psi());
+        // κ: one source says true, the other false.
+        let kappa = t1 * f2 + f1 * t2;
+        let denom = 1.0 - kappa;
+        if denom.abs() < 1e-12 {
+            return Err(RelationError::Evidence(EvidenceError::TotalConflict));
+        }
+        let t = (t1 * t2 + t1 * p2 + p1 * t2) / denom;
+        let f = (f1 * f2 + f1 * p2 + p1 * f2) / denom;
+        SupportPair::new(t, 1.0 - f)
+    }
+
+    /// The paper's `F_TM` (§3.1.2): treat the two pairs as supports of
+    /// *independent* events and conjoin multiplicatively:
+    /// `(sn₁·sn₂, sp₁·sp₂)`. Used to derive the result-tuple
+    /// membership from (original membership, predicate support), and by
+    /// the extended cartesian product (§3.4).
+    pub fn and_independent(&self, other: &SupportPair) -> SupportPair {
+        // Products of values in [0,1] preserve the invariant.
+        SupportPair { sn: self.sn * other.sn, sp: self.sp * other.sp }
+    }
+
+    /// Structural comparison with `f64` tolerance.
+    pub fn approx_eq(&self, other: &SupportPair) -> bool {
+        self.sn.approx_eq(&other.sn) && self.sp.approx_eq(&other.sp)
+    }
+}
+
+impl Default for SupportPair {
+    /// Defaults to certain membership, matching ordinary relations.
+    fn default() -> SupportPair {
+        SupportPair::certain()
+    }
+}
+
+impl fmt::Display for SupportPair {
+    /// Renders like the paper's tables: `(1,1)`, `(0.5,0.75)`,
+    /// `(0.32,0.32)` — trailing zeros trimmed, at most two decimals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn short(x: f64) -> String {
+            let s = format!("{x:.2}");
+            let s = s.trim_end_matches('0').trim_end_matches('.');
+            if s.is_empty() {
+                "0".to_owned()
+            } else {
+                s.to_owned()
+            }
+        }
+        write!(f, "({},{})", short(self.sn), short(self.sp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(sn: f64, spv: f64) -> SupportPair {
+        SupportPair::new(sn, spv).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SupportPair::new(0.2, 0.8).is_ok());
+        assert!(SupportPair::new(0.9, 0.1).is_err());
+        assert!(SupportPair::new(-0.1, 0.5).is_err());
+        assert!(SupportPair::new(0.5, 1.2).is_err());
+        assert!(SupportPair::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn named_constants() {
+        assert_eq!(SupportPair::certain(), sp(1.0, 1.0));
+        assert_eq!(SupportPair::impossible(), sp(0.0, 0.0));
+        assert_eq!(SupportPair::unknown(), sp(0.0, 1.0));
+        assert!(SupportPair::certain().is_certain());
+        assert!(!SupportPair::unknown().is_positive());
+        assert_eq!(SupportPair::default(), SupportPair::certain());
+    }
+
+    #[test]
+    fn mass_decomposition() {
+        let p = sp(0.3, 0.8);
+        assert!((p.mass_true() - 0.3).abs() < 1e-12);
+        assert!((p.mass_false() - 0.2).abs() < 1e-12);
+        assert!((p.mass_psi() - 0.5).abs() < 1e-12);
+        let total = p.mass_true() + p.mass_false() + p.mass_psi();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    /// The paper's Table 4, tuple `mehl`: (0.5, 0.5) ⊕ (0.8, 1) =
+    /// (0.8333…, 0.8333…), printed as (0.83, 0.83).
+    #[test]
+    fn paper_mehl_membership_combination() {
+        let a = sp(0.5, 0.5);
+        let b = sp(0.8, 1.0);
+        let c = a.combine_dempster(&b).unwrap();
+        assert!((c.sn() - 5.0 / 6.0).abs() < 1e-12);
+        assert!((c.sp() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(c.to_string(), "(0.83,0.83)");
+    }
+
+    #[test]
+    fn combine_with_certain_is_certain() {
+        // (1,1) ⊕ anything-with-sp>0 stays certain.
+        let c = SupportPair::certain()
+            .combine_dempster(&sp(0.2, 0.9))
+            .unwrap();
+        assert!(c.is_certain());
+    }
+
+    #[test]
+    fn combine_with_unknown_is_identity() {
+        let p = sp(0.4, 0.7);
+        let c = p.combine_dempster(&SupportPair::unknown()).unwrap();
+        assert!(c.approx_eq(&p));
+    }
+
+    #[test]
+    fn total_conflict_is_error() {
+        let a = SupportPair::certain();
+        let b = SupportPair::impossible();
+        assert!(matches!(
+            a.combine_dempster(&b),
+            Err(RelationError::Evidence(EvidenceError::TotalConflict))
+        ));
+    }
+
+    #[test]
+    fn combine_commutative() {
+        let a = sp(0.3, 0.6);
+        let b = sp(0.5, 0.9);
+        let ab = a.combine_dempster(&b).unwrap();
+        let ba = b.combine_dempster(&a).unwrap();
+        assert!(ab.approx_eq(&ba));
+    }
+
+    #[test]
+    fn ftm_multiplicative() {
+        // Table 3, mehl: predicate support (0.64, 0.64) × membership
+        // (0.5, 0.5) = (0.32, 0.32).
+        let p = sp(0.64, 0.64).and_independent(&sp(0.5, 0.5));
+        assert!(p.approx_eq(&sp(0.32, 0.32)));
+        assert_eq!(p.to_string(), "(0.32,0.32)");
+        // Identity under (1,1).
+        let q = sp(0.4, 0.7).and_independent(&SupportPair::certain());
+        assert!(q.approx_eq(&sp(0.4, 0.7)));
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(SupportPair::certain().to_string(), "(1,1)");
+        assert_eq!(sp(0.5, 0.75).to_string(), "(0.5,0.75)");
+        assert_eq!(sp(0.0, 1.0).to_string(), "(0,1)");
+        assert_eq!(sp(0.9, 1.0).to_string(), "(0.9,1)");
+    }
+}

@@ -1,0 +1,260 @@
+//! Definite (certain) values stored in key and definite attributes.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type tag of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float with total ordering (`total_cmp`).
+    Float,
+    /// Interned UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueKind::Int => write!(f, "int"),
+            ValueKind::Float => write!(f, "float"),
+            ValueKind::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// A definite attribute value.
+///
+/// Floats use `total_cmp` semantics so `Value` is fully `Eq + Ord +
+/// Hash` and can serve as a key component. Strings are `Arc<str>` so
+/// cloning tuples is cheap.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (totally ordered).
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integers.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Convenience constructor for floats.
+    pub fn float(x: f64) -> Value {
+        Value::Float(x)
+    }
+
+    /// The value's type tag.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float payload, if this is a float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Render a list of values as a parenthesized key, e.g.
+    /// `(garden, 2011)`.
+    pub fn render_key(values: &[Value]) -> String {
+        let mut out = String::from("(");
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: within a kind, natural order (floats via
+    /// `total_cmp`); across kinds, `Int < Float < Str`. Cross-kind
+    /// comparisons only arise in heterogeneous sort keys, never in
+    /// type-checked relations.
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(_), _) => Ordering::Less,
+            (_, Int(_)) => Ordering::Greater,
+            (Float(_), _) => Ordering::Less,
+            (_, Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(x) => {
+                1u8.hash(state);
+                x.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Value::int(1).kind(), ValueKind::Int);
+        assert_eq!(Value::float(1.5).kind(), ValueKind::Float);
+        assert_eq!(Value::str("x").kind(), ValueKind::Str);
+        assert_eq!(ValueKind::Str.to_string(), "string");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::float(2.5).as_float(), Some(2.5));
+    }
+
+    #[test]
+    fn ordering_within_kind() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::float(1.0) < Value::float(2.0));
+        assert_eq!(Value::float(f64::NAN).cmp(&Value::float(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_across_kinds() {
+        assert!(Value::int(9) < Value::float(0.0));
+        assert!(Value::float(9.0) < Value::str(""));
+    }
+
+    #[test]
+    fn hashable_as_key() {
+        let mut map: HashMap<Vec<Value>, usize> = HashMap::new();
+        map.insert(vec![Value::str("garden"), Value::int(2011)], 1);
+        assert_eq!(
+            map.get(&vec![Value::str("garden"), Value::int(2011)]),
+            Some(&1)
+        );
+        // Float keys hash by bits.
+        let mut map: HashMap<Value, u8> = HashMap::new();
+        map.insert(Value::float(0.5), 1);
+        assert_eq!(map.get(&Value::float(0.5)), Some(&1));
+    }
+
+    #[test]
+    fn display_and_key_rendering() {
+        assert_eq!(Value::str("wok").to_string(), "wok");
+        assert_eq!(Value::int(600).to_string(), "600");
+        assert_eq!(
+            Value::render_key(&[Value::str("wok"), Value::int(600)]),
+            "(wok, 600)"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+        assert_eq!(Value::from(1.5f64), Value::float(1.5));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the support-pair algebra — the paper's
+//! `F` (Dempster over Ψ) and `F_TM` (multiplicative conjunction).
+
+use evirel_relation::{RelationError, SupportPair};
+use evirel_evidence::EvidenceError;
+use proptest::prelude::*;
+
+fn pair_strategy() -> impl Strategy<Value = SupportPair> {
+    (0u32..=1000, 0u32..=1000).prop_map(|(a, b)| {
+        let (sn, sp) = if a <= b { (a, b) } else { (b, a) };
+        SupportPair::new(sn as f64 / 1000.0, sp as f64 / 1000.0).expect("ordered in [0,1]")
+    })
+}
+
+proptest! {
+    /// Masses on {true}, {false}, Ψ always total 1.
+    #[test]
+    fn mass_decomposition_is_total(p in pair_strategy()) {
+        let total = p.mass_true() + p.mass_false() + p.mass_psi();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+        prop_assert!(p.mass_true() >= -1e-12);
+        prop_assert!(p.mass_false() >= -1e-12);
+        prop_assert!(p.mass_psi() >= -1e-12);
+    }
+
+    /// F (Dempster over Ψ) is commutative and keeps the invariant.
+    #[test]
+    fn combine_commutative_and_valid(a in pair_strategy(), b in pair_strategy()) {
+        match (a.combine_dempster(&b), b.combine_dempster(&a)) {
+            (Ok(x), Ok(y)) => {
+                prop_assert!(x.approx_eq(&y));
+                prop_assert!(x.sn() >= -1e-12);
+                prop_assert!(x.sn() <= x.sp() + 1e-9);
+                prop_assert!(x.sp() <= 1.0 + 1e-12);
+            }
+            (Err(RelationError::Evidence(EvidenceError::TotalConflict)),
+             Err(RelationError::Evidence(EvidenceError::TotalConflict))) => {}
+            other => prop_assert!(false, "asymmetric outcome: {other:?}"),
+        }
+    }
+
+    /// F is associative (up to f64 tolerance).
+    #[test]
+    fn combine_associative(a in pair_strategy(), b in pair_strategy(), c in pair_strategy()) {
+        let left = a.combine_dempster(&b).and_then(|ab| ab.combine_dempster(&c));
+        let right = b.combine_dempster(&c).and_then(|bc| a.combine_dempster(&bc));
+        if let (Ok(l), Ok(r)) = (left, right) {
+            prop_assert!((l.sn() - r.sn()).abs() < 1e-6, "{l:?} vs {r:?}");
+            prop_assert!((l.sp() - r.sp()).abs() < 1e-6);
+        }
+    }
+
+    /// Unknown (0,1) is the neutral element of F.
+    #[test]
+    fn unknown_is_neutral(p in pair_strategy()) {
+        let c = p.combine_dempster(&SupportPair::unknown()).unwrap();
+        prop_assert!(c.approx_eq(&p));
+    }
+
+    /// Combining with more positive evidence never lowers sn.
+    #[test]
+    fn positive_evidence_is_monotone(p in pair_strategy(), t in 0u32..=1000) {
+        // Evidence purely in favour: (t, 1).
+        let favour = SupportPair::new(t as f64 / 1000.0, 1.0).unwrap();
+        if let Ok(c) = p.combine_dempster(&favour) {
+            prop_assert!(c.sn() + 1e-9 >= p.sn(), "{c:?} vs {p:?}");
+        }
+    }
+
+    /// F_TM is commutative, associative, monotone-shrinking, and
+    /// (1,1) is neutral.
+    #[test]
+    fn ftm_laws(a in pair_strategy(), b in pair_strategy(), c in pair_strategy()) {
+        let ab = a.and_independent(&b);
+        let ba = b.and_independent(&a);
+        prop_assert!(ab.approx_eq(&ba));
+        let left = ab.and_independent(&c);
+        let right = a.and_independent(&b.and_independent(&c));
+        prop_assert!(left.approx_eq(&right));
+        prop_assert!(ab.sn() <= a.sn() + 1e-12);
+        prop_assert!(ab.sp() <= a.sp() + 1e-12);
+        let neutral = a.and_independent(&SupportPair::certain());
+        prop_assert!(neutral.approx_eq(&a));
+    }
+
+    /// The display form parses back (via the storage crate's notation)
+    /// only approximately — but stays within the printable range.
+    #[test]
+    fn display_is_wellformed(p in pair_strategy()) {
+        let text = p.to_string();
+        prop_assert!(text.starts_with('('));
+        prop_assert!(text.ends_with(')'));
+        prop_assert!(text.contains(','));
+    }
+}

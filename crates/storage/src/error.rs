@@ -1,0 +1,70 @@
+//! Error types for storage.
+
+use evirel_relation::RelationError;
+use std::fmt;
+
+/// Errors produced while reading or writing stored relations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// An underlying relational-model error while rebuilding.
+    Relation(RelationError),
+    /// A syntax error in the stored text.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The header was missing or incomplete.
+    BadHeader {
+        /// What is missing or malformed.
+        message: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> StorageError {
+        StorageError::Parse { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Relation(e) => write!(f, "relation error: {e}"),
+            Self::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Self::BadHeader { message } => write!(f, "bad header: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for StorageError {
+    fn from(e: RelationError) -> Self {
+        StorageError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = StorageError::parse(7, "unexpected token");
+        assert!(e.to_string().contains("line 7"));
+        let e = StorageError::BadHeader { message: "no relation name".into() };
+        assert!(e.to_string().contains("header"));
+        let e: StorageError = RelationError::CwaViolation.into();
+        assert!(matches!(e, StorageError::Relation(_)));
+    }
+}

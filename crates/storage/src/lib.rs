@@ -1,0 +1,38 @@
+//! # evirel-storage — persistence for extended relations
+//!
+//! A zero-dependency text format that round-trips extended relations
+//! in the paper's own notation. A stored relation looks like:
+//!
+//! ```text
+//! relation RA
+//! attr rname: key str
+//! attr street: str
+//! attr bldg-no: int
+//! attr speciality: evidence(am, hu, si, ca)
+//! ---
+//! garden | univ.ave. | 2011 | [si^0.5, hu^0.25, Ω^0.25] | (1,1)
+//! wok | wash.ave. | 600 | [si^1] | (0.5,0.75)
+//! ```
+//!
+//! Header lines declare the schema (key-ness, kinds, evidential
+//! domains); data rows hold one `|`-separated value per attribute plus
+//! the membership pair. Evidence sets use the superscript syntax of
+//! the paper (`Ω` or the ASCII fallback `~` for the full set;
+//! singleton braces optional); masses are written with Rust's shortest
+//! round-trip float formatting so that read(write(r)) reproduces `r`
+//! exactly.
+//!
+//! Strings containing `|`, braces, carets, or surrounding whitespace
+//! are double-quoted with backslash escapes.
+
+pub mod error;
+pub mod notation;
+pub mod reader;
+pub mod writer;
+
+pub use error::StorageError;
+pub use reader::read_relation;
+pub use writer::write_relation;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

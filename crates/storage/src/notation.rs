@@ -1,0 +1,343 @@
+//! Parsing of the paper's value notation: scalars, evidence sets, and
+//! support pairs.
+
+use crate::error::StorageError;
+use evirel_evidence::MassFunction;
+use evirel_relation::{AttrDomain, SupportPair, Value, ValueKind};
+use std::sync::Arc;
+
+/// `true` if a string field must be quoted to survive the format.
+pub fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s != s.trim()
+        || s.contains(['|', '"', '[', ']', '{', '}', '^', '(', ')', ','])
+}
+
+/// Quote a string field with backslash escapes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
+/// Undo [`quote`]; `line` is for error reporting.
+pub fn unquote(s: &str, line: usize) -> Result<String, StorageError> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .ok_or_else(|| StorageError::parse(line, format!("malformed quoted string {s:?}")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some(e) => out.push(e),
+                None => return Err(StorageError::parse(line, "dangling escape")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a definite scalar of the given kind.
+pub fn parse_scalar(field: &str, kind: ValueKind, line: usize) -> Result<Value, StorageError> {
+    let field = field.trim();
+    match kind {
+        ValueKind::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| StorageError::parse(line, format!("expected int, got {field:?}"))),
+        ValueKind::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| StorageError::parse(line, format!("expected float, got {field:?}"))),
+        ValueKind::Str => {
+            if field.starts_with('"') {
+                Ok(Value::str(unquote(field, line)?))
+            } else {
+                Ok(Value::str(field))
+            }
+        }
+    }
+}
+
+/// Render a definite scalar.
+pub fn render_scalar(v: &Value) -> String {
+    match v {
+        Value::Str(s) if needs_quoting(s) => quote(s),
+        other => other.to_string(),
+    }
+}
+
+/// Render an evidence set with full-precision masses:
+/// `[si^0.5, {d35, d36}^0.5, Ω^0.25]`.
+pub fn render_evidence(m: &MassFunction<f64>) -> String {
+    let mut out = String::from("[");
+    let full = m.frame().len();
+    for (k, (set, w)) in m.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        if set.len() == full && full > 0 {
+            out.push('Ω');
+        } else if set.len() == 1 {
+            let label = m
+                .frame()
+                .label(set.min_index().expect("singleton"))
+                .unwrap_or("?");
+            if needs_quoting(label) {
+                out.push_str(&quote(label));
+            } else {
+                out.push_str(label);
+            }
+        } else {
+            out.push('{');
+            for (j, i) in set.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let label = m.frame().label(i).unwrap_or("?");
+                if needs_quoting(label) {
+                    out.push_str(&quote(label));
+                } else {
+                    out.push_str(label);
+                }
+            }
+            out.push('}');
+        }
+        out.push('^');
+        out.push_str(&format!("{w}"));
+    }
+    out.push(']');
+    out
+}
+
+/// Parse an evidence set against a domain. Accepts `Ω` or `~` for the
+/// full set, `{a, b}^w` for subsets, and bare `label^w` singletons.
+pub fn parse_evidence(
+    field: &str,
+    domain: &Arc<AttrDomain>,
+    line: usize,
+) -> Result<MassFunction<f64>, StorageError> {
+    let inner = field
+        .trim()
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| StorageError::parse(line, format!("expected [evidence set], got {field:?}")))?;
+    let mut builder = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
+    for entry in split_top_level(inner, ',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let caret = entry
+            .rfind('^')
+            .ok_or_else(|| StorageError::parse(line, format!("missing ^mass in {entry:?}")))?;
+        let (set_part, mass_part) = entry.split_at(caret);
+        let mass: f64 = mass_part[1..]
+            .trim()
+            .parse()
+            .map_err(|_| StorageError::parse(line, format!("bad mass in {entry:?}")))?;
+        let set_part = set_part.trim();
+        let set = if set_part == "Ω" || set_part == "~" {
+            domain.frame().omega()
+        } else if let Some(body) = set_part.strip_prefix('{').and_then(|x| x.strip_suffix('}')) {
+            let mut members = Vec::new();
+            for label in split_top_level(body, ',') {
+                members.push(lookup(domain, label.trim(), line)?);
+            }
+            evirel_evidence::FocalSet::from_indices(members)
+        } else {
+            evirel_evidence::FocalSet::singleton(lookup(domain, set_part, line)?)
+        };
+        builder = builder
+            .add_set(set, mass)
+            .map_err(evirel_relation::RelationError::from)?;
+    }
+    builder
+        .build()
+        .map_err(evirel_relation::RelationError::from)
+        .map_err(StorageError::from)
+}
+
+fn lookup(domain: &Arc<AttrDomain>, label: &str, line: usize) -> Result<usize, StorageError> {
+    let label = if label.starts_with('"') {
+        unquote(label, line)?
+    } else {
+        label.to_owned()
+    };
+    let value = match domain.kind() {
+        ValueKind::Int => label
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| StorageError::parse(line, format!("bad int label {label:?}")))?,
+        ValueKind::Float => label
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| StorageError::parse(line, format!("bad float label {label:?}")))?,
+        ValueKind::Str => Value::str(label),
+    };
+    domain
+        .index_of(&value)
+        .map_err(StorageError::from)
+}
+
+/// Render a support pair with full precision: `(sn,sp)`.
+pub fn render_support(p: &SupportPair) -> String {
+    format!("({},{})", p.sn(), p.sp())
+}
+
+/// Parse a `(sn,sp)` pair.
+pub fn parse_support(field: &str, line: usize) -> Result<SupportPair, StorageError> {
+    let inner = field
+        .trim()
+        .strip_prefix('(')
+        .and_then(|x| x.strip_suffix(')'))
+        .ok_or_else(|| StorageError::parse(line, format!("expected (sn,sp), got {field:?}")))?;
+    let mut parts = inner.splitn(2, ',');
+    let sn: f64 = parts
+        .next()
+        .unwrap_or("")
+        .trim()
+        .parse()
+        .map_err(|_| StorageError::parse(line, "bad sn"))?;
+    let sp: f64 = parts
+        .next()
+        .ok_or_else(|| StorageError::parse(line, "missing sp"))?
+        .trim()
+        .parse()
+        .map_err(|_| StorageError::parse(line, "bad sp"))?;
+    SupportPair::new(sn, sp).map_err(StorageError::from)
+}
+
+/// Split on `sep` at brace/bracket/paren/quote depth zero.
+pub fn split_top_level(s: &str, sep: char) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '{' | '[' | '(' if !in_quotes => depth += 1,
+            '}' | ']' | ')' if !in_quotes => depth -= 1,
+            c if c == sep && depth == 0 && !in_quotes => {
+                out.push(&s[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("d", ["am", "hu", "si"]).unwrap())
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        for s in ["plain", "has|pipe", "has \"quotes\"", " padded ", "", "a\\b"] {
+            if needs_quoting(s) {
+                let q = quote(s);
+                assert_eq!(unquote(&q, 1).unwrap(), s);
+            }
+        }
+        assert!(!needs_quoting("plain"));
+        assert!(needs_quoting("x|y"));
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(
+            parse_scalar("42", ValueKind::Int, 1).unwrap(),
+            Value::int(42)
+        );
+        assert_eq!(
+            parse_scalar("2.5", ValueKind::Float, 1).unwrap(),
+            Value::float(2.5)
+        );
+        assert_eq!(
+            parse_scalar("wok", ValueKind::Str, 1).unwrap(),
+            Value::str("wok")
+        );
+        let quoted = render_scalar(&Value::str("has|pipe"));
+        assert_eq!(
+            parse_scalar(&quoted, ValueKind::Str, 1).unwrap(),
+            Value::str("has|pipe")
+        );
+        assert!(parse_scalar("xx", ValueKind::Int, 3).is_err());
+    }
+
+    #[test]
+    fn evidence_roundtrip() {
+        let d = domain();
+        let m = MassFunction::<f64>::builder(Arc::clone(d.frame()))
+            .add(["si"], 0.5)
+            .unwrap()
+            .add(["hu", "si"], 1.0 / 3.0)
+            .unwrap()
+            .add_omega(1.0 - 0.5 - 1.0 / 3.0)
+            .build()
+            .unwrap();
+        let text = render_evidence(&m);
+        let back = parse_evidence(&text, &d, 1).unwrap();
+        assert_eq!(back, m, "{text}");
+    }
+
+    #[test]
+    fn evidence_accepts_ascii_omega() {
+        let d = domain();
+        let m = parse_evidence("[si^0.5, ~^0.5]", &d, 1).unwrap();
+        assert!((m.mass_of(&d.frame().omega()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidence_errors() {
+        let d = domain();
+        assert!(parse_evidence("si^1", &d, 1).is_err()); // no brackets
+        assert!(parse_evidence("[si]", &d, 1).is_err()); // no mass
+        assert!(parse_evidence("[zz^1]", &d, 1).is_err()); // unknown label
+        assert!(parse_evidence("[si^0.4]", &d, 1).is_err()); // not normalized
+    }
+
+    #[test]
+    fn support_roundtrip() {
+        let p = SupportPair::new(1.0 / 3.0, 2.0 / 3.0).unwrap();
+        let text = render_support(&p);
+        let back = parse_support(&text, 1).unwrap();
+        assert!(back.approx_eq(&p));
+        assert_eq!(back.sn(), p.sn()); // exact: shortest-roundtrip floats
+        assert!(parse_support("(1)", 1).is_err());
+        assert!(parse_support("1,1", 1).is_err());
+        assert!(parse_support("(0.9,0.1)", 1).is_err()); // invalid pair
+    }
+
+    #[test]
+    fn top_level_split_respects_nesting() {
+        let parts = split_top_level("a | [x^1, {y, z}^2] | (1,2) | \"p|q\"", '|');
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[1].trim(), "[x^1, {y, z}^2]");
+        assert_eq!(parts[3].trim(), "\"p|q\"");
+    }
+}

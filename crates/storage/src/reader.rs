@@ -1,0 +1,304 @@
+//! Parsing stored relations back from the text format.
+
+use crate::error::StorageError;
+use crate::notation;
+use evirel_relation::{
+    AttrDomain, AttrValue, ExtendedRelation, Schema, Tuple, Value, ValueKind,
+};
+use std::sync::Arc;
+
+/// Parse a relation previously produced by
+/// [`crate::writer::write_relation`].
+///
+/// # Errors
+/// [`StorageError::BadHeader`] / [`StorageError::Parse`] with line
+/// numbers, or relational validation errors while rebuilding.
+pub fn read_relation(text: &str) -> Result<ExtendedRelation, StorageError> {
+    let mut lines = text.lines().enumerate();
+
+    // Header: relation name.
+    let name = loop {
+        match lines.next() {
+            Some((_, line)) if line.trim().is_empty() => continue,
+            Some((n, line)) => {
+                let line = line.trim();
+                break line
+                    .strip_prefix("relation ")
+                    .map(str::trim)
+                    .map(str::to_owned)
+                    .ok_or_else(|| {
+                        StorageError::parse(n + 1, format!("expected 'relation <name>', got {line:?}"))
+                    })?;
+            }
+            None => {
+                return Err(StorageError::BadHeader { message: "empty input".into() })
+            }
+        }
+    };
+
+    // Header: attribute declarations until the `---` separator.
+    enum DeclTy {
+        Definite(ValueKind),
+        Evidential(Arc<AttrDomain>),
+    }
+    let mut decls: Vec<(String, bool, DeclTy)> = Vec::new();
+    let mut body_start = None;
+    for (n, raw) in lines.by_ref() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "---" {
+            body_start = Some(n + 1);
+            break;
+        }
+        let rest = line
+            .strip_prefix("attr ")
+            .ok_or_else(|| StorageError::parse(n + 1, format!("expected 'attr', got {line:?}")))?;
+        let (attr_name, ty_text) = rest.split_once(':').ok_or_else(|| {
+            StorageError::parse(n + 1, format!("expected 'name: type', got {rest:?}"))
+        })?;
+        let attr_name = attr_name.trim().to_owned();
+        let mut ty_text = ty_text.trim();
+        let is_key = if let Some(stripped) = ty_text.strip_prefix("key ") {
+            ty_text = stripped.trim();
+            true
+        } else {
+            false
+        };
+        let ty = if let Some(ev) = ty_text.strip_prefix("evidence[") {
+            let (kind_text, labels_text) = ev.split_once("](").ok_or_else(|| {
+                StorageError::parse(n + 1, format!("malformed evidence type {ty_text:?}"))
+            })?;
+            let labels_text = labels_text.strip_suffix(')').ok_or_else(|| {
+                StorageError::parse(n + 1, "evidence type missing closing paren")
+            })?;
+            // "kind [domain-name]" — the name defaults to the attribute
+            // name for backward compatibility with hand-written files.
+            let mut parts = kind_text.trim().splitn(2, ' ');
+            let kind = parse_kind(parts.next().unwrap_or("").trim(), n + 1)?;
+            let domain_name = parts.next().map(str::trim).unwrap_or(&attr_name).to_owned();
+            let mut values = Vec::new();
+            for label in notation::split_top_level(labels_text, ',') {
+                let label = label.trim();
+                if label.is_empty() {
+                    continue;
+                }
+                values.push(notation::parse_scalar(label, kind, n + 1)?);
+            }
+            DeclTy::Evidential(Arc::new(
+                AttrDomain::from_values(&domain_name, values).map_err(StorageError::from)?,
+            ))
+        } else {
+            DeclTy::Definite(parse_kind(ty_text, n + 1)?)
+        };
+        decls.push((attr_name, is_key, ty));
+    }
+    let body_line = body_start
+        .ok_or(StorageError::BadHeader { message: "missing --- separator".into() })?;
+
+    // Build the schema.
+    let mut builder = Schema::builder(name);
+    let mut domains: Vec<Option<Arc<AttrDomain>>> = Vec::with_capacity(decls.len());
+    let mut kinds: Vec<ValueKind> = Vec::with_capacity(decls.len());
+    for (attr_name, is_key, ty) in decls {
+        match ty {
+            DeclTy::Definite(kind) => {
+                builder = if is_key {
+                    builder.key(attr_name, kind)
+                } else {
+                    builder.definite(attr_name, kind)
+                };
+                domains.push(None);
+                kinds.push(kind);
+            }
+            DeclTy::Evidential(domain) => {
+                // Evidential key attributes are not representable (keys
+                // are definite); reject rather than silently coerce.
+                if is_key {
+                    return Err(StorageError::BadHeader {
+                        message: format!("attribute {attr_name:?}: keys cannot be evidential"),
+                    });
+                }
+                kinds.push(domain.kind());
+                builder = builder.evidential(attr_name, Arc::clone(&domain));
+                domains.push(Some(domain));
+            }
+        }
+    }
+    let schema = Arc::new(builder.build().map_err(StorageError::from)?);
+
+    // Data rows.
+    let mut rel = ExtendedRelation::new(Arc::clone(&schema));
+    for (offset, raw) in text.lines().skip(body_line).enumerate() {
+        let line_no = body_line + offset + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = notation::split_top_level(line, '|');
+        if fields.len() != schema.arity() + 1 {
+            return Err(StorageError::parse(
+                line_no,
+                format!(
+                    "expected {} fields (+membership), got {}",
+                    schema.arity(),
+                    fields.len()
+                ),
+            ));
+        }
+        let mut values: Vec<AttrValue> = Vec::with_capacity(schema.arity());
+        for (pos, field) in fields[..schema.arity()].iter().enumerate() {
+            let field = field.trim();
+            let value = match &domains[pos] {
+                Some(domain) => {
+                    if field.starts_with('[') {
+                        AttrValue::Evidential(notation::parse_evidence(field, domain, line_no)?)
+                    } else {
+                        // Definite value inside an evidential attribute.
+                        let v: Value = notation::parse_scalar(field, kinds[pos], line_no)?;
+                        AttrValue::Definite(v)
+                    }
+                }
+                None => AttrValue::Definite(notation::parse_scalar(field, kinds[pos], line_no)?),
+            };
+            values.push(value);
+        }
+        let membership = notation::parse_support(fields[schema.arity()].trim(), line_no)?;
+        let tuple = Tuple::new(&schema, values, membership).map_err(StorageError::from)?;
+        rel.insert(tuple).map_err(StorageError::from)?;
+    }
+    Ok(rel)
+}
+
+fn parse_kind(text: &str, line: usize) -> Result<ValueKind, StorageError> {
+    match text {
+        "string" | "str" => Ok(ValueKind::Str),
+        "int" => Ok(ValueKind::Int),
+        "float" => Ok(ValueKind::Float),
+        other => Err(StorageError::parse(line, format!("unknown kind {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::write_relation;
+    use evirel_relation::RelationBuilder;
+
+    fn sample() -> ExtendedRelation {
+        let d = Arc::new(AttrDomain::categorical("spec", ["si", "hu", "ca"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("RA")
+                .key_str("rname")
+                .definite("bldg", ValueKind::Int)
+                .definite("score", ValueKind::Float)
+                .evidential("spec", d)
+                .build()
+                .unwrap(),
+        );
+        RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("rname", "wok")
+                    .set_int("bldg", 600)
+                    .set_float("score", 4.5)
+                    .set_evidence_with_omega(
+                        "spec",
+                        [(&["si"][..], 1.0 / 3.0), (&["hu", "ca"][..], 1.0 / 3.0)],
+                        1.0 / 3.0,
+                    )
+                    .membership_pair(1.0 / 3.0, 0.75)
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "odd|name")
+                    .set_int("bldg", -3)
+                    .set_float("score", 0.125)
+                    .set_evidence("spec", [(&["ca"][..], 1.0)])
+            })
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let rel = sample();
+        let text = write_relation(&rel);
+        let back = read_relation(&text).unwrap();
+        assert_eq!(back.schema().name(), "RA");
+        assert_eq!(back.len(), rel.len());
+        // Exact equality, not approx: shortest-roundtrip floats.
+        for (key, t) in rel.iter_keyed() {
+            let o = back.get_by_key(&key).unwrap();
+            assert_eq!(o.values(), t.values());
+            assert_eq!(o.membership().sn(), t.membership().sn());
+            assert_eq!(o.membership().sp(), t.membership().sp());
+        }
+    }
+
+    #[test]
+    fn definite_value_in_evidential_column() {
+        let text = "relation R\nattr k: key string\nattr spec: evidence[string](si, hu)\n---\nwok | si | (1,1)\n";
+        let rel = read_relation(text).unwrap();
+        let t = rel.get_by_key(&[Value::str("wok")]).unwrap();
+        assert_eq!(t.value(1).as_definite(), Some(&Value::str("si")));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "relation R\nattr k: key string\n---\n\n# comment\na | (1,1)\n";
+        let rel = read_relation(text).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        // Bad arity.
+        let text = "relation R\nattr k: key string\n---\na | b | (1,1)\n";
+        let err = read_relation(text).unwrap_err();
+        assert!(matches!(err, StorageError::Parse { line: 4, .. }), "{err}");
+        // Missing separator.
+        let text = "relation R\nattr k: key string\n";
+        assert!(matches!(
+            read_relation(text),
+            Err(StorageError::BadHeader { .. })
+        ));
+        // Bad membership.
+        let text = "relation R\nattr k: key string\n---\na | (2,3)\n";
+        assert!(read_relation(text).is_err());
+        // Unknown kind.
+        let text = "relation R\nattr k: key uuid\n---\n";
+        assert!(read_relation(text).is_err());
+        // Evidential key rejected.
+        let text = "relation R\nattr k: key evidence[string](a)\n---\n";
+        assert!(matches!(
+            read_relation(text),
+            Err(StorageError::BadHeader { .. })
+        ));
+        // Empty input.
+        assert!(matches!(
+            read_relation(""),
+            Err(StorageError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn cwa_enforced_on_read() {
+        let text = "relation R\nattr k: key string\n---\na | (0,1)\n";
+        assert!(matches!(
+            read_relation(text),
+            Err(StorageError::Relation(
+                evirel_relation::RelationError::CwaViolation
+            ))
+        ));
+    }
+
+    #[test]
+    fn int_evidence_domains() {
+        let text = "relation R\nattr k: key string\nattr n: evidence[int](1, 2, 3)\n---\na | [1^0.5, {2, 3}^0.5] | (1,1)\n";
+        let rel = read_relation(text).unwrap();
+        let t = rel.get_by_key(&[Value::str("a")]).unwrap();
+        let m = t.value(1).as_evidential().unwrap();
+        assert_eq!(m.focal_count(), 2);
+    }
+}

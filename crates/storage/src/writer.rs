@@ -1,0 +1,91 @@
+//! Serializing extended relations to the text format.
+
+use crate::notation;
+use evirel_relation::{AttrType, AttrValue, ExtendedRelation};
+use std::fmt::Write as _;
+
+/// Serialize a relation (schema header + data rows).
+pub fn write_relation(rel: &ExtendedRelation) -> String {
+    let schema = rel.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "relation {}", schema.name());
+    for attr in schema.attrs() {
+        let key = if attr.is_key() { "key " } else { "" };
+        match attr.ty() {
+            AttrType::Definite(kind) => {
+                let _ = writeln!(out, "attr {}: {key}{kind}", attr.name());
+            }
+            AttrType::Evidential(domain) => {
+                let labels: Vec<String> = domain
+                    .values()
+                    .map(|v| {
+                        let s = v.to_string();
+                        if notation::needs_quoting(&s) {
+                            notation::quote(&s)
+                        } else {
+                            s
+                        }
+                    })
+                    .collect();
+                // The domain name is written alongside the kind so the
+                // reader can reconstruct a structurally identical
+                // domain even when several attributes share it.
+                let _ = writeln!(
+                    out,
+                    "attr {}: {key}evidence[{} {}]({})",
+                    attr.name(),
+                    domain.kind(),
+                    domain.name(),
+                    labels.join(", ")
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "---");
+    for tuple in rel.iter() {
+        let mut fields: Vec<String> = Vec::with_capacity(schema.arity() + 1);
+        for value in tuple.values() {
+            fields.push(match value {
+                AttrValue::Definite(v) => notation::render_scalar(v),
+                AttrValue::Evidential(m) => notation::render_evidence(m),
+            });
+        }
+        fields.push(notation::render_support(&tuple.membership()));
+        let _ = writeln!(out, "{}", fields.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, ValueKind};
+    use std::sync::Arc;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let d = Arc::new(AttrDomain::categorical("spec", ["si", "hu"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("RA")
+                .key_str("rname")
+                .definite("bldg", ValueKind::Int)
+                .evidential("spec", d)
+                .build()
+                .unwrap(),
+        );
+        let rel = RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("rname", "wok")
+                    .set_int("bldg", 600)
+                    .set_evidence_with_omega("spec", [(&["si"][..], 0.5)], 0.5)
+                    .membership_pair(0.5, 0.75)
+            })
+            .unwrap()
+            .build();
+        let text = write_relation(&rel);
+        assert!(text.starts_with("relation RA\n"), "{text}");
+        assert!(text.contains("attr rname: key string"), "{text}");
+        assert!(text.contains("attr spec: evidence[string spec](si, hu)"), "{text}");
+        assert!(text.contains("wok | 600 | [si^0.5, Ω^0.5] | (0.5,0.75)"), "{text}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Parameterized random extended relations for scaling benchmarks.
+//!
+//! [`GeneratorConfig`] controls the shape of one relation;
+//! [`PairConfig`] generates a *pair* of union-compatible relations
+//! with a configurable key overlap and a conflict bias — the two knobs
+//! the union benchmarks sweep.
+
+use evirel_evidence::{FocalSet, MassFunction};
+use evirel_relation::{
+    AttrDomain, AttrValue, ExtendedRelation, RelationError, Schema, SupportPair, Tuple, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Shape of one generated relation.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of tuples.
+    pub tuples: usize,
+    /// Number of values in the evidential attribute's domain.
+    pub domain_size: usize,
+    /// Number of evidential attributes.
+    pub evidential_attrs: usize,
+    /// Maximum focal elements per evidence set (≥ 1).
+    pub max_focal: usize,
+    /// Maximum cardinality of each focal element (≥ 1).
+    pub max_focal_size: usize,
+    /// Probability mass placed on Ω (ignorance floor) per evidence set.
+    pub omega_mass: f64,
+    /// Fraction of tuples with uncertain membership (`sn < 1`).
+    pub uncertain_membership: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            tuples: 1000,
+            domain_size: 16,
+            evidential_attrs: 3,
+            max_focal: 4,
+            max_focal_size: 3,
+            omega_mass: 0.1,
+            uncertain_membership: 0.2,
+            seed: 0xEC1DE,
+        }
+    }
+}
+
+/// Shape of a generated relation *pair* for union benchmarks.
+#[derive(Debug, Clone)]
+pub struct PairConfig {
+    /// Shape shared by both relations.
+    pub base: GeneratorConfig,
+    /// Fraction of keys present in both relations (0.0–1.0).
+    pub key_overlap: f64,
+    /// Bias toward conflicting evidence on matched tuples: 0.0 draws
+    /// the second relation's evidence independently, 1.0 draws it
+    /// concentrated on values *disjoint* from the first relation's
+    /// core whenever possible.
+    pub conflict_bias: f64,
+}
+
+impl Default for PairConfig {
+    fn default() -> Self {
+        PairConfig { base: GeneratorConfig::default(), key_overlap: 0.5, conflict_bias: 0.0 }
+    }
+}
+
+/// The shared domain used by generated relations.
+pub fn generated_domain(size: usize) -> Arc<AttrDomain> {
+    Arc::new(
+        AttrDomain::categorical("gen", (0..size).map(|i| format!("v{i}")))
+            .expect("generated labels are unique"),
+    )
+}
+
+/// The shared schema used by generated relations.
+pub fn generated_schema(name: &str, config: &GeneratorConfig) -> Arc<Schema> {
+    let domain = generated_domain(config.domain_size);
+    let mut b = Schema::builder(name).key_str("k");
+    for i in 0..config.evidential_attrs {
+        b = b.evidential(format!("e{i}"), Arc::clone(&domain));
+    }
+    Arc::new(b.build().expect("generated schema is valid"))
+}
+
+/// Generate one relation.
+///
+/// # Errors
+/// Propagates tuple-construction failures (which indicate a config
+/// with an empty domain).
+pub fn generate(name: &str, config: &GeneratorConfig) -> Result<ExtendedRelation, RelationError> {
+    let schema = generated_schema(name, config);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rel = ExtendedRelation::new(Arc::clone(&schema));
+    for i in 0..config.tuples {
+        let tuple = random_tuple(&schema, config, &mut rng, i, None)?;
+        rel.insert(tuple)?;
+    }
+    Ok(rel)
+}
+
+/// Generate a union-compatible pair `(left, right)` with the given
+/// overlap and conflict bias. Matched keys share the prefix
+/// `shared-*`; unmatched keys are disjoint per side.
+///
+/// # Errors
+/// As [`generate`].
+pub fn generate_pair(
+    config: &PairConfig,
+) -> Result<(ExtendedRelation, ExtendedRelation), RelationError> {
+    let schema_a = generated_schema("GA", &config.base);
+    let schema_b = generated_schema("GB", &config.base);
+    let mut rng_a = StdRng::seed_from_u64(config.base.seed);
+    let mut rng_b = StdRng::seed_from_u64(config.base.seed.wrapping_add(1));
+
+    let shared = ((config.base.tuples as f64) * config.key_overlap).round() as usize;
+    let mut a = ExtendedRelation::new(Arc::clone(&schema_a));
+    let mut b = ExtendedRelation::new(Arc::clone(&schema_b));
+
+    for i in 0..config.base.tuples {
+        let key = if i < shared {
+            format!("shared-{i}")
+        } else {
+            format!("left-{i}")
+        };
+        let t = random_tuple_with_key(&schema_a, &config.base, &mut rng_a, &key, None)?;
+        a.insert(t)?;
+    }
+    for i in 0..config.base.tuples {
+        let key = if i < shared {
+            format!("shared-{i}")
+        } else {
+            format!("right-{i}")
+        };
+        // For matched keys, optionally bias toward conflict with the
+        // left relation's evidence.
+        let avoid = if i < shared && config.conflict_bias > 0.0 {
+            a.get_by_key(&[Value::str(key.clone())])
+                .and_then(|t| t.value(1).as_evidential())
+                .map(|m| m.core())
+        } else {
+            None
+        };
+        let avoid = match avoid {
+            Some(core) if rng_b.gen_bool(config.conflict_bias) => Some(core),
+            _ => None,
+        };
+        let t = random_tuple_with_key(&schema_b, &config.base, &mut rng_b, &key, avoid)?;
+        b.insert(t)?;
+    }
+    Ok((a, b))
+}
+
+fn random_tuple(
+    schema: &Arc<Schema>,
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+    i: usize,
+    avoid: Option<FocalSet>,
+) -> Result<Tuple, RelationError> {
+    random_tuple_with_key(schema, config, rng, &format!("k{i}"), avoid)
+}
+
+fn random_tuple_with_key(
+    schema: &Arc<Schema>,
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+    key: &str,
+    avoid: Option<FocalSet>,
+) -> Result<Tuple, RelationError> {
+    let mut values: Vec<AttrValue> = Vec::with_capacity(schema.arity());
+    values.push(AttrValue::Definite(Value::str(key)));
+    for pos in 1..schema.arity() {
+        let domain = schema
+            .attr(pos)
+            .ty()
+            .domain()
+            .expect("generated non-key attrs are evidential");
+        values.push(AttrValue::Evidential(random_evidence(
+            domain,
+            config,
+            rng,
+            avoid.as_ref(),
+        )?));
+    }
+    let membership = if rng.gen_bool(config.uncertain_membership) {
+        let sn = rng.gen_range(0.05..1.0);
+        let sp = rng.gen_range(sn..=1.0);
+        SupportPair::new(sn, sp)?
+    } else {
+        SupportPair::certain()
+    };
+    Tuple::new(schema, values, membership)
+}
+
+/// Draw a random normalized evidence set. When `avoid` is given (the
+/// conflict-bias path), focal elements are drawn from the complement
+/// of `avoid` whenever it is non-empty.
+fn random_evidence(
+    domain: &Arc<AttrDomain>,
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+    avoid: Option<&FocalSet>,
+) -> Result<MassFunction<f64>, RelationError> {
+    let n = domain.len();
+    let candidates: Vec<usize> = match avoid {
+        Some(core) => {
+            let comp: Vec<usize> = (0..n).filter(|i| !core.contains(*i)).collect();
+            if comp.is_empty() {
+                (0..n).collect()
+            } else {
+                comp
+            }
+        }
+        None => (0..n).collect(),
+    };
+    let focal_count = rng.gen_range(1..=config.max_focal);
+    let mut sets: Vec<FocalSet> = Vec::with_capacity(focal_count);
+    for _ in 0..focal_count {
+        let size = rng.gen_range(1..=config.max_focal_size.min(candidates.len()));
+        let mut members = Vec::with_capacity(size);
+        for _ in 0..size {
+            members.push(candidates[rng.gen_range(0..candidates.len())]);
+        }
+        let set = FocalSet::from_indices(members);
+        if !sets.contains(&set) {
+            sets.push(set);
+        }
+    }
+    let mut weights: Vec<f64> = (0..sets.len()).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let budget = 1.0 - config.omega_mass;
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w = *w / total * budget;
+    }
+    let mut builder = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
+    for (set, w) in sets.into_iter().zip(weights) {
+        builder = builder.add_set(set, w).map_err(RelationError::from)?;
+    }
+    if config.omega_mass > 0.0 {
+        builder = builder.add_omega(config.omega_mass);
+    }
+    builder.build().map_err(RelationError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let config = GeneratorConfig { tuples: 50, ..Default::default() };
+        let rel = generate("G", &config).unwrap();
+        assert_eq!(rel.len(), 50);
+        assert_eq!(rel.schema().arity(), 1 + config.evidential_attrs);
+        assert!(rel.validate().is_ok());
+        for t in rel.iter() {
+            for pos in 1..rel.schema().arity() {
+                let m = t.value(pos).as_evidential().unwrap();
+                assert!(m.focal_count() <= config.max_focal + 1); // +Ω
+                let total: f64 = m.iter().map(|(_, w)| *w).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let config = GeneratorConfig { tuples: 20, ..Default::default() };
+        let a = generate("G", &config).unwrap();
+        let b = generate("G", &config).unwrap();
+        assert!(a.approx_eq(&b));
+    }
+
+    #[test]
+    fn pair_overlap_respected() {
+        let config = PairConfig {
+            base: GeneratorConfig { tuples: 100, ..Default::default() },
+            key_overlap: 0.3,
+            conflict_bias: 0.0,
+        };
+        let (a, b) = generate_pair(&config).unwrap();
+        let shared = a
+            .keys()
+            .filter(|k| b.contains_key(k))
+            .count();
+        assert_eq!(shared, 30);
+        assert!(a.schema().check_union_compatible(b.schema()).is_ok());
+    }
+
+    #[test]
+    fn conflict_bias_raises_conflict() {
+        let mk = |bias: f64| {
+            let config = PairConfig {
+                base: GeneratorConfig {
+                    tuples: 200,
+                    omega_mass: 0.0,
+                    max_focal: 2,
+                    max_focal_size: 2,
+                    uncertain_membership: 0.0,
+                    ..Default::default()
+                },
+                key_overlap: 1.0,
+                conflict_bias: bias,
+            };
+            let (a, b) = generate_pair(&config).unwrap();
+            // Mean Dempster κ over matched evidence.
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (key, ta) in a.iter_keyed() {
+                if let Some(tb) = b.get_by_key(&key) {
+                    let ma = ta.value(1).as_evidential().unwrap();
+                    let mb = tb.value(1).as_evidential().unwrap();
+                    total += evirel_evidence::combine::conflict(ma, mb).unwrap();
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let low = mk(0.0);
+        let high = mk(1.0);
+        assert!(
+            high > low,
+            "conflict bias should raise mean κ: low = {low}, high = {high}"
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! The paper's running example, verbatim.
+//!
+//! Source relations `R_A` and `R_B` exactly as printed in Table 1,
+//! over the global schema of Figure 2. Abbreviations follow the
+//! paper's footnote: specialities `am`(erican), `hu`(nan), `si`(chuan),
+//! `ca`(ntonese), `mu`(ghalai), `it`(alian), `ta`(ndoori, appearing
+//! only in Table 1's `mehl` row); ratings `ex`(cellent), `gd`(ood),
+//! `avg`(erage) ordered `avg < gd < ex`; dishes `d1`–`d36`.
+//!
+//! The Manager (`M`) and Managed-by (`RM`) relations of Figure 2 are
+//! not populated in the paper; [`restaurant_db_a`]/[`restaurant_db_b`]
+//! reconstruct small consistent instances for them so that the relationship
+//! side of the global schema is exercised too (documented substitution
+//! — see DESIGN.md §6).
+
+use evirel_relation::{
+    AttrDomain, ExtendedRelation, RelationBuilder, Schema, SupportPair, ValueKind,
+};
+use std::sync::Arc;
+
+/// The speciality domain Ω_speciality.
+pub fn speciality_domain() -> Arc<AttrDomain> {
+    Arc::new(
+        AttrDomain::categorical("speciality", ["am", "hu", "si", "ca", "mu", "it", "ta"])
+            .expect("static domain"),
+    )
+}
+
+/// The best-dish domain: dishes d1–d36.
+pub fn best_dish_domain() -> Arc<AttrDomain> {
+    Arc::new(
+        AttrDomain::categorical("best-dish", (1..=36).map(|i| format!("d{i}")))
+            .expect("static domain"),
+    )
+}
+
+/// The rating domain, ordered `avg < gd < ex` for θ-predicates.
+pub fn rating_domain() -> Arc<AttrDomain> {
+    Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).expect("static domain"))
+}
+
+/// Schema of the preprocessed restaurant relations (`R_A`, `R_B`).
+pub fn restaurant_schema(name: &str) -> Arc<Schema> {
+    Arc::new(
+        Schema::builder(name)
+            .key_str("rname")
+            .definite("street", ValueKind::Str)
+            .definite("bldg-no", ValueKind::Int)
+            .definite("phone", ValueKind::Str)
+            .evidential("speciality", speciality_domain())
+            .evidential("best-dish", best_dish_domain())
+            .evidential("rating", rating_domain())
+            .build()
+            .expect("static schema"),
+    )
+}
+
+/// Schema of the Manager relation `M` (Figure 2).
+pub fn manager_schema(name: &str) -> Arc<Schema> {
+    Arc::new(
+        Schema::builder(name)
+            .key_str("mname")
+            .definite("phone", ValueKind::Str)
+            .definite("position", ValueKind::Str)
+            .evidential("speciality", speciality_domain())
+            .build()
+            .expect("static schema"),
+    )
+}
+
+/// Schema of the Managed-by relationship `RM` (Figure 2): an n:m
+/// relationship instance keyed by both entity keys.
+pub fn managed_by_schema(name: &str) -> Arc<Schema> {
+    Arc::new(
+        Schema::builder(name)
+            .key_str("rname")
+            .key_str("mname")
+            .build()
+            .expect("static schema"),
+    )
+}
+
+/// One source database: the three relations of Figure 2.
+#[derive(Debug, Clone)]
+pub struct RestaurantDb {
+    /// Restaurant relation (`R_A` / `R_B`).
+    pub restaurants: ExtendedRelation,
+    /// Manager relation (`M_A` / `M_B`).
+    pub managers: ExtendedRelation,
+    /// Managed-by relationship (`RM_A` / `RM_B`).
+    pub managed_by: ExtendedRelation,
+}
+
+/// `DB_A` — Minnesota Daily. `R_A` is Table 1's upper relation,
+/// verbatim.
+pub fn restaurant_db_a() -> RestaurantDb {
+    let restaurants = RelationBuilder::new(restaurant_schema("RA"))
+        .tuple(|t| {
+            t.set_str("rname", "garden")
+                .set_str("street", "univ.ave.")
+                .set_int("bldg-no", 2011)
+                .set_str("phone", "371-2155")
+                .set_evidence_with_omega(
+                    "speciality",
+                    [(&["si"][..], 0.5), (&["hu"][..], 0.25)],
+                    0.25,
+                )
+                .set_evidence("best-dish", [(&["d31"][..], 0.5), (&["d35", "d36"][..], 0.5)])
+                .set_evidence(
+                    "rating",
+                    [(&["ex"][..], 0.33), (&["gd"][..], 0.5), (&["avg"][..], 0.17)],
+                )
+        })
+        .expect("RA garden")
+        .tuple(|t| {
+            t.set_str("rname", "wok")
+                .set_str("street", "wash.ave.")
+                .set_int("bldg-no", 600)
+                .set_str("phone", "382-4165")
+                .set_evidence("speciality", [(&["si"][..], 1.0)])
+                .set_evidence(
+                    "best-dish",
+                    [(&["d6"][..], 0.33), (&["d7"][..], 0.33), (&["d25"][..], 0.34)],
+                )
+                .set_evidence("rating", [(&["gd"][..], 0.25), (&["avg"][..], 0.75)])
+        })
+        .expect("RA wok")
+        .tuple(|t| {
+            t.set_str("rname", "country")
+                .set_str("street", "plato.blvd")
+                .set_int("bldg-no", 12)
+                .set_str("phone", "293-9111")
+                .set_evidence("speciality", [(&["am"][..], 1.0)])
+                .set_evidence_with_omega(
+                    "best-dish",
+                    [(&["d1"][..], 0.5), (&["d2"][..], 0.33)],
+                    0.17,
+                )
+                .set_evidence("rating", [(&["ex"][..], 1.0)])
+        })
+        .expect("RA country")
+        .tuple(|t| {
+            t.set_str("rname", "olive")
+                .set_str("street", "nic.ave.")
+                .set_int("bldg-no", 514)
+                .set_str("phone", "338-0355")
+                .set_evidence("speciality", [(&["it"][..], 1.0)])
+                .set_evidence("best-dish", [(&["d1"][..], 1.0)])
+                .set_evidence("rating", [(&["gd"][..], 0.5), (&["avg"][..], 0.5)])
+        })
+        .expect("RA olive")
+        .tuple(|t| {
+            t.set_str("rname", "mehl")
+                .set_str("street", "9th-street")
+                .set_int("bldg-no", 820)
+                .set_str("phone", "333-4035")
+                .set_evidence("speciality", [(&["mu"][..], 0.8), (&["ta"][..], 0.2)])
+                .set_evidence("best-dish", [(&["d24"][..], 0.4), (&["d31"][..], 0.6)])
+                .set_evidence("rating", [(&["ex"][..], 0.8), (&["gd"][..], 0.2)])
+                .membership(SupportPair::new(0.5, 0.5).expect("valid"))
+        })
+        .expect("RA mehl")
+        .tuple(|t| {
+            t.set_str("rname", "ashiana")
+                .set_str("street", "univ.ave.")
+                .set_int("bldg-no", 353)
+                .set_str("phone", "371-0824")
+                .set_evidence_with_omega("speciality", [(&["mu"][..], 0.9)], 0.1)
+                .set_evidence("best-dish", [(&["d34"][..], 0.8), (&["d25"][..], 0.2)])
+                .set_evidence("rating", [(&["ex"][..], 1.0)])
+        })
+        .expect("RA ashiana")
+        .build();
+
+    let managers = RelationBuilder::new(manager_schema("MA"))
+        .tuple(|t| {
+            t.set_str("mname", "chen")
+                .set_str("phone", "555-1001")
+                .set_str("position", "head-chef")
+                .set_evidence_with_omega("speciality", [(&["si"][..], 0.7)], 0.3)
+        })
+        .expect("MA chen")
+        .tuple(|t| {
+            t.set_str("mname", "rao")
+                .set_str("phone", "555-1002")
+                .set_str("position", "owner")
+                .set_evidence("speciality", [(&["mu"][..], 1.0)])
+        })
+        .expect("MA rao")
+        .build();
+
+    let managed_by = RelationBuilder::new(managed_by_schema("RMA"))
+        .tuple(|t| t.set_str("rname", "wok").set_str("mname", "chen"))
+        .expect("RMA wok")
+        .tuple(|t| {
+            t.set_str("rname", "mehl")
+                .set_str("mname", "rao")
+                .membership(SupportPair::new(0.5, 1.0).expect("valid"))
+        })
+        .expect("RMA mehl")
+        .tuple(|t| t.set_str("rname", "ashiana").set_str("mname", "rao"))
+        .expect("RMA ashiana")
+        .build();
+
+    RestaurantDb { restaurants, managers, managed_by }
+}
+
+/// `DB_B` — Star Tribute. `R_B` is Table 1's lower relation, verbatim.
+pub fn restaurant_db_b() -> RestaurantDb {
+    let restaurants = RelationBuilder::new(restaurant_schema("RB"))
+        .tuple(|t| {
+            t.set_str("rname", "garden")
+                .set_str("street", "univ.ave.")
+                .set_int("bldg-no", 2011)
+                .set_str("phone", "371-2155")
+                .set_evidence_with_omega(
+                    "speciality",
+                    [(&["si"][..], 0.5), (&["hu"][..], 0.3)],
+                    0.2,
+                )
+                .set_evidence("best-dish", [(&["d31"][..], 0.7), (&["d35"][..], 0.3)])
+                .set_evidence("rating", [(&["ex"][..], 0.2), (&["gd"][..], 0.8)])
+        })
+        .expect("RB garden")
+        .tuple(|t| {
+            t.set_str("rname", "wok")
+                .set_str("street", "wash.ave.")
+                .set_int("bldg-no", 600)
+                .set_str("phone", "382-4165")
+                .set_evidence_with_omega(
+                    "speciality",
+                    [(&["ca"][..], 0.2), (&["si"][..], 0.7)],
+                    0.1,
+                )
+                .set_evidence(
+                    "best-dish",
+                    [(&["d6"][..], 0.5), (&["d7"][..], 0.25), (&["d25"][..], 0.25)],
+                )
+                .set_evidence("rating", [(&["gd"][..], 1.0)])
+        })
+        .expect("RB wok")
+        .tuple(|t| {
+            t.set_str("rname", "country")
+                .set_str("street", "plato.blvd")
+                .set_int("bldg-no", 12)
+                .set_str("phone", "293-9111")
+                .set_evidence("speciality", [(&["am"][..], 1.0)])
+                .set_evidence("best-dish", [(&["d1"][..], 0.2), (&["d2"][..], 0.8)])
+                .set_evidence("rating", [(&["ex"][..], 0.7), (&["gd"][..], 0.3)])
+        })
+        .expect("RB country")
+        .tuple(|t| {
+            t.set_str("rname", "olive")
+                .set_str("street", "nic.ave.")
+                .set_int("bldg-no", 514)
+                .set_str("phone", "338-0355")
+                .set_evidence("speciality", [(&["it"][..], 1.0)])
+                .set_evidence("best-dish", [(&["d1"][..], 0.8), (&["d2"][..], 0.2)])
+                .set_evidence("rating", [(&["gd"][..], 0.8), (&["avg"][..], 0.2)])
+        })
+        .expect("RB olive")
+        .tuple(|t| {
+            t.set_str("rname", "mehl")
+                .set_str("street", "9th-street")
+                .set_int("bldg-no", 820)
+                .set_str("phone", "333-4035")
+                .set_evidence("speciality", [(&["mu"][..], 1.0)])
+                .set_evidence("best-dish", [(&["d24"][..], 0.1), (&["d31"][..], 0.9)])
+                .set_evidence("rating", [(&["ex"][..], 1.0)])
+                .membership(SupportPair::new(0.8, 1.0).expect("valid"))
+        })
+        .expect("RB mehl")
+        .build();
+
+    let managers = RelationBuilder::new(manager_schema("MB"))
+        .tuple(|t| {
+            t.set_str("mname", "chen")
+                .set_str("phone", "555-1001")
+                .set_str("position", "head-chef")
+                .set_evidence_with_omega(
+                    "speciality",
+                    [(&["ca", "si"][..], 0.5), (&["si"][..], 0.3)],
+                    0.2,
+                )
+        })
+        .expect("MB chen")
+        .tuple(|t| {
+            t.set_str("mname", "gruber")
+                .set_str("phone", "555-1003")
+                .set_str("position", "owner")
+                .set_evidence("speciality", [(&["am"][..], 1.0)])
+        })
+        .expect("MB gruber")
+        .build();
+
+    let managed_by = RelationBuilder::new(managed_by_schema("RMB"))
+        .tuple(|t| t.set_str("rname", "wok").set_str("mname", "chen"))
+        .expect("RMB wok")
+        .tuple(|t| t.set_str("rname", "country").set_str("mname", "gruber"))
+        .expect("RMB country")
+        .build();
+
+    RestaurantDb { restaurants, managers, managed_by }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::Value;
+
+    #[test]
+    fn table1_ra_shape() {
+        let db = restaurant_db_a();
+        assert_eq!(db.restaurants.len(), 6);
+        assert_eq!(db.restaurants.schema().arity(), 7);
+        let mehl = db.restaurants.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!(mehl
+            .membership()
+            .approx_eq(&SupportPair::new(0.5, 0.5).unwrap()));
+        let garden = db.restaurants.get_by_key(&[Value::str("garden")]).unwrap();
+        let spec = garden.value(4).as_evidential().unwrap();
+        let si = speciality_domain()
+            .subset_of_values([&Value::str("si")])
+            .unwrap();
+        assert!((spec.mass_of(&si) - 0.5).abs() < 1e-12);
+        // Ω mass present as printed.
+        assert!((spec.mass_of(&spec.frame().omega()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_rb_shape() {
+        let db = restaurant_db_b();
+        assert_eq!(db.restaurants.len(), 5);
+        let mehl = db.restaurants.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!(mehl
+            .membership()
+            .approx_eq(&SupportPair::new(0.8, 1.0).unwrap()));
+        // ashiana exists only in DB_A.
+        assert!(db
+            .restaurants
+            .get_by_key(&[Value::str("ashiana")])
+            .is_none());
+    }
+
+    #[test]
+    fn garden_best_dish_has_multi_element_focal() {
+        let db = restaurant_db_a();
+        let garden = db.restaurants.get_by_key(&[Value::str("garden")]).unwrap();
+        let bd = garden.value(5).as_evidential().unwrap();
+        let pair = best_dish_domain()
+            .subset_of_values([&Value::str("d35"), &Value::str("d36")])
+            .unwrap();
+        assert!((bd.mass_of(&pair) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schemas_union_compatible_across_dbs() {
+        let a = restaurant_db_a();
+        let b = restaurant_db_b();
+        assert!(a
+            .restaurants
+            .schema()
+            .check_union_compatible(b.restaurants.schema())
+            .is_ok());
+        assert!(a
+            .managers
+            .schema()
+            .check_union_compatible(b.managers.schema())
+            .is_ok());
+        assert!(a
+            .managed_by
+            .schema()
+            .check_union_compatible(b.managed_by.schema())
+            .is_ok());
+    }
+
+    #[test]
+    fn figure2_relationship_keys() {
+        let a = restaurant_db_a();
+        assert_eq!(a.managed_by.schema().key_positions().len(), 2);
+        assert!(a
+            .managed_by
+            .get_by_key(&[Value::str("wok"), Value::str("chen")])
+            .is_some());
+    }
+
+    #[test]
+    fn rating_domain_is_ordered_for_theta() {
+        let d = rating_domain();
+        assert!(d.index_of(&Value::str("avg")).unwrap() < d.index_of(&Value::str("ex")).unwrap());
+    }
+}

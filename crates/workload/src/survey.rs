@@ -1,0 +1,259 @@
+//! The §1.2 group voting model: regenerating survey data.
+//!
+//! The paper derives its uncertain attribute values from surveys:
+//!
+//! > *"a panel of six food reviewers examines the food and service
+//! > provided by each restaurant. Each reviewer then casts one vote in
+//! > favor of a dish and a vote on the overall rating. The values for
+//! > the attributes †best-dish and †rating are derived by
+//! > consolidating the voting results."*
+//!
+//! and specialities come from classifying menu items, where a fraction
+//! of dishes is ambiguous between classes (mass on a multi-element
+//! subset) or unclassifiable (mass on Ω).
+//!
+//! The raw survey sheets no longer exist; this module simulates them.
+//! A [`Survey`] draws votes from a configurable ground-truth profile
+//! and consolidates them into evidence sets exactly as the paper
+//! describes: `m({v}) = votes(v) / panel size`, abstentions → Ω,
+//! ambiguous classifications → multi-element focal sets.
+
+use evirel_evidence::MassFunction;
+use evirel_relation::{AttrDomain, AttrValue, RelationError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Configuration of a simulated survey.
+#[derive(Debug, Clone)]
+pub struct SurveyConfig {
+    /// Number of panel reviewers (the paper uses 6).
+    pub panel_size: usize,
+    /// Probability that a reviewer abstains (vote goes to Ω).
+    pub abstain_rate: f64,
+    /// Probability that a classification is ambiguous between the true
+    /// value and one neighbour (vote goes to a 2-element subset).
+    pub ambiguity_rate: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig { panel_size: 6, abstain_rate: 0.05, ambiguity_rate: 0.15, seed: 42 }
+    }
+}
+
+/// A simulated survey over one attribute domain.
+#[derive(Debug)]
+pub struct Survey {
+    domain: Arc<AttrDomain>,
+    config: SurveyConfig,
+    rng: StdRng,
+}
+
+impl Survey {
+    /// Create a survey over `domain`.
+    pub fn new(domain: Arc<AttrDomain>, config: SurveyConfig) -> Survey {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Survey { domain, config, rng }
+    }
+
+    /// Simulate one panel vote round for an entity whose ground truth
+    /// is element index `truth`, with `noise` the probability that a
+    /// reviewer votes for a uniformly random other element.
+    ///
+    /// Returns the consolidated evidence set.
+    ///
+    /// # Errors
+    /// [`RelationError`] if the domain is degenerate (empty).
+    pub fn conduct(&mut self, truth: usize, noise: f64) -> Result<AttrValue, RelationError> {
+        let n = self.domain.len();
+        if n == 0 {
+            return Err(RelationError::ValueNotInDomain {
+                attr: self.domain.name().to_owned(),
+                value: "(empty domain)".to_owned(),
+            });
+        }
+        let truth = truth % n;
+        // vote tally: per-singleton, per-ambiguous-pair, and Ω counts.
+        let mut singles = vec![0usize; n];
+        let mut pairs: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut omega = 0usize;
+        for _ in 0..self.config.panel_size {
+            if self.rng.gen_bool(self.config.abstain_rate) {
+                omega += 1;
+                continue;
+            }
+            let vote = if self.rng.gen_bool(noise) {
+                self.rng.gen_range(0..n)
+            } else {
+                truth
+            };
+            if n >= 2 && self.rng.gen_bool(self.config.ambiguity_rate) {
+                let other = (vote + 1 + self.rng.gen_range(0..n - 1)) % n;
+                let key = (vote.min(other), vote.max(other));
+                *pairs.entry(key).or_insert(0) += 1;
+            } else {
+                singles[vote] += 1;
+            }
+        }
+        let total = self.config.panel_size as f64;
+        let mut builder = MassFunction::<f64>::builder(Arc::clone(self.domain.frame()));
+        for (i, &count) in singles.iter().enumerate() {
+            if count > 0 {
+                builder = builder
+                    .add_set(
+                        evirel_evidence::FocalSet::singleton(i),
+                        count as f64 / total,
+                    )
+                    .map_err(RelationError::from)?;
+            }
+        }
+        for ((a, b), count) in pairs {
+            builder = builder
+                .add_set(
+                    evirel_evidence::FocalSet::from_indices([a, b]),
+                    count as f64 / total,
+                )
+                .map_err(RelationError::from)?;
+        }
+        if omega > 0 {
+            builder = builder.add_omega(omega as f64 / total);
+        }
+        Ok(AttrValue::Evidential(
+            builder.build().map_err(RelationError::from)?,
+        ))
+    }
+
+    /// The paper's worked tally: explicit vote counts per value, e.g.
+    /// `{d1: 3, d2: 2, d3: 1}` → `[d1^0.5, d2^0.33, d3^0.17]`.
+    /// Counts need not use the whole panel; leftovers go to Ω.
+    ///
+    /// # Errors
+    /// [`RelationError`] for out-of-domain labels or vote counts
+    /// exceeding the panel size.
+    pub fn consolidate_tally(
+        domain: &Arc<AttrDomain>,
+        panel_size: usize,
+        tally: &[(&str, usize)],
+    ) -> Result<AttrValue, RelationError> {
+        let cast: usize = tally.iter().map(|(_, c)| c).sum();
+        if cast > panel_size {
+            return Err(RelationError::InvalidSupportPair {
+                sn: cast as f64,
+                sp: panel_size as f64,
+            });
+        }
+        let mut builder = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
+        for (label, count) in tally {
+            if *count == 0 {
+                continue;
+            }
+            let idx = domain.index_of(&evirel_relation::Value::str(*label))?;
+            builder = builder
+                .add_set(
+                    evirel_evidence::FocalSet::singleton(idx),
+                    *count as f64 / panel_size as f64,
+                )
+                .map_err(RelationError::from)?;
+        }
+        if cast < panel_size {
+            builder = builder.add_omega((panel_size - cast) as f64 / panel_size as f64);
+        }
+        Ok(AttrValue::Evidential(
+            builder.build().map_err(RelationError::from)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::Value;
+
+    fn dishes() -> Arc<AttrDomain> {
+        Arc::new(AttrDomain::categorical("dish", ["d1", "d2", "d3", "d4"]).unwrap())
+    }
+
+    /// The paper's §1.2 vote statistics: d1:3, d2:2, d3:1 over a
+    /// 6-reviewer panel consolidates to [d1^0.5, d2^0.33, d3^0.17].
+    #[test]
+    fn paper_vote_consolidation() {
+        let ev = Survey::consolidate_tally(&dishes(), 6, &[("d1", 3), ("d2", 2), ("d3", 1)])
+            .unwrap();
+        let m = ev.as_evidential().unwrap();
+        let d = dishes();
+        let idx = |l: &str| d.subset_of_values([&Value::str(l)]).unwrap();
+        assert!((m.mass_of(&idx("d1")) - 0.5).abs() < 1e-12);
+        assert!((m.mass_of(&idx("d2")) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((m.mass_of(&idx("d3")) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    /// Rating tally: excellent:2, good:4 → [ex^0.33, gd^0.67].
+    #[test]
+    fn paper_rating_consolidation() {
+        let ratings =
+            Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap());
+        let ev =
+            Survey::consolidate_tally(&ratings, 6, &[("ex", 2), ("gd", 4)]).unwrap();
+        let m = ev.as_evidential().unwrap();
+        let ex = ratings.subset_of_values([&Value::str("ex")]).unwrap();
+        assert!((m.mass_of(&ex) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_tally_fills_omega() {
+        let ev = Survey::consolidate_tally(&dishes(), 6, &[("d1", 4)]).unwrap();
+        let m = ev.as_evidential().unwrap();
+        assert!((m.mass_of(&m.frame().omega()) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overfull_tally_rejected() {
+        assert!(Survey::consolidate_tally(&dishes(), 6, &[("d1", 7)]).is_err());
+        assert!(Survey::consolidate_tally(&dishes(), 6, &[("nope", 1)]).is_err());
+    }
+
+    #[test]
+    fn simulated_survey_is_normalized_and_reproducible() {
+        let mut s1 = Survey::new(dishes(), SurveyConfig::default());
+        let mut s2 = Survey::new(dishes(), SurveyConfig::default());
+        for round in 0..20 {
+            let a = s1.conduct(round % 4, 0.2).unwrap();
+            let b = s2.conduct(round % 4, 0.2).unwrap();
+            assert_eq!(a, b, "same seed, same outcome");
+            let m = a.as_evidential().unwrap();
+            let total: f64 = m.iter().map(|(_, w)| *w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_noise_concentrates_on_truth() {
+        let mut s = Survey::new(
+            dishes(),
+            SurveyConfig { abstain_rate: 0.0, ambiguity_rate: 0.0, ..Default::default() },
+        );
+        let ev = s.conduct(2, 0.0).unwrap();
+        let m = ev.as_evidential().unwrap();
+        assert_eq!(m.as_definite(), Some(2));
+    }
+
+    #[test]
+    fn ambiguity_produces_multi_element_focals() {
+        let mut s = Survey::new(
+            dishes(),
+            SurveyConfig {
+                abstain_rate: 0.0,
+                ambiguity_rate: 1.0,
+                panel_size: 12,
+                seed: 7,
+            },
+        );
+        let ev = s.conduct(0, 0.0).unwrap();
+        let m = ev.as_evidential().unwrap();
+        assert!(m.iter().all(|(s, _)| s.len() == 2));
+    }
+}

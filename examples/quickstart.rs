@@ -1,0 +1,76 @@
+//! Quickstart: resolve an attribute-value conflict between two
+//! databases with the extended union, then query the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use evirel::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A shared (global) schema: restaurants keyed by name, with an
+    //    uncertain rating attribute over the ordered domain
+    //    avg < gd < ex.
+    let rating = Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"])?);
+    let schema = Arc::new(
+        Schema::builder("restaurants")
+            .key_str("rname")
+            .evidential("rating", Arc::clone(&rating))
+            .build()?,
+    );
+
+    // 2. Two independently collected databases. Evidence sets assign
+    //    mass to *sets* of values: DB_A's reviewers are split on
+    //    "wok"; DB_B is sure it is good.
+    let db_a = RelationBuilder::new(Arc::clone(&schema))
+        .tuple(|t| {
+            t.set_str("rname", "wok")
+                .set_evidence("rating", [(&["gd"][..], 0.25), (&["avg"][..], 0.75)])
+        })?
+        .tuple(|t| {
+            t.set_str("rname", "garden")
+                .set_evidence_with_omega(
+                    "rating",
+                    [(&["ex"][..], 0.33), (&["gd"][..], 0.5)],
+                    0.17,
+                )
+        })?
+        .build();
+    let db_b = RelationBuilder::new(Arc::clone(&schema))
+        .tuple(|t| {
+            t.set_str("rname", "wok").set_evidence("rating", [(&["gd"][..], 1.0)])
+        })?
+        .tuple(|t| {
+            t.set_str("rname", "olive")
+                .set_evidence("rating", [(&["gd"][..], 0.8), (&["avg"][..], 0.2)])
+                .membership_pair(0.8, 1.0) // DB_B is not sure olive still exists
+        })?
+        .build();
+
+    println!("DB_A:\n{db_a}");
+    println!("DB_B:\n{db_b}");
+
+    // 3. The extended union combines matched tuples with Dempster's
+    //    rule — attribute values AND membership evidence.
+    let merged = union_extended(&db_a, &db_b)?;
+    println!("DB_A ∪̃ DB_B:\n{}", merged.relation);
+    println!("Conflict report: {}", merged.report);
+
+    // 4. Query with the paper's selection semantics: which
+    //    restaurants are at least 'gd', and how certain are we?
+    let mut catalog = Catalog::new();
+    catalog.register("merged", merged.relation);
+    let answer = execute(
+        &catalog,
+        "SELECT * FROM merged WHERE rating >= 'gd' WITH SN > 0.5;",
+    )?;
+    println!("rating >= 'gd' WITH SN > 0.5:\n{answer}");
+
+    // 5. Persist and reload in the paper's own notation.
+    let text = write_relation(&answer);
+    let reloaded = read_relation(&text)?;
+    assert!(reloaded.approx_eq(&answer));
+    println!("stored form:\n{text}");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! # evirel — evidential reasoning for database integration
+//!
+//! A from-scratch Rust implementation of
+//!
+//! > Ee-Peng Lim, Jaideep Srivastava, Shashi Shekhar.
+//! > *Resolving Attribute Incompatibility in Database Integration: An
+//! > Evidential Reasoning Approach.* ICDE 1994, pp. 154–163.
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`evidence`]  | `evirel-evidence`  | Dempster–Shafer substrate: frames, focal sets, mass functions, Bel/Pls, Dempster's rule + alternatives, transforms, approximation |
+//! | [`relation`]  | `evirel-relation`  | extended relational model: evidence-set attributes, `(sn, sp)` tuple membership, CWA_ER |
+//! | [`algebra`]   | `evirel-algebra`   | σ̃, ∪̃, π̃, ×̃, ⋈̃ + predicates, thresholds, conflict reports, closure/boundedness verifiers |
+//! | [`baselines`] | `evirel-baselines` | DeMichiel partial values, Tseng probabilistic partial values, Dayal aggregates |
+//! | [`integrate`] | `evirel-integrate` | Figure 1 pipeline: preprocessing, entity identification, tuple merging, method registry |
+//! | [`query`]     | `evirel-query`     | EQL: a SQL-flavoured query language over extended relations |
+//! | [`workload`]  | `evirel-workload`  | the paper's restaurant databases, the survey simulator, random generators |
+//! | [`storage`]   | `evirel-storage`   | text persistence in the paper's notation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use evirel::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Two databases disagree about a restaurant's rating.
+//! let rating = Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap());
+//! let schema = Arc::new(Schema::builder("restaurants")
+//!     .key_str("rname")
+//!     .evidential("rating", Arc::clone(&rating))
+//!     .build().unwrap());
+//!
+//! let db_a = RelationBuilder::new(Arc::clone(&schema))
+//!     .tuple(|t| t.set_str("rname", "wok")
+//!         .set_evidence("rating", [(&["gd"][..], 0.25), (&["avg"][..], 0.75)]))
+//!     .unwrap().build();
+//! let db_b = RelationBuilder::new(Arc::clone(&schema))
+//!     .tuple(|t| t.set_str("rname", "wok")
+//!         .set_evidence("rating", [(&["gd"][..], 1.0)]))
+//!     .unwrap().build();
+//!
+//! // The extended union resolves the conflict with Dempster's rule.
+//! let merged = union_extended(&db_a, &db_b).unwrap();
+//! let wok = merged.relation.get_by_key(&[Value::str("wok")]).unwrap();
+//! let m = wok.value(1).as_evidential().unwrap();
+//! let gd = rating.subset_of_values([&Value::str("gd")]).unwrap();
+//! assert!((m.mass_of(&gd) - 1.0).abs() < 1e-9);
+//! ```
+
+pub use evirel_algebra as algebra;
+pub use evirel_baselines as baselines;
+pub use evirel_evidence as evidence;
+pub use evirel_integrate as integrate;
+pub use evirel_query as query;
+pub use evirel_relation as relation;
+pub use evirel_storage as storage;
+pub use evirel_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use evirel_algebra::{
+        join, product, project, select, union_extended, ConflictPolicy, Operand, Predicate,
+        ThetaOp, Threshold,
+    };
+    pub use evirel_evidence::{combine, Frame, FocalSet, MassFunction, Ratio};
+    pub use evirel_integrate::{
+        DomainMapping, IntegrationMethod, Integrator, KeyMatcher, MethodRegistry, Preprocessor,
+        SchemaMapping,
+    };
+    pub use evirel_query::{execute, Catalog};
+    pub use evirel_relation::{
+        AttrDomain, AttrValue, ExtendedRelation, RelationBuilder, Schema, SupportPair, Tuple,
+        TupleBuilder, Value, ValueKind,
+    };
+    pub use evirel_storage::{read_relation, write_relation};
+}

@@ -1,0 +1,163 @@
+//! The paper's §1.3 claims about prior approaches, verified
+//! executably against the baseline implementations.
+
+use evirel::baselines::{compare_merge, AggregateFn, PartialValue, ProbValue, TriBool};
+use evirel::evidence::{combine, FocalSet, Frame, MassFunction};
+use evirel::prelude::*;
+use std::sync::Arc;
+
+fn frame() -> Arc<Frame> {
+    Arc::new(Frame::new("f", ["a", "b", "c", "d"]))
+}
+
+fn m(entries: &[(&[&str], f64)]) -> MassFunction<f64> {
+    let mut b = MassFunction::<f64>::builder(frame());
+    for (labels, w) in entries {
+        b = b.add(labels.iter().copied(), *w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// §1.3: "Our approach generalizes the partial value concept" — when
+/// all mass sits on one focal element, Dempster's combination and
+/// partial-value intersection coincide on the support.
+#[test]
+fn evidential_generalizes_partial_values() {
+    let a = m(&[(&["a", "b", "c"], 1.0)]);
+    let b = m(&[(&["b", "c", "d"], 1.0)]);
+    let dempster = combine::dempster(&a, &b).unwrap();
+    let partial = PartialValue::from_evidence(&a)
+        .combine(&PartialValue::from_evidence(&b))
+        .unwrap();
+    // Dempster's single focal element is exactly the intersection.
+    assert_eq!(dempster.mass.core(), *partial.candidates());
+    assert_eq!(dempster.mass.focal_count(), 1);
+    assert!((dempster.conflict - 0.0).abs() < 1e-12);
+}
+
+/// Both formalisms agree that disjoint certainties are irreconcilable.
+#[test]
+fn total_conflict_agrees_across_formalisms() {
+    let a = m(&[(&["a"], 1.0)]);
+    let b = m(&[(&["d"], 1.0)]);
+    assert!(combine::dempster(&a, &b).is_err());
+    assert!(PartialValue::from_evidence(&a)
+        .combine(&PartialValue::from_evidence(&b))
+        .is_none());
+    assert!(ProbValue::from_evidence(&a)
+        .combine_bayes(&ProbValue::from_evidence(&b))
+        .is_none());
+    // Tseng's mixing keeps the inconsistency instead — the design
+    // difference §1.3 calls out.
+    let mixed = ProbValue::from_evidence(&a).combine_mixing(&ProbValue::from_evidence(&b));
+    assert!((mixed.prob_of(0) - 0.5).abs() < 1e-12);
+    assert!((mixed.prob_of(3) - 0.5).abs() < 1e-12);
+}
+
+/// §1.3: DeMichiel's query model returns *true* and *may-be* tuple
+/// sets; the evidential model subsumes both via (sn, sp): true ⇔
+/// sn = 1, may-be ⇔ sn < 1 < … ⇔ positive plausibility.
+#[test]
+fn true_and_maybe_map_to_support_pairs() {
+    let target = frame().subset(["a", "b"]).unwrap();
+
+    // A value entirely inside the target: DeMichiel true, sn = 1.
+    let inside = m(&[(&["a"], 0.5), (&["a", "b"], 0.5)]);
+    assert_eq!(
+        PartialValue::from_evidence(&inside).select_status(&target),
+        TriBool::True
+    );
+    assert!((inside.bel(&target) - 1.0).abs() < 1e-12);
+
+    // A value straddling the target: DeMichiel may-be, 0 < Pls < 1
+    // with Bel possibly 0 — the graded refinement.
+    let straddling = m(&[(&["b", "c"], 1.0)]);
+    assert_eq!(
+        PartialValue::from_evidence(&straddling).select_status(&target),
+        TriBool::MayBe
+    );
+    assert!(straddling.bel(&target).abs() < 1e-12);
+    assert!((straddling.pls(&target) - 1.0).abs() < 1e-12);
+
+    // A value outside: DeMichiel false, Pls = 0.
+    let outside = m(&[(&["d"], 1.0)]);
+    assert_eq!(
+        PartialValue::from_evidence(&outside).select_status(&target),
+        TriBool::False
+    );
+    assert!(outside.pls(&target).abs() < 1e-12);
+}
+
+/// Partial values discard grading: two very different evidence sets
+/// with the same core are indistinguishable to DeMichiel but ranked
+/// differently by Bel.
+#[test]
+fn grading_is_what_the_evidential_model_adds() {
+    let confident = m(&[(&["a"], 0.9), (&["a", "b"], 0.1)]);
+    let ignorant = m(&[(&["a"], 0.1), (&["a", "b"], 0.9)]);
+    assert_eq!(
+        PartialValue::from_evidence(&confident),
+        PartialValue::from_evidence(&ignorant)
+    );
+    let a_set = FocalSet::singleton(0);
+    assert!(confident.bel(&a_set) > ignorant.bel(&a_set));
+}
+
+/// Tseng's model cannot assign mass to subsets; pignistic flattening
+/// destroys the distinction between "b or c jointly" and "b and c
+/// independently".
+#[test]
+fn probabilistic_partial_values_lose_subset_structure() {
+    let joint = m(&[(&["b", "c"], 1.0)]);
+    let split = m(&[(&["b"], 0.5), (&["c"], 0.5)]);
+    assert_ne!(joint, split);
+    let p_joint = ProbValue::from_evidence(&joint);
+    let p_split = ProbValue::from_evidence(&split);
+    assert_eq!(p_joint, p_split); // flattening collapses them
+    // But Bel distinguishes them on the singleton {b}.
+    let b_set = FocalSet::singleton(1);
+    assert!(joint.bel(&b_set).abs() < 1e-12);
+    assert!((split.bel(&b_set) - 0.5).abs() < 1e-12);
+}
+
+/// §1.3: aggregates and the evidential method are complementary —
+/// aggregates handle numerics the evidential model should not, and
+/// vice versa. The integration layer's registry runs both in one merge
+/// (tested in evirel-integrate); here we pin the division of labour.
+#[test]
+fn aggregate_and_evidential_division_of_labour() {
+    // Numeric conflict: Dayal resolves, evidence sets are inapplicable
+    // (open domain).
+    assert_eq!(
+        AggregateFn::Average.resolve_values(&Value::int(40_000), &Value::int(44_000)),
+        Some(Value::int(42_000))
+    );
+    // Categorical conflict: Dayal cannot resolve.
+    assert_eq!(
+        AggregateFn::Average.resolve_values(&Value::str("hunan"), &Value::str("sichuan")),
+        None
+    );
+    // …but Dempster can, given graded evidence.
+    let out = combine::dempster(
+        &m(&[(&["a"], 0.7), (&["a", "b"], 0.3)]),
+        &m(&[(&["b"], 0.4), (&["a", "b"], 0.6)]),
+    )
+    .unwrap();
+    assert!(out.mass.focal_count() >= 2);
+}
+
+/// The comparison harness orders approaches by information retention
+/// on agreeing sources: evidential specificity ≤ partial cardinality.
+#[test]
+fn specificity_ordering_on_agreeing_sources() {
+    let a = m(&[(&["a"], 0.6), (&["a", "b"], 0.4)]);
+    let b = m(&[(&["a", "b"], 1.0)]);
+    let cmp = compare_merge(&a, &b).unwrap();
+    let evidential = cmp.evidential.unwrap();
+    let partial = cmp.partial.unwrap();
+    assert!(
+        evidential <= partial + 1e-12,
+        "evidential {evidential} vs partial {partial}"
+    );
+    assert!(cmp.kappa.abs() < 1e-12);
+}

@@ -1,0 +1,133 @@
+//! Theorem 1 (§3.6) exercised through the workload generator: closure
+//! and boundedness of all five extended operations on randomized
+//! relations with realistic shapes (multi-attribute schemas, uncertain
+//! memberships, conflicting evidence).
+
+use evirel::algebra::properties::{
+    check_boundedness_binary, check_boundedness_unary, satisfies_closure,
+};
+use evirel::prelude::*;
+use evirel::workload::generator::{generate, generate_pair, GeneratorConfig, PairConfig};
+
+fn config(seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        tuples: 60,
+        domain_size: 12,
+        evidential_attrs: 2,
+        max_focal: 3,
+        max_focal_size: 3,
+        omega_mass: 0.1,
+        uncertain_membership: 0.5,
+        seed,
+    }
+}
+
+#[test]
+fn closure_across_seeds() {
+    for seed in 0..5u64 {
+        let rel = generate("C", &config(seed)).unwrap();
+        let pred = Predicate::is("e0", ["v0", "v1"]);
+        let selected = select(&rel, &pred, &Threshold::POSITIVE).unwrap();
+        assert!(satisfies_closure(&selected), "select closure, seed {seed}");
+        let projected = project(&rel, &["k", "e1"]).unwrap();
+        assert!(satisfies_closure(&projected), "project closure, seed {seed}");
+    }
+}
+
+#[test]
+fn union_closure_and_boundedness_across_seeds() {
+    for seed in 0..5u64 {
+        let (a, b) = generate_pair(&PairConfig {
+            base: config(seed),
+            key_overlap: 0.6,
+            conflict_bias: 0.3,
+        })
+        .unwrap();
+        match union_extended(&a, &b) {
+            Ok(out) => {
+                assert!(satisfies_closure(&out.relation), "union closure, seed {seed}");
+                assert!(out.relation.validate().is_ok());
+            }
+            Err(evirel::algebra::AlgebraError::TotalConflict { .. }) => continue,
+            Err(e) => panic!("unexpected union failure: {e}"),
+        }
+        let ok = check_boundedness_binary(
+            |l, r| Ok(union_extended(l, r)?.relation),
+            &a,
+            &b,
+        );
+        match ok {
+            Ok(ok) => assert!(ok, "union boundedness, seed {seed}"),
+            Err(evirel::algebra::AlgebraError::TotalConflict { .. }) => {}
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+}
+
+#[test]
+fn select_boundedness_with_theta_predicates() {
+    for seed in 0..5u64 {
+        let rel = generate("B", &config(seed)).unwrap();
+        for pred in [
+            Predicate::is("e0", ["v0"]),
+            Predicate::theta(Operand::attr("e0"), ThetaOp::Ge, Operand::value("v6")),
+            Predicate::is("e0", ["v1"]).and(Predicate::is("e1", ["v2", "v3"])),
+            Predicate::is("e0", ["v0"]).negate(),
+        ] {
+            let ok = check_boundedness_unary(
+                |r| select(r, &pred, &Threshold::POSITIVE),
+                &rel,
+            )
+            .unwrap();
+            assert!(ok, "seed {seed}, predicate {pred}");
+        }
+    }
+}
+
+#[test]
+fn project_boundedness() {
+    for seed in 0..5u64 {
+        let rel = generate("P", &config(seed)).unwrap();
+        let ok = check_boundedness_unary(|r| project(r, &["k", "e0", "e1"]), &rel).unwrap();
+        assert!(ok, "seed {seed}");
+    }
+}
+
+#[test]
+fn product_and_join_boundedness() {
+    let a = generate("PA", &GeneratorConfig { tuples: 15, ..config(7) }).unwrap();
+    let b = generate("PB", &GeneratorConfig { tuples: 15, ..config(8) }).unwrap();
+    let b = evirel::algebra::rename_relation(&b, "PB2");
+    let b = evirel::algebra::rename_attribute(&b, "k", "k2").unwrap();
+    let b = evirel::algebra::rename_attribute(&b, "e0", "f0").unwrap();
+    let b = evirel::algebra::rename_attribute(&b, "e1", "f1").unwrap();
+    assert!(check_boundedness_binary(product, &a, &b).unwrap());
+    let pred = Predicate::theta(Operand::attr("k"), ThetaOp::Eq, Operand::attr("k2"));
+    assert!(check_boundedness_binary(
+        |l, r| join(l, r, &pred, &Threshold::POSITIVE),
+        &a,
+        &b
+    )
+    .unwrap());
+}
+
+#[test]
+fn setops_preserve_closure() {
+    let (a, b) = generate_pair(&PairConfig {
+        base: config(11),
+        key_overlap: 0.5,
+        conflict_bias: 0.0,
+    })
+    .unwrap();
+    let (inter, _) = evirel::algebra::setops::intersect_extended(
+        &a,
+        &b,
+        &evirel::algebra::union::UnionOptions::default(),
+    )
+    .unwrap();
+    assert!(satisfies_closure(&inter));
+    let diff = evirel::algebra::setops::difference_extended(&a, &b).unwrap();
+    assert!(satisfies_closure(&diff));
+    // Difference and intersection partition a's keys.
+    assert_eq!(inter.len() + diff.len(), a.len());
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration of the paper's two restaurant databases:
+//! Figure 1 pipeline → integrated relation → query processing →
+//! storage, all through the façade crate.
+
+use evirel::prelude::*;
+use evirel::workload::{restaurant_db_a, restaurant_db_b};
+use std::sync::Arc;
+
+#[test]
+fn figure1_pipeline_trace() {
+    let db_a = restaurant_db_a();
+    let db_b = restaurant_db_b();
+    let integrator = Integrator::new(Arc::clone(db_a.restaurants.schema()));
+    let out = integrator.run(&db_a.restaurants, &db_b.restaurants).unwrap();
+    assert_eq!(out.trace.left_in, 6);
+    assert_eq!(out.trace.right_in, 5);
+    assert_eq!(out.trace.matched, 5);
+    assert_eq!(out.trace.left_only, 1); // ashiana
+    assert_eq!(out.trace.right_only, 0);
+    assert_eq!(out.trace.integrated, 6);
+    assert!(out.trace.conflicts > 0);
+    assert!(out.trace.max_kappa > 0.5); // garden rating κ = 0.534
+    // The trace prints the Figure 1 stages.
+    let text = out.trace.to_string();
+    for stage in ["attribute preprocessing", "entity identification", "tuple merging"] {
+        assert!(text.contains(stage), "{text}");
+    }
+}
+
+#[test]
+fn pipeline_result_equals_extended_union() {
+    // With identity preprocessing and key matching, the Figure 1
+    // pipeline must coincide with the algebra's ∪̃ (Table 4).
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    let via_pipeline = Integrator::new(Arc::clone(ra.schema()))
+        .run(&ra, &rb)
+        .unwrap()
+        .relation;
+    let via_union = union_extended(&ra, &rb).unwrap().relation;
+    assert!(via_pipeline.approx_eq(&via_union));
+}
+
+#[test]
+fn conflict_report_names_garden_rating() {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    let out = union_extended(&ra, &rb).unwrap();
+    let garden_rating = out
+        .report
+        .conflicts()
+        .iter()
+        .find(|c| c.key == vec![Value::str("garden")] && c.attr == "rating")
+        .expect("garden/rating conflict reported");
+    assert!((garden_rating.kappa - 0.534).abs() < 1e-9);
+    assert!(!garden_rating.total);
+    // No total conflicts anywhere in the paper's data.
+    assert_eq!(out.report.total_conflicts().count(), 0);
+}
+
+#[test]
+fn queries_over_integrated_relation() {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    let merged = union_extended(&ra, &rb).unwrap().relation;
+    let mut catalog = Catalog::new();
+    catalog.register("merged", evirel::algebra::rename_relation(&merged, "merged"));
+
+    // After integration, mehl is excellent with sn = 0.83.
+    let out = execute(
+        &catalog,
+        "SELECT rname, rating FROM merged WHERE rating IS {ex} WITH SN >= 0.8;",
+    )
+    .unwrap();
+    assert_eq!(out.len(), 3); // country, mehl, ashiana
+    assert!(out.contains_key(&[Value::str("mehl")]));
+
+    // Definite-threshold query returns only fully-certain answers.
+    let out = execute(
+        &catalog,
+        "SELECT rname, rating FROM merged WHERE rating IS {ex} WITH SN = 1;",
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2); // country, ashiana
+}
+
+#[test]
+fn integrated_relation_roundtrips_through_storage() {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    let merged = union_extended(&ra, &rb).unwrap().relation;
+    let text = write_relation(&merged);
+    let back = read_relation(&text).unwrap();
+    assert!(back.approx_eq(&merged));
+    // And the reloaded relation still answers queries identically.
+    let mut catalog = Catalog::new();
+    catalog.register("m", back);
+    catalog.register("orig", merged);
+    let q = "SELECT rname, rating FROM m WHERE rating >= 'gd' WITH SN >= 0.5;";
+    let q2 = "SELECT rname, rating FROM orig WHERE rating >= 'gd' WITH SN >= 0.5;";
+    let a = execute(&catalog, q).unwrap();
+    let b = execute(&catalog, q2).unwrap();
+    assert!(a.approx_eq(&b));
+}
+
+#[test]
+fn relationship_relations_integrate_too() {
+    // Figure 2's Managed-by and Manager relations union across DBs.
+    let db_a = restaurant_db_a();
+    let db_b = restaurant_db_b();
+    let rm = union_extended(&db_a.managed_by, &db_b.managed_by).unwrap();
+    assert_eq!(rm.relation.len(), 4); // wok-chen (matched), mehl-rao, ashiana-rao, country-gruber
+    let m = union_extended(&db_a.managers, &db_b.managers).unwrap();
+    assert_eq!(m.relation.len(), 3); // chen (merged), rao, gruber
+    // chen's speciality combined across DBs sharpens toward sichuan.
+    let chen = m.relation.get_by_key(&[Value::str("chen")]).unwrap();
+    let spec = chen.value(3).as_evidential().unwrap();
+    let domain = m.relation.schema().attr(3).ty().domain().unwrap().clone();
+    let si = domain.subset_of_values([&Value::str("si")]).unwrap();
+    assert!(spec.bel(&si) > 0.7);
+}
+
+#[test]
+fn parallel_union_agrees_on_paper_data() {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    let seq = union_extended(&ra, &rb).unwrap();
+    let par = evirel::algebra::par::par_union(
+        &ra,
+        &rb,
+        &evirel::algebra::union::UnionOptions::default(),
+        4,
+    )
+    .unwrap();
+    assert!(seq.relation.approx_eq(&par.relation));
+}

@@ -1,0 +1,190 @@
+//! Numeric verification of every table in the paper, through the
+//! public façade API.
+//!
+//! The `repro_tables` binary prints these tables; this test pins the
+//! numbers so a regression anywhere in the stack (evidence →
+//! relation → algebra → workload) fails loudly.
+
+use evirel::prelude::*;
+use evirel::workload::restaurant::{rating_domain, speciality_domain};
+use evirel::workload::{restaurant_db_a, restaurant_db_b};
+
+fn mass(rel: &ExtendedRelation, key: &str, attr: &str, labels: &[&str]) -> f64 {
+    let t = rel.get_by_key(&[Value::str(key)]).expect("tuple exists");
+    let pos = rel.schema().position(attr).expect("attr exists");
+    let m = t.value(pos).as_evidential().expect("evidential");
+    let domain = rel.schema().attr(pos).ty().domain().expect("domain");
+    if labels == ["Ω"] {
+        return m.mass_of(&domain.frame().omega());
+    }
+    let values: Vec<Value> = labels.iter().map(|l| Value::str(*l)).collect();
+    m.mass_of(&domain.subset_of_values(values.iter()).expect("labels"))
+}
+
+fn membership(rel: &ExtendedRelation, key: &str) -> (f64, f64) {
+    let t = rel.get_by_key(&[Value::str(key)]).expect("tuple exists");
+    (t.membership().sn(), t.membership().sp())
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+#[test]
+fn table1_source_relations_match_the_paper() {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    assert_eq!(ra.len(), 6);
+    assert_eq!(rb.len(), 5);
+    // Spot-check every uncertain column once per relation.
+    assert!(close(mass(&ra, "garden", "speciality", &["si"]), 0.5));
+    assert!(close(mass(&ra, "garden", "best-dish", &["d35", "d36"]), 0.5));
+    assert!(close(mass(&ra, "wok", "rating", &["avg"]), 0.75));
+    assert!(close(mass(&ra, "country", "best-dish", &["Ω"]), 0.17));
+    assert!(close(mass(&ra, "ashiana", "speciality", &["Ω"]), 0.1));
+    assert_eq!(membership(&ra, "mehl"), (0.5, 0.5));
+    assert!(close(mass(&rb, "wok", "speciality", &["ca"]), 0.2));
+    assert!(close(mass(&rb, "mehl", "best-dish", &["d31"]), 0.9));
+    let (sn, sp) = membership(&rb, "mehl");
+    assert!(close(sn, 0.8) && close(sp, 1.0));
+}
+
+#[test]
+fn table2_selection_sichuan() {
+    let out = select(
+        &restaurant_db_a().restaurants,
+        &Predicate::is("speciality", ["si"]),
+        &Threshold::POSITIVE,
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2);
+    let (sn, sp) = membership(&out, "garden");
+    assert!(close(sn, 0.5) && close(sp, 0.75));
+    let (sn, sp) = membership(&out, "wok");
+    assert!(close(sn, 1.0) && close(sp, 1.0));
+    // Attribute values retained (footnote 4).
+    assert!(close(mass(&out, "garden", "speciality", &["hu"]), 0.25));
+}
+
+#[test]
+fn table3_compound_selection() {
+    let out = select(
+        &restaurant_db_a().restaurants,
+        &Predicate::is("speciality", ["mu"]).and(Predicate::is("rating", ["ex"])),
+        &Threshold::POSITIVE,
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2);
+    let (sn, sp) = membership(&out, "mehl");
+    assert!(close(sn, 0.32) && close(sp, 0.32));
+    let (sn, sp) = membership(&out, "ashiana");
+    assert!(close(sn, 0.9) && close(sp, 1.0));
+}
+
+#[test]
+fn table4_extended_union() {
+    let out = union_extended(&restaurant_db_a().restaurants, &restaurant_db_b().restaurants)
+        .unwrap()
+        .relation;
+    assert_eq!(out.len(), 6);
+
+    // garden speciality [si^0.655, hu^0.276, Ω^0.069] (exact forms).
+    assert!(close(mass(&out, "garden", "speciality", &["si"]), 0.475 / 0.725));
+    assert!(close(mass(&out, "garden", "speciality", &["hu"]), 0.2 / 0.725));
+    assert!(close(mass(&out, "garden", "speciality", &["Ω"]), 0.05 / 0.725));
+    // garden best-dish [d31^0.7, d35^0.3].
+    assert!(close(mass(&out, "garden", "best-dish", &["d31"]), 0.7));
+    assert!(close(mass(&out, "garden", "best-dish", &["d35"]), 0.3));
+    // garden rating [ex^0.143, gd^0.857] (paper's rounding of
+    // 0.066/0.466 and 0.4/0.466).
+    assert!(close(mass(&out, "garden", "rating", &["ex"]), 0.066 / 0.466));
+    assert!(close(mass(&out, "garden", "rating", &["gd"]), 0.4 / 0.466));
+    // wok [si^1], [gd^1].
+    assert!(close(mass(&out, "wok", "speciality", &["si"]), 1.0));
+    assert!(close(mass(&out, "wok", "rating", &["gd"]), 1.0));
+    // country best-dish [d1^0.25, d2^0.75] (rounded in the paper).
+    assert!(close(mass(&out, "country", "best-dish", &["d1"]), 0.134 / 0.534));
+    assert!(close(mass(&out, "country", "best-dish", &["d2"]), 0.4 / 0.534));
+    // olive rating [gd^0.8, avg^0.2].
+    assert!(close(mass(&out, "olive", "rating", &["gd"]), 0.8));
+    // mehl [mu^1], [d24^0.069, d31^0.931], [ex^1], (0.83, 0.83).
+    assert!(close(mass(&out, "mehl", "speciality", &["mu"]), 1.0));
+    assert!(close(mass(&out, "mehl", "best-dish", &["d24"]), 0.04 / 0.58));
+    assert!(close(mass(&out, "mehl", "best-dish", &["d31"]), 0.54 / 0.58));
+    let (sn, sp) = membership(&out, "mehl");
+    assert!(close(sn, 5.0 / 6.0) && close(sp, 5.0 / 6.0));
+    // ashiana passes through unchanged.
+    assert!(close(mass(&out, "ashiana", "speciality", &["mu"]), 0.9));
+    let (sn, sp) = membership(&out, "ashiana");
+    assert!(close(sn, 1.0) && close(sp, 1.0));
+}
+
+#[test]
+fn table4_union_is_commutative_on_paper_data() {
+    let ra = restaurant_db_a().restaurants;
+    let rb = restaurant_db_b().restaurants;
+    let ab = union_extended(&ra, &rb).unwrap().relation;
+    let ba = union_extended(&rb, &ra).unwrap().relation;
+    assert!(ab.approx_eq(&ba));
+}
+
+#[test]
+fn table5_projection() {
+    let out = project(
+        &restaurant_db_a().restaurants,
+        &["rname", "phone", "speciality", "rating"],
+    )
+    .unwrap();
+    assert_eq!(out.len(), 6);
+    assert_eq!(out.schema().arity(), 4);
+    // Memberships carry over unchanged.
+    assert_eq!(membership(&out, "mehl"), (0.5, 0.5));
+    let (sn, sp) = membership(&out, "garden");
+    assert!(close(sn, 1.0) && close(sp, 1.0));
+    // Values carry over unchanged.
+    assert!(close(mass(&out, "ashiana", "speciality", &["mu"]), 0.9));
+}
+
+#[test]
+fn section_21_22_worked_example_exact() {
+    use evirel::evidence::{combine, Frame, MassFunction, Ratio};
+    use std::sync::Arc;
+    let frame = Arc::new(Frame::new(
+        "speciality",
+        ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+    ));
+    let r = |n, d| Ratio::new(n, d).unwrap();
+    let m1 = MassFunction::<Ratio>::builder(Arc::clone(&frame))
+        .add(["cantonese"], r(1, 2))
+        .unwrap()
+        .add(["hunan", "sichuan"], r(1, 3))
+        .unwrap()
+        .add_omega(r(1, 6))
+        .build()
+        .unwrap();
+    let m2 = MassFunction::<Ratio>::builder(Arc::clone(&frame))
+        .add(["cantonese", "hunan"], r(1, 2))
+        .unwrap()
+        .add(["hunan"], r(1, 4))
+        .unwrap()
+        .add_omega(r(1, 4))
+        .build()
+        .unwrap();
+    let c = combine::dempster(&m1, &m2).unwrap();
+    assert_eq!(c.conflict, r(1, 8));
+    let f = |labels: &[&str]| frame.subset(labels.iter().copied()).unwrap();
+    assert_eq!(c.mass.mass_of(&f(&["cantonese"])), r(3, 7));
+    assert_eq!(c.mass.mass_of(&f(&["hunan"])), r(1, 3));
+    assert_eq!(c.mass.mass_of(&f(&["cantonese", "hunan"])), r(2, 21));
+    assert_eq!(c.mass.mass_of(&f(&["hunan", "sichuan"])), r(2, 21));
+    assert_eq!(c.mass.mass_of(&frame.omega()), r(1, 21));
+}
+
+#[test]
+fn paper_domains_are_ordered_for_theta() {
+    // avg < gd < ex, so `rating >= 'gd'` is meaningful.
+    let d = rating_domain();
+    assert!(d.index_of(&Value::str("avg")).unwrap() < d.index_of(&Value::str("gd")).unwrap());
+    assert!(d.index_of(&Value::str("gd")).unwrap() < d.index_of(&Value::str("ex")).unwrap());
+    assert_eq!(speciality_domain().len(), 7);
+}

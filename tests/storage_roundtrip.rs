@@ -1,0 +1,138 @@
+//! Storage round-trips across crates: paper data, generated data, and
+//! property-based round-tripping of arbitrary evidence shapes.
+
+use evirel::prelude::*;
+use evirel::workload::generator::{generate, GeneratorConfig};
+use evirel::workload::{restaurant_db_a, restaurant_db_b};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn paper_tables_roundtrip() {
+    for rel in [
+        restaurant_db_a().restaurants,
+        restaurant_db_b().restaurants,
+        restaurant_db_a().managers,
+        restaurant_db_a().managed_by,
+    ] {
+        let text = write_relation(&rel);
+        let back = read_relation(&text).unwrap();
+        assert!(back.approx_eq(&rel), "round-trip of {}", rel.schema().name());
+        assert_eq!(back.schema().name(), rel.schema().name());
+        assert_eq!(back.schema().arity(), rel.schema().arity());
+    }
+}
+
+#[test]
+fn generated_relations_roundtrip_exactly() {
+    for seed in 0..3u64 {
+        let rel = generate(
+            "G",
+            &GeneratorConfig { tuples: 100, seed, ..Default::default() },
+        )
+        .unwrap();
+        let text = write_relation(&rel);
+        let back = read_relation(&text).unwrap();
+        // Exact, not approximate: masses print with shortest
+        // round-trip formatting.
+        for (key, t) in rel.iter_keyed() {
+            let o = back.get_by_key(&key).unwrap();
+            assert_eq!(o.values(), t.values());
+            assert_eq!(o.membership().sn(), t.membership().sn());
+            assert_eq!(o.membership().sp(), t.membership().sp());
+        }
+    }
+}
+
+#[test]
+fn double_roundtrip_is_fixpoint() {
+    let rel = restaurant_db_a().restaurants;
+    let once = write_relation(&rel);
+    let twice = write_relation(&read_relation(&once).unwrap());
+    assert_eq!(once, twice);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary masses over arbitrary focal structures survive the
+    /// text format bit-for-bit.
+    #[test]
+    fn evidence_roundtrip_property(
+        raw in proptest::collection::vec((1u8..32, 1u32..1000), 1..5),
+        sn_millis in 1u32..=1000,
+    ) {
+        let domain = Arc::new(
+            AttrDomain::categorical("d", ["a", "b", "c", "d", "e"]).unwrap()
+        );
+        let schema = Arc::new(
+            Schema::builder("P")
+                .key_str("k")
+                .evidential("d", Arc::clone(&domain))
+                .build()
+                .unwrap(),
+        );
+        // Deduplicate masks, accumulate weights, normalize.
+        let mut acc: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+        for (mask, w) in raw {
+            *acc.entry(mask).or_insert(0) += w as u64;
+        }
+        let total: u64 = acc.values().sum();
+        let mut builder =
+            evirel::evidence::MassFunction::<f64>::builder(Arc::clone(domain.frame()));
+        for (mask, w) in acc {
+            let set = evirel::evidence::FocalSet::from_indices(
+                (0..5usize).filter(|i| mask & (1 << i) != 0),
+            );
+            builder = builder.add_set(set, w as f64 / total as f64).unwrap();
+        }
+        let mass = builder.build().unwrap();
+        let sn = sn_millis as f64 / 1000.0;
+
+        let mut rel = ExtendedRelation::new(Arc::clone(&schema));
+        rel.insert(
+            Tuple::new(
+                &schema,
+                vec![AttrValue::Definite(Value::str("key")), AttrValue::Evidential(mass)],
+                SupportPair::new(sn, 1.0).unwrap(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        let text = write_relation(&rel);
+        let back = read_relation(&text).unwrap();
+        let orig_tuple = rel.get_by_key(&[Value::str("key")]).unwrap();
+        let back_tuple = back.get_by_key(&[Value::str("key")]).unwrap();
+        prop_assert_eq!(orig_tuple.values(), back_tuple.values());
+        prop_assert_eq!(orig_tuple.membership().sn(), back_tuple.membership().sn());
+    }
+
+    /// Strings needing quoting survive as keys and definite values.
+    #[test]
+    fn awkward_strings_roundtrip(s in "[ -~]{0,20}") {
+        let schema = Arc::new(
+            Schema::builder("Q")
+                .key_str("k")
+                .definite("v", ValueKind::Str)
+                .build()
+                .unwrap(),
+        );
+        let mut rel = ExtendedRelation::new(Arc::clone(&schema));
+        rel.insert(
+            Tuple::new(
+                &schema,
+                vec![
+                    AttrValue::Definite(Value::str(format!("key-{s}"))),
+                    AttrValue::Definite(Value::str(s.clone())),
+                ],
+                SupportPair::certain(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = write_relation(&rel);
+        let back = read_relation(&text).unwrap();
+        prop_assert!(back.approx_eq(&rel), "text was:\n{}", text);
+    }
+}
