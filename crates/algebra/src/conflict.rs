@@ -130,7 +130,11 @@ impl fmt::Display for ConflictReport {
                 Value::render_key(&c.key),
                 c.attr,
                 c.kappa,
-                if c.total { " (TOTAL, policy applied)" } else { "" }
+                if c.total {
+                    " (TOTAL, policy applied)"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())

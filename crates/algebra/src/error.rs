@@ -59,7 +59,10 @@ impl fmt::Display for AlgebraError {
             Self::Evidence(e) => write!(f, "evidence error: {e}"),
             Self::PredicateType { reason } => write!(f, "predicate type error: {reason}"),
             Self::ProjectionMissingKey { attr } => {
-                write!(f, "projection must include key attribute {attr:?} (section 3.3)")
+                write!(
+                    f,
+                    "projection must include key attribute {attr:?} (section 3.3)"
+                )
             }
             Self::DuplicateProjection { attr } => {
                 write!(f, "attribute {attr:?} appears twice in projection list")
@@ -119,10 +122,15 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = AlgebraError::TotalConflict { key: "(wok)".into(), attr: "rating".into() };
+        let e = AlgebraError::TotalConflict {
+            key: "(wok)".into(),
+            attr: "rating".into(),
+        };
         assert!(e.to_string().contains("rating"));
         assert!(e.to_string().contains("(wok)"));
-        let e = AlgebraError::ProjectionMissingKey { attr: "rname".into() };
+        let e = AlgebraError::ProjectionMissingKey {
+            attr: "rname".into(),
+        };
         assert!(e.to_string().contains("rname"));
     }
 }

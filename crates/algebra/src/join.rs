@@ -54,7 +54,8 @@ mod tests {
             })
             .unwrap()
             .tuple(|t| {
-                t.set_str("rname", "olive").set_evidence("spec", [(&["it"][..], 1.0)])
+                t.set_str("rname", "olive")
+                    .set_evidence("spec", [(&["it"][..], 1.0)])
             })
             .unwrap()
             .build()
@@ -100,7 +101,9 @@ mod tests {
             .get_by_key(&[Value::str("mehl"), Value::str("mehl")])
             .unwrap();
         // Membership: (1,1) × (0.9,1.0) via product, predicate (1,1).
-        assert!(t.membership().approx_eq(&SupportPair::new(0.9, 1.0).unwrap()));
+        assert!(t
+            .membership()
+            .approx_eq(&SupportPair::new(0.9, 1.0).unwrap()));
     }
 
     #[test]

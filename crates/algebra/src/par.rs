@@ -69,7 +69,12 @@ pub fn par_union(
                                 }
                             }
                             Some(r) => crate::union::merge_tuples(
-                                ls, key, l_tuple, r, options, &mut report,
+                                ls,
+                                key,
+                                l_tuple,
+                                r,
+                                options,
+                                &mut report,
                             )?,
                         };
                         merged.push((*order, out, report));
@@ -78,7 +83,10 @@ pub fn par_union(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     // Re-assemble deterministically: left order first, then right-only.
@@ -104,7 +112,10 @@ pub fn par_union(
             out.insert(r_tuple.clone())?;
         }
     }
-    Ok(UnionOutcome { relation: out, report })
+    Ok(UnionOutcome {
+        relation: out,
+        report,
+    })
 }
 
 #[cfg(test)]
@@ -136,8 +147,11 @@ mod tests {
             if i % 2 == 0 {
                 b = b
                     .tuple(|t| {
-                        t.set_str("k", k.clone())
-                            .set_evidence_with_omega("d", [(&["x"][..], 0.3), (&["y"][..], 0.3)], 0.4)
+                        t.set_str("k", k.clone()).set_evidence_with_omega(
+                            "d",
+                            [(&["x"][..], 0.3), (&["y"][..], 0.3)],
+                            0.4,
+                        )
                     })
                     .unwrap();
             }

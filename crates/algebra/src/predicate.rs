@@ -264,19 +264,13 @@ mod tests {
 
     #[test]
     fn builders_and_display() {
-        let p = Predicate::is("speciality", ["si"])
-            .and(Predicate::is("rating", ["ex"]));
-        assert_eq!(
-            p.to_string(),
-            "(speciality is {si} AND rating is {ex})"
-        );
-        let t = Predicate::theta(
-            Operand::attr("bldg"),
-            ThetaOp::Le,
-            Operand::value(1000i64),
-        );
+        let p = Predicate::is("speciality", ["si"]).and(Predicate::is("rating", ["ex"]));
+        assert_eq!(p.to_string(), "(speciality is {si} AND rating is {ex})");
+        let t = Predicate::theta(Operand::attr("bldg"), ThetaOp::Le, Operand::value(1000i64));
         assert_eq!(t.to_string(), "(bldg <= 1000)");
-        let n = Predicate::is("a", ["x"]).negate().or(Predicate::is("b", ["y"]));
+        let n = Predicate::is("a", ["x"])
+            .negate()
+            .or(Predicate::is("b", ["y"]));
         assert!(n.to_string().contains("NOT"));
         assert!(n.to_string().contains("OR"));
     }

@@ -47,9 +47,7 @@ pub fn product(
             builder = match (attr.is_key(), attr.ty()) {
                 (true, AttrType::Definite(kind)) => builder.key(name, *kind),
                 (false, AttrType::Definite(kind)) => builder.definite(name, *kind),
-                (_, AttrType::Evidential(domain)) => {
-                    builder.evidential(name, Arc::clone(domain))
-                }
+                (_, AttrType::Evidential(domain)) => builder.evidential(name, Arc::clone(domain)),
             };
         }
     }
@@ -97,7 +95,8 @@ mod tests {
             })
             .unwrap()
             .tuple(|t| {
-                t.set_str("rname", "olive").set_evidence("spec", [(&["it"][..], 1.0)])
+                t.set_str("rname", "olive")
+                    .set_evidence("spec", [(&["it"][..], 1.0)])
             })
             .unwrap()
             .build()
@@ -132,11 +131,15 @@ mod tests {
             .get_by_key(&[Value::str("mehl"), Value::str("alice")])
             .unwrap();
         // (0.5, 0.5) × (0.8, 1.0) = (0.4, 0.5).
-        assert!(t.membership().approx_eq(&SupportPair::new(0.4, 0.5).unwrap()));
+        assert!(t
+            .membership()
+            .approx_eq(&SupportPair::new(0.4, 0.5).unwrap()));
         let t = p
             .get_by_key(&[Value::str("olive"), Value::str("alice")])
             .unwrap();
-        assert!(t.membership().approx_eq(&SupportPair::new(0.8, 1.0).unwrap()));
+        assert!(t
+            .membership()
+            .approx_eq(&SupportPair::new(0.8, 1.0).unwrap()));
     }
 
     #[test]
@@ -154,7 +157,12 @@ mod tests {
             .unwrap()
             .build();
         let p = product(&a, &b).unwrap();
-        let names: Vec<_> = p.schema().attrs().iter().map(|x| x.name().to_owned()).collect();
+        let names: Vec<_> = p
+            .schema()
+            .attrs()
+            .iter()
+            .map(|x| x.name().to_owned())
+            .collect();
         assert!(names.contains(&"R.rname".to_owned()));
         assert!(names.contains(&"S.rname".to_owned()));
         assert!(names.contains(&"spec".to_owned()));

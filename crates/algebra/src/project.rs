@@ -25,7 +25,9 @@ pub fn project(rel: &ExtendedRelation, attrs: &[&str]) -> Result<ExtendedRelatio
     let mut positions = Vec::with_capacity(attrs.len());
     for name in attrs {
         if !seen.insert(*name) {
-            return Err(AlgebraError::DuplicateProjection { attr: (*name).to_owned() });
+            return Err(AlgebraError::DuplicateProjection {
+                attr: (*name).to_owned(),
+            });
         }
         positions.push(schema.position(name)?);
     }
@@ -121,7 +123,10 @@ mod tests {
     #[test]
     fn key_must_be_included() {
         let err = project(&rel(), &["phone", "spec"]);
-        assert!(matches!(err, Err(AlgebraError::ProjectionMissingKey { .. })));
+        assert!(matches!(
+            err,
+            Err(AlgebraError::ProjectionMissingKey { .. })
+        ));
     }
 
     #[test]
@@ -139,7 +144,12 @@ mod tests {
     #[test]
     fn projection_reorders() {
         let p = project(&rel(), &["phone", "rname"]).unwrap();
-        let attrs: Vec<_> = p.schema().attrs().iter().map(|a| a.name().to_owned()).collect();
+        let attrs: Vec<_> = p
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.name().to_owned())
+            .collect();
         assert_eq!(attrs, vec!["phone", "rname"]);
         // Key-ness preserved on the moved key attribute.
         assert!(p.schema().attr(1).is_key());

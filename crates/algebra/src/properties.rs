@@ -31,10 +31,7 @@ pub fn satisfies_closure(rel: &ExtendedRelation) -> bool {
 /// # Errors
 /// Tuple-construction errors (should not occur for well-formed
 /// schemas).
-pub fn complement_tuples(
-    rel: &ExtendedRelation,
-    n: usize,
-) -> Result<Vec<Tuple>, AlgebraError> {
+pub fn complement_tuples(rel: &ExtendedRelation, n: usize) -> Result<Vec<Tuple>, AlgebraError> {
     let schema = rel.schema();
     let mut out = Vec::with_capacity(n);
     let mut counter = 0usize;
@@ -143,25 +140,31 @@ pub const COMPLEMENT_SAMPLE: usize = 3;
 /// Compare the `sn > 0` tuple sets of two relations (keyed, order
 /// independent, `f64` tolerance).
 fn positive_eq(a: &ExtendedRelation, b: &ExtendedRelation) -> bool {
-    let a_pos: Vec<_> = a.iter_keyed().filter(|(_, t)| t.membership().is_positive()).collect();
-    let b_pos: Vec<_> = b.iter_keyed().filter(|(_, t)| t.membership().is_positive()).collect();
+    let a_pos: Vec<_> = a
+        .iter_keyed()
+        .filter(|(_, t)| t.membership().is_positive())
+        .collect();
+    let b_pos: Vec<_> = b
+        .iter_keyed()
+        .filter(|(_, t)| t.membership().is_positive())
+        .collect();
     if a_pos.len() != b_pos.len() {
         return false;
     }
-    a_pos.iter().all(|(key, t)| {
-        b.get_by_key(key).is_some_and(|o| o.approx_eq(t))
-    })
+    a_pos
+        .iter()
+        .all(|(key, t)| b.get_by_key(key).is_some_and(|o| o.approx_eq(t)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::predicate::Predicate;
+    use crate::predicate::{Operand, ThetaOp};
     use crate::select::select;
     use crate::threshold::Threshold;
     use crate::union::union_extended;
     use crate::{join, product, project};
-    use crate::predicate::{Operand, ThetaOp};
     use evirel_relation::{AttrDomain, RelationBuilder, Schema, ValueKind};
     use std::sync::Arc;
 
@@ -233,11 +236,7 @@ mod tests {
     fn boundedness_of_select() {
         let a = rel("A", &[("p", "x", 1.0), ("q", "y", 0.5)]);
         let pred = Predicate::is("d", ["x"]);
-        let ok = check_boundedness_unary(
-            |r| select(r, &pred, &Threshold::POSITIVE),
-            &a,
-        )
-        .unwrap();
+        let ok = check_boundedness_unary(|r| select(r, &pred, &Threshold::POSITIVE), &a).unwrap();
         assert!(ok);
     }
 
@@ -252,12 +251,8 @@ mod tests {
     fn boundedness_of_union() {
         let a = rel("A", &[("p", "x", 1.0), ("q", "y", 0.5)]);
         let b = rel("B", &[("q", "x", 0.8), ("r", "z", 1.0)]);
-        let ok = check_boundedness_binary(
-            |l, r| Ok(union_extended(l, r)?.relation),
-            &a,
-            &b,
-        )
-        .unwrap();
+        let ok =
+            check_boundedness_binary(|l, r| Ok(union_extended(l, r)?.relation), &a, &b).unwrap();
         assert!(ok);
     }
 
@@ -272,12 +267,8 @@ mod tests {
         let ok = check_boundedness_binary(product, &a, &b).unwrap();
         assert!(ok);
         let pred = Predicate::is("d", ["x"]);
-        let ok = check_boundedness_binary(
-            |l, r| join(l, r, &pred, &Threshold::POSITIVE),
-            &a,
-            &b,
-        )
-        .unwrap();
+        let ok = check_boundedness_binary(|l, r| join(l, r, &pred, &Threshold::POSITIVE), &a, &b)
+            .unwrap();
         assert!(ok);
     }
 }

@@ -28,7 +28,9 @@ pub fn rename_attribute(
     let pos = schema.position(from)?;
     if schema.position(to).is_ok() {
         return Err(AlgebraError::Relation(
-            evirel_relation::RelationError::DuplicateAttribute { name: to.to_owned() },
+            evirel_relation::RelationError::DuplicateAttribute {
+                name: to.to_owned(),
+            },
         ));
     }
     let mut builder = Schema::builder(schema.name().to_owned());
@@ -50,7 +52,8 @@ fn rebuild(rel: &ExtendedRelation, schema: Arc<Schema>) -> ExtendedRelation {
         // Tuple values are positionally identical; only names changed.
         let rebuilt = evirel_relation::Tuple::new(&schema, t.values().to_vec(), t.membership())
             .expect("renaming preserves tuple validity");
-        out.insert(rebuilt).expect("renaming preserves keys and CWA");
+        out.insert(rebuilt)
+            .expect("renaming preserves keys and CWA");
     }
     out
 }

@@ -90,7 +90,11 @@ mod tests {
                     )
                     .set_evidence(
                         "rating",
-                        [(&["ex"][..], 0.33), (&["gd"][..], 0.5), (&["avg"][..], 0.17)],
+                        [
+                            (&["ex"][..], 0.33),
+                            (&["gd"][..], 0.5),
+                            (&["avg"][..], 0.17),
+                        ],
                     )
             })
             .unwrap()
@@ -199,7 +203,10 @@ mod tests {
             &Predicate::is("speciality", ["si"]),
             &Threshold::SnAtLeast(0.0),
         );
-        assert!(matches!(err, Err(AlgebraError::ThresholdNotPositive { .. })));
+        assert!(matches!(
+            err,
+            Err(AlgebraError::ThresholdNotPositive { .. })
+        ));
     }
 
     #[test]

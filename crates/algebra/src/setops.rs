@@ -31,10 +31,11 @@ pub fn intersect_extended(
 ) -> Result<(ExtendedRelation, ConflictReport), AlgebraError> {
     // Merge via union, then keep only keys present in both inputs.
     let merged = union_with(left, right, options)?;
-    let schema = Arc::new(
-        left.schema()
-            .renamed(format!("{}∩{}", left.schema().name(), right.schema().name())),
-    );
+    let schema = Arc::new(left.schema().renamed(format!(
+        "{}∩{}",
+        left.schema().name(),
+        right.schema().name()
+    )));
     let mut out = ExtendedRelation::new(schema);
     for (key, tuple) in merged.relation.iter_keyed() {
         if left.contains_key(&key) && right.contains_key(&key) {
@@ -54,10 +55,11 @@ pub fn difference_extended(
     right: &ExtendedRelation,
 ) -> Result<ExtendedRelation, AlgebraError> {
     left.schema().check_union_compatible(right.schema())?;
-    let schema = Arc::new(
-        left.schema()
-            .renamed(format!("{}−{}", left.schema().name(), right.schema().name())),
-    );
+    let schema = Arc::new(left.schema().renamed(format!(
+        "{}−{}",
+        left.schema().name(),
+        right.schema().name()
+    )));
     let mut out = ExtendedRelation::new(schema);
     for (key, tuple) in left.iter_keyed() {
         if !right.contains_key(&key) && tuple.membership().is_positive() {

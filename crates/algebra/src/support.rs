@@ -88,7 +88,11 @@ fn is_support(
         // Definite open-domain attribute: crisp membership.
         (None, AttrValue::Definite(v)) => {
             let hit = values.contains(v);
-            Ok(if hit { SupportPair::certain() } else { SupportPair::impossible() })
+            Ok(if hit {
+                SupportPair::certain()
+            } else {
+                SupportPair::impossible()
+            })
         }
         (None, AttrValue::Evidential(_)) => Err(AlgebraError::PredicateType {
             reason: format!("attribute {attr:?} is declared definite but holds evidence"),
@@ -99,8 +103,14 @@ fn is_support(
 /// `aᵢ θ bⱼ` *is TRUE*: the comparison holds for all member pairs
 /// (∀s∀t). Order operators reduce to extreme-member comparisons.
 fn definitely(op: ThetaOp, x: &FocalSet, y: &FocalSet) -> bool {
-    let (xmin, xmax) = (x.min_index().expect("focal nonempty"), x.max_index().expect("focal nonempty"));
-    let (ymin, ymax) = (y.min_index().expect("focal nonempty"), y.max_index().expect("focal nonempty"));
+    let (xmin, xmax) = (
+        x.min_index().expect("focal nonempty"),
+        x.max_index().expect("focal nonempty"),
+    );
+    let (ymin, ymax) = (
+        y.min_index().expect("focal nonempty"),
+        y.max_index().expect("focal nonempty"),
+    );
     match op {
         ThetaOp::Le => xmax <= ymin,
         ThetaOp::Lt => xmax < ymin,
@@ -114,8 +124,14 @@ fn definitely(op: ThetaOp, x: &FocalSet, y: &FocalSet) -> bool {
 /// `aᵢ θ bⱼ` *may be TRUE*: the comparison holds for some member pair
 /// (∃s∃t).
 fn maybe(op: ThetaOp, x: &FocalSet, y: &FocalSet) -> bool {
-    let (xmin, xmax) = (x.min_index().expect("focal nonempty"), x.max_index().expect("focal nonempty"));
-    let (ymin, ymax) = (y.min_index().expect("focal nonempty"), y.max_index().expect("focal nonempty"));
+    let (xmin, xmax) = (
+        x.min_index().expect("focal nonempty"),
+        x.max_index().expect("focal nonempty"),
+    );
+    let (ymin, ymax) = (
+        y.min_index().expect("focal nonempty"),
+        y.max_index().expect("focal nonempty"),
+    );
     match op {
         ThetaOp::Le => xmin <= ymax,
         ThetaOp::Lt => xmin < ymax,
@@ -185,24 +201,23 @@ fn literal_to_mass(
     let mut b = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
     for (vals, w) in entries {
         let set = domain.subset_of_values(vals.iter())?;
-        b = b.add_set(set, *w).map_err(evirel_relation::RelationError::from)?;
+        b = b
+            .add_set(set, *w)
+            .map_err(evirel_relation::RelationError::from)?;
     }
     Ok(b.build().map_err(evirel_relation::RelationError::from)?)
 }
 
-fn resolve(
-    schema: &Schema,
-    tuple: &Tuple,
-    operand: &Operand,
-) -> Result<Resolved, AlgebraError> {
+fn resolve(schema: &Schema, tuple: &Tuple, operand: &Operand) -> Result<Resolved, AlgebraError> {
     match operand {
         Operand::Attr(name) => {
             let pos = schema.position(name)?;
             let def = schema.attr(pos);
             match (def.ty().domain(), tuple.value(pos)) {
-                (Some(domain), value) => {
-                    Ok(Resolved::Evidence(value.to_evidence(domain)?, Arc::clone(domain)))
-                }
+                (Some(domain), value) => Ok(Resolved::Evidence(
+                    value.to_evidence(domain)?,
+                    Arc::clone(domain),
+                )),
                 (None, AttrValue::Definite(v)) => Ok(Resolved::Definite(v.clone())),
                 (None, AttrValue::Evidential(_)) => Err(AlgebraError::PredicateType {
                     reason: format!("attribute {name:?} is declared definite but holds evidence"),
@@ -316,7 +331,11 @@ mod tests {
                     )
                     .set_evidence(
                         "rating",
-                        [(&["ex"][..], 0.33), (&["gd"][..], 0.5), (&["avg"][..], 0.17)],
+                        [
+                            (&["ex"][..], 0.33),
+                            (&["gd"][..], 0.5),
+                            (&["avg"][..], 0.17),
+                        ],
                     )
             })
             .unwrap()
@@ -400,8 +419,7 @@ mod tests {
             (vec![Value::int(4), Value::int(7)], 0.8),
             (vec![Value::int(5)], 0.2),
         ];
-        let sp =
-            theta_support_with_domain(&domain, &left, ThetaOp::Le, &corrected_right).unwrap();
+        let sp = theta_support_with_domain(&domain, &left, ThetaOp::Le, &corrected_right).unwrap();
         assert!((sp.sn() - 0.6).abs() < 1e-12);
         assert!((sp.sp() - 1.0).abs() < 1e-12);
     }
@@ -411,11 +429,7 @@ mod tests {
         let (s, t) = garden();
         // rating >= gd: focal {ex}(0.33) definitely, {gd}(0.5) definitely,
         // {avg}(0.17) not. sn = 0.83, sp = 0.83.
-        let p = Predicate::theta(
-            Operand::attr("rating"),
-            ThetaOp::Ge,
-            Operand::value("gd"),
-        );
+        let p = Predicate::theta(Operand::attr("rating"), ThetaOp::Ge, Operand::value("gd"));
         let sp = predicate_support(&s, &t, &p).unwrap();
         assert!((sp.sn() - 0.83).abs() < 1e-12);
         assert!((sp.sp() - 0.83).abs() < 1e-12);
@@ -424,11 +438,7 @@ mod tests {
     #[test]
     fn theta_definite_vs_definite() {
         let (s, t) = garden();
-        let p = Predicate::theta(
-            Operand::attr("bldg"),
-            ThetaOp::Le,
-            Operand::value(3000i64),
-        );
+        let p = Predicate::theta(Operand::attr("bldg"), ThetaOp::Le, Operand::value(3000i64));
         assert!(predicate_support(&s, &t, &p).unwrap().is_certain());
         let p = Predicate::theta(Operand::attr("bldg"), ThetaOp::Gt, Operand::value(3000i64));
         assert!(!predicate_support(&s, &t, &p).unwrap().is_positive());

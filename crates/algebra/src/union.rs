@@ -108,7 +108,10 @@ pub fn union_with(
             out.insert(r_tuple.clone())?;
         }
     }
-    Ok(UnionOutcome { relation: out, report })
+    Ok(UnionOutcome {
+        relation: out,
+        report,
+    })
 }
 
 /// Merge one matched tuple pair. Returns `None` when the combined
@@ -288,7 +291,11 @@ mod tests {
                     .set_str("phone", "371-2155")
                     .set_evidence(
                         "rating",
-                        [(&["ex"][..], 0.33), (&["gd"][..], 0.5), (&["avg"][..], 0.17)],
+                        [
+                            (&["ex"][..], 0.33),
+                            (&["gd"][..], 0.5),
+                            (&["avg"][..], 0.17),
+                        ],
                     )
             })
             .unwrap()
@@ -326,8 +333,12 @@ mod tests {
         assert_eq!(out.relation.len(), 3);
         let garden = out.relation.get_by_key(&[Value::str("garden")]).unwrap();
         let rating = garden.value(2).as_evidential().unwrap();
-        let ex = rating_domain().subset_of_values([&Value::str("ex")]).unwrap();
-        let gd = rating_domain().subset_of_values([&Value::str("gd")]).unwrap();
+        let ex = rating_domain()
+            .subset_of_values([&Value::str("ex")])
+            .unwrap();
+        let gd = rating_domain()
+            .subset_of_values([&Value::str("gd")])
+            .unwrap();
         assert!((rating.mass_of(&ex) - 0.066 / 0.466).abs() < 1e-9);
         assert!((rating.mass_of(&gd) - 0.4 / 0.466).abs() < 1e-9);
         assert!(garden.membership().is_certain());
@@ -368,7 +379,9 @@ mod tests {
         let other = ExtendedRelation::new(other_schema);
         assert!(matches!(
             union_extended(&garden_a(), &other),
-            Err(AlgebraError::Relation(RelationError::NotUnionCompatible { .. }))
+            Err(AlgebraError::Relation(
+                RelationError::NotUnionCompatible { .. }
+            ))
         ));
     }
 
@@ -395,7 +408,10 @@ mod tests {
         let out = union_with(
             &a,
             &b,
-            &UnionOptions { on_total_conflict: ConflictPolicy::KeepLeft, ..Default::default() },
+            &UnionOptions {
+                on_total_conflict: ConflictPolicy::KeepLeft,
+                ..Default::default()
+            },
         )
         .unwrap();
         let t = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
@@ -405,7 +421,10 @@ mod tests {
         let out = union_with(
             &a,
             &b,
-            &UnionOptions { on_total_conflict: ConflictPolicy::KeepRight, ..Default::default() },
+            &UnionOptions {
+                on_total_conflict: ConflictPolicy::KeepRight,
+                ..Default::default()
+            },
         )
         .unwrap();
         let t = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
@@ -433,7 +452,10 @@ mod tests {
         let out = union_with(
             &a,
             &b,
-            &UnionOptions { on_total_conflict: ConflictPolicy::Vacuous, ..Default::default() },
+            &UnionOptions {
+                on_total_conflict: ConflictPolicy::Vacuous,
+                ..Default::default()
+            },
         )
         .unwrap();
         let t = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
@@ -474,7 +496,10 @@ mod tests {
         let out = union_with(
             &garden_a(),
             &garden_b(),
-            &UnionOptions { rule: CombinationRule::Yager, ..Default::default() },
+            &UnionOptions {
+                rule: CombinationRule::Yager,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Yager absorbs the conflict into Ω but the report still shows κ.
@@ -490,7 +515,10 @@ mod tests {
         let out = union_with(
             &garden_a(),
             &garden_b(),
-            &UnionOptions { max_focal: Some(1), ..Default::default() },
+            &UnionOptions {
+                max_focal: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let garden = out.relation.get_by_key(&[Value::str("garden")]).unwrap();

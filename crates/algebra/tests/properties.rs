@@ -9,9 +9,7 @@ use evirel_algebra::properties::{
 use evirel_algebra::{
     join, product, project, select, union_extended, Operand, Predicate, ThetaOp, Threshold,
 };
-use evirel_relation::{
-    AttrDomain, ExtendedRelation, RelationBuilder, Schema, SupportPair, Value,
-};
+use evirel_relation::{AttrDomain, ExtendedRelation, RelationBuilder, Schema, SupportPair, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -48,7 +46,12 @@ fn row_strategy() -> impl Strategy<Value = Row> {
         1u16..=1000,
         0u16..=1000,
     )
-        .prop_map(|(key, focal, sn_millis, sp_extra)| Row { key, focal, sn_millis, sp_extra })
+        .prop_map(|(key, focal, sn_millis, sp_extra)| Row {
+            key,
+            focal,
+            sn_millis,
+            sp_extra,
+        })
 }
 
 fn build_relation(name: &str, rows: &[Row]) -> ExtendedRelation {
@@ -84,9 +87,8 @@ fn build_relation(name: &str, rows: &[Row]) -> ExtendedRelation {
                 let mut t = t.set_str("k", format!("key-{}", row.key));
                 // Assemble the evidence via the raw mass builder to
                 // allow multi-label focal sets.
-                let mut mb = evirel_evidence::MassFunction::<f64>::builder(Arc::clone(
-                    dom2.frame(),
-                ));
+                let mut mb =
+                    evirel_evidence::MassFunction::<f64>::builder(Arc::clone(dom2.frame()));
                 for (vals, w) in &entries {
                     let set = dom2.subset_of_values(vals.iter()).unwrap();
                     mb = mb.add_set(set, *w).unwrap();
@@ -101,7 +103,8 @@ fn build_relation(name: &str, rows: &[Row]) -> ExtendedRelation {
 }
 
 fn rel_strategy(name: &'static str) -> impl Strategy<Value = ExtendedRelation> {
-    proptest::collection::vec(row_strategy(), 0..8).prop_map(move |rows| build_relation(name, &rows))
+    proptest::collection::vec(row_strategy(), 0..8)
+        .prop_map(move |rows| build_relation(name, &rows))
 }
 
 fn some_predicate() -> impl Strategy<Value = Predicate> {

@@ -90,9 +90,7 @@ mod tests {
     #[test]
     fn specificity_metric() {
         assert!((specificity(&m(&[(&["a"], 1.0)])) - 1.0).abs() < 1e-12);
-        assert!(
-            (specificity(&MassFunction::<f64>::vacuous(frame()).unwrap()) - 4.0).abs() < 1e-12
-        );
+        assert!((specificity(&MassFunction::<f64>::vacuous(frame()).unwrap()) - 4.0).abs() < 1e-12);
         assert!((specificity(&m(&[(&["a", "b"], 0.5), (&["c"], 0.5)])) - 1.5).abs() < 1e-12);
     }
 

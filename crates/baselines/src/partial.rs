@@ -48,7 +48,9 @@ impl PartialValue {
 
     /// A definite value.
     pub fn definite(index: usize) -> PartialValue {
-        PartialValue { candidates: FocalSet::singleton(index) }
+        PartialValue {
+            candidates: FocalSet::singleton(index),
+        }
     }
 
     /// Collapse an evidence set to a partial value: the candidate set
@@ -56,7 +58,9 @@ impl PartialValue {
     /// mass information is discarded — which is exactly the gap the
     /// evidential model closes.
     pub fn from_evidence(m: &MassFunction<f64>) -> PartialValue {
-        PartialValue { candidates: m.core() }
+        PartialValue {
+            candidates: m.core(),
+        }
     }
 
     /// The candidate set.

@@ -46,7 +46,9 @@ impl ProbValue {
 
     /// A definite value.
     pub fn definite(index: usize) -> ProbValue {
-        ProbValue { dist: vec![(index, 1.0)] }
+        ProbValue {
+            dist: vec![(index, 1.0)],
+        }
     }
 
     /// Flatten an evidence set to a probabilistic partial value via
@@ -56,8 +58,7 @@ impl ProbValue {
     /// split.)
     pub fn from_evidence(m: &MassFunction<f64>) -> ProbValue {
         let probs = transform::pignistic(m).expect("f64 arithmetic is total");
-        ProbValue::new(probs.into_iter().enumerate())
-            .expect("pignistic output is a distribution")
+        ProbValue::new(probs.into_iter().enumerate()).expect("pignistic output is a distribution")
     }
 
     /// The distribution entries.

@@ -14,13 +14,20 @@ use evirel_relation::Value;
 use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
 use std::hint::black_box;
 
-type MassPairs = Vec<(evirel_evidence::MassFunction<f64>, evirel_evidence::MassFunction<f64>)>;
+type MassPairs = Vec<(
+    evirel_evidence::MassFunction<f64>,
+    evirel_evidence::MassFunction<f64>,
+)>;
 
 /// Matched evidence pairs drawn from the generator (one per shared
 /// key).
 fn matched_pairs(tuples: usize, conflict_bias: f64) -> MassPairs {
     let (a, b) = generate_pair(&PairConfig {
-        base: GeneratorConfig { tuples, evidential_attrs: 1, ..Default::default() },
+        base: GeneratorConfig {
+            tuples,
+            evidential_attrs: 1,
+            ..Default::default()
+        },
         key_overlap: 1.0,
         conflict_bias,
     })
@@ -121,14 +128,18 @@ fn bench_aggregates(c: &mut Criterion) {
         .map(|i| (Value::int(i), Value::int(i * 2 + 1)))
         .collect();
     for f in evirel_baselines::AggregateFn::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(f.to_string()), &f, |bench, f| {
-            bench.iter(|| {
-                values
-                    .iter()
-                    .filter_map(|(a, b)| f.resolve_values(black_box(a), black_box(b)))
-                    .count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(f.to_string()),
+            &f,
+            |bench, f| {
+                bench.iter(|| {
+                    values
+                        .iter()
+                        .filter_map(|(a, b)| f.resolve_values(black_box(a), black_box(b)))
+                        .count()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -30,9 +30,7 @@ fn random_mass_with_omega(
     let mut sets = Vec::with_capacity(focal);
     while sets.len() < focal {
         let size = rng.gen_range(1..=3.min(n));
-        let set = evirel_evidence::FocalSet::from_indices(
-            (0..size).map(|_| rng.gen_range(0..n)),
-        );
+        let set = evirel_evidence::FocalSet::from_indices((0..size).map(|_| rng.gen_range(0..n)));
         if !sets.contains(&set) && set.len() < n {
             sets.push(set);
         }
@@ -46,8 +44,7 @@ fn random_mass_with_omega(
     if omega > 0.0 {
         entries.push((evirel_evidence::FocalSet::full(n), omega));
     }
-    MassFunction::from_entries(Arc::clone(frame), entries)
-        .expect("normalized by construction")
+    MassFunction::from_entries(Arc::clone(frame), entries).expect("normalized by construction")
 }
 
 fn random_mass(rng: &mut StdRng, frame: &Arc<Frame>, focal: usize) -> MassFunction<f64> {
@@ -90,9 +87,13 @@ fn bench_rules(c: &mut Criterion) {
     let a = random_mass(&mut rng, &f, 8);
     let b = random_mass(&mut rng, &f, 8);
     for rule in CombinationRule::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(rule.name()), &rule, |bench, rule| {
-            bench.iter(|| rule.combine(black_box(&a), black_box(&b)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rule.name()),
+            &rule,
+            |bench, rule| {
+                bench.iter(|| rule.combine(black_box(&a), black_box(&b)));
+            },
+        );
     }
     group.finish();
 }

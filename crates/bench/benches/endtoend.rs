@@ -13,7 +13,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("endtoend/pipeline");
     for tuples in [100usize, 1000, 5000] {
         let (a, b) = generate_pair(&PairConfig {
-            base: GeneratorConfig { tuples, ..Default::default() },
+            base: GeneratorConfig {
+                tuples,
+                ..Default::default()
+            },
             key_overlap: 0.5,
             conflict_bias: 0.0,
         })
@@ -33,13 +36,19 @@ fn bench_queries(c: &mut Criterion) {
     catalog.register("ra", restaurant_db_a().restaurants);
     catalog.register("rb", restaurant_db_b().restaurants);
     for (name, query) in [
-        ("table2-select", "SELECT * FROM ra WHERE speciality IS {si} WITH SN > 0"),
+        (
+            "table2-select",
+            "SELECT * FROM ra WHERE speciality IS {si} WITH SN > 0",
+        ),
         (
             "table3-compound",
             "SELECT * FROM ra WHERE speciality IS {mu} AND rating IS {ex} WITH SN > 0",
         ),
         ("table4-union", "SELECT * FROM ra UNION rb"),
-        ("table5-project", "SELECT rname, phone, speciality, rating FROM ra"),
+        (
+            "table5-project",
+            "SELECT rname, phone, speciality, rating FROM ra",
+        ),
         (
             "union-select-project",
             "SELECT rname, rating FROM ra UNION rb WHERE rating >= 'gd' WITH SN >= 0.5",
@@ -67,7 +76,10 @@ fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("endtoend/storage");
     let rel = evirel_workload::generator::generate(
         "S",
-        &GeneratorConfig { tuples: 2000, ..Default::default() },
+        &GeneratorConfig {
+            tuples: 2000,
+            ..Default::default()
+        },
     )
     .expect("valid config");
     let text = evirel_storage::write_relation(&rel);

@@ -9,11 +9,26 @@ use evirel_algebra::{join, product, rename, Operand, Predicate, ThetaOp, Thresho
 use evirel_workload::generator::{generate, GeneratorConfig};
 use std::hint::black_box;
 
-fn pair(tuples: usize) -> (evirel_relation::ExtendedRelation, evirel_relation::ExtendedRelation) {
-    let base = GeneratorConfig { tuples, evidential_attrs: 1, ..Default::default() };
+fn pair(
+    tuples: usize,
+) -> (
+    evirel_relation::ExtendedRelation,
+    evirel_relation::ExtendedRelation,
+) {
+    let base = GeneratorConfig {
+        tuples,
+        evidential_attrs: 1,
+        ..Default::default()
+    };
     let a = generate("JA", &base).expect("valid config");
-    let b = generate("JB", &GeneratorConfig { seed: base.seed + 1, ..base })
-        .expect("valid config");
+    let b = generate(
+        "JB",
+        &GeneratorConfig {
+            seed: base.seed + 1,
+            ..base
+        },
+    )
+    .expect("valid config");
     // Disambiguate attribute names for the product.
     let b = rename::rename_attribute(&b, "k", "k2").expect("rename");
     let b = rename::rename_attribute(&b, "e0", "f0").expect("rename");

@@ -7,8 +7,14 @@ use evirel_workload::generator::{generate, GeneratorConfig};
 use std::hint::black_box;
 
 fn relation(tuples: usize) -> evirel_relation::ExtendedRelation {
-    generate("S", &GeneratorConfig { tuples, ..Default::default() })
-        .expect("generator config is valid")
+    generate(
+        "S",
+        &GeneratorConfig {
+            tuples,
+            ..Default::default()
+        },
+    )
+    .expect("generator config is valid")
 }
 
 fn bench_predicates(c: &mut Criterion) {
@@ -19,8 +25,7 @@ fn bench_predicates(c: &mut Criterion) {
     let compound = Predicate::is("e0", ["v0", "v1"])
         .and(Predicate::is("e1", ["v2", "v3"]))
         .and(Predicate::is("e2", ["v4"]));
-    let theta_attr_attr =
-        Predicate::theta(Operand::attr("e0"), ThetaOp::Le, Operand::attr("e1"));
+    let theta_attr_attr = Predicate::theta(Operand::attr("e0"), ThetaOp::Le, Operand::attr("e1"));
     for (name, pred) in [
         ("is", &is_pred),
         ("theta-value", &theta_pred),

@@ -7,9 +7,19 @@ use evirel_algebra::union::{union_with, UnionOptions};
 use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
 use std::hint::black_box;
 
-fn pair(tuples: usize, overlap: f64, conflict: f64) -> (evirel_relation::ExtendedRelation, evirel_relation::ExtendedRelation) {
+fn pair(
+    tuples: usize,
+    overlap: f64,
+    conflict: f64,
+) -> (
+    evirel_relation::ExtendedRelation,
+    evirel_relation::ExtendedRelation,
+) {
     generate_pair(&PairConfig {
-        base: GeneratorConfig { tuples, ..Default::default() },
+        base: GeneratorConfig {
+            tuples,
+            ..Default::default()
+        },
         key_overlap: overlap,
         conflict_bias: conflict,
     })
@@ -73,7 +83,12 @@ fn bench_parallel(c: &mut Criterion) {
             &threads,
             |bench, threads| {
                 bench.iter(|| {
-                    par_union(black_box(&a), black_box(&b), &UnionOptions::default(), *threads)
+                    par_union(
+                        black_box(&a),
+                        black_box(&b),
+                        &UnionOptions::default(),
+                        *threads,
+                    )
                 });
             },
         );

@@ -42,10 +42,7 @@ fn main() {
     }
 }
 
-fn matched_evidence(
-    bias: f64,
-    tuples: usize,
-) -> Vec<(MassFunction<f64>, MassFunction<f64>)> {
+fn matched_evidence(bias: f64, tuples: usize) -> Vec<(MassFunction<f64>, MassFunction<f64>)> {
     let (a, b) = generate_pair(&PairConfig {
         base: GeneratorConfig {
             tuples,
@@ -143,11 +140,7 @@ fn sharpening_sweep() {
                 Err(_) => continue,
             }
         }
-        println!(
-            "{k},{:.4},{:.4}",
-            nonspec / n as f64,
-            spec / n as f64
-        );
+        println!("{k},{:.4},{:.4}", nonspec / n as f64, spec / n as f64);
     }
 }
 
@@ -158,7 +151,10 @@ fn overlap_sweep() {
     for step in 0..=10 {
         let overlap = step as f64 / 10.0;
         let (a, b) = generate_pair(&PairConfig {
-            base: GeneratorConfig { tuples: 500, ..Default::default() },
+            base: GeneratorConfig {
+                tuples: 500,
+                ..Default::default()
+            },
             key_overlap: overlap,
             conflict_bias: 0.0,
         })

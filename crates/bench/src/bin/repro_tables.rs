@@ -47,8 +47,13 @@ fn main() {
         failures += table1();
     }
     if run_table(2) {
-        failures += table(2, "σ̃_{sn>0, speciality is {si}}(R_A)", compute_table2(),
-            evirel_bench::TABLE2_CELLS, evirel_bench::TABLE2_MEMBERSHIP);
+        failures += table(
+            2,
+            "σ̃_{sn>0, speciality is {si}}(R_A)",
+            compute_table2(),
+            evirel_bench::TABLE2_CELLS,
+            evirel_bench::TABLE2_MEMBERSHIP,
+        );
     }
     if run_table(3) {
         failures += table(
@@ -120,7 +125,10 @@ fn table(
         }
     }
     report(
-        &format!("Table {n}: {} cell/membership checks", cells.len() + 2 * memberships.len()),
+        &format!(
+            "Table {n}: {} cell/membership checks",
+            cells.len() + 2 * memberships.len()
+        ),
         failures == 0,
     );
     failures
@@ -132,7 +140,14 @@ fn worked_examples() -> usize {
     println!("== §2.1 worked example (wok speciality, exact rationals) ==\n");
     let frame = Arc::new(Frame::new(
         "speciality",
-        ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+        [
+            "american",
+            "hunan",
+            "sichuan",
+            "cantonese",
+            "mughalai",
+            "italian",
+        ],
     ));
     let r = |n, d| Ratio::new(n, d).expect("nonzero denominator");
     let m1 = MassFunction::<Ratio>::builder(Arc::clone(&frame))
@@ -165,8 +180,14 @@ fn worked_examples() -> usize {
     let f = |labels: &[&str]| frame.subset(labels.iter().copied()).expect("labels");
     let checks = [
         ("κ = 1/8", c.conflict == r(1, 8)),
-        ("m({cantonese}) = 3/7", c.mass.mass_of(&f(&["cantonese"])) == r(3, 7)),
-        ("m({hunan}) = 1/3", c.mass.mass_of(&f(&["hunan"])) == r(1, 3)),
+        (
+            "m({cantonese}) = 3/7",
+            c.mass.mass_of(&f(&["cantonese"])) == r(3, 7),
+        ),
+        (
+            "m({hunan}) = 1/3",
+            c.mass.mass_of(&f(&["hunan"])) == r(1, 3),
+        ),
         (
             "m({cantonese, hunan}) = 2/21",
             c.mass.mass_of(&f(&["cantonese", "hunan"])) == r(2, 21),
@@ -200,7 +221,10 @@ fn worked_examples() -> usize {
         sp.sp()
     );
     let ok = (sp.sn() - 0.12).abs() < 1e-12 && (sp.sp() - 1.0).abs() < 1e-12;
-    report("§3.1.1 as printed → (0.12, 1.0) under the paper's own definition", ok);
+    report(
+        "§3.1.1 as printed → (0.12, 1.0) under the paper's own definition",
+        ok,
+    );
     failures += usize::from(!ok);
     let corrected = vec![
         (vec![Value::int(4), Value::int(7)], 0.8),

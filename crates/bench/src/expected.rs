@@ -36,21 +36,69 @@ pub struct ExpectedMembership {
 
 /// Expected evidential cells of Table 2.
 pub const TABLE2_CELLS: &[ExpectedCell] = &[
-    ExpectedCell { key: "garden", attr: "speciality", labels: &["si"], mass: 0.5 },
-    ExpectedCell { key: "garden", attr: "speciality", labels: &["hu"], mass: 0.25 },
-    ExpectedCell { key: "garden", attr: "speciality", labels: &["Ω"], mass: 0.25 },
-    ExpectedCell { key: "garden", attr: "best-dish", labels: &["d31"], mass: 0.5 },
-    ExpectedCell { key: "garden", attr: "best-dish", labels: &["d35", "d36"], mass: 0.5 },
-    ExpectedCell { key: "wok", attr: "speciality", labels: &["si"], mass: 1.0 },
-    ExpectedCell { key: "wok", attr: "rating", labels: &["gd"], mass: 0.25 },
-    ExpectedCell { key: "wok", attr: "rating", labels: &["avg"], mass: 0.75 },
+    ExpectedCell {
+        key: "garden",
+        attr: "speciality",
+        labels: &["si"],
+        mass: 0.5,
+    },
+    ExpectedCell {
+        key: "garden",
+        attr: "speciality",
+        labels: &["hu"],
+        mass: 0.25,
+    },
+    ExpectedCell {
+        key: "garden",
+        attr: "speciality",
+        labels: &["Ω"],
+        mass: 0.25,
+    },
+    ExpectedCell {
+        key: "garden",
+        attr: "best-dish",
+        labels: &["d31"],
+        mass: 0.5,
+    },
+    ExpectedCell {
+        key: "garden",
+        attr: "best-dish",
+        labels: &["d35", "d36"],
+        mass: 0.5,
+    },
+    ExpectedCell {
+        key: "wok",
+        attr: "speciality",
+        labels: &["si"],
+        mass: 1.0,
+    },
+    ExpectedCell {
+        key: "wok",
+        attr: "rating",
+        labels: &["gd"],
+        mass: 0.25,
+    },
+    ExpectedCell {
+        key: "wok",
+        attr: "rating",
+        labels: &["avg"],
+        mass: 0.75,
+    },
 ];
 
 /// Expected memberships of Table 2 — garden: `(1,1)` membership times
 /// `(Bel, Pls) = (0.5, 0.75)`.
 pub const TABLE2_MEMBERSHIP: &[ExpectedMembership] = &[
-    ExpectedMembership { key: "garden", sn: 0.5, sp: 0.75 },
-    ExpectedMembership { key: "wok", sn: 1.0, sp: 1.0 },
+    ExpectedMembership {
+        key: "garden",
+        sn: 0.5,
+        sp: 0.75,
+    },
+    ExpectedMembership {
+        key: "wok",
+        sn: 1.0,
+        sp: 1.0,
+    },
 ];
 
 // ---------------------------------------------------------------- Table 3
@@ -59,17 +107,50 @@ pub const TABLE2_MEMBERSHIP: &[ExpectedMembership] = &[
 
 /// Expected evidential cells of Table 3 (values retained from R_A).
 pub const TABLE3_CELLS: &[ExpectedCell] = &[
-    ExpectedCell { key: "mehl", attr: "speciality", labels: &["mu"], mass: 0.8 },
-    ExpectedCell { key: "mehl", attr: "speciality", labels: &["ta"], mass: 0.2 },
-    ExpectedCell { key: "ashiana", attr: "speciality", labels: &["mu"], mass: 0.9 },
-    ExpectedCell { key: "ashiana", attr: "speciality", labels: &["Ω"], mass: 0.1 },
-    ExpectedCell { key: "ashiana", attr: "rating", labels: &["ex"], mass: 1.0 },
+    ExpectedCell {
+        key: "mehl",
+        attr: "speciality",
+        labels: &["mu"],
+        mass: 0.8,
+    },
+    ExpectedCell {
+        key: "mehl",
+        attr: "speciality",
+        labels: &["ta"],
+        mass: 0.2,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "speciality",
+        labels: &["mu"],
+        mass: 0.9,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "speciality",
+        labels: &["Ω"],
+        mass: 0.1,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "rating",
+        labels: &["ex"],
+        mass: 1.0,
+    },
 ];
 
 /// Expected memberships of Table 3.
 pub const TABLE3_MEMBERSHIP: &[ExpectedMembership] = &[
-    ExpectedMembership { key: "mehl", sn: 0.8 * 0.8 * 0.5, sp: 0.8 * 0.8 * 0.5 },
-    ExpectedMembership { key: "ashiana", sn: 0.9, sp: 1.0 },
+    ExpectedMembership {
+        key: "mehl",
+        sn: 0.8 * 0.8 * 0.5,
+        sp: 0.8 * 0.8 * 0.5,
+    },
+    ExpectedMembership {
+        key: "ashiana",
+        sn: 0.9,
+        sp: 1.0,
+    },
 ];
 
 // ---------------------------------------------------------------- Table 4
@@ -79,8 +160,7 @@ pub const TABLE3_MEMBERSHIP: &[ExpectedMembership] = &[
 /// garden speciality: κ = 0.5·0.3 + 0.25·0.5 = 0.275.
 const GARDEN_SPEC_DENOM: f64 = 1.0 - (0.5 * 0.3 + 0.25 * 0.5);
 /// garden rating: κ = 0.33·0.8 + 0.5·0.2 + 0.17·0.2 + 0.17·0.8 = 0.534.
-const GARDEN_RATING_DENOM: f64 =
-    1.0 - (0.33 * 0.8 + 0.5 * 0.2 + 0.17 * 0.2 + 0.17 * 0.8);
+const GARDEN_RATING_DENOM: f64 = 1.0 - (0.33 * 0.8 + 0.5 * 0.2 + 0.17 * 0.2 + 0.17 * 0.8);
 /// wok best-dish: κ = 1 − (0.33·0.5 + 0.33·0.25 + 0.34·0.25).
 const WOK_DISH_DENOM: f64 = 0.33 * 0.5 + 0.33 * 0.25 + 0.34 * 0.25;
 /// country best-dish: κ = 0.5·0.8 + 0.33·0.2 = 0.466.
@@ -112,8 +192,18 @@ pub const TABLE4_CELLS: &[ExpectedCell] = &[
         mass: (0.25 * 0.2) / GARDEN_SPEC_DENOM,
     },
     // garden — best-dish [d31^0.7, d35^0.3]
-    ExpectedCell { key: "garden", attr: "best-dish", labels: &["d31"], mass: 0.7 },
-    ExpectedCell { key: "garden", attr: "best-dish", labels: &["d35"], mass: 0.3 },
+    ExpectedCell {
+        key: "garden",
+        attr: "best-dish",
+        labels: &["d31"],
+        mass: 0.7,
+    },
+    ExpectedCell {
+        key: "garden",
+        attr: "best-dish",
+        labels: &["d35"],
+        mass: 0.3,
+    },
     // garden — rating [ex^0.143, gd^0.857]
     ExpectedCell {
         key: "garden",
@@ -128,7 +218,12 @@ pub const TABLE4_CELLS: &[ExpectedCell] = &[
         mass: (0.5 * 0.8) / GARDEN_RATING_DENOM,
     },
     // wok — speciality [si^1]
-    ExpectedCell { key: "wok", attr: "speciality", labels: &["si"], mass: 1.0 },
+    ExpectedCell {
+        key: "wok",
+        attr: "speciality",
+        labels: &["si"],
+        mass: 1.0,
+    },
     // wok — best-dish [d6^0.5, d7^0.25, d25^0.25] (printed rounding)
     ExpectedCell {
         key: "wok",
@@ -149,9 +244,19 @@ pub const TABLE4_CELLS: &[ExpectedCell] = &[
         mass: (0.34 * 0.25) / WOK_DISH_DENOM,
     },
     // wok — rating [gd^1]
-    ExpectedCell { key: "wok", attr: "rating", labels: &["gd"], mass: 1.0 },
+    ExpectedCell {
+        key: "wok",
+        attr: "rating",
+        labels: &["gd"],
+        mass: 1.0,
+    },
     // country — [am^1], [d1^0.25, d2^0.75], [ex^1]
-    ExpectedCell { key: "country", attr: "speciality", labels: &["am"], mass: 1.0 },
+    ExpectedCell {
+        key: "country",
+        attr: "speciality",
+        labels: &["am"],
+        mass: 1.0,
+    },
     ExpectedCell {
         key: "country",
         attr: "best-dish",
@@ -164,14 +269,44 @@ pub const TABLE4_CELLS: &[ExpectedCell] = &[
         labels: &["d2"],
         mass: (0.33 * 0.8 + 0.17 * 0.8) / COUNTRY_DISH_DENOM,
     },
-    ExpectedCell { key: "country", attr: "rating", labels: &["ex"], mass: 1.0 },
+    ExpectedCell {
+        key: "country",
+        attr: "rating",
+        labels: &["ex"],
+        mass: 1.0,
+    },
     // olive — [it^1], [d1^1], [gd^0.8, avg^0.2]
-    ExpectedCell { key: "olive", attr: "speciality", labels: &["it"], mass: 1.0 },
-    ExpectedCell { key: "olive", attr: "best-dish", labels: &["d1"], mass: 1.0 },
-    ExpectedCell { key: "olive", attr: "rating", labels: &["gd"], mass: 0.8 },
-    ExpectedCell { key: "olive", attr: "rating", labels: &["avg"], mass: 0.2 },
+    ExpectedCell {
+        key: "olive",
+        attr: "speciality",
+        labels: &["it"],
+        mass: 1.0,
+    },
+    ExpectedCell {
+        key: "olive",
+        attr: "best-dish",
+        labels: &["d1"],
+        mass: 1.0,
+    },
+    ExpectedCell {
+        key: "olive",
+        attr: "rating",
+        labels: &["gd"],
+        mass: 0.8,
+    },
+    ExpectedCell {
+        key: "olive",
+        attr: "rating",
+        labels: &["avg"],
+        mass: 0.2,
+    },
     // mehl — [mu^1], [d24^0.069, d31^0.931], [ex^1]
-    ExpectedCell { key: "mehl", attr: "speciality", labels: &["mu"], mass: 1.0 },
+    ExpectedCell {
+        key: "mehl",
+        attr: "speciality",
+        labels: &["mu"],
+        mass: 1.0,
+    },
     ExpectedCell {
         key: "mehl",
         attr: "best-dish",
@@ -184,24 +319,78 @@ pub const TABLE4_CELLS: &[ExpectedCell] = &[
         labels: &["d31"],
         mass: (0.6 * 0.9) / MEHL_DISH_DENOM,
     },
-    ExpectedCell { key: "mehl", attr: "rating", labels: &["ex"], mass: 1.0 },
+    ExpectedCell {
+        key: "mehl",
+        attr: "rating",
+        labels: &["ex"],
+        mass: 1.0,
+    },
     // ashiana — retained from R_A (DB_B is totally ignorant of it)
-    ExpectedCell { key: "ashiana", attr: "speciality", labels: &["mu"], mass: 0.9 },
-    ExpectedCell { key: "ashiana", attr: "speciality", labels: &["Ω"], mass: 0.1 },
-    ExpectedCell { key: "ashiana", attr: "best-dish", labels: &["d34"], mass: 0.8 },
-    ExpectedCell { key: "ashiana", attr: "best-dish", labels: &["d25"], mass: 0.2 },
-    ExpectedCell { key: "ashiana", attr: "rating", labels: &["ex"], mass: 1.0 },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "speciality",
+        labels: &["mu"],
+        mass: 0.9,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "speciality",
+        labels: &["Ω"],
+        mass: 0.1,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "best-dish",
+        labels: &["d34"],
+        mass: 0.8,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "best-dish",
+        labels: &["d25"],
+        mass: 0.2,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "rating",
+        labels: &["ex"],
+        mass: 1.0,
+    },
 ];
 
 /// Expected memberships of Table 4 — mehl is the paper's worked
 /// combination `(0.5, 0.5) ⊕ (0.8, 1) = (0.83, 0.83)` (exactly 5/6).
 pub const TABLE4_MEMBERSHIP: &[ExpectedMembership] = &[
-    ExpectedMembership { key: "garden", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "wok", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "country", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "olive", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "mehl", sn: 5.0 / 6.0, sp: 5.0 / 6.0 },
-    ExpectedMembership { key: "ashiana", sn: 1.0, sp: 1.0 },
+    ExpectedMembership {
+        key: "garden",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "wok",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "country",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "olive",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "mehl",
+        sn: 5.0 / 6.0,
+        sp: 5.0 / 6.0,
+    },
+    ExpectedMembership {
+        key: "ashiana",
+        sn: 1.0,
+        sp: 1.0,
+    },
 ];
 
 // ---------------------------------------------------------------- Table 5
@@ -210,22 +399,86 @@ pub const TABLE4_MEMBERSHIP: &[ExpectedMembership] = &[
 
 /// Expected evidential cells of Table 5.
 pub const TABLE5_CELLS: &[ExpectedCell] = &[
-    ExpectedCell { key: "garden", attr: "speciality", labels: &["si"], mass: 0.5 },
-    ExpectedCell { key: "garden", attr: "rating", labels: &["gd"], mass: 0.5 },
-    ExpectedCell { key: "wok", attr: "speciality", labels: &["si"], mass: 1.0 },
-    ExpectedCell { key: "wok", attr: "rating", labels: &["avg"], mass: 0.75 },
-    ExpectedCell { key: "country", attr: "speciality", labels: &["am"], mass: 1.0 },
-    ExpectedCell { key: "olive", attr: "rating", labels: &["gd"], mass: 0.5 },
-    ExpectedCell { key: "mehl", attr: "speciality", labels: &["mu"], mass: 0.8 },
-    ExpectedCell { key: "ashiana", attr: "speciality", labels: &["mu"], mass: 0.9 },
+    ExpectedCell {
+        key: "garden",
+        attr: "speciality",
+        labels: &["si"],
+        mass: 0.5,
+    },
+    ExpectedCell {
+        key: "garden",
+        attr: "rating",
+        labels: &["gd"],
+        mass: 0.5,
+    },
+    ExpectedCell {
+        key: "wok",
+        attr: "speciality",
+        labels: &["si"],
+        mass: 1.0,
+    },
+    ExpectedCell {
+        key: "wok",
+        attr: "rating",
+        labels: &["avg"],
+        mass: 0.75,
+    },
+    ExpectedCell {
+        key: "country",
+        attr: "speciality",
+        labels: &["am"],
+        mass: 1.0,
+    },
+    ExpectedCell {
+        key: "olive",
+        attr: "rating",
+        labels: &["gd"],
+        mass: 0.5,
+    },
+    ExpectedCell {
+        key: "mehl",
+        attr: "speciality",
+        labels: &["mu"],
+        mass: 0.8,
+    },
+    ExpectedCell {
+        key: "ashiana",
+        attr: "speciality",
+        labels: &["mu"],
+        mass: 0.9,
+    },
 ];
 
 /// Expected memberships of Table 5.
 pub const TABLE5_MEMBERSHIP: &[ExpectedMembership] = &[
-    ExpectedMembership { key: "garden", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "wok", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "country", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "olive", sn: 1.0, sp: 1.0 },
-    ExpectedMembership { key: "mehl", sn: 0.5, sp: 0.5 },
-    ExpectedMembership { key: "ashiana", sn: 1.0, sp: 1.0 },
+    ExpectedMembership {
+        key: "garden",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "wok",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "country",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "olive",
+        sn: 1.0,
+        sp: 1.0,
+    },
+    ExpectedMembership {
+        key: "mehl",
+        sn: 0.5,
+        sp: 0.5,
+    },
+    ExpectedMembership {
+        key: "ashiana",
+        sn: 1.0,
+        sp: 1.0,
+    },
 ];

@@ -39,8 +39,12 @@ impl Check {
 /// Compute the paper's Table 2: σ̃_{sn>0, speciality is {si}}(R_A).
 pub fn compute_table2() -> ExtendedRelation {
     let ra = restaurant_db_a().restaurants;
-    select(&ra, &Predicate::is("speciality", ["si"]), &Threshold::POSITIVE)
-        .expect("table 2 selection")
+    select(
+        &ra,
+        &Predicate::is("speciality", ["si"]),
+        &Threshold::POSITIVE,
+    )
+    .expect("table 2 selection")
 }
 
 /// Compute the paper's Table 3:
@@ -142,9 +146,21 @@ mod tests {
                 expected::TABLE2_MEMBERSHIP,
                 compute_table2 as fn() -> ExtendedRelation,
             ),
-            (expected::TABLE3_CELLS, expected::TABLE3_MEMBERSHIP, compute_table3),
-            (expected::TABLE4_CELLS, expected::TABLE4_MEMBERSHIP, compute_table4),
-            (expected::TABLE5_CELLS, expected::TABLE5_MEMBERSHIP, compute_table5),
+            (
+                expected::TABLE3_CELLS,
+                expected::TABLE3_MEMBERSHIP,
+                compute_table3,
+            ),
+            (
+                expected::TABLE4_CELLS,
+                expected::TABLE4_MEMBERSHIP,
+                compute_table4,
+            ),
+            (
+                expected::TABLE5_CELLS,
+                expected::TABLE5_MEMBERSHIP,
+                compute_table5,
+            ),
         ] {
             let rel = compute();
             for check in check_table(&rel, cells, members) {

@@ -106,7 +106,10 @@ pub fn dempster_all<'a, W: Weight + 'a>(
 ) -> Result<Combination<W>, EvidenceError> {
     let mut iter = sources.into_iter();
     let first = iter.next().ok_or(EvidenceError::EmptyFocalElement)?;
-    let mut result = Combination { mass: first.clone(), conflict: W::zero() };
+    let mut result = Combination {
+        mass: first.clone(),
+        conflict: W::zero(),
+    };
     for next in iter {
         result = dempster(&result.mass, next)?;
     }
@@ -119,10 +122,7 @@ pub fn dempster_all<'a, W: Weight + 'a>(
 ///
 /// # Errors
 /// [`EvidenceError::FrameMismatch`] if the frames differ.
-pub fn conflict<W: Weight>(
-    a: &MassFunction<W>,
-    b: &MassFunction<W>,
-) -> Result<W, EvidenceError> {
+pub fn conflict<W: Weight>(a: &MassFunction<W>, b: &MassFunction<W>) -> Result<W, EvidenceError> {
     Ok(conjunctive_raw(a, b)?.1)
 }
 
@@ -136,7 +136,14 @@ mod tests {
     fn speciality() -> Arc<Frame> {
         Arc::new(Frame::new(
             "speciality",
-            ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+            [
+                "american",
+                "hunan",
+                "sichuan",
+                "cantonese",
+                "mughalai",
+                "italian",
+            ],
         ))
     }
 
@@ -286,9 +293,7 @@ mod tests {
         let c = dempster(&fm1, &fm2).unwrap();
         let f = speciality();
         assert!((c.conflict - 0.125).abs() < 1e-12);
-        assert!(
-            (c.mass.mass_of(&f.subset(["cantonese"]).unwrap()) - 3.0 / 7.0).abs() < 1e-12
-        );
+        assert!((c.mass.mass_of(&f.subset(["cantonese"]).unwrap()) - 3.0 / 7.0).abs() < 1e-12);
     }
 
     /// Combining a Bayesian mass with itself sharpens it (Bayes-like

@@ -30,7 +30,9 @@ pub fn discount<W: Weight>(
     alpha: &W,
 ) -> Result<MassFunction<W>, EvidenceError> {
     if !alpha.is_valid_mass() || *alpha > W::one() {
-        return Err(EvidenceError::InvalidMass { mass: alpha.to_string() });
+        return Err(EvidenceError::InvalidMass {
+            mass: alpha.to_string(),
+        });
     }
     if alpha.approx_eq(&W::one()) {
         return Ok(m.clone());
@@ -195,8 +197,7 @@ mod tests {
         let k2 = 0.6;
         let combined = 1.0 - (1.0 - k1) * (1.0 - k2);
         assert!(
-            (weight_of_conflict(k1) + weight_of_conflict(k2) - weight_of_conflict(combined))
-                .abs()
+            (weight_of_conflict(k1) + weight_of_conflict(k2) - weight_of_conflict(combined)).abs()
                 < 1e-12
         );
     }

@@ -57,10 +57,16 @@ impl fmt::Display for EvidenceError {
                 write!(f, "label {label:?} is not an element of frame {frame:?}")
             }
             Self::IndexOutOfBounds { index, frame_size } => {
-                write!(f, "element index {index} out of bounds for frame of size {frame_size}")
+                write!(
+                    f,
+                    "element index {index} out of bounds for frame of size {frame_size}"
+                )
             }
             Self::EmptyFocalElement => {
-                write!(f, "the empty set cannot be a focal element (m(∅) must be 0)")
+                write!(
+                    f,
+                    "the empty set cannot be a focal element (m(∅) must be 0)"
+                )
             }
             Self::InvalidMass { mass } => {
                 write!(f, "focal elements require positive finite mass, got {mass}")
@@ -75,7 +81,10 @@ impl fmt::Display for EvidenceError {
                 write!(f, "cannot operate across frames {left:?} and {right:?}")
             }
             Self::TotalConflict => {
-                write!(f, "total conflict (κ = 1): sources share no common focal element")
+                write!(
+                    f,
+                    "total conflict (κ = 1): sources share no common focal element"
+                )
             }
             Self::RatioOverflow => write!(f, "rational arithmetic overflow"),
             Self::RatioDivisionByZero => write!(f, "rational division by zero"),
@@ -93,11 +102,17 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(EvidenceError, &str)> = vec![
             (
-                EvidenceError::UnknownLabel { label: "x".into(), frame: "f".into() },
+                EvidenceError::UnknownLabel {
+                    label: "x".into(),
+                    frame: "f".into(),
+                },
                 "not an element",
             ),
             (
-                EvidenceError::IndexOutOfBounds { index: 9, frame_size: 3 },
+                EvidenceError::IndexOutOfBounds {
+                    index: 9,
+                    frame_size: 3,
+                },
                 "out of bounds",
             ),
             (EvidenceError::EmptyFocalElement, "empty set"),
@@ -105,7 +120,10 @@ mod tests {
             (EvidenceError::NotNormalized { sum: "0.5".into() }, "sum"),
             (EvidenceError::DuplicateFocalElement, "duplicate"),
             (
-                EvidenceError::FrameMismatch { left: "a".into(), right: "b".into() },
+                EvidenceError::FrameMismatch {
+                    left: "a".into(),
+                    right: "b".into(),
+                },
                 "across frames",
             ),
             (EvidenceError::TotalConflict, "κ = 1"),
@@ -121,6 +139,9 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(EvidenceError::TotalConflict, EvidenceError::TotalConflict);
-        assert_ne!(EvidenceError::TotalConflict, EvidenceError::EmptyFocalElement);
+        assert_ne!(
+            EvidenceError::TotalConflict,
+            EvidenceError::EmptyFocalElement
+        );
     }
 }

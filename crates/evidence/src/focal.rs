@@ -23,14 +23,18 @@ pub struct FocalSet {
 impl FocalSet {
     /// The empty set ∅.
     pub fn empty() -> FocalSet {
-        FocalSet { words: Box::new([]) }
+        FocalSet {
+            words: Box::new([]),
+        }
     }
 
     /// The singleton `{i}`.
     pub fn singleton(i: usize) -> FocalSet {
         let mut words = vec![0u64; i / WORD_BITS + 1];
         words[i / WORD_BITS] |= 1 << (i % WORD_BITS);
-        FocalSet { words: words.into_boxed_slice() }
+        FocalSet {
+            words: words.into_boxed_slice(),
+        }
     }
 
     /// The full set `{0, 1, …, n-1}`.
@@ -44,7 +48,9 @@ impl FocalSet {
         if rem != 0 {
             words[n_words - 1] = (1u64 << rem) - 1;
         }
-        FocalSet { words: words.into_boxed_slice() }
+        FocalSet {
+            words: words.into_boxed_slice(),
+        }
     }
 
     /// Build from element indices (duplicates are fine).
@@ -64,7 +70,9 @@ impl FocalSet {
         while words.last() == Some(&0) {
             words.pop();
         }
-        FocalSet { words: words.into_boxed_slice() }
+        FocalSet {
+            words: words.into_boxed_slice(),
+        }
     }
 
     /// Number of elements (popcount).

@@ -40,7 +40,11 @@ impl Frame {
                 out_labels.push(label);
             }
         }
-        Frame { name: name.into(), labels: out_labels, index }
+        Frame {
+            name: name.into(),
+            labels: out_labels,
+            index,
+        }
     }
 
     /// The frame's name (e.g. `"speciality"`).
@@ -66,7 +70,10 @@ impl Frame {
         self.labels
             .get(i)
             .map(|l| &**l)
-            .ok_or(EvidenceError::IndexOutOfBounds { index: i, frame_size: self.len() })
+            .ok_or(EvidenceError::IndexOutOfBounds {
+                index: i,
+                frame_size: self.len(),
+            })
     }
 
     /// Index of `label`.
@@ -167,7 +174,14 @@ mod tests {
     fn speciality() -> Frame {
         Frame::new(
             "speciality",
-            ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+            [
+                "american",
+                "hunan",
+                "sichuan",
+                "cantonese",
+                "mughalai",
+                "italian",
+            ],
         )
     }
 

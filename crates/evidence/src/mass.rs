@@ -23,7 +23,10 @@ pub struct MassFunction<W: Weight> {
 impl<W: Weight> MassFunction<W> {
     /// Start building a mass function over `frame`.
     pub fn builder(frame: Arc<Frame>) -> MassBuilder<W> {
-        MassBuilder { frame, entries: Vec::new() }
+        MassBuilder {
+            frame,
+            entries: Vec::new(),
+        }
     }
 
     /// The *vacuous* mass function `m(Ω) = 1` — total ignorance.
@@ -35,7 +38,10 @@ impl<W: Weight> MassFunction<W> {
         if omega.is_empty() {
             return Err(EvidenceError::EmptyFocalElement);
         }
-        Ok(MassFunction { frame, focal: vec![(omega, W::one())] })
+        Ok(MassFunction {
+            frame,
+            focal: vec![(omega, W::one())],
+        })
     }
 
     /// The *certain* mass function `m({label}) = 1` — a definite value.
@@ -44,7 +50,10 @@ impl<W: Weight> MassFunction<W> {
     /// [`EvidenceError::UnknownLabel`] if `label` is not in the frame.
     pub fn certain(frame: Arc<Frame>, label: &str) -> Result<Self, EvidenceError> {
         let s = frame.singleton(label)?;
-        Ok(MassFunction { frame, focal: vec![(s, W::one())] })
+        Ok(MassFunction {
+            frame,
+            focal: vec![(s, W::one())],
+        })
     }
 
     /// Construct directly from `(set, mass)` pairs; validates all mass
@@ -110,9 +119,7 @@ impl<W: Weight> MassFunction<W> {
     /// which the evidence cannot decide between `A` and its complement.
     pub fn ignorance(&self, set: &FocalSet) -> W {
         // Pls ≥ Bel always holds, so the subtraction cannot go negative.
-        self.pls(set)
-            .sub(&self.bel(set))
-            .expect("Pls(A) >= Bel(A)")
+        self.pls(set).sub(&self.bel(set)).expect("Pls(A) >= Bel(A)")
     }
 
     fn sum_where(&self, mut pred: impl FnMut(&FocalSet) -> bool) -> W {
@@ -254,7 +261,9 @@ impl<W: Weight> MassBuilder<W> {
             sum = sum.add(w).expect("mass sum overflow");
         }
         if sum > W::one() && !sum.approx_eq(&W::one()) {
-            return Err(EvidenceError::NotNormalized { sum: sum.to_string() });
+            return Err(EvidenceError::NotNormalized {
+                sum: sum.to_string(),
+            });
         }
         let rest = W::one().sub(&sum).expect("sum <= 1");
         if rest.is_zero() {
@@ -289,7 +298,9 @@ impl<W: Weight> MassBuilder<W> {
         let mut sum = W::zero();
         for (set, w) in self.entries {
             if !w.is_valid_mass() {
-                return Err(EvidenceError::InvalidMass { mass: w.to_string() });
+                return Err(EvidenceError::InvalidMass {
+                    mass: w.to_string(),
+                });
             }
             if w.is_zero() {
                 // Zero-mass entries are simply not focal; drop them.
@@ -302,7 +313,9 @@ impl<W: Weight> MassBuilder<W> {
             focal.push((set, w));
         }
         if focal.is_empty() {
-            return Err(EvidenceError::NotNormalized { sum: sum.to_string() });
+            return Err(EvidenceError::NotNormalized {
+                sum: sum.to_string(),
+            });
         }
         if !sum.approx_eq(&W::one()) {
             if (sum.to_f64() - 1.0).abs() < Self::NORMALIZE_SLACK {
@@ -310,14 +323,19 @@ impl<W: Weight> MassBuilder<W> {
                     *w = w.div(&sum)?;
                 }
             } else {
-                return Err(EvidenceError::NotNormalized { sum: sum.to_string() });
+                return Err(EvidenceError::NotNormalized {
+                    sum: sum.to_string(),
+                });
             }
         }
         focal.sort_by(|(a, _), (b, _)| a.cmp(b));
         if focal.windows(2).any(|w| w[0].0 == w[1].0) {
             return Err(EvidenceError::DuplicateFocalElement);
         }
-        Ok(MassFunction { frame: self.frame, focal })
+        Ok(MassFunction {
+            frame: self.frame,
+            focal,
+        })
     }
 }
 
@@ -329,7 +347,14 @@ mod tests {
     fn speciality() -> Arc<Frame> {
         Arc::new(Frame::new(
             "speciality",
-            ["american", "hunan", "sichuan", "cantonese", "mughalai", "italian"],
+            [
+                "american",
+                "hunan",
+                "sichuan",
+                "cantonese",
+                "mughalai",
+                "italian",
+            ],
         ))
     }
 
@@ -493,10 +518,7 @@ mod tests {
     #[test]
     fn render_matches_paper_notation() {
         let m = es1();
-        assert_eq!(
-            m.render(),
-            "[cantonese^1/2, {hunan, sichuan}^1/3, Ω^1/6]"
-        );
+        assert_eq!(m.render(), "[cantonese^1/2, {hunan, sichuan}^1/3, Ω^1/6]");
     }
 
     #[test]

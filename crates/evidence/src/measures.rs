@@ -74,10 +74,7 @@ mod tests {
         let vac = MassFunction::<f64>::vacuous(frame()).unwrap();
         assert!((nonspecificity(&vac) - 2.0).abs() < 1e-12);
         // Bayesian functions have zero nonspecificity.
-        assert_eq!(
-            nonspecificity(&m(&[(&["a"], 0.5), (&["b"], 0.5)])),
-            0.0
-        );
+        assert_eq!(nonspecificity(&m(&[(&["a"], 0.5), (&["b"], 0.5)])), 0.0);
     }
 
     #[test]

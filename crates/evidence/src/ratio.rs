@@ -54,7 +54,10 @@ impl Ratio {
         if g == 0 {
             return Ok(Ratio::ZERO);
         }
-        Ok(Ratio { num: sign * num / g, den: (den / g).abs() })
+        Ok(Ratio {
+            num: sign * num / g,
+            den: (den / g).abs(),
+        })
     }
 
     /// Construct from an integer.
@@ -104,7 +107,10 @@ impl Ratio {
 
     /// Checked subtraction.
     pub fn checked_sub(&self, other: &Ratio) -> Result<Ratio, EvidenceError> {
-        self.checked_add(&Ratio { num: -other.num, den: other.den })
+        self.checked_add(&Ratio {
+            num: -other.num,
+            den: other.den,
+        })
     }
 
     /// Checked multiplication (cross-reduces before multiplying to
@@ -126,7 +132,10 @@ impl Ratio {
         if other.num == 0 {
             return Err(EvidenceError::RatioDivisionByZero);
         }
-        self.checked_mul(&Ratio { num: other.den, den: other.num })
+        self.checked_mul(&Ratio {
+            num: other.den,
+            den: other.num,
+        })
     }
 
     /// Lossy conversion to `f64`.

@@ -219,7 +219,10 @@ mod tests {
         let b = m(&[(&["a", "b"], 1.0)]);
         let expected = CombinationRule::Dempster.combine(&a, &b).unwrap();
         for rule in [CombinationRule::Yager, CombinationRule::DuboisPrade] {
-            assert!(rule.combine(&a, &b).unwrap().approx_eq(&expected), "{rule:?}");
+            assert!(
+                rule.combine(&a, &b).unwrap().approx_eq(&expected),
+                "{rule:?}"
+            );
         }
         // Mixing differs by design (no interaction).
     }

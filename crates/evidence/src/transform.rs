@@ -33,9 +33,7 @@ pub fn pignistic<W: Weight>(m: &MassFunction<W>) -> Result<Vec<W>, EvidenceError
 
 /// The (normalized) plausibility transform
 /// `PlP(x) = Pls({x}) / Σ_y Pls({y})`.
-pub fn plausibility_transform<W: Weight>(
-    m: &MassFunction<W>,
-) -> Result<Vec<W>, EvidenceError> {
+pub fn plausibility_transform<W: Weight>(m: &MassFunction<W>) -> Result<Vec<W>, EvidenceError> {
     let n = m.frame().len();
     let mut pls: Vec<W> = Vec::with_capacity(n);
     let mut total = W::zero();
@@ -45,7 +43,9 @@ pub fn plausibility_transform<W: Weight>(
         pls.push(p);
     }
     if total.is_zero() {
-        return Err(EvidenceError::NotNormalized { sum: total.to_string() });
+        return Err(EvidenceError::NotNormalized {
+            sum: total.to_string(),
+        });
     }
     pls.iter().map(|p| p.div(&total)).collect()
 }
@@ -83,7 +83,10 @@ pub fn mobius_inversion<W: Weight>(
 ) -> Result<MassFunction<W>, EvidenceError> {
     let n = frame.len();
     if n > MOBIUS_MAX_FRAME {
-        return Err(EvidenceError::IndexOutOfBounds { index: n, frame_size: MOBIUS_MAX_FRAME });
+        return Err(EvidenceError::IndexOutOfBounds {
+            index: n,
+            frame_size: MOBIUS_MAX_FRAME,
+        });
     }
     let mut entries: Vec<(FocalSet, W)> = Vec::new();
     // Enumerate subsets as bit patterns of an n-bit integer.
@@ -94,9 +97,7 @@ pub fn mobius_inversion<W: Weight>(
         let mut b_bits = a_bits;
         loop {
             let diff = (a_bits ^ b_bits).count_ones();
-            let b_set = FocalSet::from_indices(
-                (0..n).filter(|i| b_bits & (1 << i) != 0),
-            );
+            let b_set = FocalSet::from_indices((0..n).filter(|i| b_bits & (1 << i) != 0));
             let term = bel(&b_set);
             if diff % 2 == 0 {
                 m_a = m_a.add(&term)?;
@@ -113,7 +114,9 @@ pub fn mobius_inversion<W: Weight>(
             // mass assignment (within tolerance).
             let deficit = negative.sub(&m_a)?;
             if !deficit.is_zero() {
-                return Err(EvidenceError::NotNormalized { sum: deficit.to_string() });
+                return Err(EvidenceError::NotNormalized {
+                    sum: deficit.to_string(),
+                });
             }
             continue;
         }
@@ -201,8 +204,7 @@ mod tests {
     #[test]
     fn mobius_roundtrip() {
         let m = es1();
-        let recovered =
-            mobius_inversion(frame(), |s| m.bel(s)).unwrap();
+        let recovered = mobius_inversion(frame(), |s| m.bel(s)).unwrap();
         assert_eq!(recovered, m);
     }
 

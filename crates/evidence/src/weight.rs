@@ -165,10 +165,7 @@ mod tests {
         assert!(half.mul(&third).unwrap().approx_eq(&(1.0 / 6.0)));
         assert!(half.sub(&half).unwrap().is_zero());
         assert!(half.div(&third).unwrap().approx_eq(&1.5));
-        assert_eq!(
-            half.div(&0.0),
-            Err(EvidenceError::RatioDivisionByZero)
-        );
+        assert_eq!(half.div(&0.0), Err(EvidenceError::RatioDivisionByZero));
     }
 
     #[test]

@@ -17,34 +17,35 @@ fn frame() -> Arc<Frame> {
 
 /// Strategy: a non-empty subset of the frame as a bitmask.
 fn subset_strategy() -> impl Strategy<Value = FocalSet> {
-    (1u32..(1 << FRAME_SIZE)).prop_map(|bits| {
-        FocalSet::from_indices((0..FRAME_SIZE).filter(|i| bits & (1 << i) != 0))
-    })
+    (1u32..(1 << FRAME_SIZE))
+        .prop_map(|bits| FocalSet::from_indices((0..FRAME_SIZE).filter(|i| bits & (1 << i) != 0)))
 }
 
 /// Strategy: a valid f64 mass function with 1..=5 focal elements.
 fn mass_strategy() -> impl Strategy<Value = MassFunction<f64>> {
-    proptest::collection::vec((1u32..(1 << FRAME_SIZE), 1u32..1000u32), 1..=5).prop_map(
-        |raw| {
-            // Deduplicate subsets, accumulate weights, then normalize.
-            use std::collections::HashMap;
-            let mut acc: HashMap<u32, u64> = HashMap::new();
-            for (bits, w) in raw {
-                *acc.entry(bits).or_insert(0) += w as u64;
-            }
-            let total: u64 = acc.values().sum();
-            let entries = acc.into_iter().map(|(bits, w)| {
-                (
-                    FocalSet::from_indices((0..FRAME_SIZE).filter(|i| bits & (1 << i) != 0)),
-                    w as f64 / total as f64,
-                )
-            });
-            MassFunction::from_entries(frame(), entries).expect("normalized by construction")
-        },
-    )
+    proptest::collection::vec((1u32..(1 << FRAME_SIZE), 1u32..1000u32), 1..=5).prop_map(|raw| {
+        // Deduplicate subsets, accumulate weights, then normalize.
+        use std::collections::HashMap;
+        let mut acc: HashMap<u32, u64> = HashMap::new();
+        for (bits, w) in raw {
+            *acc.entry(bits).or_insert(0) += w as u64;
+        }
+        let total: u64 = acc.values().sum();
+        let entries = acc.into_iter().map(|(bits, w)| {
+            (
+                FocalSet::from_indices((0..FRAME_SIZE).filter(|i| bits & (1 << i) != 0)),
+                w as f64 / total as f64,
+            )
+        });
+        MassFunction::from_entries(frame(), entries).expect("normalized by construction")
+    })
 }
 
 proptest! {
+    // Bounded so the whole suite stays well under a second; the
+    // strategies above cover the 8-element frame densely even at 128.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     #[test]
     fn bel_le_pls(m in mass_strategy(), s in subset_strategy()) {
         prop_assert!(m.bel(&s) <= m.pls(&s) + 1e-12);
@@ -165,6 +166,8 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     // Focal-set algebra laws.
     #[test]
     fn de_morgan(s in subset_strategy(), t in subset_strategy()) {

@@ -42,7 +42,11 @@ pub struct DomainMapping {
 impl DomainMapping {
     /// A mapping into `target` with identity fallback enabled.
     pub fn new(target: Arc<AttrDomain>) -> DomainMapping {
-        DomainMapping { target, entries: HashMap::new(), passthrough: true }
+        DomainMapping {
+            target,
+            entries: HashMap::new(),
+            passthrough: true,
+        }
     }
 
     /// Disable the identity fallback: every encountered source value
@@ -54,7 +58,8 @@ impl DomainMapping {
 
     /// Map `source` to a definite global value.
     pub fn to_definite(mut self, source: impl Into<Value>, global: impl Into<Value>) -> Self {
-        self.entries.insert(source.into(), MappedValue::Definite(global.into()));
+        self.entries
+            .insert(source.into(), MappedValue::Definite(global.into()));
         self
     }
 
@@ -64,7 +69,8 @@ impl DomainMapping {
         source: impl Into<Value>,
         entries: Vec<(Vec<Value>, f64)>,
     ) -> Self {
-        self.entries.insert(source.into(), MappedValue::Uncertain(entries));
+        self.entries
+            .insert(source.into(), MappedValue::Uncertain(entries));
         self
     }
 
@@ -93,7 +99,10 @@ impl DomainMapping {
                 for (set, w) in m.iter() {
                     let mut member_indices = Vec::with_capacity(set.len());
                     for i in set.iter() {
-                        let label = m.frame().label(i).map_err(evirel_relation::RelationError::from)?;
+                        let label = m
+                            .frame()
+                            .label(i)
+                            .map_err(evirel_relation::RelationError::from)?;
                         let source_value = source_value_guess(label);
                         let image = self.image_of(attr, &source_value)?;
                         match image {
@@ -113,14 +122,13 @@ impl DomainMapping {
                         }
                     }
                     builder = builder
-                        .add_set(
-                            evirel_evidence::FocalSet::from_indices(member_indices),
-                            *w,
-                        )
+                        .add_set(evirel_evidence::FocalSet::from_indices(member_indices), *w)
                         .map_err(evirel_relation::RelationError::from)?;
                 }
                 Ok(AttrValue::Evidential(
-                    builder.build().map_err(evirel_relation::RelationError::from)?,
+                    builder
+                        .build()
+                        .map_err(evirel_relation::RelationError::from)?,
                 ))
             }
         }
@@ -142,7 +150,9 @@ impl DomainMapping {
                         .map_err(evirel_relation::RelationError::from)?;
                 }
                 Ok(AttrValue::Evidential(
-                    builder.build().map_err(evirel_relation::RelationError::from)?,
+                    builder
+                        .build()
+                        .map_err(evirel_relation::RelationError::from)?,
                 ))
             }
         }
@@ -186,7 +196,9 @@ mod tests {
             .to_definite("A", "ex")
             .to_definite("B", "gd")
             .to_definite("C", "avg");
-        let out = m.map_value("rating", &AttrValue::Definite(Value::str("B"))).unwrap();
+        let out = m
+            .map_value("rating", &AttrValue::Definite(Value::str("B")))
+            .unwrap();
         assert_eq!(out, AttrValue::Definite(Value::str("gd")));
     }
 
@@ -201,7 +213,9 @@ mod tests {
                 (vec![Value::str("gd"), Value::str("ex")], 0.4),
             ],
         );
-        let out = m.map_value("rating", &AttrValue::Definite(Value::str("B+"))).unwrap();
+        let out = m
+            .map_value("rating", &AttrValue::Definite(Value::str("B+")))
+            .unwrap();
         let ev = out.as_evidential().unwrap();
         assert_eq!(ev.focal_count(), 2);
         let gd = target().subset_of_values([&Value::str("gd")]).unwrap();
@@ -211,7 +225,9 @@ mod tests {
     #[test]
     fn passthrough_identity() {
         let m = DomainMapping::new(target());
-        let out = m.map_value("rating", &AttrValue::Definite(Value::str("ex"))).unwrap();
+        let out = m
+            .map_value("rating", &AttrValue::Definite(Value::str("ex")))
+            .unwrap();
         assert_eq!(out, AttrValue::Definite(Value::str("ex")));
     }
 
@@ -237,8 +253,7 @@ mod tests {
     fn evidential_input_translates_focal_elements() {
         // Source evidence over {A, B, C} translated into the global
         // rating domain.
-        let source_domain =
-            Arc::new(AttrDomain::categorical("grade", ["A", "B", "C"]).unwrap());
+        let source_domain = Arc::new(AttrDomain::categorical("grade", ["A", "B", "C"]).unwrap());
         let ev = MassFunction::<f64>::builder(Arc::clone(source_domain.frame()))
             .add(["A"], 0.5)
             .unwrap()

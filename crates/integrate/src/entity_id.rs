@@ -65,11 +65,12 @@ impl EntityMatcher for KeyMatcher {
                 left_only.push(key);
             }
         }
-        let right_only = right
-            .keys()
-            .filter(|k| !left.contains_key(k))
-            .collect();
-        Ok(MatchOutcome { matched, left_only, right_only })
+        let right_only = right.keys().filter(|k| !left.contains_key(k)).collect();
+        Ok(MatchOutcome {
+            matched,
+            left_only,
+            right_only,
+        })
     }
 }
 
@@ -138,7 +139,11 @@ impl EntityMatcher for NormalizedKeyMatcher {
             .keys()
             .filter(|k| !matched_right.contains(k))
             .collect();
-        Ok(MatchOutcome { matched, left_only, right_only })
+        Ok(MatchOutcome {
+            matched,
+            left_only,
+            right_only,
+        })
     }
 }
 

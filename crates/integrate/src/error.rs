@@ -52,10 +52,16 @@ impl fmt::Display for IntegrateError {
                 write!(f, "no schema mapping for source attribute {attr:?}")
             }
             Self::UnmappedValue { attr, value } => {
-                write!(f, "no domain mapping for value {value} of attribute {attr:?}")
+                write!(
+                    f,
+                    "no domain mapping for value {value} of attribute {attr:?}"
+                )
             }
             Self::MethodMismatch { attr, reason } => {
-                write!(f, "integration method cannot handle attribute {attr:?}: {reason}")
+                write!(
+                    f,
+                    "integration method cannot handle attribute {attr:?}: {reason}"
+                )
             }
             Self::BadMatch { reason } => write!(f, "invalid tuple matching: {reason}"),
         }
@@ -107,7 +113,10 @@ mod tests {
 
     #[test]
     fn messages() {
-        let e = IntegrateError::UnmappedValue { attr: "rating".into(), value: "★★★".into() };
+        let e = IntegrateError::UnmappedValue {
+            attr: "rating".into(),
+            value: "★★★".into(),
+        };
         assert!(e.to_string().contains("rating"));
         assert!(e.to_string().contains("★★★"));
     }

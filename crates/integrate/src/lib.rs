@@ -50,7 +50,7 @@ pub use entity_id::{EntityMatcher, KeyMatcher, MatchOutcome, NormalizedKeyMatche
 pub use error::IntegrateError;
 pub use merge::{merge_relations, MergeOutcome};
 pub use methods::{IntegrationMethod, MethodRegistry};
-pub use pipeline::{Integrator, IntegrationOutcome, StageTrace};
+pub use pipeline::{IntegrationOutcome, Integrator, StageTrace};
 pub use preprocess::Preprocessor;
 pub use schema_map::SchemaMapping;
 

@@ -12,9 +12,7 @@ use crate::error::IntegrateError;
 use crate::methods::{IntegrationMethod, MethodRegistry};
 use evirel_algebra::{AttributeConflict, ConflictPolicy, ConflictReport};
 use evirel_evidence::{combine, rules::CombinationRule, EvidenceError, MassFunction};
-use evirel_relation::{
-    AttrType, AttrValue, ExtendedRelation, SupportPair, Tuple, Value,
-};
+use evirel_relation::{AttrType, AttrValue, ExtendedRelation, SupportPair, Tuple, Value};
 use std::sync::Arc;
 
 /// The result of tuple merging.
@@ -46,42 +44,50 @@ pub fn merge_relations(
         .map_err(IntegrateError::Relation)?;
     registry.validate(schema)?;
 
-    let out_schema = Arc::new(schema.renamed(format!(
-        "{}⊎{}",
-        schema.name(),
-        right.schema().name()
-    )));
+    let out_schema =
+        Arc::new(schema.renamed(format!("{}⊎{}", schema.name(), right.schema().name())));
     let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
     let mut report = ConflictReport::new();
 
     for (lk, rk) in &matching.matched {
-        let l = left.get_by_key(lk).ok_or_else(|| IntegrateError::BadMatch {
-            reason: format!("left key {} not found", Value::render_key(lk)),
-        })?;
-        let r = right.get_by_key(rk).ok_or_else(|| IntegrateError::BadMatch {
-            reason: format!("right key {} not found", Value::render_key(rk)),
-        })?;
+        let l = left
+            .get_by_key(lk)
+            .ok_or_else(|| IntegrateError::BadMatch {
+                reason: format!("left key {} not found", Value::render_key(lk)),
+            })?;
+        let r = right
+            .get_by_key(rk)
+            .ok_or_else(|| IntegrateError::BadMatch {
+                reason: format!("right key {} not found", Value::render_key(rk)),
+            })?;
         if let Some(tuple) = merge_pair(schema, lk, l, r, registry, &mut report)? {
             out.insert(tuple)?;
         }
     }
     for key in &matching.left_only {
-        let t = left.get_by_key(key).ok_or_else(|| IntegrateError::BadMatch {
-            reason: format!("left key {} not found", Value::render_key(key)),
-        })?;
+        let t = left
+            .get_by_key(key)
+            .ok_or_else(|| IntegrateError::BadMatch {
+                reason: format!("left key {} not found", Value::render_key(key)),
+            })?;
         if t.membership().is_positive() {
             out.insert(t.clone())?;
         }
     }
     for key in &matching.right_only {
-        let t = right.get_by_key(key).ok_or_else(|| IntegrateError::BadMatch {
-            reason: format!("right key {} not found", Value::render_key(key)),
-        })?;
+        let t = right
+            .get_by_key(key)
+            .ok_or_else(|| IntegrateError::BadMatch {
+                reason: format!("right key {} not found", Value::render_key(key)),
+            })?;
         if t.membership().is_positive() {
             out.insert(t.clone())?;
         }
     }
-    Ok(MergeOutcome { relation: out, report })
+    Ok(MergeOutcome {
+        relation: out,
+        report,
+    })
 }
 
 fn merge_pair(
@@ -114,17 +120,23 @@ fn merge_pair(
                         })
                     }
                 };
-                let resolved = f.resolve_values(a, b).ok_or_else(|| {
-                    IntegrateError::MethodMismatch {
-                        attr: attr.name().to_owned(),
-                        reason: format!("aggregate {f} cannot resolve {a} and {b}"),
-                    }
-                })?;
+                let resolved =
+                    f.resolve_values(a, b)
+                        .ok_or_else(|| IntegrateError::MethodMismatch {
+                            attr: attr.name().to_owned(),
+                            reason: format!("aggregate {f} cannot resolve {a} and {b}"),
+                        })?;
                 AttrValue::Definite(resolved)
             }
-            IntegrationMethod::Evidential => {
-                evidential_merge(attr, key, lv, rv, CombinationRule::Dempster, registry, report)?
-            }
+            IntegrationMethod::Evidential => evidential_merge(
+                attr,
+                key,
+                lv,
+                rv,
+                CombinationRule::Dempster,
+                registry,
+                report,
+            )?,
             IntegrationMethod::EvidentialWith(rule) => {
                 evidential_merge(attr, key, lv, rv, rule, registry, report)?
             }

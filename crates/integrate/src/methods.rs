@@ -218,7 +218,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(IntegrationMethod::Evidential.to_string(), "evidential(dempster)");
+        assert_eq!(
+            IntegrationMethod::Evidential.to_string(),
+            "evidential(dempster)"
+        );
         assert_eq!(
             IntegrationMethod::EvidentialWith(CombinationRule::Yager).to_string(),
             "evidential(yager)"

@@ -144,7 +144,9 @@ impl Integrator {
             reason: "run_many requires at least one source".to_owned(),
         })?;
         // Single source: preprocess and pass through.
-        let mut acc = self.left_pre.apply(first, Arc::clone(&self.global_schema))?;
+        let mut acc = self
+            .left_pre
+            .apply(first, Arc::clone(&self.global_schema))?;
         let mut outcome: Option<IntegrationOutcome> = None;
         for source in rest {
             // The accumulator is already in global terms; only the new
@@ -254,7 +256,12 @@ impl Integrator {
             conflicts: report.len(),
             max_kappa: report.max_kappa(),
         };
-        Ok(IntegrationOutcome { relation, report, matching, trace })
+        Ok(IntegrationOutcome {
+            relation,
+            report,
+            matching,
+            trace,
+        })
     }
 }
 
@@ -315,7 +322,9 @@ mod tests {
             .with_right_preprocessor(
                 Preprocessor::new()
                     .with_schema_mapping(
-                        SchemaMapping::identity().map("name", "rname").map("grade", "rating"),
+                        SchemaMapping::identity()
+                            .map("name", "rname")
+                            .map("grade", "rating"),
                     )
                     .with_domain_mapping(
                         "rating",
@@ -366,8 +375,11 @@ mod tests {
         let mk = |label: &str, mass: f64| {
             RelationBuilder::new(Arc::clone(&global))
                 .tuple(|t| {
-                    t.set_str("k", "a")
-                        .set_evidence_with_omega("d", [(&[label][..], mass)], 1.0 - mass)
+                    t.set_str("k", "a").set_evidence_with_omega(
+                        "d",
+                        [(&[label][..], mass)],
+                        1.0 - mass,
+                    )
                 })
                 .unwrap()
                 .build()

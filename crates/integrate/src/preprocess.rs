@@ -71,16 +71,16 @@ impl Preprocessor {
             let mut values = Vec::with_capacity(target.arity());
             for target_attr in target.attrs() {
                 let src_pos = renamed.schema().position(target_attr.name()).map_err(|_| {
-                    IntegrateError::UnmappedAttribute { attr: target_attr.name().to_owned() }
+                    IntegrateError::UnmappedAttribute {
+                        attr: target_attr.name().to_owned(),
+                    }
                 })?;
                 let raw = tuple.value(src_pos);
                 let mut mapped = match self.domain_mappings.get(target_attr.name()) {
                     Some(dm) => dm.map_value(target_attr.name(), raw)?,
                     None => raw.clone(),
                 };
-                if let (Some(alpha), Some(domain)) =
-                    (self.reliability, target_attr.ty().domain())
-                {
+                if let (Some(alpha), Some(domain)) = (self.reliability, target_attr.ty().domain()) {
                     // Discount evidential values by source reliability.
                     let ev = mapped.to_evidence(domain)?;
                     mapped = AttrValue::Evidential(
@@ -228,7 +228,9 @@ mod tests {
             .tuple(|t| t.set_str("k", "a").set_evidence("d", [(&["x"][..], 1.0)]))
             .unwrap()
             .build();
-        let out = Preprocessor::new().apply(&rel, Arc::clone(&schema)).unwrap();
+        let out = Preprocessor::new()
+            .apply(&rel, Arc::clone(&schema))
+            .unwrap();
         assert!(out.approx_eq(&rel));
     }
 }

@@ -79,7 +79,10 @@ mod tests {
                 .unwrap(),
         );
         RelationBuilder::new(schema)
-            .tuple(|t| t.set_str("name", "a").set_evidence("cuisine", [(&["x"][..], 1.0)]))
+            .tuple(|t| {
+                t.set_str("name", "a")
+                    .set_evidence("cuisine", [(&["x"][..], 1.0)])
+            })
             .unwrap()
             .build()
     }

@@ -62,7 +62,11 @@ mod tests {
     fn rel() -> ExtendedRelation {
         let d = Arc::new(AttrDomain::categorical("d", ["x"]).unwrap());
         let schema = Arc::new(
-            Schema::builder("r").key_str("k").evidential("d", d).build().unwrap(),
+            Schema::builder("r")
+                .key_str("k")
+                .evidential("d", d)
+                .build()
+                .unwrap(),
         );
         RelationBuilder::new(schema)
             .tuple(|t| t.set_str("k", "a").set_evidence("d", [(&["x"][..], 1.0)]))

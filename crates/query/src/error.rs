@@ -36,7 +36,10 @@ pub enum QueryError {
 impl QueryError {
     /// Convenience constructor for parse errors.
     pub fn parse(offset: usize, message: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset, message: message.into() }
+        QueryError::Parse {
+            offset,
+            message: message.into(),
+        }
     }
 }
 

@@ -56,9 +56,7 @@ fn run_plan(catalog: &Catalog, plan: &Plan) -> Result<ExtendedRelation, QueryErr
 
 /// A θ-operand that compares a key attribute with itself — support
 /// (1,1) for every tuple. Used to apply a bare `WITH` threshold.
-fn trivially_true_operand(
-    rel: &ExtendedRelation,
-) -> Result<evirel_algebra::Operand, QueryError> {
+fn trivially_true_operand(rel: &ExtendedRelation) -> Result<evirel_algebra::Operand, QueryError> {
     let key_pos = rel.schema().key_positions()[0];
     Ok(evirel_algebra::Operand::Attr(
         rel.schema().attr(key_pos).name().to_owned(),

@@ -42,7 +42,11 @@ pub fn render_ranked(rel: &ExtendedRelation) -> String {
             if schema.attr(pos).is_key() {
                 continue;
             }
-            out.push_str(&format!(" | {}={}", schema.attr(pos).name(), format_attr_value(v)));
+            out.push_str(&format!(
+                " | {}={}",
+                schema.attr(pos).name(),
+                format_attr_value(v)
+            ));
         }
         out.push('\n');
     }
@@ -58,7 +62,11 @@ mod tests {
     fn rel() -> ExtendedRelation {
         let d = Arc::new(AttrDomain::categorical("d", ["x", "y"]).unwrap());
         let schema = Arc::new(
-            Schema::builder("r").key_str("k").evidential("d", d).build().unwrap(),
+            Schema::builder("r")
+                .key_str("k")
+                .evidential("d", d)
+                .build()
+                .unwrap(),
         );
         RelationBuilder::new(schema)
             .tuple(|t| {

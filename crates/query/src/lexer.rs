@@ -211,20 +211,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
                             i += 1;
                             break;
                         }
-                        Some(&b'\\') => {
-                            match bytes.get(i + 1) {
-                                Some(&e) => {
-                                    s.push(e as char);
-                                    i += 2;
-                                }
-                                None => {
-                                    return Err(QueryError::Lex {
-                                        offset: i,
-                                        message: "dangling escape".into(),
-                                    })
-                                }
+                        Some(&b'\\') => match bytes.get(i + 1) {
+                            Some(&e) => {
+                                s.push(e as char);
+                                i += 2;
                             }
-                        }
+                            None => {
+                                return Err(QueryError::Lex {
+                                    offset: i,
+                                    message: "dangling escape".into(),
+                                })
+                            }
+                        },
                         Some(&b) => {
                             s.push(b as char);
                             i += 1;
@@ -295,9 +293,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
                 })
             }
         };
-        out.push(Spanned { token, offset: start });
+        out.push(Spanned {
+            token,
+            offset: start,
+        });
     }
-    out.push(Spanned { token: Token::Eof, offset: input.len() });
+    out.push(Spanned {
+        token: Token::Eof,
+        offset: input.len(),
+    });
     Ok(out)
 }
 
@@ -325,14 +329,24 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
     fn keywords_case_insensitive() {
         assert_eq!(
             toks("select From WHERE with"),
-            vec![Token::Select, Token::From, Token::Where, Token::With, Token::Eof]
+            vec![
+                Token::Select,
+                Token::From,
+                Token::Where,
+                Token::With,
+                Token::Eof
+            ]
         );
     }
 
@@ -353,7 +367,12 @@ mod tests {
     fn numbers() {
         assert_eq!(
             toks("42 -7 0.5"),
-            vec![Token::Int(42), Token::Int(-7), Token::Float(0.5), Token::Eof]
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(0.5),
+                Token::Eof
+            ]
         );
     }
 
@@ -361,7 +380,11 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             toks(r#"'si' "a\"b""#),
-            vec![Token::Str("si".into()), Token::Str("a\"b".into()), Token::Eof]
+            vec![
+                Token::Str("si".into()),
+                Token::Str("a\"b".into()),
+                Token::Eof
+            ]
         );
         assert!(tokenize("'unterminated").is_err());
     }

@@ -19,9 +19,7 @@
 //! threshold := SN '>' number | SN '>=' number | SN '=' 1 | SP '>=' number
 //! ```
 
-use crate::ast::{
-    CmpOp, Condition, ExprOperand, Literal, SelectStmt, Source, ThresholdClause,
-};
+use crate::ast::{CmpOp, Condition, ExprOperand, Literal, SelectStmt, Source, ThresholdClause};
 use crate::error::QueryError;
 use crate::lexer::{tokenize, Spanned, Token};
 
@@ -132,7 +130,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { projection, source, predicate, threshold })
+        Ok(SelectStmt {
+            projection,
+            source,
+            predicate,
+            threshold,
+        })
     }
 
     fn source(&mut self) -> Result<Source, QueryError> {
@@ -152,7 +155,11 @@ impl Parser {
             let right = self.primary_source()?;
             self.expect(Token::On)?;
             let on = self.condition()?;
-            return Ok(Source::Join { left: Box::new(left), right: Box::new(right), on });
+            return Ok(Source::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+            });
         }
         Ok(left)
     }
@@ -423,7 +430,10 @@ mod tests {
     fn parses_evidence_literal() {
         let stmt = parse("SELECT * FROM r WHERE n <= [{1, 4}^0.6, {2, 6}^0.4]").unwrap();
         match stmt.predicate.unwrap() {
-            Condition::Cmp { right: ExprOperand::Evidence(entries), .. } => {
+            Condition::Cmp {
+                right: ExprOperand::Evidence(entries),
+                ..
+            } => {
                 assert_eq!(entries.len(), 2);
                 assert_eq!(entries[0].0.len(), 2);
                 assert!((entries[0].1 - 0.6).abs() < 1e-12);
@@ -452,8 +462,7 @@ mod tests {
     #[test]
     fn parenthesized_sources_and_conditions() {
         let stmt =
-            parse("SELECT * FROM (ra UNION rb) WHERE (a IS {x} OR b IS {y}) AND c IS {z}")
-                .unwrap();
+            parse("SELECT * FROM (ra UNION rb) WHERE (a IS {x} OR b IS {y}) AND c IS {z}").unwrap();
         assert!(matches!(stmt.source, Source::Union(_, _)));
         assert!(matches!(stmt.predicate, Some(Condition::And(_, _))));
     }
@@ -461,7 +470,10 @@ mod tests {
     #[test]
     fn error_positions() {
         let err = parse("SELECT FROM r").unwrap_err();
-        assert!(matches!(err, QueryError::Parse { offset: 7, .. }), "{err:?}");
+        assert!(
+            matches!(err, QueryError::Parse { offset: 7, .. }),
+            "{err:?}"
+        );
         assert!(parse("SELECT * r").is_err());
         assert!(parse("SELECT * FROM r WHERE").is_err());
         assert!(parse("SELECT * FROM r extra").is_err());

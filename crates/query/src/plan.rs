@@ -196,10 +196,9 @@ mod tests {
 
     #[test]
     fn lowers_paper_query() {
-        let plan = lower(
-            &parse("SELECT rname FROM ra WHERE speciality IS {si} WITH SN > 0").unwrap(),
-        )
-        .unwrap();
+        let plan =
+            lower(&parse("SELECT rname FROM ra WHERE speciality IS {si} WITH SN > 0").unwrap())
+                .unwrap();
         assert_eq!(plan.source, SourcePlan::Scan("ra".into()));
         assert_eq!(plan.threshold, Threshold::SnGreater(0.0));
         assert_eq!(plan.projection, Some(vec!["rname".to_owned()]));
@@ -224,17 +223,15 @@ mod tests {
     fn lowers_union_and_join() {
         let plan = lower(&parse("SELECT * FROM ra UNION rb").unwrap()).unwrap();
         assert!(matches!(plan.source, SourcePlan::Union(_, _)));
-        let plan =
-            lower(&parse("SELECT * FROM r JOIN rm ON R.k = RM.k").unwrap()).unwrap();
+        let plan = lower(&parse("SELECT * FROM r JOIN rm ON R.k = RM.k").unwrap()).unwrap();
         assert!(matches!(plan.source, SourcePlan::Join { .. }));
     }
 
     #[test]
     fn explain_renders_plan_tree() {
-        let text = explain(
-            "SELECT rname, rating FROM ra UNION rb WHERE rating IS {ex} WITH SN >= 0.5",
-        )
-        .unwrap();
+        let text =
+            explain("SELECT rname, rating FROM ra UNION rb WHERE rating IS {ex} WITH SN >= 0.5")
+                .unwrap();
         assert!(text.contains("π̃[rname, rating]"), "{text}");
         assert!(text.contains("σ̃[rating is {ex}] with sn >= 0.5"), "{text}");
         assert!(text.contains("∪̃"), "{text}");

@@ -109,11 +109,14 @@ impl TupleBuilder {
         let built: Result<(usize, MassFunction<f64>), RelationError> = (|| {
             let pos = self.schema.position(name)?;
             let attr = self.schema.attr(pos);
-            let domain = attr.ty().domain().ok_or_else(|| RelationError::TypeMismatch {
-                attr: name.to_owned(),
-                expected: "evidential attribute".to_owned(),
-                got: "definite attribute".to_owned(),
-            })?;
+            let domain = attr
+                .ty()
+                .domain()
+                .ok_or_else(|| RelationError::TypeMismatch {
+                    attr: name.to_owned(),
+                    expected: "evidential attribute".to_owned(),
+                    got: "definite attribute".to_owned(),
+                })?;
             let mut b = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
             for (labels, w) in entries {
                 b = b.add(labels.iter().copied(), w)?;
@@ -123,7 +126,9 @@ impl TupleBuilder {
             }
             Ok((pos, b.build()?))
         })();
-        self.record(built, |b, (pos, m)| b.values[pos] = Some(AttrValue::Evidential(m)))
+        self.record(built, |b, (pos, m)| {
+            b.values[pos] = Some(AttrValue::Evidential(m))
+        })
     }
 
     /// Set the membership support pair.
@@ -172,7 +177,9 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start a relation over `schema`.
     pub fn new(schema: Arc<Schema>) -> RelationBuilder {
-        RelationBuilder { relation: ExtendedRelation::new(schema) }
+        RelationBuilder {
+            relation: ExtendedRelation::new(schema),
+        }
     }
 
     /// Add one tuple via a [`TupleBuilder`] closure.
@@ -224,7 +231,11 @@ mod tests {
             .tuple(|t| {
                 t.set_str("name", "garden")
                     .set_int("bldg", 2011)
-                    .set_evidence_with_omega("spec", [(&["si"][..], 0.5), (&["hu"][..], 0.25)], 0.25)
+                    .set_evidence_with_omega(
+                        "spec",
+                        [(&["si"][..], 0.5), (&["hu"][..], 0.25)],
+                        0.25,
+                    )
                     .membership_pair(0.5, 0.75)
             })
             .unwrap()
@@ -236,8 +247,8 @@ mod tests {
 
     #[test]
     fn missing_attribute_reported() {
-        let err = RelationBuilder::new(schema())
-            .tuple(|t| t.set_str("name", "wok").set_int("bldg", 600));
+        let err =
+            RelationBuilder::new(schema()).tuple(|t| t.set_str("name", "wok").set_int("bldg", 600));
         assert!(matches!(
             err,
             Err(RelationError::MissingAttribute { name }) if name == "spec"
@@ -252,8 +263,8 @@ mod tests {
 
     #[test]
     fn evidence_on_definite_attr_reported() {
-        let err = RelationBuilder::new(schema())
-            .tuple(|t| t.set_evidence("bldg", [(&["si"][..], 1.0)]));
+        let err =
+            RelationBuilder::new(schema()).tuple(|t| t.set_evidence("bldg", [(&["si"][..], 1.0)]));
         assert!(matches!(err, Err(RelationError::TypeMismatch { .. })));
     }
 
@@ -261,8 +272,8 @@ mod tests {
     fn first_error_wins() {
         // Both the unknown attribute and the missing values would
         // error; the first recorded error is reported.
-        let err = RelationBuilder::new(schema())
-            .tuple(|t| t.set_str("zzz", "x").set_str("name", "wok"));
+        let err =
+            RelationBuilder::new(schema()).tuple(|t| t.set_str("zzz", "x").set_str("name", "wok"));
         assert!(matches!(err, Err(RelationError::UnknownAttribute { .. })));
     }
 

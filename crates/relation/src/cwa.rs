@@ -63,8 +63,7 @@ mod tests {
     use std::sync::Arc;
 
     fn relation_with(sn: f64, sp: f64, policy: CwaPolicy) -> ExtendedRelation {
-        let domain =
-            Arc::new(AttrDomain::categorical("d", ["x", "y"]).unwrap());
+        let domain = Arc::new(AttrDomain::categorical("d", ["x", "y"]).unwrap());
         let schema = Arc::new(
             Schema::builder("r")
                 .key_str("k")
@@ -102,6 +101,10 @@ mod tests {
     #[test]
     fn satisfies_cwa_checks_all_tuples() {
         assert!(satisfies_cwa(&relation_with(0.5, 0.6, CwaPolicy::Enforce)));
-        assert!(!satisfies_cwa(&relation_with(0.0, 0.6, CwaPolicy::AllowZero)));
+        assert!(!satisfies_cwa(&relation_with(
+            0.0,
+            0.6,
+            CwaPolicy::AllowZero
+        )));
     }
 }

@@ -138,9 +138,7 @@ mod tests {
 
     #[test]
     fn renders_paper_style_table() {
-        let domain = Arc::new(
-            AttrDomain::categorical("speciality", ["si", "hu", "ca"]).unwrap(),
-        );
+        let domain = Arc::new(AttrDomain::categorical("speciality", ["si", "hu", "ca"]).unwrap());
         let schema = Arc::new(
             Schema::builder("RA")
                 .key_str("rname")
@@ -161,7 +159,11 @@ mod tests {
         rel.insert(
             Tuple::new(
                 &schema,
-                vec![Value::str("garden").into(), Value::int(2011).into(), ev.into()],
+                vec![
+                    Value::str("garden").into(),
+                    Value::int(2011).into(),
+                    ev.into(),
+                ],
                 SupportPair::certain(),
             )
             .unwrap(),

@@ -36,10 +36,7 @@ impl AttrDomain {
         L: Into<Arc<str>>,
     {
         let labels: Vec<Arc<str>> = labels.into_iter().map(Into::into).collect();
-        Self::from_values(
-            name,
-            labels.into_iter().map(Value::Str).collect::<Vec<_>>(),
-        )
+        Self::from_values(name, labels.into_iter().map(Value::Str).collect::<Vec<_>>())
     }
 
     /// Build an integer domain over `lo..=hi` in numeric order.
@@ -68,14 +65,18 @@ impl AttrDomain {
                 });
             }
             if index.insert(v.clone(), i).is_some() {
-                return Err(RelationError::DuplicateAttribute { name: v.to_string() });
+                return Err(RelationError::DuplicateAttribute {
+                    name: v.to_string(),
+                });
             }
         }
-        let frame = Arc::new(Frame::new(
-            name,
-            values.iter().map(|v| v.to_string()),
-        ));
-        Ok(AttrDomain { frame, values, index, kind })
+        let frame = Arc::new(Frame::new(name, values.iter().map(|v| v.to_string())));
+        Ok(AttrDomain {
+            frame,
+            values,
+            index,
+            kind,
+        })
     }
 
     /// The evidence-layer frame over which mass functions are built.

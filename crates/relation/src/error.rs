@@ -102,20 +102,33 @@ impl fmt::Display for RelationError {
             Self::ArityMismatch { got, expected } => {
                 write!(f, "tuple has {got} values, schema expects {expected}")
             }
-            Self::TypeMismatch { attr, expected, got } => {
+            Self::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute {attr:?} expects {expected}, got {got}")
             }
             Self::UncertainKey { attr } => {
                 write!(f, "key attribute {attr:?} must hold a definite value")
             }
             Self::ValueNotInDomain { attr, value } => {
-                write!(f, "value {value} is outside the domain of attribute {attr:?}")
+                write!(
+                    f,
+                    "value {value} is outside the domain of attribute {attr:?}"
+                )
             }
             Self::DomainMismatch { attr, got } => {
-                write!(f, "evidence for attribute {attr:?} was built over frame {got:?}")
+                write!(
+                    f,
+                    "evidence for attribute {attr:?} was built over frame {got:?}"
+                )
             }
             Self::InvalidSupportPair { sn, sp } => {
-                write!(f, "support pair requires 0 <= sn <= sp <= 1, got ({sn}, {sp})")
+                write!(
+                    f,
+                    "support pair requires 0 <= sn <= sp <= 1, got ({sn}, {sp})"
+                )
             }
             Self::CwaViolation => {
                 write!(f, "CWA_ER violation: stored tuples require sn > 0")
@@ -167,7 +180,10 @@ mod tests {
     #[test]
     fn evidence_errors_convert() {
         let e: RelationError = EvidenceError::TotalConflict.into();
-        assert!(matches!(e, RelationError::Evidence(EvidenceError::TotalConflict)));
+        assert!(matches!(
+            e,
+            RelationError::Evidence(EvidenceError::TotalConflict)
+        ));
         use std::error::Error;
         assert!(e.source().is_some());
     }

@@ -43,7 +43,10 @@ impl SupportPair {
         if !(sn.is_finite() && sp.is_finite()) || sn < -eps || sp > 1.0 + eps || sn > sp + eps {
             return Err(RelationError::InvalidSupportPair { sn, sp });
         }
-        Ok(SupportPair { sn: sn.clamp(0.0, 1.0), sp: sp.clamp(0.0, 1.0) })
+        Ok(SupportPair {
+            sn: sn.clamp(0.0, 1.0),
+            sp: sp.clamp(0.0, 1.0),
+        })
     }
 
     /// `(1, 1)` — the tuple certainly belongs (§2.3).
@@ -125,7 +128,10 @@ impl SupportPair {
     /// the extended cartesian product (§3.4).
     pub fn and_independent(&self, other: &SupportPair) -> SupportPair {
         // Products of values in [0,1] preserve the invariant.
-        SupportPair { sn: self.sn * other.sn, sp: self.sp * other.sp }
+        SupportPair {
+            sn: self.sn * other.sn,
+            sp: self.sp * other.sp,
+        }
     }
 
     /// Structural comparison with `f64` tolerance.

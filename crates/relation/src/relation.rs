@@ -21,7 +21,11 @@ pub struct ExtendedRelation {
 impl ExtendedRelation {
     /// An empty relation over `schema`.
     pub fn new(schema: Arc<Schema>) -> ExtendedRelation {
-        ExtendedRelation { schema, tuples: Vec::new(), key_index: HashMap::new() }
+        ExtendedRelation {
+            schema,
+            tuples: Vec::new(),
+            key_index: HashMap::new(),
+        }
     }
 
     /// The schema.
@@ -69,7 +73,9 @@ impl ExtendedRelation {
         }
         let key = tuple.key(&self.schema);
         if self.key_index.contains_key(&key) {
-            return Err(RelationError::DuplicateKey { key: Value::render_key(&key) });
+            return Err(RelationError::DuplicateKey {
+                key: Value::render_key(&key),
+            });
         }
         self.key_index.insert(key, self.tuples.len());
         self.tuples.push(tuple);
@@ -125,11 +131,8 @@ impl ExtendedRelation {
         if self.len() != other.len() {
             return false;
         }
-        self.iter_keyed().all(|(key, t)| {
-            other
-                .get_by_key(&key)
-                .is_some_and(|o| o.approx_eq(t))
-        })
+        self.iter_keyed()
+            .all(|(key, t)| other.get_by_key(&key).is_some_and(|o| o.approx_eq(t)))
     }
 }
 

@@ -92,7 +92,10 @@ pub struct Schema {
 impl Schema {
     /// Start building a schema for a relation called `name`.
     pub fn builder(name: impl Into<Arc<str>>) -> SchemaBuilder {
-        SchemaBuilder { name: name.into(), attrs: Vec::new() }
+        SchemaBuilder {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Relation name.
@@ -158,11 +161,7 @@ impl Schema {
     pub fn check_union_compatible(&self, other: &Schema) -> Result<(), RelationError> {
         if self.attrs.len() != other.attrs.len() {
             return Err(RelationError::NotUnionCompatible {
-                reason: format!(
-                    "arity {} vs {}",
-                    self.attrs.len(),
-                    other.attrs.len()
-                ),
+                reason: format!("arity {} vs {}", self.attrs.len(), other.attrs.len()),
             });
         }
         for (a, b) in self.attrs.iter().zip(other.attrs.iter()) {
@@ -204,7 +203,11 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Add a key attribute of the given definite kind.
     pub fn key(mut self, name: impl Into<Arc<str>>, kind: ValueKind) -> Self {
-        self.attrs.push(AttrDef { name: name.into(), ty: AttrType::Definite(kind), is_key: true });
+        self.attrs.push(AttrDef {
+            name: name.into(),
+            ty: AttrType::Definite(kind),
+            is_key: true,
+        });
         self
     }
 
@@ -249,7 +252,9 @@ impl SchemaBuilder {
         let mut key_positions = Vec::new();
         for (i, attr) in self.attrs.iter().enumerate() {
             if by_name.insert(Arc::clone(&attr.name), i).is_some() {
-                return Err(RelationError::DuplicateAttribute { name: attr.name.to_string() });
+                return Err(RelationError::DuplicateAttribute {
+                    name: attr.name.to_string(),
+                });
             }
             if attr.is_key {
                 key_positions.push(i);
@@ -258,7 +263,12 @@ impl SchemaBuilder {
         if key_positions.is_empty() {
             return Err(RelationError::NoKey);
         }
-        Ok(Schema { name: self.name, attrs: self.attrs, by_name, key_positions })
+        Ok(Schema {
+            name: self.name,
+            attrs: self.attrs,
+            by_name,
+            key_positions,
+        })
     }
 }
 
@@ -286,7 +296,9 @@ mod tests {
     use super::*;
 
     fn speciality_domain() -> Arc<AttrDomain> {
-        Arc::new(AttrDomain::categorical("speciality", ["am", "hu", "si", "ca", "mu", "it"]).unwrap())
+        Arc::new(
+            AttrDomain::categorical("speciality", ["am", "hu", "si", "ca", "mu", "it"]).unwrap(),
+        )
     }
 
     fn schema() -> Schema {
@@ -362,10 +374,7 @@ mod tests {
             .definite("v", ValueKind::Int)
             .build()
             .unwrap();
-        let b = Schema::builder("x")
-            .key_str("k")
-            .key_int("v")
-            .build();
+        let b = Schema::builder("x").key_str("k").key_int("v").build();
         // b's "v" is a key of a different kind — both type and key-ness differ.
         let b = match b {
             Ok(s) => s,

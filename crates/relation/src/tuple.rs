@@ -180,7 +180,10 @@ impl Tuple {
     /// Replace the membership pair (used by the algebra when deriving
     /// result tuples).
     pub fn with_membership(&self, membership: SupportPair) -> Tuple {
-        Tuple { values: self.values.clone(), membership }
+        Tuple {
+            values: self.values.clone(),
+            membership,
+        }
     }
 
     /// Extract the key values (definite by construction) given the
@@ -369,7 +372,9 @@ mod tests {
         .unwrap();
         let p = t.project(&[0, 2]);
         assert_eq!(p.values().len(), 2);
-        assert!(p.membership().approx_eq(&SupportPair::new(0.5, 0.75).unwrap()));
+        assert!(p
+            .membership()
+            .approx_eq(&SupportPair::new(0.5, 0.75).unwrap()));
     }
 
     #[test]
@@ -385,7 +390,9 @@ mod tests {
         )
         .unwrap();
         let t2 = t.with_membership(SupportPair::new(0.2, 0.4).unwrap());
-        assert!(t2.membership().approx_eq(&SupportPair::new(0.2, 0.4).unwrap()));
+        assert!(t2
+            .membership()
+            .approx_eq(&SupportPair::new(0.2, 0.4).unwrap()));
         assert_eq!(t2.values(), t.values());
     }
 

@@ -217,7 +217,10 @@ mod tests {
         assert!(Value::int(1) < Value::int(2));
         assert!(Value::str("a") < Value::str("b"));
         assert!(Value::float(1.0) < Value::float(2.0));
-        assert_eq!(Value::float(f64::NAN).cmp(&Value::float(f64::NAN)), Ordering::Equal);
+        assert_eq!(
+            Value::float(f64::NAN).cmp(&Value::float(f64::NAN)),
+            Ordering::Equal
+        );
     }
 
     #[test]

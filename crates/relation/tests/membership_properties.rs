@@ -1,8 +1,8 @@
 //! Property-based tests for the support-pair algebra — the paper's
 //! `F` (Dempster over Ψ) and `F_TM` (multiplicative conjunction).
 
-use evirel_relation::{RelationError, SupportPair};
 use evirel_evidence::EvidenceError;
+use evirel_relation::{RelationError, SupportPair};
 use proptest::prelude::*;
 
 fn pair_strategy() -> impl Strategy<Value = SupportPair> {
@@ -13,6 +13,10 @@ fn pair_strategy() -> impl Strategy<Value = SupportPair> {
 }
 
 proptest! {
+    // Bounded so `cargo test -q` stays fast; support-pair cases are
+    // cheap, so this suite affords more cases than the relational ones.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     /// Masses on {true}, {false}, Ψ always total 1.
     #[test]
     fn mass_decomposition_is_total(p in pair_strategy()) {

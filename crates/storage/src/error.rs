@@ -25,7 +25,10 @@ pub enum StorageError {
 impl StorageError {
     /// Convenience constructor for parse errors.
     pub fn parse(line: usize, message: impl Into<String>) -> StorageError {
-        StorageError::Parse { line, message: message.into() }
+        StorageError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -62,7 +65,9 @@ mod tests {
     fn messages() {
         let e = StorageError::parse(7, "unexpected token");
         assert!(e.to_string().contains("line 7"));
-        let e = StorageError::BadHeader { message: "no relation name".into() };
+        let e = StorageError::BadHeader {
+            message: "no relation name".into(),
+        };
         assert!(e.to_string().contains("header"));
         let e: StorageError = RelationError::CwaViolation.into();
         assert!(matches!(e, StorageError::Relation(_)));

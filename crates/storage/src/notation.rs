@@ -8,9 +8,7 @@ use std::sync::Arc;
 
 /// `true` if a string field must be quoted to survive the format.
 pub fn needs_quoting(s: &str) -> bool {
-    s.is_empty()
-        || s != s.trim()
-        || s.contains(['|', '"', '[', ']', '{', '}', '^', '(', ')', ','])
+    s.is_empty() || s != s.trim() || s.contains(['|', '"', '[', ']', '{', '}', '^', '(', ')', ','])
 }
 
 /// Quote a string field with backslash escapes.
@@ -132,7 +130,9 @@ pub fn parse_evidence(
         .trim()
         .strip_prefix('[')
         .and_then(|x| x.strip_suffix(']'))
-        .ok_or_else(|| StorageError::parse(line, format!("expected [evidence set], got {field:?}")))?;
+        .ok_or_else(|| {
+            StorageError::parse(line, format!("expected [evidence set], got {field:?}"))
+        })?;
     let mut builder = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
     for entry in split_top_level(inner, ',') {
         let entry = entry.trim();
@@ -186,9 +186,7 @@ fn lookup(domain: &Arc<AttrDomain>, label: &str, line: usize) -> Result<usize, S
             .map_err(|_| StorageError::parse(line, format!("bad float label {label:?}")))?,
         ValueKind::Str => Value::str(label),
     };
-    domain
-        .index_of(&value)
-        .map_err(StorageError::from)
+    domain.index_of(&value).map_err(StorageError::from)
 }
 
 /// Render a support pair with full precision: `(sn,sp)`.
@@ -257,7 +255,14 @@ mod tests {
 
     #[test]
     fn quoting_roundtrip() {
-        for s in ["plain", "has|pipe", "has \"quotes\"", " padded ", "", "a\\b"] {
+        for s in [
+            "plain",
+            "has|pipe",
+            "has \"quotes\"",
+            " padded ",
+            "",
+            "a\\b",
+        ] {
             if needs_quoting(s) {
                 let q = quote(s);
                 assert_eq!(unquote(&q, 1).unwrap(), s);

@@ -2,9 +2,7 @@
 
 use crate::error::StorageError;
 use crate::notation;
-use evirel_relation::{
-    AttrDomain, AttrValue, ExtendedRelation, Schema, Tuple, Value, ValueKind,
-};
+use evirel_relation::{AttrDomain, AttrValue, ExtendedRelation, Schema, Tuple, Value, ValueKind};
 use std::sync::Arc;
 
 /// Parse a relation previously produced by
@@ -27,11 +25,16 @@ pub fn read_relation(text: &str) -> Result<ExtendedRelation, StorageError> {
                     .map(str::trim)
                     .map(str::to_owned)
                     .ok_or_else(|| {
-                        StorageError::parse(n + 1, format!("expected 'relation <name>', got {line:?}"))
+                        StorageError::parse(
+                            n + 1,
+                            format!("expected 'relation <name>', got {line:?}"),
+                        )
                     })?;
             }
             None => {
-                return Err(StorageError::BadHeader { message: "empty input".into() })
+                return Err(StorageError::BadHeader {
+                    message: "empty input".into(),
+                })
             }
         }
     };
@@ -70,9 +73,9 @@ pub fn read_relation(text: &str) -> Result<ExtendedRelation, StorageError> {
             let (kind_text, labels_text) = ev.split_once("](").ok_or_else(|| {
                 StorageError::parse(n + 1, format!("malformed evidence type {ty_text:?}"))
             })?;
-            let labels_text = labels_text.strip_suffix(')').ok_or_else(|| {
-                StorageError::parse(n + 1, "evidence type missing closing paren")
-            })?;
+            let labels_text = labels_text
+                .strip_suffix(')')
+                .ok_or_else(|| StorageError::parse(n + 1, "evidence type missing closing paren"))?;
             // "kind [domain-name]" — the name defaults to the attribute
             // name for backward compatibility with hand-written files.
             let mut parts = kind_text.trim().splitn(2, ' ');
@@ -94,8 +97,9 @@ pub fn read_relation(text: &str) -> Result<ExtendedRelation, StorageError> {
         };
         decls.push((attr_name, is_key, ty));
     }
-    let body_line = body_start
-        .ok_or(StorageError::BadHeader { message: "missing --- separator".into() })?;
+    let body_line = body_start.ok_or(StorageError::BadHeader {
+        message: "missing --- separator".into(),
+    })?;
 
     // Build the schema.
     let mut builder = Schema::builder(name);

@@ -85,7 +85,13 @@ mod tests {
         let text = write_relation(&rel);
         assert!(text.starts_with("relation RA\n"), "{text}");
         assert!(text.contains("attr rname: key string"), "{text}");
-        assert!(text.contains("attr spec: evidence[string spec](si, hu)"), "{text}");
-        assert!(text.contains("wok | 600 | [si^0.5, Ω^0.5] | (0.5,0.75)"), "{text}");
+        assert!(
+            text.contains("attr spec: evidence[string spec](si, hu)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wok | 600 | [si^0.5, Ω^0.5] | (0.5,0.75)"),
+            "{text}"
+        );
     }
 }

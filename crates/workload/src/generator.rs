@@ -65,7 +65,11 @@ pub struct PairConfig {
 
 impl Default for PairConfig {
     fn default() -> Self {
-        PairConfig { base: GeneratorConfig::default(), key_overlap: 0.5, conflict_bias: 0.0 }
+        PairConfig {
+            base: GeneratorConfig::default(),
+            key_overlap: 0.5,
+            conflict_bias: 0.0,
+        }
     }
 }
 
@@ -253,7 +257,10 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let config = GeneratorConfig { tuples: 50, ..Default::default() };
+        let config = GeneratorConfig {
+            tuples: 50,
+            ..Default::default()
+        };
         let rel = generate("G", &config).unwrap();
         assert_eq!(rel.len(), 50);
         assert_eq!(rel.schema().arity(), 1 + config.evidential_attrs);
@@ -270,7 +277,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let config = GeneratorConfig { tuples: 20, ..Default::default() };
+        let config = GeneratorConfig {
+            tuples: 20,
+            ..Default::default()
+        };
         let a = generate("G", &config).unwrap();
         let b = generate("G", &config).unwrap();
         assert!(a.approx_eq(&b));
@@ -279,15 +289,15 @@ mod tests {
     #[test]
     fn pair_overlap_respected() {
         let config = PairConfig {
-            base: GeneratorConfig { tuples: 100, ..Default::default() },
+            base: GeneratorConfig {
+                tuples: 100,
+                ..Default::default()
+            },
             key_overlap: 0.3,
             conflict_bias: 0.0,
         };
         let (a, b) = generate_pair(&config).unwrap();
-        let shared = a
-            .keys()
-            .filter(|k| b.contains_key(k))
-            .count();
+        let shared = a.keys().filter(|k| b.contains_key(k)).count();
         assert_eq!(shared, 30);
         assert!(a.schema().check_union_compatible(b.schema()).is_ok());
     }

@@ -105,10 +105,17 @@ pub fn restaurant_db_a() -> RestaurantDb {
                     [(&["si"][..], 0.5), (&["hu"][..], 0.25)],
                     0.25,
                 )
-                .set_evidence("best-dish", [(&["d31"][..], 0.5), (&["d35", "d36"][..], 0.5)])
+                .set_evidence(
+                    "best-dish",
+                    [(&["d31"][..], 0.5), (&["d35", "d36"][..], 0.5)],
+                )
                 .set_evidence(
                     "rating",
-                    [(&["ex"][..], 0.33), (&["gd"][..], 0.5), (&["avg"][..], 0.17)],
+                    [
+                        (&["ex"][..], 0.33),
+                        (&["gd"][..], 0.5),
+                        (&["avg"][..], 0.17),
+                    ],
                 )
         })
         .expect("RA garden")
@@ -120,7 +127,11 @@ pub fn restaurant_db_a() -> RestaurantDb {
                 .set_evidence("speciality", [(&["si"][..], 1.0)])
                 .set_evidence(
                     "best-dish",
-                    [(&["d6"][..], 0.33), (&["d7"][..], 0.33), (&["d25"][..], 0.34)],
+                    [
+                        (&["d6"][..], 0.33),
+                        (&["d7"][..], 0.33),
+                        (&["d25"][..], 0.34),
+                    ],
                 )
                 .set_evidence("rating", [(&["gd"][..], 0.25), (&["avg"][..], 0.75)])
         })
@@ -202,7 +213,11 @@ pub fn restaurant_db_a() -> RestaurantDb {
         .expect("RMA ashiana")
         .build();
 
-    RestaurantDb { restaurants, managers, managed_by }
+    RestaurantDb {
+        restaurants,
+        managers,
+        managed_by,
+    }
 }
 
 /// `DB_B` — Star Tribute. `R_B` is Table 1's lower relation, verbatim.
@@ -234,7 +249,11 @@ pub fn restaurant_db_b() -> RestaurantDb {
                 )
                 .set_evidence(
                     "best-dish",
-                    [(&["d6"][..], 0.5), (&["d7"][..], 0.25), (&["d25"][..], 0.25)],
+                    [
+                        (&["d6"][..], 0.5),
+                        (&["d7"][..], 0.25),
+                        (&["d25"][..], 0.25),
+                    ],
                 )
                 .set_evidence("rating", [(&["gd"][..], 1.0)])
         })
@@ -300,7 +319,11 @@ pub fn restaurant_db_b() -> RestaurantDb {
         .expect("RMB country")
         .build();
 
-    RestaurantDb { restaurants, managers, managed_by }
+    RestaurantDb {
+        restaurants,
+        managers,
+        managed_by,
+    }
 }
 
 #[cfg(test)]

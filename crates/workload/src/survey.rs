@@ -40,7 +40,12 @@ pub struct SurveyConfig {
 
 impl Default for SurveyConfig {
     fn default() -> Self {
-        SurveyConfig { panel_size: 6, abstain_rate: 0.05, ambiguity_rate: 0.15, seed: 42 }
+        SurveyConfig {
+            panel_size: 6,
+            abstain_rate: 0.05,
+            ambiguity_rate: 0.15,
+            seed: 42,
+        }
     }
 }
 
@@ -56,7 +61,11 @@ impl Survey {
     /// Create a survey over `domain`.
     pub fn new(domain: Arc<AttrDomain>, config: SurveyConfig) -> Survey {
         let rng = StdRng::seed_from_u64(config.seed);
-        Survey { domain, config, rng }
+        Survey {
+            domain,
+            config,
+            rng,
+        }
     }
 
     /// Simulate one panel vote round for an entity whose ground truth
@@ -181,8 +190,8 @@ mod tests {
     /// 6-reviewer panel consolidates to [d1^0.5, d2^0.33, d3^0.17].
     #[test]
     fn paper_vote_consolidation() {
-        let ev = Survey::consolidate_tally(&dishes(), 6, &[("d1", 3), ("d2", 2), ("d3", 1)])
-            .unwrap();
+        let ev =
+            Survey::consolidate_tally(&dishes(), 6, &[("d1", 3), ("d2", 2), ("d3", 1)]).unwrap();
         let m = ev.as_evidential().unwrap();
         let d = dishes();
         let idx = |l: &str| d.subset_of_values([&Value::str(l)]).unwrap();
@@ -194,10 +203,8 @@ mod tests {
     /// Rating tally: excellent:2, good:4 → [ex^0.33, gd^0.67].
     #[test]
     fn paper_rating_consolidation() {
-        let ratings =
-            Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap());
-        let ev =
-            Survey::consolidate_tally(&ratings, 6, &[("ex", 2), ("gd", 4)]).unwrap();
+        let ratings = Arc::new(AttrDomain::categorical("rating", ["avg", "gd", "ex"]).unwrap());
+        let ev = Survey::consolidate_tally(&ratings, 6, &[("ex", 2), ("gd", 4)]).unwrap();
         let m = ev.as_evidential().unwrap();
         let ex = ratings.subset_of_values([&Value::str("ex")]).unwrap();
         assert!((m.mass_of(&ex) - 2.0 / 6.0).abs() < 1e-12);
@@ -234,7 +241,11 @@ mod tests {
     fn zero_noise_concentrates_on_truth() {
         let mut s = Survey::new(
             dishes(),
-            SurveyConfig { abstain_rate: 0.0, ambiguity_rate: 0.0, ..Default::default() },
+            SurveyConfig {
+                abstain_rate: 0.0,
+                ambiguity_rate: 0.0,
+                ..Default::default()
+            },
         );
         let ev = s.conduct(2, 0.0).unwrap();
         let m = ev.as_evidential().unwrap();

@@ -69,9 +69,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?,
     );
     let source_b = RelationBuilder::new(Arc::clone(&b_schema))
-        .tuple(|t| t.set_str("name", "Ada ").set_str("degree", "graduate").set_int("salary", 86_000))?
-        .tuple(|t| t.set_str("name", "GRACE").set_str("degree", "college").set_int("salary", 70_000))?
-        .tuple(|t| t.set_str("name", "alan").set_str("degree", "doctorate").set_int("salary", 91_000))?
+        .tuple(|t| {
+            t.set_str("name", "Ada ")
+                .set_str("degree", "graduate")
+                .set_int("salary", 86_000)
+        })?
+        .tuple(|t| {
+            t.set_str("name", "GRACE")
+                .set_str("degree", "college")
+                .set_int("salary", 70_000)
+        })?
+        .tuple(|t| {
+            t.set_str("name", "alan")
+                .set_str("degree", "doctorate")
+                .set_int("salary", 91_000)
+        })?
         .build();
 
     println!("source A (national bureau):\n{source_a}");
@@ -131,6 +143,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &catalog,
         "SELECT * FROM census WHERE education >= 'master' WITH SN > 0;",
     )?;
-    println!("education >= master (ranked):\n{}", evirel::query::format::render_ranked(&answer));
+    println!(
+        "education >= master (ranked):\n{}",
+        evirel::query::format::render_ranked(&answer)
+    );
     Ok(())
 }

@@ -22,14 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("conflict-bias sweep (1000 matched pairs per row)\n");
     println!(
         "{:>6} | {:>8} | {:>12} {:>12} | {:>10} {:>10} {:>10} | {:>12}",
-        "bias",
-        "mean κ",
-        "evid. surv",
-        "evid. spec",
-        "partial",
-        "bayes",
-        "mixing",
-        "partial spec"
+        "bias", "mean κ", "evid. surv", "evid. spec", "partial", "bayes", "mixing", "partial spec"
     );
     for bias in [0.0, 0.25, 0.5, 0.75, 1.0] {
         // Narrow focal structure and no Ω floor, so disagreement
@@ -56,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut bayes_survived = 0usize;
         let mut mixing_entropy = 0.0;
         for (key, ta) in a.iter_keyed() {
-            let Some(tb) = b.get_by_key(&key) else { continue };
+            let Some(tb) = b.get_by_key(&key) else {
+                continue;
+            };
             let ma = ta.value(1).as_evidential().expect("generated evidential");
             let mb = tb.value(1).as_evidential().expect("generated evidential");
             let cmp = compare_merge(ma, mb)?;
@@ -123,8 +118,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .sum::<f64>()
             / 3.0;
-        println!("  {:<22} mean specificity {:.3}", Value::render_key(&key), spec);
+        println!(
+            "  {:<22} mean specificity {:.3}",
+            Value::render_key(&key),
+            spec
+        );
     }
-    println!("\nconflicts the data administrator would see:\n{}", merged.report);
+    println!(
+        "\nconflicts the data administrator would see:\n{}",
+        merged.report
+    );
     Ok(())
 }

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stored = write_relation(&merged);
     let reloaded = read_relation(&stored)?;
     catalog.register("merged", reloaded);
-    let again = execute(&catalog, "SELECT rname, rating FROM merged WHERE rating IS {ex} WITH SN >= 0.8;")?;
+    let again = execute(
+        &catalog,
+        "SELECT rname, rating FROM merged WHERE rating IS {ex} WITH SN >= 0.8;",
+    )?;
     println!("reloaded-from-storage query:\n{again}");
     Ok(())
 }

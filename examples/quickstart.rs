@@ -29,17 +29,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .set_evidence("rating", [(&["gd"][..], 0.25), (&["avg"][..], 0.75)])
         })?
         .tuple(|t| {
-            t.set_str("rname", "garden")
-                .set_evidence_with_omega(
-                    "rating",
-                    [(&["ex"][..], 0.33), (&["gd"][..], 0.5)],
-                    0.17,
-                )
+            t.set_str("rname", "garden").set_evidence_with_omega(
+                "rating",
+                [(&["ex"][..], 0.33), (&["gd"][..], 0.5)],
+                0.17,
+            )
         })?
         .build();
     let db_b = RelationBuilder::new(Arc::clone(&schema))
         .tuple(|t| {
-            t.set_str("rname", "wok").set_evidence("rating", [(&["gd"][..], 1.0)])
+            t.set_str("rname", "wok")
+                .set_evidence("rating", [(&["gd"][..], 1.0)])
         })?
         .tuple(|t| {
             t.set_str("rname", "olive")

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let integrator = Integrator::new(Arc::clone(db_a.restaurants.schema()));
     let outcome = integrator.run(&db_a.restaurants, &db_b.restaurants)?;
     println!("{}", outcome.trace);
-    println!("Conflict report for the data administrator:\n{}", outcome.report);
+    println!(
+        "Conflict report for the data administrator:\n{}",
+        outcome.report
+    );
 
     println!("== Table 4: R_A ∪̃_(rname) R_B ==\n");
     println!("{}", outcome.relation);
@@ -71,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              WHERE rating IS {ex} WITH SN >= 0.8;";
     let answer = evirel::query::execute(&catalog, q)?;
     println!("managers of excellent restaurants (sn ≥ 0.8):\n{answer}");
-    println!("ranked by necessary support:\n{}", evirel::query::format::render_ranked(&answer));
+    println!(
+        "ranked by necessary support:\n{}",
+        evirel::query::format::render_ranked(&answer)
+    );
     Ok(())
 }

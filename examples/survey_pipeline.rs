@@ -38,22 +38,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Ground truth per restaurant: (best dish index, rating index).
-    let truth: Vec<(usize, usize)> = (0..RESTAURANTS.len()).map(|i| (i % 12, 2 - i % 3)).collect();
+    let truth: Vec<(usize, usize)> = (0..RESTAURANTS.len())
+        .map(|i| (i % 12, 2 - i % 3))
+        .collect();
 
     // Three agencies with different panel quality.
     let agencies = [
-        ("minnesota-daily", SurveyConfig { panel_size: 6, abstain_rate: 0.05, ambiguity_rate: 0.1, seed: 11 }, 0.10),
-        ("star-tribute", SurveyConfig { panel_size: 6, abstain_rate: 0.10, ambiguity_rate: 0.2, seed: 22 }, 0.15),
-        ("tourist-gazette", SurveyConfig { panel_size: 4, abstain_rate: 0.25, ambiguity_rate: 0.3, seed: 33 }, 0.35),
+        (
+            "minnesota-daily",
+            SurveyConfig {
+                panel_size: 6,
+                abstain_rate: 0.05,
+                ambiguity_rate: 0.1,
+                seed: 11,
+            },
+            0.10,
+        ),
+        (
+            "star-tribute",
+            SurveyConfig {
+                panel_size: 6,
+                abstain_rate: 0.10,
+                ambiguity_rate: 0.2,
+                seed: 22,
+            },
+            0.15,
+        ),
+        (
+            "tourist-gazette",
+            SurveyConfig {
+                panel_size: 4,
+                abstain_rate: 0.25,
+                ambiguity_rate: 0.3,
+                seed: 33,
+            },
+            0.35,
+        ),
     ];
 
     let mut sources = Vec::new();
     for (name, config, noise) in &agencies {
         let mut dish_survey = Survey::new(Arc::clone(&dishes), config.clone());
-        let mut rating_survey = Survey::new(Arc::clone(&rating), SurveyConfig {
-            seed: config.seed + 1,
-            ..config.clone()
-        });
+        let mut rating_survey = Survey::new(
+            Arc::clone(&rating),
+            SurveyConfig {
+                seed: config.seed + 1,
+                ..config.clone()
+            },
+        );
         let mut builder = RelationBuilder::new(Arc::new(schema.renamed(*name)));
         for (i, rname) in RESTAURANTS.iter().enumerate() {
             let (dish_truth, rating_truth) = truth[i];

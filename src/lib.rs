@@ -64,7 +64,7 @@ pub mod prelude {
         join, product, project, select, union_extended, ConflictPolicy, Operand, Predicate,
         ThetaOp, Threshold,
     };
-    pub use evirel_evidence::{combine, Frame, FocalSet, MassFunction, Ratio};
+    pub use evirel_evidence::{combine, FocalSet, Frame, MassFunction, Ratio};
     pub use evirel_integrate::{
         DomainMapping, IntegrationMethod, Integrator, KeyMatcher, MethodRegistry, Preprocessor,
         SchemaMapping,

@@ -114,7 +114,7 @@ fn probabilistic_partial_values_lose_subset_structure() {
     let p_joint = ProbValue::from_evidence(&joint);
     let p_split = ProbValue::from_evidence(&split);
     assert_eq!(p_joint, p_split); // flattening collapses them
-    // But Bel distinguishes them on the singleton {b}.
+                                  // But Bel distinguishes them on the singleton {b}.
     let b_set = FocalSet::singleton(1);
     assert!(joint.bel(&b_set).abs() < 1e-12);
     assert!((split.bel(&b_set) - 0.5).abs() < 1e-12);

@@ -30,7 +30,10 @@ fn closure_across_seeds() {
         let selected = select(&rel, &pred, &Threshold::POSITIVE).unwrap();
         assert!(satisfies_closure(&selected), "select closure, seed {seed}");
         let projected = project(&rel, &["k", "e1"]).unwrap();
-        assert!(satisfies_closure(&projected), "project closure, seed {seed}");
+        assert!(
+            satisfies_closure(&projected),
+            "project closure, seed {seed}"
+        );
     }
 }
 
@@ -45,17 +48,16 @@ fn union_closure_and_boundedness_across_seeds() {
         .unwrap();
         match union_extended(&a, &b) {
             Ok(out) => {
-                assert!(satisfies_closure(&out.relation), "union closure, seed {seed}");
+                assert!(
+                    satisfies_closure(&out.relation),
+                    "union closure, seed {seed}"
+                );
                 assert!(out.relation.validate().is_ok());
             }
             Err(evirel::algebra::AlgebraError::TotalConflict { .. }) => continue,
             Err(e) => panic!("unexpected union failure: {e}"),
         }
-        let ok = check_boundedness_binary(
-            |l, r| Ok(union_extended(l, r)?.relation),
-            &a,
-            &b,
-        );
+        let ok = check_boundedness_binary(|l, r| Ok(union_extended(l, r)?.relation), &a, &b);
         match ok {
             Ok(ok) => assert!(ok, "union boundedness, seed {seed}"),
             Err(evirel::algebra::AlgebraError::TotalConflict { .. }) => {}
@@ -74,11 +76,8 @@ fn select_boundedness_with_theta_predicates() {
             Predicate::is("e0", ["v1"]).and(Predicate::is("e1", ["v2", "v3"])),
             Predicate::is("e0", ["v0"]).negate(),
         ] {
-            let ok = check_boundedness_unary(
-                |r| select(r, &pred, &Threshold::POSITIVE),
-                &rel,
-            )
-            .unwrap();
+            let ok =
+                check_boundedness_unary(|r| select(r, &pred, &Threshold::POSITIVE), &rel).unwrap();
             assert!(ok, "seed {seed}, predicate {pred}");
         }
     }
@@ -95,20 +94,31 @@ fn project_boundedness() {
 
 #[test]
 fn product_and_join_boundedness() {
-    let a = generate("PA", &GeneratorConfig { tuples: 15, ..config(7) }).unwrap();
-    let b = generate("PB", &GeneratorConfig { tuples: 15, ..config(8) }).unwrap();
+    let a = generate(
+        "PA",
+        &GeneratorConfig {
+            tuples: 15,
+            ..config(7)
+        },
+    )
+    .unwrap();
+    let b = generate(
+        "PB",
+        &GeneratorConfig {
+            tuples: 15,
+            ..config(8)
+        },
+    )
+    .unwrap();
     let b = evirel::algebra::rename_relation(&b, "PB2");
     let b = evirel::algebra::rename_attribute(&b, "k", "k2").unwrap();
     let b = evirel::algebra::rename_attribute(&b, "e0", "f0").unwrap();
     let b = evirel::algebra::rename_attribute(&b, "e1", "f1").unwrap();
     assert!(check_boundedness_binary(product, &a, &b).unwrap());
     let pred = Predicate::theta(Operand::attr("k"), ThetaOp::Eq, Operand::attr("k2"));
-    assert!(check_boundedness_binary(
-        |l, r| join(l, r, &pred, &Threshold::POSITIVE),
-        &a,
-        &b
-    )
-    .unwrap());
+    assert!(
+        check_boundedness_binary(|l, r| join(l, r, &pred, &Threshold::POSITIVE), &a, &b).unwrap()
+    );
 }
 
 #[test]

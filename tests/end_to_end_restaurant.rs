@@ -11,7 +11,9 @@ fn figure1_pipeline_trace() {
     let db_a = restaurant_db_a();
     let db_b = restaurant_db_b();
     let integrator = Integrator::new(Arc::clone(db_a.restaurants.schema()));
-    let out = integrator.run(&db_a.restaurants, &db_b.restaurants).unwrap();
+    let out = integrator
+        .run(&db_a.restaurants, &db_b.restaurants)
+        .unwrap();
     assert_eq!(out.trace.left_in, 6);
     assert_eq!(out.trace.right_in, 5);
     assert_eq!(out.trace.matched, 5);
@@ -20,9 +22,13 @@ fn figure1_pipeline_trace() {
     assert_eq!(out.trace.integrated, 6);
     assert!(out.trace.conflicts > 0);
     assert!(out.trace.max_kappa > 0.5); // garden rating κ = 0.534
-    // The trace prints the Figure 1 stages.
+                                        // The trace prints the Figure 1 stages.
     let text = out.trace.to_string();
-    for stage in ["attribute preprocessing", "entity identification", "tuple merging"] {
+    for stage in [
+        "attribute preprocessing",
+        "entity identification",
+        "tuple merging",
+    ] {
         assert!(text.contains(stage), "{text}");
     }
 }
@@ -64,7 +70,10 @@ fn queries_over_integrated_relation() {
     let rb = restaurant_db_b().restaurants;
     let merged = union_extended(&ra, &rb).unwrap().relation;
     let mut catalog = Catalog::new();
-    catalog.register("merged", evirel::algebra::rename_relation(&merged, "merged"));
+    catalog.register(
+        "merged",
+        evirel::algebra::rename_relation(&merged, "merged"),
+    );
 
     // After integration, mehl is excellent with sn = 0.83.
     let out = execute(
@@ -112,7 +121,7 @@ fn relationship_relations_integrate_too() {
     assert_eq!(rm.relation.len(), 4); // wok-chen (matched), mehl-rao, ashiana-rao, country-gruber
     let m = union_extended(&db_a.managers, &db_b.managers).unwrap();
     assert_eq!(m.relation.len(), 3); // chen (merged), rao, gruber
-    // chen's speciality combined across DBs sharpens toward sichuan.
+                                     // chen's speciality combined across DBs sharpens toward sichuan.
     let chen = m.relation.get_by_key(&[Value::str("chen")]).unwrap();
     let spec = chen.value(3).as_evidential().unwrap();
     let domain = m.relation.schema().attr(3).ty().domain().unwrap().clone();

@@ -2,7 +2,7 @@
 //! discounting, conditioning, uncertainty measures, multi-source
 //! integration, and plan explanation.
 
-use evirel::evidence::{combine, condition, discount, measures, weight_of_conflict};
+use evirel::evidence::{combine, condition, measures, weight_of_conflict};
 use evirel::prelude::*;
 use evirel::workload::restaurant::rating_domain;
 use evirel::workload::{restaurant_db_a, restaurant_db_b};
@@ -43,7 +43,9 @@ fn discounting_an_unreliable_source_softens_its_influence() {
     let soft = union_extended(&ra, &rb_soft).unwrap().relation;
     // With DB_B discounted, garden's combined rating stays closer to
     // DB_A's view (gd mass lower than in the fully-trusted merge).
-    let gd = rating_domain().subset_of_values([&Value::str("gd")]).unwrap();
+    let gd = rating_domain()
+        .subset_of_values([&Value::str("gd")])
+        .unwrap();
     let full_gd = full
         .get_by_key(&[Value::str("garden")])
         .unwrap()
@@ -119,7 +121,9 @@ fn run_many_integrates_a_third_agency() {
     // wok's rating absorbed all three sources: ex conflicts away
     // against gd^1 from RB, so gd stays certain.
     let wok = out.relation.get_by_key(&[Value::str("wok")]).unwrap();
-    let gd = rating_domain().subset_of_values([&Value::str("gd")]).unwrap();
+    let gd = rating_domain()
+        .subset_of_values([&Value::str("gd")])
+        .unwrap();
     assert!((wok.value(6).as_evidential().unwrap().bel(&gd) - 1.0).abs() < 1e-9);
     // Accumulated trace covers both folds.
     assert_eq!(out.trace.right_in, 6); // 5 (RB) + 1 (RC)
@@ -155,7 +159,10 @@ fn summarization_cap_respects_paper_results() {
     let capped = evirel::algebra::union::union_with(
         &ra,
         &rb,
-        &evirel::algebra::union::UnionOptions { max_focal: Some(4), ..Default::default() },
+        &evirel::algebra::union::UnionOptions {
+            max_focal: Some(4),
+            ..Default::default()
+        },
     )
     .unwrap()
     .relation;

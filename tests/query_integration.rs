@@ -121,10 +121,7 @@ fn chained_unions() {
     let mut c = catalog();
     // A third source with one more restaurant.
     let third = RelationBuilder::new(std::sync::Arc::new(
-        restaurant_db_a()
-            .restaurants
-            .schema()
-            .renamed("rc"),
+        restaurant_db_a().restaurants.schema().renamed("rc"),
     ))
     .tuple(|t| {
         t.set_str("rname", "nile")

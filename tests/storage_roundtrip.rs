@@ -17,7 +17,11 @@ fn paper_tables_roundtrip() {
     ] {
         let text = write_relation(&rel);
         let back = read_relation(&text).unwrap();
-        assert!(back.approx_eq(&rel), "round-trip of {}", rel.schema().name());
+        assert!(
+            back.approx_eq(&rel),
+            "round-trip of {}",
+            rel.schema().name()
+        );
         assert_eq!(back.schema().name(), rel.schema().name());
         assert_eq!(back.schema().arity(), rel.schema().arity());
     }
@@ -28,7 +32,11 @@ fn generated_relations_roundtrip_exactly() {
     for seed in 0..3u64 {
         let rel = generate(
             "G",
-            &GeneratorConfig { tuples: 100, seed, ..Default::default() },
+            &GeneratorConfig {
+                tuples: 100,
+                seed,
+                ..Default::default()
+            },
         )
         .unwrap();
         let text = write_relation(&rel);

@@ -1,0 +1,328 @@
+//! An offline, dependency-free subset of the `criterion` crate API.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the slice of `criterion` 0.5 its benches use: `Criterion`,
+//! benchmark groups with throughput annotations, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — median of per-sample mean
+//! wall-clock times, printed as plain text — with none of real
+//! criterion's statistics, HTML reports, or baseline comparison.
+//!
+//! Mode selection matches criterion's behaviour under cargo:
+//! `cargo bench` passes `--bench`, which triggers full measurement;
+//! any other invocation (e.g. `cargo test --benches`) runs every
+//! benchmark body exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            // Full measurement only when cargo bench's `--bench` flag
+            // is present; otherwise run each body once.
+            smoke_only: !std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this stub's calibration pass
+    /// doubles as the warm-up, so the duration is ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.0, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Override the wall-clock budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure that receives `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, self.throughput.clone(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, self.throughput.clone(), &mut f);
+        self
+    }
+
+    /// End the group. (Accepted for API compatibility; drop would do.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, preventing the result from being optimized out.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if criterion.smoke_only {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {label}: smoke ok");
+        return;
+    }
+
+    // Calibrate: how many iterations fit one sample's time slice?
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let slice = criterion.measurement_time / criterion.sample_size as u32;
+    let iters = (slice.as_nanos() / per_iter.as_nanos()).clamp(1, u64::MAX as u128) as u64;
+
+    let mut sample_means = Vec::with_capacity(criterion.sample_size);
+    for _ in 0..criterion.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        sample_means.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    sample_means.sort_by(|a, b| a.total_cmp(b));
+    let median = sample_means[sample_means.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label}: median {} ({} samples x {iters} iters){rate}",
+        format_time(median),
+        sample_means.len(),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, f1, f2)`
+/// or the long form with a `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_smoke() {
+        let mut c = Criterion::default();
+        assert!(c.smoke_only, "tests never see --bench");
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::from_parameter(1), &3u32, |b, x| {
+                b.iter(|| {
+                    ran += 1;
+                    x * 2
+                })
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1, "smoke mode runs the body exactly once");
+    }
+
+    #[test]
+    fn measured_mode_runs_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        c.smoke_only = false;
+        let mut ran = 0u64;
+        c.bench_function("counted", |b| b.iter(|| ran += 1));
+        assert!(ran > 3, "calibration + samples must iterate");
+    }
+}

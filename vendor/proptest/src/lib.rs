@@ -1,0 +1,535 @@
+//! An offline, dependency-free subset of the `proptest` crate API.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors the slice of `proptest` 1.x its property suites use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`];
+//! * strategies for integer ranges, tuples of strategies,
+//!   [`collection::vec`], [`Just`], and [`prop_oneof!`];
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) and
+//!   the [`prop_assert!`] / [`prop_assert_eq!`] assertion macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   (via `Debug`) and the case index, but is not minimized.
+//! * **Deterministic seeding.** Each test derives its seed from the
+//!   test function name, so runs are reproducible; there is no
+//!   failure-persistence file.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this suite keeps that but the
+        // property files override it downward where cases are costly.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The value-generation half of proptest's `Strategy`.
+///
+/// Object-safe: only [`Strategy::generate`] is required, so
+/// `Box<dyn Strategy<Value = T>>` works (needed by [`prop_oneof!`]).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from regex-like patterns, as in real proptest
+/// (`"[ -~]{0,20}"` is a strategy for printable-ASCII strings).
+///
+/// Only the subset this workspace needs is parsed: concatenations of
+/// atoms, where an atom is a character class `[a-z 0-9_]` (ranges and
+/// literal members, no negation), an escaped or literal character, or
+/// `.` (printable ASCII); each atom may carry a `{m}`, `{m,n}`, `?`,
+/// `*`, or `+` quantifier (`*`/`+` capped at 8 repeats). Unsupported
+/// syntax panics rather than silently generating the wrong language.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string_pattern::generate(self, rng)
+    }
+}
+
+mod string_pattern {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                                members.extend(lo..=hi);
+                            }
+                            '\\' => {
+                                if let Some(p) = prev.take() {
+                                    members.push(p);
+                                }
+                                prev = Some(chars.next().unwrap());
+                            }
+                            _ => {
+                                if let Some(p) = prev.take() {
+                                    members.push(p);
+                                }
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        members.push(p);
+                    }
+                    assert!(!members.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(members)
+                }
+                '\\' => Atom::Literal(chars.next().unwrap()),
+                '.' => Atom::Class((' '..='~').collect()),
+                '(' | ')' | '|' | '*' | '+' | '?' | '{' => {
+                    panic!("unsupported regex syntax {c:?} in {pattern:?} (proptest stub)")
+                }
+                _ => Atom::Literal(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|c| *c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                        None => {
+                            let m: usize = spec.parse().unwrap();
+                            (m, m)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                match &atom {
+                    Atom::Class(members) => out.push(members[rng.gen_range(0..members.len())]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A `Vec` of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// A uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    /// The alternatives; public so the macro can construct this.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! of zero strategies");
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Derive a stable 64-bit seed from a test name.
+///
+/// FNV-1a; the constant offset lets the whole suite be re-rolled by
+/// editing one line if a seed ever proves degenerate.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `cases` deterministic cases of a property.
+///
+/// `gen_and_run` draws inputs and returns a `Debug` rendering of them
+/// alongside the property body as a closure, so failures can report
+/// the offending inputs without shrinking.
+pub fn run_property<S, V, B>(name: &str, cases: u32, strategy: &S, mut body: B)
+where
+    S: Strategy<Value = V>,
+    V: core::fmt::Debug,
+    B: FnMut(V),
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    for case in 0..cases {
+        let input = strategy.generate(&mut rng);
+        let rendered = format!("{input:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(input)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest-stub: property `{name}` failed at case {case}/{cases} \
+                 (seed {}) with input:\n  {rendered}",
+                seed_for(name)
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Define property tests.
+///
+/// Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in collection::vec(0u8..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strategy,)+);
+            $crate::run_property(
+                stringify!($name),
+                config.cases,
+                &strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+    )*};
+}
+
+/// Assert within a property; reported through the case-reporting
+/// runner. (In this stub it panics like `assert!`.)
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$($crate::Strategy::boxed($strategy)),+],
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, (a, b) in (0u8..4, 5u16..=9)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((5..=9).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0u8..3, 2..5).prop_map(|v| v.len())) {
+            prop_assert!((2..5).contains(&v));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6, "got {x}");
+        }
+
+        #[test]
+        fn string_patterns(s in "[ -~]{0,20}", t in "ab[0-9]c?") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(t.starts_with("ab"));
+            prop_assert!(t.chars().nth(2).unwrap().is_ascii_digit());
+            prop_assert!(t.len() == 3 || t == format!("{}c", &t[..3]));
+        }
+    }
+
+    #[test]
+    fn deterministic_runner() {
+        let s = 0u32..1000;
+        let mut first = Vec::new();
+        crate::run_property("det", 16, &(s.clone(),), |(x,)| first.push(x));
+        let mut second = Vec::new();
+        crate::run_property("det", 16, &(s,), |(x,)| second.push(x));
+        assert_eq!(first, second);
+    }
+}
