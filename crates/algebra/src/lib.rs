@@ -33,6 +33,20 @@
 //! result tuples with `sn = 0` are *not stored* (they are exactly the
 //! tuples the closed-world interpretation already accounts for), which
 //! is how the closure property manifests in an executable system.
+//!
+//! ## Two layers: free functions vs. plans
+//!
+//! The free functions here are the *naive single-node
+//! implementations*: each takes whole relations and materializes its
+//! result. Composed queries should go through `evirel-plan` instead,
+//! which builds a logical plan over the same operators, optimizes it
+//! (predicate pushdown, threshold fusion, σ̃-under-∪̃ distribution),
+//! and executes it with pull-based streaming operators that reuse
+//! this crate's per-tuple kernels ([`support::predicate_support`],
+//! [`union::merge_tuples`], the schema helpers) — so intermediates
+//! are never materialized and ∪̃ conflict reports survive. The free
+//! functions deliberately stay independent: they are the oracle the
+//! plan layer's equivalence property suite is checked against.
 
 pub mod conflict;
 pub mod error;

@@ -218,6 +218,75 @@ impl Predicate {
         walk(self, &mut out);
         out
     }
+
+    /// Split a top-level conjunction chain into its conjuncts
+    /// (`A ∧ (B ∧ C)` → `[A, B, C]`); a non-`And` predicate is its own
+    /// single conjunct. The multiplicative rule makes conjunct order
+    /// irrelevant, which is what lets the plan optimizer push
+    /// individual conjuncts through ×̃.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        fn walk<'a>(p: &'a Predicate, out: &mut Vec<&'a Predicate>) {
+            match p {
+                Predicate::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild a conjunction from conjuncts; `None` for an empty list.
+    pub fn from_conjuncts<I: IntoIterator<Item = Predicate>>(conjuncts: I) -> Option<Predicate> {
+        conjuncts.into_iter().reduce(Predicate::and)
+    }
+
+    /// A copy with every referenced attribute name passed through `f`
+    /// — used by the plan optimizer to unqualify attribute names when
+    /// pushing conjuncts below a ×̃ whose schema qualified them.
+    pub fn map_attrs(&self, f: &impl Fn(&str) -> String) -> Predicate {
+        let map_operand = |o: &Operand| match o {
+            Operand::Attr(a) => Operand::Attr(f(a)),
+            other => other.clone(),
+        };
+        match self {
+            Predicate::Is { attr, values } => Predicate::Is {
+                attr: f(attr),
+                values: values.clone(),
+            },
+            Predicate::Theta { left, op, right } => Predicate::Theta {
+                left: map_operand(left),
+                op: *op,
+                right: map_operand(right),
+            },
+            Predicate::And(a, b) => {
+                Predicate::And(Box::new(a.map_attrs(f)), Box::new(b.map_attrs(f)))
+            }
+            Predicate::Or(a, b) => {
+                Predicate::Or(Box::new(a.map_attrs(f)), Box::new(b.map_attrs(f)))
+            }
+            Predicate::Not(a) => Predicate::Not(Box::new(a.map_attrs(f))),
+        }
+    }
+
+    /// `true` if any θ-operand is an evidence-set literal. Such
+    /// predicates never have crisp support, which disqualifies them
+    /// from the plan optimizer's σ̃-under-∪̃ distribution.
+    pub fn has_evidence_literal(&self) -> bool {
+        match self {
+            Predicate::Is { .. } => false,
+            Predicate::Theta { left, right, .. } => {
+                matches!(left, Operand::Evidence(_)) || matches!(right, Operand::Evidence(_))
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.has_evidence_literal() || b.has_evidence_literal()
+            }
+            Predicate::Not(a) => a.has_evidence_literal(),
+        }
+    }
 }
 
 impl fmt::Display for Predicate {

@@ -11,19 +11,16 @@ use evirel_relation::{AttrType, AttrValue, ExtendedRelation, Schema, Tuple};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Compute `left ×̃ right`.
+/// The schema of `left ×̃ right`: both attribute lists concatenated,
+/// clashing names qualified with the source relation's name. Exposed
+/// so the plan layer's streaming product/join operators derive the
+/// exact same schema as the free function.
 ///
 /// # Errors
 /// [`AlgebraError::AmbiguousAttribute`] if qualification still leaves
 /// duplicate attribute names (e.g. both relations are named
 /// identically and share an attribute name).
-pub fn product(
-    left: &ExtendedRelation,
-    right: &ExtendedRelation,
-) -> Result<ExtendedRelation, AlgebraError> {
-    let ls = left.schema();
-    let rs = right.schema();
-
+pub fn product_schema(ls: &Schema, rs: &Schema) -> Result<Schema, AlgebraError> {
     // Determine which names clash and need qualification.
     let left_names: HashSet<&str> = ls.attrs().iter().map(|a| a.name()).collect();
     let right_names: HashSet<&str> = rs.attrs().iter().map(|a| a.name()).collect();
@@ -51,7 +48,20 @@ pub fn product(
             };
         }
     }
-    let out_schema = Arc::new(builder.build()?);
+    Ok(builder.build()?)
+}
+
+/// Compute `left ×̃ right`.
+///
+/// # Errors
+/// [`AlgebraError::AmbiguousAttribute`] if qualification still leaves
+/// duplicate attribute names (e.g. both relations are named
+/// identically and share an attribute name).
+pub fn product(
+    left: &ExtendedRelation,
+    right: &ExtendedRelation,
+) -> Result<ExtendedRelation, AlgebraError> {
+    let out_schema = Arc::new(product_schema(left.schema(), right.schema())?);
 
     let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
     for l in left.iter() {

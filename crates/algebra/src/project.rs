@@ -20,7 +20,29 @@ use std::sync::Arc;
 /// * [`AlgebraError::Relation`] for unknown attributes.
 pub fn project(rel: &ExtendedRelation, attrs: &[&str]) -> Result<ExtendedRelation, AlgebraError> {
     let schema = rel.schema();
+    let positions = projection_positions(schema, attrs)?;
+    let out_schema =
+        Arc::new(projected_schema(schema, &positions)?.renamed(format!("π({})", schema.name())));
 
+    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
+    for tuple in rel.iter() {
+        // Closure: zero-support tuples are not stored (only possible
+        // when projecting a complement-augmented relation).
+        if tuple.membership().is_positive() {
+            out.insert(tuple.project(&positions))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Validate a projection attribute list against `schema` and return
+/// the source positions, in list order. Exposed for the plan layer's
+/// streaming project operator and plan-time semantic checks.
+///
+/// # Errors
+/// As [`project`]: duplicate names, missing key attributes, unknown
+/// attributes.
+pub fn projection_positions(schema: &Schema, attrs: &[&str]) -> Result<Vec<usize>, AlgebraError> {
     let mut seen = HashSet::new();
     let mut positions = Vec::with_capacity(attrs.len());
     for name in attrs {
@@ -31,7 +53,6 @@ pub fn project(rel: &ExtendedRelation, attrs: &[&str]) -> Result<ExtendedRelatio
         }
         positions.push(schema.position(name)?);
     }
-
     for &key_pos in schema.key_positions() {
         if !positions.contains(&key_pos) {
             return Err(AlgebraError::ProjectionMissingKey {
@@ -39,10 +60,18 @@ pub fn project(rel: &ExtendedRelation, attrs: &[&str]) -> Result<ExtendedRelatio
             });
         }
     }
+    Ok(positions)
+}
 
-    // Build the projected schema, preserving key-ness and types.
-    let mut builder = Schema::builder(format!("π({})", schema.name()));
-    for &pos in &positions {
+/// The schema obtained by keeping `positions` (in order), preserving
+/// key-ness, types, and the source relation's name.
+///
+/// # Errors
+/// Schema-construction failures (duplicate names, no key) — cannot
+/// occur for positions produced by [`projection_positions`].
+pub fn projected_schema(schema: &Schema, positions: &[usize]) -> Result<Schema, AlgebraError> {
+    let mut builder = Schema::builder(schema.name().to_owned());
+    for &pos in positions {
         let attr = schema.attr(pos);
         builder = match (attr.is_key(), attr.ty()) {
             (true, evirel_relation::AttrType::Definite(kind)) => builder.key(attr.name(), *kind),
@@ -54,17 +83,7 @@ pub fn project(rel: &ExtendedRelation, attrs: &[&str]) -> Result<ExtendedRelatio
             }
         };
     }
-    let out_schema = Arc::new(builder.build()?);
-
-    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
-    for tuple in rel.iter() {
-        // Closure: zero-support tuples are not stored (only possible
-        // when projecting a complement-augmented relation).
-        if tuple.membership().is_positive() {
-            out.insert(tuple.project(&positions))?;
-        }
-    }
-    Ok(out)
+    Ok(builder.build()?)
 }
 
 #[cfg(test)]

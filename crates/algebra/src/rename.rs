@@ -24,7 +24,20 @@ pub fn rename_attribute(
     from: &str,
     to: &str,
 ) -> Result<ExtendedRelation, AlgebraError> {
-    let schema = rel.schema();
+    let out_schema = Arc::new(attribute_renamed_schema(rel.schema(), from, to)?);
+    Ok(rebuild(rel, out_schema))
+}
+
+/// The schema of [`rename_attribute`]'s result — exposed for the plan
+/// layer's streaming rename operator.
+///
+/// # Errors
+/// As [`rename_attribute`].
+pub fn attribute_renamed_schema(
+    schema: &Schema,
+    from: &str,
+    to: &str,
+) -> Result<Schema, AlgebraError> {
     let pos = schema.position(from)?;
     if schema.position(to).is_ok() {
         return Err(AlgebraError::Relation(
@@ -42,8 +55,7 @@ pub fn rename_attribute(
             (_, AttrType::Evidential(domain)) => builder.evidential(name, Arc::clone(domain)),
         };
     }
-    let out_schema = Arc::new(builder.build()?);
-    Ok(rebuild(rel, out_schema))
+    Ok(builder.build()?)
 }
 
 fn rebuild(rel: &ExtendedRelation, schema: Arc<Schema>) -> ExtendedRelation {

@@ -1,0 +1,157 @@
+//! Plan-layer benchmark: the same ∪̃ → σ̃ → π̃ pipeline executed two
+//! ways — *materialized* (algebra free functions, a whole
+//! `ExtendedRelation` built between every operator) vs *streaming*
+//! (`evirel-plan` optimized logical plan over pull-based operators).
+//!
+//! Besides wall-clock, a counting global allocator reports the
+//! allocation volume of one run of each path, since cutting
+//! intermediate materialization is the point of the streaming
+//! executor. Reference numbers live in `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use evirel_algebra::union::{union_with, UnionOptions};
+use evirel_algebra::{project, select, Predicate, Threshold};
+use evirel_plan::{execute_plan, scan, Bindings, ExecContext, LogicalPlan};
+use evirel_relation::ExtendedRelation;
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn measured() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn pair(tuples: usize) -> (ExtendedRelation, ExtendedRelation) {
+    generate_pair(&PairConfig {
+        base: GeneratorConfig {
+            tuples,
+            ..Default::default()
+        },
+        key_overlap: 0.5,
+        conflict_bias: 0.0,
+    })
+    .expect("generator config is valid")
+}
+
+fn predicate() -> Predicate {
+    Predicate::is("e0", ["v0", "v1", "v2", "v3"])
+}
+
+fn pipeline_plan() -> LogicalPlan {
+    scan("ga")
+        .union(scan("gb"))
+        .select(predicate())
+        .project(["k", "e0"])
+        .build()
+}
+
+/// The naive path: every operator materializes its whole result.
+fn run_materialized(a: &ExtendedRelation, b: &ExtendedRelation) -> ExtendedRelation {
+    let union = union_with(a, b, &UnionOptions::default())
+        .expect("no total conflict at bias 0")
+        .relation;
+    let selected = select(&union, &predicate(), &Threshold::POSITIVE).expect("valid predicate");
+    project(&selected, &["k", "e0"]).expect("valid projection")
+}
+
+/// The streaming path: optimized plan over pull-based operators.
+fn run_streaming(bindings: &Bindings, plan: &LogicalPlan) -> ExtendedRelation {
+    let mut ctx = ExecContext::new();
+    execute_plan(plan, bindings, &mut ctx).expect("plan executes")
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan/pipeline");
+    // Smoke runs (cargo test --benches, CI) use a small size; full
+    // measurement sweeps 10^4–10^5 tuples per source.
+    let sizes: &[usize] = if measured() {
+        &[10_000, 100_000]
+    } else {
+        &[2_000]
+    };
+    for &tuples in sizes {
+        let (a, b) = pair(tuples);
+        let mut bindings = Bindings::new();
+        bindings.bind("ga", a.clone()).bind("gb", b.clone());
+        let plan = pipeline_plan();
+        // Sanity: both paths agree before we time them.
+        assert!(run_materialized(&a, &b).approx_eq(&run_streaming(&bindings, &plan)));
+        group.throughput(Throughput::Elements(tuples as u64));
+        group.bench_with_input(
+            BenchmarkId::new("materialized", tuples),
+            &tuples,
+            |bench, _| bench.iter(|| run_materialized(black_box(&a), black_box(&b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming", tuples),
+            &tuples,
+            |bench, _| bench.iter(|| run_streaming(black_box(&bindings), black_box(&plan))),
+        );
+    }
+    group.finish();
+}
+
+/// One instrumented run of each path: allocation count and bytes.
+fn allocation_report() {
+    let tuples = if measured() { 10_000 } else { 2_000 };
+    let (a, b) = pair(tuples);
+    let mut bindings = Bindings::new();
+    bindings.bind("ga", a.clone()).bind("gb", b.clone());
+    let plan = pipeline_plan();
+
+    let measure = |label: &str, f: &mut dyn FnMut() -> ExtendedRelation| {
+        let (a0, b0) = (
+            ALLOCATIONS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        );
+        let out = f();
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - a0;
+        let bytes = BYTES.load(Ordering::Relaxed) - b0;
+        println!(
+            "plan/allocations/{label}/{tuples}: {allocs} allocations, {:.1} MiB ({} result tuples)",
+            bytes as f64 / (1024.0 * 1024.0),
+            out.len()
+        );
+    };
+    measure("materialized", &mut || run_materialized(&a, &b));
+    measure("streaming", &mut || run_streaming(&bindings, &plan));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline
+}
+
+fn main() {
+    benches();
+    allocation_report();
+}

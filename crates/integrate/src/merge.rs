@@ -6,13 +6,20 @@
 //! dispatches per attribute through the [`MethodRegistry`], so
 //! evidential combination, Dayal aggregates, and trust policies
 //! coexist — the §1.3 coexistence claim, executable.
+//!
+//! Execution runs through `evirel-plan`'s streaming [`MergeOp`]: the
+//! right relation is key-indexed once, the left relation streams
+//! through, and [`RegistryMerger`] plugs the per-attribute method
+//! dispatch into the same operator that serves the algebra's ∪̃ — so
+//! the Figure 1 merge stage and EQL's `UNION` share one executor.
 
 use crate::entity_id::MatchOutcome;
 use crate::error::IntegrateError;
 use crate::methods::{IntegrationMethod, MethodRegistry};
 use evirel_algebra::{AttributeConflict, ConflictPolicy, ConflictReport};
 use evirel_evidence::{combine, rules::CombinationRule, EvidenceError, MassFunction};
-use evirel_relation::{AttrType, AttrValue, ExtendedRelation, SupportPair, Tuple, Value};
+use evirel_plan::{ExecContext, MergeOp, MergePairing, PlanError, ScanOp, TupleMerger};
+use evirel_relation::{AttrType, AttrValue, ExtendedRelation, Schema, SupportPair, Tuple, Value};
 use std::sync::Arc;
 
 /// The result of tuple merging.
@@ -38,56 +45,168 @@ pub fn merge_relations(
     matching: &MatchOutcome,
     registry: &MethodRegistry,
 ) -> Result<MergeOutcome, IntegrateError> {
+    // The per-Arc shallow clone here only bumps tuple refcounts and
+    // rebuilds the key index; the pipeline avoids even that via
+    // [`merge_relations_shared`].
+    merge_relations_shared(
+        Arc::new(left.clone()),
+        Arc::new(right.clone()),
+        matching,
+        registry,
+    )
+}
+
+/// [`merge_relations`] over shared handles — the zero-copy entry
+/// point the pipeline uses (scan operators stream the relations
+/// without cloning them).
+///
+/// # Errors
+/// As [`merge_relations`].
+pub fn merge_relations_shared(
+    left: Arc<ExtendedRelation>,
+    right: Arc<ExtendedRelation>,
+    matching: &MatchOutcome,
+    registry: &MethodRegistry,
+) -> Result<MergeOutcome, IntegrateError> {
     let schema = left.schema();
     schema
         .check_union_compatible(right.schema())
         .map_err(IntegrateError::Relation)?;
     registry.validate(schema)?;
-
-    let out_schema =
-        Arc::new(schema.renamed(format!("{}⊎{}", schema.name(), right.schema().name())));
-    let mut out = ExtendedRelation::new(Arc::clone(&out_schema));
-    let mut report = ConflictReport::new();
-
+    // The streaming operator silently skips keys it never encounters,
+    // so matcher consistency is checked up front: every listed key
+    // must exist, and a key may be claimed at most once across
+    // `matched` and the `*_only` lists of its side (the old
+    // materializing merger made such mistakes loud via duplicate-key
+    // insert failures or silently produced extra rows).
+    let mut matched = std::collections::HashMap::with_capacity(matching.matched.len());
+    let mut matched_right = std::collections::HashSet::with_capacity(matching.matched.len());
     for (lk, rk) in &matching.matched {
-        let l = left
-            .get_by_key(lk)
-            .ok_or_else(|| IntegrateError::BadMatch {
-                reason: format!("left key {} not found", Value::render_key(lk)),
-            })?;
-        let r = right
-            .get_by_key(rk)
-            .ok_or_else(|| IntegrateError::BadMatch {
-                reason: format!("right key {} not found", Value::render_key(rk)),
-            })?;
-        if let Some(tuple) = merge_pair(schema, lk, l, r, registry, &mut report)? {
-            out.insert(tuple)?;
+        require_key(&left, lk, "left")?;
+        require_key(&right, rk, "right")?;
+        if !matched_right.insert(rk.clone()) {
+            return Err(IntegrateError::BadMatch {
+                reason: format!("right key {} matched twice", Value::render_key(rk)),
+            });
+        }
+        if matched.insert(lk.clone(), rk.clone()).is_some() {
+            return Err(IntegrateError::BadMatch {
+                reason: format!("left key {} matched twice", Value::render_key(lk)),
+            });
         }
     }
     for key in &matching.left_only {
-        let t = left
-            .get_by_key(key)
-            .ok_or_else(|| IntegrateError::BadMatch {
-                reason: format!("left key {} not found", Value::render_key(key)),
-            })?;
-        if t.membership().is_positive() {
-            out.insert(t.clone())?;
+        require_key(&left, key, "left")?;
+        if matched.contains_key(key.as_slice()) {
+            return Err(IntegrateError::BadMatch {
+                reason: format!(
+                    "left key {} is both matched and left-only",
+                    Value::render_key(key)
+                ),
+            });
         }
     }
     for key in &matching.right_only {
-        let t = right
-            .get_by_key(key)
-            .ok_or_else(|| IntegrateError::BadMatch {
-                reason: format!("right key {} not found", Value::render_key(key)),
-            })?;
-        if t.membership().is_positive() {
-            out.insert(t.clone())?;
+        require_key(&right, key, "right")?;
+        if matched_right.contains(key.as_slice()) {
+            return Err(IntegrateError::BadMatch {
+                reason: format!(
+                    "right key {} is both matched and right-only",
+                    Value::render_key(key)
+                ),
+            });
         }
     }
+
+    let name = format!("{}⊎{}", schema.name(), right.schema().name());
+    let pairing = MergePairing {
+        matched,
+        left_only: matching.left_only.iter().cloned().collect(),
+        right_only: matching.right_only.iter().cloned().collect(),
+    };
+    let mut ctx = ExecContext::new();
+    let left_name = schema.name().to_owned();
+    let right_name = right.schema().name().to_owned();
+    let mut op = MergeOp::with_pairing(
+        Box::new(ScanOp::new(left_name, left)),
+        Box::new(ScanOp::new(right_name, right)),
+        Box::new(RegistryMerger {
+            registry: registry.clone(),
+        }),
+        pairing,
+        name,
+    )
+    .map_err(from_plan_error)?;
+    let relation = evirel_plan::run(&mut op, &mut ctx).map_err(from_plan_error)?;
     Ok(MergeOutcome {
-        relation: out,
-        report,
+        relation,
+        report: ctx.conflict_report(),
     })
+}
+
+fn require_key(rel: &ExtendedRelation, key: &[Value], side: &str) -> Result<(), IntegrateError> {
+    if rel.contains_key(key) {
+        Ok(())
+    } else {
+        Err(IntegrateError::BadMatch {
+            reason: format!("{side} key {} not found", Value::render_key(key)),
+        })
+    }
+}
+
+/// [`TupleMerger`] adapter: per-attribute method dispatch through the
+/// [`MethodRegistry`], riding the plan layer's streaming merge
+/// operator.
+struct RegistryMerger {
+    registry: MethodRegistry,
+}
+
+impl TupleMerger for RegistryMerger {
+    fn merge(
+        &self,
+        schema: &Schema,
+        key: &[Value],
+        left: &Tuple,
+        right: &Tuple,
+        report: &mut ConflictReport,
+    ) -> Result<Option<Tuple>, PlanError> {
+        merge_pair(schema, key, left, right, &self.registry, report).map_err(to_plan_error)
+    }
+
+    fn describe(&self) -> String {
+        "method registry".to_owned()
+    }
+}
+
+/// Round-trip integrate errors through the plan layer without losing
+/// their type: [`to_plan_error`] for the merger, [`from_plan_error`]
+/// when execution hands them back.
+fn to_plan_error(e: IntegrateError) -> PlanError {
+    match e {
+        IntegrateError::Algebra(a) => PlanError::Algebra(a),
+        IntegrateError::Relation(r) => PlanError::Relation(r),
+        IntegrateError::Evidence(ev) => {
+            PlanError::Algebra(evirel_algebra::AlgebraError::Evidence(ev))
+        }
+        IntegrateError::MethodMismatch { attr, reason } => PlanError::Merge { attr, reason },
+        other => PlanError::Pairing {
+            reason: other.to_string(),
+        },
+    }
+}
+
+fn from_plan_error(e: PlanError) -> IntegrateError {
+    match e {
+        PlanError::Algebra(evirel_algebra::AlgebraError::Evidence(ev)) => {
+            IntegrateError::Evidence(ev)
+        }
+        PlanError::Algebra(a) => IntegrateError::Algebra(a),
+        PlanError::Relation(r) => IntegrateError::Relation(r),
+        PlanError::Merge { attr, reason } => IntegrateError::MethodMismatch { attr, reason },
+        other => IntegrateError::BadMatch {
+            reason: other.to_string(),
+        },
+    }
 }
 
 fn merge_pair(
@@ -315,6 +434,54 @@ mod tests {
         // Conflict recorded.
         assert_eq!(out.report.len(), 1);
         assert!((out.report.conflicts()[0].kappa - 0.4).abs() < 1e-9);
+    }
+
+    /// A matcher that pairs one left key twice (or lists a key as
+    /// both matched and left-only) is invalid and must fail loudly,
+    /// not silently drop a pairing.
+    #[test]
+    fn inconsistent_matchings_rejected() {
+        let (l, r) = (left(), right());
+        let wok = vec![Value::str("wok")];
+        let solo = vec![Value::str("solo-right")];
+        let matching = MatchOutcome {
+            matched: vec![(wok.clone(), wok.clone()), (wok.clone(), solo)],
+            left_only: Vec::new(),
+            right_only: Vec::new(),
+        };
+        assert!(matches!(
+            merge_relations(&l, &r, &matching, &registry()),
+            Err(IntegrateError::BadMatch { .. })
+        ));
+        let matching = MatchOutcome {
+            matched: vec![(wok.clone(), wok.clone())],
+            left_only: vec![wok.clone()],
+            right_only: Vec::new(),
+        };
+        assert!(matches!(
+            merge_relations(&l, &r, &matching, &registry()),
+            Err(IntegrateError::BadMatch { .. })
+        ));
+        // Right-side double claims are rejected symmetrically.
+        let solo_left = vec![Value::str("solo-left")];
+        let matching = MatchOutcome {
+            matched: vec![(wok.clone(), wok.clone()), (solo_left, wok.clone())],
+            left_only: Vec::new(),
+            right_only: Vec::new(),
+        };
+        assert!(matches!(
+            merge_relations(&l, &r, &matching, &registry()),
+            Err(IntegrateError::BadMatch { .. })
+        ));
+        let matching = MatchOutcome {
+            matched: vec![(wok.clone(), wok.clone())],
+            left_only: Vec::new(),
+            right_only: vec![wok],
+        };
+        assert!(matches!(
+            merge_relations(&l, &r, &matching, &registry()),
+            Err(IntegrateError::BadMatch { .. })
+        ));
     }
 
     #[test]

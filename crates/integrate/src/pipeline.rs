@@ -8,7 +8,7 @@
 
 use crate::entity_id::{EntityMatcher, KeyMatcher, MatchOutcome};
 use crate::error::IntegrateError;
-use crate::merge::{merge_relations, MergeOutcome};
+use crate::merge::{merge_relations_shared, MergeOutcome};
 use crate::methods::MethodRegistry;
 use crate::preprocess::Preprocessor;
 use evirel_algebra::ConflictReport;
@@ -144,16 +144,17 @@ impl Integrator {
             reason: "run_many requires at least one source".to_owned(),
         })?;
         // Single source: preprocess and pass through.
-        let mut acc = self
-            .left_pre
-            .apply(first, Arc::clone(&self.global_schema))?;
+        let mut acc = Arc::new(
+            self.left_pre
+                .apply(first, Arc::clone(&self.global_schema))?,
+        );
         let mut outcome: Option<IntegrationOutcome> = None;
         for source in rest {
             // The accumulator is already in global terms; only the new
             // source passes through (right) preprocessing, so e.g.
             // reliability discounting is never applied twice.
-            let step = self.run_step(&acc, source)?;
-            acc = step.relation.clone();
+            let step = self.run_step(Arc::clone(&acc), source)?;
+            acc = Arc::new(step.relation.clone());
             outcome = Some(match outcome {
                 None => step,
                 Some(prev) => IntegrationOutcome {
@@ -199,7 +200,7 @@ impl Integrator {
                     max_kappa: 0.0,
                 };
                 Ok(IntegrationOutcome {
-                    relation: acc,
+                    relation: Arc::try_unwrap(acc).unwrap_or_else(|shared| (*shared).clone()),
                     report: ConflictReport::new(),
                     matching: crate::entity_id::MatchOutcome {
                         matched: Vec::new(),
@@ -222,27 +223,32 @@ impl Integrator {
         right: &ExtendedRelation,
     ) -> Result<IntegrationOutcome, IntegrateError> {
         // Stage 1 (left half): attribute preprocessing.
-        let left_pre = self.left_pre.apply(left, Arc::clone(&self.global_schema))?;
-        self.run_step(&left_pre, right)
+        let left_pre = Arc::new(self.left_pre.apply(left, Arc::clone(&self.global_schema))?);
+        self.run_step(left_pre, right)
     }
 
     /// Stages 1 (right half) – 3 with an already-preprocessed left
     /// relation.
     fn run_step(
         &self,
-        left_pre: &ExtendedRelation,
+        left_pre: Arc<ExtendedRelation>,
         right: &ExtendedRelation,
     ) -> Result<IntegrationOutcome, IntegrateError> {
-        let right_pre = self
-            .right_pre
-            .apply(right, Arc::clone(&self.global_schema))?;
+        let right_pre = Arc::new(
+            self.right_pre
+                .apply(right, Arc::clone(&self.global_schema))?,
+        );
 
         // Stage 2: entity identification.
-        let matching = self.matcher.match_tuples(left_pre, &right_pre)?;
+        let matching = self.matcher.match_tuples(&left_pre, &right_pre)?;
 
-        // Stage 3: tuple merging.
-        let MergeOutcome { relation, report } =
-            merge_relations(left_pre, &right_pre, &matching, &self.registry)?;
+        // Stage 3: tuple merging — streamed, no input copies.
+        let MergeOutcome { relation, report } = merge_relations_shared(
+            Arc::clone(&left_pre),
+            Arc::clone(&right_pre),
+            &matching,
+            &self.registry,
+        )?;
 
         let trace = StageTrace {
             left_in: left_pre.len(),

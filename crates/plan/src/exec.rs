@@ -1,0 +1,316 @@
+//! Physical planning and execution.
+//!
+//! [`physical`] lowers an (ideally optimized) [`LogicalPlan`] into an
+//! [`Operator`] tree; [`execute_plan`] optimizes, builds, and drives
+//! it to a materialized relation; [`explain_plan`] renders all three
+//! stages — logical tree, fired rewrite rules, optimized tree,
+//! physical tree.
+//!
+//! Physical fusion: a σ̃ directly above a ×̃ whose predicate carries an
+//! equality conjunct between definite attributes of opposite sides
+//! becomes a [`HashJoinOp`] — the streaming ⋈̃ that builds its key
+//! index once and probes it per left tuple.
+
+use crate::error::PlanError;
+use crate::logical::{LogicalPlan, RelationSource};
+use crate::ops::{
+    run, DempsterMerger, DifferenceOp, HashJoinOp, MergeOp, Operator, ProductOp, ProjectOp,
+    RenameOp, ScanOp, SelectOp, ThresholdOp,
+};
+use crate::rewrite::{optimize, Rewrite};
+use crate::ExecContext;
+use evirel_algebra::predicate::Predicate;
+use evirel_algebra::threshold::Threshold;
+use evirel_algebra::union::UnionOptions;
+use evirel_relation::ExtendedRelation;
+
+/// Lower a logical plan into a physical operator tree, without
+/// optimizing or running it.
+///
+/// # Errors
+/// Unknown relations, invalid projections/renames/thresholds,
+/// incompatible schemas.
+pub fn physical(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+) -> Result<Box<dyn Operator>, PlanError> {
+    Ok(match plan {
+        LogicalPlan::Scan { name } => {
+            let rel = source
+                .relation(name)
+                .ok_or_else(|| PlanError::UnknownRelation { name: name.clone() })?;
+            Box::new(ScanOp::new(name.clone(), rel))
+        }
+        LogicalPlan::Select {
+            input,
+            predicate,
+            threshold,
+        } => {
+            if let LogicalPlan::Product { left, right } = &**input {
+                return build_join(left, right, predicate, threshold, source, options);
+            }
+            Box::new(SelectOp::new(
+                physical(input, source, options)?,
+                predicate.clone(),
+                *threshold,
+            )?)
+        }
+        LogicalPlan::ThresholdFilter { input, threshold } => Box::new(ThresholdOp::new(
+            physical(input, source, options)?,
+            *threshold,
+        )?),
+        LogicalPlan::Project { input, attrs } => {
+            Box::new(ProjectOp::new(physical(input, source, options)?, attrs)?)
+        }
+        LogicalPlan::Product { left, right } => Box::new(ProductOp::new(
+            physical(left, source, options)?,
+            physical(right, source, options)?,
+        )?),
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            threshold,
+        } => return build_join(left, right, on, threshold, source, options),
+        LogicalPlan::Union { left, right } => Box::new(MergeOp::union(
+            physical(left, source, options)?,
+            physical(right, source, options)?,
+            Box::new(DempsterMerger {
+                options: options.clone(),
+            }),
+        )?),
+        LogicalPlan::Intersect { left, right } => Box::new(MergeOp::intersect(
+            physical(left, source, options)?,
+            physical(right, source, options)?,
+            Box::new(DempsterMerger {
+                options: options.clone(),
+            }),
+        )?),
+        LogicalPlan::Difference { left, right } => Box::new(DifferenceOp::new(
+            physical(left, source, options)?,
+            physical(right, source, options)?,
+        )?),
+        LogicalPlan::RenameRelation { input, name } => {
+            Box::new(RenameOp::relation(physical(input, source, options)?, name))
+        }
+        LogicalPlan::RenameAttribute { input, from, to } => Box::new(RenameOp::attribute(
+            physical(input, source, options)?,
+            from,
+            to,
+        )?),
+    })
+}
+
+fn build_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    predicate: &Predicate,
+    threshold: &Threshold,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+) -> Result<Box<dyn Operator>, PlanError> {
+    let left_op = physical(left, source, options)?;
+    let right_op = physical(right, source, options)?;
+    let product_schema =
+        evirel_algebra::product::product_schema(left_op.schema(), right_op.schema())?;
+    match HashJoinOp::indexable_conjunct(
+        predicate,
+        left_op.schema(),
+        right_op.schema(),
+        &product_schema,
+    ) {
+        Some((lp, rp)) => Ok(Box::new(HashJoinOp::new(
+            left_op,
+            right_op,
+            predicate.clone(),
+            *threshold,
+            lp,
+            rp,
+        )?)),
+        None => Ok(Box::new(SelectOp::new(
+            Box::new(ProductOp::new(left_op, right_op)?),
+            predicate.clone(),
+            *threshold,
+        )?)),
+    }
+}
+
+/// Optimize and execute a plan, materializing the result. Side
+/// outputs (conflict reports, κ stats) accumulate in `ctx`.
+///
+/// # Errors
+/// Plan-build and operator errors.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    ctx: &mut ExecContext,
+) -> Result<ExtendedRelation, PlanError> {
+    let (optimized, _) = optimize(plan, source);
+    let options = ctx.union_options.clone();
+    let mut op = physical(&optimized, source, &options)?;
+    run(op.as_mut(), ctx)
+}
+
+/// Optimize and lower a plan into an operator tree without running it
+/// — for callers that want to pull tuples themselves.
+///
+/// # Errors
+/// As [`execute_plan`], minus execution.
+pub fn open_plan(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+) -> Result<Box<dyn Operator>, PlanError> {
+    let (optimized, _) = optimize(plan, source);
+    physical(&optimized, source, options)
+}
+
+/// Render the full `EXPLAIN`: logical tree, fired rewrites, optimized
+/// tree, physical operator tree.
+///
+/// # Errors
+/// Plan-build errors (the physical tree must be constructible).
+pub fn explain_plan(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+) -> Result<String, PlanError> {
+    let (optimized, fired) = optimize(plan, source);
+    let op = physical(&optimized, source, options)?;
+    let mut out = String::new();
+    out.push_str("logical:\n");
+    push_indented(&mut out, &plan.render());
+    out.push_str("rewrites:\n");
+    if fired.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        for rewrite in &fired {
+            out.push_str(&format!("  - {rewrite}\n"));
+        }
+    }
+    out.push_str("optimized:\n");
+    push_indented(&mut out, &optimized.render());
+    out.push_str("physical:\n");
+    push_indented(&mut out, &crate::ops::render_physical(op.as_ref()));
+    Ok(out)
+}
+
+/// The rewrites [`optimize`] would apply, without executing anything.
+pub fn planned_rewrites(plan: &LogicalPlan, source: &dyn RelationSource) -> Vec<Rewrite> {
+    optimize(plan, source).1
+}
+
+fn push_indented(out: &mut String, text: &str) {
+    for line in text.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{scan, Bindings};
+    use evirel_algebra::{Operand, ThetaOp};
+    use evirel_relation::{AttrDomain, RelationBuilder, Schema, Value, ValueKind};
+    use std::sync::Arc;
+
+    fn bindings() -> Bindings {
+        let d = Arc::new(AttrDomain::categorical("spec", ["mu", "it"]).unwrap());
+        let r_schema = Arc::new(
+            Schema::builder("R")
+                .key_str("rname")
+                .evidential("spec", d)
+                .build()
+                .unwrap(),
+        );
+        let r = RelationBuilder::new(r_schema)
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_evidence("spec", [(&["mu"][..], 0.8), (&["it"][..], 0.2)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("rname", "olive")
+                    .set_evidence("spec", [(&["it"][..], 1.0)])
+            })
+            .unwrap()
+            .build();
+        let m_schema = Arc::new(
+            Schema::builder("RM")
+                .key_str("rname")
+                .definite("mname", ValueKind::Str)
+                .build()
+                .unwrap(),
+        );
+        let m = RelationBuilder::new(m_schema)
+            .tuple(|t| {
+                t.set_str("rname", "mehl")
+                    .set_str("mname", "alice")
+                    .membership_pair(0.9, 1.0)
+            })
+            .unwrap()
+            .tuple(|t| t.set_str("rname", "wok").set_str("mname", "bob"))
+            .unwrap()
+            .build();
+        let mut b = Bindings::new();
+        b.bind("r", r).bind("rm", m);
+        b
+    }
+
+    #[test]
+    fn join_runs_as_hash_join() {
+        let b = bindings();
+        let on = Predicate::theta(
+            Operand::attr("R.rname"),
+            ThetaOp::Eq,
+            Operand::attr("RM.rname"),
+        );
+        let plan = scan("r").join(scan("rm"), on).build();
+        let text = explain_plan(&plan, &b, &UnionOptions::default()).unwrap();
+        assert!(text.contains("hash rname = rname"), "{text}");
+        assert!(text.contains("join-expansion"), "{text}");
+        let mut ctx = ExecContext::new();
+        let out = execute_plan(&plan, &b, &mut ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        let t = out
+            .get_by_key(&[Value::str("mehl"), Value::str("mehl")])
+            .unwrap();
+        assert!((t.membership().sn() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_equi_join_falls_back_to_product_select() {
+        let b = bindings();
+        let on = Predicate::theta(
+            Operand::attr("R.rname"),
+            ThetaOp::Ne,
+            Operand::attr("RM.rname"),
+        );
+        let plan = scan("r").join(scan("rm"), on).build();
+        let text = explain_plan(&plan, &b, &UnionOptions::default()).unwrap();
+        assert!(!text.contains("hash"), "{text}");
+        assert!(text.contains("×̃"), "{text}");
+        let mut ctx = ExecContext::new();
+        let out = execute_plan(&plan, &b, &mut ctx).unwrap();
+        // mehl–wok, olive–mehl, olive–wok survive the ≠ predicate.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn explain_sections_present() {
+        let b = bindings();
+        let plan = scan("r")
+            .select(Predicate::is("spec", ["mu"]))
+            .threshold(Threshold::SnAtLeast(0.5))
+            .project(["rname", "spec"])
+            .build();
+        let text = explain_plan(&plan, &b, &UnionOptions::default()).unwrap();
+        for section in ["logical:", "rewrites:", "optimized:", "physical:"] {
+            assert!(text.contains(section), "{text}");
+        }
+        assert!(text.contains("threshold-fusion"), "{text}");
+    }
+}

@@ -1,0 +1,1225 @@
+//! Pull-based physical operators.
+//!
+//! Every operator implements [`Operator`] — `open` / `next` / `close`
+//! over [`Tuple`]s — so composed queries stream tuple-at-a-time
+//! instead of materializing an [`ExtendedRelation`] between every
+//! algebra step. Stateful operators ([`MergeOp`], [`HashJoinOp`],
+//! [`DifferenceOp`], [`ProductOp`]) build their key index or buffer
+//! exactly once, at `open`, and stream probes against it.
+//!
+//! Side outputs do not vanish: conflict reports and κ statistics from
+//! merging operators flow into the shared [`ExecContext`] instead of
+//! being discarded with the intermediate relation (the ∪̃ report the
+//! old `evirel-query` executor dropped).
+
+use crate::error::PlanError;
+use evirel_algebra::conflict::ConflictReport;
+use evirel_algebra::predicate::Predicate;
+use evirel_algebra::support::predicate_support;
+use evirel_algebra::threshold::Threshold;
+use evirel_algebra::union::UnionOptions;
+use evirel_algebra::AlgebraError;
+use evirel_relation::{ExtendedRelation, Schema, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Counters accumulated over one plan execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Tuples produced by scan leaves.
+    pub tuples_scanned: usize,
+    /// Tuples emitted by the plan root.
+    pub tuples_emitted: usize,
+    /// Matched pairs handed to a tuple merger.
+    pub pairs_merged: usize,
+    /// Attribute/membership conflicts observed while merging.
+    pub conflicts: usize,
+    /// Largest Dempster conflict mass κ observed (0.0 when none).
+    pub max_kappa: f64,
+}
+
+/// Shared execution state: union options for ∪̃-family operators,
+/// conflict reports collected from every merging operator, and
+/// counters.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    /// Options (conflict policy, combination rule, focal cap) used by
+    /// [`DempsterMerger`].
+    pub union_options: UnionOptions,
+    /// Execution counters.
+    pub stats: ExecStats,
+    reports: Vec<ConflictReport>,
+}
+
+impl ExecContext {
+    /// A context with default union options.
+    pub fn new() -> ExecContext {
+        ExecContext::default()
+    }
+
+    /// A context with explicit union options.
+    pub fn with_options(union_options: UnionOptions) -> ExecContext {
+        ExecContext {
+            union_options,
+            ..ExecContext::default()
+        }
+    }
+
+    /// Record one merging operator's conflict report.
+    pub fn record_report(&mut self, report: ConflictReport) {
+        self.stats.conflicts += report.len();
+        self.stats.max_kappa = self.stats.max_kappa.max(report.max_kappa());
+        self.reports.push(report);
+    }
+
+    /// Reports in operator-close order.
+    pub fn reports(&self) -> &[ConflictReport] {
+        &self.reports
+    }
+
+    /// All observations merged into a single report — the artifact for
+    /// the data administrator.
+    pub fn conflict_report(&self) -> ConflictReport {
+        let mut merged = ConflictReport::new();
+        for report in &self.reports {
+            for c in report.conflicts() {
+                merged.record(c.clone());
+            }
+        }
+        merged
+    }
+}
+
+/// A pull-based physical operator over extended tuples.
+pub trait Operator {
+    /// The schema of emitted tuples (available before `open`).
+    fn schema(&self) -> &Arc<Schema>;
+    /// Acquire resources; stateful operators build their index/buffer
+    /// here.
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError>;
+    /// The next tuple, or `None` when exhausted. Tuples travel as
+    /// [`Arc`] handles so pass-through operators (and the final
+    /// materialization) never deep-copy attribute values.
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError>;
+    /// Release resources and flush side outputs into `ctx`.
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError>;
+    /// One-line description for physical `EXPLAIN`.
+    fn describe(&self) -> String;
+    /// Direct inputs, for `EXPLAIN` tree rendering.
+    fn children(&self) -> Vec<&dyn Operator>;
+}
+
+/// Drive an operator to completion, materializing the result.
+///
+/// # Errors
+/// Operator errors; insertion errors for duplicate keys.
+pub fn run(op: &mut dyn Operator, ctx: &mut ExecContext) -> Result<ExtendedRelation, PlanError> {
+    op.open(ctx)?;
+    let mut out = ExtendedRelation::new(Arc::clone(op.schema()));
+    while let Some(tuple) = op.next(ctx)? {
+        ctx.stats.tuples_emitted += 1;
+        out.insert_shared(tuple)?;
+    }
+    op.close(ctx)?;
+    Ok(out)
+}
+
+/// Render a physical operator tree.
+pub fn render_physical(op: &dyn Operator) -> String {
+    fn walk(op: &dyn Operator, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&op.describe());
+        out.push('\n');
+        for child in op.children() {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    walk(op, 0, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------- scan
+
+/// Leaf: stream a bound relation's tuples in insertion order.
+pub struct ScanOp {
+    name: String,
+    rel: Arc<ExtendedRelation>,
+    pos: usize,
+}
+
+impl ScanOp {
+    /// Scan `rel`, displayed as `name`.
+    pub fn new(name: impl Into<String>, rel: Arc<ExtendedRelation>) -> ScanOp {
+        ScanOp {
+            name: name.into(),
+            rel,
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for ScanOp {
+    fn schema(&self) -> &Arc<Schema> {
+        self.rel.schema()
+    }
+
+    fn open(&mut self, _ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        match self.rel.get_shared(self.pos) {
+            Some(tuple) => {
+                self.pos += 1;
+                ctx.stats.tuples_scanned += 1;
+                Ok(Some(tuple))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext) -> Result<(), PlanError> {
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("scan {} ({} tuples)", self.name, self.rel.len())
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        Vec::new()
+    }
+}
+
+// -------------------------------------------------------------- select
+
+/// Streaming σ̃: revise each tuple's membership by `F_SS` support and
+/// keep it iff the threshold admits the revision. Preserves the input
+/// schema (including its name — see the naming convention in
+/// [`crate::logical`]).
+pub struct SelectOp {
+    child: Box<dyn Operator>,
+    predicate: Predicate,
+    threshold: Threshold,
+}
+
+impl SelectOp {
+    /// Wrap `child` in a selection.
+    ///
+    /// # Errors
+    /// [`AlgebraError::ThresholdNotPositive`] for thresholds that
+    /// could admit `sn = 0`.
+    pub fn new(
+        child: Box<dyn Operator>,
+        predicate: Predicate,
+        threshold: Threshold,
+    ) -> Result<SelectOp, PlanError> {
+        check_threshold(&threshold)?;
+        Ok(SelectOp {
+            child,
+            predicate,
+            threshold,
+        })
+    }
+}
+
+/// Replace a shared tuple's membership, copying attribute values only
+/// when the tuple is actually shared (copy-on-write).
+fn with_membership_shared(
+    tuple: Arc<Tuple>,
+    membership: evirel_relation::SupportPair,
+) -> Arc<Tuple> {
+    Arc::new(match Arc::try_unwrap(tuple) {
+        Ok(owned) => owned.with_membership_owned(membership),
+        Err(shared) => shared.with_membership(membership),
+    })
+}
+
+fn check_threshold(threshold: &Threshold) -> Result<(), PlanError> {
+    if threshold.ensures_positive_support() {
+        Ok(())
+    } else {
+        Err(PlanError::Algebra(AlgebraError::ThresholdNotPositive {
+            threshold: threshold.to_string(),
+        }))
+    }
+}
+
+impl Operator for SelectOp {
+    fn schema(&self) -> &Arc<Schema> {
+        self.child.schema()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        while let Some(tuple) = self.child.next(ctx)? {
+            let fss = predicate_support(self.child.schema(), &tuple, &self.predicate)?;
+            let revised = tuple.membership().and_independent(&fss);
+            if self.threshold.admits(&revised) && revised.is_positive() {
+                return Ok(Some(with_membership_shared(tuple, revised)));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        format!("σ̃[{}] with {}", self.predicate, self.threshold)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+// ----------------------------------------------------------- threshold
+
+/// Streaming membership filter: admit tuples whose *stored* `(sn, sp)`
+/// satisfies `Q` — the bare `WITH` clause.
+pub struct ThresholdOp {
+    child: Box<dyn Operator>,
+    threshold: Threshold,
+}
+
+impl ThresholdOp {
+    /// Wrap `child` in a membership filter.
+    ///
+    /// # Errors
+    /// As [`SelectOp::new`].
+    pub fn new(child: Box<dyn Operator>, threshold: Threshold) -> Result<ThresholdOp, PlanError> {
+        check_threshold(&threshold)?;
+        Ok(ThresholdOp { child, threshold })
+    }
+}
+
+impl Operator for ThresholdOp {
+    fn schema(&self) -> &Arc<Schema> {
+        self.child.schema()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        while let Some(tuple) = self.child.next(ctx)? {
+            if self.threshold.admits(&tuple.membership()) {
+                return Ok(Some(tuple));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        format!("σ̃[membership] with {}", self.threshold)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+// ------------------------------------------------------------- project
+
+/// Streaming π̃: reorder/drop attribute positions, membership carried
+/// over unchanged.
+pub struct ProjectOp {
+    child: Box<dyn Operator>,
+    positions: Vec<usize>,
+    schema: Arc<Schema>,
+}
+
+impl ProjectOp {
+    /// Project `child` onto `attrs` (keys must be kept).
+    ///
+    /// # Errors
+    /// As the free function: duplicates, missing keys, unknown
+    /// attributes.
+    pub fn new(child: Box<dyn Operator>, attrs: &[String]) -> Result<ProjectOp, PlanError> {
+        let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let positions = evirel_algebra::project::projection_positions(child.schema(), &names)?;
+        let schema = Arc::new(evirel_algebra::project::projected_schema(
+            child.schema(),
+            &positions,
+        )?);
+        Ok(ProjectOp {
+            child,
+            positions,
+            schema,
+        })
+    }
+}
+
+impl Operator for ProjectOp {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        while let Some(tuple) = self.child.next(ctx)? {
+            if tuple.membership().is_positive() {
+                return Ok(Some(Arc::new(tuple.project(&self.positions))));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        let names: Vec<&str> = self.schema.attrs().iter().map(|a| a.name()).collect();
+        format!("π̃[{}]", names.join(", "))
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+// ------------------------------------------------------------- product
+
+/// Streaming ×̃: buffer the right input once at `open`, stream the
+/// left, emit concatenated pairs with multiplied memberships.
+pub struct ProductOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    schema: Arc<Schema>,
+    right_buf: Vec<Arc<Tuple>>,
+    current_left: Option<Arc<Tuple>>,
+    right_pos: usize,
+}
+
+impl ProductOp {
+    /// Build the product of two operators.
+    ///
+    /// # Errors
+    /// [`AlgebraError::AmbiguousAttribute`] when qualification cannot
+    /// disambiguate the combined schema.
+    pub fn new(left: Box<dyn Operator>, right: Box<dyn Operator>) -> Result<ProductOp, PlanError> {
+        let schema = Arc::new(evirel_algebra::product::product_schema(
+            left.schema(),
+            right.schema(),
+        )?);
+        Ok(ProductOp {
+            left,
+            right,
+            schema,
+            right_buf: Vec::new(),
+            current_left: None,
+            right_pos: 0,
+        })
+    }
+}
+
+impl Operator for ProductOp {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.left.open(ctx)?;
+        self.right.open(ctx)?;
+        while let Some(tuple) = self.right.next(ctx)? {
+            self.right_buf.push(tuple);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        loop {
+            if let Some(l) = &self.current_left {
+                while self.right_pos < self.right_buf.len() {
+                    let r = &self.right_buf[self.right_pos];
+                    self.right_pos += 1;
+                    // F_TM: memberships of independent tuples multiply.
+                    let membership = l.membership().and_independent(&r.membership());
+                    if !membership.is_positive() {
+                        continue; // CWA_ER: zero-support pairs are not stored.
+                    }
+                    let values = l.values().iter().chain(r.values()).cloned().collect();
+                    return Ok(Some(Arc::new(Tuple::new(
+                        &self.schema,
+                        values,
+                        membership,
+                    )?)));
+                }
+                self.current_left = None;
+            }
+            match self.left.next(ctx)? {
+                None => return Ok(None),
+                Some(l) => {
+                    self.current_left = Some(l);
+                    self.right_pos = 0;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.right_buf.clear();
+        self.left.close(ctx)?;
+        self.right.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        "×̃ (buffer right, stream left)".to_owned()
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+// ----------------------------------------------------------- hash join
+
+/// Streaming ⋈̃ ≡ σ̃(×̃) fused: when the join predicate contains an
+/// equality conjunct between *definite* attributes of opposite sides,
+/// the right input is indexed by that attribute's value once at
+/// `open` and each left tuple probes only its bucket. Sound because a
+/// non-matching pair gives the equality conjunct support `(0, 0)`,
+/// which zeroes the conjunction support and can never pass a legal
+/// threshold. The full predicate is still evaluated on every probed
+/// pair, so residual conjuncts and evidential conditions keep the
+/// paper's exact support semantics.
+pub struct HashJoinOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    predicate: Predicate,
+    threshold: Threshold,
+    schema: Arc<Schema>,
+    left_eq_pos: usize,
+    right_eq_pos: usize,
+    right_buf: Vec<Arc<Tuple>>,
+    index: HashMap<Value, Vec<usize>>,
+    current_left: Option<Arc<Tuple>>,
+    matches: Vec<usize>,
+    match_pos: usize,
+}
+
+impl HashJoinOp {
+    /// The hashable equality conjunct of `predicate` over a product of
+    /// `ls × rs`, as `(left position, right position)` — `None` when
+    /// no conjunct qualifies (the caller falls back to σ̃ ∘ ×̃).
+    pub fn indexable_conjunct(
+        predicate: &Predicate,
+        ls: &Schema,
+        rs: &Schema,
+        product: &Schema,
+    ) -> Option<(usize, usize)> {
+        use evirel_algebra::{Operand, ThetaOp};
+        let l_arity = ls.arity();
+        for conjunct in predicate.conjuncts() {
+            let Predicate::Theta {
+                left: Operand::Attr(a),
+                op: ThetaOp::Eq,
+                right: Operand::Attr(b),
+            } = conjunct
+            else {
+                continue;
+            };
+            let (Ok(pa), Ok(pb)) = (product.position(a), product.position(b)) else {
+                continue;
+            };
+            let (lp, rp) = if pa < l_arity && pb >= l_arity {
+                (pa, pb - l_arity)
+            } else if pb < l_arity && pa >= l_arity {
+                (pb, pa - l_arity)
+            } else {
+                continue;
+            };
+            let definite = |attr: &evirel_relation::AttrDef| {
+                matches!(attr.ty(), evirel_relation::AttrType::Definite(_))
+            };
+            if definite(ls.attr(lp)) && definite(rs.attr(rp)) {
+                return Some((lp, rp));
+            }
+        }
+        None
+    }
+
+    /// Build a hash join over the `(left_eq_pos, right_eq_pos)`
+    /// equality found by [`HashJoinOp::indexable_conjunct`].
+    ///
+    /// # Errors
+    /// Product-schema and threshold validation, as σ̃ ∘ ×̃.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        predicate: Predicate,
+        threshold: Threshold,
+        left_eq_pos: usize,
+        right_eq_pos: usize,
+    ) -> Result<HashJoinOp, PlanError> {
+        check_threshold(&threshold)?;
+        let schema = Arc::new(evirel_algebra::product::product_schema(
+            left.schema(),
+            right.schema(),
+        )?);
+        Ok(HashJoinOp {
+            left,
+            right,
+            predicate,
+            threshold,
+            schema,
+            left_eq_pos,
+            right_eq_pos,
+            right_buf: Vec::new(),
+            index: HashMap::new(),
+            current_left: None,
+            matches: Vec::new(),
+            match_pos: 0,
+        })
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.left.open(ctx)?;
+        self.right.open(ctx)?;
+        while let Some(tuple) = self.right.next(ctx)? {
+            if let Some(v) = tuple.value(self.right_eq_pos).as_definite() {
+                self.index
+                    .entry(v.clone())
+                    .or_default()
+                    .push(self.right_buf.len());
+            }
+            self.right_buf.push(tuple);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        loop {
+            if let Some(l) = &self.current_left {
+                while self.match_pos < self.matches.len() {
+                    let r = &self.right_buf[self.matches[self.match_pos]];
+                    self.match_pos += 1;
+                    let membership = l.membership().and_independent(&r.membership());
+                    let values = l.values().iter().chain(r.values()).cloned().collect();
+                    let pair = Tuple::new(&self.schema, values, membership)?;
+                    let fss = predicate_support(&self.schema, &pair, &self.predicate)?;
+                    let revised = pair.membership().and_independent(&fss);
+                    if self.threshold.admits(&revised) && revised.is_positive() {
+                        return Ok(Some(Arc::new(pair.with_membership_owned(revised))));
+                    }
+                }
+                self.current_left = None;
+            }
+            match self.left.next(ctx)? {
+                None => return Ok(None),
+                Some(l) => {
+                    // Reuse the probe buffer — no per-tuple allocation.
+                    self.matches.clear();
+                    if let Some(bucket) = l
+                        .value(self.left_eq_pos)
+                        .as_definite()
+                        .and_then(|v| self.index.get(v))
+                    {
+                        self.matches.extend_from_slice(bucket);
+                    }
+                    self.match_pos = 0;
+                    self.current_left = Some(l);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.right_buf.clear();
+        self.index.clear();
+        self.left.close(ctx)?;
+        self.right.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "⋈̃[{}] with {} (hash {} = {})",
+            self.predicate,
+            self.threshold,
+            self.left.schema().attr(self.left_eq_pos).name(),
+            self.right.schema().attr(self.right_eq_pos).name(),
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+// --------------------------------------------------------------- merge
+
+/// How a matched tuple pair is combined by [`MergeOp`]. The ∪̃ family
+/// uses [`DempsterMerger`]; the integration pipeline plugs in its
+/// method-registry merger.
+pub trait TupleMerger {
+    /// Merge one matched pair; `None` drops the pair (zero combined
+    /// support), conflicts go into `report`.
+    ///
+    /// # Errors
+    /// Merger-specific; total conflicts under a strict policy.
+    fn merge(
+        &self,
+        schema: &Schema,
+        key: &[Value],
+        left: &Tuple,
+        right: &Tuple,
+        report: &mut ConflictReport,
+    ) -> Result<Option<Tuple>, PlanError>;
+
+    /// Short label for `EXPLAIN`.
+    fn describe(&self) -> String {
+        "dempster".to_owned()
+    }
+}
+
+/// The paper's ∪̃ merge: Dempster's rule per common attribute, `F`
+/// over Ψ for the membership pairs.
+pub struct DempsterMerger {
+    /// Conflict policy, combination rule, focal cap.
+    pub options: UnionOptions,
+}
+
+impl TupleMerger for DempsterMerger {
+    fn merge(
+        &self,
+        schema: &Schema,
+        key: &[Value],
+        left: &Tuple,
+        right: &Tuple,
+        report: &mut ConflictReport,
+    ) -> Result<Option<Tuple>, PlanError> {
+        evirel_algebra::union::merge_tuples(schema, key, left, right, &self.options, report)
+            .map_err(PlanError::Algebra)
+    }
+
+    fn describe(&self) -> String {
+        format!("dempster, on κ=1: {}", self.options.on_total_conflict)
+    }
+}
+
+/// An explicit tuple pairing for [`MergeOp`] — produced by an entity
+/// matcher when keys alone do not identify entities. Without one, the
+/// operator pairs by key equality (∪̃'s semantics).
+#[derive(Debug, Clone, Default)]
+pub struct MergePairing {
+    /// Left key → right key for matched pairs.
+    pub matched: HashMap<Vec<Value>, Vec<Value>>,
+    /// Left keys that pass through unmatched.
+    pub left_only: HashSet<Vec<Value>>,
+    /// Right keys that pass through unmatched.
+    pub right_only: HashSet<Vec<Value>>,
+}
+
+/// Which unmatched tuples a [`MergeOp`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeEmit {
+    /// ∪̃: merged pairs plus both sides' unmatched tuples.
+    Union,
+    /// ∩̃: merged pairs only.
+    Intersect,
+}
+
+/// Streaming binary merge: index the right input by key once at
+/// `open`, stream the left input probing it, then emit unconsumed
+/// right tuples. Serves ∪̃, ∩̃, and the integration pipeline's
+/// method-registry merge; the conflict report flows into the
+/// [`ExecContext`] at `close`.
+pub struct MergeOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    merger: Box<dyn TupleMerger>,
+    pairing: Option<MergePairing>,
+    emit: MergeEmit,
+    schema: Arc<Schema>,
+    right_index: HashMap<Vec<Value>, Arc<Tuple>>,
+    right_order: Vec<Vec<Value>>,
+    consumed: HashSet<Vec<Value>>,
+    report: ConflictReport,
+    right_pos: usize,
+    left_done: bool,
+}
+
+impl MergeOp {
+    /// `left ∪̃ right` (key-equality pairing).
+    ///
+    /// # Errors
+    /// Union-incompatible schemas.
+    pub fn union(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        merger: Box<dyn TupleMerger>,
+    ) -> Result<MergeOp, PlanError> {
+        let name = format!("{}∪{}", left.schema().name(), right.schema().name());
+        MergeOp::build(left, right, merger, None, MergeEmit::Union, name)
+    }
+
+    /// `left ∩̃ right` (key-equality pairing, matched merges only).
+    ///
+    /// # Errors
+    /// Union-incompatible schemas.
+    pub fn intersect(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        merger: Box<dyn TupleMerger>,
+    ) -> Result<MergeOp, PlanError> {
+        let name = format!("{}∩{}", left.schema().name(), right.schema().name());
+        MergeOp::build(left, right, merger, None, MergeEmit::Intersect, name)
+    }
+
+    /// A union-style merge driven by an explicit [`MergePairing`] —
+    /// the integration pipeline's merge stage. `name` becomes the
+    /// output relation name.
+    ///
+    /// # Errors
+    /// Union-incompatible schemas.
+    pub fn with_pairing(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        merger: Box<dyn TupleMerger>,
+        pairing: MergePairing,
+        name: impl Into<String>,
+    ) -> Result<MergeOp, PlanError> {
+        MergeOp::build(
+            left,
+            right,
+            merger,
+            Some(pairing),
+            MergeEmit::Union,
+            name.into(),
+        )
+    }
+
+    fn build(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        merger: Box<dyn TupleMerger>,
+        pairing: Option<MergePairing>,
+        emit: MergeEmit,
+        name: String,
+    ) -> Result<MergeOp, PlanError> {
+        left.schema()
+            .check_union_compatible(right.schema())
+            .map_err(|e| PlanError::Algebra(AlgebraError::Relation(e)))?;
+        let schema = Arc::new(left.schema().renamed(name));
+        Ok(MergeOp {
+            left,
+            right,
+            merger,
+            pairing,
+            emit,
+            schema,
+            right_index: HashMap::new(),
+            right_order: Vec::new(),
+            consumed: HashSet::new(),
+            report: ConflictReport::new(),
+            right_pos: 0,
+            left_done: false,
+        })
+    }
+}
+
+impl Operator for MergeOp {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.left.open(ctx)?;
+        self.right.open(ctx)?;
+        let right_schema = Arc::clone(self.right.schema());
+        while let Some(tuple) = self.right.next(ctx)? {
+            let key = tuple.key(&right_schema);
+            self.right_order.push(key.clone());
+            self.right_index.insert(key, tuple);
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        // Phase 1: stream the left input; merged and left-only tuples
+        // interleave in left insertion order (exactly like ∪̃'s free
+        // function).
+        while !self.left_done {
+            let Some(l) = self.left.next(ctx)? else {
+                self.left_done = true;
+                break;
+            };
+            let key = l.key(self.left.schema());
+            let right_key = match &self.pairing {
+                Some(p) => p.matched.get(&key).cloned(),
+                None => self.right_index.contains_key(&key).then(|| key.clone()),
+            };
+            match right_key {
+                Some(rk) => {
+                    let r = self
+                        .right_index
+                        .get(&rk)
+                        .ok_or_else(|| PlanError::Pairing {
+                            reason: format!("right key {} not found", Value::render_key(&rk)),
+                        })?;
+                    self.consumed.insert(rk);
+                    ctx.stats.pairs_merged += 1;
+                    if let Some(merged) =
+                        self.merger
+                            .merge(&self.schema, &key, &l, r, &mut self.report)?
+                    {
+                        return Ok(Some(Arc::new(merged)));
+                    }
+                }
+                None => {
+                    let passes = match &self.pairing {
+                        Some(p) => p.left_only.contains(&key),
+                        None => true,
+                    };
+                    if self.emit == MergeEmit::Union && passes && l.membership().is_positive() {
+                        return Ok(Some(l));
+                    }
+                }
+            }
+        }
+        // Phase 2: unconsumed right tuples, in right insertion order.
+        if self.emit == MergeEmit::Union {
+            while self.right_pos < self.right_order.len() {
+                let key = &self.right_order[self.right_pos];
+                self.right_pos += 1;
+                if self.consumed.contains(key) {
+                    continue;
+                }
+                if let Some(p) = &self.pairing {
+                    if !p.right_only.contains(key) {
+                        continue;
+                    }
+                }
+                let tuple = &self.right_index[key];
+                if tuple.membership().is_positive() {
+                    return Ok(Some(Arc::clone(tuple)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        ctx.record_report(std::mem::take(&mut self.report));
+        self.right_index.clear();
+        self.right_order.clear();
+        self.left.close(ctx)?;
+        self.right.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        let symbol = match self.emit {
+            MergeEmit::Union => "∪̃",
+            MergeEmit::Intersect => "∩̃",
+        };
+        let pairing = match &self.pairing {
+            Some(p) => format!("{} matched pairs", p.matched.len()),
+            None => "key equality".to_owned(),
+        };
+        format!(
+            "{symbol} (index right, stream left; pairing: {pairing}; merge: {})",
+            self.merger.describe()
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+// ---------------------------------------------------------- difference
+
+/// Streaming −̃: index the right input's keys at `open`, emit left
+/// tuples whose key is absent.
+pub struct DifferenceOp {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    schema: Arc<Schema>,
+    right_keys: HashSet<Vec<Value>>,
+}
+
+impl DifferenceOp {
+    /// `left −̃ right`.
+    ///
+    /// # Errors
+    /// Union-incompatible schemas.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+    ) -> Result<DifferenceOp, PlanError> {
+        left.schema()
+            .check_union_compatible(right.schema())
+            .map_err(|e| PlanError::Algebra(AlgebraError::Relation(e)))?;
+        let name = format!("{}−{}", left.schema().name(), right.schema().name());
+        let schema = Arc::new(left.schema().renamed(name));
+        Ok(DifferenceOp {
+            left,
+            right,
+            schema,
+            right_keys: HashSet::new(),
+        })
+    }
+}
+
+impl Operator for DifferenceOp {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.left.open(ctx)?;
+        self.right.open(ctx)?;
+        let right_schema = Arc::clone(self.right.schema());
+        while let Some(tuple) = self.right.next(ctx)? {
+            self.right_keys.insert(tuple.key(&right_schema));
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        while let Some(tuple) = self.left.next(ctx)? {
+            let key = tuple.key(self.left.schema());
+            if !self.right_keys.contains(&key) && tuple.membership().is_positive() {
+                return Ok(Some(tuple));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.right_keys.clear();
+        self.left.close(ctx)?;
+        self.right.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        "−̃ (index right keys, stream left)".to_owned()
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+// -------------------------------------------------------------- rename
+
+/// ρ: revalidate tuples against a renamed schema (relation or
+/// attribute names — values are positionally identical).
+pub struct RenameOp {
+    child: Box<dyn Operator>,
+    schema: Arc<Schema>,
+    label: String,
+}
+
+impl RenameOp {
+    /// Rename the relation.
+    pub fn relation(child: Box<dyn Operator>, name: &str) -> RenameOp {
+        let schema = Arc::new(child.schema().renamed(name.to_owned()));
+        RenameOp {
+            child,
+            schema,
+            label: format!("ρ[{name}]"),
+        }
+    }
+
+    /// Rename one attribute.
+    ///
+    /// # Errors
+    /// Unknown `from`, clashing `to`.
+    pub fn attribute(
+        child: Box<dyn Operator>,
+        from: &str,
+        to: &str,
+    ) -> Result<RenameOp, PlanError> {
+        let schema = Arc::new(evirel_algebra::rename::attribute_renamed_schema(
+            child.schema(),
+            from,
+            to,
+        )?);
+        Ok(RenameOp {
+            child,
+            schema,
+            label: format!("ρ[{from}→{to}]"),
+        })
+    }
+}
+
+impl Operator for RenameOp {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        // Values are positionally identical and the renamed schema
+        // preserves every attribute type, so tuples pass through.
+        self.child.next(ctx)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.child.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{AttrDomain, RelationBuilder};
+
+    fn rel(name: &str, rows: &[(&str, &str, f64)]) -> Arc<ExtendedRelation> {
+        let d = Arc::new(AttrDomain::categorical("d", ["x", "y", "z"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder(name)
+                .key_str("k")
+                .evidential("d", d)
+                .build()
+                .unwrap(),
+        );
+        let mut b = RelationBuilder::new(schema);
+        for (k, label, sn) in rows {
+            b = b
+                .tuple(|t| {
+                    t.set_str("k", *k)
+                        .set_evidence("d", [(&[*label][..], 1.0)])
+                        .membership_pair(*sn, 1.0)
+                })
+                .unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn scan_select_project_stream() {
+        let r = rel("R", &[("a", "x", 1.0), ("b", "y", 0.5), ("c", "x", 0.9)]);
+        let mut ctx = ExecContext::new();
+        let scan = Box::new(ScanOp::new("r", Arc::clone(&r)));
+        let select =
+            Box::new(SelectOp::new(scan, Predicate::is("d", ["x"]), Threshold::POSITIVE).unwrap());
+        let mut project = ProjectOp::new(select, &["k".to_owned()]).unwrap();
+        let out = run(&mut project, &mut ctx).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().arity(), 1);
+        assert_eq!(ctx.stats.tuples_scanned, 3);
+        assert_eq!(ctx.stats.tuples_emitted, 2);
+        // Bad threshold rejected at build time.
+        let scan = Box::new(ScanOp::new("r", r));
+        assert!(matches!(
+            SelectOp::new(scan, Predicate::is("d", ["x"]), Threshold::SnAtLeast(0.0)),
+            Err(PlanError::Algebra(
+                AlgebraError::ThresholdNotPositive { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn threshold_filters_stored_membership() {
+        let r = rel("R", &[("a", "x", 1.0), ("b", "y", 0.5)]);
+        let mut ctx = ExecContext::new();
+        let scan = Box::new(ScanOp::new("r", r));
+        let mut op = ThresholdOp::new(scan, Threshold::SnAtLeast(0.9)).unwrap();
+        let out = run(&mut op, &mut ctx).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_key(&[Value::str("a")]));
+    }
+
+    #[test]
+    fn union_merge_streams_and_reports() {
+        let a = rel("A", &[("a", "x", 1.0), ("solo-a", "z", 1.0)]);
+        let b = rel("B", &[("a", "y", 1.0), ("solo-b", "z", 1.0)]);
+        let mut ctx = ExecContext::with_options(UnionOptions {
+            on_total_conflict: evirel_algebra::ConflictPolicy::Vacuous,
+            ..Default::default()
+        });
+        let merger = Box::new(DempsterMerger {
+            options: ctx.union_options.clone(),
+        });
+        let mut op = MergeOp::union(
+            Box::new(ScanOp::new("a", Arc::clone(&a))),
+            Box::new(ScanOp::new("b", Arc::clone(&b))),
+            merger,
+        )
+        .unwrap();
+        let out = run(&mut op, &mut ctx).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.schema().name(), "A∪B");
+        // x vs y is a total conflict, resolved vacuously and REPORTED
+        // through the context (the report the old executor dropped).
+        let report = ctx.conflict_report();
+        assert_eq!(report.total_conflicts().count(), 1);
+        assert_eq!(ctx.stats.pairs_merged, 1);
+        assert!(ctx.stats.max_kappa >= 1.0);
+
+        // Intersection keeps only the matched merge.
+        let mut ctx2 = ExecContext::new();
+        let merger = Box::new(DempsterMerger {
+            options: UnionOptions {
+                on_total_conflict: evirel_algebra::ConflictPolicy::Vacuous,
+                ..Default::default()
+            },
+        });
+        let mut op = MergeOp::intersect(
+            Box::new(ScanOp::new("a", Arc::clone(&a))),
+            Box::new(ScanOp::new("b", b)),
+            merger,
+        )
+        .unwrap();
+        let out = run(&mut op, &mut ctx2).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_key(&[Value::str("a")]));
+
+        // Difference drops matched keys.
+        let c = rel("C", &[("a", "x", 1.0)]);
+        let mut op =
+            DifferenceOp::new(Box::new(ScanOp::new("a", a)), Box::new(ScanOp::new("c", c)))
+                .unwrap();
+        let out = run(&mut op, &mut ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_key(&[Value::str("solo-a")]));
+    }
+
+    #[test]
+    fn rename_ops() {
+        let r = rel("R", &[("a", "x", 1.0)]);
+        let op = Box::new(ScanOp::new("r", Arc::clone(&r)));
+        let mut op = RenameOp::relation(op, "T");
+        let out = run(&mut op, &mut ExecContext::new()).unwrap();
+        assert_eq!(out.schema().name(), "T");
+        let op = Box::new(ScanOp::new("r", r));
+        let mut op = RenameOp::attribute(op, "d", "e").unwrap();
+        let out = run(&mut op, &mut ExecContext::new()).unwrap();
+        assert!(out.schema().position("e").is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+//! Differential property suite: for random generated relations and
+//! random plans, optimized + streaming execution must produce a
+//! relation identical to naive free-function composition — same
+//! schema, same key set, attribute values approximately equal, and
+//! `(sn, sp)` within 1e-12.
+//!
+//! Total conflicts resolve vacuously here: the σ̃-under-∪̃
+//! distribution rule deliberately merges only entities that survive a
+//! key-crisp filter, so under `ConflictPolicy::Error` the naive path
+//! can abort on an entity the optimized path never merges. The
+//! *relation* outputs are identical whenever both paths succeed,
+//! which is the property under test.
+
+use evirel_algebra::union::UnionOptions;
+use evirel_algebra::{ConflictPolicy, Operand, Predicate, ThetaOp, Threshold};
+use evirel_plan::reference::execute_reference;
+use evirel_plan::{execute_plan, scan, Bindings, ExecContext, LogicalPlan, PlanBuilder};
+use evirel_relation::{ExtendedRelation, Value};
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use proptest::prelude::*;
+
+fn bindings(seed: u64, tuples: usize) -> Bindings {
+    let (ga, gb) = generate_pair(&PairConfig {
+        base: GeneratorConfig {
+            tuples,
+            seed,
+            ..Default::default()
+        },
+        key_overlap: 0.5,
+        conflict_bias: 0.3,
+    })
+    .expect("generator config is valid");
+    let mut b = Bindings::new();
+    b.bind("ga", ga).bind("gb", gb);
+    b
+}
+
+/// `(sn, sp)` within 1e-12, attribute values within the model's
+/// tolerance, same key sets and schema attribute names.
+fn equivalent(naive: &ExtendedRelation, streaming: &ExtendedRelation) -> Result<(), String> {
+    let nn: Vec<&str> = naive.schema().attrs().iter().map(|a| a.name()).collect();
+    let sn: Vec<&str> = streaming
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name())
+        .collect();
+    if nn != sn {
+        return Err(format!("schemas differ: {nn:?} vs {sn:?}"));
+    }
+    if naive.len() != streaming.len() {
+        return Err(format!(
+            "sizes differ: {} vs {}",
+            naive.len(),
+            streaming.len()
+        ));
+    }
+    for (key, nt) in naive.iter_keyed() {
+        let st = streaming.get_by_key(&key).ok_or_else(|| {
+            format!(
+                "key {} missing from streaming result",
+                Value::render_key(&key)
+            )
+        })?;
+        let (nm, sm) = (nt.membership(), st.membership());
+        if (nm.sn() - sm.sn()).abs() > 1e-12 || (nm.sp() - sm.sp()).abs() > 1e-12 {
+            return Err(format!(
+                "membership differs at {}: ({}, {}) vs ({}, {})",
+                Value::render_key(&key),
+                nm.sn(),
+                nm.sp(),
+                sm.sn(),
+                sm.sp()
+            ));
+        }
+        for (pos, (nv, sv)) in nt.values().iter().zip(st.values().iter()).enumerate() {
+            if !nv.approx_eq(sv) {
+                return Err(format!(
+                    "value differs at {} position {pos}",
+                    Value::render_key(&key)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build one random plan from the drawn shape parameters. `qualified`
+/// sources (×̃/⋈̃ of GA and GB, which share every attribute name) need
+/// `GA.`-prefixed references.
+fn random_plan(source: u8, pred_kind: u8, attr_i: u8, val: u8, th: u8, proj: u8) -> LogicalPlan {
+    let qualified = source >= 3;
+    let q = |name: &str| {
+        if qualified {
+            format!("GA.{name}")
+        } else {
+            name.to_owned()
+        }
+    };
+    let builder: PlanBuilder = match source {
+        0 => scan("ga"),
+        1 => scan("gb"),
+        2 => scan("ga").union(scan("gb")),
+        3 => scan("ga").product(scan("gb")),
+        _ => scan("ga").join(
+            scan("gb"),
+            Predicate::theta(Operand::attr("GA.k"), ThetaOp::Eq, Operand::attr("GB.k")),
+        ),
+    };
+    let evidential = q(&format!("e{}", attr_i % 3));
+    let label = |i: u8| Value::str(format!("v{}", i % 8));
+    let predicate = match pred_kind {
+        0 => None,
+        1 => Some(Predicate::is(
+            evidential.clone(),
+            [label(val), label(val + 1)],
+        )),
+        2 => Some(Predicate::theta(
+            Operand::attr(evidential.clone()),
+            ThetaOp::Ge,
+            Operand::Value(label(val)),
+        )),
+        // Key-crisp — exercises σ̃-under-∪̃ distribution on source 2.
+        3 => Some(Predicate::theta(
+            Operand::attr(q("k")),
+            ThetaOp::Eq,
+            Operand::Value(Value::str("shared-1")),
+        )),
+        _ => Some(
+            Predicate::is(evidential.clone(), [label(val)]).and(Predicate::theta(
+                Operand::attr(q("k")),
+                ThetaOp::Ne,
+                Operand::Value(Value::str("shared-0")),
+            )),
+        ),
+    };
+    let builder = match predicate {
+        Some(p) => builder.select(p),
+        None => builder,
+    };
+    let builder = match th {
+        0 => builder,
+        1 => builder.threshold(Threshold::SnAtLeast(0.3)),
+        2 => builder.threshold(Threshold::SpAtLeastPositive(0.5)),
+        _ => builder.threshold(Threshold::POSITIVE),
+    };
+    match proj {
+        0 => builder,
+        1 if qualified => builder.project(["GA.k", "GB.k"]),
+        1 => builder.project(["k", "e0"]),
+        _ if qualified => builder.project(["GB.e1", "GA.k", "GB.k", "GA.e0"]),
+        _ => builder.project(["e2", "k", "e0"]),
+    }
+    .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_matches_naive_composition(
+        seed in 0u64..1_000_000,
+        source in 0u8..5,
+        pred_kind in 0u8..5,
+        attr_val in 0u8..24, // attr index × predicate value, combined
+        th in 0u8..4,
+        proj in 0u8..3,
+    ) {
+        let bindings = bindings(seed, 24);
+        let plan = random_plan(source, pred_kind, attr_val / 8, attr_val % 8, th, proj);
+        let options = UnionOptions {
+            on_total_conflict: ConflictPolicy::Vacuous,
+            ..Default::default()
+        };
+        let naive = execute_reference(&plan, &bindings, &options);
+        let mut ctx = ExecContext::with_options(options);
+        let streaming = execute_plan(&plan, &bindings, &mut ctx);
+        match (naive, streaming) {
+            (Ok((n, _)), Ok(s)) => {
+                if let Err(reason) = equivalent(&n, &s) {
+                    prop_assert!(false, "{reason}\nplan:\n{}", plan.render());
+                }
+            }
+            (Err(ne), Err(se)) => {
+                // Both paths reject the plan — must be the same error.
+                prop_assert_eq!(ne, se);
+            }
+            (n, s) => {
+                prop_assert!(
+                    false,
+                    "one path failed: naive={:?} streaming={:?}\nplan:\n{}",
+                    n.as_ref().map(|_| "ok"),
+                    s.as_ref().map(|_| "ok"),
+                    plan.render()
+                );
+            }
+        }
+    }
+}

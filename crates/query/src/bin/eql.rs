@@ -9,11 +9,16 @@
 //! Meta-commands inside the REPL:
 //!
 //! * `\d` — list relations and schemas;
+//! * `\explain <query>` — logical plan, fired rewrites, optimized
+//!   plan, physical operator tree;
+//! * `\conflicts` — the ∪̃ conflict report of the last query;
 //! * `\rank` — render the next query's result ranked by `sn`;
 //! * `\save <name> <path>` — write a relation back to disk;
 //! * `\q` — quit.
 
-use evirel_query::{execute, Catalog};
+use evirel_algebra::ConflictReport;
+use evirel_query::{execute_with_report, Catalog};
+use evirel_relation::Value;
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -55,9 +60,13 @@ fn main() {
         loaded.len(),
         loaded.join(", ")
     );
-    eprintln!("type \\q to quit, \\d to describe relations, \\explain <query> for plans");
+    eprintln!(
+        "type \\q to quit, \\d to describe relations, \\explain <query> for plans, \
+         \\conflicts for the last query's ∪̃ report"
+    );
     let stdin = std::io::stdin();
     let mut ranked = false;
+    let mut last_report: Option<ConflictReport> = None;
     loop {
         eprint!("eql> ");
         let _ = std::io::stderr().flush();
@@ -90,12 +99,26 @@ fn main() {
                     if rest.is_empty() {
                         println!("usage: \\explain <query>");
                     } else {
-                        match evirel_query::explain(rest) {
+                        // Full optimizer/physical explain against the
+                        // catalog. When the plan cannot be built
+                        // (unknown relation/attribute, …), report the
+                        // error — and still show the bare logical tree
+                        // for context if the query at least parses.
+                        match evirel_query::explain_with(&catalog, rest) {
                             Ok(plan) => print!("{plan}"),
-                            Err(e) => println!("error: {e}"),
+                            Err(e) => {
+                                println!("error: {e}");
+                                if let Ok(logical) = evirel_query::explain(rest) {
+                                    print!("logical (unvalidated):\n{logical}");
+                                }
+                            }
                         }
                     }
                 }
+                Some("conflicts") => match &last_report {
+                    None => println!("no report (no query has run yet, or the last one failed)"),
+                    Some(report) => print_report(report),
+                },
                 Some("rank") => {
                     ranked = !ranked;
                     println!("ranked output {}", if ranked { "on" } else { "off" });
@@ -117,7 +140,9 @@ fn main() {
             }
             continue;
         }
-        run_query(&catalog, line, ranked);
+        // A failed query clears the report — \conflicts always refers
+        // to the *last* statement, never a stale earlier one.
+        last_report = run_query(&catalog, line, ranked);
     }
 }
 
@@ -133,16 +158,55 @@ fn load(catalog: &mut Catalog, path: &str) -> Result<String, Box<dyn std::error:
     Ok(name)
 }
 
-fn run_query(catalog: &Catalog, query: &str, ranked: bool) {
-    match execute(catalog, query) {
-        Ok(result) => {
+fn run_query(catalog: &Catalog, query: &str, ranked: bool) -> Option<ConflictReport> {
+    match execute_with_report(catalog, query) {
+        Ok(outcome) => {
             if ranked {
-                print!("{}", evirel_query::format::render_ranked(&result));
+                print!("{}", evirel_query::format::render_ranked(&outcome.relation));
             } else {
-                print!("{result}");
+                print!("{}", outcome.relation);
             }
-            println!("({} tuple(s))", result.len());
+            if outcome.report.is_empty() {
+                println!("({} tuple(s))", outcome.relation.len());
+            } else {
+                println!(
+                    "({} tuple(s), {} conflict(s) — \\conflicts for the report)",
+                    outcome.relation.len(),
+                    outcome.report.len()
+                );
+            }
+            Some(outcome.report)
         }
-        Err(e) => println!("error: {e}"),
+        Err(e) => {
+            println!("error: {e}");
+            None
+        }
+    }
+}
+
+/// Print a conflict report, one observation per line.
+fn print_report(report: &ConflictReport) {
+    if report.is_empty() {
+        println!("no conflicts observed in the last query");
+        return;
+    }
+    println!(
+        "{} conflict(s), max κ = {:.3}, mean κ = {:.3}:",
+        report.len(),
+        report.max_kappa(),
+        report.mean_kappa()
+    );
+    for c in report.conflicts() {
+        println!(
+            "  key={} attr={} κ={:.3}{}",
+            Value::render_key(&c.key),
+            c.attr,
+            c.kappa,
+            if c.total {
+                " (TOTAL — policy applied)"
+            } else {
+                ""
+            }
+        );
     }
 }

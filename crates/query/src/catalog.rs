@@ -1,13 +1,18 @@
 //! The catalog: named extended relations available to queries.
 
 use evirel_algebra::union::UnionOptions;
+use evirel_plan::RelationSource;
 use evirel_relation::ExtendedRelation;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A registry of queryable relations plus execution options.
+///
+/// Relations are stored behind [`Arc`] so the plan layer's scan
+/// operators can stream them without cloning whole extensions.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    relations: HashMap<String, ExtendedRelation>,
+    relations: HashMap<String, Arc<ExtendedRelation>>,
     /// Options applied to `UNION` sources (conflict policy,
     /// combination rule, focal cap).
     pub union_options: UnionOptions,
@@ -22,17 +27,24 @@ impl Catalog {
     /// Register (or replace) a relation under `name`. Lookup is by the
     /// registered name, not the relation's schema name.
     pub fn register(&mut self, name: impl Into<String>, rel: ExtendedRelation) {
-        self.relations.insert(name.into(), rel);
+        self.relations.insert(name.into(), Arc::new(rel));
     }
 
     /// Remove a relation; returns it if present.
     pub fn deregister(&mut self, name: &str) -> Option<ExtendedRelation> {
-        self.relations.remove(name)
+        self.relations
+            .remove(name)
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Look up a relation.
     pub fn get(&self, name: &str) -> Option<&ExtendedRelation> {
-        self.relations.get(name)
+        self.relations.get(name).map(|arc| arc.as_ref())
+    }
+
+    /// Look up a relation as a shared handle (for scan operators).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<ExtendedRelation>> {
+        self.relations.get(name).cloned()
     }
 
     /// Registered names, sorted.
@@ -50,6 +62,12 @@ impl Catalog {
     /// `true` when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.relations.is_empty()
+    }
+}
+
+impl RelationSource for Catalog {
+    fn relation(&self, name: &str) -> Option<Arc<ExtendedRelation>> {
+        self.get_shared(name)
     }
 }
 

@@ -27,10 +27,24 @@ pub enum QueryError {
         /// The missing name.
         name: String,
     },
+    /// A `WHERE`, `ON`, or projection referenced an attribute that
+    /// does not exist in its source's schema — caught at plan time,
+    /// before execution starts.
+    UnknownAttribute {
+        /// The missing attribute.
+        attr: String,
+        /// The schema it was resolved against.
+        schema: String,
+    },
     /// An underlying algebra error during execution.
     Algebra(AlgebraError),
     /// An underlying relational error during execution.
     Relation(RelationError),
+    /// Any other plan-layer execution failure.
+    Execution {
+        /// Description.
+        message: String,
+    },
 }
 
 impl QueryError {
@@ -51,8 +65,12 @@ impl fmt::Display for QueryError {
                 write!(f, "parse error at offset {offset}: {message}")
             }
             Self::UnknownRelation { name } => write!(f, "unknown relation {name:?}"),
+            Self::UnknownAttribute { attr, schema } => {
+                write!(f, "unknown attribute {attr:?} in schema {schema:?}")
+            }
             Self::Algebra(e) => write!(f, "execution error: {e}"),
             Self::Relation(e) => write!(f, "execution error: {e}"),
+            Self::Execution { message } => write!(f, "execution error: {message}"),
         }
     }
 }
@@ -76,6 +94,23 @@ impl From<AlgebraError> for QueryError {
 impl From<RelationError> for QueryError {
     fn from(e: RelationError) -> Self {
         QueryError::Relation(e)
+    }
+}
+
+impl From<evirel_plan::PlanError> for QueryError {
+    fn from(e: evirel_plan::PlanError) -> Self {
+        use evirel_plan::PlanError;
+        match e {
+            PlanError::Algebra(a) => QueryError::Algebra(a),
+            PlanError::Relation(r) => QueryError::Relation(r),
+            PlanError::UnknownRelation { name } => QueryError::UnknownRelation { name },
+            PlanError::UnknownAttribute { attr, schema } => {
+                QueryError::UnknownAttribute { attr, schema }
+            }
+            other => QueryError::Execution {
+                message: other.to_string(),
+            },
+        }
     }
 }
 

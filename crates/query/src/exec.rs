@@ -1,19 +1,40 @@
 //! Query execution against a catalog.
+//!
+//! Queries execute through `evirel-plan`: the lowered [`crate::plan::Plan`]
+//! converts to a `LogicalPlan`, the rewrite optimizer runs, and the
+//! streaming operators pull tuples end to end — no intermediate
+//! relation is materialized between σ̃/π̃/∪̃/⋈̃ stages, and the ∪̃
+//! conflict reports that the old executor discarded now surface on
+//! [`QueryOutcome`].
 
 use crate::ast::SelectStmt;
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::parser::parse;
-use crate::plan::{lower, Plan, SourcePlan};
-use evirel_algebra::{join, project, select, union::union_with};
+use crate::plan::lower_validated;
+use evirel_algebra::ConflictReport;
+use evirel_plan::{execute_plan, ExecContext, ExecStats};
 use evirel_relation::ExtendedRelation;
+
+/// The full result of one query: the relation plus the side outputs
+/// the streaming executor collected.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result relation.
+    pub relation: ExtendedRelation,
+    /// Attribute/membership conflicts observed by ∪̃-family operators
+    /// — the paper's report for the data administrator.
+    pub report: ConflictReport,
+    /// Execution counters (tuples scanned/emitted, merges, κ stats).
+    pub stats: ExecStats,
+}
 
 /// Parse and execute a query text against `catalog`.
 ///
 /// # Errors
-/// Lex/parse errors, unknown relations, and algebra errors (including
-/// total-conflict aborts from `UNION`, governed by
-/// [`Catalog::union_options`]).
+/// Lex/parse errors, unknown relations/attributes (caught at plan
+/// time), and algebra errors (including total-conflict aborts from
+/// `UNION`, governed by [`Catalog::union_options`]).
 pub fn execute(catalog: &Catalog, query: &str) -> Result<ExtendedRelation, QueryError> {
     execute_parsed(catalog, &parse(query)?)
 }
@@ -26,60 +47,27 @@ pub fn execute_parsed(
     catalog: &Catalog,
     stmt: &SelectStmt,
 ) -> Result<ExtendedRelation, QueryError> {
-    let plan = lower(stmt)?;
-    run_plan(catalog, &plan)
+    Ok(execute_stmt(catalog, stmt)?.relation)
 }
 
-fn run_plan(catalog: &Catalog, plan: &Plan) -> Result<ExtendedRelation, QueryError> {
-    let mut rel = run_source(catalog, &plan.source)?;
-    if let Some(pred) = &plan.predicate {
-        rel = select(&rel, pred, &plan.threshold)?;
-    } else if plan.threshold != evirel_algebra::Threshold::POSITIVE {
-        // A WITH clause without WHERE filters on stored membership
-        // alone (predicate support is trivially (1,1)).
-        rel = select(
-            &rel,
-            &evirel_algebra::Predicate::Theta {
-                left: trivially_true_operand(&rel)?,
-                op: evirel_algebra::ThetaOp::Eq,
-                right: trivially_true_operand(&rel)?,
-            },
-            &plan.threshold,
-        )?;
-    }
-    if let Some(attrs) = &plan.projection {
-        let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        rel = project(&rel, &names)?;
-    }
-    Ok(rel)
+/// Parse and execute, returning the relation together with the
+/// conflict report and execution statistics.
+///
+/// # Errors
+/// As [`execute`].
+pub fn execute_with_report(catalog: &Catalog, query: &str) -> Result<QueryOutcome, QueryError> {
+    execute_stmt(catalog, &parse(query)?)
 }
 
-/// A θ-operand that compares a key attribute with itself — support
-/// (1,1) for every tuple. Used to apply a bare `WITH` threshold.
-fn trivially_true_operand(rel: &ExtendedRelation) -> Result<evirel_algebra::Operand, QueryError> {
-    let key_pos = rel.schema().key_positions()[0];
-    Ok(evirel_algebra::Operand::Attr(
-        rel.schema().attr(key_pos).name().to_owned(),
-    ))
-}
-
-fn run_source(catalog: &Catalog, source: &SourcePlan) -> Result<ExtendedRelation, QueryError> {
-    match source {
-        SourcePlan::Scan(name) => catalog
-            .get(name)
-            .cloned()
-            .ok_or_else(|| QueryError::UnknownRelation { name: name.clone() }),
-        SourcePlan::Union(l, r) => {
-            let left = run_source(catalog, l)?;
-            let right = run_source(catalog, r)?;
-            Ok(union_with(&left, &right, &catalog.union_options)?.relation)
-        }
-        SourcePlan::Join { left, right, on } => {
-            let l = run_source(catalog, left)?;
-            let r = run_source(catalog, right)?;
-            Ok(join(&l, &r, on, &evirel_algebra::Threshold::POSITIVE)?)
-        }
-    }
+fn execute_stmt(catalog: &Catalog, stmt: &SelectStmt) -> Result<QueryOutcome, QueryError> {
+    let plan = lower_validated(stmt, catalog)?;
+    let mut ctx = ExecContext::with_options(catalog.union_options.clone());
+    let relation = execute_plan(&plan.to_logical(), catalog, &mut ctx)?;
+    Ok(QueryOutcome {
+        relation,
+        report: ctx.conflict_report(),
+        stats: ctx.stats,
+    })
 }
 
 #[cfg(test)]
@@ -225,5 +213,77 @@ mod tests {
         .unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains_key(&[Value::str("wok")]));
+    }
+
+    /// The ∪̃ conflict report the old executor dropped now rides on
+    /// the outcome.
+    #[test]
+    fn union_conflicts_surface_on_outcome() {
+        let outcome = execute_with_report(&catalog(), "SELECT * FROM ra UNION rb").unwrap();
+        assert_eq!(outcome.relation.len(), 6);
+        assert!(!outcome.report.is_empty());
+        assert!(outcome.report.max_kappa() > 0.0);
+        assert!(outcome.stats.pairs_merged > 0);
+        assert!(outcome.stats.tuples_scanned >= outcome.relation.len());
+        // Queries without a union report nothing.
+        let outcome = execute_with_report(&catalog(), "SELECT * FROM ra").unwrap();
+        assert!(outcome.report.is_empty());
+    }
+
+    /// Unknown attributes in WHERE or the projection error at plan
+    /// time with the attribute name, not mid-execution.
+    #[test]
+    fn unknown_attribute_caught_at_plan_time() {
+        match execute(&catalog(), "SELECT * FROM ra WHERE ghost IS {si}") {
+            Err(QueryError::UnknownAttribute { attr, .. }) => assert_eq!(attr, "ghost"),
+            other => panic!("{other:?}"),
+        }
+        match execute(&catalog(), "SELECT rname, ghost FROM ra") {
+            Err(QueryError::UnknownAttribute { attr, .. }) => assert_eq!(attr, "ghost"),
+            other => panic!("{other:?}"),
+        }
+        // Qualified join attributes resolve against the product schema.
+        assert!(execute(
+            &catalog(),
+            "SELECT * FROM ra JOIN rma ON RA.rname = RMA.ghost",
+        )
+        .is_err());
+    }
+
+    /// Acceptance check: a pushdown-eligible query shows at least two
+    /// rewrite rules firing in EXPLAIN.
+    #[test]
+    fn explain_shows_rewrites_firing() {
+        let text = crate::plan::explain_with(
+            &catalog(),
+            "SELECT * FROM ra JOIN rma ON RA.rname = RMA.rname WHERE speciality IS {si} WITH SN > 0",
+        )
+        .unwrap();
+        for rule in [
+            "join-expansion",
+            "select-fusion",
+            "predicate-pushdown-product",
+        ] {
+            assert!(text.contains(rule), "missing {rule} in:\n{text}");
+        }
+        // The physical plan is rendered, with the streaming hash ⋈̃.
+        assert!(text.contains("physical:"), "{text}");
+        assert!(text.contains("hash rname = rname"), "{text}");
+        // Key-crisp selections distribute below ∪̃.
+        let text = crate::plan::explain_with(
+            &catalog(),
+            "SELECT rname, rating FROM ra UNION rb WHERE rname = 'mehl'",
+        )
+        .unwrap();
+        assert!(text.contains("select-under-union"), "{text}");
+    }
+
+    /// The distributed and non-distributed ∪̃ paths agree on results.
+    #[test]
+    fn key_filtered_union_matches_table4_row() {
+        let out = execute(&catalog(), "SELECT * FROM ra UNION rb WHERE rname = 'mehl'").unwrap();
+        assert_eq!(out.len(), 1);
+        let mehl = out.get_by_key(&[Value::str("mehl")]).unwrap();
+        assert!((mehl.membership().sn() - 5.0 / 6.0).abs() < 1e-9);
     }
 }

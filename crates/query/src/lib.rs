@@ -48,9 +48,9 @@ pub mod plan;
 
 pub use catalog::Catalog;
 pub use error::QueryError;
-pub use exec::{execute, execute_parsed};
+pub use exec::{execute, execute_parsed, execute_with_report, QueryOutcome};
 pub use parser::parse;
-pub use plan::explain;
+pub use plan::{explain, explain_with};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,8 +1,16 @@
 //! Lowering the AST into algebra operations.
+//!
+//! [`lower`] turns a parsed statement into a [`Plan`];
+//! [`Plan::to_logical`] converts that into an `evirel-plan`
+//! [`LogicalPlan`] for the streaming executor, and [`Plan::validate`]
+//! performs the plan-time semantic checks (unknown attributes in
+//! `WHERE`/`ON`/projection lists error here, not mid-execution).
 
 use crate::ast::{CmpOp, Condition, ExprOperand, SelectStmt, Source, ThresholdClause};
+use crate::catalog::Catalog;
 use crate::error::QueryError;
 use evirel_algebra::{Operand, Predicate, ThetaOp, Threshold};
+use evirel_plan::LogicalPlan;
 
 /// A lowered query plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,11 +43,13 @@ pub enum SourcePlan {
     },
 }
 
-/// Lower a parsed statement into a [`Plan`].
+/// Lower a parsed statement into a [`Plan`]. This is the pure
+/// syntactic lowering; semantic checks against a catalog live in
+/// [`Plan::validate`] (and [`lower_validated`] runs both).
 ///
 /// # Errors
-/// Currently infallible once parsed, but kept fallible for future
-/// semantic checks (the signature mirrors the executor's needs).
+/// Infallible once parsed; the `Result` mirrors the executor's needs
+/// and the validated entry points.
 pub fn lower(stmt: &SelectStmt) -> Result<Plan, QueryError> {
     Ok(Plan {
         source: lower_source(&stmt.source)?,
@@ -50,6 +60,20 @@ pub fn lower(stmt: &SelectStmt) -> Result<Plan, QueryError> {
             .unwrap_or(Threshold::POSITIVE),
         projection: stmt.projection.clone(),
     })
+}
+
+/// Lower and semantically validate against `catalog`: unknown
+/// relations, and attributes in `WHERE`, `ON`, or the projection list
+/// that do not exist in the (possibly derived) source schema, error
+/// here — at plan time, with the attribute name — rather than at
+/// execution.
+///
+/// # Errors
+/// [`QueryError::UnknownRelation`], [`QueryError::UnknownAttribute`].
+pub fn lower_validated(stmt: &SelectStmt, catalog: &Catalog) -> Result<Plan, QueryError> {
+    let plan = lower(stmt)?;
+    plan.validate(catalog)?;
+    Ok(plan)
 }
 
 fn lower_source(source: &Source) -> Result<SourcePlan, QueryError> {
@@ -121,6 +145,46 @@ fn lower_threshold(t: ThresholdClause) -> Threshold {
 }
 
 impl Plan {
+    /// Convert to an `evirel-plan` [`LogicalPlan`] for the streaming
+    /// executor. The conversion is deliberately mechanical — `WHERE`
+    /// becomes a default-threshold σ̃ and `WITH` a separate membership
+    /// filter — so the optimizer's rewrite rules (threshold fusion,
+    /// pushdown, ∪̃ distribution) do the composition and `EXPLAIN` can
+    /// show them firing.
+    pub fn to_logical(&self) -> LogicalPlan {
+        let mut plan = source_logical(&self.source);
+        if let Some(predicate) = &self.predicate {
+            plan = LogicalPlan::Select {
+                input: Box::new(plan),
+                predicate: predicate.clone(),
+                threshold: Threshold::POSITIVE,
+            };
+        }
+        if self.threshold != Threshold::POSITIVE {
+            plan = LogicalPlan::ThresholdFilter {
+                input: Box::new(plan),
+                threshold: self.threshold,
+            };
+        }
+        if let Some(attrs) = &self.projection {
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                attrs: attrs.clone(),
+            };
+        }
+        plan
+    }
+
+    /// Semantic validation against `catalog` — see [`lower_validated`].
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownRelation`], [`QueryError::UnknownAttribute`],
+    /// and incompatibility errors from schema derivation.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), QueryError> {
+        evirel_plan::validate_plan(&self.to_logical(), catalog)?;
+        Ok(())
+    }
+
     /// Render the plan as an indented operator tree — the `EXPLAIN`
     /// output:
     ///
@@ -163,6 +227,22 @@ impl Plan {
     }
 }
 
+fn source_logical(source: &SourcePlan) -> LogicalPlan {
+    match source {
+        SourcePlan::Scan(name) => LogicalPlan::Scan { name: name.clone() },
+        SourcePlan::Union(l, r) => LogicalPlan::Union {
+            left: Box::new(source_logical(l)),
+            right: Box::new(source_logical(r)),
+        },
+        SourcePlan::Join { left, right, on } => LogicalPlan::Join {
+            left: Box::new(source_logical(left)),
+            right: Box::new(source_logical(right)),
+            on: on.clone(),
+            threshold: Threshold::POSITIVE,
+        },
+    }
+}
+
 fn render_source(source: &SourcePlan, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     match source {
@@ -181,12 +261,28 @@ fn render_source(source: &SourcePlan, depth: usize, out: &mut String) {
 }
 
 /// Parse and lower a query, returning the rendered plan tree without
-/// executing it — `EXPLAIN`.
+/// executing it — the catalog-free `EXPLAIN` (no rewrites fire, since
+/// schema-aware rules need the catalog; see [`explain_with`]).
 ///
 /// # Errors
 /// Lex/parse errors.
 pub fn explain(query: &str) -> Result<String, QueryError> {
     Ok(lower(&crate::parser::parse(query)?)?.render())
+}
+
+/// Full `EXPLAIN` against a catalog: the logical plan, every rewrite
+/// rule that fired, the optimized plan, and the physical operator
+/// tree that would execute it.
+///
+/// # Errors
+/// Lex/parse errors, unknown relations/attributes, plan-build errors.
+pub fn explain_with(catalog: &Catalog, query: &str) -> Result<String, QueryError> {
+    let plan = lower_validated(&crate::parser::parse(query)?, catalog)?;
+    Ok(evirel_plan::explain_plan(
+        &plan.to_logical(),
+        catalog,
+        &catalog.union_options,
+    )?)
 }
 
 #[cfg(test)]

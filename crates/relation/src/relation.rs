@@ -11,10 +11,15 @@ use std::sync::Arc;
 /// An extended relation: a schema, an extension (set of tuples keyed
 /// by their definite key values), and the CWA_ER invariant that every
 /// stored tuple has `sn > 0`.
+///
+/// Tuples are stored behind [`Arc`] so streaming operators can pass
+/// unmodified tuples through whole pipelines — and into result
+/// relations — without deep-copying attribute values (copy-on-write:
+/// only an operator that actually revises a tuple pays for a copy).
 #[derive(Debug, Clone)]
 pub struct ExtendedRelation {
     schema: Arc<Schema>,
-    tuples: Vec<Tuple>,
+    tuples: Vec<Arc<Tuple>>,
     key_index: HashMap<Vec<Value>, usize>,
 }
 
@@ -55,6 +60,16 @@ impl ExtendedRelation {
         self.insert_with_policy(tuple, CwaPolicy::Enforce)
     }
 
+    /// Insert an already-shared tuple without copying it — the
+    /// zero-copy path streaming operators use for tuples that pass
+    /// through a pipeline unmodified.
+    ///
+    /// # Errors
+    /// As [`ExtendedRelation::insert`].
+    pub fn insert_shared(&mut self, tuple: Arc<Tuple>) -> Result<(), RelationError> {
+        self.insert_shared_with_policy(tuple, CwaPolicy::Enforce)
+    }
+
     /// Insert with an explicit [`CwaPolicy`]. `CwaPolicy::AllowZero`
     /// exists solely for the boundedness-property verifier, which must
     /// materialize complement tuples with `sn = 0` (§3.6); production
@@ -66,6 +81,14 @@ impl ExtendedRelation {
     pub fn insert_with_policy(
         &mut self,
         tuple: Tuple,
+        policy: CwaPolicy,
+    ) -> Result<(), RelationError> {
+        self.insert_shared_with_policy(Arc::new(tuple), policy)
+    }
+
+    fn insert_shared_with_policy(
+        &mut self,
+        tuple: Arc<Tuple>,
         policy: CwaPolicy,
     ) -> Result<(), RelationError> {
         if policy == CwaPolicy::Enforce && !tuple.membership().is_positive() {
@@ -84,7 +107,26 @@ impl ExtendedRelation {
 
     /// Look up a tuple by its key values.
     pub fn get_by_key(&self, key: &[Value]) -> Option<&Tuple> {
-        self.key_index.get(key).map(|&i| &self.tuples[i])
+        self.key_index.get(key).map(|&i| self.tuples[i].as_ref())
+    }
+
+    /// The tuple at insertion position `idx`, if any — constant-time
+    /// cursor access for streaming scan operators.
+    pub fn get(&self, idx: usize) -> Option<&Tuple> {
+        self.tuples.get(idx).map(|t| t.as_ref())
+    }
+
+    /// Shared handle to the tuple at insertion position `idx` —
+    /// lets scan operators emit without deep-copying.
+    pub fn get_shared(&self, idx: usize) -> Option<Arc<Tuple>> {
+        self.tuples.get(idx).cloned()
+    }
+
+    /// Shared handle to the tuple with the given key.
+    pub fn get_shared_by_key(&self, key: &[Value]) -> Option<Arc<Tuple>> {
+        self.key_index
+            .get(key)
+            .map(|&i| Arc::clone(&self.tuples[i]))
     }
 
     /// `true` if a tuple with this key is stored.
@@ -94,12 +136,14 @@ impl ExtendedRelation {
 
     /// Iterate over the stored tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.tuples.iter().map(|t| t.as_ref())
     }
 
     /// Iterate over `(key, tuple)` pairs in insertion order.
     pub fn iter_keyed(&self) -> impl Iterator<Item = (Vec<Value>, &Tuple)> + '_ {
-        self.tuples.iter().map(|t| (t.key(&self.schema), t))
+        self.tuples
+            .iter()
+            .map(|t| (t.key(&self.schema), t.as_ref()))
     }
 
     /// The keys of all stored tuples, in insertion order.

@@ -186,6 +186,14 @@ impl Tuple {
         }
     }
 
+    /// Consuming variant of [`Tuple::with_membership`] — streaming
+    /// operators own their tuples, so revising the membership need not
+    /// clone the attribute values.
+    pub fn with_membership_owned(mut self, membership: SupportPair) -> Tuple {
+        self.membership = membership;
+        self
+    }
+
     /// Extract the key values (definite by construction) given the
     /// schema that validated this tuple.
     pub fn key(&self, schema: &Schema) -> Vec<Value> {

@@ -15,7 +15,8 @@
 //! | [`algebra`]   | `evirel-algebra`   | σ̃, ∪̃, π̃, ×̃, ⋈̃ + predicates, thresholds, conflict reports, closure/boundedness verifiers |
 //! | [`baselines`] | `evirel-baselines` | DeMichiel partial values, Tseng probabilistic partial values, Dayal aggregates |
 //! | [`integrate`] | `evirel-integrate` | Figure 1 pipeline: preprocessing, entity identification, tuple merging, method registry |
-//! | [`query`]     | `evirel-query`     | EQL: a SQL-flavoured query language over extended relations |
+//! | [`plan`]      | `evirel-plan`      | logical plans + fluent builder, rewrite optimizer, pull-based streaming operators, `ExecContext` side outputs |
+//! | [`query`]     | `evirel-query`     | EQL: a SQL-flavoured query language over extended relations, executed through `plan` |
 //! | [`workload`]  | `evirel-workload`  | the paper's restaurant databases, the survey simulator, random generators |
 //! | [`storage`]   | `evirel-storage`   | text persistence in the paper's notation |
 //!
@@ -53,6 +54,7 @@ pub use evirel_algebra as algebra;
 pub use evirel_baselines as baselines;
 pub use evirel_evidence as evidence;
 pub use evirel_integrate as integrate;
+pub use evirel_plan as plan;
 pub use evirel_query as query;
 pub use evirel_relation as relation;
 pub use evirel_storage as storage;
@@ -69,7 +71,8 @@ pub mod prelude {
         DomainMapping, IntegrationMethod, Integrator, KeyMatcher, MethodRegistry, Preprocessor,
         SchemaMapping,
     };
-    pub use evirel_query::{execute, Catalog};
+    pub use evirel_plan::{execute_plan, explain_plan, scan, Bindings, ExecContext, LogicalPlan};
+    pub use evirel_query::{execute, execute_with_report, Catalog};
     pub use evirel_relation::{
         AttrDomain, AttrValue, ExtendedRelation, RelationBuilder, Schema, SupportPair, Tuple,
         TupleBuilder, Value, ValueKind,
