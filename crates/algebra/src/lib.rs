@@ -9,7 +9,7 @@
 //! | σ̃ (selection, §3.1)        | [`mod@select`]  | [`select::select`] |
 //! | ∪̃ (extended union, §3.2)   | [`union`]   | [`union::union_extended`] |
 //! | π̃ (projection, §3.3)       | [`mod@project`] | [`project::project`] |
-//! | ×̃ (cartesian product, §3.4)| [`product`] | [`product::product`] |
+//! | ×̃ (cartesian product, §3.4)| [`mod@product`] | [`product::product`] |
 //! | ⋈̃ (join, §3.5)             | [`mod@join`]    | [`join::join`] |
 //!
 //! Supporting machinery:

@@ -37,9 +37,9 @@ pub fn intersect_extended(
         right.schema().name()
     )));
     let mut out = ExtendedRelation::new(schema);
-    for (key, tuple) in merged.relation.iter_keyed() {
+    for (key, tuple) in merged.relation.iter_keyed_shared() {
         if left.contains_key(&key) && right.contains_key(&key) {
-            out.insert(tuple.clone())?;
+            out.insert_shared(Arc::clone(tuple))?;
         }
     }
     Ok((out, merged.report))
@@ -61,9 +61,9 @@ pub fn difference_extended(
         right.schema().name()
     )));
     let mut out = ExtendedRelation::new(schema);
-    for (key, tuple) in left.iter_keyed() {
+    for (key, tuple) in left.iter_keyed_shared() {
         if !right.contains_key(&key) && tuple.membership().is_positive() {
-            out.insert(tuple.clone())?;
+            out.insert_shared(Arc::clone(tuple))?;
         }
     }
     Ok(out)

@@ -19,7 +19,7 @@
 
 use crate::conflict::{AttributeConflict, ConflictPolicy, ConflictReport};
 use crate::error::AlgebraError;
-use evirel_evidence::{combine, rules::CombinationRule, EvidenceError, MassFunction};
+use evirel_evidence::{rules::CombinationRule, EvidenceError, MassFunction};
 use evirel_relation::{
     AttrType, AttrValue, ExtendedRelation, RelationError, SupportPair, Tuple, Value,
 };
@@ -84,13 +84,16 @@ pub fn union_with(
     let mut report = ConflictReport::new();
 
     // Matched keys and left-only tuples, in left insertion order.
-    for (key, l_tuple) in left.iter_keyed() {
+    // Unmatched tuples pass through as shared `Arc<Tuple>` handles —
+    // zero deep copies, exactly like the streaming `MergeOp` in
+    // `evirel-plan`.
+    for (key, l_tuple) in left.iter_keyed_shared() {
         match right.get_by_key(&key) {
             None => {
                 // Closure: zero-support tuples (possible when the input
                 // is an augmented complement relation) are not stored.
                 if l_tuple.membership().is_positive() {
-                    out.insert(l_tuple.clone())?;
+                    out.insert_shared(Arc::clone(l_tuple))?;
                 }
             }
             Some(r_tuple) => {
@@ -103,9 +106,9 @@ pub fn union_with(
         }
     }
     // Right-only tuples, in right insertion order.
-    for (key, r_tuple) in right.iter_keyed() {
+    for (key, r_tuple) in right.iter_keyed_shared() {
         if !left.contains_key(&key) && r_tuple.membership().is_positive() {
-            out.insert(r_tuple.clone())?;
+            out.insert_shared(Arc::clone(r_tuple))?;
         }
     }
     Ok(UnionOutcome {
@@ -167,7 +170,7 @@ pub fn merge_tuples(
             AttrType::Evidential(domain) => {
                 let lm = lv.to_evidence(domain)?;
                 let rm = rv.to_evidence(domain)?;
-                let combined = combine_attr(&lm, &rm, options);
+                let combined = options.rule.combine_reporting(&lm, &rm);
                 match combined {
                     Ok((mass, kappa)) => {
                         if kappa > 0.0 {
@@ -243,26 +246,6 @@ pub fn merge_tuples(
         return Ok(None);
     }
     Ok(Some(Tuple::new(schema, values, membership)?))
-}
-
-fn combine_attr(
-    l: &MassFunction<f64>,
-    r: &MassFunction<f64>,
-    options: &UnionOptions,
-) -> Result<(MassFunction<f64>, f64), EvidenceError> {
-    match options.rule {
-        CombinationRule::Dempster => {
-            let c = combine::dempster(l, r)?;
-            Ok((c.mass, c.conflict))
-        }
-        rule => {
-            // Alternative rules absorb conflict internally; still
-            // report the κ that Dempster would have seen.
-            let kappa = combine::conflict(l, r)?;
-            let mass = rule.combine(l, r)?;
-            Ok((mass, kappa))
-        }
-    }
 }
 
 #[cfg(test)]

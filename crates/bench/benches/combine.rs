@@ -51,13 +51,52 @@ fn random_mass(rng: &mut StdRng, frame: &Arc<Frame>, focal: usize) -> MassFuncti
     random_mass_with_omega(rng, frame, focal, 0.0)
 }
 
+/// A random singleton-only (Bayesian) mass function with `focal`
+/// distinct focal elements. Element 0 is always focal so two such
+/// functions can never be in total conflict — the bench must measure
+/// the singleton fast path, not the error path.
+fn random_bayesian(rng: &mut StdRng, frame: &Arc<Frame>, focal: usize) -> MassFunction<f64> {
+    let n = frame.len();
+    assert!(focal <= n);
+    let mut members = vec![0usize];
+    while members.len() < focal {
+        let i = rng.gen_range(0..n);
+        if !members.contains(&i) {
+            members.push(i);
+        }
+    }
+    let weights: Vec<f64> = (0..focal).map(|_| rng.gen_range(0.05..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let entries = members
+        .into_iter()
+        .zip(weights.into_iter().map(|w| w / total))
+        .map(|(i, w)| (evirel_evidence::FocalSet::singleton(i), w));
+    MassFunction::from_entries(Arc::clone(frame), entries).expect("normalized by construction")
+}
+
+/// The focal-count sweep from ROADMAP's hot-path item: 2–64 focal
+/// elements over a 64-value frame, mixed-cardinality vs
+/// singleton-only operands. The mixed group keeps its historical name
+/// so BASELINES.md before/after comparisons line up.
 fn bench_focal_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dempster/focal-count");
     let f = frame(64);
-    for focal in [2usize, 4, 8, 16, 32] {
+    let mut group = c.benchmark_group("dempster/focal-count");
+    for focal in [2usize, 4, 8, 16, 32, 64] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = random_mass(&mut rng, &f, focal);
         let b = random_mass(&mut rng, &f, focal);
+        group.throughput(Throughput::Elements((focal * focal) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(focal), &focal, |bench, _| {
+            bench.iter(|| combine::dempster(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dempster/focal-count-singleton");
+    for focal in [2usize, 4, 8, 16, 32, 64] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_bayesian(&mut rng, &f, focal);
+        let b = random_bayesian(&mut rng, &f, focal);
         group.throughput(Throughput::Elements((focal * focal) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(focal), &focal, |bench, _| {
             bench.iter(|| combine::dempster(black_box(&a), black_box(&b)));

@@ -57,7 +57,10 @@ pub fn summarize<W: Weight>(
     } else {
         kept.push((rest_union, rest_mass));
     }
-    MassFunction::from_entries(m.frame().clone(), kept)
+    // Distinct entries (dedup above) whose masses are a permutation /
+    // regrouping of a valid function's: the trusted constructor
+    // applies.
+    MassFunction::from_combination(m.frame().clone(), kept)
 }
 
 /// The error introduced by an approximation, measured as the maximum

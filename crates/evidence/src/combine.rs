@@ -16,6 +16,38 @@
 //! The rule is commutative and associative (checked by property tests),
 //! so the order of combining evidence from many databases is
 //! irrelevant — the basis for the extended union's correctness.
+//!
+//! # The hot path
+//!
+//! This is the inner loop of every tuple merge in the integration
+//! framework (§4): the extended union ∪̃ runs one combination per
+//! common non-key attribute per matched tuple pair, plus one for the
+//! membership pair. The engine therefore dispatches on the shape of
+//! the operands, cheapest first:
+//!
+//! 1. **Singleton-only (Bayesian) fast path** — when every focal
+//!    element of both operands is a singleton (the common case in the
+//!    restaurant workload, where source databases assert plain value
+//!    distributions), `X ∩ Y ≠ ∅` iff `X = Y`, so the quadratic
+//!    pairwise loop collapses to a value-indexed dense-array walk:
+//!    `O(|m1| + |m2| + |Ω|)`, no set operations at all.
+//! 2. **Inline bitset path** — when every focal element fits the
+//!    inline `u128` representation ([`FocalSet::as_bits`]; always true
+//!    for frames of ≤ 128 values), each pairwise intersection is a
+//!    single word-AND and products are accumulated in a memo table
+//!    keyed by the `(lhs_bits & rhs_bits)` result pattern
+//!    (`BitsMemo`). No per-pair `FocalSet` is allocated: each
+//!    *distinct* intersection pattern is materialized exactly once
+//!    when the table drains.
+//! 3. **Boxed fallback** — frames wider than 128 values go through
+//!    [`FocalSet::intersect`] (which itself collapses results back
+//!    into the inline representation when they fit).
+//!
+//! All paths feed the trusted `MassFunction::from_combination`
+//! constructor, skipping the per-entry revalidation of the public
+//! builder. The retained [`crate::reference`] module implements the
+//! same rule over `BTreeSet<usize>` with none of these refinements;
+//! the property suite pits the two against each other.
 
 use crate::error::EvidenceError;
 use crate::focal::FocalSet;
@@ -33,18 +65,174 @@ pub struct Combination<W: Weight> {
     pub conflict: W,
 }
 
-/// Accumulate the unnormalized conjunctive combination and the
-/// conflict mass. Shared by Dempster's rule and the alternative rules.
-pub(crate) fn conjunctive_raw<W: Weight>(
-    a: &MassFunction<W>,
-    b: &MassFunction<W>,
-) -> Result<(HashMap<FocalSet, W>, W), EvidenceError> {
+/// A memo table for intersection products, keyed by the inline bit
+/// pattern of `lhs_bits & rhs_bits`. Open-addressed with linear
+/// probing over a power-of-two slot array so the per-pair cost is a
+/// multiply-fold hash and (usually) one probe — no `SipHash`, no
+/// per-pair allocation, no `FocalSet` until the table drains.
+struct BitsMemo<W> {
+    /// Entry index + 1; 0 marks an empty slot.
+    slots: Vec<u32>,
+    mask: usize,
+    entries: Vec<(u128, W)>,
+}
+
+impl<W: Weight> BitsMemo<W> {
+    fn new(expected: usize) -> BitsMemo<W> {
+        let cap = (expected * 2).next_power_of_two().max(16);
+        BitsMemo {
+            slots: vec![0; cap],
+            mask: cap - 1,
+            entries: Vec::with_capacity(expected),
+        }
+    }
+
+    /// Fold a 128-bit pattern to a table index (murmur-style finalizer
+    /// over the XOR-mixed halves — cheap and well-distributed for the
+    /// sparse patterns focal sets produce).
+    #[inline]
+    fn hash(bits: u128) -> usize {
+        let mut h = (bits as u64) ^ ((bits >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h as usize
+    }
+
+    /// Accumulate `product` into the entry for `bits` (non-empty).
+    fn add(&mut self, bits: u128, product: W) -> Result<(), EvidenceError> {
+        let mut i = Self::hash(bits) & self.mask;
+        loop {
+            match self.slots[i] {
+                0 => {
+                    self.entries.push((bits, product));
+                    self.slots[i] = self.entries.len() as u32;
+                    if self.entries.len() * 4 > self.slots.len() * 3 {
+                        self.grow();
+                    }
+                    return Ok(());
+                }
+                e => {
+                    let e = (e - 1) as usize;
+                    if self.entries[e].0 == bits {
+                        self.entries[e].1 = self.entries[e].1.add(&product)?;
+                        return Ok(());
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, 0);
+        for (e, (bits, _)) in self.entries.iter().enumerate() {
+            let mut i = Self::hash(*bits) & self.mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = (e + 1) as u32;
+        }
+    }
+
+    /// Drain into `(FocalSet, W)` entries, materializing each distinct
+    /// intersection pattern exactly once.
+    fn into_entries(self) -> Vec<(FocalSet, W)> {
+        self.entries
+            .into_iter()
+            .map(|(bits, w)| (FocalSet::from_bits(bits), w))
+            .collect()
+    }
+}
+
+/// The focal list as inline bit patterns, or `None` if any focal
+/// element needs the boxed representation.
+fn inline_bits<W: Weight>(m: &MassFunction<W>) -> Option<Vec<(u128, &W)>> {
+    m.iter().map(|(s, w)| s.as_bits().map(|b| (b, w))).collect()
+}
+
+fn check_frames<W: Weight>(a: &MassFunction<W>, b: &MassFunction<W>) -> Result<(), EvidenceError> {
     if a.frame() != b.frame() {
         return Err(EvidenceError::FrameMismatch {
             left: a.frame().name().to_owned(),
             right: b.frame().name().to_owned(),
         });
     }
+    Ok(())
+}
+
+/// `1 − diag`, clamped to exact zero when it lands within the weight
+/// tolerance (floating-point dust must not surface as negative κ).
+fn one_minus<W: Weight>(diag: &W) -> Result<W, EvidenceError> {
+    let rest = W::one().sub(diag)?;
+    if rest.is_zero() || !rest.is_positive() {
+        Ok(W::zero())
+    } else {
+        Ok(rest)
+    }
+}
+
+/// Singleton-only (Bayesian × Bayesian) conjunction: intersections are
+/// non-empty exactly on equal singletons, so one dense-array pass over
+/// the shorter operand replaces the quadratic pairwise loop, and
+/// κ = 1 − Σᵢ m1({i})·m2({i}).
+fn bayesian_raw<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
+    let mut dense: Vec<Option<&W>> = vec![None; a.frame().len()];
+    for (s, w) in b.iter() {
+        dense[s.as_singleton().expect("bayesian operand")] = Some(w);
+    }
+    let mut entries = Vec::with_capacity(a.focal_count().min(b.focal_count()));
+    let mut diag = W::zero();
+    for (s, w) in a.iter() {
+        let i = s.as_singleton().expect("bayesian operand");
+        if let Some(wb) = dense[i] {
+            let product = w.mul(wb)?;
+            if !product.is_zero() {
+                diag = diag.add(&product)?;
+                entries.push((s.clone(), product));
+            }
+        }
+    }
+    let conflict = one_minus(&diag)?;
+    Ok((entries, conflict))
+}
+
+/// Inline-bitset conjunction: word-AND intersections accumulated in a
+/// [`BitsMemo`].
+fn inline_raw<W: Weight>(
+    av: &[(u128, &W)],
+    bv: &[(u128, &W)],
+) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
+    let mut memo = BitsMemo::new(av.len() * bv.len());
+    let mut conflict = W::zero();
+    for (xa, wa) in av {
+        for (xb, wb) in bv {
+            let z = xa & xb;
+            let product = wa.mul(wb)?;
+            if product.is_zero() {
+                continue;
+            }
+            if z == 0 {
+                conflict = conflict.add(&product)?;
+            } else {
+                memo.add(z, product)?;
+            }
+        }
+    }
+    Ok((memo.into_entries(), conflict))
+}
+
+/// Boxed fallback for frames wider than 128 values.
+fn boxed_raw<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
     let mut acc: HashMap<FocalSet, W> = HashMap::with_capacity(a.focal_count() * b.focal_count());
     let mut conflict = W::zero();
     for (x, wx) in a.iter() {
@@ -66,10 +254,54 @@ pub(crate) fn conjunctive_raw<W: Weight>(
             }
         }
     }
-    Ok((acc, conflict))
+    Ok((acc.into_iter().collect(), conflict))
+}
+
+/// Accumulate the unnormalized conjunctive combination and the
+/// conflict mass. Shared by Dempster's rule and the alternative rules.
+/// The returned entries have distinct, non-empty focal sets.
+pub(crate) fn conjunctive_raw<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
+    check_frames(a, b)?;
+    if a.is_bayesian() && b.is_bayesian() {
+        return bayesian_raw(a, b);
+    }
+    match (inline_bits(a), inline_bits(b)) {
+        (Some(av), Some(bv)) => inline_raw(&av, &bv),
+        _ => boxed_raw(a, b),
+    }
 }
 
 /// Combine two mass functions with Dempster's rule.
+///
+/// # Examples
+///
+/// The paper's §2.2 worked example — the speciality of restaurant
+/// *wok* according to two source databases:
+///
+/// ```
+/// use evirel_evidence::{combine, Frame, MassFunction};
+/// use std::sync::Arc;
+///
+/// let frame = Arc::new(Frame::new("speciality", ["hunan", "sichuan", "cantonese"]));
+/// let m1 = MassFunction::<f64>::builder(Arc::clone(&frame))
+///     .add(["cantonese"], 0.5).unwrap()
+///     .add(["hunan", "sichuan"], 1.0 / 3.0).unwrap()
+///     .add_omega(1.0 / 6.0)
+///     .build().unwrap();
+/// let m2 = MassFunction::<f64>::builder(Arc::clone(&frame))
+///     .add(["cantonese", "hunan"], 0.5).unwrap()
+///     .add(["hunan"], 0.25).unwrap()
+///     .add_omega(0.25)
+///     .build().unwrap();
+///
+/// let c = combine::dempster(&m1, &m2).unwrap();
+/// assert!((c.conflict - 1.0 / 8.0).abs() < 1e-12); // κ = 1/8
+/// let cantonese = frame.singleton("cantonese").unwrap();
+/// assert!((c.mass.mass_of(&cantonese) - 3.0 / 7.0).abs() < 1e-12);
+/// ```
 ///
 /// # Errors
 /// * [`EvidenceError::FrameMismatch`] if the frames differ;
@@ -78,16 +310,17 @@ pub fn dempster<W: Weight>(
     a: &MassFunction<W>,
     b: &MassFunction<W>,
 ) -> Result<Combination<W>, EvidenceError> {
-    let (acc, conflict) = conjunctive_raw(a, b)?;
-    if acc.is_empty() || conflict.approx_eq(&W::one()) {
+    let (mut entries, conflict) = conjunctive_raw(a, b)?;
+    if entries.is_empty() || conflict.approx_eq(&W::one()) {
         return Err(EvidenceError::TotalConflict);
     }
-    let denom = W::one().sub(&conflict)?;
-    let entries = acc
-        .into_iter()
-        .map(|(s, w)| Ok((s, w.div(&denom)?)))
-        .collect::<Result<Vec<_>, EvidenceError>>()?;
-    let mass = MassFunction::from_entries(a.frame().clone(), entries)?;
+    if !conflict.is_zero() {
+        let denom = W::one().sub(&conflict)?;
+        for (_, w) in &mut entries {
+            *w = w.div(&denom)?;
+        }
+    }
+    let mass = MassFunction::from_combination(a.frame().clone(), entries)?;
     Ok(Combination { mass, conflict })
 }
 
@@ -119,6 +352,10 @@ pub fn dempster_all<'a, W: Weight + 'a>(
 /// The degree of conflict κ between two sources *without* combining
 /// them — useful for conflict analysis and the integration layer's
 /// diagnostics.
+///
+/// Cheaper than [`dempster`]: the conjunctive pass runs on the same
+/// fast paths, but normalization and mass-function construction are
+/// skipped.
 ///
 /// # Errors
 /// [`EvidenceError::FrameMismatch`] if the frames differ.

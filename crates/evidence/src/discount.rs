@@ -53,7 +53,10 @@ pub fn discount<W: Weight>(
         }
     }
     entries.push((omega, omega_mass));
-    MassFunction::from_entries(frame, entries)
+    // Entries are distinct by construction (Ω folded above) and the
+    // total is α·1 + (1 − α) = 1, so the trusted combination
+    // constructor applies.
+    MassFunction::from_combination(frame, entries)
 }
 
 /// Dempster conditioning: `m(· | b)` — combine `m` with the

@@ -24,27 +24,39 @@ impl Frame {
     /// Build a frame from a name and an ordered list of labels.
     ///
     /// Duplicate labels are collapsed (first occurrence wins), matching
-    /// set semantics.
+    /// set semantics. This is a one-shot [`crate::FrameInterner`]: each
+    /// label's position is its bit position in every [`FocalSet`] built
+    /// against this frame. Domains discovered incrementally should use
+    /// the interner directly and [`crate::FrameInterner::freeze`] when
+    /// done.
     pub fn new<N, I, L>(name: N, labels: I) -> Frame
     where
         N: Into<Arc<str>>,
         I: IntoIterator<Item = L>,
         L: Into<Arc<str>>,
     {
-        let mut out_labels: Vec<Arc<str>> = Vec::new();
-        let mut index = HashMap::new();
-        for label in labels {
-            let label: Arc<str> = label.into();
-            if !index.contains_key(&label) {
-                index.insert(Arc::clone(&label), out_labels.len());
-                out_labels.push(label);
-            }
-        }
+        crate::interner::FrameInterner::with_labels(name, labels).into_frame()
+    }
+
+    /// Assemble a frame from an interner's parts (the single
+    /// construction path; see [`crate::FrameInterner::freeze`]).
+    pub(crate) fn from_parts(
+        name: Arc<str>,
+        labels: Vec<Arc<str>>,
+        index: HashMap<Arc<str>, usize>,
+    ) -> Frame {
         Frame {
-            name: name.into(),
-            labels: out_labels,
+            name,
+            labels,
             index,
         }
+    }
+
+    /// Re-open this frame's label-to-bit mapping as a mutable
+    /// [`crate::FrameInterner`] (e.g. to extend the domain with values
+    /// from a newly integrated source, then freeze a wider frame).
+    pub fn interner(&self) -> crate::interner::FrameInterner {
+        crate::interner::FrameInterner::from_frame(self)
     }
 
     /// The frame's name (e.g. `"speciality"`).

@@ -1,0 +1,269 @@
+//! Interning of domain values to bit positions.
+//!
+//! Every [`crate::FocalSet`] is a bitset, so somebody has to
+//! decide which *bit position* each domain value occupies. For frames
+//! known up front, [`Frame::new`] does that in one shot. Integration
+//! pipelines, however, often discover an attribute's domain
+//! *incrementally* — while scanning source databases, survey files, or
+//! streamed tuples — and need a stable value → bit mapping **before**
+//! the frame is complete. [`FrameInterner`] is that mutable mapping:
+//! values are interned in first-seen order, each new value taking the
+//! next free bit, and the finished interner freezes into an immutable
+//! [`Frame`] that the mass machinery combines over.
+//!
+//! Positions handed out by an interner are stable for its lifetime, so
+//! focal sets built mid-scan remain valid against the frozen frame.
+//! [`Frame::new`] itself is implemented on top of this type, so there
+//! is exactly one label-to-bit assignment path in the crate.
+
+use crate::error::EvidenceError;
+use crate::focal::FocalSet;
+use crate::frame::Frame;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An incremental map from domain values (labels) to bit positions,
+/// growable until frozen into a [`Frame`].
+///
+/// # Examples
+///
+/// Discover a domain while streaming source values, building focal
+/// sets as you go, then freeze the frame and combine:
+///
+/// ```
+/// use evirel_evidence::{combine, FrameInterner, MassFunction};
+/// use std::sync::Arc;
+///
+/// let mut interner = FrameInterner::new("speciality");
+///
+/// // Values arrive in stream order; each first occurrence takes the
+/// // next bit position.
+/// assert_eq!(interner.intern("cantonese"), 0);
+/// assert_eq!(interner.intern("hunan"), 1);
+/// assert_eq!(interner.intern("cantonese"), 0); // already interned
+/// assert_eq!(interner.intern("sichuan"), 2);
+///
+/// // Focal sets built mid-scan stay valid against the frozen frame.
+/// let hunan_or_sichuan = interner.set_of(["hunan", "sichuan"]);
+/// assert_eq!(hunan_or_sichuan.len(), 2);
+///
+/// let frame = Arc::new(interner.freeze());
+/// assert_eq!(frame.len(), 3);
+///
+/// let m1 = MassFunction::<f64>::builder(Arc::clone(&frame))
+///     .add_set(hunan_or_sichuan, 0.5).unwrap()
+///     .add_omega(0.5)
+///     .build().unwrap();
+/// let m2 = MassFunction::<f64>::certain(Arc::clone(&frame), "hunan").unwrap();
+/// let combined = combine::dempster(&m1, &m2).unwrap();
+/// let hunan = frame.singleton("hunan").unwrap();
+/// assert!((combined.mass.mass_of(&hunan) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameInterner {
+    name: Arc<str>,
+    labels: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, usize>,
+}
+
+impl FrameInterner {
+    /// An empty interner for a frame named `name`.
+    pub fn new(name: impl Into<Arc<str>>) -> FrameInterner {
+        FrameInterner {
+            name: name.into(),
+            labels: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// An interner pre-seeded with `labels` in order (duplicates
+    /// collapse to their first occurrence, like [`Frame::new`]).
+    pub fn with_labels<I, L>(name: impl Into<Arc<str>>, labels: I) -> FrameInterner
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<Arc<str>>,
+    {
+        let mut interner = FrameInterner::new(name);
+        for label in labels {
+            interner.intern_arc(label.into());
+        }
+        interner
+    }
+
+    /// Re-open a frozen [`Frame`]'s mapping, e.g. to extend a stored
+    /// domain with values discovered in a newly integrated source.
+    pub fn from_frame(frame: &Frame) -> FrameInterner {
+        FrameInterner::with_labels(
+            frame.name().to_owned(),
+            frame.labels().map(Arc::<str>::from),
+        )
+    }
+
+    /// The frame name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of interned values so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The bit position of `label`, interning it if new.
+    pub fn intern(&mut self, label: &str) -> usize {
+        match self.index.get(label) {
+            Some(&i) => i,
+            None => self.intern_arc(Arc::from(label)),
+        }
+    }
+
+    /// [`FrameInterner::intern`] for an already-shared label (avoids
+    /// the copy on first occurrence).
+    pub fn intern_arc(&mut self, label: Arc<str>) -> usize {
+        match self.index.get(&label) {
+            Some(&i) => i,
+            None => {
+                let i = self.labels.len();
+                self.index.insert(Arc::clone(&label), i);
+                self.labels.push(label);
+                i
+            }
+        }
+    }
+
+    /// The bit position of `label`, if already interned.
+    pub fn position(&self, label: &str) -> Option<usize> {
+        self.index.get(label).copied()
+    }
+
+    /// The label at bit position `i`, if assigned.
+    pub fn label(&self, i: usize) -> Option<&str> {
+        self.labels.get(i).map(|l| &**l)
+    }
+
+    /// Iterate over the interned labels in bit-position order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.labels.iter().map(|l| &**l)
+    }
+
+    /// The singleton focal set for `label`, interning it if new.
+    pub fn singleton(&mut self, label: &str) -> FocalSet {
+        FocalSet::singleton(self.intern(label))
+    }
+
+    /// The focal set of `labels`, interning each as needed.
+    pub fn set_of<I, L>(&mut self, labels: I) -> FocalSet
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<str>,
+    {
+        FocalSet::from_indices(labels.into_iter().map(|l| self.intern(l.as_ref())))
+    }
+
+    /// The focal set of already-interned `labels`, without interning.
+    ///
+    /// # Errors
+    /// [`EvidenceError::UnknownLabel`] for any label not yet interned.
+    pub fn subset<I, L>(&self, labels: I) -> Result<FocalSet, EvidenceError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<str>,
+    {
+        let mut indices = Vec::new();
+        for l in labels {
+            indices.push(
+                self.position(l.as_ref())
+                    .ok_or_else(|| EvidenceError::UnknownLabel {
+                        label: l.as_ref().to_owned(),
+                        frame: self.name.to_string(),
+                    })?,
+            );
+        }
+        Ok(FocalSet::from_indices(indices))
+    }
+
+    /// Freeze into an immutable [`Frame`] with the interned ordering.
+    /// The interner remains usable (e.g. to keep interning and freeze
+    /// a wider frame later); positions already handed out are stable.
+    pub fn freeze(&self) -> Frame {
+        self.clone().into_frame()
+    }
+
+    /// Consuming [`FrameInterner::freeze`]: hands the label table and
+    /// index to the [`Frame`] without copying them — the zero-copy
+    /// path for one-shot construction ([`Frame::new`]).
+    pub fn into_frame(self) -> Frame {
+        Frame::from_parts(self.name, self.labels, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_in_first_seen_order() {
+        let mut it = FrameInterner::new("f");
+        assert_eq!(it.intern("b"), 0);
+        assert_eq!(it.intern("a"), 1);
+        assert_eq!(it.intern("b"), 0);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.position("a"), Some(1));
+        assert_eq!(it.position("zzz"), None);
+        assert_eq!(it.label(0), Some("b"));
+        assert_eq!(it.labels().collect::<Vec<_>>(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn focal_set_construction() {
+        let mut it = FrameInterner::new("f");
+        let s = it.set_of(["x", "y", "x"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(it.singleton("x").as_singleton(), Some(0));
+        assert_eq!(it.subset(["y"]).unwrap().as_singleton(), Some(1));
+        assert!(it.subset(["nope"]).is_err());
+    }
+
+    #[test]
+    fn freeze_matches_frame_construction() {
+        let direct = Frame::new("spec", ["a", "b", "c"]);
+        let mut it = FrameInterner::new("spec");
+        for l in ["a", "b", "c"] {
+            it.intern(l);
+        }
+        assert_eq!(it.freeze(), direct);
+        // Frozen frames agree with interner positions.
+        assert_eq!(
+            it.freeze().index_of("b").unwrap(),
+            it.position("b").unwrap()
+        );
+    }
+
+    #[test]
+    fn positions_stable_across_freezes() {
+        let mut it = FrameInterner::with_labels("grow", ["a", "b"]);
+        let narrow = it.freeze();
+        let early = it.set_of(["b"]);
+        it.intern("c");
+        let wide = it.freeze();
+        assert_eq!(narrow.len(), 2);
+        assert_eq!(wide.len(), 3);
+        // The set built against the narrow frame is still {b} in the
+        // wide one.
+        assert_eq!(wide.render(&early), "{b}");
+    }
+
+    #[test]
+    fn from_frame_round_trip() {
+        let f = Frame::new("f", ["x", "y"]);
+        let mut it = FrameInterner::from_frame(&f);
+        assert_eq!(it.position("y"), Some(1));
+        it.intern("z");
+        assert_eq!(it.freeze().len(), 3);
+    }
+}

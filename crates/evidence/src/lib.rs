@@ -26,6 +26,21 @@
 //! (`evirel-relation`, `evirel-algebra`) inherit no transitive
 //! baggage.
 //!
+//! ## Module map (paper section → module)
+//!
+//! | Paper | Module | What it implements |
+//! |---|---|---|
+//! | §2.1 frames Ω | [`frame`], [`interner`] | attribute domains; incremental value→bit interning |
+//! | §2.1 subsets of Ω | [`focal`] | canonical bitset focal elements (`u128` inline / boxed words) |
+//! | §2.1 mass, Bel, Pls | [`mass`], [`measures`] | basic probability assignments and derived functionals |
+//! | §2.2 Dempster's rule | [`combine`] | the hot-path combination engine (singleton fast path, bitset memo) |
+//! | §2.2 alternatives | [`rules`] | Yager, Dubois–Prade, mixing — ablation rules |
+//! | — (Shafer 1976) | [`mod@discount`] | source discounting and Dempster conditioning |
+//! | — (Lowrance 1986) | [`approx`] | focal-element summarization for long chains |
+//! | — (Smets) | [`transform`] | pignistic / plausibility decision transforms |
+//! | exact table checks | [`ratio`], [`weight`] | `i128` rationals behind the generic [`Weight`] |
+//! | executable spec | [`mod@reference`] | the retained `BTreeSet` implementation the engine is tested against |
+//!
 //! ## Example
 //!
 //! The running example of the paper (§2.1–§2.2): the speciality of the
@@ -60,15 +75,19 @@
 //! assert!((combined.mass.mass_of(&cantonese) - 3.0 / 7.0).abs() < 1e-12);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod approx;
 pub mod combine;
 pub mod discount;
 pub mod error;
 pub mod focal;
 pub mod frame;
+pub mod interner;
 pub mod mass;
 pub mod measures;
 pub mod ratio;
+pub mod reference;
 pub mod rules;
 pub mod transform;
 pub mod weight;
@@ -78,6 +97,7 @@ pub use discount::{condition, discount, weight_of_conflict};
 pub use error::EvidenceError;
 pub use focal::FocalSet;
 pub use frame::Frame;
+pub use interner::FrameInterner;
 pub use mass::{MassBuilder, MassFunction};
 pub use ratio::Ratio;
 pub use weight::Weight;

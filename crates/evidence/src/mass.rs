@@ -70,6 +70,47 @@ impl<W: Weight> MassFunction<W> {
         b.build()
     }
 
+    /// Trusted constructor for the combination engine's output: the
+    /// entries are known to have distinct, non-empty, in-frame focal
+    /// sets and valid masses (products and quotients of valid masses),
+    /// so per-entry validation and the duplicate scan are skipped —
+    /// only the sort into canonical order and the normalization
+    /// rescale (sub-epsilon products dropped during accumulation can
+    /// leave the total within [`MassBuilder::NORMALIZE_SLACK`] of 1)
+    /// are performed. Invariants are `debug_assert`ed.
+    pub(crate) fn from_combination(
+        frame: Arc<Frame>,
+        mut focal: Vec<(FocalSet, W)>,
+    ) -> Result<Self, EvidenceError> {
+        focal.retain(|(_, w)| !w.is_zero());
+        debug_assert!(focal
+            .iter()
+            .all(|(s, w)| !s.is_empty() && w.is_valid_mass()));
+        let mut sum = W::zero();
+        for (_, w) in &focal {
+            sum = sum.add(w).expect("mass sum overflow");
+        }
+        if focal.is_empty() {
+            return Err(EvidenceError::NotNormalized {
+                sum: sum.to_string(),
+            });
+        }
+        if !sum.approx_eq(&W::one()) {
+            if (sum.to_f64() - 1.0).abs() < MassBuilder::<W>::NORMALIZE_SLACK {
+                for (_, w) in &mut focal {
+                    *w = w.div(&sum)?;
+                }
+            } else {
+                return Err(EvidenceError::NotNormalized {
+                    sum: sum.to_string(),
+                });
+            }
+        }
+        focal.sort_by(|(a, _), (b, _)| a.cmp(b));
+        debug_assert!(focal.windows(2).all(|w| w[0].0 != w[1].0));
+        Ok(MassFunction { frame, focal })
+    }
+
     /// The frame of discernment.
     pub fn frame(&self) -> &Arc<Frame> {
         &self.frame
@@ -151,8 +192,12 @@ impl<W: Weight> MassFunction<W> {
 
     /// `true` when every focal element is a singleton — i.e. the mass
     /// function is an ordinary (Bayesian) probability distribution.
+    /// O(1): the focal list is sorted by cardinality first, so it is
+    /// all-singleton exactly when its *last* element is one. The
+    /// combination engine branches on this to take its singleton-only
+    /// fast path.
     pub fn is_bayesian(&self) -> bool {
-        self.focal.iter().all(|(s, _)| s.len() == 1)
+        self.focal.last().is_some_and(|(s, _)| s.len() == 1)
     }
 
     /// The *core*: the union of all focal elements.

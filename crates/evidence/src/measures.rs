@@ -25,7 +25,33 @@ pub fn nonspecificity<W: Weight>(m: &MassFunction<W>) -> f64 {
 }
 
 /// Yager's discord (dissonance) `E(m) = −Σ m(A) log₂ Pls(A)` in bits.
+///
+/// `Pls` of every focal element is needed, which is quadratic in the
+/// focal count; when all focal elements are inline bitsets (frames of
+/// ≤ 128 values) the inner loop is a plain word-AND scan over one
+/// snapshot of the bit patterns.
 pub fn discord<W: Weight>(m: &MassFunction<W>) -> f64 {
+    let bits: Option<Vec<(u128, f64)>> = m
+        .iter()
+        .map(|(s, w)| s.as_bits().map(|b| (b, w.to_f64())))
+        .collect();
+    if let Some(bits) = bits {
+        return bits
+            .iter()
+            .map(|(x, w)| {
+                let pls: f64 = bits
+                    .iter()
+                    .filter(|(y, _)| x & y != 0)
+                    .map(|(_, v)| v)
+                    .sum();
+                if pls > 0.0 {
+                    -w * pls.log2()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+    }
     m.iter()
         .map(|(set, w)| {
             let pls = m.pls(set).to_f64();

@@ -1,0 +1,211 @@
+//! The pre-bitset reference implementation of §2, kept on purpose.
+//!
+//! Before the interned-bitset rework, focal elements were plain sorted
+//! integer sets and every operation was written directly off the
+//! paper's definitions. This module preserves that implementation over
+//! `BTreeSet<usize>` — quadratic loops, per-pair allocations and all —
+//! as an *executable specification*:
+//!
+//! * it is trivially auditable against §2 of the paper;
+//! * the property suite (`tests/bitset_reference.rs`) pits the
+//!   optimized engine in [`crate::combine`] and the measures on
+//!   [`MassFunction`] against it over random frames, including frames
+//!   wider than 128 values that exercise the boxed-words
+//!   [`crate::FocalSet`] representation.
+//!
+//! Nothing here is reachable from the production hot path; if you are
+//! not writing an equivalence test, you want [`crate::combine`].
+
+use crate::error::EvidenceError;
+use crate::focal::FocalSet;
+use crate::mass::MassFunction;
+use crate::weight::Weight;
+use std::collections::BTreeSet;
+
+/// A focal element as a plain ordered set of element indices.
+pub type RefSet = BTreeSet<usize>;
+
+/// Convert a bitset focal element to the reference representation.
+pub fn to_ref_set(set: &FocalSet) -> RefSet {
+    set.iter().collect()
+}
+
+/// Convert a reference set back to the bitset representation.
+pub fn from_ref_set(set: &RefSet) -> FocalSet {
+    FocalSet::from_indices(set.iter().copied())
+}
+
+/// A mass function in the reference representation: an association
+/// list of `(focal element, mass)` pairs with no canonical order.
+pub struct RefMass<W> {
+    entries: Vec<(RefSet, W)>,
+}
+
+impl<W: Weight> RefMass<W> {
+    /// Snapshot a production mass function into the reference form.
+    pub fn of(m: &MassFunction<W>) -> RefMass<W> {
+        RefMass {
+            entries: m.iter().map(|(s, w)| (to_ref_set(s), w.clone())).collect(),
+        }
+    }
+
+    /// `Bel(A) = Σ_{X ⊆ A} m(X)`, by definition.
+    pub fn bel(&self, a: &RefSet) -> Result<W, EvidenceError> {
+        self.sum_where(|x| x.is_subset(a))
+    }
+
+    /// `Pls(A) = Σ_{X ∩ A ≠ ∅} m(X)`, by definition.
+    pub fn pls(&self, a: &RefSet) -> Result<W, EvidenceError> {
+        self.sum_where(|x| x.intersection(a).next().is_some())
+    }
+
+    /// `Q(A) = Σ_{A ⊆ X} m(X)`, by definition.
+    pub fn commonality(&self, a: &RefSet) -> Result<W, EvidenceError> {
+        self.sum_where(|x| a.is_subset(x))
+    }
+
+    fn sum_where(&self, mut pred: impl FnMut(&RefSet) -> bool) -> Result<W, EvidenceError> {
+        let mut acc = W::zero();
+        for (s, w) in &self.entries {
+            if pred(s) {
+                acc = acc.add(w)?;
+            }
+        }
+        Ok(acc)
+    }
+}
+
+/// Dempster's rule exactly as §2.2 states it: the full pairwise loop
+/// with `BTreeSet` intersections, normalized by `1 − κ`. Returns the
+/// combined entries (unsorted, unvalidated) and the conflict κ.
+///
+/// # Errors
+/// * [`EvidenceError::TotalConflict`] if κ = 1;
+/// * arithmetic errors from the weight type.
+pub fn dempster_raw<W: Weight>(
+    a: &RefMass<W>,
+    b: &RefMass<W>,
+) -> Result<(Vec<(RefSet, W)>, W), EvidenceError> {
+    let mut acc: Vec<(RefSet, W)> = Vec::new();
+    let mut conflict = W::zero();
+    for (x, wx) in &a.entries {
+        for (y, wy) in &b.entries {
+            let product = wx.mul(wy)?;
+            if product.is_zero() {
+                continue;
+            }
+            let z: RefSet = x.intersection(y).copied().collect();
+            if z.is_empty() {
+                conflict = conflict.add(&product)?;
+            } else {
+                match acc.iter_mut().find(|(s, _)| *s == z) {
+                    Some((_, w)) => *w = w.add(&product)?,
+                    None => acc.push((z, product)),
+                }
+            }
+        }
+    }
+    if acc.is_empty() || conflict.approx_eq(&W::one()) {
+        return Err(EvidenceError::TotalConflict);
+    }
+    let denom = W::one().sub(&conflict)?;
+    for (_, w) in &mut acc {
+        *w = w.div(&denom)?;
+    }
+    Ok((acc, conflict))
+}
+
+/// Dempster's rule via the reference representation, returned as a
+/// production [`MassFunction`] (validated by the public builder) plus
+/// the conflict κ, so equivalence tests can compare it directly
+/// against [`crate::combine::dempster`].
+///
+/// # Errors
+/// As [`dempster_raw`], plus frame-mismatch and validation errors.
+pub fn dempster<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+) -> Result<(MassFunction<W>, W), EvidenceError> {
+    if a.frame() != b.frame() {
+        return Err(EvidenceError::FrameMismatch {
+            left: a.frame().name().to_owned(),
+            right: b.frame().name().to_owned(),
+        });
+    }
+    let (entries, conflict) = dempster_raw(&RefMass::of(a), &RefMass::of(b))?;
+    let mass = MassFunction::from_entries(
+        a.frame().clone(),
+        entries.into_iter().map(|(s, w)| (from_ref_set(&s), w)),
+    )?;
+    Ok((mass, conflict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine;
+    use crate::frame::Frame;
+    use crate::ratio::Ratio;
+    use std::sync::Arc;
+
+    fn frame() -> Arc<Frame> {
+        Arc::new(Frame::new("f", ["a", "b", "c"]))
+    }
+
+    #[test]
+    fn round_trip_sets() {
+        let s = FocalSet::from_indices([0, 2]);
+        assert_eq!(from_ref_set(&to_ref_set(&s)), s);
+    }
+
+    #[test]
+    fn reference_matches_paper_example_exactly() {
+        let r = |n, d| Ratio::new(n, d).unwrap();
+        let m1 = MassFunction::builder(frame())
+            .add(["c"], r(1, 2))
+            .unwrap()
+            .add(["a", "b"], r(1, 3))
+            .unwrap()
+            .add_omega(r(1, 6))
+            .build()
+            .unwrap();
+        let m2 = MassFunction::builder(frame())
+            .add(["c", "a"], r(1, 2))
+            .unwrap()
+            .add(["a"], r(1, 4))
+            .unwrap()
+            .add_omega(r(1, 4))
+            .build()
+            .unwrap();
+        let (ref_mass, ref_kappa) = dempster(&m1, &m2).unwrap();
+        let fast = combine::dempster(&m1, &m2).unwrap();
+        assert_eq!(ref_mass, fast.mass);
+        assert_eq!(ref_kappa, fast.conflict);
+        assert_eq!(ref_kappa, r(1, 8));
+    }
+
+    #[test]
+    fn reference_measures_match_by_definition() {
+        let m = MassFunction::<f64>::builder(frame())
+            .add(["a"], 0.5)
+            .unwrap()
+            .add(["b", "c"], 0.3)
+            .unwrap()
+            .add_omega(0.2)
+            .build()
+            .unwrap();
+        let r = RefMass::of(&m);
+        let a: RefSet = [0].into_iter().collect();
+        let fa = FocalSet::singleton(0);
+        assert!((r.bel(&a).unwrap() - m.bel(&fa)).abs() < 1e-12);
+        assert!((r.pls(&a).unwrap() - m.pls(&fa)).abs() < 1e-12);
+        assert!((r.commonality(&a).unwrap() - m.commonality(&fa)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_total_conflict() {
+        let a = MassFunction::<f64>::certain(frame(), "a").unwrap();
+        let b = MassFunction::<f64>::certain(frame(), "b").unwrap();
+        assert_eq!(dempster(&a, &b), Err(EvidenceError::TotalConflict));
+    }
+}

@@ -60,6 +60,33 @@ impl CombinationRule {
         }
     }
 
+    /// Apply the rule and also report the κ Dempster would have seen —
+    /// the accounting the merge layers (∪̃'s per-attribute combination,
+    /// the integrate method registry) record per conflict report.
+    ///
+    /// Dempster's rule reports κ from its single conjunctive pass; the
+    /// alternative rules absorb conflict internally, so κ is computed
+    /// separately for them.
+    ///
+    /// # Errors
+    /// As [`CombinationRule::combine`].
+    pub fn combine_reporting<W: Weight>(
+        &self,
+        a: &MassFunction<W>,
+        b: &MassFunction<W>,
+    ) -> Result<(MassFunction<W>, W), EvidenceError> {
+        match self {
+            CombinationRule::Dempster => {
+                let c = crate::combine::dempster(a, b)?;
+                Ok((c.mass, c.conflict))
+            }
+            rule => {
+                let kappa = crate::combine::conflict(a, b)?;
+                Ok((rule.combine(a, b)?, kappa))
+            }
+        }
+    }
+
     /// All rules, for sweep-style benchmarks.
     pub const ALL: [CombinationRule; 4] = [
         CombinationRule::Dempster,
@@ -88,11 +115,9 @@ pub fn yager<W: Weight>(
     let (mut acc, conflict) = conjunctive_raw(a, b)?;
     if !conflict.is_zero() {
         let omega = a.frame().omega();
-        match acc.get_mut(&omega) {
-            Some(w) => *w = w.add(&conflict)?,
-            None => {
-                acc.insert(omega, conflict);
-            }
+        match acc.iter_mut().find(|(s, _)| *s == omega) {
+            Some((_, w)) => *w = w.add(&conflict)?,
+            None => acc.push((omega, conflict)),
         }
     }
     MassFunction::from_entries(a.frame().clone(), acc)

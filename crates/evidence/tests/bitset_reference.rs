@@ -1,0 +1,305 @@
+//! Equivalence suite: the optimized bitset combination engine and the
+//! Bel/Pls/Q measures against the retained `BTreeSet` reference
+//! implementation (`evirel_evidence::reference`), over random frames —
+//! including frames wider than 128 values, which exercise the
+//! boxed-words `FocalSet` representation — plus exact regression
+//! checks that the κ (conflict) values printed in the paper's tables
+//! are unchanged by the rework.
+
+use evirel_evidence::reference::{self, RefMass, RefSet};
+use evirel_evidence::{combine, FocalSet, Frame, MassFunction, Ratio};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// 8 values: every focal set is inline, singleton fast path reachable.
+const NARROW: usize = 8;
+/// 200 values: focal sets with members ≥ 128 take the boxed-words
+/// representation and the combination engine's boxed fallback.
+const WIDE: usize = 200;
+
+fn frame(n: usize) -> Arc<Frame> {
+    Arc::new(Frame::new("equiv", (0..n).map(|i| format!("v{i}"))))
+}
+
+/// A non-empty subset with up to 5 members drawn from the whole frame.
+fn subset(n: usize) -> impl Strategy<Value = FocalSet> {
+    proptest::collection::vec(0usize..n, 1..=5).prop_map(FocalSet::from_indices)
+}
+
+/// A valid mass function with 1..=6 focal elements. `singleton_only`
+/// restricts focal elements to singletons so the Bayesian fast path is
+/// exercised deliberately, not by luck.
+fn mass(n: usize, singleton_only: bool) -> impl Strategy<Value = MassFunction<f64>> {
+    let max_card = if singleton_only { 1 } else { 5 };
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..n, 1..=max_card),
+            1u32..1000,
+        ),
+        1..=6,
+    )
+    .prop_map(move |raw| {
+        let mut entries: Vec<(FocalSet, u64)> = Vec::new();
+        for (members, w) in raw {
+            let set = FocalSet::from_indices(members);
+            match entries.iter_mut().find(|(s, _)| *s == set) {
+                Some((_, acc)) => *acc += w as u64,
+                None => entries.push((set, w as u64)),
+            }
+        }
+        let total: u64 = entries.iter().map(|(_, w)| *w).sum();
+        MassFunction::from_entries(
+            frame(n),
+            entries
+                .into_iter()
+                .map(|(s, w)| (s, w as f64 / total as f64)),
+        )
+        .expect("normalized by construction")
+    })
+}
+
+/// Core equivalence check: optimized vs reference Dempster.
+fn check_dempster_equivalence(a: &MassFunction<f64>, b: &MassFunction<f64>) -> Result<(), String> {
+    let fast = combine::dempster(a, b);
+    let slow = reference::dempster(a, b);
+    match (fast, slow) {
+        (Ok(f), Ok(s)) => {
+            if !f.mass.approx_eq(&s.0) {
+                return Err(format!("masses differ: fast {} vs ref {}", f.mass, s.0));
+            }
+            if (f.conflict - s.1).abs() > 1e-9 {
+                return Err(format!("κ differs: fast {} vs ref {}", f.conflict, s.1));
+            }
+            Ok(())
+        }
+        (Err(ef), Err(es)) => {
+            if ef == es {
+                Ok(())
+            } else {
+                Err(format!("errors differ: fast {ef:?} vs ref {es:?}"))
+            }
+        }
+        (f, s) => Err(format!("disagreement: fast {f:?} vs ref {s:?}")),
+    }
+}
+
+/// Measures equivalence: Bel/Pls/Q computed by the bitset engine vs
+/// the reference definitions.
+fn check_measures_equivalence(m: &MassFunction<f64>, s: &FocalSet) -> Result<(), String> {
+    let r = RefMass::of(m);
+    let rs: RefSet = s.iter().collect();
+    let pairs = [
+        ("Bel", m.bel(s), r.bel(&rs).unwrap()),
+        ("Pls", m.pls(s), r.pls(&rs).unwrap()),
+        ("Q", m.commonality(s), r.commonality(&rs).unwrap()),
+    ];
+    for (name, fast, slow) in pairs {
+        if (fast - slow).abs() > 1e-9 {
+            return Err(format!("{name} differs: fast {fast} vs ref {slow}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn dempster_matches_reference_narrow(
+        a in mass(NARROW, false), b in mass(NARROW, false)
+    ) {
+        prop_assert!(check_dempster_equivalence(&a, &b).is_ok(),
+            "{:?}", check_dempster_equivalence(&a, &b));
+    }
+
+    #[test]
+    fn dempster_matches_reference_singleton_fast_path(
+        a in mass(NARROW, true), b in mass(NARROW, true)
+    ) {
+        prop_assert!(check_dempster_equivalence(&a, &b).is_ok(),
+            "{:?}", check_dempster_equivalence(&a, &b));
+    }
+
+    #[test]
+    fn dempster_matches_reference_mixed_shapes(
+        a in mass(NARROW, true), b in mass(NARROW, false)
+    ) {
+        prop_assert!(check_dempster_equivalence(&a, &b).is_ok(),
+            "{:?}", check_dempster_equivalence(&a, &b));
+    }
+
+    #[test]
+    fn dempster_matches_reference_wide_frames(
+        a in mass(WIDE, false), b in mass(WIDE, false)
+    ) {
+        prop_assert!(check_dempster_equivalence(&a, &b).is_ok(),
+            "{:?}", check_dempster_equivalence(&a, &b));
+    }
+
+    #[test]
+    fn dempster_matches_reference_wide_singletons(
+        a in mass(WIDE, true), b in mass(WIDE, true)
+    ) {
+        prop_assert!(check_dempster_equivalence(&a, &b).is_ok(),
+            "{:?}", check_dempster_equivalence(&a, &b));
+    }
+
+    #[test]
+    fn measures_match_reference_narrow(m in mass(NARROW, false), s in subset(NARROW)) {
+        prop_assert!(check_measures_equivalence(&m, &s).is_ok(),
+            "{:?}", check_measures_equivalence(&m, &s));
+    }
+
+    #[test]
+    fn measures_match_reference_wide(m in mass(WIDE, false), s in subset(WIDE)) {
+        prop_assert!(check_measures_equivalence(&m, &s).is_ok(),
+            "{:?}", check_measures_equivalence(&m, &s));
+    }
+
+    #[test]
+    fn kappa_matches_reference(a in mass(NARROW, false), b in mass(NARROW, false)) {
+        // combine::conflict has its own summation-only path; it must
+        // agree with the κ the reference combination reports.
+        let kappa = combine::conflict(&a, &b).unwrap();
+        match reference::dempster(&a, &b) {
+            Ok((_, ref_kappa)) => prop_assert!((kappa - ref_kappa).abs() < 1e-9),
+            Err(_) => prop_assert!((kappa - 1.0).abs() < 1e-9),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper-table κ regressions: the printed conflict values must survive
+// any rework of the combination engine.
+// ---------------------------------------------------------------------
+
+fn r(n: i128, d: i128) -> Ratio {
+    Ratio::new(n, d).unwrap()
+}
+
+/// §2.2 worked example: κ = 1/8 exactly, all combined masses as
+/// printed.
+#[test]
+fn paper_section_2_2_kappa_exact() {
+    let f = Arc::new(Frame::new(
+        "speciality",
+        [
+            "american",
+            "hunan",
+            "sichuan",
+            "cantonese",
+            "mughalai",
+            "italian",
+        ],
+    ));
+    let m1 = MassFunction::builder(Arc::clone(&f))
+        .add(["cantonese"], r(1, 2))
+        .unwrap()
+        .add(["hunan", "sichuan"], r(1, 3))
+        .unwrap()
+        .add_omega(r(1, 6))
+        .build()
+        .unwrap();
+    let m2 = MassFunction::builder(Arc::clone(&f))
+        .add(["cantonese", "hunan"], r(1, 2))
+        .unwrap()
+        .add(["hunan"], r(1, 4))
+        .unwrap()
+        .add_omega(r(1, 4))
+        .build()
+        .unwrap();
+    let c = combine::dempster(&m1, &m2).unwrap();
+    assert_eq!(c.conflict, r(1, 8));
+    assert_eq!(c.mass.mass_of(&f.subset(["cantonese"]).unwrap()), r(3, 7));
+    assert_eq!(c.mass.mass_of(&f.subset(["hunan"]).unwrap()), r(1, 3));
+    assert_eq!(c.mass.mass_of(&f.omega()), r(1, 21));
+    // And the reference agrees exactly.
+    let (ref_mass, ref_kappa) = reference::dempster(&m1, &m2).unwrap();
+    assert_eq!(ref_mass, c.mass);
+    assert_eq!(ref_kappa, c.conflict);
+}
+
+/// Table 4's garden rating row: [ex^0.33, gd^0.5, avg^0.17] ⊕
+/// [ex^0.2, gd^0.8] has κ = 0.534. Both operands are Bayesian, so
+/// this pins the singleton-only fast path to the printed value.
+#[test]
+fn paper_table4_garden_kappa() {
+    let f = Arc::new(Frame::new("rating", ["avg", "gd", "ex"]));
+    let m1 = MassFunction::<f64>::builder(Arc::clone(&f))
+        .add(["ex"], 0.33)
+        .unwrap()
+        .add(["gd"], 0.5)
+        .unwrap()
+        .add(["avg"], 0.17)
+        .unwrap()
+        .build()
+        .unwrap();
+    let m2 = MassFunction::<f64>::builder(Arc::clone(&f))
+        .add(["ex"], 0.2)
+        .unwrap()
+        .add(["gd"], 0.8)
+        .unwrap()
+        .build()
+        .unwrap();
+    let c = combine::dempster(&m1, &m2).unwrap();
+    assert!((c.conflict - 0.534).abs() < 1e-9);
+    assert!((c.mass.mass_of(&f.subset(["ex"]).unwrap()) - 0.066 / 0.466).abs() < 1e-9);
+    assert!((c.mass.mass_of(&f.subset(["gd"]).unwrap()) - 0.4 / 0.466).abs() < 1e-9);
+    assert!((combine::conflict(&m1, &m2).unwrap() - 0.534).abs() < 1e-9);
+}
+
+/// Table 4's mehl membership row: the paper's F over Ψ = {in, out}
+/// combines (sn, sp) = (0.5, 0.5) with (0.8, 1.0) at κ = 0.4 into
+/// (5/6, 5/6) ≈ (0.83, 0.83).
+#[test]
+fn paper_table4_membership_kappa() {
+    let psi = Arc::new(Frame::new("Ψ", ["in", "out"]));
+    let m1 = MassFunction::<f64>::builder(Arc::clone(&psi))
+        .add(["in"], 0.5)
+        .unwrap()
+        .add(["out"], 0.5)
+        .unwrap()
+        .build()
+        .unwrap();
+    let m2 = MassFunction::<f64>::builder(Arc::clone(&psi))
+        .add(["in"], 0.8)
+        .unwrap()
+        .add_omega(0.2)
+        .build()
+        .unwrap();
+    let c = combine::dempster(&m1, &m2).unwrap();
+    assert!((c.conflict - 0.4).abs() < 1e-9);
+    let sn = c.mass.mass_of(&psi.subset(["in"]).unwrap());
+    let sp = 1.0 - c.mass.mass_of(&psi.subset(["out"]).unwrap());
+    assert!((sn - 5.0 / 6.0).abs() < 1e-9);
+    assert!((sp - 5.0 / 6.0).abs() < 1e-9);
+}
+
+/// Deterministic boxed-path regression: a frame of 200 values whose
+/// focal sets straddle the 128-bit inline boundary combines
+/// identically in both engines.
+#[test]
+fn wide_frame_straddling_inline_boundary() {
+    let f = frame(200);
+    let m1 = MassFunction::<f64>::from_entries(
+        Arc::clone(&f),
+        [
+            (FocalSet::from_indices([5, 127, 128]), 0.5),
+            (FocalSet::from_indices([127, 128, 199]), 0.3),
+            (FocalSet::full(200), 0.2),
+        ],
+    )
+    .unwrap();
+    let m2 = MassFunction::<f64>::from_entries(
+        Arc::clone(&f),
+        [
+            (FocalSet::from_indices([5, 128]), 0.6),
+            (FocalSet::from_indices([199]), 0.4),
+        ],
+    )
+    .unwrap();
+    let fast = combine::dempster(&m1, &m2).unwrap();
+    let (ref_mass, ref_kappa) = reference::dempster(&m1, &m2).unwrap();
+    assert!(fast.mass.approx_eq(&ref_mass));
+    assert!((fast.conflict - ref_kappa).abs() < 1e-12);
+}

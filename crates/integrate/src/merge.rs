@@ -9,7 +9,7 @@
 //!
 //! Execution runs through `evirel-plan`'s streaming [`MergeOp`]: the
 //! right relation is key-indexed once, the left relation streams
-//! through, and [`RegistryMerger`] plugs the per-attribute method
+//! through, and `RegistryMerger` plugs the per-attribute method
 //! dispatch into the same operator that serves the algebra's ∪̃ — so
 //! the Figure 1 merge stage and EQL's `UNION` share one executor.
 
@@ -17,7 +17,7 @@ use crate::entity_id::MatchOutcome;
 use crate::error::IntegrateError;
 use crate::methods::{IntegrationMethod, MethodRegistry};
 use evirel_algebra::{AttributeConflict, ConflictPolicy, ConflictReport};
-use evirel_evidence::{combine, rules::CombinationRule, EvidenceError, MassFunction};
+use evirel_evidence::{rules::CombinationRule, EvidenceError, MassFunction};
 use evirel_plan::{ExecContext, MergeOp, MergePairing, PlanError, ScanOp, TupleMerger};
 use evirel_relation::{AttrType, AttrValue, ExtendedRelation, Schema, SupportPair, Tuple, Value};
 use std::sync::Arc;
@@ -314,9 +314,8 @@ fn evidential_merge(
     };
     let lm = lv.to_evidence(domain)?;
     let rm = rv.to_evidence(domain)?;
-    let kappa = combine::conflict(&lm, &rm)?;
-    match rule.combine(&lm, &rm) {
-        Ok(mass) => {
+    match rule.combine_reporting(&lm, &rm) {
+        Ok((mass, kappa)) => {
             if kappa > 0.0 {
                 report.record(AttributeConflict {
                     key: key.to_vec(),

@@ -146,6 +146,14 @@ impl ExtendedRelation {
             .map(|t| (t.key(&self.schema), t.as_ref()))
     }
 
+    /// Iterate over `(key, shared handle)` pairs in insertion order —
+    /// the zero-copy companion of [`ExtendedRelation::iter_keyed`] for
+    /// operators that pass unmodified tuples through to an output
+    /// relation (set operations, the sequential ∪̃).
+    pub fn iter_keyed_shared(&self) -> impl Iterator<Item = (Vec<Value>, &Arc<Tuple>)> + '_ {
+        self.tuples.iter().map(|t| (t.key(&self.schema), t))
+    }
+
     /// The keys of all stored tuples, in insertion order.
     pub fn keys(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
         self.tuples.iter().map(|t| t.key(&self.schema))
