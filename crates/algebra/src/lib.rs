@@ -26,6 +26,8 @@
 //! * [`rename`] — relation/attribute renaming;
 //! * [`properties`] — empirical verifiers for the closure and
 //!   boundedness properties of Theorem 1 (§3.6);
+//! * [`partition`] — the key-hash [`Partitioner`] shared by every
+//!   parallel executor (multiply-shift mix, multiply-high slots);
 //! * [`par`] — a parallel extended-union executor partitioned by key
 //!   hash (std threads only).
 //!
@@ -52,6 +54,7 @@ pub mod conflict;
 pub mod error;
 pub mod join;
 pub mod par;
+pub mod partition;
 pub mod predicate;
 pub mod product;
 pub mod project;
@@ -66,6 +69,7 @@ pub mod union;
 pub use conflict::{AttributeConflict, ConflictPolicy, ConflictReport};
 pub use error::AlgebraError;
 pub use join::join;
+pub use partition::Partitioner;
 pub use predicate::{Operand, Predicate, ThetaOp};
 pub use product::product;
 pub use project::project;

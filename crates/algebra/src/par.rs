@@ -5,23 +5,32 @@
 //! on separate threads. Uses only `std::thread::scope` — no extra
 //! dependencies — and reproduces exactly the sequential result
 //! (deterministic: partitions are re-assembled in left-relation
-//! insertion order before right-only tuples).
+//! insertion order before right-only tuples, and the conflict report
+//! is re-assembled the same way).
+//!
+//! Unmatched tuples travel as [`Arc<Tuple>`] shared handles on both
+//! sides, exactly like the sequential [`crate::union::union_with`] and
+//! the streaming merge operator in `evirel-plan` — the workers only
+//! allocate for genuinely merged pairs. Slot assignment goes through
+//! the shared [`Partitioner`] (multiply-shift mixed key hash), so a
+//! skewed raw hash cannot leave workers idle.
 //!
 //! The `benches/union.rs` harness compares this path against the
 //! sequential [`crate::union::union_with`].
 
 use crate::conflict::ConflictReport;
 use crate::error::AlgebraError;
+use crate::partition::Partitioner;
 use crate::union::{UnionOptions, UnionOutcome};
 use evirel_relation::{ExtendedRelation, Tuple, Value};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Parallel `left ∪̃ right` over `threads` worker threads.
 ///
 /// Falls back to the sequential implementation when `threads <= 1` or
-/// the input is small enough that partitioning cannot pay off.
+/// the combined input is small enough that partitioning cannot pay
+/// off (the threshold looks at `left.len() + right.len()`, so a small
+/// left joined with a huge right still parallelizes).
 ///
 /// # Errors
 /// As [`crate::union::union_with`].
@@ -32,7 +41,7 @@ pub fn par_union(
     threads: usize,
 ) -> Result<UnionOutcome, AlgebraError> {
     const MIN_TUPLES_PER_THREAD: usize = 64;
-    if threads <= 1 || left.len() < threads * MIN_TUPLES_PER_THREAD {
+    if threads <= 1 || left.len() + right.len() < threads * MIN_TUPLES_PER_THREAD {
         return crate::union::union_with(left, right, options);
     }
     let ls = left.schema();
@@ -40,18 +49,18 @@ pub fn par_union(
     ls.check_union_compatible(rs)?;
 
     // Partition the left tuples (with their match, if any) by key hash.
-    type Partition<'a> = Vec<(usize, Vec<Value>, &'a Tuple, Option<&'a Tuple>)>;
+    let partitioner = Partitioner::new(threads);
+    type Partition<'a> = Vec<(usize, Vec<Value>, &'a Arc<Tuple>, Option<&'a Tuple>)>;
     let mut partitions: Vec<Partition<'_>> = (0..threads).map(|_| Vec::new()).collect();
-    for (order, (key, l_tuple)) in left.iter_keyed().enumerate() {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        let slot = (h.finish() as usize) % threads;
+    for (order, (key, l_tuple)) in left.iter_keyed_shared().enumerate() {
+        let slot = partitioner.slot_for_key(&key);
         let m = right.get_by_key(&key);
         partitions[slot].push((order, key, l_tuple, m));
     }
 
-    // Merge each partition on its own thread.
-    type Merged = Vec<(usize, Option<Tuple>, ConflictReport)>;
+    // Merge each partition on its own thread. Unmatched left tuples
+    // pass through as cheap `Arc` clones; only merged pairs allocate.
+    type Merged = Vec<(usize, Option<Arc<Tuple>>, ConflictReport)>;
     let results: Vec<Result<Merged, AlgebraError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
@@ -63,7 +72,7 @@ pub fn par_union(
                         let out = match r_tuple {
                             None => {
                                 if l_tuple.membership().is_positive() {
-                                    Some((*l_tuple).clone())
+                                    Some(Arc::clone(l_tuple))
                                 } else {
                                     None
                                 }
@@ -75,7 +84,8 @@ pub fn par_union(
                                 r,
                                 options,
                                 &mut report,
-                            )?,
+                            )?
+                            .map(Arc::new),
                         };
                         merged.push((*order, out, report));
                     }
@@ -90,7 +100,7 @@ pub fn par_union(
     });
 
     // Re-assemble deterministically: left order first, then right-only.
-    let mut all: Vec<(usize, Option<Tuple>, ConflictReport)> = Vec::with_capacity(left.len());
+    let mut all: Vec<(usize, Option<Arc<Tuple>>, ConflictReport)> = Vec::with_capacity(left.len());
     for r in results {
         all.extend(r?);
     }
@@ -104,12 +114,12 @@ pub fn par_union(
             report.record(c.clone());
         }
         if let Some(t) = tuple {
-            out.insert(t)?;
+            out.insert_shared(t)?;
         }
     }
-    for (key, r_tuple) in right.iter_keyed() {
+    for (key, r_tuple) in right.iter_keyed_shared() {
         if !left.contains_key(&key) && r_tuple.membership().is_positive() {
-            out.insert(r_tuple.clone())?;
+            out.insert_shared(Arc::clone(r_tuple))?;
         }
     }
     Ok(UnionOutcome {
@@ -159,13 +169,44 @@ mod tests {
         (a.build(), b.build())
     }
 
+    /// Parallel execution must reproduce the sequential result
+    /// *exactly*: same relation, and the same conflict report with
+    /// observations in the same (left-insertion) order.
     #[test]
     fn parallel_matches_sequential() {
         let (a, b) = big_pair(512);
         let seq = crate::union::union_with(&a, &b, &UnionOptions::default()).unwrap();
         let par = par_union(&a, &b, &UnionOptions::default(), 4).unwrap();
         assert!(seq.relation.approx_eq(&par.relation));
-        assert_eq!(seq.report.len(), par.report.len());
+        // Full report equality, not just length: every observation
+        // (key, attr, κ, total flag) in the same order.
+        assert!(!seq.report.is_empty());
+        assert_eq!(seq.report.conflicts(), par.report.conflicts());
+        // Output insertion order matches too (left order, then
+        // right-only in right order).
+        for (s, p) in seq.relation.iter().zip(par.relation.iter()) {
+            assert_eq!(s.key(seq.relation.schema()), p.key(par.relation.schema()));
+        }
+    }
+
+    /// A small left against a large right must still parallelize: the
+    /// fallback threshold looks at the combined size.
+    #[test]
+    fn small_left_large_right_parallelizes() {
+        let (mut a, b) = big_pair(1024);
+        // Shrink the left to 8 tuples; the combined size is still well
+        // above threads × 64, so the parallel path runs (and must
+        // agree with the sequential one).
+        let schema = Arc::clone(a.schema());
+        let mut small = ExtendedRelation::new(Arc::clone(&schema));
+        for t in a.iter().take(8) {
+            small.insert(t.clone()).unwrap();
+        }
+        a = small;
+        let seq = crate::union::union_with(&a, &b, &UnionOptions::default()).unwrap();
+        let par = par_union(&a, &b, &UnionOptions::default(), 4).unwrap();
+        assert!(seq.relation.approx_eq(&par.relation));
+        assert_eq!(seq.report.conflicts(), par.report.conflicts());
     }
 
     #[test]

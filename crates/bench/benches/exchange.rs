@@ -1,0 +1,102 @@
+//! Exchange-operator benchmark: the ∪̃ merge pipeline executed
+//! through `evirel-plan` at 1/2/4/8 worker threads over 10^4–10^6
+//! merged input tuples (sizes are *combined* input, half per
+//! source — matching the acceptance sweep in the plan layer's
+//! ROADMAP item).
+//!
+//! Thread count 1 is the plain streaming `MergeOp` (no exchange is
+//! built); 2/4/8 wrap the same plan in an `ExchangeOp` over hash
+//! shards. On a multi-core machine the 4-thread row should beat the
+//! 1-thread row ≥ 2× at 10^5; on a single-vCPU container the sweep
+//! instead measures partition/re-merge overhead (see BASELINES.md).
+//!
+//! Reference numbers live in `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_algebra::union::UnionOptions;
+use evirel_algebra::ConflictPolicy;
+use evirel_plan::{execute_plan, scan, Bindings, ExecContext, LogicalPlan};
+use evirel_relation::ExtendedRelation;
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use std::hint::black_box;
+
+fn measured() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn pair(per_source: usize) -> (ExtendedRelation, ExtendedRelation) {
+    generate_pair(&PairConfig {
+        base: GeneratorConfig {
+            tuples: per_source,
+            ..Default::default()
+        },
+        key_overlap: 0.5,
+        conflict_bias: 0.3,
+    })
+    .expect("generator config is valid")
+}
+
+fn options() -> UnionOptions {
+    UnionOptions {
+        on_total_conflict: ConflictPolicy::Vacuous,
+        ..Default::default()
+    }
+}
+
+fn run(bindings: &Bindings, plan: &LogicalPlan, threads: usize) -> ExtendedRelation {
+    let mut ctx = ExecContext::with_options(options());
+    ctx.parallelism = threads;
+    execute_plan(plan, bindings, &mut ctx).expect("plan executes")
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange/merge");
+    // Smoke runs (cargo test --benches, CI) use a small size; full
+    // measurement sweeps 10^4–10^6 combined input tuples.
+    let sizes: &[usize] = if measured() {
+        &[5_000, 50_000, 500_000]
+    } else {
+        &[1_000]
+    };
+    for &per_source in sizes {
+        let (a, b) = pair(per_source);
+        let mut bindings = Bindings::new();
+        bindings.bind("ga", a).bind("gb", b);
+        let plan = scan("ga").union(scan("gb")).build();
+        // Sanity before timing: every thread count must reproduce the
+        // sequential result (insertion order included).
+        let seq = run(&bindings, &plan, 1);
+        for threads in [2usize, 4, 8] {
+            let par = run(&bindings, &plan, threads);
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(par.iter()) {
+                assert_eq!(s.key(seq.schema()), p.key(par.schema()));
+            }
+        }
+        group.throughput(Throughput::Elements(2 * per_source as u64));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}", 2 * per_source), threads),
+                &threads,
+                |bench, &threads| {
+                    bench.iter(|| run(black_box(&bindings), black_box(&plan), threads));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(5)
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_exchange
+}
+criterion_main!(benches);

@@ -12,15 +12,30 @@
 //! through, and `RegistryMerger` plugs the per-attribute method
 //! dispatch into the same operator that serves the algebra's ∪̃ — so
 //! the Figure 1 merge stage and EQL's `UNION` share one executor.
+//! With `EVIREL_THREADS` > 1 (the [`ExecContext`] parallelism
+//! default) and inputs large enough to amortize partitioning, the
+//! merge runs through the plan layer's exchange operator instead: N
+//! hash-sharded `MergeOp`s on worker threads, re-merged
+//! deterministically — matched pairs route both sides by the
+//! *canonical* (left) key, so matcher-paired tuples with unequal keys
+//! still land in the same shard.
 
 use crate::entity_id::MatchOutcome;
 use crate::error::IntegrateError;
 use crate::methods::{IntegrationMethod, MethodRegistry};
+use evirel_algebra::partition::Partitioner;
 use evirel_algebra::{AttributeConflict, ConflictPolicy, ConflictReport};
 use evirel_evidence::{rules::CombinationRule, EvidenceError, MassFunction};
-use evirel_plan::{ExecContext, MergeOp, MergePairing, PlanError, ScanOp, TupleMerger};
+use evirel_plan::{
+    compute_slots, rank_keys, ExchangeOp, ExecContext, MergeOp, MergePairing, Operator, OrderMap,
+    PlanError, ScanOp, ShardScanOp, TupleMerger,
+};
 use evirel_relation::{AttrType, AttrValue, ExtendedRelation, Schema, SupportPair, Tuple, Value};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Below this many tuples per worker the sequential merge wins.
+const MIN_TUPLES_PER_THREAD: usize = 64;
 
 /// The result of tuple merging.
 #[derive(Debug, Clone)]
@@ -58,7 +73,9 @@ pub fn merge_relations(
 
 /// [`merge_relations`] over shared handles — the zero-copy entry
 /// point the pipeline uses (scan operators stream the relations
-/// without cloning them).
+/// without cloning them). Runs with [`evirel_plan::default_parallelism`]
+/// worker threads (the `EVIREL_THREADS` environment variable, else
+/// sequential).
 ///
 /// # Errors
 /// As [`merge_relations`].
@@ -67,6 +84,30 @@ pub fn merge_relations_shared(
     right: Arc<ExtendedRelation>,
     matching: &MatchOutcome,
     registry: &MethodRegistry,
+) -> Result<MergeOutcome, IntegrateError> {
+    merge_relations_sharded(
+        left,
+        right,
+        matching,
+        registry,
+        evirel_plan::default_parallelism(),
+    )
+}
+
+/// [`merge_relations_shared`] with an explicit thread budget: the
+/// merge stage runs through the plan layer's exchange operator when
+/// `threads > 1` and the inputs are large enough to amortize
+/// partitioning, and is guaranteed to produce the sequential result
+/// bit for bit either way.
+///
+/// # Errors
+/// As [`merge_relations`].
+pub fn merge_relations_sharded(
+    left: Arc<ExtendedRelation>,
+    right: Arc<ExtendedRelation>,
+    matching: &MatchOutcome,
+    registry: &MethodRegistry,
+    threads: usize,
 ) -> Result<MergeOutcome, IntegrateError> {
     let schema = left.schema();
     schema
@@ -125,19 +166,70 @@ pub fn merge_relations_shared(
         right_only: matching.right_only.iter().cloned().collect(),
     };
     let mut ctx = ExecContext::new();
+    ctx.parallelism = 1; // the thread budget is spent here, not below
     let left_name = schema.name().to_owned();
     let right_name = right.schema().name().to_owned();
-    let mut op = MergeOp::with_pairing(
-        Box::new(ScanOp::new(left_name, left)),
-        Box::new(ScanOp::new(right_name, right)),
-        Box::new(RegistryMerger {
-            registry: registry.clone(),
-        }),
-        pairing,
-        name,
-    )
-    .map_err(from_plan_error)?;
-    let relation = evirel_plan::run(&mut op, &mut ctx).map_err(from_plan_error)?;
+    let threads = threads.max(1);
+    let relation = if threads > 1 && left.len() + right.len() >= threads * MIN_TUPLES_PER_THREAD {
+        // Parallel merge stage: N hash-sharded MergeOps under an
+        // exchange. Right tuples route (and order-rank) under their
+        // canonical left key so matched pairs share a shard.
+        let canonical: HashMap<Vec<Value>, Vec<Value>> = pairing
+            .matched
+            .iter()
+            .map(|(lk, rk)| (rk.clone(), lk.clone()))
+            .collect();
+        let mut order = OrderMap::new();
+        rank_keys(&mut order, &left, None);
+        rank_keys(&mut order, &right, Some(&canonical));
+        let partitioner = Partitioner::new(threads);
+        // One slot table per relation and one shared pairing handle —
+        // the shards clone nothing proportional to the input.
+        let left_slots = compute_slots(&left, partitioner, None);
+        let right_slots = compute_slots(&right, partitioner, Some(&canonical));
+        let pairing = Arc::new(pairing);
+        let shards = (0..threads)
+            .map(|shard| {
+                MergeOp::with_shared_pairing(
+                    Box::new(ShardScanOp::with_slots(
+                        left_name.clone(),
+                        Arc::clone(&left),
+                        partitioner,
+                        shard,
+                        Arc::clone(&left_slots),
+                    )),
+                    Box::new(ShardScanOp::with_slots(
+                        right_name.clone(),
+                        Arc::clone(&right),
+                        partitioner,
+                        shard,
+                        Arc::clone(&right_slots),
+                    )),
+                    Box::new(RegistryMerger {
+                        registry: registry.clone(),
+                    }),
+                    Arc::clone(&pairing),
+                    name.clone(),
+                )
+                .map(|op| Box::new(op) as Box<dyn Operator>)
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(from_plan_error)?;
+        let mut op = ExchangeOp::new(shards, order).map_err(from_plan_error)?;
+        evirel_plan::run(&mut op, &mut ctx).map_err(from_plan_error)?
+    } else {
+        let mut op = MergeOp::with_pairing(
+            Box::new(ScanOp::new(left_name, left)),
+            Box::new(ScanOp::new(right_name, right)),
+            Box::new(RegistryMerger {
+                registry: registry.clone(),
+            }),
+            pairing,
+            name,
+        )
+        .map_err(from_plan_error)?;
+        evirel_plan::run(&mut op, &mut ctx).map_err(from_plan_error)?
+    };
     Ok(MergeOutcome {
         relation,
         report: ctx.conflict_report(),
@@ -481,6 +573,73 @@ mod tests {
             merge_relations(&l, &r, &matching, &registry()),
             Err(IntegrateError::BadMatch { .. })
         ));
+    }
+
+    /// The sharded merge stage must reproduce the sequential outcome
+    /// exactly — relation, insertion order, and conflict report — at
+    /// every thread count, including when the matcher pairs *unequal*
+    /// keys (which forces the canonical-key shard routing).
+    #[test]
+    fn sharded_merge_matches_sequential() {
+        let mk = |name: &str, prefix: &str, label_offset: usize, n: usize| {
+            let mut b = RelationBuilder::new(schema(name));
+            for i in 0..n {
+                let label = ["avg", "gd", "ex"][(i + label_offset) % 3];
+                b = b
+                    .tuple(|t| {
+                        t.set_str("k", format!("{prefix}{i}"))
+                            .set_int("seats", i as i64)
+                            .set_evidence_with_omega("rating", [(&[label][..], 0.6)], 0.4)
+                    })
+                    .unwrap();
+            }
+            Arc::new(b.build())
+        };
+        // Left keys "l-i", right keys "r-i": every match pairs unequal
+        // keys; half the right side stays unmatched. The offset label
+        // cycle makes every matched rating combination partially
+        // conflict (κ > 0), so the reports are non-trivial.
+        let l = mk("L", "l-", 0, 300);
+        let r = mk("R", "r-", 1, 300);
+        let matching = MatchOutcome {
+            matched: (0..150)
+                .map(|i| {
+                    (
+                        vec![Value::str(format!("l-{i}"))],
+                        vec![Value::str(format!("r-{i}"))],
+                    )
+                })
+                .collect(),
+            left_only: (150..300)
+                .map(|i| vec![Value::str(format!("l-{i}"))])
+                .collect(),
+            right_only: (150..300)
+                .map(|i| vec![Value::str(format!("r-{i}"))])
+                .collect(),
+        };
+        let reg = registry().with_conflict_policy(ConflictPolicy::Vacuous);
+        let seq =
+            merge_relations_sharded(Arc::clone(&l), Arc::clone(&r), &matching, &reg, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par =
+                merge_relations_sharded(Arc::clone(&l), Arc::clone(&r), &matching, &reg, threads)
+                    .unwrap();
+            assert_eq!(seq.relation.len(), par.relation.len());
+            for (s, p) in seq.relation.iter().zip(par.relation.iter()) {
+                assert_eq!(
+                    s.key(seq.relation.schema()),
+                    p.key(par.relation.schema()),
+                    "order diverged at {threads} threads"
+                );
+                assert!(s.approx_eq(p), "contents diverged at {threads} threads");
+            }
+            assert!(!seq.report.is_empty());
+            assert_eq!(
+                seq.report.conflicts(),
+                par.report.conflicts(),
+                "report diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -10,8 +10,17 @@
 //! equality conjunct between definite attributes of opposite sides
 //! becomes a [`HashJoinOp`] — the streaming ⋈̃ that builds its key
 //! index once and probes it per left tuple.
+//!
+//! Parallelism: when [`ExecContext::parallelism`] > 1, the largest
+//! subtrees whose operators pair tuples by key equality (σ̃, member-
+//! ship threshold, π̃, ∪̃, ∩̃, −̃, ρ over scans) and that contain at
+//! least one ∪̃/∩̃ merge are wrapped in an
+//! [`crate::exchange::ExchangeOp`]: each worker thread runs an
+//! identical copy of the subtree over one hash-shard of the scans and
+//! the outputs re-merge deterministically — see [`crate::exchange`].
 
 use crate::error::PlanError;
+use crate::exchange::{compute_slots, ExchangeOp, OrderMap, ShardScanOp};
 use crate::logical::{LogicalPlan, RelationSource};
 use crate::ops::{
     run, DempsterMerger, DifferenceOp, HashJoinOp, MergeOp, Operator, ProductOp, ProjectOp,
@@ -19,13 +28,22 @@ use crate::ops::{
 };
 use crate::rewrite::{optimize, Rewrite};
 use crate::ExecContext;
+use evirel_algebra::partition::Partitioner;
 use evirel_algebra::predicate::Predicate;
 use evirel_algebra::threshold::Threshold;
 use evirel_algebra::union::UnionOptions;
 use evirel_relation::ExtendedRelation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Below this many scanned tuples per worker, an exchange cannot pay
+/// for its partitioning and re-merge overhead (mirrors the parallel
+/// union's fallback in `evirel_algebra::par`).
+const MIN_TUPLES_PER_SHARD: usize = 64;
 
 /// Lower a logical plan into a physical operator tree, without
-/// optimizing or running it.
+/// optimizing or running it. Single-threaded; see [`physical_with`]
+/// for the parallel variant.
 ///
 /// # Errors
 /// Unknown relations, invalid projections/renames/thresholds,
@@ -35,6 +53,30 @@ pub fn physical(
     source: &dyn RelationSource,
     options: &UnionOptions,
 ) -> Result<Box<dyn Operator>, PlanError> {
+    physical_with(plan, source, options, 1)
+}
+
+/// [`physical`] with an explicit thread budget: parallelizable
+/// subtrees are wrapped in an exchange when `parallelism > 1` and the
+/// scanned inputs are large enough to amortize it.
+///
+/// # Errors
+/// As [`physical`].
+pub fn physical_with(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+    parallelism: usize,
+) -> Result<Box<dyn Operator>, PlanError> {
+    if parallelism > 1
+        && shardable(plan)
+        && contains_merge(plan)
+        && fragment_scan_tuples(plan, source) >= parallelism * MIN_TUPLES_PER_SHARD
+    {
+        if let Some(op) = build_exchange(plan, source, options, parallelism)? {
+            return Ok(op);
+        }
+    }
     Ok(match plan {
         LogicalPlan::Scan { name } => {
             let rel = source
@@ -48,57 +90,328 @@ pub fn physical(
             threshold,
         } => {
             if let LogicalPlan::Product { left, right } = &**input {
-                return build_join(left, right, predicate, threshold, source, options);
+                return build_join(
+                    left,
+                    right,
+                    predicate,
+                    threshold,
+                    source,
+                    options,
+                    parallelism,
+                );
             }
             Box::new(SelectOp::new(
-                physical(input, source, options)?,
+                physical_with(input, source, options, parallelism)?,
                 predicate.clone(),
                 *threshold,
             )?)
         }
         LogicalPlan::ThresholdFilter { input, threshold } => Box::new(ThresholdOp::new(
-            physical(input, source, options)?,
+            physical_with(input, source, options, parallelism)?,
             *threshold,
         )?),
-        LogicalPlan::Project { input, attrs } => {
-            Box::new(ProjectOp::new(physical(input, source, options)?, attrs)?)
-        }
+        LogicalPlan::Project { input, attrs } => Box::new(ProjectOp::new(
+            physical_with(input, source, options, parallelism)?,
+            attrs,
+        )?),
         LogicalPlan::Product { left, right } => Box::new(ProductOp::new(
-            physical(left, source, options)?,
-            physical(right, source, options)?,
+            physical_with(left, source, options, parallelism)?,
+            physical_with(right, source, options, parallelism)?,
         )?),
         LogicalPlan::Join {
             left,
             right,
             on,
             threshold,
-        } => return build_join(left, right, on, threshold, source, options),
+        } => return build_join(left, right, on, threshold, source, options, parallelism),
         LogicalPlan::Union { left, right } => Box::new(MergeOp::union(
-            physical(left, source, options)?,
-            physical(right, source, options)?,
+            physical_with(left, source, options, parallelism)?,
+            physical_with(right, source, options, parallelism)?,
             Box::new(DempsterMerger {
                 options: options.clone(),
             }),
         )?),
         LogicalPlan::Intersect { left, right } => Box::new(MergeOp::intersect(
-            physical(left, source, options)?,
-            physical(right, source, options)?,
+            physical_with(left, source, options, parallelism)?,
+            physical_with(right, source, options, parallelism)?,
             Box::new(DempsterMerger {
                 options: options.clone(),
             }),
         )?),
         LogicalPlan::Difference { left, right } => Box::new(DifferenceOp::new(
-            physical(left, source, options)?,
-            physical(right, source, options)?,
+            physical_with(left, source, options, parallelism)?,
+            physical_with(right, source, options, parallelism)?,
         )?),
-        LogicalPlan::RenameRelation { input, name } => {
-            Box::new(RenameOp::relation(physical(input, source, options)?, name))
-        }
+        LogicalPlan::RenameRelation { input, name } => Box::new(RenameOp::relation(
+            physical_with(input, source, options, parallelism)?,
+            name,
+        )),
         LogicalPlan::RenameAttribute { input, from, to } => Box::new(RenameOp::attribute(
-            physical(input, source, options)?,
+            physical_with(input, source, options, parallelism)?,
             from,
             to,
         )?),
+    })
+}
+
+/// Can this whole subtree execute over hash-shards of its scans?
+/// True for the key-preserving family: every operator pairs or
+/// filters tuples by full-key equality, so routing each key to one
+/// shard is semantics-preserving. ×̃/⋈̃ pair *across* keys and stay
+/// outside exchange fragments.
+fn shardable(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::ThresholdFilter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::RenameRelation { input, .. }
+        | LogicalPlan::RenameAttribute { input, .. } => shardable(input),
+        LogicalPlan::Union { left, right }
+        | LogicalPlan::Intersect { left, right }
+        | LogicalPlan::Difference { left, right } => shardable(left) && shardable(right),
+        LogicalPlan::Product { .. } | LogicalPlan::Join { .. } => false,
+    }
+}
+
+/// Does the subtree contain a ∪̃/∩̃ merge? Dempster combination is
+/// what dominates merge cost, so only fragments that merge are worth
+/// an exchange.
+fn contains_merge(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Union { .. } | LogicalPlan::Intersect { .. } => true,
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::ThresholdFilter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::RenameRelation { input, .. }
+        | LogicalPlan::RenameAttribute { input, .. } => contains_merge(input),
+        LogicalPlan::Difference { left, right } | LogicalPlan::Product { left, right } => {
+            contains_merge(left) || contains_merge(right)
+        }
+        LogicalPlan::Join { left, right, .. } => contains_merge(left) || contains_merge(right),
+    }
+}
+
+/// Total tuples the fragment's scan leaves would produce.
+fn fragment_scan_tuples(plan: &LogicalPlan, source: &dyn RelationSource) -> usize {
+    match plan {
+        LogicalPlan::Scan { name } => source.relation(name).map_or(0, |rel| rel.len()),
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::ThresholdFilter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::RenameRelation { input, .. }
+        | LogicalPlan::RenameAttribute { input, .. } => fragment_scan_tuples(input, source),
+        LogicalPlan::Union { left, right }
+        | LogicalPlan::Intersect { left, right }
+        | LogicalPlan::Difference { left, right }
+        | LogicalPlan::Product { left, right } => {
+            fragment_scan_tuples(left, source) + fragment_scan_tuples(right, source)
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            fragment_scan_tuples(left, source) + fragment_scan_tuples(right, source)
+        }
+    }
+}
+
+/// The static emission-order domain of a shardable fragment: every
+/// key it can emit, in sequential emission order, plus whether the
+/// key *set* is exact (no data-dependent filtering below).
+struct EmitDomain {
+    /// Keys in the order the sequential plan would emit them.
+    order: Vec<Vec<evirel_relation::Value>>,
+    /// The same keys, for membership tests.
+    set: std::collections::HashSet<Vec<evirel_relation::Value>>,
+    /// `false` when a σ̃/threshold below makes the emitted key set a
+    /// data-dependent subset of `order`.
+    exact: bool,
+}
+
+/// Compute the emit domain, or `None` when no static order can be
+/// guaranteed to match sequential emission — then the fragment is not
+/// exchanged (the planner recurses and may still exchange a subtree):
+///
+/// * a ∪̃ whose *left* subtree has an inexact key set: a left key
+///   dropped at runtime but present on the right would be emitted in
+///   the right-only phase, while any static map ranks it in the left
+///   block (filters on the *right* subtree are fine — dropped right
+///   keys are simply absent, which cannot reorder survivors);
+/// * a π̃ that permutes key attributes: the re-merge ranks tuples by
+///   their emitted key, which must align positionally with the scan
+///   keys the map was built from.
+fn emit_domain(plan: &LogicalPlan, source: &dyn RelationSource) -> Option<EmitDomain> {
+    match plan {
+        LogicalPlan::Scan { name } => {
+            let rel = source.relation(name)?;
+            let order: Vec<_> = rel.iter_keyed().map(|(key, _)| key).collect();
+            let set = order.iter().cloned().collect();
+            Some(EmitDomain {
+                order,
+                set,
+                exact: true,
+            })
+        }
+        LogicalPlan::Select { input, .. } | LogicalPlan::ThresholdFilter { input, .. } => {
+            let mut domain = emit_domain(input, source)?;
+            domain.exact = false;
+            Some(domain)
+        }
+        LogicalPlan::Project { input, .. } => {
+            let key_names = |schema: &evirel_relation::Schema| -> Vec<String> {
+                schema
+                    .key_positions()
+                    .iter()
+                    .map(|&p| schema.attr(p).name().to_owned())
+                    .collect()
+            };
+            let in_schema = crate::logical::schema_of(input, source).ok()?;
+            let out_schema = crate::logical::schema_of(plan, source).ok()?;
+            if key_names(&in_schema) != key_names(&out_schema) {
+                return None;
+            }
+            emit_domain(input, source)
+        }
+        LogicalPlan::RenameRelation { input, .. } | LogicalPlan::RenameAttribute { input, .. } => {
+            emit_domain(input, source)
+        }
+        LogicalPlan::Union { left, right } => {
+            let l = emit_domain(left, source)?;
+            if !l.exact {
+                return None;
+            }
+            let r = emit_domain(right, source)?;
+            let mut order = l.order;
+            order.extend(r.order.into_iter().filter(|k| !l.set.contains(k)));
+            let mut set = l.set;
+            set.extend(r.set);
+            Some(EmitDomain {
+                order,
+                set,
+                exact: r.exact,
+            })
+        }
+        LogicalPlan::Intersect { left, right } => {
+            let l = emit_domain(left, source)?;
+            let r = emit_domain(right, source)?;
+            let order: Vec<_> = l.order.into_iter().filter(|k| r.set.contains(k)).collect();
+            let set = order.iter().cloned().collect();
+            Some(EmitDomain {
+                order,
+                set,
+                exact: l.exact && r.exact,
+            })
+        }
+        LogicalPlan::Difference { left, right } => {
+            let l = emit_domain(left, source)?;
+            let r = emit_domain(right, source)?;
+            let order: Vec<_> = l.order.into_iter().filter(|k| !r.set.contains(k)).collect();
+            let set = order.iter().cloned().collect();
+            Some(EmitDomain {
+                order,
+                set,
+                // An inexact right set cuts `order` data-dependently
+                // in either direction, so the result is inexact too.
+                exact: l.exact && r.exact,
+            })
+        }
+        LogicalPlan::Product { .. } | LogicalPlan::Join { .. } => None,
+    }
+}
+
+/// Wrap a shardable fragment in an exchange: N identical shard plans
+/// over [`ShardScanOp`] leaves (sharing one precomputed slot table
+/// per scanned relation) plus the emit-domain order map. `Ok(None)`
+/// when [`emit_domain`] cannot guarantee sequential emission order —
+/// the caller then plans this node sequentially and recurses.
+fn build_exchange(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+    threads: usize,
+) -> Result<Option<Box<dyn Operator>>, PlanError> {
+    let Some(domain) = emit_domain(plan, source) else {
+        return Ok(None);
+    };
+    let order: OrderMap = domain
+        .order
+        .into_iter()
+        .enumerate()
+        .map(|(rank, key)| (key, rank))
+        .collect();
+    let partitioner = Partitioner::new(threads);
+    let mut slot_tables: HashMap<String, Arc<Vec<u32>>> = HashMap::new();
+    let shards = (0..threads)
+        .map(|shard| physical_shard(plan, source, options, partitioner, shard, &mut slot_tables))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Some(Box::new(ExchangeOp::new(shards, order)?)))
+}
+
+/// [`physical`] restricted to the shardable family, with scan leaves
+/// replaced by [`ShardScanOp`]s of one shard. `slot_tables` caches
+/// one precomputed slot table per scanned relation so N shards hash
+/// every key once, not N times.
+fn physical_shard(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+    partitioner: Partitioner,
+    shard: usize,
+    slot_tables: &mut HashMap<String, Arc<Vec<u32>>>,
+) -> Result<Box<dyn Operator>, PlanError> {
+    let mut build = |input| physical_shard(input, source, options, partitioner, shard, slot_tables);
+    Ok(match plan {
+        LogicalPlan::Scan { name } => {
+            let rel = source
+                .relation(name)
+                .ok_or_else(|| PlanError::UnknownRelation { name: name.clone() })?;
+            let slots = slot_tables
+                .entry(name.clone())
+                .or_insert_with(|| compute_slots(&rel, partitioner, None));
+            Box::new(ShardScanOp::with_slots(
+                name.clone(),
+                rel,
+                partitioner,
+                shard,
+                Arc::clone(slots),
+            ))
+        }
+        LogicalPlan::Select {
+            input,
+            predicate,
+            threshold,
+        } => Box::new(SelectOp::new(build(input)?, predicate.clone(), *threshold)?),
+        LogicalPlan::ThresholdFilter { input, threshold } => {
+            Box::new(ThresholdOp::new(build(input)?, *threshold)?)
+        }
+        LogicalPlan::Project { input, attrs } => Box::new(ProjectOp::new(build(input)?, attrs)?),
+        LogicalPlan::Union { left, right } => Box::new(MergeOp::union(
+            build(left)?,
+            build(right)?,
+            Box::new(DempsterMerger {
+                options: options.clone(),
+            }),
+        )?),
+        LogicalPlan::Intersect { left, right } => Box::new(MergeOp::intersect(
+            build(left)?,
+            build(right)?,
+            Box::new(DempsterMerger {
+                options: options.clone(),
+            }),
+        )?),
+        LogicalPlan::Difference { left, right } => {
+            Box::new(DifferenceOp::new(build(left)?, build(right)?)?)
+        }
+        LogicalPlan::RenameRelation { input, name } => {
+            Box::new(RenameOp::relation(build(input)?, name))
+        }
+        LogicalPlan::RenameAttribute { input, from, to } => {
+            Box::new(RenameOp::attribute(build(input)?, from, to)?)
+        }
+        LogicalPlan::Product { .. } | LogicalPlan::Join { .. } => {
+            return Err(PlanError::Pairing {
+                reason: "×̃/⋈̃ cannot appear inside an exchange fragment".to_owned(),
+            })
+        }
     })
 }
 
@@ -109,9 +422,10 @@ fn build_join(
     threshold: &Threshold,
     source: &dyn RelationSource,
     options: &UnionOptions,
+    parallelism: usize,
 ) -> Result<Box<dyn Operator>, PlanError> {
-    let left_op = physical(left, source, options)?;
-    let right_op = physical(right, source, options)?;
+    let left_op = physical_with(left, source, options, parallelism)?;
+    let right_op = physical_with(right, source, options, parallelism)?;
     let product_schema =
         evirel_algebra::product::product_schema(left_op.schema(), right_op.schema())?;
     match HashJoinOp::indexable_conjunct(
@@ -137,7 +451,9 @@ fn build_join(
 }
 
 /// Optimize and execute a plan, materializing the result. Side
-/// outputs (conflict reports, κ stats) accumulate in `ctx`.
+/// outputs (conflict reports, κ stats) accumulate in `ctx`, and
+/// [`ExecContext::parallelism`] governs whether shardable fragments
+/// run through an exchange.
 ///
 /// # Errors
 /// Plan-build and operator errors.
@@ -148,7 +464,7 @@ pub fn execute_plan(
 ) -> Result<ExtendedRelation, PlanError> {
     let (optimized, _) = optimize(plan, source);
     let options = ctx.union_options.clone();
-    let mut op = physical(&optimized, source, &options)?;
+    let mut op = physical_with(&optimized, source, &options, ctx.parallelism)?;
     run(op.as_mut(), ctx)
 }
 
@@ -176,8 +492,23 @@ pub fn explain_plan(
     source: &dyn RelationSource,
     options: &UnionOptions,
 ) -> Result<String, PlanError> {
+    explain_plan_with(plan, source, options, 1)
+}
+
+/// [`explain_plan`] with a thread budget, so the physical section
+/// shows exchange nodes exactly as [`execute_plan`] would build them
+/// at that parallelism.
+///
+/// # Errors
+/// As [`explain_plan`].
+pub fn explain_plan_with(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+    parallelism: usize,
+) -> Result<String, PlanError> {
     let (optimized, fired) = optimize(plan, source);
-    let op = physical(&optimized, source, options)?;
+    let op = physical_with(&optimized, source, options, parallelism)?;
     let mut out = String::new();
     out.push_str("logical:\n");
     push_indented(&mut out, &plan.render());
@@ -297,6 +628,191 @@ mod tests {
         let out = execute_plan(&plan, &b, &mut ctx).unwrap();
         // mehl–wok, olive–mehl, olive–wok survive the ≠ predicate.
         assert_eq!(out.len(), 3);
+    }
+
+    /// End to end through the planner: at parallelism 4 a ∪̃ pipeline
+    /// is wrapped in an exchange, EXPLAIN renders the exchange node,
+    /// and execution at 2/4/8 threads reproduces the sequential
+    /// result bit for bit — relation, insertion order, stats, and
+    /// conflict-report observation order.
+    #[test]
+    fn parallel_union_builds_exchange_and_matches_sequential() {
+        use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+        let (ga, gb) = generate_pair(&PairConfig {
+            base: GeneratorConfig {
+                tuples: 600,
+                seed: 7,
+                ..Default::default()
+            },
+            key_overlap: 0.5,
+            conflict_bias: 0.3,
+        })
+        .unwrap();
+        let mut b = Bindings::new();
+        b.bind("ga", ga).bind("gb", gb);
+        let plan = scan("ga")
+            .union(scan("gb"))
+            .select(Predicate::is("e0", ["v0", "v1"]))
+            .project(["k", "e0"])
+            .build();
+        let options = UnionOptions {
+            on_total_conflict: evirel_algebra::ConflictPolicy::Vacuous,
+            ..Default::default()
+        };
+
+        let text = explain_plan_with(&plan, &b, &options, 4).unwrap();
+        assert!(text.contains("⇄ exchange (4 threads"), "{text}");
+        assert!(text.contains("shard 0/4"), "{text}");
+        // At parallelism 1 the same plan has no exchange node.
+        let text = explain_plan(&plan, &b, &options).unwrap();
+        assert!(!text.contains("exchange"), "{text}");
+
+        let mut seq_ctx = ExecContext::with_options(options.clone());
+        seq_ctx.parallelism = 1;
+        let seq = execute_plan(&plan, &b, &mut seq_ctx).unwrap();
+        assert!(!seq_ctx.conflict_report().is_empty());
+        for threads in [2usize, 4, 8] {
+            let mut ctx = ExecContext::with_options(options.clone());
+            ctx.parallelism = threads;
+            let par = execute_plan(&plan, &b, &mut ctx).unwrap();
+            assert!(
+                seq.approx_eq(&par),
+                "relation diverged at {threads} threads"
+            );
+            for (s, p) in seq.iter().zip(par.iter()) {
+                assert_eq!(s.key(seq.schema()), p.key(par.schema()));
+            }
+            assert_eq!(
+                seq_ctx.stats, ctx.stats,
+                "stats diverged at {threads} threads"
+            );
+            assert_eq!(
+                seq_ctx.conflict_report().conflicts(),
+                ctx.conflict_report().conflicts(),
+                "report diverged at {threads} threads"
+            );
+        }
+    }
+
+    /// A σ̃ below a ∪̃'s *left* subtree makes the left key set
+    /// data-dependent: a dropped left key present on the right is
+    /// emitted in the right-only phase, which no static order map can
+    /// rank. Such fragments must decline the exchange (and stay
+    /// sequential-correct); a σ̃ below the *right* subtree only
+    /// removes tuples, so it still exchanges.
+    #[test]
+    fn filter_below_union_left_declines_exchange() {
+        use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+        let (ga, gb) = generate_pair(&PairConfig {
+            base: GeneratorConfig {
+                tuples: 600,
+                seed: 11,
+                ..Default::default()
+            },
+            key_overlap: 0.5,
+            conflict_bias: 0.0,
+        })
+        .unwrap();
+        let mut b = Bindings::new();
+        b.bind("ga", ga).bind("gb", gb);
+        let options = UnionOptions::default();
+
+        // Filter on the left: no exchange node anywhere.
+        let left_filtered = scan("ga")
+            .select(Predicate::is("e0", ["v0", "v1", "v2"]))
+            .union(scan("gb"))
+            .build();
+        let text = explain_plan_with(&left_filtered, &b, &options, 4).unwrap();
+        assert!(!text.contains("exchange"), "{text}");
+        // Parallel execution (sequential fallback) still matches.
+        let mut seq_ctx = ExecContext::with_parallelism(1);
+        let seq = execute_plan(&left_filtered, &b, &mut seq_ctx).unwrap();
+        let mut par_ctx = ExecContext::with_parallelism(4);
+        let par = execute_plan(&left_filtered, &b, &mut par_ctx).unwrap();
+        assert!(seq.approx_eq(&par));
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.key(seq.schema()), p.key(par.schema()));
+        }
+
+        // The same filter on the right subtree keeps the exchange and
+        // stays bit-for-bit with sequential.
+        let right_filtered = scan("ga")
+            .union(scan("gb").select(Predicate::is("e0", ["v0", "v1", "v2"])))
+            .build();
+        let text = explain_plan_with(&right_filtered, &b, &options, 4).unwrap();
+        assert!(text.contains("⇄ exchange (4 threads"), "{text}");
+        let mut seq_ctx = ExecContext::with_parallelism(1);
+        let seq = execute_plan(&right_filtered, &b, &mut seq_ctx).unwrap();
+        let mut par_ctx = ExecContext::with_parallelism(4);
+        let par = execute_plan(&right_filtered, &b, &mut par_ctx).unwrap();
+        assert!(seq.approx_eq(&par));
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.key(seq.schema()), p.key(par.schema()));
+        }
+    }
+
+    /// A π̃ that permutes a composite key's attribute order would make
+    /// emitted keys miss the order map, so the exchange is built
+    /// *below* the projection instead of above it — parallel order
+    /// stays sequential-exact either way.
+    #[test]
+    fn key_permuting_projection_pushes_exchange_below() {
+        let d = Arc::new(AttrDomain::categorical("d", ["x", "y", "z"]).unwrap());
+        let schema = |name: &str| {
+            Arc::new(
+                Schema::builder(name)
+                    .key_str("k1")
+                    .key_str("k2")
+                    .evidential("d", Arc::clone(&d))
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let mut a = RelationBuilder::new(schema("A"));
+        let mut b = RelationBuilder::new(schema("B"));
+        for i in 0..400 {
+            let label = ["x", "y", "z"][i % 3];
+            a = a
+                .tuple(|t| {
+                    t.set_str("k1", format!("a-{i}"))
+                        .set_str("k2", format!("b-{}", i / 2))
+                        .set_evidence_with_omega("d", [(&[label][..], 0.6)], 0.4)
+                })
+                .unwrap();
+            if i % 2 == 0 {
+                b = b
+                    .tuple(|t| {
+                        t.set_str("k1", format!("a-{i}"))
+                            .set_str("k2", format!("b-{}", i / 2))
+                            .set_evidence_with_omega("d", [(&["x"][..], 0.5)], 0.5)
+                    })
+                    .unwrap();
+            }
+        }
+        let mut bindings = Bindings::new();
+        bindings.bind("a", a.build()).bind("b", b.build());
+        let plan = scan("a")
+            .union(scan("b"))
+            .project(["k2", "k1", "d"]) // key attrs swapped
+            .build();
+        let options = UnionOptions::default();
+        let text = explain_plan_with(&plan, &bindings, &options, 4).unwrap();
+        // Exchange present, but *under* the projection.
+        let pi_line = text.lines().position(|l| l.contains("π̃")).unwrap();
+        let ex_line = text
+            .lines()
+            .position(|l| l.contains("⇄ exchange"))
+            .expect("exchange still built below the projection");
+        assert!(ex_line > pi_line, "{text}");
+        let mut seq_ctx = ExecContext::with_parallelism(1);
+        let seq = execute_plan(&plan, &bindings, &mut seq_ctx).unwrap();
+        let mut par_ctx = ExecContext::with_parallelism(4);
+        let par = execute_plan(&plan, &bindings, &mut par_ctx).unwrap();
+        assert!(seq.approx_eq(&par));
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.key(seq.schema()), p.key(par.schema()));
+        }
+        assert_eq!(seq_ctx.stats, par_ctx.stats);
     }
 
     #[test]

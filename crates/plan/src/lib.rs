@@ -18,7 +18,10 @@
 //!    longer materialize an [`evirel_relation::ExtendedRelation`]
 //!    between operators, and side outputs (∪̃ conflict reports, κ
 //!    statistics) flow through the shared [`ExecContext`] instead of
-//!    being dropped.
+//!    being dropped. With [`ExecContext::parallelism`] > 1, shardable
+//!    fragments run through the Volcano-style [`exchange`] operator:
+//!    hash-partition by key, N worker threads, deterministic re-merge
+//!    — parallel execution reproduces sequential output bit for bit.
 //!
 //! The algebra free functions (`select`, `union_extended`, …) remain
 //! the *naive single-node implementations* of the same operators;
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod error;
+pub mod exchange;
 pub mod exec;
 pub mod logical;
 pub mod ops;
@@ -52,13 +56,17 @@ pub mod reference;
 pub mod rewrite;
 
 pub use error::PlanError;
-pub use exec::{execute_plan, explain_plan, open_plan, physical, planned_rewrites};
+pub use exchange::{compute_slots, rank_keys, ExchangeOp, OrderMap, ShardScanOp};
+pub use exec::{
+    execute_plan, explain_plan, explain_plan_with, open_plan, physical, physical_with,
+    planned_rewrites,
+};
 pub use logical::{
     scan, schema_of, validate_plan, Bindings, LogicalPlan, PlanBuilder, RelationSource,
 };
 pub use ops::{
-    run, DempsterMerger, ExecContext, ExecStats, MergeEmit, MergeOp, MergePairing, Operator,
-    ScanOp, TupleMerger,
+    default_parallelism, run, DempsterMerger, ExecContext, ExecStats, MergeEmit, MergeOp,
+    MergePairing, Operator, ScanOp, TupleMerger,
 };
 pub use rewrite::{optimize, Rewrite};
 

@@ -39,22 +39,60 @@ pub struct ExecStats {
 }
 
 /// Shared execution state: union options for ∪̃-family operators,
-/// conflict reports collected from every merging operator, and
-/// counters.
-#[derive(Debug, Default)]
+/// conflict reports collected from every merging operator, counters,
+/// and the physical-planning parallelism knob.
+#[derive(Debug)]
 pub struct ExecContext {
     /// Options (conflict policy, combination rule, focal cap) used by
     /// [`DempsterMerger`].
     pub union_options: UnionOptions,
+    /// Worker threads available to physical planning: subtrees whose
+    /// operators pair tuples by key equality are wrapped in a
+    /// [`crate::exchange::ExchangeOp`] over this many hash shards
+    /// when the inputs are large enough. `1` (the default) keeps
+    /// execution single-threaded. Defaults to the `EVIREL_THREADS`
+    /// environment variable when set — see [`default_parallelism`].
+    pub parallelism: usize,
     /// Execution counters.
     pub stats: ExecStats,
     reports: Vec<ConflictReport>,
+}
+
+impl Default for ExecContext {
+    fn default() -> ExecContext {
+        ExecContext {
+            union_options: UnionOptions::default(),
+            parallelism: default_parallelism(),
+            stats: ExecStats::default(),
+            reports: Vec::new(),
+        }
+    }
+}
+
+/// The process-wide default for [`ExecContext::parallelism`]: the
+/// `EVIREL_THREADS` environment variable when it parses to a positive
+/// integer, else 1 (sequential). CI runs the whole suite under
+/// `EVIREL_THREADS=4` to exercise the parallel paths.
+pub fn default_parallelism() -> usize {
+    std::env::var("EVIREL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl ExecContext {
     /// A context with default union options.
     pub fn new() -> ExecContext {
         ExecContext::default()
+    }
+
+    /// A context with explicit parallelism.
+    pub fn with_parallelism(parallelism: usize) -> ExecContext {
+        ExecContext {
+            parallelism: parallelism.max(1),
+            ..ExecContext::default()
+        }
     }
 
     /// A context with explicit union options.
@@ -91,7 +129,11 @@ impl ExecContext {
 }
 
 /// A pull-based physical operator over extended tuples.
-pub trait Operator {
+///
+/// `Send` so an operator subtree can be handed to an exchange worker
+/// thread ([`crate::exchange::ExchangeOp`]); all state is owned or
+/// behind [`Arc`], so this costs implementors nothing.
+pub trait Operator: Send {
     /// The schema of emitted tuples (available before `open`).
     fn schema(&self) -> &Arc<Schema>;
     /// Acquire resources; stateful operators build their index/buffer
@@ -672,8 +714,9 @@ impl Operator for HashJoinOp {
 
 /// How a matched tuple pair is combined by [`MergeOp`]. The ∪̃ family
 /// uses [`DempsterMerger`]; the integration pipeline plugs in its
-/// method-registry merger.
-pub trait TupleMerger {
+/// method-registry merger. `Send` so merge operators can run inside
+/// exchange workers.
+pub trait TupleMerger: Send {
     /// Merge one matched pair; `None` drops the pair (zero combined
     /// support), conflicts go into `report`.
     ///
@@ -750,7 +793,7 @@ pub struct MergeOp {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
     merger: Box<dyn TupleMerger>,
-    pairing: Option<MergePairing>,
+    pairing: Option<Arc<MergePairing>>,
     emit: MergeEmit,
     schema: Arc<Schema>,
     right_index: HashMap<Vec<Value>, Arc<Tuple>>,
@@ -801,6 +844,23 @@ impl MergeOp {
         pairing: MergePairing,
         name: impl Into<String>,
     ) -> Result<MergeOp, PlanError> {
+        MergeOp::with_shared_pairing(left, right, merger, Arc::new(pairing), name)
+    }
+
+    /// [`MergeOp::with_pairing`] over a shared pairing handle — the
+    /// parallel merge stage builds one shard `MergeOp` per worker, and
+    /// a pairing can hold an entry per input key, so per-shard deep
+    /// copies would multiply its footprint by the thread count.
+    ///
+    /// # Errors
+    /// Union-incompatible schemas.
+    pub fn with_shared_pairing(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        merger: Box<dyn TupleMerger>,
+        pairing: Arc<MergePairing>,
+        name: impl Into<String>,
+    ) -> Result<MergeOp, PlanError> {
         MergeOp::build(
             left,
             right,
@@ -815,7 +875,7 @@ impl MergeOp {
         left: Box<dyn Operator>,
         right: Box<dyn Operator>,
         merger: Box<dyn TupleMerger>,
-        pairing: Option<MergePairing>,
+        pairing: Option<Arc<MergePairing>>,
         emit: MergeEmit,
         name: String,
     ) -> Result<MergeOp, PlanError> {

@@ -13,6 +13,9 @@
 //!   plan, physical operator tree;
 //! * `\conflicts` — the ∪̃ conflict report of the last query;
 //! * `\rank` — render the next query's result ranked by `sn`;
+//! * `\set threads <N>` — worker threads for query execution (plan
+//!   fragments run through the parallel exchange operator when > 1;
+//!   the initial value comes from `EVIREL_THREADS`, default 1);
 //! * `\save <name> <path>` — write a relation back to disk;
 //! * `\q` — quit.
 
@@ -62,7 +65,7 @@ fn main() {
     );
     eprintln!(
         "type \\q to quit, \\d to describe relations, \\explain <query> for plans, \
-         \\conflicts for the last query's ∪̃ report"
+         \\conflicts for the last query's ∪̃ report, \\set threads N for parallel execution"
     );
     let stdin = std::io::stdin();
     let mut ranked = false;
@@ -123,6 +126,22 @@ fn main() {
                     ranked = !ranked;
                     println!("ranked output {}", if ranked { "on" } else { "off" });
                 }
+                Some("set") => match (parts.next(), parts.next()) {
+                    (Some("threads"), Some(n)) => match n.parse::<usize>() {
+                        Ok(n) if n >= 1 => {
+                            catalog.parallelism = n;
+                            println!(
+                                "execution threads set to {n}{}",
+                                if n == 1 { " (sequential)" } else { "" }
+                            );
+                        }
+                        _ => println!("threads must be a positive integer, got {n:?}"),
+                    },
+                    (Some("threads"), None) => {
+                        println!("execution threads: {}", catalog.parallelism);
+                    }
+                    _ => println!("usage: \\set threads <N>"),
+                },
                 Some("save") => match (parts.next(), parts.next()) {
                     (Some(name), Some(path)) => match catalog.get(name) {
                         Some(rel) => {

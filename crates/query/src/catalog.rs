@@ -10,12 +10,27 @@ use std::sync::Arc;
 ///
 /// Relations are stored behind [`Arc`] so the plan layer's scan
 /// operators can stream them without cloning whole extensions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     relations: HashMap<String, Arc<ExtendedRelation>>,
     /// Options applied to `UNION` sources (conflict policy,
     /// combination rule, focal cap).
     pub union_options: UnionOptions,
+    /// Worker threads for query execution: shardable plan fragments
+    /// run through the plan layer's exchange operator when > 1.
+    /// Defaults to the `EVIREL_THREADS` environment variable (else
+    /// 1); the eql shell sets it with `\set threads N`.
+    pub parallelism: usize,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog {
+            relations: HashMap::new(),
+            union_options: UnionOptions::default(),
+            parallelism: evirel_plan::default_parallelism(),
+        }
+    }
 }
 
 impl Catalog {

@@ -62,6 +62,7 @@ pub fn execute_with_report(catalog: &Catalog, query: &str) -> Result<QueryOutcom
 fn execute_stmt(catalog: &Catalog, stmt: &SelectStmt) -> Result<QueryOutcome, QueryError> {
     let plan = lower_validated(stmt, catalog)?;
     let mut ctx = ExecContext::with_options(catalog.union_options.clone());
+    ctx.parallelism = catalog.parallelism.max(1);
     let relation = execute_plan(&plan.to_logical(), catalog, &mut ctx)?;
     Ok(QueryOutcome {
         relation,

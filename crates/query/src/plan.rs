@@ -272,16 +272,18 @@ pub fn explain(query: &str) -> Result<String, QueryError> {
 
 /// Full `EXPLAIN` against a catalog: the logical plan, every rewrite
 /// rule that fired, the optimized plan, and the physical operator
-/// tree that would execute it.
+/// tree that would execute it (exchange nodes included when
+/// [`Catalog::parallelism`] > 1).
 ///
 /// # Errors
 /// Lex/parse errors, unknown relations/attributes, plan-build errors.
 pub fn explain_with(catalog: &Catalog, query: &str) -> Result<String, QueryError> {
     let plan = lower_validated(&crate::parser::parse(query)?, catalog)?;
-    Ok(evirel_plan::explain_plan(
+    Ok(evirel_plan::explain_plan_with(
         &plan.to_logical(),
         catalog,
         &catalog.union_options,
+        catalog.parallelism,
     )?)
 }
 
