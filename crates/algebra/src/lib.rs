@@ -77,7 +77,7 @@ pub use rename::{rename_attribute, rename_relation};
 pub use select::select;
 pub use support::predicate_support;
 pub use threshold::Threshold;
-pub use union::{union_extended, UnionOptions, UnionOutcome};
+pub use union::{union_extended, MergeScratch, UnionOptions, UnionOutcome};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, AlgebraError>;

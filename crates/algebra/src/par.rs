@@ -67,6 +67,8 @@ pub fn par_union(
             .map(|part| {
                 scope.spawn(move || {
                     let mut merged: Merged = Vec::with_capacity(part.len());
+                    // One combination-memo scratch per worker pass.
+                    let mut scratch = crate::union::MergeScratch::new();
                     for (order, key, l_tuple, r_tuple) in part {
                         let mut report = ConflictReport::new();
                         let out = match r_tuple {
@@ -77,13 +79,14 @@ pub fn par_union(
                                     None
                                 }
                             }
-                            Some(r) => crate::union::merge_tuples(
+                            Some(r) => crate::union::merge_tuples_with(
                                 ls,
                                 key,
                                 l_tuple,
                                 r,
                                 options,
                                 &mut report,
+                                &mut scratch,
                             )?
                             .map(Arc::new),
                         };

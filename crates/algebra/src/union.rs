@@ -87,6 +87,7 @@ pub fn union_with(
     // Unmatched tuples pass through as shared `Arc<Tuple>` handles —
     // zero deep copies, exactly like the streaming `MergeOp` in
     // `evirel-plan`.
+    let mut scratch = MergeScratch::new(); // one memo table for the whole pass
     for (key, l_tuple) in left.iter_keyed_shared() {
         match right.get_by_key(&key) {
             None => {
@@ -97,9 +98,15 @@ pub fn union_with(
                 }
             }
             Some(r_tuple) => {
-                if let Some(merged) =
-                    merge_tuples(ls, &key, l_tuple, r_tuple, options, &mut report)?
-                {
+                if let Some(merged) = merge_tuples_with(
+                    ls,
+                    &key,
+                    l_tuple,
+                    r_tuple,
+                    options,
+                    &mut report,
+                    &mut scratch,
+                )? {
                     out.insert(merged)?;
                 }
             }
@@ -117,6 +124,12 @@ pub fn union_with(
     })
 }
 
+/// Reusable per-pass scratch for [`merge_tuples_with`]: the
+/// combination engine's memo table, held once per merge pass instead
+/// of allocated per Dempster call (the remaining hot-path headroom
+/// the ROADMAP's Dempster item named).
+pub type MergeScratch = evirel_evidence::combine::Scratch<f64>;
+
 /// Merge one matched tuple pair. Returns `None` when the combined
 /// membership has `sn = 0` (the merged tuple is then not stored,
 /// consistent with CWA_ER). This is the per-pair kernel of ∪̃, shared
@@ -129,6 +142,22 @@ pub fn merge_tuples(
     r: &Tuple,
     options: &UnionOptions,
     report: &mut ConflictReport,
+) -> Result<Option<Tuple>, AlgebraError> {
+    merge_tuples_with(schema, key, l, r, options, report, &mut MergeScratch::new())
+}
+
+/// [`merge_tuples`] reusing a caller-held [`MergeScratch`] across a
+/// whole merge pass — bit-for-bit the same result, minus one memo
+/// table allocation per attribute combination.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_tuples_with(
+    schema: &evirel_relation::Schema,
+    key: &[Value],
+    l: &Tuple,
+    r: &Tuple,
+    options: &UnionOptions,
+    report: &mut ConflictReport,
+    scratch: &mut MergeScratch,
 ) -> Result<Option<Tuple>, AlgebraError> {
     let mut values: Vec<AttrValue> = Vec::with_capacity(schema.arity());
     for (pos, attr) in schema.attrs().iter().enumerate() {
@@ -170,7 +199,7 @@ pub fn merge_tuples(
             AttrType::Evidential(domain) => {
                 let lm = lv.to_evidence(domain)?;
                 let rm = rv.to_evidence(domain)?;
-                let combined = options.rule.combine_reporting(&lm, &rm);
+                let combined = options.rule.combine_reporting_with(&lm, &rm, scratch);
                 match combined {
                     Ok((mass, kappa)) => {
                         if kappa > 0.0 {

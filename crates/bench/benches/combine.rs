@@ -189,6 +189,50 @@ fn bench_chain_with_summarization(c: &mut Criterion) {
     group.finish();
 }
 
+/// Merge-pass allocation ablation: a batch of 256 combinations run
+/// with a fresh memo table per call vs ONE shared `Scratch` for the
+/// whole pass (the ROADMAP Dempster item's "reuse one BitsMemo across
+/// a whole merge pass" headroom, now what `DempsterMerger` does).
+/// Results are asserted bit-identical before timing.
+fn bench_merge_pass_scratch(c: &mut Criterion) {
+    let f = frame(64);
+    let mut rng = StdRng::seed_from_u64(5);
+    let pairs: Vec<(MassFunction<f64>, MassFunction<f64>)> = (0..256)
+        .map(|_| {
+            (
+                random_mass_with_omega(&mut rng, &f, 8, 0.1),
+                random_mass_with_omega(&mut rng, &f, 8, 0.1),
+            )
+        })
+        .collect();
+    let mut scratch = combine::Scratch::new();
+    for (a, b) in &pairs {
+        let fresh = combine::dempster(a, b).expect("omega floor");
+        let reused = combine::dempster_with(a, b, &mut scratch).expect("omega floor");
+        assert_eq!(fresh.mass, reused.mass, "scratch must be bit-invisible");
+    }
+    let mut group = c.benchmark_group("dempster/merge-pass");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("fresh-memo", |bench| {
+        bench.iter(|| {
+            for (a, b) in &pairs {
+                black_box(combine::dempster(black_box(a), black_box(b)).unwrap());
+            }
+        });
+    });
+    group.bench_function("shared-scratch", |bench| {
+        let mut scratch = combine::Scratch::new();
+        bench.iter(|| {
+            for (a, b) in &pairs {
+                black_box(
+                    combine::dempster_with(black_box(a), black_box(b), &mut scratch).unwrap(),
+                );
+            }
+        });
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -199,6 +243,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_focal_scaling, bench_domain_scaling, bench_rules, bench_chain_with_summarization
+    targets = bench_focal_scaling, bench_domain_scaling, bench_rules, bench_chain_with_summarization, bench_merge_pass_scratch
 }
 criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Storage-engine benchmarks: the cost of paging.
+//!
+//! Three comparisons at 10^4–10^6 combined tuples (smoke runs use a
+//! small size):
+//!
+//! * **scan**: in-memory `ScanOp` vs `SpillScanOp` over a binary
+//!   segment, with an ample pool (decode cost) and with a tiny
+//!   ~4-page pool (decode + eviction/refill cost);
+//! * **merge**: the ∪̃ plan with an in-memory build side vs the build
+//!   side force-spilled to a temp segment (`spill_threshold_bytes =
+//!   0`), probes paging through a bounded pool;
+//! * **write**: segment serialization throughput (tuples → pages on
+//!   disk).
+//!
+//! Every variant's output is asserted identical to the in-memory
+//! result before anything is timed — paging must never change a bit.
+//!
+//! Reference numbers live in `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use evirel_algebra::union::UnionOptions;
+use evirel_algebra::ConflictPolicy;
+use evirel_plan::{execute_plan, scan, Bindings, BufferPool, ExecContext, StoredRelation};
+use evirel_relation::ExtendedRelation;
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const PAGE: usize = 8192;
+
+fn measured() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn pair(per_source: usize) -> (ExtendedRelation, ExtendedRelation) {
+    generate_pair(&PairConfig {
+        base: GeneratorConfig {
+            tuples: per_source,
+            ..Default::default()
+        },
+        key_overlap: 0.5,
+        conflict_bias: 0.3,
+    })
+    .expect("generator config is valid")
+}
+
+fn options() -> UnionOptions {
+    UnionOptions {
+        on_total_conflict: ConflictPolicy::Vacuous,
+        ..Default::default()
+    }
+}
+
+fn store(rel: &ExtendedRelation, pool: &Arc<BufferPool>) -> Arc<StoredRelation> {
+    let path = evirel_store::spill_path("bench");
+    evirel_store::write_segment(rel, &path, PAGE).expect("segment writes");
+    let stored = StoredRelation::open(&path, Arc::clone(pool)).expect("segment opens");
+    std::fs::remove_file(&path).ok();
+    Arc::new(stored)
+}
+
+fn run_scan(bindings: &Bindings) -> ExtendedRelation {
+    let plan = scan("r").build();
+    let mut ctx = ExecContext::with_options(options());
+    ctx.parallelism = 1;
+    execute_plan(&plan, bindings, &mut ctx).expect("scan executes")
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let sizes: &[usize] = if measured() {
+        &[5_000, 50_000, 500_000]
+    } else {
+        &[1_000]
+    };
+
+    // ------------------------------------------------------------ scan
+    let mut group = c.benchmark_group("storage/scan");
+    for &per_source in sizes {
+        let (rel, _) = pair(per_source);
+        let tuples = rel.len();
+        let ample = Arc::new(BufferPool::new(1 << 30));
+        let tiny = Arc::new(BufferPool::new(4 * PAGE));
+        let stored_ample = store(&rel, &ample);
+        let stored_tiny = store(&rel, &tiny);
+
+        let mut mem_bindings = Bindings::new();
+        mem_bindings.bind("r", rel);
+        let mut ample_bindings = Bindings::new();
+        ample_bindings.bind_stored("r", Arc::clone(&stored_ample));
+        let mut tiny_bindings = Bindings::new();
+        tiny_bindings.bind_stored("r", Arc::clone(&stored_tiny));
+
+        // Paging must never change a bit.
+        let mem = run_scan(&mem_bindings);
+        for b in [&ample_bindings, &tiny_bindings] {
+            let out = run_scan(b);
+            assert_eq!(mem.len(), out.len());
+            for (m, o) in mem.iter().zip(out.iter()) {
+                assert_eq!(m.values(), o.values());
+            }
+        }
+        assert!(
+            stored_tiny.pool().stats().evictions > 0,
+            "tiny pool must evict during the sanity scan"
+        );
+
+        group.throughput(Throughput::Elements(tuples as u64));
+        group.bench_with_input(
+            BenchmarkId::new("in-memory", tuples),
+            &mem_bindings,
+            |bench, b| bench.iter(|| black_box(run_scan(b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stored-warm", tuples),
+            &ample_bindings,
+            |bench, b| bench.iter(|| black_box(run_scan(b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stored-evicting", tuples),
+            &tiny_bindings,
+            |bench, b| bench.iter(|| black_box(run_scan(b))),
+        );
+    }
+    group.finish();
+
+    // ----------------------------------------------------------- merge
+    let mut group = c.benchmark_group("storage/merge");
+    for &per_source in sizes {
+        let (a, b) = pair(per_source);
+        let combined = a.len() + b.len();
+        let mut bindings = Bindings::new();
+        bindings.bind("ga", a).bind("gb", b);
+        let plan = scan("ga").union(scan("gb")).build();
+
+        let run_merge = |spill: bool| -> (ExtendedRelation, bool) {
+            let mut ctx = ExecContext::with_options(options());
+            ctx.parallelism = 1;
+            if spill {
+                ctx.spill_threshold_bytes = 0;
+                ctx.pool = Arc::new(BufferPool::new(8 * PAGE));
+            } else {
+                ctx.spill_threshold_bytes = usize::MAX;
+            }
+            let rel = execute_plan(&plan, &bindings, &mut ctx).expect("merge executes");
+            (rel, ctx.pool.stats().misses > 0)
+        };
+        let (mem, _) = run_merge(false);
+        let (spilled, paged) = run_merge(true);
+        assert!(paged, "spilled merge must page through the pool");
+        assert_eq!(mem.len(), spilled.len());
+        for (m, s) in mem.iter().zip(spilled.iter()) {
+            assert_eq!(m.values(), s.values());
+        }
+
+        group.throughput(Throughput::Elements(combined as u64));
+        group.bench_with_input(
+            BenchmarkId::new("in-memory-build", combined),
+            &(),
+            |bench, ()| bench.iter(|| black_box(run_merge(false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spilled-build", combined),
+            &(),
+            |bench, ()| bench.iter(|| black_box(run_merge(true))),
+        );
+    }
+    group.finish();
+
+    // ----------------------------------------------------------- write
+    let mut group = c.benchmark_group("storage/write-segment");
+    for &per_source in sizes {
+        let (rel, _) = pair(per_source);
+        group.throughput(Throughput::Elements(rel.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rel.len()),
+            &rel,
+            |bench, rel| {
+                bench.iter(|| {
+                    let path = evirel_store::spill_path("bench-write");
+                    evirel_store::write_segment(black_box(rel), &path, PAGE).unwrap();
+                    std::fs::remove_file(&path).ok();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(5)
+        .measurement_time(std::time::Duration::from_millis(2000))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_storage
+}
+criterion_main!(benches);

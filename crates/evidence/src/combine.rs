@@ -70,6 +70,7 @@ pub struct Combination<W: Weight> {
 /// probing over a power-of-two slot array so the per-pair cost is a
 /// multiply-fold hash and (usually) one probe — no `SipHash`, no
 /// per-pair allocation, no `FocalSet` until the table drains.
+#[derive(Debug)]
 struct BitsMemo<W> {
     /// Entry index + 1; 0 marks an empty slot.
     slots: Vec<u32>,
@@ -85,6 +86,20 @@ impl<W: Weight> BitsMemo<W> {
             mask: cap - 1,
             entries: Vec::with_capacity(expected),
         }
+    }
+
+    /// Make the table empty again, keeping (and if necessary growing)
+    /// its allocations — the reuse path a whole merge pass shares one
+    /// memo through (see [`Scratch`]).
+    fn reset(&mut self, expected: usize) {
+        let cap = (expected * 2).next_power_of_two().max(16);
+        if cap > self.slots.len() {
+            self.slots = vec![0; cap];
+            self.mask = cap - 1;
+        } else {
+            self.slots.fill(0);
+        }
+        self.entries.clear();
     }
 
     /// Fold a 128-bit pattern to a table index (murmur-style finalizer
@@ -139,12 +154,46 @@ impl<W: Weight> BitsMemo<W> {
     }
 
     /// Drain into `(FocalSet, W)` entries, materializing each distinct
-    /// intersection pattern exactly once.
-    fn into_entries(self) -> Vec<(FocalSet, W)> {
+    /// intersection pattern exactly once. Leaves the table ready for
+    /// [`BitsMemo::reset`]; allocations are retained.
+    fn drain_entries(&mut self) -> Vec<(FocalSet, W)> {
         self.entries
-            .into_iter()
+            .drain(..)
             .map(|(bits, w)| (FocalSet::from_bits(bits), w))
             .collect()
+    }
+}
+
+/// Reusable scratch state for the combination engine.
+///
+/// Every `dempster` call on the inline-bitset path needs a memo table
+/// for intersection products. A tuple merge runs one combination per
+/// common attribute per matched pair, so a whole ∪̃ pass over 10⁵
+/// tuples allocates (and drops) that table hundreds of thousands of
+/// times. Holding one `Scratch` per merge pass — as the plan layer's
+/// `DempsterMerger` does — and calling [`dempster_with`] reuses the
+/// slot array and entry vector across every combination of the pass.
+///
+/// A `Scratch` carries no results between calls (each use resets it),
+/// so combining with and without scratch is bit-for-bit identical —
+/// the property suite checks this.
+#[derive(Debug)]
+pub struct Scratch<W: Weight> {
+    memo: BitsMemo<W>,
+}
+
+impl<W: Weight> Scratch<W> {
+    /// An empty scratch (first use sizes the table).
+    pub fn new() -> Scratch<W> {
+        Scratch {
+            memo: BitsMemo::new(0),
+        }
+    }
+}
+
+impl<W: Weight> Default for Scratch<W> {
+    fn default() -> Self {
+        Scratch::new()
     }
 }
 
@@ -203,13 +252,15 @@ fn bayesian_raw<W: Weight>(
     Ok((entries, conflict))
 }
 
-/// Inline-bitset conjunction: word-AND intersections accumulated in a
-/// [`BitsMemo`].
+/// Inline-bitset conjunction: word-AND intersections accumulated in
+/// `memo` (reset here, drained before returning — the caller only
+/// provides the allocations).
 fn inline_raw<W: Weight>(
     av: &[(u128, &W)],
     bv: &[(u128, &W)],
+    memo: &mut BitsMemo<W>,
 ) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
-    let mut memo = BitsMemo::new(av.len() * bv.len());
+    memo.reset(av.len() * bv.len());
     let mut conflict = W::zero();
     for (xa, wa) in av {
         for (xb, wb) in bv {
@@ -225,7 +276,7 @@ fn inline_raw<W: Weight>(
             }
         }
     }
-    Ok((memo.into_entries(), conflict))
+    Ok((memo.drain_entries(), conflict))
 }
 
 /// Boxed fallback for frames wider than 128 values.
@@ -264,12 +315,21 @@ pub(crate) fn conjunctive_raw<W: Weight>(
     a: &MassFunction<W>,
     b: &MassFunction<W>,
 ) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
+    conjunctive_raw_with(a, b, &mut Scratch::new())
+}
+
+/// [`conjunctive_raw`] reusing a caller-held [`Scratch`].
+pub(crate) fn conjunctive_raw_with<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+    scratch: &mut Scratch<W>,
+) -> Result<(Vec<(FocalSet, W)>, W), EvidenceError> {
     check_frames(a, b)?;
     if a.is_bayesian() && b.is_bayesian() {
         return bayesian_raw(a, b);
     }
     match (inline_bits(a), inline_bits(b)) {
-        (Some(av), Some(bv)) => inline_raw(&av, &bv),
+        (Some(av), Some(bv)) => inline_raw(&av, &bv, &mut scratch.memo),
         _ => boxed_raw(a, b),
     }
 }
@@ -310,7 +370,22 @@ pub fn dempster<W: Weight>(
     a: &MassFunction<W>,
     b: &MassFunction<W>,
 ) -> Result<Combination<W>, EvidenceError> {
-    let (mut entries, conflict) = conjunctive_raw(a, b)?;
+    dempster_with(a, b, &mut Scratch::new())
+}
+
+/// [`dempster`] reusing a caller-held [`Scratch`] for the memo table —
+/// bit-for-bit the same result, without the per-call allocation. Merge
+/// passes (the extended union, the integration merge stage) hold one
+/// scratch for the whole pass.
+///
+/// # Errors
+/// As [`dempster`].
+pub fn dempster_with<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+    scratch: &mut Scratch<W>,
+) -> Result<Combination<W>, EvidenceError> {
+    let (mut entries, conflict) = conjunctive_raw_with(a, b, scratch)?;
     if entries.is_empty() || conflict.approx_eq(&W::one()) {
         return Err(EvidenceError::TotalConflict);
     }
@@ -361,6 +436,18 @@ pub fn dempster_all<'a, W: Weight + 'a>(
 /// [`EvidenceError::FrameMismatch`] if the frames differ.
 pub fn conflict<W: Weight>(a: &MassFunction<W>, b: &MassFunction<W>) -> Result<W, EvidenceError> {
     Ok(conjunctive_raw(a, b)?.1)
+}
+
+/// [`conflict`] reusing a caller-held [`Scratch`].
+///
+/// # Errors
+/// As [`conflict`].
+pub fn conflict_with<W: Weight>(
+    a: &MassFunction<W>,
+    b: &MassFunction<W>,
+    scratch: &mut Scratch<W>,
+) -> Result<W, EvidenceError> {
+    Ok(conjunctive_raw_with(a, b, scratch)?.1)
 }
 
 #[cfg(test)]
@@ -531,6 +618,46 @@ mod tests {
         let f = speciality();
         assert!((c.conflict - 0.125).abs() < 1e-12);
         assert!((c.mass.mass_of(&f.subset(["cantonese"]).unwrap()) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    /// One shared [`Scratch`] across a whole pass of combinations is
+    /// bit-for-bit identical to a fresh memo per call — the contract
+    /// that lets merge passes reuse the table.
+    #[test]
+    fn shared_scratch_is_bit_identical() {
+        let mut scratch = Scratch::new();
+        // Exact rationals: equality below is exact, not approximate.
+        let pairs = [(m1(), m2()), (m2(), m1()), (m1(), m1()), (m2(), m2())];
+        for _ in 0..3 {
+            for (a, b) in &pairs {
+                let fresh = dempster(a, b).unwrap();
+                let reused = dempster_with(a, b, &mut scratch).unwrap();
+                assert_eq!(fresh.mass, reused.mass);
+                assert_eq!(fresh.conflict, reused.conflict);
+                assert_eq!(
+                    conflict(a, b).unwrap(),
+                    conflict_with(a, b, &mut scratch).unwrap()
+                );
+            }
+        }
+        // Growth inside a reused scratch (many distinct patterns) is
+        // handled too: a 20-focal f64 pair forces the table to grow.
+        let wide = Arc::new(Frame::new("wide", (0..40).map(|i| format!("v{i}"))));
+        let mut b1 = MassFunction::<f64>::builder(Arc::clone(&wide));
+        let mut b2 = MassFunction::<f64>::builder(Arc::clone(&wide));
+        for i in 0..20 {
+            b1 = b1
+                .add([format!("v{i}"), format!("v{}", i + 1)], 0.05)
+                .unwrap();
+            b2 = b2
+                .add([format!("v{}", i + 1), format!("v{}", (i + 2) % 40)], 0.05)
+                .unwrap();
+        }
+        let (w1, w2) = (b1.build().unwrap(), b2.build().unwrap());
+        let mut scratch = Scratch::new();
+        let fresh = dempster(&w1, &w2).unwrap();
+        let reused = dempster_with(&w1, &w2, &mut scratch).unwrap();
+        assert_eq!(fresh.mass, reused.mass);
     }
 
     /// Combining a Bayesian mass with itself sharpens it (Bayes-like

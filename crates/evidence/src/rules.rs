@@ -75,13 +75,29 @@ impl CombinationRule {
         a: &MassFunction<W>,
         b: &MassFunction<W>,
     ) -> Result<(MassFunction<W>, W), EvidenceError> {
+        self.combine_reporting_with(a, b, &mut crate::combine::Scratch::new())
+    }
+
+    /// [`CombinationRule::combine_reporting`] reusing a caller-held
+    /// [`crate::combine::Scratch`] — merge passes hold one scratch for
+    /// the whole pass instead of allocating a memo table per
+    /// combination. Results are bit-for-bit identical.
+    ///
+    /// # Errors
+    /// As [`CombinationRule::combine`].
+    pub fn combine_reporting_with<W: Weight>(
+        &self,
+        a: &MassFunction<W>,
+        b: &MassFunction<W>,
+        scratch: &mut crate::combine::Scratch<W>,
+    ) -> Result<(MassFunction<W>, W), EvidenceError> {
         match self {
             CombinationRule::Dempster => {
-                let c = crate::combine::dempster(a, b)?;
+                let c = crate::combine::dempster_with(a, b, scratch)?;
                 Ok((c.mass, c.conflict))
             }
             rule => {
-                let kappa = crate::combine::conflict(a, b)?;
+                let kappa = crate::combine::conflict_with(a, b, scratch)?;
                 Ok((rule.combine(a, b)?, kappa))
             }
         }

@@ -114,57 +114,11 @@ pub fn merge_relations_sharded(
         .check_union_compatible(right.schema())
         .map_err(IntegrateError::Relation)?;
     registry.validate(schema)?;
-    // The streaming operator silently skips keys it never encounters,
-    // so matcher consistency is checked up front: every listed key
-    // must exist, and a key may be claimed at most once across
-    // `matched` and the `*_only` lists of its side (the old
-    // materializing merger made such mistakes loud via duplicate-key
-    // insert failures or silently produced extra rows).
-    let mut matched = std::collections::HashMap::with_capacity(matching.matched.len());
-    let mut matched_right = std::collections::HashSet::with_capacity(matching.matched.len());
-    for (lk, rk) in &matching.matched {
-        require_key(&left, lk, "left")?;
-        require_key(&right, rk, "right")?;
-        if !matched_right.insert(rk.clone()) {
-            return Err(IntegrateError::BadMatch {
-                reason: format!("right key {} matched twice", Value::render_key(rk)),
-            });
-        }
-        if matched.insert(lk.clone(), rk.clone()).is_some() {
-            return Err(IntegrateError::BadMatch {
-                reason: format!("left key {} matched twice", Value::render_key(lk)),
-            });
-        }
-    }
-    for key in &matching.left_only {
-        require_key(&left, key, "left")?;
-        if matched.contains_key(key.as_slice()) {
-            return Err(IntegrateError::BadMatch {
-                reason: format!(
-                    "left key {} is both matched and left-only",
-                    Value::render_key(key)
-                ),
-            });
-        }
-    }
-    for key in &matching.right_only {
-        require_key(&right, key, "right")?;
-        if matched_right.contains(key.as_slice()) {
-            return Err(IntegrateError::BadMatch {
-                reason: format!(
-                    "right key {} is both matched and right-only",
-                    Value::render_key(key)
-                ),
-            });
-        }
-    }
+    let pairing = validated_pairing(matching, &|k| left.contains_key(k), &|k| {
+        right.contains_key(k)
+    })?;
 
     let name = format!("{}⊎{}", schema.name(), right.schema().name());
-    let pairing = MergePairing {
-        matched,
-        left_only: matching.left_only.iter().cloned().collect(),
-        right_only: matching.right_only.iter().cloned().collect(),
-    };
     let mut ctx = ExecContext::new();
     ctx.parallelism = 1; // the thread budget is spent here, not below
     let left_name = schema.name().to_owned();
@@ -205,9 +159,7 @@ pub fn merge_relations_sharded(
                         shard,
                         Arc::clone(&right_slots),
                     )),
-                    Box::new(RegistryMerger {
-                        registry: registry.clone(),
-                    }),
+                    Box::new(RegistryMerger::new(registry.clone())),
                     Arc::clone(&pairing),
                     name.clone(),
                 )
@@ -221,9 +173,7 @@ pub fn merge_relations_sharded(
         let mut op = MergeOp::with_pairing(
             Box::new(ScanOp::new(left_name, left)),
             Box::new(ScanOp::new(right_name, right)),
-            Box::new(RegistryMerger {
-                registry: registry.clone(),
-            }),
+            Box::new(RegistryMerger::new(registry.clone())),
             pairing,
             name,
         )
@@ -236,14 +186,145 @@ pub fn merge_relations_sharded(
     })
 }
 
-fn require_key(rel: &ExtendedRelation, key: &[Value], side: &str) -> Result<(), IntegrateError> {
-    if rel.contains_key(key) {
-        Ok(())
-    } else {
-        Err(IntegrateError::BadMatch {
-            reason: format!("{side} key {} not found", Value::render_key(key)),
-        })
+/// Check matcher consistency up front and build the operator pairing:
+/// the streaming operator silently skips keys it never encounters, so
+/// every listed key must exist (per the membership predicates), and a
+/// key may be claimed at most once across `matched` and the `*_only`
+/// lists of its side (the old materializing merger made such mistakes
+/// loud via duplicate-key insert failures or silently produced extra
+/// rows). Shared by the in-memory and stored merge entry points.
+fn validated_pairing(
+    matching: &MatchOutcome,
+    left_has: &dyn Fn(&[Value]) -> bool,
+    right_has: &dyn Fn(&[Value]) -> bool,
+) -> Result<MergePairing, IntegrateError> {
+    let require =
+        |has: &dyn Fn(&[Value]) -> bool, key: &[Value], side: &str| -> Result<(), IntegrateError> {
+            if has(key) {
+                Ok(())
+            } else {
+                Err(IntegrateError::BadMatch {
+                    reason: format!("{side} key {} not found", Value::render_key(key)),
+                })
+            }
+        };
+    let mut matched = std::collections::HashMap::with_capacity(matching.matched.len());
+    let mut matched_right = std::collections::HashSet::with_capacity(matching.matched.len());
+    for (lk, rk) in &matching.matched {
+        require(left_has, lk, "left")?;
+        require(right_has, rk, "right")?;
+        if !matched_right.insert(rk.clone()) {
+            return Err(IntegrateError::BadMatch {
+                reason: format!("right key {} matched twice", Value::render_key(rk)),
+            });
+        }
+        if matched.insert(lk.clone(), rk.clone()).is_some() {
+            return Err(IntegrateError::BadMatch {
+                reason: format!("left key {} matched twice", Value::render_key(lk)),
+            });
+        }
     }
+    for key in &matching.left_only {
+        require(left_has, key, "left")?;
+        if matched.contains_key(key.as_slice()) {
+            return Err(IntegrateError::BadMatch {
+                reason: format!(
+                    "left key {} is both matched and left-only",
+                    Value::render_key(key)
+                ),
+            });
+        }
+    }
+    for key in &matching.right_only {
+        require(right_has, key, "right")?;
+        if matched_right.contains(key.as_slice()) {
+            return Err(IntegrateError::BadMatch {
+                reason: format!(
+                    "right key {} is both matched and right-only",
+                    Value::render_key(key)
+                ),
+            });
+        }
+    }
+    Ok(MergePairing {
+        matched,
+        left_only: matching.left_only.iter().cloned().collect(),
+        right_only: matching.right_only.iter().cloned().collect(),
+    })
+}
+
+/// Merge two *stored* relations directly from their on-disk segments:
+/// both sides stream through the plan layer's spill scan (one decoded
+/// page in memory at a time), the right side's key index is built
+/// from its segment in one pass, and the registry merger dispatches
+/// per attribute exactly as in [`merge_relations`]. The result and
+/// conflict report are identical to materializing both relations and
+/// merging in memory — proptest-checked in the merge tests.
+///
+/// Cost note: matcher validation needs key membership for both
+/// sides, which costs one extra streaming decode pass per segment up
+/// front (keys only are retained) before the merge's own pass. A
+/// segment-resident key directory would remove it — named as a next
+/// step on the ROADMAP storage item.
+///
+/// # Errors
+/// As [`merge_relations`], plus storage-engine failures while
+/// scanning the segments.
+pub fn merge_stored(
+    left: &Arc<evirel_plan::StoredRelation>,
+    right: &Arc<evirel_plan::StoredRelation>,
+    matching: &MatchOutcome,
+    registry: &MethodRegistry,
+) -> Result<MergeOutcome, IntegrateError> {
+    let schema = left.schema();
+    schema
+        .check_union_compatible(right.schema())
+        .map_err(IntegrateError::Relation)?;
+    registry.validate(schema)?;
+    // Key-membership for matcher validation: one streaming pass per
+    // side (keys only are retained, never the tuples).
+    let collect = |side: &Arc<evirel_plan::StoredRelation>| -> Result<
+        std::collections::HashSet<Vec<Value>>,
+        IntegrateError,
+    > {
+        let schema = Arc::clone(side.schema());
+        let mut keys = std::collections::HashSet::with_capacity(side.len());
+        for tuple in side.iter() {
+            let tuple = tuple.map_err(|e| IntegrateError::BadMatch {
+                reason: format!("stored scan failed: {e}"),
+            })?;
+            keys.insert(tuple.key(&schema));
+        }
+        Ok(keys)
+    };
+    let left_keys = collect(left)?;
+    let right_keys = collect(right)?;
+    let pairing = validated_pairing(matching, &|k| left_keys.contains(k), &|k| {
+        right_keys.contains(k)
+    })?;
+
+    let name = format!("{}⊎{}", schema.name(), right.schema().name());
+    let mut ctx = ExecContext::new();
+    ctx.parallelism = 1;
+    let mut op = MergeOp::with_pairing(
+        Box::new(evirel_plan::SpillScanOp::new(
+            schema.name().to_owned(),
+            Arc::clone(left),
+        )),
+        Box::new(evirel_plan::SpillScanOp::new(
+            right.schema().name().to_owned(),
+            Arc::clone(right),
+        )),
+        Box::new(RegistryMerger::new(registry.clone())),
+        pairing,
+        name,
+    )
+    .map_err(from_plan_error)?;
+    let relation = evirel_plan::run(&mut op, &mut ctx).map_err(from_plan_error)?;
+    Ok(MergeOutcome {
+        relation,
+        report: ctx.conflict_report(),
+    })
 }
 
 /// [`TupleMerger`] adapter: per-attribute method dispatch through the
@@ -251,18 +332,39 @@ fn require_key(rel: &ExtendedRelation, key: &[Value], side: &str) -> Result<(), 
 /// operator.
 struct RegistryMerger {
     registry: MethodRegistry,
+    /// Combination-memo scratch, reused across the whole merge pass
+    /// (one allocation per pass instead of one per Dempster call).
+    scratch: evirel_algebra::MergeScratch,
+}
+
+impl RegistryMerger {
+    fn new(registry: MethodRegistry) -> RegistryMerger {
+        RegistryMerger {
+            registry,
+            scratch: evirel_algebra::MergeScratch::new(),
+        }
+    }
 }
 
 impl TupleMerger for RegistryMerger {
     fn merge(
-        &self,
+        &mut self,
         schema: &Schema,
         key: &[Value],
         left: &Tuple,
         right: &Tuple,
         report: &mut ConflictReport,
     ) -> Result<Option<Tuple>, PlanError> {
-        merge_pair(schema, key, left, right, &self.registry, report).map_err(to_plan_error)
+        merge_pair(
+            schema,
+            key,
+            left,
+            right,
+            &self.registry,
+            report,
+            &mut self.scratch,
+        )
+        .map_err(to_plan_error)
     }
 
     fn describe(&self) -> String {
@@ -308,6 +410,7 @@ fn merge_pair(
     r: &Tuple,
     registry: &MethodRegistry,
     report: &mut ConflictReport,
+    scratch: &mut evirel_algebra::MergeScratch,
 ) -> Result<Option<Tuple>, IntegrateError> {
     let mut values = Vec::with_capacity(schema.arity());
     for (pos, attr) in schema.attrs().iter().enumerate() {
@@ -347,9 +450,10 @@ fn merge_pair(
                 CombinationRule::Dempster,
                 registry,
                 report,
+                scratch,
             )?,
             IntegrationMethod::EvidentialWith(rule) => {
-                evidential_merge(attr, key, lv, rv, rule, registry, report)?
+                evidential_merge(attr, key, lv, rv, rule, registry, report, scratch)?
             }
         };
         values.push(merged);
@@ -386,6 +490,7 @@ fn merge_pair(
     Ok(Some(Tuple::new(schema, values, membership)?))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evidential_merge(
     attr: &evirel_relation::AttrDef,
     key: &[Value],
@@ -394,6 +499,7 @@ fn evidential_merge(
     rule: CombinationRule,
     registry: &MethodRegistry,
     report: &mut ConflictReport,
+    scratch: &mut evirel_algebra::MergeScratch,
 ) -> Result<AttrValue, IntegrateError> {
     let domain = match attr.ty() {
         AttrType::Evidential(d) => d,
@@ -406,7 +512,7 @@ fn evidential_merge(
     };
     let lm = lv.to_evidence(domain)?;
     let rm = rv.to_evidence(domain)?;
-    match rule.combine_reporting(&lm, &rm) {
+    match rule.combine_reporting_with(&lm, &rm, scratch) {
         Ok((mass, kappa)) => {
             if kappa > 0.0 {
                 report.record(AttributeConflict {
@@ -505,6 +611,45 @@ mod tests {
             .with_default(IntegrationMethod::KeepLeft)
             .assign("rating", IntegrationMethod::Evidential)
             .assign("seats", IntegrationMethod::Aggregate(AggregateFn::Average))
+    }
+
+    /// Merging straight from on-disk segments (both sides streamed by
+    /// spill scans, the right side indexed off its segment in one
+    /// pass) reproduces the in-memory merge: relation, insertion
+    /// order, and conflict report.
+    #[test]
+    fn merge_stored_matches_in_memory() {
+        let (l, r) = (left(), right());
+        let matching = KeyMatcher.match_tuples(&l, &r).unwrap();
+        let mem = merge_relations(&l, &r, &matching, &registry()).unwrap();
+
+        let pool = Arc::new(evirel_plan::BufferPool::new(1024));
+        let store = |rel: &ExtendedRelation| {
+            let path = evirel_store::spill_path("integrate");
+            evirel_store::write_segment(rel, &path, 256).unwrap();
+            let s = evirel_plan::StoredRelation::open(&path, Arc::clone(&pool)).unwrap();
+            std::fs::remove_file(&path).ok();
+            Arc::new(s)
+        };
+        let (sl, sr) = (store(&l), store(&r));
+        let out = merge_stored(&sl, &sr, &matching, &registry()).unwrap();
+        assert!(mem.relation.approx_eq(&out.relation));
+        assert_eq!(
+            mem.relation.keys().collect::<Vec<_>>(),
+            out.relation.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(mem.report.conflicts(), out.report.conflicts());
+
+        // Matcher validation still fires against segment key sets.
+        let bad = MatchOutcome {
+            matched: vec![(vec![Value::str("ghost")], vec![Value::str("wok")])],
+            left_only: Vec::new(),
+            right_only: Vec::new(),
+        };
+        assert!(matches!(
+            merge_stored(&sl, &sr, &bad, &registry()),
+            Err(IntegrateError::BadMatch { .. })
+        ));
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum PlanError {
         /// Explanation.
         reason: String,
     },
+    /// A storage-engine failure from a stored scan or a spilled merge
+    /// build side.
+    Store(evirel_store::StoreError),
 }
 
 impl fmt::Display for PlanError {
@@ -59,6 +62,7 @@ impl fmt::Display for PlanError {
                 }
             }
             Self::Pairing { reason } => write!(f, "invalid merge pairing: {reason}"),
+            Self::Store(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -68,6 +72,7 @@ impl std::error::Error for PlanError {
         match self {
             Self::Algebra(e) => Some(e),
             Self::Relation(e) => Some(e),
+            Self::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +87,12 @@ impl From<AlgebraError> for PlanError {
 impl From<RelationError> for PlanError {
     fn from(e: RelationError) -> Self {
         PlanError::Relation(e)
+    }
+}
+
+impl From<evirel_store::StoreError> for PlanError {
+    fn from(e: evirel_store::StoreError) -> Self {
+        PlanError::Store(e)
     }
 }
 

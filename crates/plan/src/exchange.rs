@@ -283,8 +283,12 @@ impl Operator for ExchangeOp {
 
     fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
         let options = ctx.union_options.clone();
+        let pool = Arc::clone(&ctx.pool);
+        let spill_threshold = ctx.spill_threshold_bytes;
         // Drive every shard plan to completion, one scoped thread per
-        // shard, each with a private context for side outputs.
+        // shard, each with a private context for side outputs — but
+        // ONE shared buffer pool, so N workers spill and page under a
+        // single byte budget.
         type WorkerOut = Result<(Vec<Arc<Tuple>>, ExecContext), PlanError>;
         let results: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -293,6 +297,8 @@ impl Operator for ExchangeOp {
                 .map(|shard| {
                     let mut wctx = ExecContext::with_options(options.clone());
                     wctx.parallelism = 1;
+                    wctx.pool = Arc::clone(&pool);
+                    wctx.spill_threshold_bytes = spill_threshold;
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         shard.open(&mut wctx)?;
@@ -448,9 +454,7 @@ mod tests {
                     MergeOp::union(
                         Box::new(ShardScanOp::new("a", Arc::clone(a), partitioner, s)),
                         Box::new(ShardScanOp::new("b", Arc::clone(b), partitioner, s)),
-                        Box::new(DempsterMerger {
-                            options: UnionOptions::default(),
-                        }),
+                        Box::new(DempsterMerger::new(UnionOptions::default())),
                     )
                     .unwrap(),
                 ) as Box<dyn Operator>
@@ -469,9 +473,7 @@ mod tests {
         let mut seq_op = MergeOp::union(
             Box::new(crate::ops::ScanOp::new("a", Arc::clone(&a))),
             Box::new(crate::ops::ScanOp::new("b", Arc::clone(&b))),
-            Box::new(DempsterMerger {
-                options: UnionOptions::default(),
-            }),
+            Box::new(DempsterMerger::new(UnionOptions::default())),
         )
         .unwrap();
         let seq = run(&mut seq_op, &mut seq_ctx).unwrap();

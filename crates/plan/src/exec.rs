@@ -78,12 +78,15 @@ pub fn physical_with(
         }
     }
     Ok(match plan {
-        LogicalPlan::Scan { name } => {
-            let rel = source
-                .relation(name)
-                .ok_or_else(|| PlanError::UnknownRelation { name: name.clone() })?;
-            Box::new(ScanOp::new(name.clone(), rel))
-        }
+        LogicalPlan::Scan { name } => match source.relation(name) {
+            Some(rel) => Box::new(ScanOp::new(name.clone(), rel)),
+            // Disk-backed binding: stream pages through the buffer
+            // pool instead of requiring a materialized relation.
+            None => match source.stored(name) {
+                Some(stored) => Box::new(crate::spill::SpillScanOp::new(name.clone(), stored)),
+                None => return Err(PlanError::UnknownRelation { name: name.clone() }),
+            },
+        },
         LogicalPlan::Select {
             input,
             predicate,
@@ -127,16 +130,12 @@ pub fn physical_with(
         LogicalPlan::Union { left, right } => Box::new(MergeOp::union(
             physical_with(left, source, options, parallelism)?,
             physical_with(right, source, options, parallelism)?,
-            Box::new(DempsterMerger {
-                options: options.clone(),
-            }),
+            Box::new(DempsterMerger::new(options.clone())),
         )?),
         LogicalPlan::Intersect { left, right } => Box::new(MergeOp::intersect(
             physical_with(left, source, options, parallelism)?,
             physical_with(right, source, options, parallelism)?,
-            Box::new(DempsterMerger {
-                options: options.clone(),
-            }),
+            Box::new(DempsterMerger::new(options.clone())),
         )?),
         LogicalPlan::Difference { left, right } => Box::new(DifferenceOp::new(
             physical_with(left, source, options, parallelism)?,
@@ -196,7 +195,11 @@ fn contains_merge(plan: &LogicalPlan) -> bool {
 /// Total tuples the fragment's scan leaves would produce.
 fn fragment_scan_tuples(plan: &LogicalPlan, source: &dyn RelationSource) -> usize {
     match plan {
-        LogicalPlan::Scan { name } => source.relation(name).map_or(0, |rel| rel.len()),
+        LogicalPlan::Scan { name } => source
+            .relation(name)
+            .map(|rel| rel.len())
+            .or_else(|| source.stored(name).map(|s| s.len()))
+            .unwrap_or(0),
         LogicalPlan::Select { input, .. }
         | LogicalPlan::ThresholdFilter { input, .. }
         | LogicalPlan::Project { input, .. }
@@ -242,6 +245,10 @@ struct EmitDomain {
 fn emit_domain(plan: &LogicalPlan, source: &dyn RelationSource) -> Option<EmitDomain> {
     match plan {
         LogicalPlan::Scan { name } => {
+            // Stored (disk-backed) bindings decline the exchange:
+            // computing their emit domain would require a full scan up
+            // front, defeating the point of paging. They run through
+            // the sequential spill scan instead (still streaming).
             let rel = source.relation(name)?;
             let order: Vec<_> = rel.iter_keyed().map(|(key, _)| key).collect();
             let set = order.iter().cloned().collect();
@@ -304,14 +311,22 @@ fn emit_domain(plan: &LogicalPlan, source: &dyn RelationSource) -> Option<EmitDo
         LogicalPlan::Difference { left, right } => {
             let l = emit_domain(left, source)?;
             let r = emit_domain(right, source)?;
+            // An inexact right set under −̃ *adds* emitted keys
+            // relative to the static order: a right key dropped at
+            // runtime no longer subtracts its left partner, which the
+            // map below never ranked. No static order can cover that,
+            // so decline the exchange here (the planner recurses and
+            // may still exchange the subtrees). An inexact LEFT only
+            // removes emitted keys, which cannot reorder survivors.
+            if !r.exact {
+                return None;
+            }
             let order: Vec<_> = l.order.into_iter().filter(|k| !r.set.contains(k)).collect();
             let set = order.iter().cloned().collect();
             Some(EmitDomain {
                 order,
                 set,
-                // An inexact right set cuts `order` data-dependently
-                // in either direction, so the result is inexact too.
-                exact: l.exact && r.exact,
+                exact: l.exact,
             })
         }
         LogicalPlan::Product { .. } | LogicalPlan::Join { .. } => None,
@@ -387,16 +402,12 @@ fn physical_shard(
         LogicalPlan::Union { left, right } => Box::new(MergeOp::union(
             build(left)?,
             build(right)?,
-            Box::new(DempsterMerger {
-                options: options.clone(),
-            }),
+            Box::new(DempsterMerger::new(options.clone())),
         )?),
         LogicalPlan::Intersect { left, right } => Box::new(MergeOp::intersect(
             build(left)?,
             build(right)?,
-            Box::new(DempsterMerger {
-                options: options.clone(),
-            }),
+            Box::new(DempsterMerger::new(options.clone())),
         )?),
         LogicalPlan::Difference { left, right } => {
             Box::new(DifferenceOp::new(build(left)?, build(right)?)?)

@@ -54,6 +54,7 @@ pub mod logical;
 pub mod ops;
 pub mod reference;
 pub mod rewrite;
+pub mod spill;
 
 pub use error::PlanError;
 pub use exchange::{compute_slots, rank_keys, ExchangeOp, OrderMap, ShardScanOp};
@@ -69,6 +70,11 @@ pub use ops::{
     MergePairing, Operator, ScanOp, TupleMerger,
 };
 pub use rewrite::{optimize, Rewrite};
+pub use spill::SpillScanOp;
+// The storage-engine types that appear in this crate's public API
+// (`RelationSource::stored`, `ExecContext::pool`), re-exported so
+// callers need not depend on `evirel-store` directly.
+pub use evirel_store::{BufferPool, PoolStats, StoredRelation};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, PlanError>;

@@ -16,21 +16,44 @@
 use crate::error::PlanError;
 use evirel_algebra::{predicate::Predicate, threshold::Threshold};
 use evirel_relation::{ExtendedRelation, Schema};
+use evirel_store::StoredRelation;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Where scans resolve their relations. Implemented by
 /// `evirel_query::Catalog` and by the standalone [`Bindings`].
+///
+/// A name resolves to an in-memory relation, a disk-backed
+/// [`StoredRelation`] (scanned page-at-a-time through the buffer
+/// pool by the plan layer's spill scan), or nothing. In-memory takes
+/// precedence when a source binds both.
 pub trait RelationSource {
-    /// The relation bound to `name`, if any.
+    /// The in-memory relation bound to `name`, if any.
     fn relation(&self, name: &str) -> Option<Arc<ExtendedRelation>>;
+
+    /// The disk-backed relation bound to `name`, if any. Sources
+    /// without storage attachments (the default) return `None`.
+    fn stored(&self, name: &str) -> Option<Arc<StoredRelation>> {
+        let _ = name;
+        None
+    }
+}
+
+/// The schema `name` scans as, from either binding kind.
+pub(crate) fn source_schema(source: &dyn RelationSource, name: &str) -> Option<Arc<Schema>> {
+    source
+        .relation(name)
+        .map(|rel| Arc::clone(rel.schema()))
+        .or_else(|| source.stored(name).map(|s| Arc::clone(s.schema())))
 }
 
 /// A minimal name → relation map for running plans without a query
-/// catalog (examples, benches, the integration pipeline).
+/// catalog (examples, benches, the integration pipeline). Holds both
+/// in-memory relations and disk-backed stored relations.
 #[derive(Debug, Default, Clone)]
 pub struct Bindings {
     map: HashMap<String, Arc<ExtendedRelation>>,
+    stored: HashMap<String, Arc<StoredRelation>>,
 }
 
 impl Bindings {
@@ -41,7 +64,9 @@ impl Bindings {
 
     /// Bind (or rebind) `name` to a relation.
     pub fn bind(&mut self, name: impl Into<String>, rel: ExtendedRelation) -> &mut Self {
-        self.map.insert(name.into(), Arc::new(rel));
+        let name = name.into();
+        self.stored.remove(&name);
+        self.map.insert(name, Arc::new(rel));
         self
     }
 
@@ -51,7 +76,23 @@ impl Bindings {
         name: impl Into<String>,
         rel: Arc<ExtendedRelation>,
     ) -> &mut Self {
-        self.map.insert(name.into(), rel);
+        let name = name.into();
+        self.stored.remove(&name);
+        self.map.insert(name, rel);
+        self
+    }
+
+    /// Bind `name` to a disk-backed stored relation: scans stream its
+    /// pages through the buffer pool instead of requiring a
+    /// materialized [`ExtendedRelation`].
+    pub fn bind_stored(
+        &mut self,
+        name: impl Into<String>,
+        stored: Arc<StoredRelation>,
+    ) -> &mut Self {
+        let name = name.into();
+        self.map.remove(&name);
+        self.stored.insert(name, stored);
         self
     }
 }
@@ -59,6 +100,10 @@ impl Bindings {
 impl RelationSource for Bindings {
     fn relation(&self, name: &str) -> Option<Arc<ExtendedRelation>> {
         self.map.get(name).cloned()
+    }
+
+    fn stored(&self, name: &str) -> Option<Arc<StoredRelation>> {
+        self.stored.get(name).cloned()
     }
 }
 
@@ -374,9 +419,7 @@ pub fn schema_of(
     source: &dyn RelationSource,
 ) -> Result<Arc<Schema>, PlanError> {
     match plan {
-        LogicalPlan::Scan { name } => source
-            .relation(name)
-            .map(|rel| Arc::clone(rel.schema()))
+        LogicalPlan::Scan { name } => source_schema(source, name)
             .ok_or_else(|| PlanError::UnknownRelation { name: name.clone() }),
         LogicalPlan::Select { input, .. } | LogicalPlan::ThresholdFilter { input, .. } => {
             schema_of(input, source)

@@ -13,13 +13,15 @@
 //! old `evirel-query` executor dropped).
 
 use crate::error::PlanError;
+use crate::spill::{index_stored, SpillBuild, SpilledRight};
 use evirel_algebra::conflict::ConflictReport;
 use evirel_algebra::predicate::Predicate;
 use evirel_algebra::support::predicate_support;
 use evirel_algebra::threshold::Threshold;
-use evirel_algebra::union::UnionOptions;
+use evirel_algebra::union::{MergeScratch, UnionOptions};
 use evirel_algebra::AlgebraError;
 use evirel_relation::{ExtendedRelation, Schema, Tuple, Value};
+use evirel_store::{BufferPool, StoredRelation};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -53,6 +55,17 @@ pub struct ExecContext {
     /// execution single-threaded. Defaults to the `EVIREL_THREADS`
     /// environment variable when set — see [`default_parallelism`].
     pub parallelism: usize,
+    /// The buffer pool spilled merge build sides page through. One
+    /// pool is shared by a whole execution — the exchange operator
+    /// hands the same `Arc` to every worker context, so N workers
+    /// page under one `EVIREL_BUFFER_BYTES` budget. (Stored-relation
+    /// scans use the pool their [`StoredRelation`] was opened with.)
+    pub pool: Arc<BufferPool>,
+    /// A merge operator spills its right (build) side to a temp
+    /// segment once the side's exact encoded size exceeds this many
+    /// bytes. Defaults to the pool budget, so under a tiny
+    /// `EVIREL_BUFFER_BYTES` every merge exercises the spill path.
+    pub spill_threshold_bytes: usize,
     /// Execution counters.
     pub stats: ExecStats,
     reports: Vec<ConflictReport>,
@@ -60,9 +73,13 @@ pub struct ExecContext {
 
 impl Default for ExecContext {
     fn default() -> ExecContext {
+        let pool = Arc::new(BufferPool::from_env());
+        let spill_threshold_bytes = pool.budget_bytes();
         ExecContext {
             union_options: UnionOptions::default(),
             parallelism: default_parallelism(),
+            pool,
+            spill_threshold_bytes,
             stats: ExecStats::default(),
             reports: Vec::new(),
         }
@@ -149,6 +166,13 @@ pub trait Operator: Send {
     fn describe(&self) -> String;
     /// Direct inputs, for `EXPLAIN` tree rendering.
     fn children(&self) -> Vec<&dyn Operator>;
+    /// The stored relation this operator scans directly, if it is a
+    /// bare stored scan. [`MergeOp`] uses this to build its key index
+    /// from the on-disk segment in one pass — the segment *is* the
+    /// build side, with no materialized tuples and no re-spill.
+    fn stored_relation(&self) -> Option<&Arc<StoredRelation>> {
+        None
+    }
 }
 
 /// Drive an operator to completion, materializing the result.
@@ -718,12 +742,14 @@ impl Operator for HashJoinOp {
 /// exchange workers.
 pub trait TupleMerger: Send {
     /// Merge one matched pair; `None` drops the pair (zero combined
-    /// support), conflicts go into `report`.
+    /// support), conflicts go into `report`. Takes `&mut self` so
+    /// mergers can keep per-pass scratch state (e.g. the combination
+    /// engine's memo table) across every pair of a merge.
     ///
     /// # Errors
     /// Merger-specific; total conflicts under a strict policy.
     fn merge(
-        &self,
+        &mut self,
         schema: &Schema,
         key: &[Value],
         left: &Tuple,
@@ -738,23 +764,44 @@ pub trait TupleMerger: Send {
 }
 
 /// The paper's ∪̃ merge: Dempster's rule per common attribute, `F`
-/// over Ψ for the membership pairs.
+/// over Ψ for the membership pairs. Holds one [`MergeScratch`] for
+/// its whole pass, so the combination engine's memo table is
+/// allocated once per merge instead of once per Dempster call.
 pub struct DempsterMerger {
     /// Conflict policy, combination rule, focal cap.
     pub options: UnionOptions,
+    scratch: MergeScratch,
+}
+
+impl DempsterMerger {
+    /// A merger with the given union options.
+    pub fn new(options: UnionOptions) -> DempsterMerger {
+        DempsterMerger {
+            options,
+            scratch: MergeScratch::new(),
+        }
+    }
 }
 
 impl TupleMerger for DempsterMerger {
     fn merge(
-        &self,
+        &mut self,
         schema: &Schema,
         key: &[Value],
         left: &Tuple,
         right: &Tuple,
         report: &mut ConflictReport,
     ) -> Result<Option<Tuple>, PlanError> {
-        evirel_algebra::union::merge_tuples(schema, key, left, right, &self.options, report)
-            .map_err(PlanError::Algebra)
+        evirel_algebra::union::merge_tuples_with(
+            schema,
+            key,
+            left,
+            right,
+            &self.options,
+            report,
+            &mut self.scratch,
+        )
+        .map_err(PlanError::Algebra)
     }
 
     fn describe(&self) -> String {
@@ -784,11 +831,46 @@ pub enum MergeEmit {
     Intersect,
 }
 
+/// The merge operator's right (build) side: fully in memory, or
+/// spilled to a temp segment with only a `key → record` index held.
+enum BuildSide {
+    /// In-memory index (the small-build-side fast path).
+    Mem(HashMap<Vec<Value>, Arc<Tuple>>),
+    /// Segment-backed index: probes pin one page through the buffer
+    /// pool and decode one record.
+    Spilled(SpilledRight),
+}
+
+impl BuildSide {
+    fn contains(&self, key: &[Value]) -> bool {
+        match self {
+            BuildSide::Mem(m) => m.contains_key(key),
+            BuildSide::Spilled(s) => s.contains(key),
+        }
+    }
+
+    fn fetch(&self, key: &[Value]) -> Result<Option<Arc<Tuple>>, PlanError> {
+        match self {
+            BuildSide::Mem(m) => Ok(m.get(key).cloned()),
+            BuildSide::Spilled(s) => Ok(s.fetch(key)?.map(Arc::new)),
+        }
+    }
+}
+
 /// Streaming binary merge: index the right input by key once at
 /// `open`, stream the left input probing it, then emit unconsumed
 /// right tuples. Serves ∪̃, ∩̃, and the integration pipeline's
 /// method-registry merge; the conflict report flows into the
 /// [`ExecContext`] at `close`.
+///
+/// The build side is spill-aware: while draining the right input the
+/// operator tracks the exact encoded size of what it has buffered,
+/// and past [`ExecContext::spill_threshold_bytes`] it migrates the
+/// buffer into a temp segment, keeping only a `key → (page, slot)`
+/// index in memory (probes page through [`ExecContext::pool`]). When
+/// the right child is a bare stored scan the on-disk segment itself
+/// becomes the build side: the key index is built in one pass over
+/// its pages, with no materialized tuples and no re-spill.
 pub struct MergeOp {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
@@ -796,12 +878,14 @@ pub struct MergeOp {
     pairing: Option<Arc<MergePairing>>,
     emit: MergeEmit,
     schema: Arc<Schema>,
-    right_index: HashMap<Vec<Value>, Arc<Tuple>>,
+    build: BuildSide,
     right_order: Vec<Vec<Value>>,
     consumed: HashSet<Vec<Value>>,
     report: ConflictReport,
     right_pos: usize,
     left_done: bool,
+    /// `true` once the build side went to disk (surfaced in stats).
+    spilled: bool,
 }
 
 impl MergeOp {
@@ -890,13 +974,20 @@ impl MergeOp {
             pairing,
             emit,
             schema,
-            right_index: HashMap::new(),
+            build: BuildSide::Mem(HashMap::new()),
             right_order: Vec::new(),
             consumed: HashSet::new(),
             report: ConflictReport::new(),
             right_pos: 0,
             left_done: false,
+            spilled: false,
         })
+    }
+
+    /// `true` once the build side has been written to a temp segment
+    /// (or indexed directly from a stored scan's segment).
+    pub fn build_side_spilled(&self) -> bool {
+        self.spilled
     }
 }
 
@@ -908,12 +999,55 @@ impl Operator for MergeOp {
     fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
         self.left.open(ctx)?;
         self.right.open(ctx)?;
+        // A bare stored scan on the right: its segment already *is*
+        // the build side — index keys in one pass over its pages.
+        if let Some(stored) = self.right.stored_relation() {
+            let stored = Arc::clone(stored);
+            let (spilled, order) = index_stored(&stored)?;
+            // The pass scans every stored tuple exactly once, like
+            // draining the scan would have — keep the counters
+            // identical to in-memory execution.
+            ctx.stats.tuples_scanned += stored.len();
+            self.right_order = order;
+            self.build = BuildSide::Spilled(spilled);
+            self.spilled = true;
+            return Ok(());
+        }
         let right_schema = Arc::clone(self.right.schema());
+        let mut mem: HashMap<Vec<Value>, Arc<Tuple>> = HashMap::new();
+        let mut bytes = 0usize;
+        let mut spill: Option<SpillBuild> = None;
         while let Some(tuple) = self.right.next(ctx)? {
             let key = tuple.key(&right_schema);
             self.right_order.push(key.clone());
-            self.right_index.insert(key, tuple);
+            match &mut spill {
+                Some(build) => build.append(key, &tuple)?,
+                None => {
+                    bytes += evirel_store::codec::record_len(&tuple);
+                    mem.insert(key, tuple);
+                    if bytes > ctx.spill_threshold_bytes {
+                        // The build side outgrew its budget: migrate
+                        // the buffered tuples to a temp segment (in
+                        // right insertion order) and keep indexing
+                        // there.
+                        let mut build = SpillBuild::create(&right_schema)?;
+                        for key in &self.right_order {
+                            if let Some(t) = mem.remove(key) {
+                                build.append(key.clone(), &t)?;
+                            }
+                        }
+                        spill = Some(build);
+                    }
+                }
+            }
         }
+        self.build = match spill {
+            Some(build) => {
+                self.spilled = true;
+                BuildSide::Spilled(build.finish(&ctx.pool)?)
+            }
+            None => BuildSide::Mem(mem),
+        };
         Ok(())
     }
 
@@ -929,21 +1063,18 @@ impl Operator for MergeOp {
             let key = l.key(self.left.schema());
             let right_key = match &self.pairing {
                 Some(p) => p.matched.get(&key).cloned(),
-                None => self.right_index.contains_key(&key).then(|| key.clone()),
+                None => self.build.contains(&key).then(|| key.clone()),
             };
             match right_key {
                 Some(rk) => {
-                    let r = self
-                        .right_index
-                        .get(&rk)
-                        .ok_or_else(|| PlanError::Pairing {
-                            reason: format!("right key {} not found", Value::render_key(&rk)),
-                        })?;
+                    let r = self.build.fetch(&rk)?.ok_or_else(|| PlanError::Pairing {
+                        reason: format!("right key {} not found", Value::render_key(&rk)),
+                    })?;
                     self.consumed.insert(rk);
                     ctx.stats.pairs_merged += 1;
                     if let Some(merged) =
                         self.merger
-                            .merge(&self.schema, &key, &l, r, &mut self.report)?
+                            .merge(&self.schema, &key, &l, &r, &mut self.report)?
                     {
                         return Ok(Some(Arc::new(merged)));
                     }
@@ -972,9 +1103,11 @@ impl Operator for MergeOp {
                         continue;
                     }
                 }
-                let tuple = &self.right_index[key];
+                let tuple = self.build.fetch(key)?.ok_or_else(|| PlanError::Pairing {
+                    reason: format!("right key {} not indexed", Value::render_key(key)),
+                })?;
                 if tuple.membership().is_positive() {
-                    return Ok(Some(Arc::clone(tuple)));
+                    return Ok(Some(tuple));
                 }
             }
         }
@@ -983,7 +1116,7 @@ impl Operator for MergeOp {
 
     fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
         ctx.record_report(std::mem::take(&mut self.report));
-        self.right_index.clear();
+        self.build = BuildSide::Mem(HashMap::new());
         self.right_order.clear();
         self.left.close(ctx)?;
         self.right.close(ctx)
@@ -1223,9 +1356,7 @@ mod tests {
             on_total_conflict: evirel_algebra::ConflictPolicy::Vacuous,
             ..Default::default()
         });
-        let merger = Box::new(DempsterMerger {
-            options: ctx.union_options.clone(),
-        });
+        let merger = Box::new(DempsterMerger::new(ctx.union_options.clone()));
         let mut op = MergeOp::union(
             Box::new(ScanOp::new("a", Arc::clone(&a))),
             Box::new(ScanOp::new("b", Arc::clone(&b))),
@@ -1244,12 +1375,10 @@ mod tests {
 
         // Intersection keeps only the matched merge.
         let mut ctx2 = ExecContext::new();
-        let merger = Box::new(DempsterMerger {
-            options: UnionOptions {
-                on_total_conflict: evirel_algebra::ConflictPolicy::Vacuous,
-                ..Default::default()
-            },
-        });
+        let merger = Box::new(DempsterMerger::new(UnionOptions {
+            on_total_conflict: evirel_algebra::ConflictPolicy::Vacuous,
+            ..Default::default()
+        }));
         let mut op = MergeOp::intersect(
             Box::new(ScanOp::new("a", Arc::clone(&a))),
             Box::new(ScanOp::new("b", b)),

@@ -42,10 +42,16 @@ fn eval(
     report: &mut ConflictReport,
 ) -> Result<ExtendedRelation, PlanError> {
     Ok(match plan {
-        LogicalPlan::Scan { name } => source
-            .relation(name)
-            .map(|rel| (*rel).clone())
-            .ok_or_else(|| PlanError::UnknownRelation { name: name.clone() })?,
+        LogicalPlan::Scan { name } => match source.relation(name) {
+            Some(rel) => (*rel).clone(),
+            // The oracle materializes stored bindings fully — it is
+            // the naive spec, so memory-oblivious by design; the
+            // streaming path under test pages instead.
+            None => source
+                .stored(name)
+                .ok_or_else(|| PlanError::UnknownRelation { name: name.clone() })?
+                .to_relation()?,
+        },
         LogicalPlan::Select {
             input,
             predicate,

@@ -1,0 +1,228 @@
+//! The storage engine's acceptance property: a relation larger than
+//! the configured buffer budget (verified via pool stats — pages
+//! evicted > 0) scans, filters, and ∪̃-merges through the plan layer
+//! with results identical to the in-memory executor, proptest-checked
+//! against `plan::reference`. Also pins the spilled-build-side path:
+//! forcing every merge's right side to a temp segment
+//! (`spill_threshold_bytes = 0`) must not change a single bit of the
+//! output, the stats, or the conflict-report order.
+
+use evirel_algebra::union::UnionOptions;
+use evirel_algebra::{ConflictPolicy, Predicate, Threshold};
+use evirel_plan::reference::execute_reference;
+use evirel_plan::{
+    execute_plan, scan, Bindings, BufferPool, ExecContext, LogicalPlan, StoredRelation,
+};
+use evirel_relation::{ExtendedRelation, Value};
+use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const PAGE: usize = 512;
+
+fn pair(seed: u64, tuples: usize) -> (ExtendedRelation, ExtendedRelation) {
+    generate_pair(&PairConfig {
+        base: GeneratorConfig {
+            tuples,
+            seed,
+            ..Default::default()
+        },
+        key_overlap: 0.5,
+        conflict_bias: 0.3,
+    })
+    .expect("generator config is valid")
+}
+
+/// Write a relation to a temp segment and open it against `pool`.
+fn store(rel: &ExtendedRelation, pool: &Arc<BufferPool>) -> Arc<StoredRelation> {
+    let path = evirel_store::spill_path("equiv");
+    evirel_store::write_segment(rel, &path, PAGE).expect("segment writes");
+    let stored = StoredRelation::open(&path, Arc::clone(pool)).expect("segment opens");
+    std::fs::remove_file(&path).ok();
+    Arc::new(stored)
+}
+
+fn options() -> UnionOptions {
+    UnionOptions {
+        on_total_conflict: ConflictPolicy::Vacuous,
+        ..Default::default()
+    }
+}
+
+/// Same schema names, same size, per-key bit-identical membership and
+/// approx-equal values (the reference composes the same float ops, so
+/// equality is in fact exact; approx on values covers the documented
+/// model tolerance).
+fn equivalent(expected: &ExtendedRelation, got: &ExtendedRelation) -> Result<(), String> {
+    if expected.len() != got.len() {
+        return Err(format!("sizes differ: {} vs {}", expected.len(), got.len()));
+    }
+    for (key, e) in expected.iter_keyed() {
+        let g = got
+            .get_by_key(&key)
+            .ok_or_else(|| format!("missing key {}", Value::render_key(&key)))?;
+        if (e.membership().sn() - g.membership().sn()).abs() > 1e-12
+            || (e.membership().sp() - g.membership().sp()).abs() > 1e-12
+        {
+            return Err(format!("membership differs at {}", Value::render_key(&key)));
+        }
+        for (pos, (ev, gv)) in e.values().iter().zip(g.values().iter()).enumerate() {
+            if !ev.approx_eq(gv) {
+                return Err(format!(
+                    "value differs at {} position {pos}",
+                    Value::render_key(&key)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One plan shape per drawn discriminant: scan, filter, threshold,
+/// project, ∪̃, σ̃(∪̃), ∩̃, −̃.
+fn shaped_plan(shape: u8, val: u8) -> LogicalPlan {
+    let label = |i: u8| Value::str(format!("v{}", i % 8));
+    match shape % 8 {
+        0 => scan("sa").build(),
+        1 => scan("sa")
+            .select(Predicate::is("e0", [label(val), label(val + 1)]))
+            .build(),
+        2 => scan("sa").threshold(Threshold::SnAtLeast(0.3)).build(),
+        3 => scan("sa").project(["k", "e1"]).build(),
+        4 => scan("sa").union(scan("sb")).build(),
+        5 => scan("sa")
+            .union(scan("sb"))
+            .select(Predicate::is("e0", [label(val)]))
+            .project(["k", "e0"])
+            .build(),
+        6 => scan("sa").intersect(scan("sb")).build(),
+        _ => scan("sa").difference(scan("sb")).build(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// THE acceptance property: stored relations bigger than the pool
+    /// budget, streamed through scans/filters/merges, reproduce the
+    /// in-memory reference — and the pool really evicted.
+    #[test]
+    fn stored_execution_matches_reference_under_tiny_budget(
+        seed in 0u64..1_000_000,
+        shape in 0u8..8,
+        val in 0u8..8,
+    ) {
+        let (ga, gb) = pair(seed, 120);
+        // ~3 pages of budget; each relation spans dozens of pages.
+        let pool = Arc::new(BufferPool::new(3 * PAGE));
+        let sa = store(&ga, &pool);
+        let sb = store(&gb, &pool);
+        prop_assert!(sa.segment().page_count() * PAGE as u64 > pool.budget_bytes() as u64,
+            "relation must outgrow the buffer budget");
+
+        let mut stored_bindings = Bindings::new();
+        stored_bindings.bind_stored("sa", Arc::clone(&sa));
+        stored_bindings.bind_stored("sb", Arc::clone(&sb));
+        let mut mem_bindings = Bindings::new();
+        mem_bindings.bind("sa", ga);
+        mem_bindings.bind("sb", gb);
+
+        let plan = shaped_plan(shape, val);
+        // Rename scans in the in-memory plan? Not needed: names match.
+        let (reference, _) = execute_reference(&plan, &mem_bindings, &options())
+            .expect("reference executes");
+
+        let mut ctx = ExecContext::with_options(options());
+        ctx.parallelism = 1;
+        let streamed = execute_plan(&plan, &stored_bindings, &mut ctx)
+            .expect("stored execution succeeds");
+
+        if let Err(reason) = equivalent(&reference, &streamed) {
+            prop_assert!(false, "{reason}\nplan:\n{}", plan.render());
+        }
+        // Insertion order must equal the in-memory streaming order too.
+        let mut mem_ctx = ExecContext::with_options(options());
+        mem_ctx.parallelism = 1;
+        let mem = execute_plan(&plan, &mem_bindings, &mut mem_ctx).expect("in-memory executes");
+        for (m, s) in mem.iter().zip(streamed.iter()) {
+            prop_assert_eq!(m.key(mem.schema()), s.key(streamed.schema()));
+        }
+        prop_assert_eq!(mem_ctx.stats, ctx.stats, "stats diverged");
+        let stats = pool.stats();
+        prop_assert!(stats.evictions > 0, "budget never forced an eviction: {stats:?}");
+    }
+
+    /// Forcing the merge build side to spill (threshold 0) is
+    /// invisible: relation, insertion order, stats, and report order
+    /// all match the in-memory build side.
+    #[test]
+    fn spilled_build_side_is_bit_invisible(
+        seed in 0u64..1_000_000,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let (ga, gb) = pair(seed, 160);
+        let mut b = Bindings::new();
+        b.bind("sa", ga).bind("sb", gb);
+        let plan = scan("sa").union(scan("sb")).build();
+
+        let mut mem_ctx = ExecContext::with_options(options());
+        mem_ctx.parallelism = threads;
+        mem_ctx.spill_threshold_bytes = usize::MAX; // never spill
+        let mem = execute_plan(&plan, &b, &mut mem_ctx).expect("in-memory merge");
+
+        let mut spill_ctx = ExecContext::with_options(options());
+        spill_ctx.parallelism = threads;
+        spill_ctx.spill_threshold_bytes = 0; // always spill
+        spill_ctx.pool = Arc::new(BufferPool::new(2 * evirel_store::DEFAULT_PAGE_SIZE));
+        let spilled = execute_plan(&plan, &b, &mut spill_ctx).expect("spilled merge");
+
+        if let Err(reason) = equivalent(&mem, &spilled) {
+            prop_assert!(false, "{reason} (threads={threads})");
+        }
+        for (m, s) in mem.iter().zip(spilled.iter()) {
+            prop_assert_eq!(m.key(mem.schema()), s.key(spilled.schema()));
+        }
+        prop_assert_eq!(mem_ctx.stats, spill_ctx.stats);
+        prop_assert_eq!(
+            mem_ctx.conflict_report().conflicts(),
+            spill_ctx.conflict_report().conflicts()
+        );
+    }
+}
+
+/// The stored-scan merge builds its key index straight off the
+/// on-disk segment (one pass, no re-spill), and a query over stored
+/// relations still surfaces its ∪̃ conflict report.
+#[test]
+fn stored_merge_indexes_segment_directly() {
+    let (ga, gb) = pair(7, 300);
+    let pool = Arc::new(BufferPool::new(4 * PAGE));
+    let sa = store(&ga, &pool);
+    let sb = store(&gb, &pool);
+    let mut bindings = Bindings::new();
+    bindings.bind_stored("sa", sa);
+    bindings.bind_stored("sb", sb);
+
+    let plan = scan("sa").union(scan("sb")).build();
+    let mut ctx = ExecContext::with_options(options());
+    ctx.parallelism = 1;
+    let misses_before = pool.stats().misses;
+    let out = execute_plan(&plan, &bindings, &mut ctx).unwrap();
+
+    let mut mem_bindings = Bindings::new();
+    mem_bindings.bind("sa", ga);
+    mem_bindings.bind("sb", gb);
+    let mut mem_ctx = ExecContext::with_options(options());
+    let mem = execute_plan(&plan, &mem_bindings, &mut mem_ctx).unwrap();
+
+    assert!(mem.approx_eq(&out));
+    assert_eq!(mem_ctx.stats, ctx.stats);
+    assert!(
+        !ctx.conflict_report().is_empty(),
+        "κ reports must survive storage"
+    );
+    assert!(pool.stats().misses > misses_before);
+    // EXPLAIN renders the stored scan with its page geometry.
+    let text = evirel_plan::explain_plan(&plan, &bindings, &UnionOptions::default()).unwrap();
+    assert!(text.contains("[stored:"), "{text}");
+}

@@ -16,8 +16,19 @@
 //! * `\set threads <N>` — worker threads for query execution (plan
 //!   fragments run through the parallel exchange operator when > 1;
 //!   the initial value comes from `EVIREL_THREADS`, default 1);
-//! * `\save <name> <path>` — write a relation back to disk;
+//! * `\save <name> <path>` — write a relation back to disk (text
+//!   notation);
+//! * `\store <name> <path>` — write a relation to a paged binary
+//!   segment (the storage engine's format);
+//! * `\load <name> <path>` — attach a binary segment as a *stored*
+//!   relation: queries stream its pages through the buffer pool
+//!   (budget: `EVIREL_BUFFER_BYTES`) instead of loading it into
+//!   memory;
+//! * `\pool` — buffer-pool statistics (hits/misses/evictions/bytes);
 //! * `\q` — quit.
+//!
+//! Files ending in `.evb` on the command line are attached as stored
+//! relations; anything else is parsed as the text notation.
 
 use evirel_algebra::ConflictReport;
 use evirel_query::{execute_with_report, Catalog};
@@ -94,6 +105,13 @@ fn main() {
                     for name in catalog.names() {
                         if let Some(rel) = catalog.get(name) {
                             println!("{name}: {} ({} tuples)", rel.schema(), rel.len());
+                        } else if let Some(stored) = catalog.get_stored(name) {
+                            println!(
+                                "{name}: {} ({} tuples, stored: {} pages on disk)",
+                                stored.schema(),
+                                stored.len(),
+                                stored.segment().page_count(),
+                            );
                         }
                     }
                 }
@@ -143,18 +161,58 @@ fn main() {
                     _ => println!("usage: \\set threads <N>"),
                 },
                 Some("save") => match (parts.next(), parts.next()) {
-                    (Some(name), Some(path)) => match catalog.get(name) {
-                        Some(rel) => {
-                            let text = evirel_storage::write_relation(rel);
+                    // `materialize` covers stored attachments too, so
+                    // everything \d lists can be saved as text.
+                    (Some(name), Some(path)) => match catalog.materialize(name) {
+                        Ok(rel) => {
+                            let text = evirel_storage::write_relation(&rel);
                             match std::fs::write(path, text) {
                                 Ok(()) => println!("wrote {name} to {path}"),
                                 Err(e) => println!("write failed: {e}"),
                             }
                         }
-                        None => println!("no relation named {name:?}"),
+                        Err(e) => println!("save failed: {e}"),
                     },
                     _ => println!("usage: \\save <name> <path>"),
                 },
+                Some("store") => match (parts.next(), parts.next()) {
+                    (Some(name), Some(path)) => match catalog.store_segment(name, path) {
+                        Ok(()) => println!("wrote {name} to binary segment {path}"),
+                        Err(e) => println!("store failed: {e}"),
+                    },
+                    _ => println!("usage: \\store <name> <path>"),
+                },
+                Some("load") => match (parts.next(), parts.next()) {
+                    (Some(name), Some(path)) => {
+                        match catalog.attach_stored(name.to_owned(), path) {
+                            Ok(()) => {
+                                let stored = catalog.get_stored(name).expect("just attached");
+                                println!(
+                                    "attached {name} from {path} ({} tuples, {} pages; \
+                                     queries stream through the buffer pool)",
+                                    stored.len(),
+                                    stored.segment().page_count(),
+                                );
+                            }
+                            Err(e) => println!("load failed: {e}"),
+                        }
+                    }
+                    _ => println!("usage: \\load <name> <path>"),
+                },
+                Some("pool") => {
+                    let stats = catalog.pool.stats();
+                    println!(
+                        "buffer pool: budget {} B, cached {} B in {} page(s); \
+                         {} hit(s), {} miss(es), {} eviction(s), {} overcommit(s)",
+                        catalog.pool.budget_bytes(),
+                        stats.bytes_cached,
+                        stats.pages_cached,
+                        stats.hits,
+                        stats.misses,
+                        stats.evictions,
+                        stats.overcommits,
+                    );
+                }
                 other => println!("unknown meta-command {other:?}"),
             }
             continue;
@@ -166,13 +224,19 @@ fn main() {
 }
 
 fn load(catalog: &mut Catalog, path: &str) -> Result<String, Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    let rel = evirel_storage::read_relation(&text)?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("relation")
         .to_owned();
+    // Binary segments attach as stored relations (paged, never fully
+    // in memory); everything else is the text notation.
+    if path.ends_with(".evb") {
+        catalog.attach_stored(name.clone(), path)?;
+        return Ok(name);
+    }
+    let text = std::fs::read_to_string(path)?;
+    let rel = evirel_storage::read_relation(&text)?;
     catalog.register(name.clone(), rel);
     Ok(name)
 }

@@ -1,7 +1,8 @@
 //! The catalog: named extended relations available to queries.
 
+use crate::error::QueryError;
 use evirel_algebra::union::UnionOptions;
-use evirel_plan::RelationSource;
+use evirel_plan::{BufferPool, RelationSource, StoredRelation};
 use evirel_relation::ExtendedRelation;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -9,10 +10,20 @@ use std::sync::Arc;
 /// A registry of queryable relations plus execution options.
 ///
 /// Relations are stored behind [`Arc`] so the plan layer's scan
-/// operators can stream them without cloning whole extensions.
+/// operators can stream them without cloning whole extensions. A name
+/// can alternatively be *attached* to an on-disk binary segment
+/// ([`Catalog::attach_stored`]): queries then stream its pages
+/// through the catalog's shared buffer pool instead of requiring the
+/// relation in memory — the eql shell's `\load` (and `\store` to
+/// write segments) sits on top of this.
 #[derive(Debug)]
 pub struct Catalog {
     relations: HashMap<String, Arc<ExtendedRelation>>,
+    stored: HashMap<String, Arc<StoredRelation>>,
+    /// The buffer pool stored relations (and spilled merge build
+    /// sides) page through — one pool per catalog, shared by every
+    /// query and exchange worker, budgeted by `EVIREL_BUFFER_BYTES`.
+    pub pool: Arc<BufferPool>,
     /// Options applied to `UNION` sources (conflict policy,
     /// combination rule, focal cap).
     pub union_options: UnionOptions,
@@ -27,6 +38,8 @@ impl Default for Catalog {
     fn default() -> Catalog {
         Catalog {
             relations: HashMap::new(),
+            stored: HashMap::new(),
+            pool: Arc::new(BufferPool::from_env()),
             union_options: UnionOptions::default(),
             parallelism: evirel_plan::default_parallelism(),
         }
@@ -40,16 +53,106 @@ impl Catalog {
     }
 
     /// Register (or replace) a relation under `name`. Lookup is by the
-    /// registered name, not the relation's schema name.
+    /// registered name, not the relation's schema name. Replaces a
+    /// stored attachment of the same name.
     pub fn register(&mut self, name: impl Into<String>, rel: ExtendedRelation) {
-        self.relations.insert(name.into(), Arc::new(rel));
+        let name = name.into();
+        self.stored.remove(&name);
+        self.relations.insert(name, Arc::new(rel));
     }
 
-    /// Remove a relation; returns it if present.
+    /// Remove a relation; returns it if present. Also detaches a
+    /// stored binding of the same name (returning `None` for it —
+    /// stored extensions live on disk).
     pub fn deregister(&mut self, name: &str) -> Option<ExtendedRelation> {
+        self.stored.remove(name);
         self.relations
             .remove(name)
             .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
+    }
+
+    /// Attach `name` to an on-disk binary segment: queries scan it
+    /// page-at-a-time through [`Catalog::pool`] instead of holding
+    /// the extension in memory. Replaces an in-memory registration of
+    /// the same name.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] when the segment cannot be opened.
+    pub fn attach_stored(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), QueryError> {
+        let stored = StoredRelation::open(path, Arc::clone(&self.pool)).map_err(|e| {
+            QueryError::Execution {
+                message: e.to_string(),
+            }
+        })?;
+        let name = name.into();
+        self.relations.remove(&name);
+        self.stored.insert(name, Arc::new(stored));
+        Ok(())
+    }
+
+    /// Write the relation registered under `name` to a binary segment
+    /// at `path` (the `\store` meta-command). Works for both in-memory
+    /// registrations and stored attachments (the latter streams the
+    /// source segment page-at-a-time — an on-disk copy, never a full
+    /// materialization). The existing binding is left in place; pass
+    /// the path to [`Catalog::attach_stored`] (or `\load`) to query
+    /// it from disk.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownRelation`] / [`QueryError::Execution`].
+    pub fn store_segment(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), QueryError> {
+        let exec_err = |e: evirel_store::StoreError| QueryError::Execution {
+            message: e.to_string(),
+        };
+        if let Some(rel) = self.relations.get(name) {
+            return evirel_store::write_segment(rel, path, evirel_store::DEFAULT_PAGE_SIZE)
+                .map_err(exec_err);
+        }
+        if let Some(stored) = self.stored.get(name) {
+            let mut writer = evirel_store::SegmentWriter::create(
+                path,
+                stored.schema(),
+                evirel_store::DEFAULT_PAGE_SIZE,
+            )
+            .map_err(exec_err)?;
+            for tuple in stored.iter() {
+                writer.append(&tuple.map_err(exec_err)?).map_err(exec_err)?;
+            }
+            writer.finish().map_err(exec_err)?;
+            return Ok(());
+        }
+        Err(QueryError::UnknownRelation {
+            name: name.to_owned(),
+        })
+    }
+
+    /// The relation under `name`, materialized: an in-memory
+    /// registration is cheaply cloned out of its `Arc`; a stored
+    /// attachment is decoded from its segment. The text-notation
+    /// `\save` uses this so every listed relation can be saved.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownRelation`] / [`QueryError::Execution`].
+    pub fn materialize(&self, name: &str) -> Result<ExtendedRelation, QueryError> {
+        if let Some(rel) = self.relations.get(name) {
+            return Ok((**rel).clone());
+        }
+        if let Some(stored) = self.stored.get(name) {
+            return stored.to_relation().map_err(|e| QueryError::Execution {
+                message: e.to_string(),
+            });
+        }
+        Err(QueryError::UnknownRelation {
+            name: name.to_owned(),
+        })
     }
 
     /// Look up a relation.
@@ -62,27 +165,41 @@ impl Catalog {
         self.relations.get(name).cloned()
     }
 
-    /// Registered names, sorted.
+    /// Look up a stored (disk-backed) relation handle.
+    pub fn get_stored(&self, name: &str) -> Option<Arc<StoredRelation>> {
+        self.stored.get(name).cloned()
+    }
+
+    /// Registered names (in-memory and stored), sorted.
     pub fn names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self
+            .relations
+            .keys()
+            .chain(self.stored.keys())
+            .map(String::as_str)
+            .collect();
         names.sort_unstable();
         names
     }
 
-    /// Number of registered relations.
+    /// Number of registered relations (in-memory and stored).
     pub fn len(&self) -> usize {
-        self.relations.len()
+        self.relations.len() + self.stored.len()
     }
 
     /// `true` when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.relations.is_empty()
+        self.relations.is_empty() && self.stored.is_empty()
     }
 }
 
 impl RelationSource for Catalog {
     fn relation(&self, name: &str) -> Option<Arc<ExtendedRelation>> {
         self.get_shared(name)
+    }
+
+    fn stored(&self, name: &str) -> Option<Arc<StoredRelation>> {
+        self.get_stored(name)
     }
 }
 
@@ -128,5 +245,77 @@ mod tests {
         c.register("r", rel());
         c.register("r", rel());
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stored_attachments_register_and_replace() {
+        let mut c = Catalog::new();
+        c.register("r", rel());
+        let path = evirel_store::spill_path("catalog");
+        c.store_segment("r", &path).unwrap();
+        // Attaching under the same name replaces the in-memory copy…
+        c.attach_stored("r", &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(c.len(), 1);
+        assert!(c.get("r").is_none());
+        let stored = c.get_stored("r").unwrap();
+        assert_eq!(stored.len(), 1);
+        assert_eq!(c.names(), vec!["r"]);
+        // A stored attachment can itself be \store'd (segment →
+        // segment copy) and materialized for \save.
+        let copy = evirel_store::spill_path("catalog-copy");
+        c.store_segment("r", &copy).unwrap();
+        let mut c2 = Catalog::new();
+        c2.attach_stored("r2", &copy).unwrap();
+        std::fs::remove_file(&copy).ok();
+        assert_eq!(c2.get_stored("r2").unwrap().len(), 1);
+        assert_eq!(c.materialize("r").unwrap().len(), 1);
+        // …and re-registering in memory replaces the attachment.
+        c.register("r", rel());
+        assert!(c.get_stored("r").is_none());
+        assert_eq!(c.len(), 1);
+        // Errors surface, not panic.
+        assert!(c.store_segment("ghost", "/nonexistent/x.evb").is_err());
+        assert!(c.attach_stored("x", "/nonexistent/x.evb").is_err());
+        assert!(c.materialize("ghost").is_err());
+    }
+
+    /// A stored relation is queryable end to end: scans stream pages
+    /// through the catalog pool and results equal the in-memory run.
+    #[test]
+    fn stored_relation_queryable() {
+        use evirel_workload::generator::{generate, GeneratorConfig};
+        let big = generate(
+            "G",
+            &GeneratorConfig {
+                tuples: 400,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut mem = Catalog::new();
+        mem.register("g", big.clone());
+        let mut disk = Catalog::new();
+        disk.pool = Arc::new(evirel_plan::BufferPool::new(2048)); // tiny
+        disk.register("g", big);
+        let path = evirel_store::spill_path("catalog-query");
+        disk.store_segment("g", &path).unwrap();
+        disk.attach_stored("g", &path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let q = "SELECT * FROM g WHERE e0 IS {v0, v1} WITH SN > 0";
+        let a = crate::execute(&mem, q).unwrap();
+        let b = crate::execute(&disk, q).unwrap();
+        assert!(a.approx_eq(&b));
+        assert_eq!(a.keys().collect::<Vec<_>>(), b.keys().collect::<Vec<_>>());
+        let stats = disk.pool.stats();
+        assert!(stats.evictions > 0, "tiny pool must evict: {stats:?}");
+        // Unknown attributes still error at plan time against the
+        // stored schema.
+        assert!(matches!(
+            crate::execute(&disk, "SELECT * FROM g WHERE ghost IS {v0}"),
+            Err(QueryError::UnknownAttribute { .. })
+        ));
     }
 }

@@ -63,6 +63,10 @@ fn execute_stmt(catalog: &Catalog, stmt: &SelectStmt) -> Result<QueryOutcome, Qu
     let plan = lower_validated(stmt, catalog)?;
     let mut ctx = ExecContext::with_options(catalog.union_options.clone());
     ctx.parallelism = catalog.parallelism.max(1);
+    // One pool per catalog: stored scans and spilled merge build
+    // sides of every query page under a single byte budget.
+    ctx.pool = std::sync::Arc::clone(&catalog.pool);
+    ctx.spill_threshold_bytes = catalog.pool.budget_bytes();
     let relation = execute_plan(&plan.to_logical(), catalog, &mut ctx)?;
     Ok(QueryOutcome {
         relation,

@@ -1,0 +1,730 @@
+//! Binary encoding of schemas, tuples, and their parts.
+//!
+//! Everything is little-endian and length-prefixed; there are no
+//! alignment requirements. Two properties drive the format:
+//!
+//! * **Bit-exact round-trips.** `f64` payloads (masses, membership
+//!   supports, float values) are stored as their raw IEEE-754 bits,
+//!   so `decode(encode(t)) == t` exactly — the determinism contract
+//!   of the storage engine ("stored-scan execution ≡ in-memory
+//!   execution bit for bit") reduces to byte equality, with no float
+//!   printing/parsing in the loop. [`Ratio`] weights are stored as
+//!   their canonical `i128` numerator/denominator, also exact.
+//! * **Canonical focal sets.** Focal elements are serialized as their
+//!   canonical bit patterns (a word count plus little-endian `u64`
+//!   words), the same representation
+//!   [`FocalSet`] uses in memory — inline
+//!   sets write at most two words, wide (>128-value-frame) sets write
+//!   their trimmed boxed words.
+//!
+//! The schema block interns attribute domains: each distinct domain
+//! (frame dictionary) is written once and evidential attributes
+//! reference it by index, so relations whose attributes share a
+//! domain share one dictionary on disk too.
+
+use crate::error::StoreError;
+use evirel_evidence::{FocalSet, MassFunction, Ratio, Weight};
+use evirel_relation::{
+    AttrDomain, AttrType, AttrValue, Schema, SupportPair, Tuple, Value, ValueKind,
+};
+use std::sync::Arc;
+
+// ------------------------------------------------------------- cursor
+
+/// A bounds-checked read cursor over encoded bytes.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Rendered into corruption errors.
+    context: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `data`; `context` labels corruption errors.
+    pub fn new(data: &'a [u8], context: &'a str) -> Cursor<'a> {
+        Cursor {
+            data,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    fn corrupt(&self, what: &str) -> StoreError {
+        StoreError::corrupt(format!("{}: {what} at offset {}", self.context, self.pos))
+    }
+
+    /// The next `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or_else(|| self.corrupt("truncated"))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    /// As [`Cursor::bytes`].
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Errors
+    /// As [`Cursor::bytes`].
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    /// As [`Cursor::bytes`].
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    ///
+    /// # Errors
+    /// As [`Cursor::bytes`].
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    ///
+    /// # Errors
+    /// As [`Cursor::bytes`].
+    pub fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i128`.
+    ///
+    /// # Errors
+    /// As [`Cursor::bytes`].
+    pub fn i128(&mut self) -> Result<i128, StoreError> {
+        Ok(i128::from_le_bytes(self.bytes(16)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<&'a str, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        std::str::from_utf8(bytes).map_err(|_| self.corrupt("invalid utf-8"))
+    }
+}
+
+// ------------------------------------------------------------ writers
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ------------------------------------------------------------ weights
+
+/// A [`Weight`] the binary format can serialize. `f64` masses are the
+/// raw IEEE-754 bits; [`Ratio`] masses are the canonical
+/// numerator/denominator pair — both round-trip exactly.
+pub trait WeightCodec: Weight + Sized {
+    /// One-byte discriminant written once per mass function.
+    const TAG: u8;
+
+    /// Append the encoded weight.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one weight.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on truncation or invalid payloads.
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, StoreError>;
+
+    /// Encoded size in bytes (fixed per weight type).
+    fn encoded_len(&self) -> usize;
+}
+
+impl WeightCodec for f64 {
+    const TAG: u8 = 0;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.to_bits());
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(cur.u64()?))
+    }
+
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl WeightCodec for Ratio {
+    const TAG: u8 = 1;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.numer().to_le_bytes());
+        out.extend_from_slice(&self.denom().to_le_bytes());
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Ratio, StoreError> {
+        let num = cur.i128()?;
+        let den = cur.i128()?;
+        Ratio::new(num, den).map_err(StoreError::from)
+    }
+
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+// --------------------------------------------------------- focal sets
+
+/// Append a focal set as its canonical bit pattern: a `u16` word
+/// count followed by that many little-endian `u64` words (trailing
+/// zero words trimmed; the empty set writes zero words). A `u16`
+/// count supports frames of up to ~4.2 million values — and the
+/// count is checked, not truncated, so an outlandish frame fails
+/// loudly instead of corrupting the segment.
+pub fn encode_focal(set: &FocalSet, out: &mut Vec<u8>) {
+    match set.as_bits() {
+        Some(bits) => {
+            let words = [(bits as u64), ((bits >> 64) as u64)];
+            let n = if words[1] != 0 {
+                2
+            } else {
+                usize::from(words[0] != 0)
+            };
+            put_u16(out, n as u16);
+            for w in &words[..n] {
+                put_u64(out, *w);
+            }
+        }
+        None => {
+            // Boxed set: rebuild the trimmed words from the indices.
+            let max = set.max_index().expect("boxed sets are non-empty");
+            let n = max / 64 + 1;
+            assert!(
+                u16::try_from(n).is_ok(),
+                "focal set spans {n} words; frames above u16::MAX * 64 values are unsupported"
+            );
+            let mut words = vec![0u64; n];
+            for i in set.iter() {
+                words[i / 64] |= 1 << (i % 64);
+            }
+            put_u16(out, n as u16);
+            for w in words {
+                put_u64(out, w);
+            }
+        }
+    }
+}
+
+/// Encoded size of [`encode_focal`]'s output.
+pub fn focal_len(set: &FocalSet) -> usize {
+    let words = match set.as_bits() {
+        Some(0) => 0,
+        Some(bits) if (bits >> 64) == 0 => 1,
+        Some(_) => 2,
+        None => set.max_index().expect("boxed sets are non-empty") / 64 + 1,
+    };
+    2 + 8 * words
+}
+
+/// Decode one focal set written by [`encode_focal`].
+///
+/// # Errors
+/// [`StoreError::Corrupt`] on truncation.
+pub fn decode_focal(cur: &mut Cursor<'_>) -> Result<FocalSet, StoreError> {
+    let n = cur.u16()? as usize;
+    if n <= 2 {
+        let lo = if n > 0 { cur.u64()? } else { 0 } as u128;
+        let hi = if n > 1 { cur.u64()? } else { 0 } as u128;
+        return Ok(FocalSet::from_bits(lo | (hi << 64)));
+    }
+    let mut indices = Vec::new();
+    for wi in 0..n {
+        let mut word = cur.u64()?;
+        while word != 0 {
+            let b = word.trailing_zeros() as usize;
+            word &= word - 1;
+            indices.push(wi * 64 + b);
+        }
+    }
+    Ok(FocalSet::from_indices(indices))
+}
+
+// ------------------------------------------------------ mass functions
+
+/// Append a mass function: the weight tag, the focal count, then
+/// `(focal bit pattern, weight)` entries in canonical order.
+pub fn encode_mass<W: WeightCodec>(m: &MassFunction<W>, out: &mut Vec<u8>) {
+    out.push(W::TAG);
+    put_u32(out, m.focal_count() as u32);
+    for (set, w) in m.iter() {
+        encode_focal(set, out);
+        w.encode(out);
+    }
+}
+
+/// Encoded size of [`encode_mass`]'s output.
+pub fn mass_len<W: WeightCodec>(m: &MassFunction<W>) -> usize {
+    1 + 4
+        + m.iter()
+            .map(|(set, w)| focal_len(set) + w.encoded_len())
+            .sum::<usize>()
+}
+
+/// Decode one mass function over `frame`.
+///
+/// # Errors
+/// [`StoreError::Corrupt`] on truncation or a weight-tag mismatch;
+/// mass-function validation errors if the stored entries do not form
+/// a valid assignment.
+pub fn decode_mass<W: WeightCodec>(
+    cur: &mut Cursor<'_>,
+    frame: &Arc<evirel_evidence::Frame>,
+) -> Result<MassFunction<W>, StoreError> {
+    let tag = cur.u8()?;
+    if tag != W::TAG {
+        return Err(StoreError::corrupt(format!(
+            "weight tag {tag} does not match the requested weight type"
+        )));
+    }
+    let count = cur.u32()? as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let set = decode_focal(cur)?;
+        let w = W::decode(cur)?;
+        entries.push((set, w));
+    }
+    MassFunction::from_entries(Arc::clone(frame), entries).map_err(StoreError::from)
+}
+
+// -------------------------------------------------------- scalar values
+
+const VALUE_INT: u8 = 0;
+const VALUE_FLOAT: u8 = 1;
+const VALUE_STR: u8 = 2;
+
+/// Append a definite scalar value.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            out.push(VALUE_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(VALUE_FLOAT);
+            put_u64(out, x.to_bits());
+        }
+        Value::Str(s) => {
+            out.push(VALUE_STR);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Encoded size of [`encode_value`]'s output.
+pub fn value_len(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Str(s) => 1 + 4 + s.len(),
+    }
+}
+
+/// Decode one scalar value.
+///
+/// # Errors
+/// [`StoreError::Corrupt`] on truncation or an unknown tag.
+pub fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, StoreError> {
+    match cur.u8()? {
+        VALUE_INT => Ok(Value::Int(cur.i64()?)),
+        VALUE_FLOAT => Ok(Value::Float(f64::from_bits(cur.u64()?))),
+        VALUE_STR => Ok(Value::str(cur.str()?)),
+        tag => Err(StoreError::corrupt(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn kind_tag(kind: ValueKind) -> u8 {
+    match kind {
+        ValueKind::Int => VALUE_INT,
+        ValueKind::Float => VALUE_FLOAT,
+        ValueKind::Str => VALUE_STR,
+    }
+}
+
+fn kind_of(tag: u8) -> Result<ValueKind, StoreError> {
+    match tag {
+        VALUE_INT => Ok(ValueKind::Int),
+        VALUE_FLOAT => Ok(ValueKind::Float),
+        VALUE_STR => Ok(ValueKind::Str),
+        other => Err(StoreError::corrupt(format!("unknown kind tag {other}"))),
+    }
+}
+
+// ------------------------------------------------------- tuple records
+
+const ATTR_DEFINITE: u8 = 0;
+const ATTR_EVIDENTIAL: u8 = 1;
+
+/// Append one tuple record: the membership pair (raw `f64` bits),
+/// then one tagged value per attribute in schema order.
+pub fn encode_record(tuple: &Tuple, out: &mut Vec<u8>) {
+    put_u64(out, tuple.membership().sn().to_bits());
+    put_u64(out, tuple.membership().sp().to_bits());
+    for value in tuple.values() {
+        match value {
+            AttrValue::Definite(v) => {
+                out.push(ATTR_DEFINITE);
+                encode_value(v, out);
+            }
+            AttrValue::Evidential(m) => {
+                out.push(ATTR_EVIDENTIAL);
+                encode_mass(m, out);
+            }
+        }
+    }
+}
+
+/// Exact encoded size of [`encode_record`]'s output — used by the
+/// spill accounting in the plan layer to decide when a build side has
+/// outgrown its memory budget without encoding anything twice.
+pub fn record_len(tuple: &Tuple) -> usize {
+    16 + tuple
+        .values()
+        .iter()
+        .map(|value| {
+            1 + match value {
+                AttrValue::Definite(v) => value_len(v),
+                AttrValue::Evidential(m) => mass_len(m),
+            }
+        })
+        .sum::<usize>()
+}
+
+/// Decode one tuple record against `schema` (with the per-position
+/// evidential domains precomputed by the segment reader). The decoded
+/// tuple is revalidated by [`Tuple::new`], so a corrupt record cannot
+/// smuggle an ill-typed tuple into the executor.
+///
+/// # Errors
+/// [`StoreError::Corrupt`] on malformed bytes; relational validation
+/// errors on type mismatches.
+pub fn decode_record(
+    cur: &mut Cursor<'_>,
+    schema: &Arc<Schema>,
+    domains: &[Option<Arc<AttrDomain>>],
+) -> Result<Tuple, StoreError> {
+    let sn = f64::from_bits(cur.u64()?);
+    let sp = f64::from_bits(cur.u64()?);
+    let membership = SupportPair::new(sn, sp)?;
+    let mut values = Vec::with_capacity(schema.arity());
+    for pos in 0..schema.arity() {
+        match cur.u8()? {
+            ATTR_DEFINITE => values.push(AttrValue::Definite(decode_value(cur)?)),
+            ATTR_EVIDENTIAL => {
+                let domain = domains.get(pos).and_then(|d| d.as_ref()).ok_or_else(|| {
+                    StoreError::corrupt(format!(
+                        "evidential value in definite attribute position {pos}"
+                    ))
+                })?;
+                values.push(AttrValue::Evidential(decode_mass::<f64>(
+                    cur,
+                    domain.frame(),
+                )?));
+            }
+            tag => return Err(StoreError::corrupt(format!("unknown attribute tag {tag}"))),
+        }
+    }
+    Tuple::new(schema, values, membership).map_err(StoreError::from)
+}
+
+// ------------------------------------------------------- schema block
+
+const TYPE_DEFINITE: u8 = 0;
+const TYPE_EVIDENTIAL: u8 = 1;
+const FLAG_KEY: u8 = 1;
+
+/// Append the schema block: relation name, the interned domain
+/// dictionary (each distinct frame dictionary written once), then the
+/// attribute list referencing domains by index.
+pub fn encode_schema(schema: &Schema, out: &mut Vec<u8>) {
+    put_str(out, schema.name());
+    // Intern domains: attributes sharing one `Arc` (or a structurally
+    // identical domain) share one dictionary entry.
+    let mut domains: Vec<Arc<AttrDomain>> = Vec::new();
+    let mut refs: Vec<Option<u16>> = Vec::with_capacity(schema.arity());
+    for attr in schema.attrs() {
+        refs.push(attr.ty().domain().map(
+            |d| match domains.iter().position(|seen| seen.same_as(d)) {
+                Some(i) => i as u16,
+                None => {
+                    domains.push(Arc::clone(d));
+                    (domains.len() - 1) as u16
+                }
+            },
+        ));
+    }
+    put_u16(out, domains.len() as u16);
+    for domain in &domains {
+        put_str(out, domain.name());
+        out.push(kind_tag(domain.kind()));
+        put_u32(out, domain.len() as u32);
+        for v in domain.values() {
+            encode_value(v, out);
+        }
+    }
+    put_u16(out, schema.arity() as u16);
+    for (attr, domain_ref) in schema.attrs().iter().zip(refs) {
+        put_str(out, attr.name());
+        out.push(if attr.is_key() { FLAG_KEY } else { 0 });
+        match domain_ref {
+            None => {
+                out.push(TYPE_DEFINITE);
+                let AttrType::Definite(kind) = attr.ty() else {
+                    unreachable!("no domain ⇒ definite");
+                };
+                out.push(kind_tag(*kind));
+            }
+            Some(i) => {
+                out.push(TYPE_EVIDENTIAL);
+                put_u16(out, i);
+            }
+        }
+    }
+}
+
+/// Per-position evidential domains of a schema, `None` for definite
+/// attributes — the decode context tuple records need.
+pub type AttrDomains = Vec<Option<Arc<AttrDomain>>>;
+
+/// Decode a schema block written by [`encode_schema`], returning the
+/// rebuilt schema plus the per-position evidential domains (shared
+/// `Arc`s, interned exactly as written).
+///
+/// # Errors
+/// [`StoreError::Corrupt`] on malformed bytes; schema validation
+/// errors.
+pub fn decode_schema(cur: &mut Cursor<'_>) -> Result<(Arc<Schema>, AttrDomains), StoreError> {
+    let name = cur.str()?.to_owned();
+    let domain_count = cur.u16()? as usize;
+    let mut domains = Vec::with_capacity(domain_count);
+    for _ in 0..domain_count {
+        let dname = cur.str()?.to_owned();
+        let _kind = kind_of(cur.u8()?)?;
+        let value_count = cur.u32()? as usize;
+        let mut values = Vec::with_capacity(value_count);
+        for _ in 0..value_count {
+            values.push(decode_value(cur)?);
+        }
+        domains.push(Arc::new(
+            AttrDomain::from_values(&dname, values).map_err(StoreError::from)?,
+        ));
+    }
+    let arity = cur.u16()? as usize;
+    let mut builder = Schema::builder(name);
+    let mut by_position: AttrDomains = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let attr_name = cur.str()?.to_owned();
+        let is_key = cur.u8()? & FLAG_KEY != 0;
+        match cur.u8()? {
+            TYPE_DEFINITE => {
+                let kind = kind_of(cur.u8()?)?;
+                builder = if is_key {
+                    builder.key(attr_name, kind)
+                } else {
+                    builder.definite(attr_name, kind)
+                };
+                by_position.push(None);
+            }
+            TYPE_EVIDENTIAL => {
+                let i = cur.u16()? as usize;
+                let domain = domains.get(i).ok_or_else(|| {
+                    StoreError::corrupt(format!("domain reference {i} out of range"))
+                })?;
+                builder = builder.evidential(attr_name, Arc::clone(domain));
+                by_position.push(Some(Arc::clone(domain)));
+            }
+            tag => return Err(StoreError::corrupt(format!("unknown type tag {tag}"))),
+        }
+    }
+    let schema = Arc::new(builder.build().map_err(StoreError::from)?);
+    Ok((schema, by_position))
+}
+
+/// The per-position evidential domains of an already-built schema —
+/// what [`decode_schema`] returns, extracted from a live schema so
+/// spill segments can decode against the executor's own domain
+/// `Arc`s (pointer-identical frames, no structural re-checks).
+pub fn domains_of(schema: &Schema) -> Vec<Option<Arc<AttrDomain>>> {
+    schema
+        .attrs()
+        .iter()
+        .map(|attr| attr.ty().domain().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_evidence::Frame;
+
+    fn frame() -> Arc<Frame> {
+        Arc::new(Frame::new("f", ["a", "b", "c", "d"]))
+    }
+
+    #[test]
+    fn focal_roundtrip_inline_and_boxed() {
+        for set in [
+            FocalSet::empty(),
+            FocalSet::singleton(0),
+            FocalSet::singleton(63),
+            FocalSet::singleton(127),
+            FocalSet::from_indices([1, 5, 100]),
+            FocalSet::from_indices([3, 150, 400]),
+            FocalSet::full(200),
+        ] {
+            let mut buf = Vec::new();
+            encode_focal(&set, &mut buf);
+            assert_eq!(buf.len(), focal_len(&set), "{set:?}");
+            let mut cur = Cursor::new(&buf, "test");
+            let back = decode_focal(&mut cur).unwrap();
+            assert_eq!(back, set);
+            assert!(cur.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn mass_roundtrip_f64_is_bit_exact() {
+        let m = MassFunction::<f64>::builder(frame())
+            .add(["a"], 1.0 / 3.0)
+            .unwrap()
+            .add(["b", "c"], 0.25)
+            .unwrap()
+            .add_omega(1.0 - 1.0 / 3.0 - 0.25)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        encode_mass(&m, &mut buf);
+        assert_eq!(buf.len(), mass_len(&m));
+        let mut cur = Cursor::new(&buf, "test");
+        let back = decode_mass::<f64>(&mut cur, &frame()).unwrap();
+        // Exact equality, not approx: raw bits round-trip.
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mass_roundtrip_ratio_is_exact() {
+        let r = |n, d| Ratio::new(n, d).unwrap();
+        let m = MassFunction::<Ratio>::builder(frame())
+            .add(["a"], r(1, 3))
+            .unwrap()
+            .add(["b", "c"], r(1, 4))
+            .unwrap()
+            .add_omega(r(5, 12))
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        encode_mass(&m, &mut buf);
+        let mut cur = Cursor::new(&buf, "test");
+        let back = decode_mass::<Ratio>(&mut cur, &frame()).unwrap();
+        assert_eq!(back, m);
+        // Requesting the wrong weight type is detected, not garbled.
+        let mut cur = Cursor::new(&buf, "test");
+        assert!(matches!(
+            decode_mass::<f64>(&mut cur, &frame()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            Value::int(-42),
+            Value::int(i64::MAX),
+            Value::float(0.1 + 0.2), // a value that does NOT print exactly
+            Value::float(f64::MIN_POSITIVE),
+            Value::str(""),
+            Value::str("snow ☃ man | with, separators"),
+        ] {
+            let mut buf = Vec::new();
+            encode_value(&v, &mut buf);
+            assert_eq!(buf.len(), value_len(&v));
+            let mut cur = Cursor::new(&buf, "test");
+            assert_eq!(decode_value(&mut cur).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        encode_value(&Value::str("hello"), &mut buf);
+        for cut in 0..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut], "test");
+            assert!(decode_value(&mut cur).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn schema_block_interns_shared_domains() {
+        let d = Arc::new(AttrDomain::categorical("spec", ["x", "y"]).unwrap());
+        let schema = Schema::builder("R")
+            .key_str("k")
+            .definite("n", ValueKind::Int)
+            .evidential("e1", Arc::clone(&d))
+            .evidential("e2", Arc::clone(&d))
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        encode_schema(&schema, &mut buf);
+        let mut cur = Cursor::new(&buf, "test");
+        let (back, domains) = decode_schema(&mut cur).unwrap();
+        assert!(cur.is_exhausted());
+        assert_eq!(back.name(), "R");
+        assert_eq!(back.arity(), 4);
+        assert!(back.attr(0).is_key());
+        // Both evidential attributes decode to ONE shared Arc.
+        let d1 = domains[2].as_ref().unwrap();
+        let d2 = domains[3].as_ref().unwrap();
+        assert!(Arc::ptr_eq(d1, d2));
+        assert!(d1.same_as(&d));
+        // And the rebuilt schema is union-compatible with the original.
+        schema.check_union_compatible(&back).unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the storage engine.
+
+use evirel_relation::RelationError;
+use std::fmt;
+
+/// Errors produced by the paged storage engine.
+///
+/// I/O errors are carried as rendered strings (`std::io::Error` is
+/// neither `Clone` nor `PartialEq`, and the layers above — the plan
+/// executor, the query layer — need both).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
+    /// The segment bytes do not decode: bad magic, truncated page,
+    /// out-of-range reference, unknown tag.
+    Corrupt {
+        /// Where/what failed to decode.
+        context: String,
+    },
+    /// An underlying relational-model error while rebuilding tuples.
+    Relation(RelationError),
+}
+
+impl StoreError {
+    /// Wrap an I/O error with context.
+    pub fn io(context: impl Into<String>, e: &std::io::Error) -> StoreError {
+        StoreError::Io {
+            context: context.into(),
+            message: e.to_string(),
+        }
+    }
+
+    /// A corruption error with context.
+    pub fn corrupt(context: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { context, message } => write!(f, "i/o error ({context}): {message}"),
+            Self::Corrupt { context } => write!(f, "corrupt segment: {context}"),
+            Self::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for StoreError {
+    fn from(e: RelationError) -> Self {
+        StoreError::Relation(e)
+    }
+}
+
+impl From<evirel_evidence::EvidenceError> for StoreError {
+    fn from(e: evirel_evidence::EvidenceError) -> Self {
+        StoreError::Relation(RelationError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = StoreError::corrupt("page 3 truncated");
+        assert!(e.to_string().contains("page 3"));
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = StoreError::io("open segment", &io);
+        assert!(e.to_string().contains("open segment"));
+        let e: StoreError = RelationError::CwaViolation.into();
+        assert!(matches!(e, StoreError::Relation(_)));
+    }
+}

@@ -1,0 +1,561 @@
+//! On-disk segments: a header with the interned schema block, then
+//! fixed-target-size data pages of length-prefixed tuple records.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ preamble (40 B): magic ∣ version ∣ flags ∣ page_size ∣       │
+//! │                  schema_len ∣ table_offset ∣ page_count ∣    │
+//! │                  tuple_count                                 │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ schema block (codec::encode_schema — interned frame dicts)   │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ page 0: [u32 record_count] [u32 len ∣ record]*               │
+//! │ page 1: …                                                    │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ page table: page_count × (u64 offset ∣ u32 len)              │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Pages *target* `page_size` bytes but are located through the
+//! explicit page table, so a single record larger than the target
+//! simply gets its own oversized page — no record ever spans pages,
+//! and no tuple is ever too large to store. Records are appended in
+//! insertion order; a full-segment scan therefore reproduces the
+//! source relation's iteration order exactly.
+
+use crate::codec::{self, Cursor};
+use crate::error::StoreError;
+use evirel_relation::{AttrDomain, ExtendedRelation, Schema, Tuple};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const MAGIC: u32 = 0x4556_5253; // "EVRS"
+                                // v2: focal-set word counts widened from u8 to checked u16.
+const VERSION: u16 = 2;
+const PREAMBLE_LEN: usize = 40;
+/// Bytes of page header: the record count.
+const PAGE_HEADER: usize = 4;
+
+/// Default target page size (bytes).
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// The location of one record inside a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordId {
+    /// Page number.
+    pub page: u64,
+    /// Record slot within the page.
+    pub slot: u32,
+}
+
+/// Process-unique segment ids — the buffer pool's cache key namespace.
+static NEXT_SEGMENT_ID: AtomicU64 = AtomicU64::new(1);
+
+// ------------------------------------------------------------- writer
+
+/// Streams tuples into a new segment file. Records accumulate in one
+/// in-memory page buffer; full pages flush to disk, so peak writer
+/// memory is a single page regardless of relation size.
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    page_size: usize,
+    schema_len: usize,
+    /// Current page payload (after the record-count header).
+    page_buf: Vec<u8>,
+    page_records: u32,
+    pages: Vec<(u64, u32)>,
+    next_offset: u64,
+    tuple_count: u64,
+    scratch: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Create a segment at `path` for relations over `schema`, with
+    /// the given target page size (≥ 64 bytes enforced).
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on file-creation failures.
+    pub fn create(
+        path: impl AsRef<Path>,
+        schema: &Schema,
+        page_size: usize,
+    ) -> Result<SegmentWriter, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            File::create(&path).map_err(|e| StoreError::io(format!("create {path:?}"), &e))?;
+        let mut header = vec![0u8; PREAMBLE_LEN];
+        codec::encode_schema(schema, &mut header);
+        let schema_len = header.len() - PREAMBLE_LEN;
+        file.write_all(&header)
+            .map_err(|e| StoreError::io("write segment header", &e))?;
+        let page_size = page_size.max(64);
+        Ok(SegmentWriter {
+            file,
+            path,
+            page_size,
+            schema_len,
+            page_buf: Vec::with_capacity(page_size),
+            page_records: 0,
+            pages: Vec::new(),
+            next_offset: (PREAMBLE_LEN + schema_len) as u64,
+            tuple_count: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Append one tuple, returning where it landed. Tuples must be
+    /// valid for the schema the writer was created with (the reader
+    /// revalidates on decode).
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on write failures.
+    pub fn append(&mut self, tuple: &Tuple) -> Result<RecordId, StoreError> {
+        self.scratch.clear();
+        codec::encode_record(tuple, &mut self.scratch);
+        let framed = 4 + self.scratch.len();
+        // Flush the current page when this record would overflow the
+        // target — unless the page is empty (a jumbo record gets its
+        // own oversized page).
+        if !self.page_buf.is_empty() && PAGE_HEADER + self.page_buf.len() + framed > self.page_size
+        {
+            self.flush_page()?;
+        }
+        let id = RecordId {
+            page: self.pages.len() as u64,
+            slot: self.page_records,
+        };
+        codec::put_u32(&mut self.page_buf, self.scratch.len() as u32);
+        self.page_buf.extend_from_slice(&self.scratch);
+        self.page_records += 1;
+        self.tuple_count += 1;
+        Ok(id)
+    }
+
+    fn flush_page(&mut self) -> Result<(), StoreError> {
+        if self.page_buf.is_empty() {
+            return Ok(());
+        }
+        let len = (PAGE_HEADER + self.page_buf.len()) as u32;
+        let mut header = [0u8; PAGE_HEADER];
+        header.copy_from_slice(&self.page_records.to_le_bytes());
+        self.file
+            .write_all(&header)
+            .and_then(|()| self.file.write_all(&self.page_buf))
+            .map_err(|e| StoreError::io("write page", &e))?;
+        self.pages.push((self.next_offset, len));
+        self.next_offset += u64::from(len);
+        self.page_buf.clear();
+        self.page_records = 0;
+        Ok(())
+    }
+
+    /// Flush the final page, write the page table, and patch the
+    /// preamble. Returns the path the segment was written to.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on write failures.
+    pub fn finish(mut self) -> Result<PathBuf, StoreError> {
+        self.flush_page()?;
+        let table_offset = self.next_offset;
+        let mut table = Vec::with_capacity(self.pages.len() * 12);
+        for (offset, len) in &self.pages {
+            codec::put_u64(&mut table, *offset);
+            codec::put_u32(&mut table, *len);
+        }
+        self.file
+            .write_all(&table)
+            .map_err(|e| StoreError::io("write page table", &e))?;
+        let mut preamble = Vec::with_capacity(PREAMBLE_LEN);
+        codec::put_u32(&mut preamble, MAGIC);
+        codec::put_u16(&mut preamble, VERSION);
+        codec::put_u16(&mut preamble, 0); // flags
+        codec::put_u32(&mut preamble, self.page_size as u32);
+        codec::put_u32(&mut preamble, self.schema_len as u32);
+        codec::put_u64(&mut preamble, table_offset);
+        codec::put_u64(&mut preamble, self.pages.len() as u64);
+        codec::put_u64(&mut preamble, self.tuple_count);
+        self.file
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| self.file.write_all(&preamble))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| StoreError::io("patch preamble", &e))?;
+        Ok(self.path)
+    }
+}
+
+/// Write a whole relation to a segment at `path` (insertion order).
+///
+/// # Errors
+/// As [`SegmentWriter`].
+pub fn write_segment(
+    rel: &ExtendedRelation,
+    path: impl AsRef<Path>,
+    page_size: usize,
+) -> Result<(), StoreError> {
+    let mut writer = SegmentWriter::create(path, rel.schema(), page_size)?;
+    for tuple in rel.iter() {
+        writer.append(tuple)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+// ------------------------------------------------------------- reader
+
+/// An open segment: the parsed header (schema + domains + page table)
+/// plus the file handle pages are read through. Cheap to share behind
+/// an [`Arc`]; all reads are interior-mutex, so exchange workers can
+/// page through one segment concurrently.
+#[derive(Debug)]
+pub struct Segment {
+    id: u64,
+    file: Mutex<File>,
+    schema: Arc<Schema>,
+    domains: Vec<Option<Arc<AttrDomain>>>,
+    pages: Vec<(u64, u32)>,
+    tuple_count: u64,
+    page_size: usize,
+}
+
+impl Segment {
+    /// Open a segment, rebuilding its schema (and interned domain
+    /// dictionary) from the header.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`] on unreadable or
+    /// malformed files.
+    pub fn open(path: impl AsRef<Path>) -> Result<Segment, StoreError> {
+        Segment::open_impl(path.as_ref(), None)
+    }
+
+    /// Open a segment using a caller-supplied schema instead of
+    /// rebuilding one from the header — the spill path uses this so
+    /// decoded tuples share the executor's own domain `Arc`s (frames
+    /// stay pointer-identical; no structural re-interning). The
+    /// stored header is still parsed for the page table.
+    ///
+    /// # Errors
+    /// As [`Segment::open`].
+    pub fn open_with_schema(
+        path: impl AsRef<Path>,
+        schema: Arc<Schema>,
+    ) -> Result<Segment, StoreError> {
+        Segment::open_impl(path.as_ref(), Some(schema))
+    }
+
+    fn open_impl(path: &Path, schema: Option<Arc<Schema>>) -> Result<Segment, StoreError> {
+        let mut file =
+            File::open(path).map_err(|e| StoreError::io(format!("open {path:?}"), &e))?;
+        let mut preamble = [0u8; PREAMBLE_LEN];
+        file.read_exact(&mut preamble)
+            .map_err(|e| StoreError::io("read preamble", &e))?;
+        let mut cur = Cursor::new(&preamble, "preamble");
+        if cur.u32()? != MAGIC {
+            return Err(StoreError::corrupt("bad magic (not an evirel segment)"));
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(StoreError::corrupt(format!(
+                "unsupported segment version {version}"
+            )));
+        }
+        let _flags = cur.u16()?;
+        let page_size = cur.u32()? as usize;
+        let schema_len = cur.u32()? as usize;
+        let table_offset = cur.u64()?;
+        let page_count = cur.u64()? as usize;
+        let tuple_count = cur.u64()?;
+
+        let mut schema_bytes = vec![0u8; schema_len];
+        file.read_exact(&mut schema_bytes)
+            .map_err(|e| StoreError::io("read schema block", &e))?;
+        let (schema, domains) = match schema {
+            Some(live) => {
+                let domains = codec::domains_of(&live);
+                (live, domains)
+            }
+            None => {
+                let mut cur = Cursor::new(&schema_bytes, "schema block");
+                codec::decode_schema(&mut cur)?
+            }
+        };
+
+        file.seek(SeekFrom::Start(table_offset))
+            .map_err(|e| StoreError::io("seek page table", &e))?;
+        let mut table = vec![0u8; page_count * 12];
+        file.read_exact(&mut table)
+            .map_err(|e| StoreError::io("read page table", &e))?;
+        let mut cur = Cursor::new(&table, "page table");
+        let mut pages = Vec::with_capacity(page_count);
+        for _ in 0..page_count {
+            let offset = cur.u64()?;
+            let len = cur.u32()?;
+            pages.push((offset, len));
+        }
+
+        Ok(Segment {
+            id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+            file: Mutex::new(file),
+            schema,
+            domains,
+            pages,
+            tuple_count,
+            page_size,
+        })
+    }
+
+    /// The process-unique segment id (the buffer pool's cache key
+    /// namespace).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of data pages.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Number of stored tuples.
+    pub fn tuple_count(&self) -> u64 {
+        self.tuple_count
+    }
+
+    /// Target page size the segment was written with.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// On-disk byte length of page `page`.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] for out-of-range page numbers.
+    pub fn page_len(&self, page: u64) -> Result<usize, StoreError> {
+        self.pages
+            .get(page as usize)
+            .map(|(_, len)| *len as usize)
+            .ok_or_else(|| StoreError::corrupt(format!("page {page} out of range")))
+    }
+
+    /// Read raw page bytes from disk — the buffer pool's fill path.
+    /// Prefer [`crate::pool::BufferPool::get`], which caches.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] / [`StoreError::Corrupt`].
+    pub fn read_page(&self, page: u64) -> Result<Vec<u8>, StoreError> {
+        let (offset, len) = *self
+            .pages
+            .get(page as usize)
+            .ok_or_else(|| StoreError::corrupt(format!("page {page} out of range")))?;
+        let mut buf = vec![0u8; len as usize];
+        let mut file = self.file.lock().expect("segment file lock");
+        file.seek(SeekFrom::Start(offset))
+            .and_then(|_| file.read_exact(&mut buf))
+            .map_err(|e| StoreError::io(format!("read page {page}"), &e))?;
+        Ok(buf)
+    }
+
+    /// Decode every record of a page (bytes from [`Segment::read_page`]
+    /// or the buffer pool) into tuples, in slot order.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on malformed pages; validation errors
+    /// from tuple reconstruction.
+    pub fn decode_page(&self, bytes: &[u8]) -> Result<Vec<Tuple>, StoreError> {
+        let mut cur = Cursor::new(bytes, "page");
+        let count = cur.u32()? as usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = cur.u32()? as usize;
+            let record = cur.bytes(len)?;
+            let mut rcur = Cursor::new(record, "record");
+            out.push(codec::decode_record(
+                &mut rcur,
+                &self.schema,
+                &self.domains,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Decode only record `slot` of a page — the point-lookup path
+    /// spilled merge probes use. Skips preceding records by their
+    /// length prefixes without decoding them.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] for out-of-range slots or malformed
+    /// pages.
+    pub fn decode_record(&self, bytes: &[u8], slot: u32) -> Result<Tuple, StoreError> {
+        let mut cur = Cursor::new(bytes, "page");
+        let count = cur.u32()?;
+        if slot >= count {
+            return Err(StoreError::corrupt(format!(
+                "slot {slot} out of range (page has {count} records)"
+            )));
+        }
+        for _ in 0..slot {
+            let len = cur.u32()? as usize;
+            cur.bytes(len)?;
+        }
+        let len = cur.u32()? as usize;
+        let record = cur.bytes(len)?;
+        let mut rcur = Cursor::new(record, "record");
+        codec::decode_record(&mut rcur, &self.schema, &self.domains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_relation::{RelationBuilder, Value};
+
+    fn sample(n: usize) -> ExtendedRelation {
+        let d = Arc::new(AttrDomain::categorical("spec", ["si", "hu", "ca"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("RA")
+                .key_str("rname")
+                .definite("bldg", evirel_relation::ValueKind::Int)
+                .evidential("spec", d)
+                .build()
+                .unwrap(),
+        );
+        let mut b = RelationBuilder::new(schema);
+        for i in 0..n {
+            b = b
+                .tuple(|t| {
+                    t.set_str("rname", format!("r-{i}"))
+                        .set_int("bldg", i as i64)
+                        .set_evidence_with_omega(
+                            "spec",
+                            [(&["si"][..], 1.0 / 3.0), (&["hu", "ca"][..], 1.0 / 3.0)],
+                            1.0 / 3.0,
+                        )
+                        .membership_pair(0.5 + (i as f64) / (2.0 * n as f64), 1.0)
+                })
+                .unwrap();
+        }
+        b.build()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("evirel-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_roundtrip_exact() {
+        let rel = sample(100);
+        let path = tmp("roundtrip.evb");
+        write_segment(&rel, &path, 512).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.tuple_count(), 100);
+        assert!(seg.page_count() > 1, "512-byte pages must paginate");
+        rel.schema().check_union_compatible(seg.schema()).unwrap();
+        let mut decoded = Vec::new();
+        for p in 0..seg.page_count() {
+            let bytes = seg.read_page(p).unwrap();
+            decoded.extend(seg.decode_page(&bytes).unwrap());
+        }
+        assert_eq!(decoded.len(), rel.len());
+        for (orig, back) in rel.iter().zip(decoded.iter()) {
+            // EXACT equality — raw f64 bits round-trip.
+            assert_eq!(orig.values(), back.values());
+            assert_eq!(orig.membership().sn(), back.membership().sn());
+            assert_eq!(orig.membership().sp(), back.membership().sp());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_ids_and_point_lookup() {
+        let rel = sample(50);
+        let path = tmp("points.evb");
+        let mut writer = SegmentWriter::create(&path, rel.schema(), 256).unwrap();
+        let ids: Vec<RecordId> = rel.iter().map(|t| writer.append(t).unwrap()).collect();
+        writer.finish().unwrap();
+        let seg = Segment::open(&path).unwrap();
+        for (tuple, id) in rel.iter().zip(&ids) {
+            let bytes = seg.read_page(id.page).unwrap();
+            let back = seg.decode_record(&bytes, id.slot).unwrap();
+            assert_eq!(back.values(), tuple.values());
+        }
+        // Out-of-range slot is an error, not UB.
+        let bytes = seg.read_page(0).unwrap();
+        assert!(seg.decode_record(&bytes, 10_000).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jumbo_records_get_oversized_pages() {
+        let d = Arc::new(AttrDomain::categorical("spec", ["x"]).unwrap());
+        let schema = Arc::new(
+            Schema::builder("J")
+                .key_str("k")
+                .evidential("spec", d)
+                .build()
+                .unwrap(),
+        );
+        let big_key = "k".repeat(5000);
+        let rel = RelationBuilder::new(schema)
+            .tuple(|t| {
+                t.set_str("k", big_key.clone())
+                    .set_evidence("spec", [(&["x"][..], 1.0)])
+            })
+            .unwrap()
+            .tuple(|t| {
+                t.set_str("k", "small")
+                    .set_evidence("spec", [(&["x"][..], 1.0)])
+            })
+            .unwrap()
+            .build();
+        let path = tmp("jumbo.evb");
+        write_segment(&rel, &path, 64).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.tuple_count(), 2);
+        assert!(seg.page_len(0).unwrap() > 5000, "jumbo page is oversized");
+        let first = &seg.decode_page(&seg.read_page(0).unwrap()).unwrap()[0];
+        assert_eq!(
+            first.value(0).as_definite().unwrap(),
+            &Value::str(big_key.clone())
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_with_live_schema_shares_domain_arcs() {
+        let rel = sample(5);
+        let path = tmp("live.evb");
+        write_segment(&rel, &path, 512).unwrap();
+        let seg = Segment::open_with_schema(&path, Arc::clone(rel.schema())).unwrap();
+        assert!(Arc::ptr_eq(seg.schema(), rel.schema()));
+        let decoded = seg.decode_page(&seg.read_page(0).unwrap()).unwrap();
+        // Decoded frames are pointer-identical to the live schema's.
+        let live = rel.schema().attr(2).ty().domain().unwrap();
+        let m = decoded[0].value(2).as_evidential().unwrap();
+        assert!(Arc::ptr_eq(m.frame(), live.frame()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let path = tmp("corrupt.evb");
+        std::fs::write(&path, b"this is not a segment file at all!!!!!!!!").unwrap();
+        assert!(matches!(
+            Segment::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::write(&path, b"xx").unwrap();
+        assert!(matches!(Segment::open(&path), Err(StoreError::Io { .. })));
+        assert!(Segment::open("/nonexistent/nope.evb").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

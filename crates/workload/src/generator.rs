@@ -241,12 +241,19 @@ fn random_evidence(
     for w in &mut weights {
         *w = *w / total * budget;
     }
-    let mut builder = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
-    for (set, w) in sets.into_iter().zip(weights) {
-        builder = builder.add_set(set, w).map_err(RelationError::from)?;
-    }
+    // A drawn set can itself be Ω (small domains, large focal sizes);
+    // merge the ignorance floor into it instead of declaring Ω twice.
+    let omega = FocalSet::full(n);
+    let mut entries: Vec<(FocalSet, f64)> = sets.into_iter().zip(weights).collect();
     if config.omega_mass > 0.0 {
-        builder = builder.add_omega(config.omega_mass);
+        match entries.iter_mut().find(|(s, _)| *s == omega) {
+            Some((_, w)) => *w += config.omega_mass,
+            None => entries.push((omega, config.omega_mass)),
+        }
+    }
+    let mut builder = MassFunction::<f64>::builder(Arc::clone(domain.frame()));
+    for (set, w) in entries {
+        builder = builder.add_set(set, w).map_err(RelationError::from)?;
     }
     builder.build().map_err(RelationError::from)
 }

@@ -19,6 +19,7 @@
 //! | [`query`]     | `evirel-query`     | EQL: a SQL-flavoured query language over extended relations, executed through `plan` |
 //! | [`workload`]  | `evirel-workload`  | the paper's restaurant databases, the survey simulator, random generators |
 //! | [`storage`]   | `evirel-storage`   | text persistence in the paper's notation |
+//! | [`store`]     | `evirel-store`     | paged binary storage engine: segments, buffer pool, spill-to-disk execution |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use evirel_plan as plan;
 pub use evirel_query as query;
 pub use evirel_relation as relation;
 pub use evirel_storage as storage;
+pub use evirel_store as store;
 pub use evirel_workload as workload;
 
 /// The most common imports in one place.
@@ -78,4 +80,5 @@ pub mod prelude {
         TupleBuilder, Value, ValueKind,
     };
     pub use evirel_storage::{read_relation, write_relation};
+    pub use evirel_store::{BufferPool, StoredRelation};
 }
