@@ -479,6 +479,25 @@ pub fn execute_plan(
     run(op.as_mut(), ctx)
 }
 
+/// Execute an **already optimized** plan, skipping the rewrite pass —
+/// the fast path for prepared plans: callers that cached the output
+/// of [`crate::optimize`] (keyed by catalog generation, so the plan
+/// still matches the bindings) lower and execute it directly,
+/// amortizing the per-query optimizer cost across re-executions.
+///
+/// # Errors
+/// As [`execute_plan`], minus rewrite-stage errors (there is no
+/// rewrite stage).
+pub fn execute_optimized(
+    optimized: &LogicalPlan,
+    source: &dyn RelationSource,
+    ctx: &mut ExecContext,
+) -> Result<ExtendedRelation, PlanError> {
+    let options = ctx.union_options.clone();
+    let mut op = physical_with(optimized, source, &options, ctx.parallelism)?;
+    run(op.as_mut(), ctx)
+}
+
 /// Optimize and lower a plan into an operator tree without running it
 /// — for callers that want to pull tuples themselves.
 ///

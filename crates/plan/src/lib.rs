@@ -59,15 +59,15 @@ pub mod spill;
 pub use error::PlanError;
 pub use exchange::{compute_slots, rank_keys, ExchangeOp, OrderMap, ShardScanOp};
 pub use exec::{
-    execute_plan, explain_plan, explain_plan_with, open_plan, physical, physical_with,
-    planned_rewrites,
+    execute_optimized, execute_plan, explain_plan, explain_plan_with, open_plan, physical,
+    physical_with, planned_rewrites,
 };
 pub use logical::{
     scan, schema_of, validate_plan, Bindings, LogicalPlan, PlanBuilder, RelationSource,
 };
 pub use ops::{
-    default_parallelism, run, DempsterMerger, ExecContext, ExecStats, MergeEmit, MergeOp,
-    MergePairing, Operator, ScanOp, TupleMerger,
+    default_parallelism, parse_parallelism, run, DempsterMerger, ExecContext, ExecStats, MergeEmit,
+    MergeOp, MergePairing, Operator, ScanOp, TupleMerger, MAX_PARALLELISM,
 };
 pub use rewrite::{optimize, Rewrite};
 pub use spill::SpillScanOp;

@@ -86,16 +86,47 @@ impl Default for ExecContext {
     }
 }
 
+/// Largest worker-thread count `EVIREL_THREADS` accepts. Anything
+/// above this is almost certainly a typo (and would oversubscribe any
+/// real machine), so it is rejected like garbage input.
+pub const MAX_PARALLELISM: usize = 1024;
+
 /// The process-wide default for [`ExecContext::parallelism`]: the
-/// `EVIREL_THREADS` environment variable when it parses to a positive
-/// integer, else 1 (sequential). CI runs the whole suite under
+/// `EVIREL_THREADS` environment variable when it parses to an integer
+/// in `1..=1024`, else 1 (sequential). CI runs the whole suite under
 /// `EVIREL_THREADS=4` to exercise the parallel paths.
+///
+/// An *invalid* value — garbage text, `0`, a negative number, or
+/// anything above [`MAX_PARALLELISM`] — is rejected **loudly**: one
+/// warning per process goes to stderr naming the value and the
+/// accepted range, and execution falls back to sequential. Silently
+/// treating `EVIREL_THREADS=O4` (a typo for `04`) as "1 thread" cost
+/// real debugging time; never again.
 pub fn default_parallelism() -> usize {
-    std::env::var("EVIREL_THREADS")
+    let Ok(raw) = std::env::var("EVIREL_THREADS") else {
+        return 1;
+    };
+    parse_parallelism(&raw).unwrap_or_else(|| {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: ignoring invalid EVIREL_THREADS={raw:?}: expected an \
+                 integer in 1..={MAX_PARALLELISM}; running sequentially (1 thread)"
+            );
+        });
+        1
+    })
+}
+
+/// Parse an `EVIREL_THREADS` value: `Some(n)` for an integer in
+/// `1..=`[`MAX_PARALLELISM`], `None` for anything else (garbage,
+/// `0`, negatives, absurd counts) — the invalid cases
+/// [`default_parallelism`] warns about.
+pub fn parse_parallelism(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
         .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+        .filter(|n| (1..=MAX_PARALLELISM).contains(n))
 }
 
 impl ExecContext {
@@ -1397,6 +1428,19 @@ mod tests {
         let out = run(&mut op, &mut ExecContext::new()).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains_key(&[Value::str("solo-a")]));
+    }
+
+    /// The accepted `EVIREL_THREADS` range is 1..=1024; garbage, 0,
+    /// negatives, floats, and absurd counts are all invalid (and make
+    /// `default_parallelism` warn once and run sequentially).
+    #[test]
+    fn parallelism_parsing_rejects_invalid_values() {
+        assert_eq!(parse_parallelism("1"), Some(1));
+        assert_eq!(parse_parallelism(" 4 "), Some(4));
+        assert_eq!(parse_parallelism("1024"), Some(crate::MAX_PARALLELISM));
+        for invalid in ["", "0", "-2", "4.0", "O4", "four", "1025", "9999999999"] {
+            assert_eq!(parse_parallelism(invalid), None, "{invalid:?}");
+        }
     }
 
     #[test]

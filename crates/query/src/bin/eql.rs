@@ -6,11 +6,18 @@
 //! ```
 //!
 //! Relations load under the basename of their file (`ra.evr` → `ra`).
+//! The shell runs on the same epoch-snapshot machinery as the
+//! `evirel-serve` query service: every query pins one catalog
+//! generation, plans resolve through a prepared-plan cache keyed by
+//! (normalized text, generation), and meta-commands that change
+//! bindings (`\load`) publish a new generation — which invalidates
+//! affected cached plans automatically.
+//!
 //! Meta-commands inside the REPL:
 //!
 //! * `\d` — list relations and schemas;
 //! * `\explain <query>` — logical plan, fired rewrites, optimized
-//!   plan, physical operator tree;
+//!   plan, physical operator tree, plan-cache state;
 //! * `\conflicts` — the ∪̃ conflict report of the last query;
 //! * `\rank` — render the next query's result ranked by `sn`;
 //! * `\set threads <N>` — worker threads for query execution (plan
@@ -25,15 +32,18 @@
 //!   (budget: `EVIREL_BUFFER_BYTES`) instead of loading it into
 //!   memory;
 //! * `\pool` — buffer-pool statistics (hits/misses/evictions/bytes);
+//! * `\cache` — prepared-plan cache statistics (hits = re-executions
+//!   that skipped lowering/rewrite) and the current generation;
 //! * `\q` — quit.
 //!
 //! Files ending in `.evb` on the command line are attached as stored
 //! relations; anything else is parsed as the text notation.
 
 use evirel_algebra::ConflictReport;
-use evirel_query::{execute_with_report, Catalog};
+use evirel_query::{Catalog, PlanCache, QueryError, Session, SharedCatalog};
 use evirel_relation::Value;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 fn main() {
     let mut catalog = Catalog::new();
@@ -64,8 +74,13 @@ fn main() {
         }
     }
 
+    let session = Session::new(
+        Arc::new(SharedCatalog::new(catalog)),
+        Arc::new(PlanCache::default()),
+    );
+
     if let Some(q) = inline_query {
-        run_query(&catalog, &q, false);
+        run_query(&session, &q, false);
         return;
     }
 
@@ -102,6 +117,8 @@ fn main() {
             match parts.next() {
                 Some("q") => break,
                 Some("d") => {
+                    let snapshot = session.pin();
+                    let catalog = snapshot.catalog();
                     for name in catalog.names() {
                         if let Some(rel) = catalog.get(name) {
                             println!("{name}: {} ({} tuples)", rel.schema(), rel.len());
@@ -121,11 +138,12 @@ fn main() {
                         println!("usage: \\explain <query>");
                     } else {
                         // Full optimizer/physical explain against the
-                        // catalog. When the plan cannot be built
-                        // (unknown relation/attribute, …), report the
-                        // error — and still show the bare logical tree
-                        // for context if the query at least parses.
-                        match evirel_query::explain_with(&catalog, rest) {
+                        // pinned snapshot (with the plan-cache line).
+                        // When the plan cannot be built (unknown
+                        // relation/attribute, …), report the error —
+                        // and still show the bare logical tree for
+                        // context if the query at least parses.
+                        match session.explain(rest) {
                             Ok(plan) => print!("{plan}"),
                             Err(e) => {
                                 println!("error: {e}");
@@ -146,24 +164,33 @@ fn main() {
                 }
                 Some("set") => match (parts.next(), parts.next()) {
                     (Some("threads"), Some(n)) => match n.parse::<usize>() {
-                        Ok(n) if n >= 1 => {
-                            catalog.parallelism = n;
-                            println!(
-                                "execution threads set to {n}{}",
-                                if n == 1 { " (sequential)" } else { "" }
-                            );
+                        Ok(n) if (1..=evirel_plan::MAX_PARALLELISM).contains(&n) => {
+                            let set = session.update(|c| {
+                                c.parallelism = n;
+                                Ok(())
+                            });
+                            match set {
+                                Ok(()) => println!(
+                                    "execution threads set to {n}{}",
+                                    if n == 1 { " (sequential)" } else { "" }
+                                ),
+                                Err(e) => println!("error: {e}"),
+                            }
                         }
-                        _ => println!("threads must be a positive integer, got {n:?}"),
+                        _ => println!(
+                            "threads must be an integer in 1..={}, got {n:?}",
+                            evirel_plan::MAX_PARALLELISM
+                        ),
                     },
                     (Some("threads"), None) => {
-                        println!("execution threads: {}", catalog.parallelism);
+                        println!("execution threads: {}", session.pin().catalog().parallelism);
                     }
                     _ => println!("usage: \\set threads <N>"),
                 },
                 Some("save") => match (parts.next(), parts.next()) {
                     // `materialize` covers stored attachments too, so
                     // everything \d lists can be saved as text.
-                    (Some(name), Some(path)) => match catalog.materialize(name) {
+                    (Some(name), Some(path)) => match session.pin().catalog().materialize(name) {
                         Ok(rel) => {
                             let text = evirel_storage::write_relation(&rel);
                             match std::fs::write(path, text) {
@@ -176,35 +203,45 @@ fn main() {
                     _ => println!("usage: \\save <name> <path>"),
                 },
                 Some("store") => match (parts.next(), parts.next()) {
-                    (Some(name), Some(path)) => match catalog.store_segment(name, path) {
-                        Ok(()) => println!("wrote {name} to binary segment {path}"),
-                        Err(e) => println!("store failed: {e}"),
-                    },
+                    (Some(name), Some(path)) => {
+                        match session.pin().catalog().store_segment(name, path) {
+                            Ok(()) => println!("wrote {name} to binary segment {path}"),
+                            Err(e) => println!("store failed: {e}"),
+                        }
+                    }
                     _ => println!("usage: \\store <name> <path>"),
                 },
                 Some("load") => match (parts.next(), parts.next()) {
                     (Some(name), Some(path)) => {
-                        match catalog.attach_stored(name.to_owned(), path) {
-                            Ok(()) => {
-                                let stored = catalog.get_stored(name).expect("just attached");
-                                println!(
-                                    "attached {name} from {path} ({} tuples, {} pages; \
-                                     queries stream through the buffer pool)",
-                                    stored.len(),
-                                    stored.segment().page_count(),
-                                );
-                            }
+                        // The attach publishes a new catalog
+                        // generation; cached plans over the old
+                        // binding go stale automatically.
+                        let attached = session.update(|c| {
+                            c.attach_stored(name.to_owned(), path)?;
+                            c.get_stored(name).ok_or_else(|| QueryError::Execution {
+                                message: format!("{name} vanished during attach"),
+                            })
+                        });
+                        match attached {
+                            Ok(stored) => println!(
+                                "attached {name} from {path} ({} tuples, {} pages; \
+                                 queries stream through the buffer pool)",
+                                stored.len(),
+                                stored.segment().page_count(),
+                            ),
                             Err(e) => println!("load failed: {e}"),
                         }
                     }
                     _ => println!("usage: \\load <name> <path>"),
                 },
                 Some("pool") => {
-                    let stats = catalog.pool.stats();
+                    let snapshot = session.pin();
+                    let pool = &snapshot.catalog().pool;
+                    let stats = pool.stats();
                     println!(
                         "buffer pool: budget {} B, cached {} B in {} page(s); \
                          {} hit(s), {} miss(es), {} eviction(s), {} overcommit(s)",
-                        catalog.pool.budget_bytes(),
+                        pool.budget_bytes(),
                         stats.bytes_cached,
                         stats.pages_cached,
                         stats.hits,
@@ -213,13 +250,27 @@ fn main() {
                         stats.overcommits,
                     );
                 }
+                Some("cache") => {
+                    let stats = session.cache().stats();
+                    println!(
+                        "plan cache: {} entries, generation {}; {} hit(s) \
+                         (lowering/rewrite skipped), {} miss(es), {} stale \
+                         (invalidated by generation bump), {} eviction(s)",
+                        stats.entries,
+                        session.shared().generation(),
+                        stats.hits,
+                        stats.misses,
+                        stats.stale,
+                        stats.evictions,
+                    );
+                }
                 other => println!("unknown meta-command {other:?}"),
             }
             continue;
         }
         // A failed query clears the report — \conflicts always refers
         // to the *last* statement, never a stale earlier one.
-        last_report = run_query(&catalog, line, ranked);
+        last_report = run_query(&session, line, ranked);
     }
 }
 
@@ -241,24 +292,28 @@ fn load(catalog: &mut Catalog, path: &str) -> Result<String, Box<dyn std::error:
     Ok(name)
 }
 
-fn run_query(catalog: &Catalog, query: &str, ranked: bool) -> Option<ConflictReport> {
-    match execute_with_report(catalog, query) {
-        Ok(outcome) => {
+fn run_query(session: &Session, query: &str, ranked: bool) -> Option<ConflictReport> {
+    match session.query(query) {
+        Ok(out) => {
             if ranked {
-                print!("{}", evirel_query::format::render_ranked(&outcome.relation));
+                print!(
+                    "{}",
+                    evirel_query::format::render_ranked(&out.outcome.relation)
+                );
             } else {
-                print!("{}", outcome.relation);
+                print!("{}", out.outcome.relation);
             }
-            if outcome.report.is_empty() {
-                println!("({} tuple(s))", outcome.relation.len());
+            let cached = if out.cached_plan { ", cached plan" } else { "" };
+            if out.outcome.report.is_empty() {
+                println!("({} tuple(s){cached})", out.outcome.relation.len());
             } else {
                 println!(
-                    "({} tuple(s), {} conflict(s) — \\conflicts for the report)",
-                    outcome.relation.len(),
-                    outcome.report.len()
+                    "({} tuple(s), {} conflict(s) — \\conflicts for the report{cached})",
+                    out.outcome.relation.len(),
+                    out.outcome.report.len()
                 );
             }
-            Some(outcome.report)
+            Some(out.outcome.report)
         }
         Err(e) => {
             println!("error: {e}");

@@ -16,7 +16,15 @@ use std::sync::Arc;
 /// through the catalog's shared buffer pool instead of requiring the
 /// relation in memory — the eql shell's `\load` (and `\store` to
 /// write segments) sits on top of this.
-#[derive(Debug)]
+///
+/// `Clone` is cheap — relation extensions and stored attachments are
+/// behind `Arc`s, so a clone copies two small maps of handles plus
+/// the options. The epoch-snapshot layer
+/// ([`crate::snapshot::SharedCatalog`]) leans on this: every write
+/// clones the current catalog, mutates the clone, and publishes it as
+/// the next generation, so readers never observe a half-applied
+/// change.
+#[derive(Debug, Clone)]
 pub struct Catalog {
     relations: HashMap<String, Arc<ExtendedRelation>>,
     stored: HashMap<String, Arc<StoredRelation>>,

@@ -55,6 +55,21 @@ impl QueryError {
             message: message.into(),
         }
     }
+
+    /// A stable machine-readable kind tag — the query service's wire
+    /// protocol sends this with every `ERR` response so clients can
+    /// branch without parsing English.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Lex { .. } => "lex",
+            Self::Parse { .. } => "parse",
+            Self::UnknownRelation { .. } => "unknown-relation",
+            Self::UnknownAttribute { .. } => "unknown-attribute",
+            Self::Algebra(_) => "algebra",
+            Self::Relation(_) => "relation",
+            Self::Execution { .. } => "execution",
+        }
+    }
 }
 
 impl fmt::Display for QueryError {

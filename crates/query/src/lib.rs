@@ -45,12 +45,18 @@ pub mod format;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod prepare;
+pub mod session;
+pub mod snapshot;
 
 pub use catalog::Catalog;
 pub use error::QueryError;
 pub use exec::{execute, execute_parsed, execute_with_report, QueryOutcome};
 pub use parser::parse;
 pub use plan::{explain, explain_with};
+pub use prepare::{normalize_eql, CacheStats, PlanCache, PreparedPlan};
+pub use session::{Session, SessionBudget, SessionOutcome};
+pub use snapshot::{CatalogSnapshot, SharedCatalog};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,358 @@
+//! Prepared plans and the generation-keyed plan cache.
+//!
+//! Parsing is cheap; lowering, semantic validation, and the rewrite
+//! optimizer are the per-query costs worth amortizing when the same
+//! EQL text executes many times (the common shape of service
+//! traffic). A [`PreparedPlan`] captures the *optimized* logical plan
+//! once; re-execution goes straight to physical planning via
+//! [`evirel_plan::execute_optimized`], skipping lowering and every
+//! rewrite pass.
+//!
+//! **Staleness is the hazard**: a plan prepared against catalog
+//! generation G bakes in G's schemas and rewrite decisions. If a
+//! `\load` or merge-write has since replaced a relation binding, the
+//! plan may reference attributes that no longer exist or distribute
+//! predicates the new schema does not support. The cache therefore
+//! keys every entry on **(normalized text, catalog generation)** —
+//! see [`crate::snapshot::SharedCatalog`] — and a lookup against any
+//! other generation is a miss (counted as a stale invalidation). The
+//! regression test `tests/plan_cache.rs` pins the failure mode.
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::plan::lower_validated;
+use crate::snapshot::CatalogSnapshot;
+use evirel_plan::LogicalPlan;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Default number of cached plans before FIFO eviction.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Normalize EQL text for cache keying: surrounding whitespace and a
+/// trailing `;` are dropped, and interior whitespace runs collapse to
+/// single spaces — so formatting variants of one query share a cache
+/// entry. Deliberately **no case folding**: EQL keywords are already
+/// case-insensitive at the lexer, while identifiers and string
+/// literals are case-sensitive, and a purely textual normalizer must
+/// not guess which is which.
+pub fn normalize_eql(text: &str) -> String {
+    let trimmed = text.trim().trim_end_matches(';').trim_end();
+    let mut out = String::with_capacity(trimmed.len());
+    let mut in_string = false;
+    let mut pending_space = false;
+    for ch in trimmed.chars() {
+        if in_string {
+            out.push(ch);
+            if ch == '\'' {
+                in_string = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        if ch == '\'' {
+            in_string = true;
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// A query prepared against one catalog generation: parsed, lowered,
+/// validated, and rewritten exactly once.
+#[derive(Debug)]
+pub struct PreparedPlan {
+    normalized: String,
+    generation: u64,
+    optimized: LogicalPlan,
+    rewrites: Vec<String>,
+}
+
+impl PreparedPlan {
+    /// Parse, lower, validate, and optimize `text` against `catalog`
+    /// as it stands at `generation`.
+    ///
+    /// # Errors
+    /// Lex/parse errors, unknown relations/attributes — exactly the
+    /// plan-time errors of [`crate::execute`].
+    pub fn prepare(
+        catalog: &Catalog,
+        generation: u64,
+        text: &str,
+    ) -> Result<PreparedPlan, QueryError> {
+        let stmt = crate::parser::parse(text)?;
+        let plan = lower_validated(&stmt, catalog)?;
+        let logical = plan.to_logical();
+        // Deriving the output schema forces every scan leaf to
+        // resolve, so a query over an unregistered relation fails
+        // *here* — at prepare time, with a typed error — instead of
+        // caching a plan that can only fail at execution.
+        evirel_plan::schema_of(&logical, catalog)?;
+        let (optimized, fired) = evirel_plan::optimize(&logical, catalog);
+        Ok(PreparedPlan {
+            normalized: normalize_eql(text),
+            generation,
+            optimized,
+            rewrites: fired.iter().map(|r| r.to_string()).collect(),
+        })
+    }
+
+    /// The normalized text this plan was prepared from.
+    pub fn normalized(&self) -> &str {
+        &self.normalized
+    }
+
+    /// The catalog generation this plan is valid for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The optimized logical plan (rewrites already applied).
+    pub fn optimized(&self) -> &LogicalPlan {
+        &self.optimized
+    }
+
+    /// The rewrite rules that fired during preparation, rendered.
+    pub fn rewrites(&self) -> &[String] {
+        &self.rewrites
+    }
+}
+
+/// Counters describing cache effectiveness — `hits` is the
+/// observable "lowering/rewrite was skipped" signal the service's
+/// `STATS` command and the eql shell's `\cache` expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from cache (same text, same generation).
+    pub hits: u64,
+    /// Lookups that had to prepare (no entry at all).
+    pub misses: u64,
+    /// Lookups that found the text but at an older generation — the
+    /// stale-plan hazard, detected and re-prepared.
+    pub stale: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    plans: HashMap<String, Arc<PreparedPlan>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+    stats: CacheStats,
+}
+
+/// A shared, bounded cache of [`PreparedPlan`]s keyed by normalized
+/// EQL text, validated against the catalog generation on every
+/// lookup. Thread-safe; one instance serves every session of a
+/// query service.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (≥ 1 enforced).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// The plan for `text` under `snapshot`'s generation, preparing
+    /// and caching it on a miss. Returns the plan and whether it was
+    /// a cache hit (`true` = lowering/rewrite were skipped).
+    ///
+    /// # Errors
+    /// Preparation errors on a miss; errors are **not** cached.
+    pub fn prepare_or_cached(
+        &self,
+        snapshot: &CatalogSnapshot,
+        text: &str,
+    ) -> Result<(Arc<PreparedPlan>, bool), QueryError> {
+        let normalized = normalize_eql(text);
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let fresh = inner
+                .plans
+                .get(&normalized)
+                .filter(|p| p.generation() == snapshot.generation())
+                .cloned();
+            match fresh {
+                Some(plan) => {
+                    inner.stats.hits += 1;
+                    return Ok((plan, true));
+                }
+                None if inner.plans.contains_key(&normalized) => inner.stats.stale += 1,
+                None => inner.stats.misses += 1,
+            }
+        }
+        // Prepare outside the lock: planning is the expensive part,
+        // and concurrent sessions preparing different queries should
+        // not serialize. Two sessions racing on the *same* text both
+        // prepare; last insert wins — wasted work, never wrong
+        // results.
+        let plan = Arc::new(PreparedPlan::prepare(
+            snapshot.catalog(),
+            snapshot.generation(),
+            text,
+        )?);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner
+            .plans
+            .insert(normalized.clone(), Arc::clone(&plan))
+            .is_none()
+        {
+            inner.order.push_back(normalized);
+            while inner.plans.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    if inner.plans.remove(&oldest).is_some() {
+                        inner.stats.evictions += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        inner.stats.entries = inner.plans.len();
+        Ok((plan, false))
+    }
+
+    /// Whether `text` would hit the cache at `generation`, without
+    /// touching the statistics — for `EXPLAIN`-style observability.
+    pub fn peek(&self, text: &str, generation: u64) -> bool {
+        let normalized = normalize_eql(text);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .plans
+            .get(&normalized)
+            .is_some_and(|p| p.generation() == generation)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            entries: inner.plans.len(),
+            ..inner.stats
+        }
+    }
+
+    /// Drop every cached plan (stats are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.plans.clear();
+        inner.order.clear();
+        inner.stats.entries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SharedCatalog;
+    use evirel_workload::restaurant_db_a;
+
+    fn shared() -> SharedCatalog {
+        let mut c = Catalog::new();
+        c.register("ra", restaurant_db_a().restaurants);
+        SharedCatalog::new(c)
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_not_strings() {
+        assert_eq!(
+            normalize_eql("  SELECT *\n  FROM   ra ;  "),
+            "SELECT * FROM ra"
+        );
+        // Whitespace inside string literals is preserved.
+        assert_eq!(
+            normalize_eql("SELECT * FROM ra WHERE rname = 'two  words'"),
+            "SELECT * FROM ra WHERE rname = 'two  words'"
+        );
+        // Case is NOT folded (identifiers are case-sensitive).
+        assert_ne!(normalize_eql("select * from ra"), "SELECT * FROM ra");
+    }
+
+    #[test]
+    fn same_text_hits_different_generation_reprepares() {
+        let shared = shared();
+        let cache = PlanCache::new(8);
+        let snap = shared.pin();
+        let (_, hit) = cache
+            .prepare_or_cached(&snap, "SELECT * FROM ra WITH SN > 0")
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = cache
+            .prepare_or_cached(&snap, "SELECT   * FROM ra   WITH SN > 0 ;")
+            .unwrap();
+        assert!(hit, "formatting variants share an entry");
+        assert_eq!(cache.stats().hits, 1);
+
+        shared
+            .update(|c| {
+                c.register("ra", restaurant_db_a().restaurants);
+                Ok(())
+            })
+            .unwrap();
+        let snap = shared.pin();
+        let (_, hit) = cache
+            .prepare_or_cached(&snap, "SELECT * FROM ra WITH SN > 0")
+            .unwrap();
+        assert!(!hit, "generation bump invalidates");
+        assert_eq!(cache.stats().stale, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let shared = shared();
+        let cache = PlanCache::new(2);
+        let snap = shared.pin();
+        for q in [
+            "SELECT * FROM ra",
+            "SELECT * FROM ra WITH SN > 0.5",
+            "SELECT * FROM ra WITH SN > 0.7",
+        ] {
+            cache.prepare_or_cached(&snap, q).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // The oldest entry is gone, the newest two still hit.
+        assert!(!cache.peek("SELECT * FROM ra", snap.generation()));
+        assert!(cache.peek("SELECT * FROM ra WITH SN > 0.7", snap.generation()));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let shared = shared();
+        let cache = PlanCache::new(8);
+        let snap = shared.pin();
+        assert!(cache
+            .prepare_or_cached(&snap, "SELECT * FROM ghost")
+            .is_err());
+        assert_eq!(cache.stats().entries, 0);
+        // Two misses recorded, no entry left behind.
+        assert!(cache
+            .prepare_or_cached(&snap, "SELECT * FROM ghost")
+            .is_err());
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! One query session over a shared catalog: snapshot-pinned reads,
+//! cached prepared plans, and per-session resource budgets.
+//!
+//! A [`Session`] is what a server worker (or the eql shell) holds per
+//! connection. Every query pins one catalog generation
+//! ([`crate::snapshot::SharedCatalog::pin`]), resolves its plan
+//! through the shared [`crate::prepare::PlanCache`], and executes
+//! under this session's slice of the process-wide resources: the
+//! thread budget (`EVIREL_THREADS`) and spill budget
+//! (`EVIREL_BUFFER_BYTES`) are carved per session so N concurrent
+//! sessions cannot multiply them by N.
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::exec::QueryOutcome;
+use crate::prepare::PlanCache;
+use crate::snapshot::{CatalogSnapshot, SharedCatalog};
+use evirel_plan::ExecContext;
+use std::sync::Arc;
+
+/// Per-session resource limits, carved from the process budgets.
+/// `None` fields fall back to the pinned catalog's own settings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionBudget {
+    /// Worker threads this session's queries may use (caps
+    /// [`ExecContext::parallelism`]).
+    pub parallelism: Option<usize>,
+    /// Spill threshold in bytes for this session's merge build sides
+    /// (caps [`ExecContext::spill_threshold_bytes`]).
+    pub spill_bytes: Option<usize>,
+}
+
+impl SessionBudget {
+    /// An even share of `total_threads` and `pool_bytes` across
+    /// `sessions` concurrent sessions (each at least 1 thread / 1
+    /// byte, so small budgets degrade to sequential, eagerly-spilling
+    /// sessions rather than panicking).
+    pub fn share_of(total_threads: usize, pool_bytes: usize, sessions: usize) -> SessionBudget {
+        let sessions = sessions.max(1);
+        SessionBudget {
+            parallelism: Some((total_threads / sessions).max(1)),
+            spill_bytes: Some((pool_bytes / sessions).max(1)),
+        }
+    }
+}
+
+/// The result of one session query: the relation/report/stats of
+/// [`QueryOutcome`] plus execution provenance.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The relation, conflict report, and counters.
+    pub outcome: QueryOutcome,
+    /// `true` when the plan came from the cache — lowering,
+    /// validation, and the rewrite pass were all skipped.
+    pub cached_plan: bool,
+    /// The catalog generation the query executed against.
+    pub generation: u64,
+}
+
+/// A session over a [`SharedCatalog`] + [`PlanCache`] pair. Cheap to
+/// clone conceptually (all shared state is behind `Arc`s), but each
+/// connection should own one so budgets stay per-session.
+#[derive(Debug)]
+pub struct Session {
+    shared: Arc<SharedCatalog>,
+    cache: Arc<PlanCache>,
+    /// This session's resource slice.
+    pub budget: SessionBudget,
+}
+
+impl Session {
+    /// A session with default (uncapped) budgets.
+    pub fn new(shared: Arc<SharedCatalog>, cache: Arc<PlanCache>) -> Session {
+        Session {
+            shared,
+            cache,
+            budget: SessionBudget::default(),
+        }
+    }
+
+    /// A session with an explicit budget.
+    pub fn with_budget(
+        shared: Arc<SharedCatalog>,
+        cache: Arc<PlanCache>,
+        budget: SessionBudget,
+    ) -> Session {
+        Session {
+            shared,
+            cache,
+            budget,
+        }
+    }
+
+    /// The shared catalog this session reads and writes.
+    pub fn shared(&self) -> &Arc<SharedCatalog> {
+        &self.shared
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Pin the current catalog generation (see
+    /// [`SharedCatalog::pin`]).
+    pub fn pin(&self) -> Arc<CatalogSnapshot> {
+        self.shared.pin()
+    }
+
+    /// Execute `text` against a pinned snapshot, through the plan
+    /// cache, under this session's budget.
+    ///
+    /// # Errors
+    /// As [`crate::execute`]; additionally nothing — a malformed
+    /// query, unknown relation, or algebra failure all round-trip as
+    /// typed [`QueryError`]s, never a panic.
+    pub fn query(&self, text: &str) -> Result<SessionOutcome, QueryError> {
+        let snapshot = self.pin();
+        self.query_pinned(&snapshot, text)
+    }
+
+    /// [`Session::query`] against an already-pinned snapshot — for
+    /// callers composing a read with other reads of the same
+    /// generation.
+    ///
+    /// # Errors
+    /// As [`Session::query`].
+    pub fn query_pinned(
+        &self,
+        snapshot: &CatalogSnapshot,
+        text: &str,
+    ) -> Result<SessionOutcome, QueryError> {
+        let (prepared, cached_plan) = self.cache.prepare_or_cached(snapshot, text)?;
+        let mut ctx = self.context_for(snapshot.catalog());
+        let relation =
+            evirel_plan::execute_optimized(prepared.optimized(), snapshot.catalog(), &mut ctx)?;
+        Ok(SessionOutcome {
+            outcome: QueryOutcome {
+                relation,
+                report: ctx.conflict_report(),
+                stats: ctx.stats,
+            },
+            cached_plan,
+            generation: snapshot.generation(),
+        })
+    }
+
+    /// Apply a catalog mutation as the next generation (see
+    /// [`SharedCatalog::update`]). Cached plans of older generations
+    /// become stale automatically — the cache re-prepares on next
+    /// lookup.
+    ///
+    /// # Errors
+    /// Whatever `mutate` returns; nothing is published then.
+    pub fn update<T>(
+        &self,
+        mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
+    ) -> Result<T, QueryError> {
+        self.shared.update(mutate)
+    }
+
+    /// Full `EXPLAIN` of `text` against the current generation, with
+    /// a trailing `plan cache:` line showing whether execution would
+    /// hit the prepared-plan cache (the observable "lowering/rewrite
+    /// skipped" signal).
+    ///
+    /// # Errors
+    /// As [`crate::explain_with`].
+    pub fn explain(&self, text: &str) -> Result<String, QueryError> {
+        let snapshot = self.pin();
+        let mut out = crate::plan::explain_with(snapshot.catalog(), text)?;
+        let hit = self.cache.peek(text, snapshot.generation());
+        out.push_str(&format!(
+            "plan cache: {} (generation {})\n",
+            if hit {
+                "hit — lowering/rewrite skipped"
+            } else {
+                "miss — would prepare"
+            },
+            snapshot.generation(),
+        ));
+        Ok(out)
+    }
+
+    /// The execution context this session's queries run under:
+    /// catalog options and pool, with parallelism and spill threshold
+    /// capped to the session budget.
+    fn context_for(&self, catalog: &Catalog) -> ExecContext {
+        let mut ctx = ExecContext::with_options(catalog.union_options.clone());
+        ctx.pool = Arc::clone(&catalog.pool);
+        ctx.parallelism = self
+            .budget
+            .parallelism
+            .unwrap_or(catalog.parallelism)
+            .max(1);
+        ctx.spill_threshold_bytes = self
+            .budget
+            .spill_bytes
+            .unwrap_or_else(|| catalog.pool.budget_bytes());
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evirel_workload::{restaurant_db_a, restaurant_db_b};
+
+    fn session() -> Session {
+        let mut c = Catalog::new();
+        c.register("ra", restaurant_db_a().restaurants);
+        c.register("rb", restaurant_db_b().restaurants);
+        Session::new(
+            Arc::new(SharedCatalog::new(c)),
+            Arc::new(PlanCache::default()),
+        )
+    }
+
+    #[test]
+    fn query_results_match_direct_execution_and_cache_kicks_in() {
+        let s = session();
+        let q = "SELECT * FROM ra UNION rb";
+        let first = s.query(q).unwrap();
+        assert_eq!(first.outcome.relation.len(), 6);
+        assert!(!first.cached_plan);
+        assert!(!first.outcome.report.is_empty());
+        let second = s.query(q).unwrap();
+        assert!(second.cached_plan, "second run must reuse the plan");
+        assert!(first.outcome.relation.approx_eq(&second.outcome.relation));
+        assert_eq!(first.outcome.stats, second.outcome.stats);
+        // Direct (uncached) execution agrees bit for bit.
+        let direct = crate::execute(s.pin().catalog(), q).unwrap();
+        assert!(direct.approx_eq(&second.outcome.relation));
+        assert_eq!(
+            direct.keys().collect::<Vec<_>>(),
+            second.outcome.relation.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budgets_cap_parallelism_and_spill() {
+        let budget = SessionBudget::share_of(8, 4096, 4);
+        assert_eq!(budget.parallelism, Some(2));
+        assert_eq!(budget.spill_bytes, Some(1024));
+        // Degenerate splits stay ≥ 1 instead of zeroing out.
+        let tiny = SessionBudget::share_of(1, 10, 64);
+        assert_eq!(tiny.parallelism, Some(1));
+        assert_eq!(tiny.spill_bytes, Some(1));
+    }
+
+    #[test]
+    fn explain_reports_cache_state() {
+        let s = session();
+        let q = "SELECT * FROM ra WITH SN > 0.5";
+        let text = s.explain(q).unwrap();
+        assert!(text.contains("plan cache: miss"), "{text}");
+        s.query(q).unwrap();
+        let text = s.explain(q).unwrap();
+        assert!(text.contains("plan cache: hit"), "{text}");
+        s.update(|c| {
+            c.register("ra", restaurant_db_a().restaurants);
+            Ok(())
+        })
+        .unwrap();
+        let text = s.explain(q).unwrap();
+        assert!(text.contains("plan cache: miss"), "{text}");
+    }
+
+    #[test]
+    fn malformed_input_is_typed_never_a_panic() {
+        let s = session();
+        for bad in [
+            "",
+            "SELEC",
+            "SELECT * FROM ghost",
+            "SELECT * FROM ra WHERE ghost IS {x}",
+            "SELECT phone FROM ra",
+            "\u{0}\u{1}garbage\u{ffff}",
+        ] {
+            assert!(s.query(bad).is_err(), "{bad:?} must be a typed error");
+        }
+    }
+}

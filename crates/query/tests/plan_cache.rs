@@ -1,0 +1,143 @@
+//! Regression: a cached plan must not execute after `\load` has
+//! replaced the relation binding it was prepared against.
+//!
+//! The hazard (this is the failing-first scenario the generation
+//! keying fixes): a plan prepared at catalog generation G bakes in
+//! G's schemas — projection lists, rewrite decisions. If the cache
+//! keyed on query text alone, a `\load` that rebinds the name to a
+//! relation with a different schema would leave the old plan live,
+//! and re-execution would fail deep inside the executor (or worse,
+//! silently apply stale rewrite decisions). With (text, generation)
+//! keying the stale entry can never be returned: the lookup records a
+//! stale invalidation and re-prepares against the new binding.
+
+use evirel_query::{Catalog, PlanCache, Session, SharedCatalog};
+use evirel_workload::generator::{generate, GeneratorConfig};
+use evirel_workload::restaurant_db_a;
+use std::sync::Arc;
+
+const QUERY_OLD_SCHEMA: &str = "SELECT rname, speciality FROM t WITH SN > 0";
+const QUERY_NEW_SCHEMA: &str = "SELECT k, e0 FROM t WITH SN > 0";
+
+/// A session whose catalog binds `t` to the restaurant relation
+/// (schema: rname, speciality, …), plus the path of a binary segment
+/// holding a *generated* relation (schema: k, e0, e1, e2) ready to be
+/// `\load`-ed over the same name.
+fn session_and_segment() -> (Session, std::path::PathBuf) {
+    let mut catalog = Catalog::new();
+    catalog.register("t", restaurant_db_a().restaurants);
+    let generated = generate(
+        "G",
+        &GeneratorConfig {
+            tuples: 64,
+            seed: 7,
+            ..GeneratorConfig::default()
+        },
+    )
+    .expect("generator config is valid");
+    let path = evirel_store::spill_path("plan-cache-regress");
+    evirel_store::write_segment(&generated, &path, 512).expect("segment writes");
+    let session = Session::new(
+        Arc::new(SharedCatalog::new(catalog)),
+        Arc::new(PlanCache::default()),
+    );
+    (session, path)
+}
+
+#[test]
+fn load_replacing_a_binding_invalidates_the_cached_plan() {
+    let (session, segment) = session_and_segment();
+
+    // Warm the cache at generation 0 and prove it's being reused.
+    let first = session.query(QUERY_OLD_SCHEMA).expect("valid at gen 0");
+    assert!(!first.cached_plan);
+    let second = session.query(QUERY_OLD_SCHEMA).expect("still valid");
+    assert!(second.cached_plan, "second execution must hit the cache");
+    assert_eq!(first.generation, second.generation);
+
+    // Hold onto the stale plan the way a text-keyed cache would: this
+    // is the plan prepared against the *restaurant* schema.
+    let snapshot_old = session.pin();
+    let (stale_plan, hit) = session
+        .cache()
+        .prepare_or_cached(&snapshot_old, QUERY_OLD_SCHEMA)
+        .expect("cached");
+    assert!(hit);
+
+    // `\load`: rebind `t` to the on-disk generated segment — a
+    // completely different schema. Publishes generation 1.
+    session
+        .update(|c| c.attach_stored("t", &segment))
+        .expect("attach replaces the binding");
+
+    // THE HAZARD: executing the stale plan against the new catalog is
+    // exactly what an unkeyed cache would do. The projection
+    // references `rname`, which the new binding does not have — this
+    // fails at *execution* time, after the query was supposedly
+    // planned. (Before the generation keying, this error — or a stale
+    // rewrite decision — is what clients would see.)
+    let snapshot_new = session.pin();
+    let mut ctx =
+        evirel_plan::ExecContext::with_options(snapshot_new.catalog().union_options.clone());
+    ctx.pool = Arc::clone(&snapshot_new.catalog().pool);
+    let stale_exec =
+        evirel_plan::execute_optimized(stale_plan.optimized(), snapshot_new.catalog(), &mut ctx);
+    assert!(
+        stale_exec.is_err(),
+        "executing the generation-0 plan against generation 1 must fail — \
+         this is the bug an unkeyed cache ships to clients"
+    );
+
+    // THE FIX: the session's lookup keys on (text, generation), so it
+    // refuses the stale entry, re-prepares against the new binding,
+    // and surfaces a *plan-time* typed error instead.
+    let err = session
+        .query(QUERY_OLD_SCHEMA)
+        .expect_err("rname is unknown in the new schema");
+    assert_eq!(err.kind(), "unknown-attribute");
+    assert!(
+        session.cache().stats().stale >= 1,
+        "the stale entry must be recorded as an invalidation"
+    );
+
+    // And queries phrased for the new schema both plan and execute —
+    // the session genuinely sees the new binding, not a cached ghost
+    // of the old one.
+    let new_schema = session.query(QUERY_NEW_SCHEMA).expect("valid at gen 1");
+    assert!(!new_schema.cached_plan);
+    assert_eq!(new_schema.outcome.relation.len(), 64);
+
+    std::fs::remove_file(&segment).ok();
+}
+
+#[test]
+fn rebinding_back_reprepares_rather_than_resurrecting() {
+    let (session, segment) = session_and_segment();
+    let gen0 = session.query(QUERY_OLD_SCHEMA).expect("valid at gen 0");
+
+    // t → generated segment (gen 1), then back to the restaurant
+    // relation (gen 2). Same text as gen 0, but generation 2 ≠ 0, so
+    // the cache must re-prepare — old entries are never resurrected
+    // across rebinds, even to "the same" relation.
+    session
+        .update(|c| c.attach_stored("t", &segment))
+        .expect("attach");
+    session
+        .update(|c| {
+            c.register("t", restaurant_db_a().restaurants);
+            Ok(())
+        })
+        .expect("re-register");
+
+    let gen2 = session
+        .query(QUERY_OLD_SCHEMA)
+        .expect("valid again at gen 2");
+    assert!(!gen2.cached_plan, "generation 2 must prepare fresh");
+    assert_eq!(gen2.generation, gen0.generation + 2);
+    assert!(gen0.outcome.relation.approx_eq(&gen2.outcome.relation));
+
+    // From here the gen-2 entry is reused normally.
+    assert!(session.query(QUERY_OLD_SCHEMA).expect("cached").cached_plan);
+
+    std::fs::remove_file(&segment).ok();
+}

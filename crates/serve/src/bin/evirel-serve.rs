@@ -1,0 +1,142 @@
+//! `evirel-serve` — the query-service daemon.
+//!
+//! ```text
+//! evirel-serve [--addr HOST:PORT] [--workers N] [--max-pending N]
+//!              [--seed-workload TUPLES] [file.evr | file.evb ...]
+//! ```
+//!
+//! Relations given on the command line load under their file
+//! basename (`.evb` segments attach as stored relations streaming
+//! through the buffer pool). `--seed-workload N` additionally
+//! registers the paper's restaurant databases (`ra`, `rb`) and a
+//! generated union-compatible pair (`ga`, `gb`) of N tuples each —
+//! the dataset the `evirel-bombard` load driver targets.
+//!
+//! The process budgets come from the environment: `EVIREL_THREADS`
+//! (total worker threads for query execution, carved across the
+//! session pool) and `EVIREL_BUFFER_BYTES` (buffer-pool/spill
+//! budget, likewise carved). The server prints one line —
+//! `evirel-serve listening on <addr>` — to stdout once the socket is
+//! bound, then runs until a client sends `SHUTDOWN`.
+
+use evirel_query::Catalog;
+use evirel_serve::{start, ServeConfig};
+use std::io::Write;
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:4643".into(),
+        ..ServeConfig::default()
+    };
+    let mut seed_tuples: Option<usize> = None;
+    let mut files = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: evirel-serve [--addr HOST:PORT] [--workers N] \
+                     [--max-pending N] [--seed-workload TUPLES] [file.evr|file.evb ...]"
+                );
+                return;
+            }
+            "--addr" => config.addr = required(&mut args, "--addr"),
+            "--workers" => config.workers = parse_num(&required(&mut args, "--workers")),
+            "--max-pending" => {
+                config.max_pending = parse_num(&required(&mut args, "--max-pending"));
+            }
+            "--seed-workload" => {
+                seed_tuples = Some(parse_num(&required(&mut args, "--seed-workload")));
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+
+    let mut catalog = Catalog::new();
+    for path in &files {
+        if let Err(e) = load(&mut catalog, path) {
+            eprintln!("error loading {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(tuples) = seed_tuples {
+        if let Err(e) = seed(&mut catalog, tuples) {
+            eprintln!("error seeding workload: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let handle = match start(catalog, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("evirel-serve listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    let stats = handle.join();
+    eprintln!(
+        "evirel-serve: shut down cleanly — {} session(s), {} request(s), \
+         {} error(s), {} busy rejection(s), {} merge(s), {} panic(s)",
+        stats.sessions,
+        stats.requests,
+        stats.errors,
+        stats.rejected_busy,
+        stats.merges,
+        stats.panics,
+    );
+    if stats.panics > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn required(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_num(raw: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("expected a positive integer, got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(catalog: &mut Catalog, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation")
+        .to_owned();
+    if path.ends_with(".evb") {
+        catalog.attach_stored(name, path)?;
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path)?;
+    catalog.register(name, evirel_storage::read_relation(&text)?);
+    Ok(())
+}
+
+fn seed(catalog: &mut Catalog, tuples: usize) -> Result<(), Box<dyn std::error::Error>> {
+    catalog.register("ra", evirel_workload::restaurant_db_a().restaurants);
+    catalog.register("rb", evirel_workload::restaurant_db_b().restaurants);
+    let pair = evirel_workload::PairConfig {
+        base: evirel_workload::GeneratorConfig {
+            tuples,
+            ..evirel_workload::GeneratorConfig::default()
+        },
+        key_overlap: 0.5,
+        conflict_bias: 0.25,
+    };
+    let (ga, gb) = evirel_workload::generator::generate_pair(&pair)?;
+    catalog.register("ga", ga);
+    catalog.register("gb", gb);
+    Ok(())
+}

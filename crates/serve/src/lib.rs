@@ -1,0 +1,43 @@
+//! # evirel-serve — a concurrent query service over extended relations
+//!
+//! The paper's integration operators assume a *database service*
+//! context: many clients querying and merging evidential relations at
+//! once. This crate is that front-end — a registry-free (std-only)
+//! TCP server wrapping the EQL engine of [`evirel_query`]:
+//!
+//! * **Epoch-snapshot catalog** — every query pins one immutable
+//!   catalog generation ([`evirel_query::SharedCatalog`]); `MERGE`
+//!   writes publish the next generation atomically (RCU-style swap),
+//!   so readers never observe a half-updated binding set.
+//! * **Prepared-plan cache** — plans are keyed by (normalized EQL,
+//!   generation) in a shared [`evirel_query::PlanCache`]; repeated
+//!   service traffic skips lowering/validation/rewrite, and a
+//!   generation bump invalidates stale plans by construction.
+//! * **Admission control** — a bounded worker pool serves sessions;
+//!   connections beyond the pending-queue bound get a typed `BUSY`
+//!   frame instead of an unbounded thread pile. Each worker session
+//!   runs under a [`evirel_query::SessionBudget`] carving
+//!   `EVIREL_THREADS` / `EVIREL_BUFFER_BYTES` across the pool.
+//! * **Length-prefixed wire protocol** — see [`protocol`]; small
+//!   enough to re-implement from the doc comment (the
+//!   `evirel-bombard` load driver in `evirel-workload` does exactly
+//!   that, keeping the dependency graph acyclic).
+//!
+//! ```no_run
+//! use evirel_query::Catalog;
+//! use evirel_serve::{start, ServeConfig};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register("ra", evirel_workload::restaurant_db_a().restaurants);
+//! let handle = start(catalog, ServeConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! // ... clients connect, QUERY/MERGE/..., one sends SHUTDOWN ...
+//! let stats = handle.join();
+//! assert_eq!(stats.panics, 0);
+//! ```
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
+pub use server::{start, ServeConfig, ServerHandle, ServerStats, StatsSnapshot};

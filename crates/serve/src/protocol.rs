@@ -1,0 +1,352 @@
+//! The evirel-serve wire protocol: length-prefixed UTF-8 frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | u32 big-endian |  UTF-8 payload      |
+//! | payload length |  (length bytes)     |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The payload is line-oriented: the **first line** carries the verb
+//! (requests) or status (responses); everything after the first `\n`
+//! is the body. Requests:
+//!
+//! ```text
+//! PING                         liveness check
+//! QUERY\n<eql text>            execute a query (read)
+//! EXPLAIN\n<eql text>          plans + plan-cache state (read)
+//! MERGE <name>\n<eql text>     execute, register result as <name>
+//!                              (write — publishes a new generation)
+//! STATS                        server/cache/pool counters
+//! SHUTDOWN                     stop accepting, drain, exit
+//! ```
+//!
+//! Responses: `OK\n<body>`, `ERR <kind>\n<message>` (kind is
+//! [`evirel_query::QueryError::kind`] or `protocol`), and
+//! `BUSY\n<message>` — the typed admission-control rejection sent
+//! when the pending-connection queue is full. A client that receives
+//! `BUSY` should back off and reconnect; the stream is closed right
+//! after the frame.
+//!
+//! The framing layer is deliberately small enough that clients with
+//! no dependency on this crate (the `evirel-bombard` load driver, or
+//! any other language entirely) can re-implement it from this comment
+//! alone.
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload. Large enough for any rendered
+/// relation this workspace produces, small enough that a corrupt or
+/// hostile length prefix cannot make a worker allocate gigabytes.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Write one frame.
+///
+/// # Errors
+/// I/O errors; `InvalidInput` if `payload` exceeds
+/// [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_BYTES", bytes.len()),
+        ));
+    }
+    // One buffer, one write: header and payload in separate writes
+    // would hand Nagle + delayed-ACK a ~40 ms stall per frame on
+    // loopback.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&u32::to_be_bytes(bytes.len() as u32));
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); an EOF in the *middle* of a frame is an
+/// error, as are oversized lengths and invalid UTF-8.
+///
+/// # Errors
+/// I/O errors (including read timeouts, surfaced as
+/// `WouldBlock`/`TimedOut` — the server's poll loop relies on this);
+/// `InvalidData` for oversized or non-UTF-8 payloads.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_BYTES"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Execute an EQL query against a pinned snapshot.
+    Query(String),
+    /// Explain an EQL query (plans, rewrites, plan-cache state).
+    Explain(String),
+    /// Execute an EQL query and register the result under `name` —
+    /// the write path; publishes a new catalog generation.
+    Merge {
+        /// Catalog name the result is registered under.
+        name: String,
+        /// The query producing the relation to register.
+        query: String,
+    },
+    /// Server, plan-cache, and buffer-pool counters.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain pending sessions.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse a request frame payload.
+    ///
+    /// # Errors
+    /// A human-readable description of the malformation (sent back as
+    /// `ERR protocol`).
+    pub fn parse(payload: &str) -> Result<Request, String> {
+        let (head, body) = match payload.split_once('\n') {
+            Some((h, b)) => (h.trim(), b),
+            None => (payload.trim(), ""),
+        };
+        let mut words = head.split_whitespace();
+        let verb = words.next().unwrap_or("");
+        let request = match verb {
+            "PING" => Request::Ping,
+            "STATS" => Request::Stats,
+            "SHUTDOWN" => Request::Shutdown,
+            "QUERY" | "EXPLAIN" => {
+                if body.trim().is_empty() {
+                    return Err(format!("{verb} requires a query body after the verb line"));
+                }
+                if verb == "QUERY" {
+                    Request::Query(body.to_owned())
+                } else {
+                    Request::Explain(body.to_owned())
+                }
+            }
+            "MERGE" => {
+                let name = words
+                    .next()
+                    .ok_or("MERGE requires a target name: MERGE <name>")?;
+                if !is_identifier(name) {
+                    return Err(format!(
+                        "MERGE target {name:?} is not an identifier ([A-Za-z_][A-Za-z0-9_]*)"
+                    ));
+                }
+                if body.trim().is_empty() {
+                    return Err("MERGE requires a query body after the verb line".into());
+                }
+                Request::Merge {
+                    name: name.to_owned(),
+                    query: body.to_owned(),
+                }
+            }
+            "" => return Err("empty request".into()),
+            other => return Err(format!("unknown verb {other:?}")),
+        };
+        if let Some(junk) = words.next() {
+            return Err(format!(
+                "unexpected trailing token {junk:?} on the {verb} verb line"
+            ));
+        }
+        Ok(request)
+    }
+
+    /// Encode this request as a frame payload (inverse of
+    /// [`Request::parse`]).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => "PING".into(),
+            Request::Stats => "STATS".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
+            Request::Query(q) => format!("QUERY\n{q}"),
+            Request::Explain(q) => format!("EXPLAIN\n{q}"),
+            Request::Merge { name, query } => format!("MERGE {name}\n{query}"),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; the body is verb-specific text.
+    Ok {
+        /// Verb-specific body (rendered relation, stats, …).
+        body: String,
+    },
+    /// A typed failure — the request was understood and rejected.
+    Err {
+        /// Machine-readable kind: [`evirel_query::QueryError::kind`]
+        /// values, `protocol` for malformed requests, or `panic` for
+        /// a caught worker panic.
+        kind: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Admission control: the server is at capacity. Back off and
+    /// retry; the connection is closed after this frame.
+    Busy {
+        /// Human-readable description (includes queue capacity).
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for `Err` responses.
+    pub fn error(kind: impl Into<String>, message: impl Into<String>) -> Response {
+        Response::Err {
+            kind: kind.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Encode as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok { body } => format!("OK\n{body}"),
+            Response::Err { kind, message } => format!("ERR {kind}\n{message}"),
+            Response::Busy { message } => format!("BUSY\n{message}"),
+        }
+    }
+
+    /// Parse a response frame payload (the client side of
+    /// [`Response::encode`]).
+    ///
+    /// # Errors
+    /// A description of the malformation.
+    pub fn parse(payload: &str) -> Result<Response, String> {
+        let (head, body) = match payload.split_once('\n') {
+            Some((h, b)) => (h.trim(), b),
+            None => (payload.trim(), ""),
+        };
+        let mut words = head.split_whitespace();
+        match words.next() {
+            Some("OK") => Ok(Response::Ok { body: body.into() }),
+            Some("BUSY") => Ok(Response::Busy {
+                message: body.into(),
+            }),
+            Some("ERR") => Ok(Response::Err {
+                kind: words.next().unwrap_or("unknown").into(),
+                message: body.into(),
+            }),
+            _ => Err(format!("unrecognized response status line {head:?}")),
+        }
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "QUERY\nSELECT * FROM ra").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("QUERY\nSELECT * FROM ra")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING").unwrap();
+        buf.truncate(6); // header + 2 of 4 payload bytes
+        assert!(read_frame(&mut &buf[..]).is_err());
+        // Mid-header EOF is also an error (not a clean close).
+        assert!(read_frame(&mut &buf[..2]).is_err());
+        // A hostile length prefix fails before allocating.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Query("SELECT * FROM ra".into()),
+            Request::Explain("SELECT * FROM ra UNION rb".into()),
+            Request::Merge {
+                name: "m0".into(),
+                query: "SELECT * FROM ra UNION rb".into(),
+            },
+        ] {
+            assert_eq!(Request::parse(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "",
+            "FROBNICATE",
+            "QUERY",
+            "QUERY\n   ",
+            "MERGE\nSELECT * FROM ra",
+            "MERGE 1bad\nSELECT * FROM ra",
+            "MERGE name-with-dash\nSELECT * FROM ra",
+            "MERGE two names\nSELECT * FROM ra",
+            "PING extra",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok {
+                body: "pong".into(),
+            },
+            Response::error("parse", "parse error at offset 3"),
+            Response::Busy {
+                message: "64 pending".into(),
+            },
+        ] {
+            assert_eq!(Response::parse(&resp.encode()), Ok(resp));
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The thread-pool TCP server: bounded admission, per-session
+//! budgets, epoch-snapshot reads, serialized generation-bumping
+//! writes.
+//!
+//! ## Shape
+//!
+//! One **accept thread** owns the listener. Each accepted connection
+//! goes into a bounded pending queue; when the queue is full the
+//! connection gets a single [`Response::Busy`] frame and is closed —
+//! overload is a typed, observable outcome, never an unbounded pile
+//! of threads. **N worker threads** pop connections and serve each
+//! one to completion (a connection is a session: many requests,
+//! serial). Every worker session holds a [`Session`] over the one
+//! shared [`SharedCatalog`] + [`PlanCache`], with a
+//! [`SessionBudget`] carving `EVIREL_THREADS` / `EVIREL_BUFFER_BYTES`
+//! evenly across the workers — W concurrent sessions cannot multiply
+//! the process budgets by W.
+//!
+//! ## Concurrency contract
+//!
+//! Reads (`QUERY`/`EXPLAIN`) pin one catalog generation for their
+//! whole execution and never block writers. Writes (`MERGE`) execute
+//! their query against a pinned snapshot, then publish the result as
+//! the next generation through [`SharedCatalog::update`]; writers
+//! serialize on the swap, and a reader either sees the whole new
+//! generation or none of it. Worker panics are caught per-request
+//! ([`std::panic::catch_unwind`]) and surfaced as `ERR panic` frames,
+//! so one poisoned request cannot take down a worker or the process.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use evirel_query::{Catalog, PlanCache, Session, SessionBudget, SharedCatalog};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads — the number of sessions served concurrently.
+    pub workers: usize,
+    /// Pending-connection queue bound; connections beyond it are
+    /// rejected with `BUSY` (admission control).
+    pub max_pending: usize,
+    /// Poll interval for idle connections: how often a worker blocked
+    /// on a quiet session re-checks the shutdown flag. Not a
+    /// disconnect timeout — idle sessions stay connected.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_pending: 1024,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Monotonic server counters (all relaxed atomics — they are
+/// observability, not synchronization).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections admitted to the pending queue.
+    pub accepted: AtomicU64,
+    /// Connections rejected with `BUSY` at the admission gate.
+    pub rejected_busy: AtomicU64,
+    /// Sessions served to completion by workers.
+    pub sessions: AtomicU64,
+    /// Requests handled (any verb, any outcome).
+    pub requests: AtomicU64,
+    /// `ERR` responses sent (typed failures, including protocol).
+    pub errors: AtomicU64,
+    /// Worker panics caught and converted to `ERR panic`.
+    pub panics: AtomicU64,
+    /// Successful `MERGE` writes (generation bumps).
+    pub merges: AtomicU64,
+}
+
+/// A plain-data copy of [`ServerStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections admitted to the pending queue.
+    pub accepted: u64,
+    /// Connections rejected with `BUSY`.
+    pub rejected_busy: u64,
+    /// Sessions served to completion.
+    pub sessions: u64,
+    /// Requests handled.
+    pub requests: u64,
+    /// `ERR` responses sent.
+    pub errors: u64,
+    /// Worker panics caught.
+    pub panics: u64,
+    /// Successful `MERGE` writes.
+    pub merges: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything the accept thread and workers share.
+struct Shared {
+    shared: Arc<SharedCatalog>,
+    cache: Arc<PlanCache>,
+    stats: ServerStats,
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    config: ServeConfig,
+    budget: SessionBudget,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        self.ready.notify_all();
+        // Unblock the accept thread: `incoming()` has no timeout, so
+        // poke it with a throwaway connection it will drop on seeing
+        // the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the
+/// server; call [`ServerHandle::shutdown`] (or send the `SHUTDOWN`
+/// verb) and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The shared catalog, for out-of-band seeding or inspection.
+    pub fn catalog(&self) -> &Arc<SharedCatalog> {
+        &self.shared.shared
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.shared.cache
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Begin a graceful shutdown: stop accepting, let workers drain
+    /// the pending queue and finish in-flight sessions. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the accept thread and every worker to exit, returning
+    /// the final counters. Call [`ServerHandle::shutdown`] first (or
+    /// have a client send `SHUTDOWN`), or this blocks indefinitely.
+    pub fn join(mut self) -> StatsSnapshot {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Start a server over `catalog`. Binds synchronously (so the
+/// returned handle's [`addr`](ServerHandle::addr) is immediately
+/// connectable), then spawns the accept thread and `config.workers`
+/// workers.
+///
+/// # Errors
+/// Bind failures.
+pub fn start(catalog: Catalog, config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    // Carve the process budgets across the worker pool: each of the
+    // W concurrent sessions gets threads/W and pool-bytes/W, so total
+    // usage stays within EVIREL_THREADS / EVIREL_BUFFER_BYTES no
+    // matter how many sessions run at once.
+    let budget = SessionBudget::share_of(catalog.parallelism, catalog.pool.budget_bytes(), workers);
+    let shared = Arc::new(Shared {
+        shared: Arc::new(SharedCatalog::new(catalog)),
+        cache: Arc::new(PlanCache::default()),
+        stats: ServerStats::default(),
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        config: ServeConfig { workers, ..config },
+        budget,
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("evirel-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("evirel-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() < shared.config.max_pending {
+            queue.push_back(stream);
+            drop(queue);
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.ready.notify_one();
+        } else {
+            drop(queue);
+            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let busy = Response::Busy {
+                message: format!(
+                    "server at capacity ({} pending sessions); back off and retry",
+                    shared.config.max_pending
+                ),
+            };
+            let _ = write_frame(&mut stream, &busy.encode());
+            // stream drops → connection closes.
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    break Some(c);
+                }
+                // Drain-then-exit: pending sessions admitted before
+                // shutdown still get served.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(queue, shared.config.poll_interval)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        let Some(stream) = conn else { return };
+        shared.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        serve_connection(stream, shared);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    // The read timeout is a *poll* interval: a quiet session loops
+    // here so the worker can notice shutdown, it is never hung up on.
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let session = Session::with_budget(
+        Arc::clone(&shared.shared),
+        Arc::clone(&shared.cache),
+        shared.budget,
+    );
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean close
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // torn frame / reset — nothing to answer
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // A panic inside request handling must not kill the worker:
+        // convert it to a typed ERR frame and keep serving. The
+        // session only holds Arc'd shared state whose invariants the
+        // RCU snapshot layer protects, so resuming after a caught
+        // panic is sound.
+        let handled = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&session, &payload, shared)
+        }));
+        let (response, shutdown_after) = handled.unwrap_or_else(|_| {
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            (
+                Response::error("panic", "internal panic while handling request"),
+                false,
+            )
+        });
+        if matches!(response, Response::Err { .. }) {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return; // peer gone mid-response
+        }
+        if shutdown_after {
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// Handle one request; the bool asks the caller to begin shutdown
+/// after the response frame is written.
+fn handle_request(session: &Session, payload: &str, shared: &Shared) -> (Response, bool) {
+    let request = match Request::parse(payload) {
+        Ok(r) => r,
+        Err(message) => return (Response::error("protocol", message), false),
+    };
+    match request {
+        Request::Ping => (
+            Response::Ok {
+                body: "pong".into(),
+            },
+            false,
+        ),
+        Request::Shutdown => (
+            Response::Ok {
+                body: "shutting down".into(),
+            },
+            true,
+        ),
+        Request::Query(q) => (query_response(session, &q), false),
+        Request::Explain(q) => match session.explain(&q) {
+            Ok(text) => (Response::Ok { body: text }, false),
+            Err(e) => (Response::error(e.kind(), e.to_string()), false),
+        },
+        Request::Merge { name, query } => (merge_response(session, shared, &name, &query), false),
+        Request::Stats => (stats_response(session, shared), false),
+    }
+}
+
+fn query_response(session: &Session, query: &str) -> Response {
+    match session.query(query) {
+        Ok(out) => Response::Ok {
+            body: format!(
+                "tuples={} conflicts={} cached={} generation={}\n{}",
+                out.outcome.relation.len(),
+                out.outcome.report.len(),
+                u8::from(out.cached_plan),
+                out.generation,
+                out.outcome.relation,
+            ),
+        },
+        Err(e) => Response::error(e.kind(), e.to_string()),
+    }
+}
+
+fn merge_response(session: &Session, shared: &Shared, name: &str, query: &str) -> Response {
+    // Read at a pinned snapshot, then publish the result as the next
+    // generation. Two concurrent MERGEs to the same name serialize on
+    // the write lock; last writer wins, and either way every reader
+    // sees a complete binding.
+    let out = match session.query(query) {
+        Ok(out) => out,
+        Err(e) => return Response::error(e.kind(), e.to_string()),
+    };
+    let tuples = out.outcome.relation.len();
+    let published = session.update(|catalog| {
+        catalog.register(name.to_owned(), out.outcome.relation);
+        Ok(())
+    });
+    match published {
+        Ok(()) => {
+            shared.stats.merges.fetch_add(1, Ordering::Relaxed);
+            Response::Ok {
+                body: format!(
+                    "merged {name} tuples={tuples} generation={}",
+                    session.shared().generation()
+                ),
+            }
+        }
+        Err(e) => Response::error(e.kind(), e.to_string()),
+    }
+}
+
+fn stats_response(session: &Session, shared: &Shared) -> Response {
+    let s = shared.stats.snapshot();
+    let c = shared.cache.stats();
+    let snapshot = session.pin();
+    let pool = snapshot.catalog().pool.stats();
+    Response::Ok {
+        body: format!(
+            "server accepted={} busy={} sessions={} requests={} errors={} panics={} merges={}\n\
+             cache entries={} hits={} misses={} stale={} evictions={} generation={}\n\
+             pool hits={} misses={} evictions={} overcommits={}",
+            s.accepted,
+            s.rejected_busy,
+            s.sessions,
+            s.requests,
+            s.errors,
+            s.panics,
+            s.merges,
+            c.entries,
+            c.hits,
+            c.misses,
+            c.stale,
+            c.evictions,
+            snapshot.generation(),
+            pool.hits,
+            pool.misses,
+            pool.evictions,
+            pool.overcommits,
+        ),
+    }
+}

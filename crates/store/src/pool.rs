@@ -86,13 +86,43 @@ impl BufferPool {
     }
 
     /// A pool budgeted from the `EVIREL_BUFFER_BYTES` environment
-    /// variable (bytes; default [`DEFAULT_BUFFER_BYTES`]).
+    /// variable (bytes; default [`DEFAULT_BUFFER_BYTES`]). The
+    /// accepted range is `1..=usize::MAX` — an *invalid* value
+    /// (garbage text, a negative number, or `0`, which would turn
+    /// every page access into an overcommit) is rejected **loudly**:
+    /// one warning per process goes to stderr naming the value and
+    /// the accepted range, and the budget falls back to the default.
     pub fn from_env() -> BufferPool {
-        let budget = std::env::var(BUFFER_BYTES_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_BUFFER_BYTES);
-        BufferPool::new(budget)
+        BufferPool::new(Self::budget_from_env())
+    }
+
+    /// The byte budget [`BufferPool::from_env`] would use, with the
+    /// same invalid-value handling (warn once, fall back to
+    /// [`DEFAULT_BUFFER_BYTES`]).
+    pub fn budget_from_env() -> usize {
+        let Ok(raw) = std::env::var(BUFFER_BYTES_ENV) else {
+            return DEFAULT_BUFFER_BYTES;
+        };
+        Self::parse_budget(&raw).unwrap_or_else(|| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid {BUFFER_BYTES_ENV}={raw:?}: expected a \
+                     positive byte count (1..=usize::MAX); using the default \
+                     {DEFAULT_BUFFER_BYTES} bytes"
+                );
+            });
+            DEFAULT_BUFFER_BYTES
+        })
+    }
+
+    /// Parse an `EVIREL_BUFFER_BYTES` value: `Some(bytes)` for a
+    /// positive integer, `None` for the invalid cases
+    /// [`BufferPool::budget_from_env`] warns about (garbage text,
+    /// negatives, and `0`, which would make every pool access an
+    /// overcommit).
+    pub fn parse_budget(raw: &str) -> Option<usize> {
+        raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
     }
 
     /// The configured byte budget.
@@ -338,6 +368,18 @@ mod tests {
         {
             Some(n) => assert_eq!(pool.budget_bytes(), n.max(1)),
             None => assert_eq!(pool.budget_bytes(), DEFAULT_BUFFER_BYTES),
+        }
+    }
+
+    /// A `0` budget would make every pool access an overcommit, so it
+    /// is invalid like garbage text — `budget_from_env` warns once
+    /// and falls back to the default instead of silently accepting it.
+    #[test]
+    fn budget_parsing_rejects_invalid_values() {
+        assert_eq!(BufferPool::parse_budget("4096"), Some(4096));
+        assert_eq!(BufferPool::parse_budget(" 1 "), Some(1));
+        for invalid in ["", "0", "-4096", "64MiB", "1e6", "lots"] {
+            assert_eq!(BufferPool::parse_budget(invalid), None, "{invalid:?}");
         }
     }
 }

@@ -1,0 +1,105 @@
+//! `evirel-bombard` — load generator for the evirel-serve service.
+//!
+//! ```text
+//! evirel-bombard --addr HOST:PORT [--sessions N] [--ops N]
+//!                [--merge-every K] [--shutdown]
+//! ```
+//!
+//! Opens `--sessions` concurrent connections (barrier-synchronized,
+//! one thread each), issues `--ops` requests per session mixing
+//! `QUERY` reads with a `MERGE` write every `--merge-every`-th
+//! request, and prints the exact counters. With `--shutdown` it sends
+//! the `SHUTDOWN` verb after the run (the CI clean-shutdown gate).
+//!
+//! Exit status: 0 iff the run saw **zero protocol errors and zero
+//! server errors** — the acceptance bar for the service under
+//! ≥ 1000 concurrent sessions.
+
+use evirel_workload::driver::{request_once, run_load, LoadConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut config = LoadConfig::default();
+    let mut shutdown_after = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!(
+                    "usage: evirel-bombard --addr HOST:PORT [--sessions N] [--ops N] \
+                     [--merge-every K] [--shutdown]"
+                );
+                return;
+            }
+            "--addr" => config.addr = required(&mut args, "--addr"),
+            "--sessions" => config.sessions = parse_num(&required(&mut args, "--sessions"), 1),
+            "--ops" => config.ops_per_session = parse_num(&required(&mut args, "--ops"), 1),
+            "--merge-every" => {
+                // 0 = read-only workload.
+                config.merge_every = parse_num(&required(&mut args, "--merge-every"), 0);
+            }
+            "--shutdown" => shutdown_after = true,
+            other => {
+                eprintln!("unknown argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let report = run_load(&config);
+    let elapsed = started.elapsed();
+
+    println!(
+        "evirel-bombard: {} session(s) x {} op(s) against {} in {:.2?}",
+        config.sessions, config.ops_per_session, config.addr, elapsed
+    );
+    println!(
+        "  completed={} ok={} cached_plans={} merges={} busy_retries={} \
+         busy_give_ups={} protocol_errors={} server_errors={}",
+        report.sessions_completed,
+        report.ops_ok,
+        report.cached_plans,
+        report.merges_ok,
+        report.busy_retries,
+        report.busy_give_ups,
+        report.protocol_errors,
+        report.server_errors,
+    );
+
+    if shutdown_after {
+        match request_once(&config.addr, "SHUTDOWN", Duration::from_secs(30)) {
+            Ok(resp) if resp.starts_with("OK") => println!("  shutdown acknowledged"),
+            Ok(resp) => {
+                eprintln!("  shutdown not acknowledged: {resp:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("  shutdown request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if report.protocol_errors > 0 || report.server_errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn required(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_num(raw: &str, min: usize) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= min => n,
+        _ => {
+            eprintln!("expected an integer >= {min}, got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}

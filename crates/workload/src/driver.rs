@@ -1,0 +1,331 @@
+//! Load driver for the evirel-serve query service.
+//!
+//! This module speaks the service's wire protocol with **zero
+//! dependency on the `evirel-serve` crate** (`evirel-query` depends
+//! on this crate, so workload → serve would close a cycle). The
+//! protocol is re-implemented from its spec — one `u32` big-endian
+//! length prefix plus a UTF-8 payload whose first line is the
+//! verb/status — and `evirel-serve`'s integration tests run this
+//! driver against a live in-process server, so the two
+//! implementations cannot drift apart silently.
+//!
+//! [`run_load`] spawns one OS thread per session; every session
+//! opens its own TCP connection (reconnecting with backoff when the
+//! server answers `BUSY`), issues a mix of `QUERY` reads and `MERGE`
+//! writes, and verifies each response frame. The returned
+//! [`LoadReport`] aggregates exact counters — the CI gate asserts
+//! `protocol_errors == 0 && server_errors == 0` after a run with
+//! ≥ 1000 concurrent sessions.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Frame ceiling mirrored from the service spec.
+const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Shape of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:4643`.
+    pub addr: String,
+    /// Concurrent sessions (one thread + one connection each).
+    pub sessions: usize,
+    /// Requests per session.
+    pub ops_per_session: usize,
+    /// Every `merge_every`-th request is a `MERGE` write (10 → 10%
+    /// write mix). 0 disables writes.
+    pub merge_every: usize,
+    /// Merge targets rotate over `m0..m<merge_targets>` by session
+    /// id, so writers contend on a handful of names.
+    pub merge_targets: usize,
+    /// Read-query pool; sessions rotate through it (this is what
+    /// makes the server's plan cache earn its keep).
+    pub queries: Vec<String>,
+    /// Reconnect attempts per request when the server answers `BUSY`.
+    pub max_busy_retries: usize,
+    /// Backoff between `BUSY` retries (doubles per attempt).
+    pub busy_backoff: Duration,
+    /// Per-frame read timeout. Must cover the time a session waits in
+    /// the server's pending queue behind other sessions.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:4643".into(),
+            sessions: 64,
+            ops_per_session: 8,
+            merge_every: 10,
+            merge_targets: 8,
+            queries: default_queries(),
+            max_busy_retries: 8,
+            busy_backoff: Duration::from_millis(20),
+            read_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// The read mix matching `evirel-serve --seed-workload`: the paper's
+/// restaurant databases (`ra`, `rb`) and the generated pair
+/// (`ga`, `gb`).
+pub fn default_queries() -> Vec<String> {
+    [
+        "SELECT * FROM ra WITH SN > 0",
+        "SELECT * FROM ra UNION rb",
+        "SELECT rname, speciality FROM ra WHERE speciality IS {si} WITH SN > 0",
+        "SELECT * FROM ra UNION rb WITH SN > 0.5",
+        "SELECT * FROM ga UNION gb WITH SN > 0.3",
+        "SELECT k, e0 FROM ga WITH SN > 0",
+    ]
+    .map(str::to_owned)
+    .to_vec()
+}
+
+/// Exact counters from one [`run_load`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Sessions that completed all their operations.
+    pub sessions_completed: u64,
+    /// Requests answered `OK`.
+    pub ops_ok: u64,
+    /// `BUSY` rejections absorbed by reconnect-with-backoff.
+    pub busy_retries: u64,
+    /// Sessions abandoned after exhausting `BUSY` retries.
+    pub busy_give_ups: u64,
+    /// Wire-level failures: torn frames, unparseable responses, I/O
+    /// errors, timeouts. **Must be zero** on a healthy run.
+    pub protocol_errors: u64,
+    /// Typed `ERR` responses. Zero for a valid workload.
+    pub server_errors: u64,
+    /// `QUERY` responses served from the prepared-plan cache
+    /// (`cached=1` in the response header).
+    pub cached_plans: u64,
+    /// Successful `MERGE` writes acknowledged.
+    pub merges_ok: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    sessions_completed: AtomicU64,
+    ops_ok: AtomicU64,
+    busy_retries: AtomicU64,
+    busy_give_ups: AtomicU64,
+    protocol_errors: AtomicU64,
+    server_errors: AtomicU64,
+    cached_plans: AtomicU64,
+    merges_ok: AtomicU64,
+}
+
+impl Counters {
+    fn report(&self) -> LoadReport {
+        LoadReport {
+            sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
+            ops_ok: self.ops_ok.load(Ordering::Relaxed),
+            busy_retries: self.busy_retries.load(Ordering::Relaxed),
+            busy_give_ups: self.busy_give_ups.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            cached_plans: self.cached_plans.load(Ordering::Relaxed),
+            merges_ok: self.merges_ok.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Run the load: `config.sessions` threads, synchronized on a barrier
+/// so every session is genuinely concurrent, each issuing
+/// `config.ops_per_session` mixed requests.
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    let counters = Arc::new(Counters::default());
+    let barrier = Arc::new(Barrier::new(config.sessions));
+    let mut threads = Vec::with_capacity(config.sessions);
+    for sid in 0..config.sessions {
+        let config = config.clone();
+        let counters = Arc::clone(&counters);
+        let barrier = Arc::clone(&barrier);
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            run_session(sid, &config, &counters);
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    counters.report()
+}
+
+fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
+    let Some(mut conn) = connect(config, counters) else {
+        counters.busy_give_ups.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    for op in 0..config.ops_per_session {
+        // Staggered by session id so a 1-in-K write mix holds across
+        // the whole run even when ops_per_session < K.
+        let is_merge = config.merge_every > 0 && (sid + op).is_multiple_of(config.merge_every);
+        let request = if is_merge {
+            let target = sid % config.merge_targets.max(1);
+            format!("MERGE m{target}\nSELECT * FROM ra UNION rb")
+        } else if config.queries.is_empty() {
+            "PING".to_owned()
+        } else {
+            let q = &config.queries[(sid + op) % config.queries.len()];
+            format!("QUERY\n{q}")
+        };
+        match roundtrip(&mut conn, &request) {
+            Ok(Reply::Ok(body)) => {
+                counters.ops_ok.fetch_add(1, Ordering::Relaxed);
+                if is_merge {
+                    counters.merges_ok.fetch_add(1, Ordering::Relaxed);
+                } else if body.lines().next().is_some_and(|h| h.contains("cached=1")) {
+                    counters.cached_plans.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Reply::Err) => {
+                counters.server_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Reply::Busy) => {
+                // Mid-session BUSY means the connection is gone;
+                // reconnect (with backoff) and retry this op once.
+                counters.busy_retries.fetch_add(1, Ordering::Relaxed);
+                match connect(config, counters) {
+                    Some(c) => {
+                        conn = c;
+                        match roundtrip(&mut conn, &request) {
+                            Ok(Reply::Ok(_)) => {
+                                counters.ops_ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Reply::Err) => {
+                                counters.server_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Reply::Busy) => {
+                                counters.busy_give_ups.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                            Err(_) => {
+                                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                    None => {
+                        counters.busy_give_ups.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+    counters.sessions_completed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Connect with retry: connection refusals back off and retry (the
+/// listener's OS backlog can overflow transiently under a thousand
+/// simultaneous SYNs); `None` after the retry budget.
+fn connect(config: &LoadConfig, counters: &Counters) -> Option<TcpStream> {
+    let mut backoff = config.busy_backoff;
+    for attempt in 0..=config.max_busy_retries {
+        match TcpStream::connect(&config.addr) {
+            Ok(stream) => {
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) if attempt < config.max_busy_retries => {
+                counters.busy_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+enum Reply {
+    Ok(String),
+    Err,
+    Busy,
+}
+
+fn roundtrip(stream: &mut TcpStream, request: &str) -> io::Result<Reply> {
+    write_frame(stream, request)?;
+    let payload = read_frame(stream)?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed before replying",
+        )
+    })?;
+    let (head, body) = payload.split_once('\n').unwrap_or((payload.as_str(), ""));
+    match head.split_whitespace().next() {
+        Some("OK") => Ok(Reply::Ok(body.to_owned())),
+        Some("ERR") => Ok(Reply::Err),
+        Some("BUSY") => Ok(Reply::Busy),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unrecognized response status {head:?}"),
+        )),
+    }
+}
+
+/// Send one request over a fresh connection and return the raw
+/// response payload — the driver-side primitive `evirel-bombard`
+/// uses for `STATS` and `SHUTDOWN`.
+///
+/// # Errors
+/// Connection or framing failures.
+pub fn request_once(addr: &str, payload: &str, timeout: Duration) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    write_frame(&mut stream, payload)?;
+    read_frame(&mut stream)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no response frame"))
+}
+
+fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES);
+    // Single write per frame (header + payload coalesced) — split
+    // writes trip Nagle + delayed-ACK stalls; see the serve protocol.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&u32::to_be_bytes(bytes.len() as u32));
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds protocol ceiling",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}

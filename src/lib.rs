@@ -58,6 +58,7 @@ pub use evirel_integrate as integrate;
 pub use evirel_plan as plan;
 pub use evirel_query as query;
 pub use evirel_relation as relation;
+pub use evirel_serve as serve;
 pub use evirel_storage as storage;
 pub use evirel_store as store;
 pub use evirel_workload as workload;
