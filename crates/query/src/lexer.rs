@@ -86,6 +86,67 @@ pub enum Token {
     Eof,
 }
 
+impl Token {
+    /// Canonical source rendering: keywords uppercase, strings
+    /// single-quoted with `\`-escaped quotes/backslashes, floats
+    /// always carrying a decimal point. Re-lexing the rendering
+    /// yields this token back, and joining renderings with single
+    /// spaces is injective over token streams — which is exactly what
+    /// the plan cache's normalizer ([`crate::normalize_eql`]) needs
+    /// for collision-free keys.
+    pub fn canonical(&self) -> String {
+        match self {
+            Token::Select => "SELECT".into(),
+            Token::From => "FROM".into(),
+            Token::Where => "WHERE".into(),
+            Token::With => "WITH".into(),
+            Token::And => "AND".into(),
+            Token::Or => "OR".into(),
+            Token::Not => "NOT".into(),
+            Token::Is => "IS".into(),
+            Token::Union => "UNION".into(),
+            Token::Join => "JOIN".into(),
+            Token::On => "ON".into(),
+            Token::Sn => "SN".into(),
+            Token::Sp => "SP".into(),
+            Token::Ident(s) => s.clone(),
+            Token::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('\'');
+                for c in s.chars() {
+                    if c == '\'' || c == '\\' {
+                        out.push('\\');
+                    }
+                    out.push(c);
+                }
+                out.push('\'');
+                out
+            }
+            Token::Int(i) => i.to_string(),
+            // Debug always renders a decimal point (`1.0`), keeping
+            // floats distinct from integers.
+            Token::Float(x) => format!("{x:?}"),
+            Token::Star => "*".into(),
+            Token::Comma => ",".into(),
+            Token::Semicolon => ";".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::LBrace => "{".into(),
+            Token::RBrace => "}".into(),
+            Token::LBracket => "[".into(),
+            Token::RBracket => "]".into(),
+            Token::Caret => "^".into(),
+            Token::Eq => "=".into(),
+            Token::Ne => "!=".into(),
+            Token::Lt => "<".into(),
+            Token::Le => "<=".into(),
+            Token::Gt => ">".into(),
+            Token::Ge => ">=".into(),
+            Token::Eof => String::new(),
+        }
+    }
+}
+
 impl fmt::Display for Token {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -428,6 +489,18 @@ mod tests {
         let spanned = tokenize("select x").unwrap();
         assert_eq!(spanned[0].offset, 0);
         assert_eq!(spanned[1].offset, 7);
+    }
+
+    #[test]
+    fn canonical_round_trips_through_the_lexer() {
+        let src = r#"select * FROM ra WHERE rname = 'don\'t  stop' AND x != "a\\b" WITH SN > 0.5 AND SP <= 1"#;
+        let original = toks(src);
+        let rendered = original
+            .iter()
+            .map(Token::canonical)
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(toks(rendered.trim_end()), original, "{rendered}");
     }
 
     #[test]

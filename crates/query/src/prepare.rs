@@ -20,6 +20,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::QueryError;
+use crate::lexer::Token;
 use crate::plan::lower_validated;
 use crate::snapshot::CatalogSnapshot;
 use evirel_plan::LogicalPlan;
@@ -29,40 +30,37 @@ use std::sync::{Arc, Mutex};
 /// Default number of cached plans before FIFO eviction.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 
-/// Normalize EQL text for cache keying: surrounding whitespace and a
-/// trailing `;` are dropped, and interior whitespace runs collapse to
-/// single spaces — so formatting variants of one query share a cache
-/// entry. Deliberately **no case folding**: EQL keywords are already
-/// case-insensitive at the lexer, while identifiers and string
-/// literals are case-sensitive, and a purely textual normalizer must
-/// not guess which is which.
+/// Normalize EQL text for cache keying by rendering the **lexer's
+/// token stream** canonically ([`Token::canonical`], space-joined,
+/// trailing `;` dropped) — so formatting variants, comments, keyword
+/// case, and quote style collapse to one key while every semantic
+/// difference survives. Keying on tokens rather than re-implementing
+/// the lexer textually is what makes string literals safe: the lexer
+/// accepts single- *and* double-quoted strings with `\`-escapes, and
+/// any hand-rolled whitespace collapser that guesses at quoting
+/// (treating `"a  b"` as outside a string, say) would merge queries
+/// with different literals into one cache entry — wrong results, not
+/// just a wasted slot. Identifiers and string literal *contents*
+/// stay case-sensitive; only keywords fold (they are case-insensitive
+/// in the lexer already).
+///
+/// Text the lexer rejects is keyed as its raw trimmed self: it can
+/// never equal a canonical rendering (those re-lex cleanly), and
+/// preparation fails with the lex error anyway — errors are not
+/// cached.
 pub fn normalize_eql(text: &str) -> String {
-    let trimmed = text.trim().trim_end_matches(';').trim_end();
-    let mut out = String::with_capacity(trimmed.len());
-    let mut in_string = false;
-    let mut pending_space = false;
-    for ch in trimmed.chars() {
-        if in_string {
-            out.push(ch);
-            if ch == '\'' {
-                in_string = false;
-            }
-            continue;
-        }
-        if ch.is_whitespace() {
-            pending_space = !out.is_empty();
-            continue;
-        }
-        if pending_space {
-            out.push(' ');
-            pending_space = false;
-        }
-        if ch == '\'' {
-            in_string = true;
-        }
-        out.push(ch);
+    let Ok(spanned) = crate::lexer::tokenize(text) else {
+        return text.trim().to_owned();
+    };
+    let mut tokens: Vec<Token> = spanned.into_iter().map(|s| s.token).collect();
+    while matches!(tokens.last(), Some(Token::Eof | Token::Semicolon)) {
+        tokens.pop();
     }
-    out
+    tokens
+        .iter()
+        .map(Token::canonical)
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A query prepared against one catalog generation: parsed, lowered,
@@ -207,27 +205,34 @@ impl PlanCache {
         // Prepare outside the lock: planning is the expensive part,
         // and concurrent sessions preparing different queries should
         // not serialize. Two sessions racing on the *same* text both
-        // prepare; last insert wins — wasted work, never wrong
-        // results.
+        // prepare; the newest-generation plan wins the slot — wasted
+        // work, never wrong results.
         let plan = Arc::new(PreparedPlan::prepare(
             snapshot.catalog(),
             snapshot.generation(),
             text,
         )?);
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if inner
-            .plans
-            .insert(normalized.clone(), Arc::clone(&plan))
-            .is_none()
-        {
-            inner.order.push_back(normalized);
-            while inner.plans.len() > self.capacity {
-                if let Some(oldest) = inner.order.pop_front() {
-                    if inner.plans.remove(&oldest).is_some() {
-                        inner.stats.evictions += 1;
+        match inner.plans.get(&normalized).map(|p| p.generation()) {
+            // A racing session already cached a *fresher* plan for
+            // this text; keep it — overwriting with the older one
+            // would make every current-generation lookup count as
+            // stale and re-prepare until the next insert.
+            Some(existing) if existing > plan.generation() => {}
+            Some(_) => {
+                inner.plans.insert(normalized, Arc::clone(&plan));
+            }
+            None => {
+                inner.plans.insert(normalized.clone(), Arc::clone(&plan));
+                inner.order.push_back(normalized);
+                while inner.plans.len() > self.capacity {
+                    if let Some(oldest) = inner.order.pop_front() {
+                        if inner.plans.remove(&oldest).is_some() {
+                            inner.stats.evictions += 1;
+                        }
+                    } else {
+                        break;
                     }
-                } else {
-                    break;
                 }
             }
         }
@@ -287,8 +292,77 @@ mod tests {
             normalize_eql("SELECT * FROM ra WHERE rname = 'two  words'"),
             "SELECT * FROM ra WHERE rname = 'two  words'"
         );
-        // Case is NOT folded (identifiers are case-sensitive).
-        assert_ne!(normalize_eql("select * from ra"), "SELECT * FROM ra");
+        // Keywords fold (the lexer is case-insensitive for them)…
+        assert_eq!(normalize_eql("select * from ra"), "SELECT * FROM ra");
+        // …identifiers do not.
+        assert_ne!(normalize_eql("SELECT * FROM RA"), "SELECT * FROM ra");
+        // Comments are not query text.
+        assert_eq!(
+            normalize_eql("SELECT * -- pick everything\nFROM ra"),
+            "SELECT * FROM ra"
+        );
+    }
+
+    #[test]
+    fn normalization_keys_literals_exactly_as_the_lexer_does() {
+        // Double-quoted literals keep their interior whitespace: the
+        // keys for "a  b" and "a b" must differ (a shared key would
+        // let the second query replay the first one's cached plan).
+        assert_ne!(
+            normalize_eql(r#"SELECT * FROM ra WHERE rname = "a  b""#),
+            normalize_eql(r#"SELECT * FROM ra WHERE rname = "a b""#)
+        );
+        // Same for whitespace after an escaped quote.
+        assert_ne!(
+            normalize_eql(r"SELECT * FROM ra WHERE rname = 'don\'t  stop'"),
+            normalize_eql(r"SELECT * FROM ra WHERE rname = 'don\'t stop'")
+        );
+        // Quote style is spelling, not semantics: 'si' and "si" are
+        // the same literal token, so they share one key.
+        assert_eq!(
+            normalize_eql(r#"SELECT * FROM ra WHERE rname = "si""#),
+            normalize_eql("SELECT * FROM ra WHERE rname = 'si'")
+        );
+        // A literal never collides with the identifier it spells.
+        assert_ne!(
+            normalize_eql("SELECT * FROM ra WHERE rname = 'si'"),
+            normalize_eql("SELECT * FROM ra WHERE rname = si")
+        );
+        // The canonical key re-lexes to the same token stream.
+        let key = normalize_eql(r#"SELECT * FROM ra WHERE rname = "don't  stop""#);
+        assert_eq!(normalize_eql(&key), key);
+        // Unlexable text keys as raw trimmed text (and never collides
+        // with a canonical key, which always re-lexes cleanly).
+        assert_eq!(
+            normalize_eql("  SELECT 'unterminated "),
+            "SELECT 'unterminated"
+        );
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_fresher_generation() {
+        let shared = shared();
+        let cache = PlanCache::new(8);
+        let q = "SELECT * FROM ra WITH SN > 0";
+        let old = shared.pin();
+        shared
+            .update(|c| {
+                c.register("ra", restaurant_db_a().restaurants);
+                Ok(())
+            })
+            .unwrap();
+        let new = shared.pin();
+        let (_, hit) = cache.prepare_or_cached(&new, q).unwrap();
+        assert!(!hit);
+        // A straggler session still pinned at the old generation
+        // re-prepares (stale lookup) but must NOT clobber the
+        // current-generation entry…
+        let (_, hit) = cache.prepare_or_cached(&old, q).unwrap();
+        assert!(!hit);
+        assert!(cache.peek(q, new.generation()), "fresher entry survives");
+        // …so current-generation sessions keep hitting.
+        let (_, hit) = cache.prepare_or_cached(&new, q).unwrap();
+        assert!(hit);
     }
 
     #[test]

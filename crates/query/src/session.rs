@@ -159,6 +159,19 @@ impl Session {
         self.shared.update(mutate)
     }
 
+    /// [`Session::update`], additionally returning the generation the
+    /// mutation was published at (see
+    /// [`SharedCatalog::update_with_generation`]).
+    ///
+    /// # Errors
+    /// As [`Session::update`].
+    pub fn update_with_generation<T>(
+        &self,
+        mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
+    ) -> Result<(T, u64), QueryError> {
+        self.shared.update_with_generation(mutate)
+    }
+
     /// Full `EXPLAIN` of `text` against the current generation, with
     /// a trailing `plan cache:` line showing whether execution would
     /// hit the prepared-plan cache (the observable "lowering/rewrite

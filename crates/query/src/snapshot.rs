@@ -102,14 +102,30 @@ impl SharedCatalog {
         &self,
         mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
     ) -> Result<T, QueryError> {
+        self.update_with_generation(mutate).map(|(value, _)| value)
+    }
+
+    /// [`SharedCatalog::update`], additionally returning the
+    /// generation this mutation was published at. Use this when
+    /// reporting the write: with concurrent writers, reading
+    /// [`SharedCatalog::generation`] after `update` returns may
+    /// already observe a *later* writer's bump.
+    ///
+    /// # Errors
+    /// As [`SharedCatalog::update`].
+    pub fn update_with_generation<T>(
+        &self,
+        mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
+    ) -> Result<(T, u64), QueryError> {
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         let mut next = slot.catalog.clone();
         let value = mutate(&mut next)?;
+        let generation = slot.generation + 1;
         *slot = Arc::new(CatalogSnapshot {
-            generation: slot.generation + 1,
+            generation,
             catalog: next,
         });
-        Ok(value)
+        Ok((value, generation))
     }
 }
 
@@ -196,5 +212,31 @@ mod tests {
         });
         assert_eq!(shared.generation(), 8);
         assert_eq!(shared.pin().catalog().len(), 8);
+    }
+
+    #[test]
+    fn each_writer_learns_its_own_published_generation() {
+        let shared = Arc::new(SharedCatalog::new(Catalog::new()));
+        let published = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let shared = Arc::clone(&shared);
+                let published = &published;
+                s.spawn(move || {
+                    let ((), generation) = shared
+                        .update_with_generation(|c| {
+                            c.register(format!("r{i}"), rel(0.5));
+                            Ok(())
+                        })
+                        .unwrap();
+                    published.lock().unwrap().push(generation);
+                });
+            }
+        });
+        // Every writer saw a distinct generation — exactly 1..=8, not
+        // whatever the counter happened to read after later bumps.
+        let mut published = published.into_inner().unwrap();
+        published.sort_unstable();
+        assert_eq!(published, (1..=8).collect::<Vec<u64>>());
     }
 }

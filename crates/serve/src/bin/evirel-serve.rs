@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! evirel-serve [--addr HOST:PORT] [--workers N] [--max-pending N]
+//!              [--allow-remote-shutdown]
 //!              [--seed-workload TUPLES] [file.evr | file.evb ...]
 //! ```
 //!
@@ -17,7 +18,10 @@
 //! session pool) and `EVIREL_BUFFER_BYTES` (buffer-pool/spill
 //! budget, likewise carved). The server prints one line —
 //! `evirel-serve listening on <addr>` — to stdout once the socket is
-//! bound, then runs until a client sends `SHUTDOWN`.
+//! bound, then runs until a client sends `SHUTDOWN` — which only
+//! loopback clients may do unless `--allow-remote-shutdown` is given
+//! (anyone who can connect to a public `--addr` could otherwise stop
+//! the server).
 
 use evirel_query::Catalog;
 use evirel_serve::{start, ServeConfig};
@@ -37,11 +41,13 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "usage: evirel-serve [--addr HOST:PORT] [--workers N] \
-                     [--max-pending N] [--seed-workload TUPLES] [file.evr|file.evb ...]"
+                     [--max-pending N] [--allow-remote-shutdown] \
+                     [--seed-workload TUPLES] [file.evr|file.evb ...]"
                 );
                 return;
             }
             "--addr" => config.addr = required(&mut args, "--addr"),
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
             "--workers" => config.workers = parse_num(&required(&mut args, "--workers")),
             "--max-pending" => {
                 config.max_pending = parse_num(&required(&mut args, "--max-pending"));

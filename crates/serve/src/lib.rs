@@ -39,5 +39,5 @@
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{read_frame, write_frame, Request, Response, MAX_FRAME_BYTES};
+pub use protocol::{read_frame, read_frame_with, write_frame, Request, Response, MAX_FRAME_BYTES};
 pub use server::{start, ServeConfig, ServerHandle, ServerStats, StatsSnapshot};

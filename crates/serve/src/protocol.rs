@@ -69,23 +69,52 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
 /// closed between frames); an EOF in the *middle* of a frame is an
 /// error, as are oversized lengths and invalid UTF-8.
 ///
+/// A read timeout (`WouldBlock`/`TimedOut`) surfaces **only when no
+/// frame byte has arrived yet** — the idle case a poll loop handles.
+/// Once any byte of a frame has been consumed, timeouts retry until
+/// the frame completes: the consumed bytes are gone from the stream,
+/// so bailing out would leave the next read starting mid-frame and
+/// desync the connection (a slow or fragmenting peer is not a
+/// protocol error). Use [`read_frame_with`] to bound those retries.
+///
 /// # Errors
-/// I/O errors (including read timeouts, surfaced as
+/// I/O errors (a frame-start timeout surfaces as
 /// `WouldBlock`/`TimedOut` — the server's poll loop relies on this);
 /// `InvalidData` for oversized or non-UTF-8 payloads.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    read_frame_with(r, || true)
+}
+
+/// [`read_frame`] with bounded mid-frame patience: after each
+/// mid-frame timeout, `keep_waiting` decides whether to retry.
+/// Returning `false` aborts with `TimedOut` — the stream is then
+/// desynced and must be dropped, which is exactly right for a server
+/// shutting down. Timeouts *before* the first byte of a frame
+/// surface immediately regardless (the idle case).
+///
+/// # Errors
+/// As [`read_frame`], plus `TimedOut` when `keep_waiting` gives up
+/// mid-frame.
+pub fn read_frame_with(
+    r: &mut impl Read,
+    keep_waiting: impl Fn() -> bool,
+) -> io::Result<Option<String>> {
     let mut header = [0u8; 4];
     let mut filled = 0;
     while filled < header.len() {
-        match r.read(&mut header[filled..])? {
-            0 if filled == 0 => return Ok(None),
-            0 => {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "stream closed mid-header",
                 ))
             }
-            n => filled += n,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && filled == 0 => return Err(e),
+            Err(e) if is_timeout(&e) => abandon_or_retry(&keep_waiting)?,
+            Err(e) => return Err(e),
         }
     }
     let len = u32::from_be_bytes(header) as usize;
@@ -96,10 +125,42 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         ));
     }
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-payload",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => abandon_or_retry(&keep_waiting)?,
+            Err(e) => return Err(e),
+        }
+    }
     String::from_utf8(buf)
         .map(Some)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn abandon_or_retry(keep_waiting: &impl Fn() -> bool) -> io::Result<()> {
+    if keep_waiting() {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "gave up waiting mid-frame",
+        ))
+    }
 }
 
 /// A parsed client request.
@@ -299,6 +360,65 @@ mod tests {
         // A hostile length prefix fails before allocating.
         let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
         assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    /// A reader scripted as a sequence of partial reads and timeout
+    /// errors — the shape of a slow client on a socket with a read
+    /// timeout.
+    struct Flaky {
+        steps: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Flaky {
+        fn new(steps: impl IntoIterator<Item = Result<Vec<u8>, io::ErrorKind>>) -> Flaky {
+            Flaky {
+                steps: steps.into_iter().collect(),
+            }
+        }
+    }
+
+    impl Read for Flaky {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.steps.pop_front() {
+                None => Ok(0),
+                Some(Err(kind)) => Err(kind.into()),
+                Some(Ok(bytes)) => {
+                    assert!(bytes.len() <= buf.len(), "test chunk exceeds request");
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_frame_timeouts_retry_instead_of_desyncing() {
+        // Timeouts strike between header halves and between payload
+        // halves; the frame must still arrive whole.
+        let mut r = Flaky::new([
+            Ok(vec![0, 0]),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(vec![0, 4]),
+            Err(io::ErrorKind::TimedOut),
+            Ok(b"PI".to_vec()),
+            Err(io::ErrorKind::WouldBlock),
+            Ok(b"NG".to_vec()),
+        ]);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("PING"));
+    }
+
+    #[test]
+    fn frame_start_timeout_surfaces_as_idle() {
+        let mut r = Flaky::new([Err(io::ErrorKind::WouldBlock)]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn keep_waiting_false_abandons_mid_frame() {
+        let mut r = Flaky::new([Ok(vec![0, 0]), Err(io::ErrorKind::WouldBlock)]);
+        let err = read_frame_with(&mut r, || false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! ([`std::panic::catch_unwind`]) and surfaced as `ERR panic` frames,
 //! so one poisoned request cannot take down a worker or the process.
 
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{read_frame_with, write_frame, Request, Response};
 use evirel_query::{Catalog, PlanCache, Session, SessionBudget, SharedCatalog};
 use std::collections::VecDeque;
 use std::io;
@@ -53,6 +53,11 @@ pub struct ServeConfig {
     /// on a quiet session re-checks the shutdown flag. Not a
     /// disconnect timeout — idle sessions stay connected.
     pub poll_interval: Duration,
+    /// Honor the `SHUTDOWN` verb from non-loopback peers. Off by
+    /// default: when `addr` binds a public interface, any client that
+    /// can connect could otherwise terminate the server. Loopback
+    /// clients (and [`ServerHandle::shutdown`]) always work.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +67,7 @@ impl Default for ServeConfig {
             workers: 4,
             max_pending: 1024,
             poll_interval: Duration::from_millis(100),
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -306,13 +312,22 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     // here so the worker can notice shutdown, it is never hung up on.
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
     let _ = stream.set_nodelay(true);
+    let shutdown_allowed =
+        shutdown_permitted(stream.peer_addr(), shared.config.allow_remote_shutdown);
     let session = Session::with_budget(
         Arc::clone(&shared.shared),
         Arc::clone(&shared.cache),
         shared.budget,
     );
     loop {
-        let payload = match read_frame(&mut stream) {
+        // A timeout here means the session is *idle* — read_frame_with
+        // keeps retrying on its own once any frame byte has arrived,
+        // so a slow or fragmenting client cannot desync the stream.
+        // Mid-frame, it re-checks the shutdown flag every poll
+        // interval and gives up (TimedOut) once set, which lands in
+        // the same return below.
+        let payload = match read_frame_with(&mut stream, || !shared.shutdown.load(Ordering::SeqCst))
+        {
             Ok(Some(p)) => p,
             Ok(None) => return, // clean close
             Err(e)
@@ -332,7 +347,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         // RCU snapshot layer protects, so resuming after a caught
         // panic is sound.
         let handled = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&session, &payload, shared)
+            handle_request(&session, &payload, shared, shutdown_allowed)
         }));
         let (response, shutdown_after) = handled.unwrap_or_else(|_| {
             shared.stats.panics.fetch_add(1, Ordering::Relaxed);
@@ -354,9 +369,23 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// The SHUTDOWN gate: loopback peers may always stop the server;
+/// remote peers — including connections whose peer address cannot be
+/// resolved — only when the config opts in.
+fn shutdown_permitted(peer: io::Result<SocketAddr>, allow_remote: bool) -> bool {
+    allow_remote || peer.is_ok_and(|p| p.ip().is_loopback())
+}
+
 /// Handle one request; the bool asks the caller to begin shutdown
-/// after the response frame is written.
-fn handle_request(session: &Session, payload: &str, shared: &Shared) -> (Response, bool) {
+/// after the response frame is written. `shutdown_allowed` is the
+/// per-connection SHUTDOWN gate (loopback peer, or the
+/// [`ServeConfig::allow_remote_shutdown`] opt-in).
+fn handle_request(
+    session: &Session,
+    payload: &str,
+    shared: &Shared,
+    shutdown_allowed: bool,
+) -> (Response, bool) {
     let request = match Request::parse(payload) {
         Ok(r) => r,
         Err(message) => return (Response::error("protocol", message), false),
@@ -366,6 +395,14 @@ fn handle_request(session: &Session, payload: &str, shared: &Shared) -> (Respons
             Response::Ok {
                 body: "pong".into(),
             },
+            false,
+        ),
+        Request::Shutdown if !shutdown_allowed => (
+            Response::error(
+                "denied",
+                "SHUTDOWN is only honored from loopback connections \
+                 (start the server with allow_remote_shutdown to override)",
+            ),
             false,
         ),
         Request::Shutdown => (
@@ -410,18 +447,18 @@ fn merge_response(session: &Session, shared: &Shared, name: &str, query: &str) -
         Err(e) => return Response::error(e.kind(), e.to_string()),
     };
     let tuples = out.outcome.relation.len();
-    let published = session.update(|catalog| {
+    let published = session.update_with_generation(|catalog| {
         catalog.register(name.to_owned(), out.outcome.relation);
         Ok(())
     });
     match published {
-        Ok(()) => {
+        // Report the generation *this* merge published — re-reading
+        // the shared counter here could already see a concurrent
+        // writer's later bump.
+        Ok(((), generation)) => {
             shared.stats.merges.fetch_add(1, Ordering::Relaxed);
             Response::Ok {
-                body: format!(
-                    "merged {name} tuples={tuples} generation={}",
-                    session.shared().generation()
-                ),
+                body: format!("merged {name} tuples={tuples} generation={generation}"),
             }
         }
         Err(e) => Response::error(e.kind(), e.to_string()),
@@ -456,5 +493,24 @@ fn stats_response(session: &Session, shared: &Shared) -> Response {
             pool.evictions,
             pool.overcommits,
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_gate_requires_loopback_unless_opted_in() {
+        let loopback4: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let loopback6: SocketAddr = "[::1]:9".parse().unwrap();
+        let remote: SocketAddr = "203.0.113.7:9".parse().unwrap();
+        let unresolvable = || Err(io::Error::new(io::ErrorKind::NotConnected, "gone"));
+        assert!(shutdown_permitted(Ok(loopback4), false));
+        assert!(shutdown_permitted(Ok(loopback6), false));
+        assert!(!shutdown_permitted(Ok(remote), false));
+        assert!(!shutdown_permitted(unresolvable(), false));
+        assert!(shutdown_permitted(Ok(remote), true));
+        assert!(shutdown_permitted(unresolvable(), true));
     }
 }
