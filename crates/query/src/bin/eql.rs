@@ -31,6 +31,13 @@
 //!   relation: queries stream its pages through the buffer pool
 //!   (budget: `EVIREL_BUFFER_BYTES`) instead of loading it into
 //!   memory;
+//! * `\open <dir>` — open a durable data directory: recover its
+//!   committed bindings (manifest + write-ahead journal replay) and
+//!   publish them into the catalog; subsequent `\checkpoint`s persist
+//!   into this directory;
+//! * `\checkpoint` — durably persist every current relation into the
+//!   open data directory (checksummed segments + manifest swap) and
+//!   truncate the journal;
 //! * `\pool` — buffer-pool statistics (hits/misses/evictions/bytes);
 //! * `\cache` — prepared-plan cache statistics (hits = re-executions
 //!   that skipped lowering/rewrite) and the current generation;
@@ -40,7 +47,7 @@
 //! relations; anything else is parsed as the text notation.
 
 use evirel_algebra::ConflictReport;
-use evirel_query::{Catalog, PlanCache, QueryError, Session, SharedCatalog};
+use evirel_query::{Catalog, DurableCatalog, PlanCache, QueryError, Session, SharedCatalog};
 use evirel_relation::Value;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -96,6 +103,7 @@ fn main() {
     let stdin = std::io::stdin();
     let mut ranked = false;
     let mut last_report: Option<ConflictReport> = None;
+    let mut durable: Option<DurableCatalog> = None;
     loop {
         eprint!("eql> ");
         let _ = std::io::stderr().flush();
@@ -233,6 +241,60 @@ fn main() {
                         }
                     }
                     _ => println!("usage: \\load <name> <path>"),
+                },
+                Some("open") => match parts.next() {
+                    Some(dir) => match DurableCatalog::open(dir) {
+                        Ok((d, recovered)) => {
+                            // Publish every recovered binding into the
+                            // live catalog as one new generation; the
+                            // attachments were checksum-verified during
+                            // recovery, so republish the open handles
+                            // instead of reopening the files.
+                            let names: Vec<String> =
+                                recovered.names().iter().map(|s| (*s).to_owned()).collect();
+                            let published = session.update(|c| {
+                                for name in &names {
+                                    if let Some(stored) = recovered.get_stored(name) {
+                                        c.attach(name.clone(), stored);
+                                    }
+                                }
+                                Ok(())
+                            });
+                            match published {
+                                Ok(()) => {
+                                    println!(
+                                        "opened {dir}: recovered generation {}, {} binding(s){}{}",
+                                        d.recovered_generation(),
+                                        names.len(),
+                                        if names.is_empty() { "" } else { ": " },
+                                        names.join(", "),
+                                    );
+                                    durable = Some(d);
+                                }
+                                Err(e) => println!("open failed: {e}"),
+                            }
+                        }
+                        Err(e) => println!("open failed: {e}"),
+                    },
+                    None => println!("usage: \\open <dir>"),
+                },
+                Some("checkpoint") => match durable.as_mut() {
+                    Some(d) => {
+                        let pinned = session.pin();
+                        match d.checkpoint_full(pinned.catalog()) {
+                            Ok(persisted) => {
+                                let stats = d.stats();
+                                println!(
+                                    "checkpointed {persisted} binding(s) into {} \
+                                     (durable generation {})",
+                                    d.dir().display(),
+                                    stats.committed_generation,
+                                );
+                            }
+                            Err(e) => println!("checkpoint failed: {e}"),
+                        }
+                    }
+                    None => println!("no data directory open — \\open <dir> first"),
                 },
                 Some("pool") => {
                     let snapshot = session.pin();

@@ -102,6 +102,19 @@ impl Catalog {
         Ok(())
     }
 
+    /// Attach `name` to an already-open stored relation. The durable
+    /// recovery path ([`crate::durable::DurableCatalog::open`]) uses
+    /// this after verifying the segment's content checksum against
+    /// the committed manifest/journal record — going through
+    /// [`Catalog::attach_stored`] would reopen the file and lose that
+    /// verification. Replaces an in-memory registration of the same
+    /// name.
+    pub fn attach(&mut self, name: impl Into<String>, stored: impl Into<Arc<StoredRelation>>) {
+        let name = name.into();
+        self.relations.remove(&name);
+        self.stored.insert(name, stored.into());
+    }
+
     /// Write the relation registered under `name` to a binary segment
     /// at `path` (the `\store` meta-command). Works for both in-memory
     /// registrations and stored attachments (the latter streams the

@@ -1,0 +1,333 @@
+//! The durable catalog: crash-safe persistence of catalog bindings.
+//!
+//! [`DurableCatalog`] fronts a data directory holding the manifest
+//! ([`evirel_store::manifest`]), the write-ahead journal
+//! ([`evirel_store::journal`]), and one checksummed segment file per
+//! binding. The protocol, end to end:
+//!
+//! * **Recovery** ([`DurableCatalog::open`]): load the manifest (the
+//!   last checkpoint), replay journal records with `generation >
+//!   manifest.generation` (mutations since), attach every surviving
+//!   binding's segment — verifying its content checksum against the
+//!   recorded one — and report the recovered generation. The caller
+//!   seeds its [`crate::SharedCatalog`] with
+//!   [`crate::SharedCatalog::with_generation`] so the generation
+//!   stream continues monotonically across restarts.
+//! * **Mutation** ([`DurableCatalog::record_bind`] /
+//!   [`DurableCatalog::record_drop`]): called *inside* a
+//!   [`crate::SharedCatalog::update_at`] closure, so the journal
+//!   record is written and fsync'd under the catalog write lock —
+//!   strictly before any reader can observe the new generation.
+//!   `record_bind` first writes the relation to a fresh
+//!   `seg-NNNNNN.evb` (atomic temp+fsync+rename), then journals
+//!   `{name, file, checksum, generation}`.
+//! * **Checkpoint** ([`DurableCatalog::checkpoint`]): fold the
+//!   journal into a freshly-written manifest, truncate the journal,
+//!   GC unreferenced segments. Safe to crash out of at any point.
+//!
+//! Generation parity: the durable side never invents generations — it
+//! records the ones `update_at` hands it. As long as every published
+//! mutation is journaled (the serve layer's MERGE path) the durable
+//! generation equals the published one.
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use evirel_store::checkpoint::{checkpoint, CheckpointOutcome};
+use evirel_store::{
+    Journal, JournalRecord, Manifest, ManifestEntry, Segment, StoreError, StoredRelation,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn store_err(e: StoreError) -> QueryError {
+    QueryError::Execution {
+        message: e.to_string(),
+    }
+}
+
+/// Counters for the serve layer's STATS durability line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityStats {
+    /// Last committed (journaled or checkpointed) generation.
+    pub committed_generation: u64,
+    /// Journal records since the last checkpoint.
+    pub journal_records: u64,
+    /// Checkpoints taken since this process opened the directory.
+    pub checkpoints: u64,
+    /// Bindings currently persisted.
+    pub bindings: u64,
+}
+
+/// A data directory opened for journaling and recovery. See the
+/// module docs for the protocol.
+#[derive(Debug)]
+pub struct DurableCatalog {
+    dir: PathBuf,
+    journal: Journal,
+    /// The durable binding set (manifest ∪ journal effects).
+    entries: BTreeMap<String, ManifestEntry>,
+    committed_generation: u64,
+    recovered_generation: u64,
+    next_segment: u64,
+    checkpoints: u64,
+}
+
+impl DurableCatalog {
+    /// Open (creating if needed) the data directory, recover its
+    /// committed state, and return the handle plus a [`Catalog`]
+    /// holding every recovered binding as a stored attachment.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] wrapping the store error: unreadable
+    /// directory, torn manifest, mid-journal damage, a missing or
+    /// checksum-mismatched segment.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(DurableCatalog, Catalog), QueryError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| QueryError::Execution {
+            message: format!("create data dir {dir:?}: {e}"),
+        })?;
+        let manifest = Manifest::load(&dir).map_err(store_err)?.unwrap_or_default();
+        let (journal, replayed) = Journal::open_or_create(&dir).map_err(store_err)?;
+
+        let mut entries: BTreeMap<String, ManifestEntry> = manifest
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.clone()))
+            .collect();
+        let mut committed = manifest.generation;
+        for record in &replayed {
+            // Records at or below the manifest generation were
+            // absorbed by a checkpoint that crashed before its
+            // journal truncation — skip them.
+            if record.generation() <= manifest.generation {
+                continue;
+            }
+            committed = committed.max(record.generation());
+            match record {
+                JournalRecord::Bind {
+                    name,
+                    file,
+                    format_version,
+                    checksum,
+                    tuple_count,
+                    generation,
+                } => {
+                    entries.insert(
+                        name.clone(),
+                        ManifestEntry {
+                            name: name.clone(),
+                            file: file.clone(),
+                            format_version: *format_version,
+                            checksum: *checksum,
+                            tuple_count: *tuple_count,
+                            generation: *generation,
+                        },
+                    );
+                }
+                JournalRecord::Drop { name, .. } => {
+                    entries.remove(name);
+                }
+            }
+        }
+
+        // Attach every surviving binding, verifying content checksums
+        // (v3 segments; v2 entries record checksum 0 and skip it).
+        let mut catalog = Catalog::new();
+        for entry in entries.values() {
+            let path = dir.join(&entry.file);
+            let segment = Segment::open(&path).map_err(store_err)?;
+            if let Some(actual) = segment.content_checksum() {
+                if actual != entry.checksum {
+                    return Err(store_err(StoreError::corrupt(format!(
+                        "segment {path:?} checksum {actual:#010x} does not match \
+                         the committed {:#010x} for binding {:?}",
+                        entry.checksum, entry.name
+                    ))));
+                }
+            }
+            let stored = StoredRelation::from_segment(Arc::new(segment), Arc::clone(&catalog.pool));
+            catalog.attach(entry.name.clone(), stored);
+        }
+
+        let next_segment = next_segment_number(&dir);
+        Ok((
+            DurableCatalog {
+                dir,
+                journal,
+                entries,
+                committed_generation: committed,
+                recovered_generation: committed,
+                next_segment,
+                checkpoints: 0,
+            },
+            catalog,
+        ))
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The generation recovery landed on when this handle opened.
+    pub fn recovered_generation(&self) -> u64 {
+        self.recovered_generation
+    }
+
+    /// The last committed generation (recovered, then advanced by
+    /// every journaled mutation).
+    pub fn committed_generation(&self) -> u64 {
+        self.committed_generation
+    }
+
+    /// Counters for STATS.
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            committed_generation: self.committed_generation,
+            journal_records: self.journal.records_since_checkpoint(),
+            checkpoints: self.checkpoints,
+            bindings: self.entries.len() as u64,
+        }
+    }
+
+    /// Durably record that `name` now binds `rel` at `generation`:
+    /// write a fresh segment (atomic), then journal + fsync the
+    /// binding. Call from inside [`crate::SharedCatalog::update_at`],
+    /// with the generation the closure received, *before* registering
+    /// the relation in the in-memory catalog — on return the mutation
+    /// is durable, so publishing it is safe.
+    ///
+    /// Returns the segment path, so the caller can re-attach the
+    /// binding as a stored relation instead of keeping it in memory.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] wrapping the store error; nothing
+    /// was published then (a written segment without its journal
+    /// record is GC'd at the next checkpoint).
+    pub fn record_bind(
+        &mut self,
+        name: &str,
+        rel: &evirel_relation::ExtendedRelation,
+        generation: u64,
+    ) -> Result<PathBuf, QueryError> {
+        self.next_segment += 1;
+        let file = format!("seg-{:06}.evb", self.next_segment);
+        let path = self.dir.join(&file);
+        let meta = evirel_store::write_segment_meta(rel, &path, evirel_store::DEFAULT_PAGE_SIZE)
+            .map_err(store_err)?;
+        let record = JournalRecord::Bind {
+            name: name.to_owned(),
+            file: file.clone(),
+            format_version: 3,
+            checksum: meta.checksum,
+            tuple_count: meta.tuple_count,
+            generation,
+        };
+        self.journal.append(&record).map_err(store_err)?;
+        self.entries.insert(
+            name.to_owned(),
+            ManifestEntry {
+                name: name.to_owned(),
+                file,
+                format_version: 3,
+                checksum: meta.checksum,
+                tuple_count: meta.tuple_count,
+                generation,
+            },
+        );
+        self.committed_generation = self.committed_generation.max(generation);
+        Ok(path)
+    }
+
+    /// Durably record that `name` was dropped at `generation`. Same
+    /// calling discipline as [`DurableCatalog::record_bind`].
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] wrapping the store error.
+    pub fn record_drop(&mut self, name: &str, generation: u64) -> Result<(), QueryError> {
+        let record = JournalRecord::Drop {
+            name: name.to_owned(),
+            generation,
+        };
+        self.journal.append(&record).map_err(store_err)?;
+        self.entries.remove(name);
+        self.committed_generation = self.committed_generation.max(generation);
+        Ok(())
+    }
+
+    /// Checkpoint: write the manifest from the current durable
+    /// binding set, truncate the journal, GC unreferenced segments.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] wrapping the store error; the
+    /// previous manifest + journal remain recoverable then.
+    pub fn checkpoint(&mut self) -> Result<CheckpointOutcome, QueryError> {
+        let manifest = Manifest {
+            generation: self.committed_generation,
+            entries: self.entries.values().cloned().collect(),
+        };
+        let outcome = checkpoint(&self.dir, &manifest, &mut self.journal).map_err(store_err)?;
+        self.checkpoints += 1;
+        Ok(outcome)
+    }
+
+    /// Persist the whole of `catalog` as one durable generation, then
+    /// checkpoint: every relation is re-bound (segment + journal
+    /// record), durable bindings absent from the catalog are dropped,
+    /// and the manifest is swapped. The eql REPL's `\checkpoint` uses
+    /// this to bind an interactive catalog wholesale; superseded
+    /// segments are GC'd by the checkpoint.
+    ///
+    /// The generation is self-stamped (`committed + 1`) rather than
+    /// taken from the caller: an interactive shell's in-memory
+    /// generation counter starts at 0 regardless of what the data
+    /// directory has seen, and journal records stamped below the
+    /// manifest generation would be ignored by recovery.
+    ///
+    /// Returns how many bindings were persisted.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] wrapping the store error.
+    pub fn checkpoint_full(&mut self, catalog: &Catalog) -> Result<u64, QueryError> {
+        let generation = self.committed_generation + 1;
+        let mut persisted = 0u64;
+        for name in catalog.names() {
+            let name = name.to_owned();
+            let rel = catalog.materialize(&name)?;
+            self.record_bind(&name, &rel, generation)?;
+            persisted += 1;
+        }
+        // Drop durable bindings no longer in the catalog.
+        let stale: Vec<String> = self
+            .entries
+            .keys()
+            .filter(|n| !catalog.names().contains(&n.as_str()))
+            .cloned()
+            .collect();
+        for name in stale {
+            self.record_drop(&name, generation)?;
+        }
+        self.checkpoint()?;
+        Ok(persisted)
+    }
+}
+
+/// The highest existing `seg-NNNNNN` number in `dir` (0 when none) —
+/// `record_bind` pre-increments, so new segments never collide with
+/// survivors of earlier incarnations.
+fn next_segment_number(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            let stem = name.strip_prefix("seg-")?.strip_suffix(".evb")?;
+            stem.parse::<u64>().ok()
+        })
+        .max()
+        .map_or(0, |n| n)
+}

@@ -39,6 +39,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod durable;
 pub mod error;
 pub mod exec;
 pub mod format;
@@ -50,6 +51,7 @@ pub mod session;
 pub mod snapshot;
 
 pub use catalog::Catalog;
+pub use durable::{DurabilityStats, DurableCatalog};
 pub use error::QueryError;
 pub use exec::{execute, execute_parsed, execute_with_report, QueryOutcome};
 pub use parser::parse;

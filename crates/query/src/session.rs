@@ -172,6 +172,20 @@ impl Session {
         self.shared.update_with_generation(mutate)
     }
 
+    /// [`Session::update_with_generation`] with the to-be-published
+    /// generation passed *into* the closure (see
+    /// [`SharedCatalog::update_at`]) — the durability hook: journal
+    /// the mutation at that generation, fsync, then return.
+    ///
+    /// # Errors
+    /// As [`Session::update`].
+    pub fn update_at<T>(
+        &self,
+        mutate: impl FnOnce(&mut Catalog, u64) -> Result<T, QueryError>,
+    ) -> Result<(T, u64), QueryError> {
+        self.shared.update_at(mutate)
+    }
+
     /// Full `EXPLAIN` of `text` against the current generation, with
     /// a trailing `plan cache:` line showing whether execution would
     /// hit the prepared-plan cache (the observable "lowering/rewrite

@@ -64,9 +64,18 @@ pub struct SharedCatalog {
 impl SharedCatalog {
     /// Publish `catalog` as generation 0.
     pub fn new(catalog: Catalog) -> SharedCatalog {
+        SharedCatalog::with_generation(catalog, 0)
+    }
+
+    /// Publish `catalog` at an explicit starting generation — the
+    /// durable-recovery boot path uses this so the in-memory
+    /// generation counter continues from the last committed
+    /// generation instead of restarting at 0 (clients comparing STATS
+    /// generations across a restart must see monotonicity).
+    pub fn with_generation(catalog: Catalog, generation: u64) -> SharedCatalog {
         SharedCatalog {
             current: RwLock::new(Arc::new(CatalogSnapshot {
-                generation: 0,
+                generation,
                 catalog,
             })),
         }
@@ -117,10 +126,30 @@ impl SharedCatalog {
         &self,
         mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
     ) -> Result<(T, u64), QueryError> {
+        self.update_at(|catalog, _| mutate(catalog))
+    }
+
+    /// As [`SharedCatalog::update_with_generation`], but the closure
+    /// also receives the generation the mutation will publish as.
+    ///
+    /// This is the durability hook: the closure can write a journal
+    /// record stamped with that generation and fsync it *before*
+    /// returning — because the closure runs under the write lock, the
+    /// record is durable before any reader can observe the new
+    /// generation, and writers (hence journal appends) are totally
+    /// ordered with strictly increasing generations. An `Err` from
+    /// the closure publishes nothing, exactly as in `update`.
+    ///
+    /// # Errors
+    /// Whatever the closure returns; the catalog is unchanged then.
+    pub fn update_at<T>(
+        &self,
+        mutate: impl FnOnce(&mut Catalog, u64) -> Result<T, QueryError>,
+    ) -> Result<(T, u64), QueryError> {
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         let mut next = slot.catalog.clone();
-        let value = mutate(&mut next)?;
         let generation = slot.generation + 1;
+        let value = mutate(&mut next, generation)?;
         *slot = Arc::new(CatalogSnapshot {
             generation,
             catalog: next,

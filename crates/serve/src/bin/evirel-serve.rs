@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! evirel-serve [--addr HOST:PORT] [--workers N] [--max-pending N]
-//!              [--allow-remote-shutdown]
+//!              [--allow-remote-shutdown] [--data-dir DIR]
 //!              [--seed-workload TUPLES] [file.evr | file.evb ...]
 //! ```
 //!
@@ -12,6 +12,18 @@
 //! registers the paper's restaurant databases (`ra`, `rb`) and a
 //! generated union-compatible pair (`ga`, `gb`) of N tuples each —
 //! the dataset the `evirel-bombard` load driver targets.
+//!
+//! With `--data-dir DIR` the server runs **durably**: on boot it
+//! recovers the directory's committed catalog (manifest + write-ahead
+//! journal replay, checksum-verified segments) and publishes it at
+//! the recovered generation; every `MERGE` is written to a
+//! checksummed segment and journaled + fsync'd before its generation
+//! becomes visible; a clean shutdown checkpoints (manifest swap +
+//! journal truncation + segment GC). Command-line relations and
+//! `--seed-workload` overlay the recovered state in memory only —
+//! recovered bindings win name collisions — so re-running with the
+//! same flags reproduces the same catalog without re-journaling the
+//! seeds on every boot.
 //!
 //! The process budgets come from the environment: `EVIREL_THREADS`
 //! (total worker threads for query execution, carved across the
@@ -23,8 +35,8 @@
 //! (anyone who can connect to a public `--addr` could otherwise stop
 //! the server).
 
-use evirel_query::Catalog;
-use evirel_serve::{start, ServeConfig};
+use evirel_query::{Catalog, DurableCatalog};
+use evirel_serve::{start_with_durability, ServeConfig};
 use std::io::Write;
 
 fn main() {
@@ -33,6 +45,7 @@ fn main() {
         ..ServeConfig::default()
     };
     let mut seed_tuples: Option<usize> = None;
+    let mut data_dir: Option<String> = None;
     let mut files = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -42,7 +55,8 @@ fn main() {
                 println!(
                     "usage: evirel-serve [--addr HOST:PORT] [--workers N] \
                      [--max-pending N] [--allow-remote-shutdown] \
-                     [--seed-workload TUPLES] [file.evr|file.evb ...]"
+                     [--data-dir DIR] [--seed-workload TUPLES] \
+                     [file.evr|file.evb ...]"
                 );
                 return;
             }
@@ -55,6 +69,7 @@ fn main() {
             "--seed-workload" => {
                 seed_tuples = Some(parse_num(&required(&mut args, "--seed-workload")));
             }
+            "--data-dir" => data_dir = Some(required(&mut args, "--data-dir")),
             path => files.push(path.to_owned()),
         }
     }
@@ -73,7 +88,37 @@ fn main() {
         }
     }
 
-    let handle = match start(catalog, config) {
+    // Recover the data directory last and overlay its committed
+    // bindings on top of the seeds/files: the durable state is the
+    // authority on name collisions.
+    let durable = match data_dir {
+        None => None,
+        Some(dir) => match DurableCatalog::open(&dir) {
+            Ok((durable, recovered)) => {
+                let names: Vec<String> =
+                    recovered.names().iter().map(|s| (*s).to_owned()).collect();
+                for name in &names {
+                    if let Some(stored) = recovered.get_stored(name) {
+                        catalog.attach(name.clone(), stored);
+                    }
+                }
+                eprintln!(
+                    "evirel-serve: recovered {dir} at generation {} ({} binding(s){}{})",
+                    durable.recovered_generation(),
+                    names.len(),
+                    if names.is_empty() { "" } else { ": " },
+                    names.join(", "),
+                );
+                Some(durable)
+            }
+            Err(e) => {
+                eprintln!("error recovering {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let handle = match start_with_durability(catalog, config, durable) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("bind failed: {e}");

@@ -40,4 +40,6 @@ pub mod protocol;
 pub mod server;
 
 pub use protocol::{read_frame, read_frame_with, write_frame, Request, Response, MAX_FRAME_BYTES};
-pub use server::{start, ServeConfig, ServerHandle, ServerStats, StatsSnapshot};
+pub use server::{
+    start, start_with_durability, ServeConfig, ServerHandle, ServerStats, StatsSnapshot,
+};

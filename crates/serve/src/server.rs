@@ -28,7 +28,7 @@
 //! so one poisoned request cannot take down a worker or the process.
 
 use crate::protocol::{read_frame_with, write_frame, Request, Response};
-use evirel_query::{Catalog, PlanCache, Session, SessionBudget, SharedCatalog};
+use evirel_query::{Catalog, DurableCatalog, PlanCache, Session, SessionBudget, SharedCatalog};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -136,6 +136,12 @@ struct Shared {
     addr: SocketAddr,
     config: ServeConfig,
     budget: SessionBudget,
+    /// The write-ahead durability layer, when the server was started
+    /// with a data directory. MERGE handlers journal through it from
+    /// inside the catalog write lock, so a mutation is fsync'd before
+    /// its generation is observable; the mutex only ever contends
+    /// among writers, which the write lock already serializes.
+    durable: Option<Mutex<DurableCatalog>>,
 }
 
 impl Shared {
@@ -190,12 +196,25 @@ impl ServerHandle {
     /// Wait for the accept thread and every worker to exit, returning
     /// the final counters. Call [`ServerHandle::shutdown`] first (or
     /// have a client send `SHUTDOWN`), or this blocks indefinitely.
+    ///
+    /// When the server runs durably, a final checkpoint is taken
+    /// *after* the last worker drains — every journaled merge is
+    /// folded into the manifest and superseded segments are GC'd, so
+    /// a clean shutdown leaves a directory that recovers without
+    /// journal replay. A failed checkpoint is reported on stderr but
+    /// does not lose data: the journal still holds every record.
     pub fn join(mut self) -> StatsSnapshot {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
         for t in self.workers.drain(..) {
             let _ = t.join();
+        }
+        if let Some(durable) = &self.shared.durable {
+            let mut durable = durable.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = durable.checkpoint() {
+                eprintln!("evirel-serve: shutdown checkpoint failed: {e}");
+            }
         }
         self.shared.stats.snapshot()
     }
@@ -209,6 +228,25 @@ impl ServerHandle {
 /// # Errors
 /// Bind failures.
 pub fn start(catalog: Catalog, config: ServeConfig) -> io::Result<ServerHandle> {
+    start_with_durability(catalog, config, None)
+}
+
+/// [`start`], optionally with a durability layer: when `durable` is
+/// given, the catalog is published at the recovered generation (so
+/// generation numbers stay monotonic across restarts), every `MERGE`
+/// is journaled + fsync'd before its generation becomes observable,
+/// and [`ServerHandle::join`] checkpoints after the workers drain.
+/// The caller opens the directory ([`DurableCatalog::open`]) and
+/// overlays/merges the recovered bindings into `catalog` itself —
+/// this function does not reconcile them.
+///
+/// # Errors
+/// Bind failures.
+pub fn start_with_durability(
+    catalog: Catalog,
+    config: ServeConfig,
+    durable: Option<DurableCatalog>,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
@@ -217,8 +255,11 @@ pub fn start(catalog: Catalog, config: ServeConfig) -> io::Result<ServerHandle> 
     // usage stays within EVIREL_THREADS / EVIREL_BUFFER_BYTES no
     // matter how many sessions run at once.
     let budget = SessionBudget::share_of(catalog.parallelism, catalog.pool.budget_bytes(), workers);
+    let generation = durable
+        .as_ref()
+        .map_or(0, DurableCatalog::recovered_generation);
     let shared = Arc::new(Shared {
-        shared: Arc::new(SharedCatalog::new(catalog)),
+        shared: Arc::new(SharedCatalog::with_generation(catalog, generation)),
         cache: Arc::new(PlanCache::default()),
         stats: ServerStats::default(),
         queue: Mutex::new(VecDeque::new()),
@@ -227,6 +268,7 @@ pub fn start(catalog: Catalog, config: ServeConfig) -> io::Result<ServerHandle> 
         addr,
         config: ServeConfig { workers, ..config },
         budget,
+        durable: durable.map(Mutex::new),
     });
 
     let accept = {
@@ -447,10 +489,26 @@ fn merge_response(session: &Session, shared: &Shared, name: &str, query: &str) -
         Err(e) => return Response::error(e.kind(), e.to_string()),
     };
     let tuples = out.outcome.relation.len();
-    let published = session.update_with_generation(|catalog| {
-        catalog.register(name.to_owned(), out.outcome.relation);
-        Ok(())
-    });
+    let rel = out.outcome.relation;
+    let published = if let Some(durable) = &shared.durable {
+        // Durable path: segment write + journal fsync happen inside
+        // the update_at closure — under the catalog write lock, at
+        // the exact generation this merge will publish as — so no
+        // reader can observe a generation whose mutation is not yet
+        // on disk. The binding is then re-attached from its segment:
+        // the published catalog serves the very bytes recovery would.
+        session.update_at(|catalog, generation| {
+            let mut durable = durable.lock().unwrap_or_else(|e| e.into_inner());
+            let path = durable.record_bind(name, &rel, generation)?;
+            catalog.attach_stored(name.to_owned(), path)?;
+            Ok(())
+        })
+    } else {
+        session.update_with_generation(|catalog| {
+            catalog.register(name.to_owned(), rel);
+            Ok(())
+        })
+    };
     match published {
         // Report the generation *this* merge published — re-reading
         // the shared counter here could already see a concurrent
@@ -470,11 +528,28 @@ fn stats_response(session: &Session, shared: &Shared) -> Response {
     let c = shared.cache.stats();
     let snapshot = session.pin();
     let pool = snapshot.catalog().pool.stats();
+    let durability = match &shared.durable {
+        Some(durable) => {
+            let durable = durable.lock().unwrap_or_else(|e| e.into_inner());
+            let d = durable.stats();
+            format!(
+                "durability dir={} generation_committed={} journal_records={} \
+                 checkpoints={} bindings={}",
+                durable.dir().display(),
+                d.committed_generation,
+                d.journal_records,
+                d.checkpoints,
+                d.bindings,
+            )
+        }
+        None => "durability off".into(),
+    };
     Response::Ok {
         body: format!(
             "server accepted={} busy={} sessions={} requests={} errors={} panics={} merges={}\n\
              cache entries={} hits={} misses={} stale={} evictions={} generation={}\n\
-             pool hits={} misses={} evictions={} overcommits={}",
+             pool hits={} misses={} evictions={} overcommits={}\n\
+             {durability}",
             s.accepted,
             s.rejected_busy,
             s.sessions,

@@ -1,0 +1,135 @@
+//! Checkpointing: folding the journal into the manifest.
+//!
+//! A checkpoint makes three moves, in an order that is safe to crash
+//! out of at any point:
+//!
+//! 1. **Write the manifest** atomically ([`crate::manifest`]) with
+//!    the current committed generation and entry set. A crash before
+//!    the rename leaves the old manifest; after it, the new one.
+//! 2. **Truncate the journal.** A crash *between* 1 and 2 leaves
+//!    journal records the new manifest already absorbed — harmless,
+//!    because recovery replays only records with `generation >
+//!    manifest.generation`.
+//! 3. **Garbage-collect** segment files no manifest entry references
+//!    (best-effort; on POSIX an open handle keeps a just-unlinked
+//!    segment readable, so GC never races readers).
+
+use crate::error::StoreError;
+use crate::journal::Journal;
+use crate::manifest::Manifest;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// What [`checkpoint`] did, for STATS and logs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointOutcome {
+    /// Journal records the manifest absorbed.
+    pub records_absorbed: u64,
+    /// Unreferenced segment/temp files removed by GC.
+    pub files_removed: u64,
+}
+
+/// Run a checkpoint in `dir`: durably write `manifest`, truncate
+/// `journal`, then GC unreferenced `seg-*.evb` and stale `*.tmp-*`
+/// files.
+///
+/// # Errors
+/// [`StoreError::Io`] if the manifest write or journal truncation
+/// fails (GC failures are swallowed — leaking a file is harmless and
+/// the next checkpoint retries).
+pub fn checkpoint(
+    dir: &Path,
+    manifest: &Manifest,
+    journal: &mut Journal,
+) -> Result<CheckpointOutcome, StoreError> {
+    let records_absorbed = journal.records_since_checkpoint();
+    manifest.write(dir)?;
+    journal.truncate()?;
+    let files_removed = gc(dir, manifest);
+    Ok(CheckpointOutcome {
+        records_absorbed,
+        files_removed,
+    })
+}
+
+/// Remove segment files the manifest no longer references, plus
+/// leftover temp files from interrupted writes. Best-effort.
+fn gc(dir: &Path, manifest: &Manifest) -> u64 {
+    let referenced: HashSet<&str> = manifest.entries.iter().map(|e| e.file.as_str()).collect();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_segment =
+            name.starts_with("seg-") && name.ends_with(".evb") && !referenced.contains(name);
+        let stale_temp = name.contains(".tmp-");
+        if (stale_segment || stale_temp) && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalRecord;
+    use crate::manifest::ManifestEntry;
+
+    fn dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "evirel-checkpoint-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn checkpoint_absorbs_journal_and_gcs() {
+        let d = dir("basic");
+        let (mut journal, _) = Journal::open_or_create(&d).unwrap();
+        journal
+            .append(&JournalRecord::Bind {
+                name: "m0".into(),
+                file: "seg-000002.evb".into(),
+                format_version: 3,
+                checksum: 7,
+                tuple_count: 5,
+                generation: 1,
+            })
+            .unwrap();
+        // A referenced segment, an orphan, and a stale temp file.
+        std::fs::write(d.join("seg-000002.evb"), b"live").unwrap();
+        std::fs::write(d.join("seg-000001.evb"), b"orphan").unwrap();
+        std::fs::write(d.join("x.evb.tmp-123-4"), b"stale").unwrap();
+        let manifest = Manifest {
+            generation: 1,
+            entries: vec![ManifestEntry {
+                name: "m0".into(),
+                file: "seg-000002.evb".into(),
+                format_version: 3,
+                checksum: 7,
+                tuple_count: 5,
+                generation: 1,
+            }],
+        };
+        let outcome = checkpoint(&d, &manifest, &mut journal).unwrap();
+        assert_eq!(outcome.records_absorbed, 1);
+        assert_eq!(outcome.files_removed, 2);
+        assert!(d.join("seg-000002.evb").exists());
+        assert!(!d.join("seg-000001.evb").exists());
+        assert!(!d.join("x.evb.tmp-123-4").exists());
+        // Journal is empty; manifest carries the state.
+        drop(journal);
+        let (j, replayed) = Journal::open_or_create(&d).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(j.records_since_checkpoint(), 0);
+        assert_eq!(Manifest::load(&d).unwrap().unwrap(), manifest);
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -59,6 +59,12 @@ impl<'a> Cursor<'a> {
         self.pos == self.data.len()
     }
 
+    /// Bytes left to read — the bound decode paths use to cap
+    /// pre-allocations sized from untrusted counts.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn corrupt(&self, what: &str) -> StoreError {
         StoreError::corrupt(format!("{}: {what} at offset {}", self.context, self.pos))
     }
@@ -327,7 +333,10 @@ pub fn decode_mass<W: WeightCodec>(
         )));
     }
     let count = cur.u32()? as usize;
-    let mut entries = Vec::with_capacity(count);
+    // Each entry costs ≥ 10 bytes (2-byte focal word count + 8-byte
+    // weight) — cap the pre-allocation so a corrupted count cannot
+    // request gigabytes before the truncation error surfaces.
+    let mut entries = Vec::with_capacity(count.min(cur.remaining() / 10));
     for _ in 0..count {
         let set = decode_focal(cur)?;
         let w = W::decode(cur)?;
@@ -549,7 +558,9 @@ pub fn decode_schema(cur: &mut Cursor<'_>) -> Result<(Arc<Schema>, AttrDomains),
         let dname = cur.str()?.to_owned();
         let _kind = kind_of(cur.u8()?)?;
         let value_count = cur.u32()? as usize;
-        let mut values = Vec::with_capacity(value_count);
+        // Each value costs ≥ 5 bytes (tag + shortest payload) — cap
+        // the pre-allocation against the untrusted count.
+        let mut values = Vec::with_capacity(value_count.min(cur.remaining() / 5));
         for _ in 0..value_count {
             values.push(decode_value(cur)?);
         }

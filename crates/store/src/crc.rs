@@ -1,0 +1,70 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the
+//! checksum every durable artifact of the store carries: segment
+//! pages, the segment preamble/schema/page-table, journal records,
+//! and the catalog manifest.
+//!
+//! Dependency-free by construction (the build environment has no
+//! registry access): the 256-entry table is computed at compile time.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` in one shot.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let data = b"evirel durable segment page".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -28,15 +28,29 @@
 //! (the paper's own syntax, for humans and examples); this crate is
 //! the binary engine for data that outgrows memory.
 
+pub mod checkpoint;
 pub mod codec;
+pub mod compat;
+pub mod crc;
 pub mod error;
+pub mod failpoint;
+pub mod journal;
+pub mod manifest;
 pub mod pool;
 pub mod segment;
 pub mod stored;
 
+pub use checkpoint::CheckpointOutcome;
 pub use error::StoreError;
-pub use pool::{BufferPool, PageGuard, PoolStats, BUFFER_BYTES_ENV, DEFAULT_BUFFER_BYTES};
-pub use segment::{write_segment, RecordId, Segment, SegmentWriter, DEFAULT_PAGE_SIZE};
+pub use journal::{Journal, JournalRecord, JOURNAL_FILE};
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE};
+pub use pool::{
+    BufferPool, PageGuard, PoolStats, BUFFER_BYTES_ENV, DEFAULT_BUFFER_BYTES, PARANOID_ENV,
+};
+pub use segment::{
+    write_segment, write_segment_meta, RecordId, Segment, SegmentMeta, SegmentWriter,
+    DEFAULT_PAGE_SIZE,
+};
 pub use stored::{StoredIter, StoredRelation};
 
 /// Result alias used across the crate.

@@ -1,0 +1,296 @@
+//! The catalog manifest: the durable root of a data directory.
+//!
+//! `MANIFEST.evm` records the last *checkpointed* catalog state — the
+//! committed generation number plus, per binding, the segment file
+//! name, its on-disk format version, its content checksum, and the
+//! generation that produced it. Mutations after the checkpoint live
+//! in the write-ahead journal ([`crate::journal`]); recovery is
+//! "load manifest, then replay journal records with a higher
+//! generation".
+//!
+//! ```text
+//! ┌───────────────────────────────────────────────┐
+//! │ magic "EVMF" (u32) ∣ version (u16) ∣ pad (u16)│
+//! │ generation (u64)                              │
+//! │ entry_count (u32)                             │
+//! │ entries: name ∣ file ∣ format_version (u16) ∣ │
+//! │          checksum (u32) ∣ tuple_count (u64) ∣ │
+//! │          generation (u64)                     │
+//! │ crc32 of everything above (u32)               │
+//! └───────────────────────────────────────────────┘
+//! ```
+//!
+//! The manifest is replaced only by write-temp → fsync → rename →
+//! fsync(dir): a crash mid-checkpoint leaves the previous manifest
+//! intact, and the trailing CRC rejects a torn or bit-rotted file
+//! with a typed [`StoreError::Corrupt`].
+
+use crate::codec::{self, Cursor};
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::failpoint::{fp_create, fp_rename, fp_sync, fp_sync_parent_dir, fp_write_all};
+use std::path::Path;
+
+/// Manifest magic: "EVMF".
+const MAGIC: u32 = 0x4556_4D46;
+/// Manifest format version.
+const VERSION: u16 = 1;
+
+/// File name of the manifest inside a data directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.evm";
+
+/// One catalog binding recorded in the manifest (or journaled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Catalog binding name.
+    pub name: String,
+    /// Segment file name, relative to the data directory.
+    pub file: String,
+    /// On-disk segment format version.
+    pub format_version: u16,
+    /// The segment's content checksum (0 for v2 segments, which
+    /// carry none).
+    pub checksum: u32,
+    /// Stored tuple count (informational; STATS reports it).
+    pub tuple_count: u64,
+    /// Generation of the mutation that produced this binding.
+    pub generation: u64,
+}
+
+impl ManifestEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        codec::put_str(out, &self.name);
+        codec::put_str(out, &self.file);
+        codec::put_u16(out, self.format_version);
+        codec::put_u32(out, self.checksum);
+        codec::put_u64(out, self.tuple_count);
+        codec::put_u64(out, self.generation);
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<ManifestEntry, StoreError> {
+        Ok(ManifestEntry {
+            name: cur.str()?.to_owned(),
+            file: cur.str()?.to_owned(),
+            format_version: cur.u16()?,
+            checksum: cur.u32()?,
+            tuple_count: cur.u64()?,
+            generation: cur.u64()?,
+        })
+    }
+}
+
+/// A loaded (or about-to-be-written) manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// The committed generation this manifest checkpoints.
+    pub generation: u64,
+    /// Bindings in name order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u32(&mut out, MAGIC);
+        codec::put_u16(&mut out, VERSION);
+        codec::put_u16(&mut out, 0); // pad
+        codec::put_u64(&mut out, self.generation);
+        codec::put_u32(&mut out, self.entries.len() as u32);
+        for entry in &self.entries {
+            entry.encode(&mut out);
+        }
+        let crc = crc32(&out);
+        codec::put_u32(&mut out, crc);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        if bytes.len() < 4 {
+            return Err(StoreError::corrupt("manifest shorter than its checksum"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().expect("4-byte tail"));
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(StoreError::corrupt(format!(
+                "manifest checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        let mut cur = Cursor::new(body, "manifest");
+        if cur.u32()? != MAGIC {
+            return Err(StoreError::corrupt("bad manifest magic"));
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(StoreError::corrupt(format!(
+                "unsupported manifest version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let _pad = cur.u16()?;
+        let generation = cur.u64()?;
+        let count = cur.u32()? as usize;
+        // Each entry costs ≥ 30 bytes — cap against the untrusted count.
+        let mut entries = Vec::with_capacity(count.min(cur.remaining() / 30));
+        for _ in 0..count {
+            entries.push(ManifestEntry::decode(&mut cur)?);
+        }
+        if !cur.is_exhausted() {
+            return Err(StoreError::corrupt("trailing bytes after manifest entries"));
+        }
+        Ok(Manifest {
+            generation,
+            entries,
+        })
+    }
+
+    /// Load the manifest from `dir`, `None` when the directory has
+    /// never been checkpointed (no manifest file).
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on read failures; [`StoreError::Corrupt`]
+    /// on checksum or format violations — a torn manifest is an
+    /// error, never silently treated as empty, because a data
+    /// directory that *has* a manifest losing it means losing the
+    /// committed state.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(format!("read {path:?}"), &e)),
+        };
+        Manifest::decode(&bytes).map(Some)
+    }
+
+    /// Atomically replace the manifest in `dir`: write a sibling temp
+    /// file, fsync it, rename over [`MANIFEST_FILE`], fsync the
+    /// directory. A crash at any point leaves either the old or the
+    /// new manifest, both checksum-valid.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on write failures.
+    pub fn write(&self, dir: &Path) -> Result<(), StoreError> {
+        let final_path = dir.join(MANIFEST_FILE);
+        let tmp_path = dir.join(format!("{MANIFEST_FILE}.tmp-{}", std::process::id()));
+        let bytes = self.encode();
+        let result = (|| {
+            let mut file = fp_create(&tmp_path)
+                .map_err(|e| StoreError::io(format!("create {tmp_path:?}"), &e))?;
+            fp_write_all(&mut file, &bytes).map_err(|e| StoreError::io("write manifest", &e))?;
+            fp_sync(&file).map_err(|e| StoreError::io("fsync manifest", &e))?;
+            fp_rename(&tmp_path, &final_path)
+                .map_err(|e| StoreError::io("rename manifest into place", &e))?;
+            fp_sync_parent_dir(&final_path)
+                .map_err(|e| StoreError::io("fsync data directory", &e))?;
+            Ok(())
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp_path).ok();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::FailpointFs;
+
+    fn dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "evirel-manifest-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 42,
+            entries: vec![
+                ManifestEntry {
+                    name: "ra".into(),
+                    file: "seg-000001.evb".into(),
+                    format_version: 3,
+                    checksum: 0xDEAD_BEEF,
+                    tuple_count: 120,
+                    generation: 17,
+                },
+                ManifestEntry {
+                    name: "m0".into(),
+                    file: "seg-000002.evb".into(),
+                    format_version: 3,
+                    checksum: 0x1234_5678,
+                    tuple_count: 240,
+                    generation: 42,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = dir("roundtrip");
+        assert_eq!(Manifest::load(&d).unwrap(), None);
+        let m = sample();
+        m.write(&d).unwrap();
+        assert_eq!(Manifest::load(&d).unwrap(), Some(m));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn corruption_is_typed_not_empty() {
+        let d = dir("corrupt");
+        sample().write(&d).unwrap();
+        let path = d.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Manifest::load(&d),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Truncation too.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(matches!(
+            Manifest::load(&d),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn replace_is_atomic_under_crash_sweep() {
+        let d = dir("atomic");
+        let old = sample();
+        old.write(&d).unwrap();
+        let new = Manifest {
+            generation: 99,
+            entries: vec![],
+        };
+        let total = {
+            let fp = FailpointFs::observe();
+            new.write(&d).unwrap();
+            let t = fp.units();
+            drop(fp);
+            old.write(&d).unwrap();
+            t
+        };
+        for kill_at in 0..=total {
+            let fp = FailpointFs::kill_after(kill_at);
+            let result = new.write(&d);
+            drop(fp);
+            // Whatever happened, a checksum-valid manifest survives —
+            // either the old or the new one, never a torn mix.
+            let loaded = Manifest::load(&d).unwrap().unwrap();
+            assert!(loaded == old || loaded == new, "kill at {kill_at}");
+            if result.is_ok() {
+                assert_eq!(loaded, new);
+            }
+            old.write(&d).unwrap();
+        }
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

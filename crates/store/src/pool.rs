@@ -30,6 +30,18 @@ pub const DEFAULT_BUFFER_BYTES: usize = 64 * 1024 * 1024;
 /// Environment variable naming the pool byte budget.
 pub const BUFFER_BYTES_ENV: &str = "EVIREL_BUFFER_BYTES";
 
+/// Environment variable that, when set to anything non-empty other
+/// than `0`, makes the pool re-verify page checksums on every cache
+/// *hit* (misses always verify on the disk read). CI runs the store
+/// suites with this forced on; production leaves it off because a
+/// page in cache was already verified when it was read.
+pub const PARANOID_ENV: &str = "EVIREL_PARANOID_CHECKSUMS";
+
+fn paranoid_checksums() -> bool {
+    static PARANOID: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PARANOID.get_or_init(|| std::env::var(PARANOID_ENV).is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
 type PageKey = (u64, u64);
 
 /// A snapshot of the pool's counters.
@@ -142,20 +154,33 @@ impl BufferPool {
     /// [`StoreError`] from the underlying page read.
     pub fn get(self: &Arc<Self>, segment: &Segment, page: u64) -> Result<PageGuard, StoreError> {
         let key = (segment.id(), page);
-        {
+        let cached = {
             let mut inner = self.inner.lock().expect("pool lock");
             if let Some(frame) = inner.frames.get_mut(&key) {
                 frame.pins += 1;
                 frame.referenced = true;
                 let data = Arc::clone(&frame.data);
                 inner.stats.hits += 1;
-                return Ok(PageGuard {
-                    pool: Arc::clone(self),
-                    key,
-                    data,
-                });
+                Some(data)
+            } else {
+                inner.stats.misses += 1;
+                None
             }
-            inner.stats.misses += 1;
+        };
+        if let Some(data) = cached {
+            // Paranoid mode re-verifies even in-memory pages — CI
+            // uses it to prove no path trusts unverified bytes.
+            if paranoid_checksums() {
+                if let Err(e) = segment.verify_page(page, &data) {
+                    self.unpin(key);
+                    return Err(e);
+                }
+            }
+            return Ok(PageGuard {
+                pool: Arc::clone(self),
+                key,
+                data,
+            });
         }
         // Read outside the lock so slow I/O does not serialize other
         // workers' cache hits.

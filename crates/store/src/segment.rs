@@ -3,16 +3,17 @@
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
-//! │ preamble (40 B): magic ∣ version ∣ flags ∣ page_size ∣       │
+//! │ preamble (52 B): magic ∣ version ∣ flags ∣ page_size ∣       │
 //! │                  schema_len ∣ table_offset ∣ page_count ∣    │
-//! │                  tuple_count                                 │
+//! │                  tuple_count ∣ schema_crc ∣ table_crc ∣      │
+//! │                  preamble_crc                                │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ schema block (codec::encode_schema — interned frame dicts)   │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ page 0: [u32 record_count] [u32 len ∣ record]*               │
 //! │ page 1: …                                                    │
 //! ├──────────────────────────────────────────────────────────────┤
-//! │ page table: page_count × (u64 offset ∣ u32 len)              │
+//! │ page table: page_count × (u64 offset ∣ u32 len ∣ u32 crc)    │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -22,20 +23,32 @@
 //! and no tuple is ever too large to store. Records are appended in
 //! insertion order; a full-segment scan therefore reproduces the
 //! source relation's iteration order exactly.
+//!
+//! **Durability.** Since format v3 a segment is written to a sibling
+//! temporary file and only *renamed* into place after its final bytes
+//! (page table + backpatched preamble) are written and fsync'd — an
+//! interrupted write leaves at worst an orphaned `*.tmp-*` file,
+//! never a torn `.evb`. The checksums chain: `preamble_crc` covers
+//! the preamble (which records `schema_crc` and `table_crc`), the
+//! table covers per-page CRCs, and each page CRC covers its bytes —
+//! so the single `preamble_crc` (the segment's *content checksum*,
+//! recorded in the catalog manifest) commits to the entire file.
+//! Readers verify page checksums on every disk read and surface any
+//! mismatch as a typed [`StoreError::Corrupt`]. The previous v2
+//! format (no checksums) still loads via [`crate::compat`].
 
 use crate::codec::{self, Cursor};
+use crate::compat::{self, PageEntry, MAGIC, PREAMBLE_V3, VERSION_V3};
+use crate::crc::crc32;
 use crate::error::StoreError;
+use crate::failpoint::{fp_create, fp_rename, fp_sync, fp_sync_parent_dir, fp_write_all};
 use evirel_relation::{AttrDomain, ExtendedRelation, Schema, Tuple};
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-const MAGIC: u32 = 0x4556_5253; // "EVRS"
-                                // v2: focal-set word counts widened from u8 to checked u16.
-const VERSION: u16 = 2;
-const PREAMBLE_LEN: usize = 40;
 /// Bytes of page header: the record count.
 const PAGE_HEADER: usize = 4;
 
@@ -54,28 +67,68 @@ pub struct RecordId {
 /// Process-unique segment ids — the buffer pool's cache key namespace.
 static NEXT_SEGMENT_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Process-unique suffix counter for sibling temp files.
+static NEXT_TMP_ID: AtomicU64 = AtomicU64::new(1);
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let n = NEXT_TMP_ID.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_else(|| "segment".into());
+    name.push(format!(".tmp-{}-{n}", std::process::id()));
+    path.with_file_name(name)
+}
+
 // ------------------------------------------------------------- writer
+
+/// What [`SegmentWriter::finish_meta`] reports about a completed
+/// segment — everything the catalog manifest records per binding.
+#[derive(Debug, Clone)]
+pub struct SegmentMeta {
+    /// Final path the segment was renamed to.
+    pub path: PathBuf,
+    /// The segment's content checksum (the v3 `preamble_crc`, which
+    /// transitively covers every byte of the file).
+    pub checksum: u32,
+    /// Number of stored tuples.
+    pub tuple_count: u64,
+}
 
 /// Streams tuples into a new segment file. Records accumulate in one
 /// in-memory page buffer; full pages flush to disk, so peak writer
 /// memory is a single page regardless of relation size.
+///
+/// The writer targets a sibling `*.tmp-*` file and atomically renames
+/// it to the requested path in [`SegmentWriter::finish`] (after an
+/// fsync), so the destination either keeps its old contents or gains
+/// a complete, checksummed segment — never a torn intermediate. An
+/// unfinished writer removes its temp file on drop.
 pub struct SegmentWriter {
     file: File,
+    /// The requested destination.
     path: PathBuf,
+    /// The sibling temp file actually being written.
+    tmp_path: PathBuf,
+    finished: bool,
     page_size: usize,
     schema_len: usize,
+    schema_crc: u32,
     /// Current page payload (after the record-count header).
     page_buf: Vec<u8>,
+    /// Reused full-page assembly buffer (header + payload).
+    page_out: Vec<u8>,
     page_records: u32,
-    pages: Vec<(u64, u32)>,
+    pages: Vec<PageEntry>,
     next_offset: u64,
     tuple_count: u64,
     scratch: Vec<u8>,
 }
 
 impl SegmentWriter {
-    /// Create a segment at `path` for relations over `schema`, with
-    /// the given target page size (≥ 64 bytes enforced).
+    /// Create a segment that will land at `path` once finished, for
+    /// relations over `schema`, with the given target page size
+    /// (≥ 64 bytes enforced).
     ///
     /// # Errors
     /// [`StoreError::Io`] on file-creation failures.
@@ -85,23 +138,32 @@ impl SegmentWriter {
         page_size: usize,
     ) -> Result<SegmentWriter, StoreError> {
         let path = path.as_ref().to_path_buf();
+        let tmp_path = temp_sibling(&path);
         let mut file =
-            File::create(&path).map_err(|e| StoreError::io(format!("create {path:?}"), &e))?;
-        let mut header = vec![0u8; PREAMBLE_LEN];
+            fp_create(&tmp_path).map_err(|e| StoreError::io(format!("create {tmp_path:?}"), &e))?;
+        let mut header = vec![0u8; PREAMBLE_V3];
         codec::encode_schema(schema, &mut header);
-        let schema_len = header.len() - PREAMBLE_LEN;
-        file.write_all(&header)
-            .map_err(|e| StoreError::io("write segment header", &e))?;
+        let schema_len = header.len() - PREAMBLE_V3;
+        let schema_crc = crc32(&header[PREAMBLE_V3..]);
+        if let Err(e) = fp_write_all(&mut file, &header) {
+            // No writer exists yet to clean up on drop.
+            std::fs::remove_file(&tmp_path).ok();
+            return Err(StoreError::io("write segment header", &e));
+        }
         let page_size = page_size.max(64);
         Ok(SegmentWriter {
             file,
             path,
+            tmp_path,
+            finished: false,
             page_size,
             schema_len,
+            schema_crc,
             page_buf: Vec::with_capacity(page_size),
+            page_out: Vec::with_capacity(page_size + PAGE_HEADER),
             page_records: 0,
             pages: Vec::new(),
-            next_offset: (PREAMBLE_LEN + schema_len) as u64,
+            next_offset: (PREAMBLE_V3 + schema_len) as u64,
             tuple_count: 0,
             scratch: Vec::new(),
         })
@@ -139,51 +201,90 @@ impl SegmentWriter {
         if self.page_buf.is_empty() {
             return Ok(());
         }
-        let len = (PAGE_HEADER + self.page_buf.len()) as u32;
-        let mut header = [0u8; PAGE_HEADER];
-        header.copy_from_slice(&self.page_records.to_le_bytes());
-        self.file
-            .write_all(&header)
-            .and_then(|()| self.file.write_all(&self.page_buf))
+        self.page_out.clear();
+        self.page_out
+            .extend_from_slice(&self.page_records.to_le_bytes());
+        self.page_out.extend_from_slice(&self.page_buf);
+        let len = self.page_out.len() as u32;
+        let crc = crc32(&self.page_out);
+        fp_write_all(&mut self.file, &self.page_out)
             .map_err(|e| StoreError::io("write page", &e))?;
-        self.pages.push((self.next_offset, len));
+        self.pages.push(PageEntry {
+            offset: self.next_offset,
+            len,
+            crc: Some(crc),
+        });
         self.next_offset += u64::from(len);
         self.page_buf.clear();
         self.page_records = 0;
         Ok(())
     }
 
-    /// Flush the final page, write the page table, and patch the
-    /// preamble. Returns the path the segment was written to.
+    /// Flush the final page, write the checksummed page table, patch
+    /// the preamble, fsync, and atomically rename the temp file to
+    /// the destination path (returned).
     ///
     /// # Errors
     /// [`StoreError::Io`] on write failures.
-    pub fn finish(mut self) -> Result<PathBuf, StoreError> {
+    pub fn finish(self) -> Result<PathBuf, StoreError> {
+        Ok(self.finish_meta()?.path)
+    }
+
+    /// As [`SegmentWriter::finish`], additionally reporting the
+    /// content checksum and tuple count the catalog manifest records.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] on write failures.
+    pub fn finish_meta(mut self) -> Result<SegmentMeta, StoreError> {
         self.flush_page()?;
         let table_offset = self.next_offset;
-        let mut table = Vec::with_capacity(self.pages.len() * 12);
-        for (offset, len) in &self.pages {
-            codec::put_u64(&mut table, *offset);
-            codec::put_u32(&mut table, *len);
+        let mut table = Vec::with_capacity(self.pages.len() * compat::TABLE_ENTRY_V3);
+        for entry in &self.pages {
+            codec::put_u64(&mut table, entry.offset);
+            codec::put_u32(&mut table, entry.len);
+            codec::put_u32(&mut table, entry.crc.unwrap_or(0));
         }
-        self.file
-            .write_all(&table)
-            .map_err(|e| StoreError::io("write page table", &e))?;
-        let mut preamble = Vec::with_capacity(PREAMBLE_LEN);
+        let table_crc = crc32(&table);
+        fp_write_all(&mut self.file, &table).map_err(|e| StoreError::io("write page table", &e))?;
+        let mut preamble = Vec::with_capacity(PREAMBLE_V3);
         codec::put_u32(&mut preamble, MAGIC);
-        codec::put_u16(&mut preamble, VERSION);
+        codec::put_u16(&mut preamble, VERSION_V3);
         codec::put_u16(&mut preamble, 0); // flags
         codec::put_u32(&mut preamble, self.page_size as u32);
         codec::put_u32(&mut preamble, self.schema_len as u32);
         codec::put_u64(&mut preamble, table_offset);
         codec::put_u64(&mut preamble, self.pages.len() as u64);
         codec::put_u64(&mut preamble, self.tuple_count);
+        codec::put_u32(&mut preamble, self.schema_crc);
+        codec::put_u32(&mut preamble, table_crc);
+        let preamble_crc = crc32(&preamble);
+        codec::put_u32(&mut preamble, preamble_crc);
         self.file
             .seek(SeekFrom::Start(0))
-            .and_then(|_| self.file.write_all(&preamble))
-            .and_then(|()| self.file.flush())
+            .map_err(|e| StoreError::io("seek preamble", &e))?;
+        fp_write_all(&mut self.file, &preamble)
             .map_err(|e| StoreError::io("patch preamble", &e))?;
-        Ok(self.path)
+        fp_sync(&self.file).map_err(|e| StoreError::io("fsync segment", &e))?;
+        fp_rename(&self.tmp_path, &self.path)
+            .map_err(|e| StoreError::io(format!("rename into {:?}", self.path), &e))?;
+        self.finished = true;
+        fp_sync_parent_dir(&self.path)
+            .map_err(|e| StoreError::io("fsync segment directory", &e))?;
+        Ok(SegmentMeta {
+            path: self.path.clone(),
+            checksum: preamble_crc,
+            tuple_count: self.tuple_count,
+        })
+    }
+}
+
+impl Drop for SegmentWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned mid-write (error or crash-injection): the
+            // destination was never touched, only the temp file.
+            std::fs::remove_file(&self.tmp_path).ok();
+        }
     }
 }
 
@@ -196,12 +297,24 @@ pub fn write_segment(
     path: impl AsRef<Path>,
     page_size: usize,
 ) -> Result<(), StoreError> {
+    write_segment_meta(rel, path, page_size).map(|_| ())
+}
+
+/// As [`write_segment`], reporting the finished segment's manifest
+/// metadata (content checksum, tuple count).
+///
+/// # Errors
+/// As [`SegmentWriter`].
+pub fn write_segment_meta(
+    rel: &ExtendedRelation,
+    path: impl AsRef<Path>,
+    page_size: usize,
+) -> Result<SegmentMeta, StoreError> {
     let mut writer = SegmentWriter::create(path, rel.schema(), page_size)?;
     for tuple in rel.iter() {
         writer.append(tuple)?;
     }
-    writer.finish()?;
-    Ok(())
+    writer.finish_meta()
 }
 
 // ------------------------------------------------------------- reader
@@ -216,9 +329,11 @@ pub struct Segment {
     file: Mutex<File>,
     schema: Arc<Schema>,
     domains: Vec<Option<Arc<AttrDomain>>>,
-    pages: Vec<(u64, u32)>,
+    pages: Vec<PageEntry>,
     tuple_count: u64,
     page_size: usize,
+    version: u16,
+    content_checksum: Option<u32>,
 }
 
 impl Segment {
@@ -250,29 +365,25 @@ impl Segment {
     fn open_impl(path: &Path, schema: Option<Arc<Schema>>) -> Result<Segment, StoreError> {
         let mut file =
             File::open(path).map_err(|e| StoreError::io(format!("open {path:?}"), &e))?;
-        let mut preamble = [0u8; PREAMBLE_LEN];
-        file.read_exact(&mut preamble)
-            .map_err(|e| StoreError::io("read preamble", &e))?;
-        let mut cur = Cursor::new(&preamble, "preamble");
-        if cur.u32()? != MAGIC {
-            return Err(StoreError::corrupt("bad magic (not an evirel segment)"));
-        }
-        let version = cur.u16()?;
-        if version != VERSION {
-            return Err(StoreError::corrupt(format!(
-                "unsupported segment version {version}"
-            )));
-        }
-        let _flags = cur.u16()?;
-        let page_size = cur.u32()? as usize;
-        let schema_len = cur.u32()? as usize;
-        let table_offset = cur.u64()?;
-        let page_count = cur.u64()? as usize;
-        let tuple_count = cur.u64()?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| StoreError::io(format!("stat {path:?}"), &e))?
+            .len();
+        let header = compat::read_header(&mut file, file_len)?;
 
-        let mut schema_bytes = vec![0u8; schema_len];
-        file.read_exact(&mut schema_bytes)
+        let mut schema_bytes = vec![0u8; header.schema_len];
+        file.seek(SeekFrom::Start(header.preamble_len() as u64))
+            .and_then(|_| file.read_exact(&mut schema_bytes))
             .map_err(|e| StoreError::io("read schema block", &e))?;
+        if let Some(expected) = header.schema_crc {
+            let actual = crc32(&schema_bytes);
+            if actual != expected {
+                return Err(StoreError::corrupt(format!(
+                    "schema block checksum mismatch (stored {expected:#010x}, \
+                     computed {actual:#010x})"
+                )));
+            }
+        }
         let (schema, domains) = match schema {
             Some(live) => {
                 let domains = codec::domains_of(&live);
@@ -284,18 +395,7 @@ impl Segment {
             }
         };
 
-        file.seek(SeekFrom::Start(table_offset))
-            .map_err(|e| StoreError::io("seek page table", &e))?;
-        let mut table = vec![0u8; page_count * 12];
-        file.read_exact(&mut table)
-            .map_err(|e| StoreError::io("read page table", &e))?;
-        let mut cur = Cursor::new(&table, "page table");
-        let mut pages = Vec::with_capacity(page_count);
-        for _ in 0..page_count {
-            let offset = cur.u64()?;
-            let len = cur.u32()?;
-            pages.push((offset, len));
-        }
+        let pages = compat::read_page_table(&mut file, &header)?;
 
         Ok(Segment {
             id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
@@ -303,8 +403,10 @@ impl Segment {
             schema,
             domains,
             pages,
-            tuple_count,
-            page_size,
+            tuple_count: header.tuple_count,
+            page_size: header.page_size,
+            version: header.version,
+            content_checksum: header.content_checksum,
         })
     }
 
@@ -334,6 +436,17 @@ impl Segment {
         self.page_size
     }
 
+    /// On-disk format version this segment was read as.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The segment's content checksum (v3 `preamble_crc`, which
+    /// transitively covers the whole file); `None` for v2 segments.
+    pub fn content_checksum(&self) -> Option<u32> {
+        self.content_checksum
+    }
+
     /// On-disk byte length of page `page`.
     ///
     /// # Errors
@@ -341,25 +454,60 @@ impl Segment {
     pub fn page_len(&self, page: u64) -> Result<usize, StoreError> {
         self.pages
             .get(page as usize)
-            .map(|(_, len)| *len as usize)
+            .map(|entry| entry.len as usize)
             .ok_or_else(|| StoreError::corrupt(format!("page {page} out of range")))
     }
 
-    /// Read raw page bytes from disk — the buffer pool's fill path.
-    /// Prefer [`crate::pool::BufferPool::get`], which caches.
+    /// Verify `bytes` against page `page`'s recorded length and (for
+    /// v3 segments) checksum. The read path calls this on every disk
+    /// read; the buffer pool re-calls it on cache hits when
+    /// `EVIREL_PARANOID_CHECKSUMS` is set.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] on any mismatch.
+    pub fn verify_page(&self, page: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        let entry = self
+            .pages
+            .get(page as usize)
+            .ok_or_else(|| StoreError::corrupt(format!("page {page} out of range")))?;
+        if bytes.len() != entry.len as usize {
+            return Err(StoreError::corrupt(format!(
+                "page {page} length mismatch ({} bytes, expected {})",
+                bytes.len(),
+                entry.len
+            )));
+        }
+        if let Some(expected) = entry.crc {
+            let actual = crc32(bytes);
+            if actual != expected {
+                return Err(StoreError::corrupt(format!(
+                    "page {page} checksum mismatch (stored {expected:#010x}, \
+                     computed {actual:#010x})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Read raw page bytes from disk, verifying the page checksum —
+    /// the buffer pool's fill path. Prefer
+    /// [`crate::pool::BufferPool::get`], which caches.
     ///
     /// # Errors
     /// [`StoreError::Io`] / [`StoreError::Corrupt`].
     pub fn read_page(&self, page: u64) -> Result<Vec<u8>, StoreError> {
-        let (offset, len) = *self
+        let entry = *self
             .pages
             .get(page as usize)
             .ok_or_else(|| StoreError::corrupt(format!("page {page} out of range")))?;
-        let mut buf = vec![0u8; len as usize];
-        let mut file = self.file.lock().expect("segment file lock");
-        file.seek(SeekFrom::Start(offset))
-            .and_then(|_| file.read_exact(&mut buf))
-            .map_err(|e| StoreError::io(format!("read page {page}"), &e))?;
+        let mut buf = vec![0u8; entry.len as usize];
+        {
+            let mut file = self.file.lock().expect("segment file lock");
+            file.seek(SeekFrom::Start(entry.offset))
+                .and_then(|_| file.read_exact(&mut buf))
+                .map_err(|e| StoreError::io(format!("read page {page}"), &e))?;
+        }
+        self.verify_page(page, &buf)?;
         Ok(buf)
     }
 
@@ -372,7 +520,9 @@ impl Segment {
     pub fn decode_page(&self, bytes: &[u8]) -> Result<Vec<Tuple>, StoreError> {
         let mut cur = Cursor::new(bytes, "page");
         let count = cur.u32()? as usize;
-        let mut out = Vec::with_capacity(count);
+        // A record costs at least its 4-byte length prefix — cap the
+        // pre-allocation so a corrupted count can't request gigabytes.
+        let mut out = Vec::with_capacity(count.min(bytes.len() / 4));
         for _ in 0..count {
             let len = cur.u32()? as usize;
             let record = cur.bytes(len)?;
@@ -415,6 +565,7 @@ impl Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoint::FailpointFs;
     use evirel_relation::{RelationBuilder, Value};
 
     fn sample(n: usize) -> ExtendedRelation {
@@ -458,6 +609,8 @@ mod tests {
         write_segment(&rel, &path, 512).unwrap();
         let seg = Segment::open(&path).unwrap();
         assert_eq!(seg.tuple_count(), 100);
+        assert_eq!(seg.version(), VERSION_V3);
+        assert!(seg.content_checksum().is_some());
         assert!(seg.page_count() > 1, "512-byte pages must paginate");
         rel.schema().check_union_compatible(seg.schema()).unwrap();
         let mut decoded = Vec::new();
@@ -553,9 +706,89 @@ mod tests {
             Segment::open(&path),
             Err(StoreError::Corrupt { .. })
         ));
+        // A file shorter than any preamble is corrupt, not an I/O
+        // error — the length check runs before any read.
         std::fs::write(&path, b"xx").unwrap();
-        assert!(matches!(Segment::open(&path), Err(StoreError::Io { .. })));
+        assert!(matches!(
+            Segment::open(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
         assert!(Segment::open("/nonexistent/nope.evb").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_checksum_catches_bit_rot() {
+        let rel = sample(30);
+        let path = tmp("bitrot.evb");
+        write_segment(&rel, &path, 512).unwrap();
+        // Flip one bit in the middle of page 0's data region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        drop(seg);
+        let target = PREAMBLE_V3 + 200; // somewhere in page data
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = Segment::open(&path);
+        // Either the schema block was hit (open fails) or a page was
+        // hit (read_page fails) — never a silent wrong answer.
+        if let Ok(seg) = seg {
+            let mut saw_corrupt = false;
+            for p in 0..seg.page_count() {
+                match seg.read_page(p) {
+                    Ok(_) => {}
+                    Err(StoreError::Corrupt { .. }) => saw_corrupt = true,
+                    Err(e) => panic!("unexpected error kind: {e}"),
+                }
+            }
+            assert!(saw_corrupt, "bit flip must surface as Corrupt");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_write_leaves_existing_segment_readable() {
+        let rel = sample(20);
+        let path = tmp("atomic.evb");
+        write_segment(&rel, &path, 512).unwrap();
+        let original = std::fs::read(&path).unwrap();
+
+        // Sweep every kill point of a rewrite over the same path:
+        // the destination must stay byte-identical until the rename.
+        let bigger = sample(40);
+        let total = {
+            let fp = FailpointFs::observe();
+            write_segment(&bigger, &path, 512).unwrap();
+            let t = fp.units();
+            drop(fp);
+            // Restore the original for the sweep.
+            write_segment(&rel, &path, 512).unwrap();
+            t
+        };
+        let mut failures = 0;
+        for kill_at in (0..total).step_by(97) {
+            let fp = FailpointFs::kill_after(kill_at);
+            let result = write_segment(&bigger, &path, 512);
+            drop(fp);
+            if result.is_err() {
+                failures += 1;
+                // Original still fully readable, bit for bit.
+                assert_eq!(std::fs::read(&path).unwrap(), original);
+                let seg = Segment::open(&path).unwrap();
+                assert_eq!(seg.tuple_count(), 20);
+            }
+        }
+        assert!(failures > 0, "sweep must hit mid-write kill points");
+        // No leaked temp files.
+        let dir = path.parent().unwrap();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            assert!(
+                !name.starts_with("atomic.evb.tmp-"),
+                "leaked temp file {name}"
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 }

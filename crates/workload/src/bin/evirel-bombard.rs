@@ -3,6 +3,7 @@
 //! ```text
 //! evirel-bombard --addr HOST:PORT [--sessions N] [--ops N]
 //!                [--merge-every K] [--shutdown]
+//! evirel-bombard --addr HOST:PORT --request PAYLOAD
 //! ```
 //!
 //! Opens `--sessions` concurrent connections (barrier-synchronized,
@@ -10,6 +11,13 @@
 //! `QUERY` reads with a `MERGE` write every `--merge-every`-th
 //! request, and prints the exact counters. With `--shutdown` it sends
 //! the `SHUTDOWN` verb after the run (the CI clean-shutdown gate).
+//!
+//! `--request PAYLOAD` skips the load run entirely: one connection,
+//! one request, response printed to stdout (literal `\n` in the
+//! payload becomes a newline, so `--request 'QUERY\nSELECT …'` works
+//! from a shell). Exit 0 iff the server answered `OK`. This is the
+//! scripting interface the crash-recovery CI harness drives STATS and
+//! QUERY probes through.
 //!
 //! Exit status: 0 iff the run saw **zero protocol errors and zero
 //! server errors** — the acceptance bar for the service under
@@ -21,6 +29,7 @@ use std::time::{Duration, Instant};
 fn main() {
     let mut config = LoadConfig::default();
     let mut shutdown_after = false;
+    let mut one_shot: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,10 +37,12 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "usage: evirel-bombard --addr HOST:PORT [--sessions N] [--ops N] \
-                     [--merge-every K] [--shutdown]"
+                     [--merge-every K] [--shutdown]\n\
+                     \x20      evirel-bombard --addr HOST:PORT --request PAYLOAD"
                 );
                 return;
             }
+            "--request" => one_shot = Some(required(&mut args, "--request")),
             "--addr" => config.addr = required(&mut args, "--addr"),
             "--sessions" => config.sessions = parse_num(&required(&mut args, "--sessions"), 1),
             "--ops" => config.ops_per_session = parse_num(&required(&mut args, "--ops"), 1),
@@ -45,6 +56,25 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(payload) = one_shot {
+        // `\n` from the shell → a real newline, so multi-line verbs
+        // (QUERY, MERGE) are expressible in one argument.
+        let payload = payload.replace("\\n", "\n");
+        match request_once(&config.addr, &payload, Duration::from_secs(30)) {
+            Ok(resp) => {
+                println!("{resp}");
+                if !resp.starts_with("OK") {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     let started = Instant::now();
