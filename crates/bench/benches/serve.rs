@@ -1,7 +1,7 @@
 //! Query-service benchmark: request round-trips through a live
 //! in-process `evirel-serve` instance.
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * `serve/roundtrip` — single-connection QUERY latency, split by
 //!   cold (first execution, full lowering/rewrite) vs warm (prepared
@@ -10,6 +10,10 @@
 //! * `serve/load` — wall-clock for a full mixed read/merge load-driver
 //!   run (barrier-synchronized concurrent sessions, ~10% MERGE
 //!   writes), at increasing session counts.
+//! * `serve/replication` — durable MERGE round-trip with zero vs one
+//!   attached `FOLLOW` standby (the asynchronous sender must stay off
+//!   the write path), and the merge-acknowledged-to-visible-on-standby
+//!   replication lag.
 //!
 //! The smoke pass (`cargo test --benches`, CI) asserts the service
 //! invariants before anything is timed: zero protocol errors, zero
@@ -18,9 +22,9 @@
 //! Reference numbers live in `crates/bench/BASELINES.md`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use evirel_query::Catalog;
+use evirel_query::{Catalog, DurableCatalog};
 use evirel_serve::protocol::{read_frame, write_frame};
-use evirel_serve::{start, ServeConfig, ServerHandle};
+use evirel_serve::{start, start_with_durability, FollowConfig, ServeConfig, ServerHandle};
 use evirel_workload::driver::{run_load, LoadConfig};
 use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
 use evirel_workload::{restaurant_db_a, restaurant_db_b};
@@ -119,5 +123,91 @@ fn bench_load(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_roundtrip, bench_load);
+fn durable_server(dir: &std::path::Path, follow: Option<String>) -> ServerHandle {
+    let (durable, mut catalog) = DurableCatalog::open(dir).expect("durable dir opens");
+    catalog.register("ra", restaurant_db_a().restaurants);
+    catalog.register("rb", restaurant_db_b().restaurants);
+    let config = ServeConfig {
+        follow: follow.map(|addr| FollowConfig {
+            initial_backoff: std::time::Duration::from_millis(10),
+            max_backoff: std::time::Duration::from_millis(100),
+            ..FollowConfig::new(addr)
+        }),
+        ..ServeConfig::default()
+    };
+    start_with_durability(catalog, config, Some(durable)).expect("server starts")
+}
+
+fn merge_generation(resp: &str) -> u64 {
+    resp.split_whitespace()
+        .find_map(|t| t.strip_prefix("generation="))
+        .and_then(|v| v.parse().ok())
+        .expect("merge response carries its generation")
+}
+
+/// Replication overhead: durable MERGE round-trip latency with no
+/// follower vs with one attached `FOLLOW` subscriber (the asynchronous
+/// sender must not sit on the write path), plus the end-to-end
+/// replication lag — merge acknowledged on the primary until the same
+/// generation is published on the standby.
+fn bench_replication(c: &mut Criterion) {
+    let base = std::env::temp_dir().join(format!("evirel-bench-repl-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let primary = durable_server(&base.join("primary"), None);
+    let mut conn = TcpStream::connect(primary.addr()).expect("connects");
+    conn.set_nodelay(true).expect("nodelay");
+    let merge = "MERGE bm\nSELECT * FROM ra UNION rb";
+    let first = roundtrip(&mut conn, merge);
+    assert!(first.starts_with("OK"), "{first}");
+
+    let mut group = c.benchmark_group("serve/replication");
+    group.sample_size(10);
+    group.bench_function("merge/no-follower", |b| {
+        b.iter(|| black_box(roundtrip(&mut conn, merge)))
+    });
+
+    let follower = durable_server(&base.join("follower"), Some(primary.addr().to_string()));
+    // Sanity before timing: the follower converges and enforces its
+    // readonly gate.
+    let target = primary.catalog().generation();
+    while follower.catalog().generation() < target {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let mut fconn = TcpStream::connect(follower.addr()).expect("connects");
+    fconn.set_nodelay(true).expect("nodelay");
+    let denied = roundtrip(&mut fconn, merge);
+    assert!(denied.starts_with("ERR readonly"), "{denied}");
+
+    group.bench_function("merge/one-follower", |b| {
+        b.iter(|| black_box(roundtrip(&mut conn, merge)))
+    });
+    group.bench_function("merge/visible-on-follower", |b| {
+        b.iter(|| {
+            let resp = roundtrip(&mut conn, merge);
+            let generation = merge_generation(&resp);
+            while follower.catalog().generation() < generation {
+                std::thread::yield_now();
+            }
+        })
+    });
+    group.finish();
+
+    // The replicated history matches before anything shuts down.
+    let target = primary.catalog().generation();
+    while follower.catalog().generation() < target {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(follower.replication().records_applied > 0);
+    drop(fconn);
+    follower.shutdown();
+    let fstats = follower.join();
+    assert_eq!(fstats.panics, 0, "{fstats:?}");
+    drop(conn);
+    primary.shutdown();
+    let stats = primary.join();
+    assert_eq!(stats.panics, 0, "{stats:?}");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_load, bench_replication);
 criterion_main!(benches);

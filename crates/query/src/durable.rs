@@ -59,6 +59,36 @@ pub struct DurabilityStats {
     pub bindings: u64,
 }
 
+/// How many journal records a [`DurableCatalog`] retains in memory
+/// for replication senders. A follower whose resume cursor falls
+/// below the retained window gets a full snapshot transfer instead of
+/// record replay.
+pub const RETAINED_RECORDS_CAP: usize = 4096;
+
+/// What a replication sender should stream to a follower that has
+/// applied through some generation — computed by
+/// [`DurableCatalog::stream_plan`].
+#[derive(Debug, Clone)]
+pub enum StreamPlan {
+    /// The follower is within the retained window: replay exactly
+    /// these records (strictly increasing generations), in order.
+    Tail(Vec<JournalRecord>),
+    /// The follower is too far behind (or the retained range is not
+    /// strictly monotonic, e.g. a REPL `\checkpoint` bound several
+    /// names at one generation): transfer the full durable state.
+    Resync {
+        /// The committed generation this snapshot represents.
+        generation: u64,
+        /// Every durable binding. The follower installs this set
+        /// atomically ([`DurableCatalog::install_snapshot`]); segment
+        /// payloads need shipping only for entries stamped after the
+        /// follower's cursor — older entries are byte-identical on
+        /// both sides because both replayed the same single-writer
+        /// history.
+        entries: Vec<ManifestEntry>,
+    },
+}
+
 /// A data directory opened for journaling and recovery. See the
 /// module docs for the protocol.
 #[derive(Debug)]
@@ -71,6 +101,16 @@ pub struct DurableCatalog {
     recovered_generation: u64,
     next_segment: u64,
     checkpoints: u64,
+    /// Recent journal records kept in memory for replication senders
+    /// (checkpoints truncate the on-disk journal, but a sender must
+    /// still be able to resume a follower from before the
+    /// checkpoint). Ascending generations; capped at
+    /// [`RETAINED_RECORDS_CAP`].
+    retained: Vec<JournalRecord>,
+    /// Followers resuming from a generation **below** this floor need
+    /// a full resync — the records are no longer individually
+    /// retained.
+    retained_floor: u64,
 }
 
 impl DurableCatalog {
@@ -96,6 +136,7 @@ impl DurableCatalog {
             .map(|e| (e.name.clone(), e.clone()))
             .collect();
         let mut committed = manifest.generation;
+        let mut retained = Vec::new();
         for record in &replayed {
             // Records at or below the manifest generation were
             // absorbed by a checkpoint that crashed before its
@@ -104,6 +145,7 @@ impl DurableCatalog {
                 continue;
             }
             committed = committed.max(record.generation());
+            retained.push(record.clone());
             match record {
                 JournalRecord::Bind {
                     name,
@@ -160,6 +202,8 @@ impl DurableCatalog {
                 recovered_generation: committed,
                 next_segment,
                 checkpoints: 0,
+                retained,
+                retained_floor: manifest.generation,
             },
             catalog,
         ))
@@ -237,6 +281,7 @@ impl DurableCatalog {
             },
         );
         self.committed_generation = self.committed_generation.max(generation);
+        self.push_retained(record);
         Ok(path)
     }
 
@@ -253,11 +298,21 @@ impl DurableCatalog {
         self.journal.append(&record).map_err(store_err)?;
         self.entries.remove(name);
         self.committed_generation = self.committed_generation.max(generation);
+        self.push_retained(record);
         Ok(())
     }
 
     /// Checkpoint: write the manifest from the current durable
     /// binding set, truncate the journal, GC unreferenced segments.
+    ///
+    /// The retained replication window is dropped with the journal:
+    /// the GC may have deleted segment files that superseded `Bind`
+    /// records reference, so offering those records to a lagging
+    /// follower would stream dangling file names forever. Raising
+    /// [`DurableCatalog::retained_floor`] to the checkpointed
+    /// generation instead routes any follower still below it onto
+    /// the resync path (a follower already at the floor keeps
+    /// tailing — its next plan is an empty tail, not a resync).
     ///
     /// # Errors
     /// [`QueryError::Execution`] wrapping the store error; the
@@ -269,6 +324,8 @@ impl DurableCatalog {
         };
         let outcome = checkpoint(&self.dir, &manifest, &mut self.journal).map_err(store_err)?;
         self.checkpoints += 1;
+        self.retained.clear();
+        self.retained_floor = self.committed_generation;
         Ok(outcome)
     }
 
@@ -289,6 +346,189 @@ impl DurableCatalog {
     ///
     /// # Errors
     /// [`QueryError::Execution`] wrapping the store error.
+    /// Record `record` into the in-memory retained window, trimming
+    /// the front (and raising the floor) past the cap.
+    fn push_retained(&mut self, record: JournalRecord) {
+        self.retained.push(record);
+        if self.retained.len() > RETAINED_RECORDS_CAP {
+            let excess = self.retained.len() - RETAINED_RECORDS_CAP;
+            self.retained_floor = self.retained[excess - 1].generation();
+            self.retained.drain(..excess);
+        }
+    }
+
+    /// Generations at or below this are no longer individually
+    /// retained for replay; followers behind it get a full resync.
+    pub fn retained_floor(&self) -> u64 {
+        self.retained_floor
+    }
+
+    /// What to stream to a follower that has applied through `from`:
+    /// a record tail when `from` is inside the retained window and
+    /// the records past it carry strictly increasing generations
+    /// (the serve-layer write discipline — one journaled mutation per
+    /// published generation); a full state transfer otherwise. A
+    /// non-monotonic range (several records sharing a generation, the
+    /// REPL's `\checkpoint` shape) falls back to resync because a
+    /// record tail cut *inside* such a group could not be resumed
+    /// without re-applying or skipping its siblings.
+    pub fn stream_plan(&self, from: u64) -> StreamPlan {
+        if from >= self.retained_floor {
+            let tail: Vec<JournalRecord> = evirel_store::journal::since(&self.retained, from)
+                .cloned()
+                .collect();
+            let monotonic = tail
+                .windows(2)
+                .all(|w| w[0].generation() < w[1].generation());
+            if monotonic {
+                return StreamPlan::Tail(tail);
+            }
+        }
+        StreamPlan::Resync {
+            generation: self.committed_generation,
+            entries: self.entries.values().cloned().collect(),
+        }
+    }
+
+    /// Apply one replicated journal record on a **follower**: verify
+    /// the referenced segment (already staged into this directory by
+    /// [`evirel_store::replica`]) against the record's checksum and
+    /// tuple count, then journal + fsync it locally. On return the
+    /// record is durable — the caller publishes the catalog change
+    /// via [`crate::SharedCatalog::update_stamped`] *after* this, the
+    /// same fsync-before-publish rule the primary follows, so a
+    /// follower can never serve a generation it could lose.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] on a generation that does not
+    /// strictly advance the committed one (a re-send the stream
+    /// contract forbids), a pre-v3 segment, or any verification /
+    /// journal failure. Nothing is applied then.
+    pub fn apply_replicated(&mut self, record: &JournalRecord) -> Result<(), QueryError> {
+        let generation = record.generation();
+        if generation <= self.committed_generation {
+            return Err(QueryError::Execution {
+                message: format!(
+                    "replicated record at generation {generation} does not advance \
+                     the applied generation {}",
+                    self.committed_generation
+                ),
+            });
+        }
+        match record {
+            JournalRecord::Bind {
+                name,
+                file,
+                format_version,
+                checksum,
+                tuple_count,
+                generation,
+            } => {
+                if *format_version < 3 {
+                    return Err(store_err(StoreError::corrupt(format!(
+                        "replicated binding {name:?} uses segment format v{format_version}; \
+                         replication requires checksummed v3 segments"
+                    ))));
+                }
+                evirel_store::verify_segment(&self.dir, file, *checksum, *tuple_count)
+                    .map_err(store_err)?;
+                self.journal.append(record).map_err(store_err)?;
+                self.entries.insert(
+                    name.clone(),
+                    ManifestEntry {
+                        name: name.clone(),
+                        file: file.clone(),
+                        format_version: *format_version,
+                        checksum: *checksum,
+                        tuple_count: *tuple_count,
+                        generation: *generation,
+                    },
+                );
+                // Keep local segment numbering clear of replicated
+                // files, so a post-promotion bind never collides.
+                if let Some(n) = segment_number(file) {
+                    self.next_segment = self.next_segment.max(n);
+                }
+            }
+            JournalRecord::Drop { name, .. } => {
+                self.journal.append(record).map_err(store_err)?;
+                self.entries.remove(name);
+            }
+        }
+        self.committed_generation = generation;
+        self.push_retained(record.clone());
+        Ok(())
+    }
+
+    /// Atomically install a full durable state on a **follower** that
+    /// is too far behind for record replay: verify that every entry's
+    /// segment is present (entries newer than the follower's cursor
+    /// were just staged by the sender; older ones are byte-identical
+    /// survivors of the shared history), then swap the manifest —
+    /// write-temp → fsync → rename, the checkpoint primitive — and
+    /// truncate the journal. A crash at any point leaves either the
+    /// old complete state or the new complete state, never a mix;
+    /// that atomicity is why resync is a manifest swap rather than a
+    /// journal replay.
+    ///
+    /// # Errors
+    /// [`QueryError::Execution`] when `generation` does not advance
+    /// the applied one, a segment is missing or fails verification,
+    /// or the manifest swap fails. The previous state remains intact.
+    pub fn install_snapshot(
+        &mut self,
+        generation: u64,
+        entries: Vec<ManifestEntry>,
+    ) -> Result<(), QueryError> {
+        if generation <= self.committed_generation {
+            return Err(QueryError::Execution {
+                message: format!(
+                    "snapshot at generation {generation} does not advance \
+                     the applied generation {}",
+                    self.committed_generation
+                ),
+            });
+        }
+        for entry in &entries {
+            if entry.format_version >= 3 {
+                evirel_store::verify_segment(
+                    &self.dir,
+                    &entry.file,
+                    entry.checksum,
+                    entry.tuple_count,
+                )
+                .map_err(store_err)?;
+            } else if !self.dir.join(&entry.file).is_file() {
+                return Err(store_err(StoreError::corrupt(format!(
+                    "snapshot entry {:?} references missing segment {:?}",
+                    entry.name, entry.file
+                ))));
+            }
+        }
+        let manifest = Manifest {
+            generation,
+            entries: entries.clone(),
+        };
+        // Manifest swap then journal truncation — exactly a
+        // checkpoint, except the state comes from the wire instead of
+        // this process's own mutations. GC sweeps segments the new
+        // state obsoleted (plus any abandoned staging files).
+        let outcome = checkpoint(&self.dir, &manifest, &mut self.journal).map_err(store_err)?;
+        let _ = outcome;
+        self.entries = entries.into_iter().map(|e| (e.name.clone(), e)).collect();
+        self.committed_generation = generation;
+        self.checkpoints += 1;
+        self.retained.clear();
+        self.retained_floor = generation;
+        self.next_segment = next_segment_number(&self.dir);
+        Ok(())
+    }
+
+    /// The durable binding set, in name order — what a resync ships.
+    pub fn entries(&self) -> impl Iterator<Item = &ManifestEntry> {
+        self.entries.values()
+    }
+
     pub fn checkpoint_full(&mut self, catalog: &Catalog) -> Result<u64, QueryError> {
         let generation = self.committed_generation + 1;
         let mut persisted = 0u64;
@@ -322,12 +562,15 @@ fn next_segment_number(dir: &Path) -> u64 {
     };
     entries
         .flatten()
-        .filter_map(|e| {
-            let name = e.file_name();
-            let name = name.to_str()?;
-            let stem = name.strip_prefix("seg-")?.strip_suffix(".evb")?;
-            stem.parse::<u64>().ok()
-        })
+        .filter_map(|e| segment_number(e.file_name().to_str()?))
         .max()
         .map_or(0, |n| n)
+}
+
+/// The `N` of a `seg-NNNNNN.evb` file name, if it has that shape.
+fn segment_number(file: &str) -> Option<u64> {
+    file.strip_prefix("seg-")?
+        .strip_suffix(".evb")?
+        .parse::<u64>()
+        .ok()
 }

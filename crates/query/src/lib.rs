@@ -51,7 +51,7 @@ pub mod session;
 pub mod snapshot;
 
 pub use catalog::Catalog;
-pub use durable::{DurabilityStats, DurableCatalog};
+pub use durable::{DurabilityStats, DurableCatalog, StreamPlan, RETAINED_RECORDS_CAP};
 pub use error::QueryError;
 pub use exec::{execute, execute_parsed, execute_with_report, QueryOutcome};
 pub use parser::parse;

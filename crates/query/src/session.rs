@@ -66,6 +66,7 @@ pub struct Session {
     cache: Arc<PlanCache>,
     /// This session's resource slice.
     pub budget: SessionBudget,
+    read_only: bool,
 }
 
 impl Session {
@@ -75,6 +76,7 @@ impl Session {
             shared,
             cache,
             budget: SessionBudget::default(),
+            read_only: false,
         }
     }
 
@@ -88,6 +90,34 @@ impl Session {
             shared,
             cache,
             budget,
+            read_only: false,
+        }
+    }
+
+    /// Mark this session read-only: every `update*` call returns
+    /// [`QueryError::ReadOnly`] without touching the catalog. A
+    /// replication follower hands read-only sessions to its query
+    /// workers; only the apply loop (which publishes via
+    /// [`SharedCatalog::update_stamped`] directly) mutates the
+    /// standby's catalog.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
+    /// Whether this session rejects mutations.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn check_writable(&self) -> Result<(), QueryError> {
+        if self.read_only {
+            Err(QueryError::ReadOnly {
+                message: "this session serves a replication standby; \
+                          promote the follower to accept writes"
+                    .into(),
+            })
+        } else {
+            Ok(())
         }
     }
 
@@ -156,6 +186,7 @@ impl Session {
         &self,
         mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
     ) -> Result<T, QueryError> {
+        self.check_writable()?;
         self.shared.update(mutate)
     }
 
@@ -169,6 +200,7 @@ impl Session {
         &self,
         mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
     ) -> Result<(T, u64), QueryError> {
+        self.check_writable()?;
         self.shared.update_with_generation(mutate)
     }
 
@@ -183,6 +215,7 @@ impl Session {
         &self,
         mutate: impl FnOnce(&mut Catalog, u64) -> Result<T, QueryError>,
     ) -> Result<(T, u64), QueryError> {
+        self.check_writable()?;
         self.shared.update_at(mutate)
     }
 
@@ -291,6 +324,40 @@ mod tests {
         .unwrap();
         let text = s.explain(q).unwrap();
         assert!(text.contains("plan cache: miss"), "{text}");
+    }
+
+    #[test]
+    fn read_only_sessions_reject_every_mutation_path() {
+        let mut s = session();
+        s.set_read_only(true);
+        assert!(s.read_only());
+        // Reads still work…
+        assert!(s.query("SELECT * FROM ra WITH SN > 0").is_ok());
+        // …every write path is a typed "readonly" error, catalog
+        // untouched.
+        let before = s.shared().generation();
+        let err = s
+            .update(|c| {
+                c.register("x", restaurant_db_a().restaurants);
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), "readonly");
+        assert_eq!(
+            s.update_with_generation(|_| Ok(())).unwrap_err().kind(),
+            "readonly"
+        );
+        assert_eq!(s.update_at(|_, _| Ok(())).unwrap_err().kind(), "readonly");
+        assert_eq!(s.shared().generation(), before);
+        assert!(s.pin().catalog().get("x").is_none());
+        // Flipping back re-enables writes (promotion).
+        s.set_read_only(false);
+        s.update(|c| {
+            c.register("x", restaurant_db_a().restaurants);
+            Ok(())
+        })
+        .unwrap();
+        assert!(s.pin().catalog().get("x").is_some());
     }
 
     #[test]

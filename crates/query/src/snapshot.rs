@@ -27,7 +27,8 @@
 
 use crate::catalog::Catalog;
 use crate::error::QueryError;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// One immutable, generation-stamped published catalog state.
 ///
@@ -59,6 +60,12 @@ impl CatalogSnapshot {
 #[derive(Debug)]
 pub struct SharedCatalog {
     current: RwLock<Arc<CatalogSnapshot>>,
+    /// Publish signal: paired with `publish_cv` so subscribers
+    /// ([`SharedCatalog::wait_newer`]) block instead of spinning.
+    /// Publishers release the `current` write lock *before* taking
+    /// this mutex (lock order: never both), then notify.
+    publish_lock: Mutex<()>,
+    publish_cv: Condvar,
 }
 
 impl SharedCatalog {
@@ -78,6 +85,8 @@ impl SharedCatalog {
                 generation,
                 catalog,
             })),
+            publish_lock: Mutex::new(()),
+            publish_cv: Condvar::new(),
         }
     }
 
@@ -146,15 +155,97 @@ impl SharedCatalog {
         &self,
         mutate: impl FnOnce(&mut Catalog, u64) -> Result<T, QueryError>,
     ) -> Result<(T, u64), QueryError> {
-        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
-        let mut next = slot.catalog.clone();
-        let generation = slot.generation + 1;
-        let value = mutate(&mut next, generation)?;
-        *slot = Arc::new(CatalogSnapshot {
-            generation,
-            catalog: next,
-        });
-        Ok((value, generation))
+        let result = {
+            let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+            let mut next = slot.catalog.clone();
+            let generation = slot.generation + 1;
+            let value = mutate(&mut next, generation)?;
+            *slot = Arc::new(CatalogSnapshot {
+                generation,
+                catalog: next,
+            });
+            (value, generation)
+        };
+        self.notify_publish();
+        Ok(result)
+    }
+
+    /// Publish a mutation at an **explicit** generation instead of
+    /// `current + 1`. This is the replication-apply hook: a follower
+    /// replays the primary's journal records and must publish each one
+    /// at the generation the *primary* stamped it with, so pinned
+    /// snapshots on the standby carry the same generation numbers as
+    /// on the primary and STATS/plan-cache keys line up across
+    /// failover. Generations may skip (the primary's counter also
+    /// advances on mutations that never reach this follower's catalog,
+    /// e.g. drops of unknown names) but must strictly increase.
+    ///
+    /// # Errors
+    /// Whatever the closure returns, or [`QueryError::Execution`] when
+    /// `generation` does not advance past the published one; nothing
+    /// is published in either case.
+    pub fn update_stamped<T>(
+        &self,
+        generation: u64,
+        mutate: impl FnOnce(&mut Catalog) -> Result<T, QueryError>,
+    ) -> Result<T, QueryError> {
+        let value = {
+            let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+            if generation <= slot.generation {
+                return Err(QueryError::Execution {
+                    message: format!(
+                        "stamped publish must advance the generation \
+                         (current {}, stamped {generation})",
+                        slot.generation
+                    ),
+                });
+            }
+            let mut next = slot.catalog.clone();
+            let value = mutate(&mut next)?;
+            *slot = Arc::new(CatalogSnapshot {
+                generation,
+                catalog: next,
+            });
+            value
+        };
+        self.notify_publish();
+        Ok(value)
+    }
+
+    /// Block until a generation **newer than** `seen` is published,
+    /// returning the freshly pinned snapshot, or `None` on timeout.
+    /// This is the replication sender's subscription hook: instead of
+    /// polling [`SharedCatalog::generation`], the sender parks here
+    /// and wakes exactly when a writer publishes.
+    pub fn wait_newer(&self, seen: u64, timeout: Duration) -> Option<Arc<CatalogSnapshot>> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Checking under `publish_lock` closes the missed-wakeup
+            // window: a publisher that swaps after this check cannot
+            // notify until `wait_timeout` releases the mutex.
+            let snapshot = self.pin();
+            if snapshot.generation > seen {
+                return Some(snapshot);
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (next, result) = self
+                .publish_cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = next;
+            if result.timed_out() {
+                let snapshot = self.pin();
+                return (snapshot.generation > seen).then_some(snapshot);
+            }
+        }
+    }
+
+    fn notify_publish(&self) {
+        // Taking the mutex (even empty-handed) orders this notify
+        // after any in-flight waiter's condition check.
+        drop(self.publish_lock.lock().unwrap_or_else(|e| e.into_inner()));
+        self.publish_cv.notify_all();
     }
 }
 
@@ -241,6 +332,59 @@ mod tests {
         });
         assert_eq!(shared.generation(), 8);
         assert_eq!(shared.pin().catalog().len(), 8);
+    }
+
+    #[test]
+    fn stamped_publish_carries_explicit_generations() {
+        let shared = SharedCatalog::new(Catalog::new());
+        shared
+            .update_stamped(7, |c| {
+                c.register("r", rel(0.5));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(shared.generation(), 7);
+        // Generations may skip but never stall or regress.
+        for stale in [0, 3, 7] {
+            let err = shared.update_stamped(stale, |_| Ok(()));
+            assert!(err.is_err(), "stamped {stale} after 7 must fail");
+            assert_eq!(shared.generation(), 7);
+        }
+        shared.update_stamped(9, |_| Ok(())).unwrap();
+        assert_eq!(shared.generation(), 9);
+        // A failed mutation publishes nothing, as with `update`.
+        let err = shared.update_stamped(12, |c| {
+            c.register("ghost", rel(0.5));
+            Err::<(), _>(QueryError::Execution {
+                message: "boom".into(),
+            })
+        });
+        assert!(err.is_err());
+        assert_eq!(shared.generation(), 9);
+        assert!(shared.pin().catalog().get("ghost").is_none());
+    }
+
+    #[test]
+    fn wait_newer_wakes_on_publish_and_times_out_without_one() {
+        use std::time::Duration;
+        let shared = Arc::new(SharedCatalog::new(Catalog::new()));
+        // No publish: times out empty-handed.
+        assert!(shared.wait_newer(0, Duration::from_millis(20)).is_none());
+        // Already-newer generation: returns immediately.
+        shared.update(|_| Ok(())).unwrap();
+        let snap = shared.wait_newer(0, Duration::from_secs(5)).unwrap();
+        assert_eq!(snap.generation(), 1);
+        // A publish from another thread wakes a parked waiter.
+        std::thread::scope(|s| {
+            let waiter = {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || shared.wait_newer(1, Duration::from_secs(30)))
+            };
+            std::thread::sleep(Duration::from_millis(30));
+            shared.update(|_| Ok(())).unwrap();
+            let snap = waiter.join().unwrap().expect("waiter sees the publish");
+            assert_eq!(snap.generation(), 2);
+        });
     }
 
     #[test]

@@ -130,6 +130,122 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case spins up real threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Two catalogs, one generation stream: a primary writer
+    /// republishes the versioned pair with explicit stamps, a mirror
+    /// thread subscribes via [`SharedCatalog::wait_newer`] and
+    /// republishes every snapshot it observes into a **follower**
+    /// `SharedCatalog` at the primary's generation — exactly the
+    /// subscribe/apply shape of `evirel-serve`'s replication path.
+    /// Readers pinned to the follower must (a) never observe a
+    /// mixed-version pair (the stamped publish is as atomic as the
+    /// auto-incremented one) and (b) never travel backwards in time
+    /// across consecutive reads, even while the mirror is applying.
+    #[test]
+    fn follower_readers_never_observe_mixed_versions_or_time_travel(
+        updates in 4u64..16,
+        readers in 2usize..5,
+        reads_per_reader in 6usize..16,
+    ) {
+        let mut primary_catalog = Catalog::new();
+        primary_catalog.register("left", versioned(0, "l"));
+        primary_catalog.register("right", versioned(0, "r"));
+        let primary = Arc::new(SharedCatalog::new(primary_catalog));
+        let mut follower_catalog = Catalog::new();
+        follower_catalog.register("left", versioned(0, "l"));
+        follower_catalog.register("right", versioned(0, "r"));
+        let follower = Arc::new(SharedCatalog::new(follower_catalog));
+        let cache = Arc::new(PlanCache::default());
+
+        let observed: Vec<Vec<BTreeSet<u64>>> = std::thread::scope(|scope| {
+            scope.spawn({
+                let primary = Arc::clone(&primary);
+                move || {
+                    for v in 1..=updates {
+                        primary
+                            .update_stamped(v, |c| {
+                                c.register("left", versioned(v, "l"));
+                                c.register("right", versioned(v, "r"));
+                                Ok(())
+                            })
+                            .expect("primary publishes");
+                    }
+                }
+            });
+            scope.spawn({
+                let primary = Arc::clone(&primary);
+                let follower = Arc::clone(&follower);
+                move || {
+                    // The mirror may observe only a subset of the
+                    // primary's generations (wait_newer hands back the
+                    // *latest* snapshot) — stamped publishes tolerate
+                    // skips, just never regressions.
+                    let mut seen = 0;
+                    while seen < updates {
+                        let snapshot = primary
+                            .wait_newer(seen, std::time::Duration::from_secs(10))
+                            .expect("publish signal arrives");
+                        let g = snapshot.generation();
+                        follower
+                            .update_stamped(g, |c| {
+                                c.register("left", versioned(g, "l"));
+                                c.register("right", versioned(g, "r"));
+                                Ok(())
+                            })
+                            .expect("mirror publishes");
+                        seen = g;
+                    }
+                }
+            });
+            let mut handles = Vec::new();
+            for _ in 0..readers {
+                let session =
+                    Session::new(Arc::clone(&follower), Arc::clone(&cache));
+                handles.push(scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for _ in 0..reads_per_reader {
+                        let out = session
+                            .query("SELECT * FROM left UNION right")
+                            .expect("follower reads never fail mid-apply");
+                        seen.push(observed_versions(&out.outcome.relation));
+                    }
+                    seen
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread"))
+                .collect()
+        });
+
+        for reader in &observed {
+            let mut last = 0u64;
+            for versions in reader {
+                prop_assert_eq!(
+                    versions.len(),
+                    1,
+                    "a follower read observed tuples from {} versions at once: {:?}",
+                    versions.len(),
+                    versions
+                );
+                let v = *versions.iter().next().expect("non-empty");
+                prop_assert!(
+                    v >= last,
+                    "a follower reader travelled backwards in time: \
+                     version {v} after {last}"
+                );
+                last = v;
+            }
+        }
+        // The mirror drained the whole stream: both catalogs end on
+        // the same generation.
+        prop_assert_eq!(follower.generation(), primary.generation());
+    }
+}
+
 #[test]
 fn eight_sessions_share_one_4k_buffer_pool() {
     const SESSIONS: usize = 8;

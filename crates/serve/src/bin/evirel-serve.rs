@@ -3,6 +3,8 @@
 //! ```text
 //! evirel-serve [--addr HOST:PORT] [--workers N] [--max-pending N]
 //!              [--allow-remote-shutdown] [--data-dir DIR]
+//!              [--follow HOST:PORT] [--promote-on-disconnect]
+//!              [--retry-budget N]
 //!              [--seed-workload TUPLES] [file.evr | file.evb ...]
 //! ```
 //!
@@ -25,6 +27,16 @@
 //! same flags reproduces the same catalog without re-journaling the
 //! seeds on every boot.
 //!
+//! With `--follow HOST:PORT` (requires `--data-dir`) the server runs
+//! as a **replication standby**: it subscribes to the primary's
+//! durable generation stream with the `FOLLOW` verb, journals +
+//! fsyncs every replicated record before publishing it, serves
+//! `QUERY`/`EXPLAIN`/`STATS` at the applied generation, and rejects
+//! `MERGE` with `ERR readonly`. Promotion — the `PROMOTE` verb from
+//! loopback, or automatically after `--retry-budget` failed
+//! reconnects when `--promote-on-disconnect` is given — stops
+//! following and makes the server writable.
+//!
 //! The process budgets come from the environment: `EVIREL_THREADS`
 //! (total worker threads for query execution, carved across the
 //! session pool) and `EVIREL_BUFFER_BYTES` (buffer-pool/spill
@@ -36,7 +48,7 @@
 //! the server).
 
 use evirel_query::{Catalog, DurableCatalog};
-use evirel_serve::{start_with_durability, ServeConfig};
+use evirel_serve::{start_with_durability, FollowConfig, ServeConfig};
 use std::io::Write;
 
 fn main() {
@@ -46,6 +58,9 @@ fn main() {
     };
     let mut seed_tuples: Option<usize> = None;
     let mut data_dir: Option<String> = None;
+    let mut follow: Option<FollowConfig> = None;
+    let mut promote_on_disconnect = false;
+    let mut retry_budget: Option<u32> = None;
     let mut files = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -55,8 +70,9 @@ fn main() {
                 println!(
                     "usage: evirel-serve [--addr HOST:PORT] [--workers N] \
                      [--max-pending N] [--allow-remote-shutdown] \
-                     [--data-dir DIR] [--seed-workload TUPLES] \
-                     [file.evr|file.evb ...]"
+                     [--data-dir DIR] [--follow HOST:PORT] \
+                     [--promote-on-disconnect] [--retry-budget N] \
+                     [--seed-workload TUPLES] [file.evr|file.evb ...]"
                 );
                 return;
             }
@@ -70,9 +86,33 @@ fn main() {
                 seed_tuples = Some(parse_num(&required(&mut args, "--seed-workload")));
             }
             "--data-dir" => data_dir = Some(required(&mut args, "--data-dir")),
+            "--follow" => follow = Some(FollowConfig::new(required(&mut args, "--follow"))),
+            "--promote-on-disconnect" => promote_on_disconnect = true,
+            "--retry-budget" => {
+                let n = parse_num(&required(&mut args, "--retry-budget"));
+                retry_budget = Some(u32::try_from(n).unwrap_or(u32::MAX));
+            }
             path => files.push(path.to_owned()),
         }
     }
+    match &mut follow {
+        Some(f) => {
+            f.promote_on_disconnect = promote_on_disconnect;
+            if let Some(budget) = retry_budget {
+                f.retry_budget = budget;
+            }
+            if data_dir.is_none() {
+                eprintln!("--follow requires --data-dir (replicated records are journaled)");
+                std::process::exit(2);
+            }
+        }
+        None if promote_on_disconnect || retry_budget.is_some() => {
+            eprintln!("--promote-on-disconnect / --retry-budget only apply with --follow");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    config.follow = follow;
 
     let mut catalog = Catalog::new();
     for path in &files {

@@ -22,6 +22,12 @@
 //!   enough to re-implement from the doc comment (the
 //!   `evirel-bombard` load driver in `evirel-workload` does exactly
 //!   that, keeping the dependency graph acyclic).
+//! * **Streaming replication** — a durable server streams its
+//!   journal to standbys over the `FOLLOW` verb ([`replicate`]);
+//!   followers apply with the primary's fsync-before-publish
+//!   discipline, serve reads at the applied generation, reject
+//!   writes with `ERR readonly`, and can be promoted (`PROMOTE`, or
+//!   `--promote-on-disconnect`) when the primary dies.
 //!
 //! ```no_run
 //! use evirel_query::Catalog;
@@ -37,9 +43,17 @@
 //! ```
 
 pub mod protocol;
+pub mod replicate;
 pub mod server;
 
-pub use protocol::{read_frame, read_frame_with, write_frame, Request, Response, MAX_FRAME_BYTES};
+pub use protocol::{
+    read_frame, read_frame_with, write_frame, Request, Response, StreamFrame, MAX_FRAME_BYTES,
+    SEG_CHUNK_BYTES,
+};
+pub use replicate::{
+    apply_stream, follower_loop, serve_follow, ApplyCtx, FollowerExit, RetryPolicy, SenderCtx,
+};
 pub use server::{
-    start, start_with_durability, ServeConfig, ServerHandle, ServerStats, StatsSnapshot,
+    start, start_with_durability, FollowConfig, ReplicationSnapshot, ServeConfig, ServerHandle,
+    ServerStats, StatsSnapshot,
 };

@@ -20,8 +20,22 @@
 //! MERGE <name>\n<eql text>     execute, register result as <name>
 //!                              (write — publishes a new generation)
 //! STATS                        server/cache/pool counters
+//! FOLLOW <generation>          become a replication subscriber: "I
+//!                              have applied through <generation>;
+//!                              stream me everything after it". The
+//!                              connection switches to the one-way
+//!                              stream-frame protocol below.
+//! PROMOTE                      follower only: stop following, start
+//!                              accepting writes
 //! SHUTDOWN                     stop accepting, drain, exit
 //! ```
+//!
+//! A `FOLLOW` connection first receives a normal `OK`/`ERR` response;
+//! on `OK` every subsequent frame is a [`StreamFrame`]: `SEG` chunks
+//! carrying segment bytes (hex-encoded so frames stay UTF-8), `REC`
+//! journal records, `SNAP`/`SNAPEND` bracketing a full state
+//! transfer, and `GEN` idle heartbeats. See [`StreamFrame`] for the
+//! exact grammar.
 //!
 //! Responses: `OK\n<body>`, `ERR <kind>\n<message>` (kind is
 //! [`evirel_query::QueryError::kind`] or `protocol`), and
@@ -182,6 +196,14 @@ pub enum Request {
     },
     /// Server, plan-cache, and buffer-pool counters.
     Stats,
+    /// Subscribe to the replication stream from the generation after
+    /// `from` (the subscriber's last applied generation).
+    Follow {
+        /// The caller has durably applied through this generation.
+        from: u64,
+    },
+    /// Promote a follower: detach from its primary and accept writes.
+    Promote,
     /// Graceful shutdown: stop accepting, drain pending sessions.
     Shutdown,
 }
@@ -203,6 +225,15 @@ impl Request {
             "PING" => Request::Ping,
             "STATS" => Request::Stats,
             "SHUTDOWN" => Request::Shutdown,
+            "PROMOTE" => Request::Promote,
+            "FOLLOW" => {
+                let from = words
+                    .next()
+                    .ok_or("FOLLOW requires a generation: FOLLOW <generation>")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("FOLLOW generation is not a u64: {e}"))?;
+                Request::Follow { from }
+            }
             "QUERY" | "EXPLAIN" => {
                 if body.trim().is_empty() {
                     return Err(format!("{verb} requires a query body after the verb line"));
@@ -248,6 +279,8 @@ impl Request {
             Request::Ping => "PING".into(),
             Request::Stats => "STATS".into(),
             Request::Shutdown => "SHUTDOWN".into(),
+            Request::Promote => "PROMOTE".into(),
+            Request::Follow { from } => format!("FOLLOW {from}"),
             Request::Query(q) => format!("QUERY\n{q}"),
             Request::Explain(q) => format!("EXPLAIN\n{q}"),
             Request::Merge { name, query } => format!("MERGE {name}\n{query}"),
@@ -329,6 +362,264 @@ fn is_identifier(s: &str) -> bool {
         .next()
         .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+// ------------------------------------------------- replication stream
+
+/// How many raw segment bytes one `SEG` frame carries at most. Hex
+/// encoding doubles the payload, so 1 MiB raw stays far under
+/// [`MAX_FRAME_BYTES`] while keeping per-frame overhead negligible.
+pub const SEG_CHUNK_BYTES: usize = 1 << 20;
+
+/// One frame of the replication stream a `FOLLOW` connection carries
+/// after its `OK`. All frames flow primary → follower; the grammar
+/// (first line = tag + space-separated fields, body where noted):
+///
+/// ```text
+/// SEG <file> <offset> <total_len>\n<hex bytes>   one segment chunk
+/// REC BIND <name> <file> <fv> <crc> <tuples> <gen>   a journal record
+/// REC DROP <name> <gen>
+/// SNAP <gen> <n>\n<n metadata lines>             full-state header
+/// SNAPEND <gen>                                  full-state commit
+/// GEN <gen>                                      idle heartbeat
+/// ```
+///
+/// Ordering contract: every `SEG` chunk of a file precedes the `REC
+/// BIND` (or `SNAPEND`) that makes it live; `REC` generations are
+/// strictly increasing; a `SNAP … SNAPEND` bracket replaces the
+/// follower's whole durable state atomically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamFrame {
+    /// A chunk of segment-file bytes, hex-encoded on the wire.
+    Seg {
+        /// Segment file name (validated: `seg-*.evb`, no paths).
+        file: String,
+        /// Byte offset this chunk starts at (chunks arrive in order).
+        offset: u64,
+        /// The file's final size — the receiver renames the staging
+        /// file into place when the last byte lands.
+        total_len: u64,
+        /// The raw bytes (decoded from hex).
+        chunk: Vec<u8>,
+    },
+    /// One journal record to apply (tail mode).
+    Rec(evirel_store::JournalRecord),
+    /// Full-state transfer header: the complete durable entry set at
+    /// `generation`. Segment payloads for entries the follower lacks
+    /// follow as `SEG` frames, then [`StreamFrame::SnapEnd`].
+    Snap {
+        /// The committed generation this snapshot represents.
+        generation: u64,
+        /// Every durable binding's metadata.
+        entries: Vec<evirel_store::ManifestEntry>,
+    },
+    /// Full-state transfer commit point.
+    SnapEnd {
+        /// Must match the preceding [`StreamFrame::Snap`].
+        generation: u64,
+    },
+    /// Idle heartbeat: the primary's committed generation. Doubles as
+    /// liveness — a follower treats prolonged silence as a dead link.
+    Gen {
+        /// The primary's committed generation.
+        committed: u64,
+    },
+}
+
+impl StreamFrame {
+    /// Encode as a frame payload.
+    pub fn encode(&self) -> String {
+        use evirel_store::JournalRecord;
+        match self {
+            StreamFrame::Seg {
+                file,
+                offset,
+                total_len,
+                chunk,
+            } => format!("SEG {file} {offset} {total_len}\n{}", to_hex(chunk)),
+            StreamFrame::Rec(JournalRecord::Bind {
+                name,
+                file,
+                format_version,
+                checksum,
+                tuple_count,
+                generation,
+            }) => format!(
+                "REC BIND {name} {file} {format_version} {checksum} {tuple_count} {generation}"
+            ),
+            StreamFrame::Rec(JournalRecord::Drop { name, generation }) => {
+                format!("REC DROP {name} {generation}")
+            }
+            StreamFrame::Snap {
+                generation,
+                entries,
+            } => {
+                let mut out = format!("SNAP {generation} {}", entries.len());
+                for e in entries {
+                    out.push_str(&format!(
+                        "\n{} {} {} {} {} {}",
+                        e.name, e.file, e.format_version, e.checksum, e.tuple_count, e.generation
+                    ));
+                }
+                out
+            }
+            StreamFrame::SnapEnd { generation } => format!("SNAPEND {generation}"),
+            StreamFrame::Gen { committed } => format!("GEN {committed}"),
+        }
+    }
+
+    /// Parse a stream-frame payload.
+    ///
+    /// # Errors
+    /// A description of the malformation — a follower treats this as
+    /// a poisoned link: drop the connection and resume from its own
+    /// applied generation.
+    pub fn parse(payload: &str) -> Result<StreamFrame, String> {
+        use evirel_store::JournalRecord;
+        let (head, body) = match payload.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (payload, ""),
+        };
+        let mut words = head.split_whitespace();
+        let frame = match words.next().unwrap_or("") {
+            "SEG" => {
+                let file = segment_file(words.next())?;
+                let offset = num(words.next(), "SEG offset")?;
+                let total_len = num(words.next(), "SEG total length")?;
+                StreamFrame::Seg {
+                    file,
+                    offset,
+                    total_len,
+                    chunk: from_hex(body)?,
+                }
+            }
+            "REC" => match words.next() {
+                Some("BIND") => StreamFrame::Rec(JournalRecord::Bind {
+                    name: identifier(words.next(), "REC BIND name")?,
+                    file: segment_file(words.next())?,
+                    format_version: num(words.next(), "REC BIND format version")? as u16,
+                    checksum: num(words.next(), "REC BIND checksum")? as u32,
+                    tuple_count: num(words.next(), "REC BIND tuple count")?,
+                    generation: num(words.next(), "REC BIND generation")?,
+                }),
+                Some("DROP") => StreamFrame::Rec(JournalRecord::Drop {
+                    name: identifier(words.next(), "REC DROP name")?,
+                    generation: num(words.next(), "REC DROP generation")?,
+                }),
+                other => return Err(format!("unknown REC kind {other:?}")),
+            },
+            "SNAP" => {
+                let generation = num(words.next(), "SNAP generation")?;
+                let count = num(words.next(), "SNAP entry count")? as usize;
+                let lines: Vec<&str> = if body.is_empty() {
+                    Vec::new()
+                } else {
+                    body.lines().collect()
+                };
+                if lines.len() != count {
+                    return Err(format!(
+                        "SNAP announces {count} entries but carries {}",
+                        lines.len()
+                    ));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for line in lines {
+                    let mut f = line.split_whitespace();
+                    entries.push(evirel_store::ManifestEntry {
+                        name: identifier(f.next(), "SNAP entry name")?,
+                        file: segment_file(f.next())?,
+                        format_version: num(f.next(), "SNAP entry format version")? as u16,
+                        checksum: num(f.next(), "SNAP entry checksum")? as u32,
+                        tuple_count: num(f.next(), "SNAP entry tuple count")?,
+                        generation: num(f.next(), "SNAP entry generation")?,
+                    });
+                    if let Some(junk) = f.next() {
+                        return Err(format!("trailing token {junk:?} on a SNAP entry line"));
+                    }
+                }
+                StreamFrame::Snap {
+                    generation,
+                    entries,
+                }
+            }
+            "SNAPEND" => StreamFrame::SnapEnd {
+                generation: num(words.next(), "SNAPEND generation")?,
+            },
+            "GEN" => StreamFrame::Gen {
+                committed: num(words.next(), "GEN generation")?,
+            },
+            other => return Err(format!("unknown stream frame tag {other:?}")),
+        };
+        if let Some(junk) = words.next() {
+            return Err(format!(
+                "unexpected trailing token {junk:?} on a stream frame"
+            ));
+        }
+        Ok(frame)
+    }
+}
+
+fn num(word: Option<&str>, what: &str) -> Result<u64, String> {
+    word.ok_or_else(|| format!("missing {what}"))?
+        .parse::<u64>()
+        .map_err(|e| format!("{what} is not a u64: {e}"))
+}
+
+fn identifier(word: Option<&str>, what: &str) -> Result<String, String> {
+    let w = word.ok_or_else(|| format!("missing {what}"))?;
+    if is_identifier(w) {
+        Ok(w.to_owned())
+    } else {
+        Err(format!("{what} {w:?} is not an identifier"))
+    }
+}
+
+fn segment_file(word: Option<&str>) -> Result<String, String> {
+    let w = word.ok_or("missing segment file name")?;
+    if evirel_store::valid_segment_file_name(w) {
+        Ok(w.to_owned())
+    } else {
+        Err(format!("invalid segment file name {w:?}"))
+    }
+}
+
+/// Lowercase hex encoding (segment bytes must ride in UTF-8 frames).
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize]);
+        out.push(DIGITS[(b & 0x0f) as usize]);
+    }
+    String::from_utf8(out).expect("hex digits are ASCII")
+}
+
+/// Inverse of [`to_hex`].
+///
+/// # Errors
+/// A description of the malformation (odd length, non-hex digit).
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim_end_matches('\n');
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("hex payload has odd length {}", s.len()));
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_digit(pair[0])?;
+        let lo = hex_digit(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn hex_digit(b: u8) -> Result<u8, String> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        other => Err(format!("invalid hex digit {:?}", other as char)),
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +718,9 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Shutdown,
+            Request::Promote,
+            Request::Follow { from: 0 },
+            Request::Follow { from: u64::MAX },
             Request::Query("SELECT * FROM ra".into()),
             Request::Explain("SELECT * FROM ra UNION rb".into()),
             Request::Merge {
@@ -450,8 +744,111 @@ mod tests {
             "MERGE name-with-dash\nSELECT * FROM ra",
             "MERGE two names\nSELECT * FROM ra",
             "PING extra",
+            "FOLLOW",
+            "FOLLOW abc",
+            "FOLLOW -1",
+            "FOLLOW 3 4",
+            "PROMOTE now",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        for bytes in [&b""[..], &b"\x00"[..], &b"\xff\x00\x7f evirel"[..]] {
+            assert_eq!(from_hex(&to_hex(bytes)).unwrap(), bytes);
+        }
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "non-hex digit");
+        // Uppercase input is tolerated on decode.
+        assert_eq!(from_hex("DEADBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn stream_frames_round_trip() {
+        use evirel_store::{JournalRecord, ManifestEntry};
+        for frame in [
+            StreamFrame::Seg {
+                file: "seg-000007.evb".into(),
+                offset: 1024,
+                total_len: 4096,
+                chunk: vec![0, 1, 2, 0xff],
+            },
+            StreamFrame::Seg {
+                file: "seg-000001.evb".into(),
+                offset: 0,
+                total_len: 0,
+                chunk: vec![],
+            },
+            StreamFrame::Rec(JournalRecord::Bind {
+                name: "m3".into(),
+                file: "seg-000003.evb".into(),
+                format_version: 3,
+                checksum: 0xDEAD_BEEF,
+                tuple_count: 42,
+                generation: 7,
+            }),
+            StreamFrame::Rec(JournalRecord::Drop {
+                name: "m3".into(),
+                generation: 8,
+            }),
+            StreamFrame::Snap {
+                generation: 12,
+                entries: vec![
+                    ManifestEntry {
+                        name: "a".into(),
+                        file: "seg-000001.evb".into(),
+                        format_version: 3,
+                        checksum: 1,
+                        tuple_count: 2,
+                        generation: 3,
+                    },
+                    ManifestEntry {
+                        name: "b".into(),
+                        file: "seg-000002.evb".into(),
+                        format_version: 3,
+                        checksum: 4,
+                        tuple_count: 5,
+                        generation: 12,
+                    },
+                ],
+            },
+            StreamFrame::Snap {
+                generation: 1,
+                entries: vec![],
+            },
+            StreamFrame::SnapEnd { generation: 12 },
+            StreamFrame::Gen { committed: 99 },
+        ] {
+            assert_eq!(
+                StreamFrame::parse(&frame.encode()),
+                Ok(frame.clone()),
+                "{frame:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_stream_frames_are_typed_errors() {
+        for bad in [
+            "",
+            "WAT 1",
+            "SEG ../../etc/passwd 0 4\nabcd",
+            "SEG seg-1.evj 0 4\nabcd",
+            "SEG seg-000001.evb 0 4\nxyzw",
+            "SEG seg-000001.evb 0\nabcd",
+            "REC BIND bad-name seg-000001.evb 3 1 2 3",
+            "REC BIND m1 nope.evb 3 1 2 3",
+            "REC UPSERT m1 4",
+            "REC DROP m1",
+            "SNAP 3 2\na seg-000001.evb 3 1 2 3",
+            "SNAP 3 1\na seg-000001.evb 3 1 2 3 junk",
+            "SNAPEND",
+            "GEN",
+            "GEN 1 2",
+        ] {
+            assert!(StreamFrame::parse(bad).is_err(), "{bad:?} must not parse");
         }
     }
 

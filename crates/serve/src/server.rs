@@ -28,6 +28,9 @@
 //! so one poisoned request cannot take down a worker or the process.
 
 use crate::protocol::{read_frame_with, write_frame, Request, Response};
+use crate::replicate::{
+    follower_loop, serve_follow, ApplyCtx, FollowerExit, RetryPolicy, SenderCtx,
+};
 use evirel_query::{Catalog, DurableCatalog, PlanCache, Session, SessionBudget, SharedCatalog};
 use std::collections::VecDeque;
 use std::io;
@@ -36,7 +39,42 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Standby configuration: where the primary is and what to do when
+/// it goes away.
+#[derive(Debug, Clone)]
+pub struct FollowConfig {
+    /// The primary's address (`host:port`) to `FOLLOW`.
+    pub primary: String,
+    /// Promote automatically (drop read-only mode) once
+    /// `retry_budget` consecutive reconnect attempts fail. Off by
+    /// default: unattended promotion risks split-brain when the
+    /// outage is a network partition rather than a dead primary.
+    pub promote_on_disconnect: bool,
+    /// Consecutive connection failures tolerated before
+    /// `promote_on_disconnect` fires (ignored when it is off — the
+    /// follower then retries forever).
+    pub retry_budget: u32,
+    /// First-reconnect backoff; doubles per consecutive failure.
+    pub initial_backoff: Duration,
+    /// Reconnect backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl FollowConfig {
+    /// A standby of `primary` with default retry policy and manual
+    /// promotion.
+    pub fn new(primary: impl Into<String>) -> FollowConfig {
+        FollowConfig {
+            primary: primary.into(),
+            promote_on_disconnect: false,
+            retry_budget: 5,
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -53,11 +91,18 @@ pub struct ServeConfig {
     /// on a quiet session re-checks the shutdown flag. Not a
     /// disconnect timeout — idle sessions stay connected.
     pub poll_interval: Duration,
-    /// Honor the `SHUTDOWN` verb from non-loopback peers. Off by
-    /// default: when `addr` binds a public interface, any client that
-    /// can connect could otherwise terminate the server. Loopback
-    /// clients (and [`ServerHandle::shutdown`]) always work.
+    /// Honor the `SHUTDOWN` verb (and `PROMOTE`) from non-loopback
+    /// peers. Off by default: when `addr` binds a public interface,
+    /// any client that can connect could otherwise terminate — or
+    /// promote — the server. Loopback clients (and
+    /// [`ServerHandle::shutdown`]) always work.
     pub allow_remote_shutdown: bool,
+    /// Run as a replication standby of another server. Requires
+    /// durability (a data directory): the follower journals every
+    /// replicated record before publishing it, exactly like a
+    /// primary journals its merges. While following, the server is
+    /// read-only (`MERGE` → `ERR readonly`) until promoted.
+    pub follow: Option<FollowConfig>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +113,7 @@ impl Default for ServeConfig {
             max_pending: 1024,
             poll_interval: Duration::from_millis(100),
             allow_remote_shutdown: false,
+            follow: None,
         }
     }
 }
@@ -125,6 +171,77 @@ impl ServerStats {
     }
 }
 
+/// Replication role and counters.
+#[derive(Debug)]
+struct Replication {
+    /// `true` while this server is an unpromoted standby: `MERGE`
+    /// is rejected with `ERR readonly`. Cleared by promotion.
+    readonly: AtomicBool,
+    /// Set by the `PROMOTE` verb; the follower loop treats it as a
+    /// stop signal and releases read-only mode on exit.
+    promote: AtomicBool,
+    /// Whether this server was *started* as a follower (its role
+    /// line reads `follower` or `promoted`, never `primary`).
+    role_follower: bool,
+    /// `FOLLOW` subscriptions currently attached (primary side).
+    followers: AtomicU64,
+    /// Records (or resync snapshots) shipped to followers.
+    records_sent: AtomicU64,
+    /// Records applied from a primary (follower side).
+    records_applied: AtomicU64,
+    /// Full-state resyncs installed (follower side).
+    resyncs: AtomicU64,
+    /// Reconnect attempts after the initial connection.
+    reconnects: AtomicU64,
+    /// Whether the follower link is currently up.
+    connected: AtomicBool,
+}
+
+impl Replication {
+    fn new(follower: bool) -> Replication {
+        Replication {
+            readonly: AtomicBool::new(follower),
+            promote: AtomicBool::new(false),
+            role_follower: follower,
+            followers: AtomicU64::new(0),
+            records_sent: AtomicU64::new(0),
+            records_applied: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+        }
+    }
+
+    fn role(&self) -> &'static str {
+        if !self.role_follower {
+            "primary"
+        } else if self.readonly.load(Ordering::SeqCst) {
+            "follower"
+        } else {
+            "promoted"
+        }
+    }
+}
+
+/// A plain-data copy of the replication state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationSnapshot {
+    /// `primary`, `follower`, or `promoted`.
+    pub role: &'static str,
+    /// `FOLLOW` subscriptions currently attached.
+    pub followers: u64,
+    /// Records/snapshots shipped to followers.
+    pub records_sent: u64,
+    /// Records applied from a primary.
+    pub records_applied: u64,
+    /// Full-state resyncs installed.
+    pub resyncs: u64,
+    /// Reconnect attempts after the initial connection.
+    pub reconnects: u64,
+    /// Whether the follower link is currently up.
+    pub connected: bool,
+}
+
 /// Everything the accept thread and workers share.
 struct Shared {
     shared: Arc<SharedCatalog>,
@@ -142,6 +259,9 @@ struct Shared {
     /// its generation is observable; the mutex only ever contends
     /// among writers, which the write lock already serializes.
     durable: Option<Mutex<DurableCatalog>>,
+    /// Replication role and counters (present on every server; a
+    /// plain primary just never flips out of the `primary` role).
+    replication: Replication,
 }
 
 impl Shared {
@@ -164,6 +284,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    follower: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -187,6 +308,35 @@ impl ServerHandle {
         self.shared.stats.snapshot()
     }
 
+    /// Current replication role and counters.
+    pub fn replication(&self) -> ReplicationSnapshot {
+        let r = &self.shared.replication;
+        ReplicationSnapshot {
+            role: r.role(),
+            followers: r.followers.load(Ordering::Relaxed),
+            records_sent: r.records_sent.load(Ordering::Relaxed),
+            records_applied: r.records_applied.load(Ordering::Relaxed),
+            resyncs: r.resyncs.load(Ordering::Relaxed),
+            reconnects: r.reconnects.load(Ordering::Relaxed),
+            connected: r.connected.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Ask a follower to promote (stop following, accept writes) and
+    /// wait for the follower loop to release read-only mode. No-op on
+    /// a primary. Equivalent to the `PROMOTE` verb from loopback.
+    pub fn promote(&self) {
+        let repl = &self.shared.replication;
+        if !repl.role_follower {
+            return;
+        }
+        repl.promote.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while repl.readonly.load(Ordering::SeqCst) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     /// Begin a graceful shutdown: stop accepting, let workers drain
     /// the pending queue and finish in-flight sessions. Idempotent.
     pub fn shutdown(&self) {
@@ -208,6 +358,9 @@ impl ServerHandle {
             let _ = t.join();
         }
         for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.follower.take() {
             let _ = t.join();
         }
         if let Some(durable) = &self.shared.durable {
@@ -247,6 +400,13 @@ pub fn start_with_durability(
     config: ServeConfig,
     durable: Option<DurableCatalog>,
 ) -> io::Result<ServerHandle> {
+    if config.follow.is_some() && durable.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a follower requires durability: pass a DurableCatalog (--data-dir) \
+             so replicated records are journaled before they publish",
+        ));
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
@@ -266,6 +426,7 @@ pub fn start_with_durability(
         ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         addr,
+        replication: Replication::new(config.follow.is_some()),
         config: ServeConfig { workers, ..config },
         budget,
         durable: durable.map(Mutex::new),
@@ -286,11 +447,64 @@ pub fn start_with_durability(
                 .spawn(move || worker_loop(&shared))?,
         );
     }
+    let follower = match shared.config.follow.clone() {
+        Some(follow) => {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("evirel-serve-follow".into())
+                    .spawn(move || run_follower(&shared, &follow))?,
+            )
+        }
+        None => None,
+    };
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
         workers: worker_handles,
+        follower,
     })
+}
+
+/// The follower thread: follow the primary until shutdown, promotion,
+/// or (with `promote_on_disconnect`) the retry budget runs out; then
+/// release read-only mode if promotion applies.
+fn run_follower(shared: &Shared, follow: &FollowConfig) {
+    let repl = &shared.replication;
+    let stop = || shared.shutdown.load(Ordering::SeqCst) || repl.promote.load(Ordering::SeqCst);
+    let durable = shared
+        .durable
+        .as_ref()
+        .expect("follower servers always have a durability layer");
+    let ctx = ApplyCtx {
+        catalog: &shared.shared,
+        durable,
+        stop: &stop,
+        records_applied: &repl.records_applied,
+        resyncs: &repl.resyncs,
+    };
+    let policy = RetryPolicy {
+        initial_backoff: follow.initial_backoff,
+        max_backoff: follow.max_backoff,
+        retry_budget: follow.promote_on_disconnect.then_some(follow.retry_budget),
+        poll: shared.config.poll_interval,
+    };
+    let exit = follower_loop(
+        &follow.primary,
+        &ctx,
+        &repl.connected,
+        &repl.reconnects,
+        &policy,
+    );
+    let promote_now = match exit {
+        // Promotion releases read-only; plain shutdown leaves the
+        // role as it was (the server is exiting anyway).
+        FollowerExit::Stopped => repl.promote.load(Ordering::SeqCst),
+        FollowerExit::RetriesExhausted => follow.promote_on_disconnect,
+    };
+    if promote_now {
+        repl.readonly.store(false, Ordering::SeqCst);
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
@@ -383,6 +597,36 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             Err(_) => return, // torn frame / reset — nothing to answer
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        // FOLLOW takes the whole connection over: the stream stops
+        // being request/response and becomes a one-way record feed,
+        // so it is handled here (where the socket lives), not in
+        // handle_request. The subscription occupies this worker for
+        // its lifetime — size `workers` accordingly.
+        if let Ok(Request::Follow { from }) = Request::parse(&payload) {
+            let Some(durable) = &shared.durable else {
+                let err = Response::error(
+                    "unsupported",
+                    "this server has no durability layer (no --data-dir); \
+                     there is no journal to stream",
+                );
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                if write_frame(&mut stream, &err.encode()).is_err() {
+                    return;
+                }
+                continue;
+            };
+            shared.replication.followers.fetch_add(1, Ordering::SeqCst);
+            let ctx = SenderCtx {
+                catalog: &shared.shared,
+                durable,
+                stop: &shared.shutdown,
+                poll: shared.config.poll_interval,
+                records_sent: &shared.replication.records_sent,
+            };
+            let _ = serve_follow(&mut stream, &ctx, from);
+            shared.replication.followers.fetch_sub(1, Ordering::SeqCst);
+            return; // the stream is spent either way
+        }
         // A panic inside request handling must not kill the worker:
         // convert it to a typed ERR frame and keep serving. The
         // session only holds Arc'd shared state whose invariants the
@@ -460,6 +704,57 @@ fn handle_request(
         },
         Request::Merge { name, query } => (merge_response(session, shared, &name, &query), false),
         Request::Stats => (stats_response(session, shared), false),
+        // FOLLOW is intercepted in serve_connection (it takes the
+        // socket over); reaching it here means the takeover path was
+        // bypassed, which only tests do.
+        Request::Follow { .. } => (
+            Response::error(
+                "protocol",
+                "FOLLOW subscribes a stream and cannot be answered in-band",
+            ),
+            false,
+        ),
+        Request::Promote => (promote_response(shared, shutdown_allowed), false),
+    }
+}
+
+/// Handle `PROMOTE`: flip a follower into an ordinary writable
+/// server. Gated like `SHUTDOWN` (loopback unless the config opts
+/// in) — promotion of a standby is a topology change, not a query.
+/// Idempotent: promoting a primary (or twice) reports success.
+fn promote_response(shared: &Shared, allowed: bool) -> Response {
+    if !allowed {
+        return Response::error(
+            "denied",
+            "PROMOTE is only honored from loopback connections \
+             (start the server with allow_remote_shutdown to override)",
+        );
+    }
+    let repl = &shared.replication;
+    if !repl.role_follower {
+        return Response::Ok {
+            body: format!("already primary generation={}", shared.shared.generation()),
+        };
+    }
+    repl.promote.store(true, Ordering::SeqCst);
+    // The follower loop notices the flag within a poll interval,
+    // finishes (or abandons) its in-flight frame, and releases
+    // read-only mode; wait for that so the client's next MERGE after
+    // an OK cannot race an ERR readonly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while repl.readonly.load(Ordering::SeqCst) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if repl.readonly.load(Ordering::SeqCst) {
+        Response::error(
+            "promote",
+            "promotion signalled, but the follower loop has not released \
+             read-only mode yet; retry PROMOTE",
+        )
+    } else {
+        Response::Ok {
+            body: format!("promoted generation={}", shared.shared.generation()),
+        }
     }
 }
 
@@ -480,6 +775,16 @@ fn query_response(session: &Session, query: &str) -> Response {
 }
 
 fn merge_response(session: &Session, shared: &Shared, name: &str, query: &str) -> Response {
+    // Checked per-request, not per-session: a session opened while
+    // the server was a standby becomes writable the moment the
+    // server is promoted.
+    if shared.replication.readonly.load(Ordering::SeqCst) {
+        return Response::error(
+            "readonly",
+            "this server is a replication standby; write to the primary, \
+             or PROMOTE this server to accept writes",
+        );
+    }
     // Read at a pinned snapshot, then publish the result as the next
     // generation. Two concurrent MERGEs to the same name serialize on
     // the write lock; last writer wins, and either way every reader
@@ -544,12 +849,25 @@ fn stats_response(session: &Session, shared: &Shared) -> Response {
         }
         None => "durability off".into(),
     };
+    let r = &shared.replication;
+    let replication = format!(
+        "replication role={} followers={} sent={} applied={} resyncs={} \
+         reconnects={} connected={}",
+        r.role(),
+        r.followers.load(Ordering::Relaxed),
+        r.records_sent.load(Ordering::Relaxed),
+        r.records_applied.load(Ordering::Relaxed),
+        r.resyncs.load(Ordering::Relaxed),
+        r.reconnects.load(Ordering::Relaxed),
+        u8::from(r.connected.load(Ordering::SeqCst)),
+    );
     Response::Ok {
         body: format!(
             "server accepted={} busy={} sessions={} requests={} errors={} panics={} merges={}\n\
              cache entries={} hits={} misses={} stale={} evictions={} generation={}\n\
              pool hits={} misses={} evictions={} overcommits={}\n\
-             {durability}",
+             {durability}\n\
+             {replication}",
             s.accepted,
             s.rejected_busy,
             s.sessions,

@@ -228,6 +228,12 @@ pub(crate) fn fp_create(path: &Path) -> io::Result<File> {
     File::create(path)
 }
 
+/// Failpoint-aware open-for-append (replication chunk staging).
+pub(crate) fn fp_open_append(path: &Path) -> io::Result<File> {
+    charge_unit(false)?;
+    std::fs::OpenOptions::new().append(true).open(path)
+}
+
 /// Failpoint-aware `fs::rename`.
 pub(crate) fn fp_rename(from: &Path, to: &Path) -> io::Result<()> {
     charge_unit(false)?;

@@ -130,6 +130,17 @@ impl JournalRecord {
     }
 }
 
+/// Iterate `records` from a generation cursor: every record stamped
+/// **strictly after** `generation`, in order. This is the replication
+/// sender's resume primitive — a follower that says "I have applied
+/// through G" is streamed exactly `since(&history, G)`, so a record
+/// is never re-sent and never skipped as long as generations are
+/// totally ordered (which the journal's single-writer append
+/// discipline guarantees).
+pub fn since(records: &[JournalRecord], generation: u64) -> impl Iterator<Item = &JournalRecord> {
+    records.iter().filter(move |r| r.generation() > generation)
+}
+
 /// An open journal file, positioned for appends.
 #[derive(Debug)]
 pub struct Journal {

@@ -37,6 +37,7 @@ pub mod failpoint;
 pub mod journal;
 pub mod manifest;
 pub mod pool;
+pub mod replica;
 pub mod segment;
 pub mod stored;
 
@@ -47,6 +48,7 @@ pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE};
 pub use pool::{
     BufferPool, PageGuard, PoolStats, BUFFER_BYTES_ENV, DEFAULT_BUFFER_BYTES, PARANOID_ENV,
 };
+pub use replica::{stage_chunk, valid_segment_file_name, verify_segment};
 pub use segment::{
     write_segment, write_segment_meta, RecordId, Segment, SegmentMeta, SegmentWriter,
     DEFAULT_PAGE_SIZE,

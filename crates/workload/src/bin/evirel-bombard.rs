@@ -1,8 +1,9 @@
 //! `evirel-bombard` — load generator for the evirel-serve service.
 //!
 //! ```text
-//! evirel-bombard --addr HOST:PORT [--sessions N] [--ops N]
-//!                [--merge-every K] [--shutdown]
+//! evirel-bombard --addr HOST:PORT [--read-addr HOST:PORT]
+//!                [--sessions N] [--ops N] [--merge-every K]
+//!                [--shutdown]
 //! evirel-bombard --addr HOST:PORT --request PAYLOAD
 //! ```
 //!
@@ -11,6 +12,13 @@
 //! `QUERY` reads with a `MERGE` write every `--merge-every`-th
 //! request, and prints the exact counters. With `--shutdown` it sends
 //! the `SHUTDOWN` verb after the run (the CI clean-shutdown gate).
+//!
+//! `--read-addr` splits the load across a replicated pair: `QUERY`
+//! reads go to the standby at that address (each session opens a
+//! second connection) while `MERGE` writes stay on `--addr` — a
+//! follower answers writes with `ERR readonly`, so the split is what
+//! lets the mixed workload drive a primary/follower deployment with
+//! zero expected errors.
 //!
 //! `--request PAYLOAD` skips the load run entirely: one connection,
 //! one request, response printed to stdout (literal `\n` in the
@@ -36,14 +44,15 @@ fn main() {
         match arg.as_str() {
             "-h" | "--help" => {
                 println!(
-                    "usage: evirel-bombard --addr HOST:PORT [--sessions N] [--ops N] \
-                     [--merge-every K] [--shutdown]\n\
+                    "usage: evirel-bombard --addr HOST:PORT [--read-addr HOST:PORT] \
+                     [--sessions N] [--ops N] [--merge-every K] [--shutdown]\n\
                      \x20      evirel-bombard --addr HOST:PORT --request PAYLOAD"
                 );
                 return;
             }
             "--request" => one_shot = Some(required(&mut args, "--request")),
             "--addr" => config.addr = required(&mut args, "--addr"),
+            "--read-addr" => config.read_addr = Some(required(&mut args, "--read-addr")),
             "--sessions" => config.sessions = parse_num(&required(&mut args, "--sessions"), 1),
             "--ops" => config.ops_per_session = parse_num(&required(&mut args, "--ops"), 1),
             "--merge-every" => {
@@ -82,8 +91,15 @@ fn main() {
     let elapsed = started.elapsed();
 
     println!(
-        "evirel-bombard: {} session(s) x {} op(s) against {} in {:.2?}",
-        config.sessions, config.ops_per_session, config.addr, elapsed
+        "evirel-bombard: {} session(s) x {} op(s) against {}{} in {:.2?}",
+        config.sessions,
+        config.ops_per_session,
+        config.addr,
+        match &config.read_addr {
+            Some(read) => format!(" (reads -> {read})"),
+            None => String::new(),
+        },
+        elapsed
     );
     println!(
         "  completed={} ok={} cached_plans={} merges={} busy_retries={} \

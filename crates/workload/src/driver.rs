@@ -51,6 +51,13 @@ pub struct LoadConfig {
     /// Per-frame read timeout. Must cover the time a session waits in
     /// the server's pending queue behind other sessions.
     pub read_timeout: Duration,
+    /// Optional standby address: `QUERY`/`PING` requests route here
+    /// over a second per-session connection while `MERGE` writes stay
+    /// on `addr` — the read/write split for driving a replicated
+    /// primary/follower pair (a follower answers writes with
+    /// `ERR readonly`, so sending it the mixed load would count
+    /// server errors). `None` sends everything to `addr`.
+    pub read_addr: Option<String>,
 }
 
 impl Default for LoadConfig {
@@ -65,6 +72,7 @@ impl Default for LoadConfig {
             max_busy_retries: 8,
             busy_backoff: Duration::from_millis(20),
             read_timeout: Duration::from_secs(300),
+            read_addr: None,
         }
     }
 }
@@ -158,9 +166,19 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
 }
 
 fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
-    let Some(mut conn) = connect(config, counters) else {
+    let Some(mut write_conn) = connect(&config.addr, config, counters) else {
         counters.busy_give_ups.fetch_add(1, Ordering::Relaxed);
         return;
+    };
+    let mut read_conn = match &config.read_addr {
+        None => None,
+        Some(addr) => match connect(addr, config, counters) {
+            Some(c) => Some(c),
+            None => {
+                counters.busy_give_ups.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        },
     };
     for op in 0..config.ops_per_session {
         // Staggered by session id so a 1-in-K write mix holds across
@@ -175,7 +193,20 @@ fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
             let q = &config.queries[(sid + op) % config.queries.len()];
             format!("QUERY\n{q}")
         };
-        match roundtrip(&mut conn, &request) {
+        // Reads route to the standby when one is configured; writes
+        // always go to the primary.
+        let use_read = !is_merge && read_conn.is_some();
+        let addr = if use_read {
+            config.read_addr.as_deref().unwrap_or_default()
+        } else {
+            config.addr.as_str()
+        };
+        let conn = if use_read {
+            read_conn.as_mut().unwrap_or(&mut write_conn)
+        } else {
+            &mut write_conn
+        };
+        match roundtrip(conn, &request) {
             Ok(Reply::Ok(body)) => {
                 counters.ops_ok.fetch_add(1, Ordering::Relaxed);
                 if is_merge {
@@ -191,10 +222,15 @@ fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
                 // Mid-session BUSY means the connection is gone;
                 // reconnect (with backoff) and retry this op once.
                 counters.busy_retries.fetch_add(1, Ordering::Relaxed);
-                match connect(config, counters) {
+                match connect(addr, config, counters) {
                     Some(c) => {
-                        conn = c;
-                        match roundtrip(&mut conn, &request) {
+                        let conn = if use_read {
+                            read_conn.insert(c)
+                        } else {
+                            write_conn = c;
+                            &mut write_conn
+                        };
+                        match roundtrip(conn, &request) {
                             Ok(Reply::Ok(_)) => {
                                 counters.ops_ok.fetch_add(1, Ordering::Relaxed);
                             }
@@ -229,10 +265,10 @@ fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
 /// Connect with retry: connection refusals back off and retry (the
 /// listener's OS backlog can overflow transiently under a thousand
 /// simultaneous SYNs); `None` after the retry budget.
-fn connect(config: &LoadConfig, counters: &Counters) -> Option<TcpStream> {
+fn connect(addr: &str, config: &LoadConfig, counters: &Counters) -> Option<TcpStream> {
     let mut backoff = config.busy_backoff;
     for attempt in 0..=config.max_busy_retries {
-        match TcpStream::connect(&config.addr) {
+        match TcpStream::connect(addr) {
             Ok(stream) => {
                 let _ = stream.set_read_timeout(Some(config.read_timeout));
                 let _ = stream.set_nodelay(true);

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Failover drill for the replicated query service.
+#
+# Topology: one durable primary, one durable follower subscribed via
+# `--follow`. The drill:
+#   1. boot both; drive a mixed read/write load with the read half
+#      routed to the follower (`evirel-bombard --read-addr`) — the
+#      split must finish with zero protocol and zero server errors,
+#      which also proves the follower's readonly gate never leaks a
+#      write;
+#   2. quiesce: send one sentinel MERGE to the primary, then poll the
+#      follower until its committed generation catches the primary's
+#      (replication is asynchronous — a committed-but-unreplicated
+#      suffix is lost on primary death, so the drill pins down the
+#      durable prefix first);
+#   3. kill -9 the primary (a real crash: no checkpoint, no goodbye
+#      frame — the follower sees a torn stream);
+#   4. PROMOTE the follower and assert ZERO LOST COMMITTED MERGES:
+#      its committed generation equals the primary's last observed
+#      one, and every merged binding answers queries;
+#   5. the promoted server accepts a new MERGE (it is writable and
+#      the generation advances) and shuts down cleanly.
+set -euo pipefail
+
+BIN_DIR=${BIN_DIR:-target/release}
+PRIMARY_PORT=${PRIMARY_PORT:-4750}
+FOLLOWER_PORT=${FOLLOWER_PORT:-4751}
+PRIMARY_ADDR="127.0.0.1:$PRIMARY_PORT"
+FOLLOWER_ADDR="127.0.0.1:$FOLLOWER_PORT"
+PRIMARY_DATA=$(mktemp -d -t evirel-failover-p-XXXXXX)
+FOLLOWER_DATA=$(mktemp -d -t evirel-failover-f-XXXXXX)
+PRIMARY_PID=""
+FOLLOWER_PID=""
+trap 'kill -9 $PRIMARY_PID $FOLLOWER_PID 2>/dev/null || true;
+      rm -rf "$PRIMARY_DATA" "$FOLLOWER_DATA"' EXIT
+
+wait_up() { # $1 = addr
+  for _ in $(seq 1 100); do
+    if "$BIN_DIR/evirel-bombard" --addr "$1" --request PING >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FATAL: server did not come up on $1" >&2
+  exit 1
+}
+
+stat_value() { # $1 = addr, $2 = key
+  "$BIN_DIR/evirel-bombard" --addr "$1" --request STATS |
+    tr ' ' '\n' | grep "^$2=" | cut -d= -f2
+}
+
+"$BIN_DIR/evirel-serve" --addr "$PRIMARY_ADDR" --data-dir "$PRIMARY_DATA" \
+  --seed-workload 64 &
+PRIMARY_PID=$!
+wait_up "$PRIMARY_ADDR"
+"$BIN_DIR/evirel-serve" --addr "$FOLLOWER_ADDR" --data-dir "$FOLLOWER_DATA" \
+  --follow "$PRIMARY_ADDR" --seed-workload 64 &
+FOLLOWER_PID=$!
+wait_up "$FOLLOWER_ADDR"
+
+# Mixed load, reads routed to the standby. evirel-bombard exits
+# nonzero on any protocol or server error, so `set -e` makes this an
+# assertion.
+"$BIN_DIR/evirel-bombard" --addr "$PRIMARY_ADDR" --read-addr "$FOLLOWER_ADDR" \
+  --sessions 8 --ops 50 --merge-every 2
+
+# Quiesce: sentinel merge, then wait until the follower has applied
+# everything the primary committed.
+"$BIN_DIR/evirel-bombard" --addr "$PRIMARY_ADDR" \
+  --request 'MERGE sentinel\nSELECT * FROM ra UNION rb' >/dev/null
+committed=$(stat_value "$PRIMARY_ADDR" generation_committed)
+if [ "$committed" -lt 1 ]; then
+  echo "FATAL: primary committed nothing ($committed)" >&2
+  exit 1
+fi
+applied=0
+for _ in $(seq 1 200); do
+  applied=$(stat_value "$FOLLOWER_ADDR" generation_committed)
+  [ "$applied" -ge "$committed" ] && break
+  sleep 0.1
+done
+if [ "$applied" -lt "$committed" ]; then
+  echo "FATAL: follower stuck at generation $applied < primary $committed" >&2
+  exit 1
+fi
+echo "failover: quiesced at generation $committed (primary == follower)"
+
+# The crash: no checkpoint, no clean close — the follower's FOLLOW
+# stream is torn mid-connection.
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+
+promoted=$("$BIN_DIR/evirel-bombard" --addr "$FOLLOWER_ADDR" --request PROMOTE)
+echo "failover: $promoted"
+
+# Zero lost committed merges: the promoted server holds exactly the
+# generation the dead primary had committed, and every merge target
+# (the load's m0..m7 plus the sentinel) still answers queries.
+after=$(stat_value "$FOLLOWER_ADDR" generation_committed)
+if [ "$after" -ne "$committed" ]; then
+  echo "FATAL: promotion changed the committed generation ($committed -> $after)" >&2
+  exit 1
+fi
+role=$(stat_value "$FOLLOWER_ADDR" role)
+if [ "$role" != "promoted" ]; then
+  echo "FATAL: expected role=promoted, got $role" >&2
+  exit 1
+fi
+for name in m0 m1 m2 m3 m4 m5 m6 m7 sentinel; do
+  if ! "$BIN_DIR/evirel-bombard" --addr "$FOLLOWER_ADDR" \
+    --request "QUERY\nSELECT * FROM $name WITH SN > 0" >/dev/null; then
+    echo "FATAL: replicated binding $name is not queryable after promotion" >&2
+    exit 1
+  fi
+done
+
+# The promoted server is writable and advances the history.
+"$BIN_DIR/evirel-bombard" --addr "$FOLLOWER_ADDR" \
+  --request 'MERGE post_failover\nSELECT * FROM ra UNION rb' >/dev/null
+final=$(stat_value "$FOLLOWER_ADDR" generation_committed)
+if [ "$final" -le "$committed" ]; then
+  echo "FATAL: post-promotion merge did not advance the generation ($final)" >&2
+  exit 1
+fi
+
+"$BIN_DIR/evirel-bombard" --addr "$FOLLOWER_ADDR" --request SHUTDOWN >/dev/null
+wait "$FOLLOWER_PID" 2>/dev/null || true
+FOLLOWER_PID=""
+echo "failover: promoted at generation $committed with zero lost merges;" \
+  "post-failover writes reached generation $final"
