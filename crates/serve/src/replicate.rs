@@ -435,7 +435,6 @@ pub fn follower_loop(
     let mut failures: u32 = 0;
     let mut backoff = policy.initial_backoff;
     let mut first = true;
-    let cursor = lock(ctx.durable).committed_generation();
     loop {
         if (ctx.stop)() {
             return FollowerExit::Stopped;
@@ -448,6 +447,13 @@ pub fn follower_loop(
         // ahead of the published catalog — republish before resuming
         // so reads catch up to everything that is already safe.
         reconcile(ctx);
+        // Resume from what is durably applied *now* — never from
+        // where this loop started: an unclean primary death tears the
+        // stream after records were applied, and a reborn primary
+        // offered the stale session-start cursor would re-send them
+        // (rejected by apply_replicated, so the follower would loop
+        // on reconnect forever instead of converging).
+        let cursor = lock(ctx.durable).committed_generation();
         match connect_and_follow(primary, cursor, ctx, connected, policy.poll) {
             Ok(handshook) => {
                 connected.store(false, Ordering::SeqCst);
