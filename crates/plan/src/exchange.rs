@@ -225,6 +225,10 @@ pub struct ExchangeOp {
     buffer: Vec<Arc<Tuple>>,
     pos: usize,
     merged_reports: Vec<ConflictReport>,
+    /// How tuples were routed to shards, for `EXPLAIN` (`hash(key)
+    /// partition` for the shardable family; the partitioned ⋈̃ names
+    /// its join attributes).
+    partition_desc: String,
 }
 
 impl ExchangeOp {
@@ -235,6 +239,20 @@ impl ExchangeOp {
     /// [`PlanError::Pairing`] when `shards` is empty or the shard
     /// schemas disagree.
     pub fn new(shards: Vec<Box<dyn Operator>>, order: OrderMap) -> Result<ExchangeOp, PlanError> {
+        ExchangeOp::with_partition_label(shards, order, "hash(key) partition".to_owned())
+    }
+
+    /// As [`ExchangeOp::new`], with an explicit partition description
+    /// for `EXPLAIN` (the partitioned ⋈̃ routes by join attribute, not
+    /// by key).
+    ///
+    /// # Errors
+    /// As [`ExchangeOp::new`].
+    pub fn with_partition_label(
+        shards: Vec<Box<dyn Operator>>,
+        order: OrderMap,
+        partition_desc: String,
+    ) -> Result<ExchangeOp, PlanError> {
         let first = shards.first().ok_or_else(|| PlanError::Pairing {
             reason: "exchange needs at least one shard".to_owned(),
         })?;
@@ -260,6 +278,7 @@ impl ExchangeOp {
             buffer: Vec::new(),
             pos: 0,
             merged_reports: Vec::new(),
+            partition_desc,
         })
     }
 
@@ -383,8 +402,9 @@ impl Operator for ExchangeOp {
 
     fn describe(&self) -> String {
         format!(
-            "⇄ exchange ({} threads, hash(key) partition; identical shard plans, shard 0 shown)",
-            self.shards.len()
+            "⇄ exchange ({} threads, {}; identical shard plans, shard 0 shown)",
+            self.shards.len(),
+            self.partition_desc,
         )
     }
 

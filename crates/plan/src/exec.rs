@@ -19,12 +19,13 @@
 //! identical copy of the subtree over one hash-shard of the scans and
 //! the outputs re-merge deterministically — see [`crate::exchange`].
 
+use crate::cost::{stats_enabled, CostModel};
 use crate::error::PlanError;
 use crate::exchange::{compute_slots, ExchangeOp, OrderMap, ShardScanOp};
 use crate::logical::{LogicalPlan, RelationSource};
 use crate::ops::{
-    run, DempsterMerger, DifferenceOp, HashJoinOp, MergeOp, Operator, ProductOp, ProjectOp,
-    RenameOp, ScanOp, SelectOp, ThresholdOp,
+    run, DempsterMerger, DifferenceOp, HashJoinOp, MergeOp, MeteredOp, Operator, ProductOp,
+    ProjectOp, RenameOp, ScanOp, SelectOp, ThresholdOp,
 };
 use crate::rewrite::{optimize, Rewrite};
 use crate::ExecContext;
@@ -40,6 +41,12 @@ use std::sync::Arc;
 /// for its partitioning and re-merge overhead (mirrors the parallel
 /// union's fallback in `evirel_algebra::par`).
 const MIN_TUPLES_PER_SHARD: usize = 64;
+
+/// Cost-model floor per exchange worker, in [`CostModel::est_cost`]
+/// units (≈ rows touched: a scanned tuple costs 1, a merged pair its
+/// κ-inflated memo weight). Roughly `MIN_TUPLES_PER_SHARD` tuples
+/// each scanned and touched once more downstream.
+const MIN_COST_PER_SHARD: f64 = 128.0;
 
 /// Lower a logical plan into a physical operator tree, without
 /// optimizing or running it. Single-threaded; see [`physical_with`]
@@ -68,15 +75,77 @@ pub fn physical_with(
     options: &UnionOptions,
     parallelism: usize,
 ) -> Result<Box<dyn Operator>, PlanError> {
+    physical_impl(plan, source, options, parallelism, false)
+}
+
+/// Is `plan`'s fragment worth `parallelism` exchange workers? With
+/// statistics, compare the cost model's total-work estimate against a
+/// per-worker floor (so a highly selective fragment over a large scan
+/// is not sharded for nothing); without them, fall back to the
+/// scanned-tuple heuristic.
+fn exchange_pays_off(plan: &LogicalPlan, source: &dyn RelationSource, parallelism: usize) -> bool {
+    if stats_enabled() {
+        if let Some(cost) = CostModel::new(source).est_cost(plan) {
+            return cost >= parallelism as f64 * MIN_COST_PER_SHARD;
+        }
+    }
+    fragment_scan_tuples(plan, source) >= parallelism * MIN_TUPLES_PER_SHARD
+}
+
+/// Wrap `op` in the `EXPLAIN`-analyze meter when requested, tagging
+/// it with the cost model's row estimate for `plan`.
+fn meter_wrap(
+    op: Box<dyn Operator>,
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    meter: bool,
+) -> Box<dyn Operator> {
+    if !meter {
+        return op;
+    }
+    let est = if stats_enabled() {
+        CostModel::new(source).est_rows(plan)
+    } else {
+        None
+    };
+    Box::new(MeteredOp::new(op, est))
+}
+
+fn physical_impl(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+    parallelism: usize,
+    meter: bool,
+) -> Result<Box<dyn Operator>, PlanError> {
     if parallelism > 1
         && shardable(plan)
         && contains_merge(plan)
-        && fragment_scan_tuples(plan, source) >= parallelism * MIN_TUPLES_PER_SHARD
+        && exchange_pays_off(plan, source, parallelism)
     {
         if let Some(op) = build_exchange(plan, source, options, parallelism)? {
-            return Ok(op);
+            return Ok(meter_wrap(op, plan, source, meter));
         }
     }
+    // ≥3-way ⋈̃/×̃ spines with statistics available run through the
+    // cost-ordered chain operator (bit-identical to the left-deep
+    // lowering below — see `crate::chain`).
+    let mut build_leaf =
+        |leaf: &LogicalPlan| physical_impl(leaf, source, options, parallelism, meter);
+    if let Some(op) = crate::chain::try_build_chain(plan, source, &mut build_leaf)? {
+        return Ok(meter_wrap(op, plan, source, meter));
+    }
+    let op = physical_node(plan, source, options, parallelism, meter)?;
+    Ok(meter_wrap(op, plan, source, meter))
+}
+
+fn physical_node(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    options: &UnionOptions,
+    parallelism: usize,
+    meter: bool,
+) -> Result<Box<dyn Operator>, PlanError> {
     Ok(match plan {
         LogicalPlan::Scan { name } => match source.relation(name) {
             Some(rel) => Box::new(ScanOp::new(name.clone(), rel)),
@@ -101,56 +170,90 @@ pub fn physical_with(
                     source,
                     options,
                     parallelism,
+                    meter,
                 );
             }
             Box::new(SelectOp::new(
-                physical_with(input, source, options, parallelism)?,
+                physical_impl(input, source, options, parallelism, meter)?,
                 predicate.clone(),
                 *threshold,
             )?)
         }
         LogicalPlan::ThresholdFilter { input, threshold } => Box::new(ThresholdOp::new(
-            physical_with(input, source, options, parallelism)?,
+            physical_impl(input, source, options, parallelism, meter)?,
             *threshold,
         )?),
         LogicalPlan::Project { input, attrs } => Box::new(ProjectOp::new(
-            physical_with(input, source, options, parallelism)?,
+            physical_impl(input, source, options, parallelism, meter)?,
             attrs,
         )?),
         LogicalPlan::Product { left, right } => Box::new(ProductOp::new(
-            physical_with(left, source, options, parallelism)?,
-            physical_with(right, source, options, parallelism)?,
+            physical_impl(left, source, options, parallelism, meter)?,
+            physical_impl(right, source, options, parallelism, meter)?,
         )?),
         LogicalPlan::Join {
             left,
             right,
             on,
             threshold,
-        } => return build_join(left, right, on, threshold, source, options, parallelism),
-        LogicalPlan::Union { left, right } => Box::new(MergeOp::union(
-            physical_with(left, source, options, parallelism)?,
-            physical_with(right, source, options, parallelism)?,
-            Box::new(DempsterMerger::new(options.clone())),
-        )?),
-        LogicalPlan::Intersect { left, right } => Box::new(MergeOp::intersect(
-            physical_with(left, source, options, parallelism)?,
-            physical_with(right, source, options, parallelism)?,
-            Box::new(DempsterMerger::new(options.clone())),
-        )?),
+        } => {
+            return build_join(
+                left,
+                right,
+                on,
+                threshold,
+                source,
+                options,
+                parallelism,
+                meter,
+            )
+        }
+        LogicalPlan::Union { left, right } => Box::new(sized_merge(
+            MergeOp::union(
+                physical_impl(left, source, options, parallelism, meter)?,
+                physical_impl(right, source, options, parallelism, meter)?,
+                Box::new(DempsterMerger::new(options.clone())),
+            )?,
+            right,
+            source,
+        )),
+        LogicalPlan::Intersect { left, right } => Box::new(sized_merge(
+            MergeOp::intersect(
+                physical_impl(left, source, options, parallelism, meter)?,
+                physical_impl(right, source, options, parallelism, meter)?,
+                Box::new(DempsterMerger::new(options.clone())),
+            )?,
+            right,
+            source,
+        )),
         LogicalPlan::Difference { left, right } => Box::new(DifferenceOp::new(
-            physical_with(left, source, options, parallelism)?,
-            physical_with(right, source, options, parallelism)?,
+            physical_impl(left, source, options, parallelism, meter)?,
+            physical_impl(right, source, options, parallelism, meter)?,
         )?),
         LogicalPlan::RenameRelation { input, name } => Box::new(RenameOp::relation(
-            physical_with(input, source, options, parallelism)?,
+            physical_impl(input, source, options, parallelism, meter)?,
             name,
         )),
         LogicalPlan::RenameAttribute { input, from, to } => Box::new(RenameOp::attribute(
-            physical_with(input, source, options, parallelism)?,
+            physical_impl(input, source, options, parallelism, meter)?,
             from,
             to,
         )?),
     })
+}
+
+/// Attach the cost model's build-side estimate to a merge, when
+/// statistics cover its right (build) input. The estimate only picks
+/// the build path (eager spill vs pre-sized map) — see
+/// [`MergeOp::with_build_estimate`].
+fn sized_merge(op: MergeOp, right: &LogicalPlan, source: &dyn RelationSource) -> MergeOp {
+    if !stats_enabled() {
+        return op;
+    }
+    match CostModel::new(source).build_estimate(right) {
+        Some((bytes, rows)) => op.with_build_estimate(bytes, rows),
+        None => op,
+    }
 }
 
 /// Can this whole subtree execute over hash-shards of its scans?
@@ -426,6 +529,7 @@ fn physical_shard(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_join(
     left: &LogicalPlan,
     right: &LogicalPlan,
@@ -434,9 +538,17 @@ fn build_join(
     source: &dyn RelationSource,
     options: &UnionOptions,
     parallelism: usize,
+    meter: bool,
 ) -> Result<Box<dyn Operator>, PlanError> {
-    let left_op = physical_with(left, source, options, parallelism)?;
-    let right_op = physical_with(right, source, options, parallelism)?;
+    if parallelism > 1 {
+        if let Some(op) =
+            build_partitioned_join(left, right, predicate, threshold, source, parallelism)?
+        {
+            return Ok(op);
+        }
+    }
+    let left_op = physical_impl(left, source, options, parallelism, meter)?;
+    let right_op = physical_impl(right, source, options, parallelism, meter)?;
     let product_schema =
         evirel_algebra::product::product_schema(left_op.schema(), right_op.schema())?;
     match HashJoinOp::indexable_conjunct(
@@ -459,6 +571,170 @@ fn build_join(
             *threshold,
         )?)),
     }
+}
+
+/// The base in-memory relation under a pure filter chain (σ̃ /
+/// membership thresholds over a scan — the shapes that commute with
+/// per-tuple sharding), or `None` for anything else.
+fn filter_chain_base(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { name } => Some(name),
+        LogicalPlan::Select { input, .. } | LogicalPlan::ThresholdFilter { input, .. } => {
+            filter_chain_base(input)
+        }
+        _ => None,
+    }
+}
+
+/// Rebuild a filter chain over one shard scan of its base relation.
+fn shard_filter_chain(
+    plan: &LogicalPlan,
+    rel: &Arc<ExtendedRelation>,
+    partitioner: Partitioner,
+    shard: usize,
+    slots: &Arc<Vec<u32>>,
+) -> Result<Box<dyn Operator>, PlanError> {
+    Ok(match plan {
+        LogicalPlan::Scan { name } => Box::new(ShardScanOp::with_slots(
+            name.clone(),
+            Arc::clone(rel),
+            partitioner,
+            shard,
+            Arc::clone(slots),
+        )),
+        LogicalPlan::Select {
+            input,
+            predicate,
+            threshold,
+        } => Box::new(SelectOp::new(
+            shard_filter_chain(input, rel, partitioner, shard, slots)?,
+            predicate.clone(),
+            *threshold,
+        )?),
+        LogicalPlan::ThresholdFilter { input, threshold } => Box::new(ThresholdOp::new(
+            shard_filter_chain(input, rel, partitioner, shard, slots)?,
+            *threshold,
+        )?),
+        _ => {
+            return Err(PlanError::Pairing {
+                reason: "partitioned ⋈̃ sides must be filter chains over scans".to_owned(),
+            })
+        }
+    })
+}
+
+/// Partitioned ⋈̃: when both join sides are filter chains over
+/// in-memory scans, the predicate has a hashable equality conjunct,
+/// and the cost model estimates enough work to amortize `parallelism`
+/// workers, shard **both** sides by the join attribute's value —
+/// equal values land in the same shard, so each worker's hash join
+/// sees every matching pair — and re-merge worker outputs in
+/// sequential emission order (left insertion order × matching right
+/// insertion order, which is exactly how the sequential hash join
+/// emits). `Ok(None)` declines to the sequential lowering.
+fn build_partitioned_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    predicate: &Predicate,
+    threshold: &Threshold,
+    source: &dyn RelationSource,
+    parallelism: usize,
+) -> Result<Option<Box<dyn Operator>>, PlanError> {
+    if !stats_enabled() {
+        return Ok(None);
+    }
+    let (Some(l_name), Some(r_name)) = (filter_chain_base(left), filter_chain_base(right)) else {
+        return Ok(None);
+    };
+    let (Some(l_rel), Some(r_rel)) = (source.relation(l_name), source.relation(r_name)) else {
+        return Ok(None);
+    };
+    let l_schema = crate::logical::schema_of(left, source)?;
+    let r_schema = crate::logical::schema_of(right, source)?;
+    let product_schema = Arc::new(evirel_algebra::product::product_schema(
+        &l_schema, &r_schema,
+    )?);
+    let Some((lp, rp)) =
+        HashJoinOp::indexable_conjunct(predicate, &l_schema, &r_schema, &product_schema)
+    else {
+        return Ok(None);
+    };
+    let join_plan = LogicalPlan::Join {
+        left: Box::new(left.clone()),
+        right: Box::new(right.clone()),
+        on: predicate.clone(),
+        threshold: *threshold,
+    };
+    let model = CostModel::new(source);
+    match model.est_cost(&join_plan) {
+        Some(cost) if cost >= parallelism as f64 * MIN_COST_PER_SHARD => {}
+        _ => return Ok(None),
+    }
+    // Rank every join-value-matching pair in sequential emission
+    // order. Filters above the scans only *remove* emissions, so the
+    // map is a superset of what the workers emit — supersets cannot
+    // reorder survivors.
+    let mut r_index: HashMap<&evirel_relation::Value, Vec<usize>> = HashMap::new();
+    for (i, tuple) in r_rel.iter().enumerate() {
+        if let Some(v) = tuple.value(rp).as_definite() {
+            r_index.entry(v).or_default().push(i);
+        }
+    }
+    let r_tuples: Vec<_> = r_rel.iter().collect();
+    let mut order: OrderMap = HashMap::new();
+    for l_tuple in l_rel.iter() {
+        let Some(v) = l_tuple.value(lp).as_definite() else {
+            continue;
+        };
+        let Some(bucket) = r_index.get(v) else {
+            continue;
+        };
+        let l_key = l_tuple.key(&l_schema);
+        for &ri in bucket {
+            let mut key = l_key.clone();
+            key.extend(r_tuples[ri].key(&r_schema));
+            let rank = order.len();
+            order.entry(key).or_insert(rank);
+        }
+    }
+    drop(r_index);
+    drop(r_tuples);
+    let partitioner = Partitioner::new(parallelism);
+    let slot_by_attr = |rel: &Arc<ExtendedRelation>, pos: usize| -> Arc<Vec<u32>> {
+        Arc::new(
+            rel.iter()
+                .map(|t| match t.value(pos).as_definite() {
+                    Some(v) => partitioner.slot_for_key(std::slice::from_ref(v)) as u32,
+                    // A non-definite join attribute cannot match any
+                    // probe; the shard it lands in is irrelevant.
+                    None => 0,
+                })
+                .collect(),
+        )
+    };
+    let l_slots = slot_by_attr(&l_rel, lp);
+    let r_slots = slot_by_attr(&r_rel, rp);
+    let shards = (0..parallelism)
+        .map(|shard| -> Result<Box<dyn Operator>, PlanError> {
+            Ok(Box::new(HashJoinOp::new(
+                shard_filter_chain(left, &l_rel, partitioner, shard, &l_slots)?,
+                shard_filter_chain(right, &r_rel, partitioner, shard, &r_slots)?,
+                predicate.clone(),
+                *threshold,
+                lp,
+                rp,
+            )?))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Some(Box::new(ExchangeOp::with_partition_label(
+        shards,
+        order,
+        format!(
+            "hash({} = {}) partition",
+            l_schema.attr(lp).name(),
+            r_schema.attr(rp).name()
+        ),
+    )?)))
 }
 
 /// Optimize and execute a plan, materializing the result. Side
@@ -539,6 +815,46 @@ pub fn explain_plan_with(
 ) -> Result<String, PlanError> {
     let (optimized, fired) = optimize(plan, source);
     let op = physical_with(&optimized, source, options, parallelism)?;
+    Ok(render_explain(plan, &optimized, &fired, op.as_ref(), None))
+}
+
+/// `EXPLAIN` with *actual* row counts: build the physical tree with
+/// every operator wrapped in a row meter, execute the plan to
+/// completion (side outputs land in `ctx` exactly as
+/// [`execute_plan`]'s would), and render each physical line with its
+/// `[est≈N act=M]` suffix — estimates from the cost model (`est=?`
+/// when statistics are unavailable), actuals from the meters. When
+/// execution fails the tree is still rendered (meters show rows
+/// emitted up to the failure) with the error appended.
+///
+/// # Errors
+/// Plan-build errors; *execution* errors are folded into the rendered
+/// text instead, so a failing query still explains itself.
+pub fn explain_analyze_with(
+    plan: &LogicalPlan,
+    source: &dyn RelationSource,
+    ctx: &mut ExecContext,
+) -> Result<String, PlanError> {
+    let (optimized, fired) = optimize(plan, source);
+    let options = ctx.union_options.clone();
+    let mut op = physical_impl(&optimized, source, &options, ctx.parallelism, true)?;
+    let run_error = run(op.as_mut(), ctx).err();
+    Ok(render_explain(
+        plan,
+        &optimized,
+        &fired,
+        op.as_ref(),
+        run_error,
+    ))
+}
+
+fn render_explain(
+    plan: &LogicalPlan,
+    optimized: &LogicalPlan,
+    fired: &[Rewrite],
+    op: &dyn Operator,
+    run_error: Option<PlanError>,
+) -> String {
     let mut out = String::new();
     out.push_str("logical:\n");
     push_indented(&mut out, &plan.render());
@@ -546,15 +862,18 @@ pub fn explain_plan_with(
     if fired.is_empty() {
         out.push_str("  (none)\n");
     } else {
-        for rewrite in &fired {
+        for rewrite in fired {
             out.push_str(&format!("  - {rewrite}\n"));
         }
     }
     out.push_str("optimized:\n");
     push_indented(&mut out, &optimized.render());
     out.push_str("physical:\n");
-    push_indented(&mut out, &crate::ops::render_physical(op.as_ref()));
-    Ok(out)
+    push_indented(&mut out, &crate::ops::render_physical(op));
+    if let Some(e) = run_error {
+        out.push_str(&format!("execution failed: {e}\n"));
+    }
+    out
 }
 
 /// The rewrites [`optimize`] would apply, without executing anything.
@@ -843,6 +1162,79 @@ mod tests {
             assert_eq!(s.key(seq.schema()), p.key(par.schema()));
         }
         assert_eq!(seq_ctx.stats, par_ctx.stats);
+    }
+
+    /// A large equality ⋈̃ at parallelism 4 runs through the
+    /// join-attribute-partitioned exchange (stats on) and reproduces
+    /// the sequential output bit for bit, stats included.
+    #[test]
+    fn parallel_join_partitions_by_join_attribute() {
+        use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+        let (ga, gb) = generate_pair(&PairConfig {
+            base: GeneratorConfig {
+                tuples: 600,
+                seed: 13,
+                ..Default::default()
+            },
+            key_overlap: 0.5,
+            conflict_bias: 0.0,
+        })
+        .unwrap();
+        let mut b = Bindings::new();
+        b.bind("ga", ga).bind("gb", gb);
+        let on = Predicate::theta(Operand::attr("GA.k"), ThetaOp::Eq, Operand::attr("GB.k"));
+        let plan = scan("ga").join(scan("gb"), on).build();
+        let options = UnionOptions::default();
+        let text = explain_plan_with(&plan, &b, &options, 4).unwrap();
+        if crate::cost::stats_enabled() {
+            assert!(
+                text.contains("⇄ exchange (4 threads, hash(k = k) partition"),
+                "{text}"
+            );
+        } else {
+            assert!(!text.contains("exchange"), "{text}");
+        }
+        let mut seq_ctx = ExecContext::with_parallelism(1);
+        let seq = execute_plan(&plan, &b, &mut seq_ctx).unwrap();
+        assert!(!seq.is_empty());
+        let mut par_ctx = ExecContext::with_parallelism(4);
+        let par = execute_plan(&plan, &b, &mut par_ctx).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(par.iter()) {
+            assert_eq!(s.values(), p.values());
+            assert_eq!(s.membership().sn().to_bits(), p.membership().sn().to_bits());
+        }
+        assert_eq!(seq_ctx.stats, par_ctx.stats);
+    }
+
+    /// `EXPLAIN`-analyze executes the plan and annotates every
+    /// physical line with estimated vs actual row counts.
+    #[test]
+    fn explain_analyze_shows_estimates_and_actuals() {
+        let b = bindings();
+        let plan = scan("r")
+            .select(Predicate::is("spec", ["mu"]))
+            .project(["rname", "spec"])
+            .build();
+        let mut ctx = ExecContext::new();
+        let text = explain_analyze_with(&plan, &b, &mut ctx).unwrap();
+        assert!(text.contains("physical:"), "{text}");
+        assert!(text.contains("act="), "{text}");
+        if crate::cost::stats_enabled() {
+            // Bound relations publish stats, so estimates resolve.
+            assert!(text.contains("[est≈"), "{text}");
+        } else {
+            assert!(text.contains("[est=? act="), "{text}");
+        }
+        // The analyze pass really executed: emitted rows were counted.
+        assert!(ctx.stats.tuples_emitted > 0, "{:?}", ctx.stats);
+        // The root line shows the actual row count of the result.
+        let root = text
+            .lines()
+            .skip_while(|l| !l.starts_with("physical:"))
+            .nth(1)
+            .unwrap();
+        assert!(root.contains("act=1"), "{root}");
     }
 
     #[test]

@@ -47,6 +47,8 @@
 //! assert_eq!(result.len(), 2); // the paper's Table 2, streamed
 //! ```
 
+pub mod chain;
+pub mod cost;
 pub mod error;
 pub mod exchange;
 pub mod exec;
@@ -56,18 +58,20 @@ pub mod reference;
 pub mod rewrite;
 pub mod spill;
 
+pub use chain::ChainOp;
+pub use cost::{stats_enabled, CostModel, NO_STATS_ENV};
 pub use error::PlanError;
 pub use exchange::{compute_slots, rank_keys, ExchangeOp, OrderMap, ShardScanOp};
 pub use exec::{
-    execute_optimized, execute_plan, explain_plan, explain_plan_with, open_plan, physical,
-    physical_with, planned_rewrites,
+    execute_optimized, execute_plan, explain_analyze_with, explain_plan, explain_plan_with,
+    open_plan, physical, physical_with, planned_rewrites,
 };
 pub use logical::{
     scan, schema_of, validate_plan, Bindings, LogicalPlan, PlanBuilder, RelationSource,
 };
 pub use ops::{
     default_parallelism, parse_parallelism, run, DempsterMerger, ExecContext, ExecStats, MergeEmit,
-    MergeOp, MergePairing, Operator, ScanOp, TupleMerger, MAX_PARALLELISM,
+    MergeOp, MergePairing, MeteredOp, Operator, ScanOp, TupleMerger, MAX_PARALLELISM,
 };
 pub use rewrite::{optimize, Rewrite};
 pub use spill::SpillScanOp;

@@ -37,6 +37,16 @@ pub trait RelationSource {
         let _ = name;
         None
     }
+
+    /// Statistics for the relation bound to `name`, if the source
+    /// collected any ([`Bindings`] computes them at bind time; stored
+    /// bindings carry the segment's persisted block). `None` — the
+    /// default — makes the planner fall back to its size heuristics;
+    /// stats never change results, only cost estimates.
+    fn stats(&self, name: &str) -> Option<Arc<evirel_store::RelStats>> {
+        let _ = name;
+        None
+    }
 }
 
 /// The schema `name` scans as, from either binding kind.
@@ -54,6 +64,7 @@ pub(crate) fn source_schema(source: &dyn RelationSource, name: &str) -> Option<A
 pub struct Bindings {
     map: HashMap<String, Arc<ExtendedRelation>>,
     stored: HashMap<String, Arc<StoredRelation>>,
+    stats: HashMap<String, Arc<evirel_store::RelStats>>,
 }
 
 impl Bindings {
@@ -64,13 +75,12 @@ impl Bindings {
 
     /// Bind (or rebind) `name` to a relation.
     pub fn bind(&mut self, name: impl Into<String>, rel: ExtendedRelation) -> &mut Self {
-        let name = name.into();
-        self.stored.remove(&name);
-        self.map.insert(name, Arc::new(rel));
-        self
+        self.bind_shared(name, Arc::new(rel))
     }
 
-    /// Bind an already-shared relation without copying it.
+    /// Bind an already-shared relation without copying it. Statistics
+    /// are computed in the same pass ([`evirel_store::compute_stats`])
+    /// so cost-based planning sees in-memory bindings too.
     pub fn bind_shared(
         &mut self,
         name: impl Into<String>,
@@ -78,6 +88,8 @@ impl Bindings {
     ) -> &mut Self {
         let name = name.into();
         self.stored.remove(&name);
+        self.stats
+            .insert(name.clone(), Arc::new(evirel_store::compute_stats(&rel)));
         self.map.insert(name, rel);
         self
     }
@@ -92,6 +104,10 @@ impl Bindings {
     ) -> &mut Self {
         let name = name.into();
         self.map.remove(&name);
+        match stored.stats() {
+            Some(stats) => self.stats.insert(name.clone(), stats),
+            None => self.stats.remove(&name),
+        };
         self.stored.insert(name, stored);
         self
     }
@@ -104,6 +120,10 @@ impl RelationSource for Bindings {
 
     fn stored(&self, name: &str) -> Option<Arc<StoredRelation>> {
         self.stored.get(name).cloned()
+    }
+
+    fn stats(&self, name: &str) -> Option<Arc<evirel_store::RelStats>> {
+        self.stats.get(name).cloned()
     }
 }
 

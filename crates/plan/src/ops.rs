@@ -204,6 +204,13 @@ pub trait Operator: Send {
     fn stored_relation(&self) -> Option<&Arc<StoredRelation>> {
         None
     }
+    /// `(estimated rows, rows emitted so far)` when this node is
+    /// wrapped by the `EXPLAIN`-analyze meter ([`MeteredOp`]); `None`
+    /// for unmetered operators. [`render_physical`] appends the
+    /// estimate/actual suffix when this returns `Some`.
+    fn metered(&self) -> Option<(Option<u64>, u64)> {
+        None
+    }
 }
 
 /// Drive an operator to completion, materializing the result.
@@ -226,6 +233,12 @@ pub fn render_physical(op: &dyn Operator) -> String {
     fn walk(op: &dyn Operator, depth: usize, out: &mut String) {
         out.push_str(&"  ".repeat(depth));
         out.push_str(&op.describe());
+        if let Some((est, act)) = op.metered() {
+            match est {
+                Some(est) => out.push_str(&format!(" [est\u{2248}{est} act={act}]")),
+                None => out.push_str(&format!(" [est=? act={act}]")),
+            }
+        }
         out.push('\n');
         for child in op.children() {
             walk(child, depth + 1, out);
@@ -234,6 +247,70 @@ pub fn render_physical(op: &dyn Operator) -> String {
     let mut out = String::new();
     walk(op, 0, &mut out);
     out
+}
+
+// --------------------------------------------------------------- meter
+
+/// Transparent row counter for `EXPLAIN`-analyze: records how many
+/// tuples the wrapped operator actually emitted next to the cost
+/// model's pre-execution estimate. Delegates everything else —
+/// including `children()` (so it adds no level to the rendered tree)
+/// and `stored_relation()` (so [`MergeOp`]'s stored fast path still
+/// fires through the meter).
+pub struct MeteredOp {
+    inner: Box<dyn Operator>,
+    est: Option<u64>,
+    emitted: u64,
+}
+
+impl MeteredOp {
+    /// Wrap `inner`, tagging it with the cost model's row estimate
+    /// (`None` when statistics were unavailable).
+    pub fn new(inner: Box<dyn Operator>, est: Option<f64>) -> MeteredOp {
+        MeteredOp {
+            inner,
+            est: est.map(|e| e.round().max(0.0) as u64),
+            emitted: 0,
+        }
+    }
+}
+
+impl Operator for MeteredOp {
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.inner.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<Arc<Tuple>>, PlanError> {
+        let tuple = self.inner.next(ctx)?;
+        if tuple.is_some() {
+            self.emitted += 1;
+        }
+        Ok(tuple)
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<(), PlanError> {
+        self.inner.close(ctx)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        self.inner.children()
+    }
+
+    fn stored_relation(&self) -> Option<&Arc<StoredRelation>> {
+        self.inner.stored_relation()
+    }
+
+    fn metered(&self) -> Option<(Option<u64>, u64)> {
+        Some((self.est, self.emitted))
+    }
 }
 
 // ---------------------------------------------------------------- scan
@@ -917,6 +994,10 @@ pub struct MergeOp {
     left_done: bool,
     /// `true` once the build side went to disk (surfaced in stats).
     spilled: bool,
+    /// Cost-model estimate of the build side as `(bytes, rows)`, from
+    /// [`MergeOp::with_build_estimate`]. Picks the build *path* up
+    /// front (eager spill vs pre-sized map) — never the results.
+    build_estimate: Option<(u64, u64)>,
 }
 
 impl MergeOp {
@@ -1012,7 +1093,21 @@ impl MergeOp {
             right_pos: 0,
             left_done: false,
             spilled: false,
+            build_estimate: None,
         })
+    }
+
+    /// Attach a cost-model estimate of the build (right) side. An
+    /// estimated footprint over the spill budget starts the build in a
+    /// temp segment immediately (skipping the buffer-then-migrate
+    /// copy); one under it pre-sizes the hash map. Either way the
+    /// emitted tuples, their order, and the conflict report are
+    /// identical — the estimate only picks which (proptest-pinned
+    /// equivalent) build path runs.
+    #[must_use]
+    pub fn with_build_estimate(mut self, bytes: u64, rows: u64) -> MergeOp {
+        self.build_estimate = Some((bytes, rows));
+        self
     }
 
     /// `true` once the build side has been written to a temp segment
@@ -1048,6 +1143,15 @@ impl Operator for MergeOp {
         let mut mem: HashMap<Vec<Value>, Arc<Tuple>> = HashMap::new();
         let mut bytes = 0usize;
         let mut spill: Option<SpillBuild> = None;
+        if let Some((est_bytes, est_rows)) = self.build_estimate {
+            if est_bytes as usize > ctx.spill_threshold_bytes {
+                spill = Some(SpillBuild::create(&right_schema)?);
+            } else {
+                // Cap the pre-size so a wild over-estimate cannot
+                // balloon the empty map.
+                mem.reserve(est_rows.min(1 << 20) as usize);
+            }
+        }
         while let Some(tuple) = self.right.next(ctx)? {
             let key = tuple.key(&right_schema);
             self.right_order.push(key.clone());

@@ -201,12 +201,13 @@ proptest! {
     /// identical to sequential streaming — relation, tuple insertion
     /// order, stats (κ included), and conflict-report observation
     /// order — and its relation/report must match the naive reference
-    /// too. Shardable sources only (×̃/⋈̃ never shard), over inputs
-    /// large enough to actually engage the exchange.
+    /// too. Sources 0–2 exercise the shardable (∪̃) exchange; sources
+    /// 3–4 the ×̃/⋈̃ lowerings, where the equality join engages the
+    /// join-attribute-partitioned exchange when statistics are on.
     #[test]
     fn parallel_exchange_matches_sequential_and_reference(
         seed in 0u64..1_000_000,
-        source in 0u8..3,
+        source in 0u8..5,
         pred_threads in 0u8..15, // predicate kind × thread count, combined
         attr_val in 0u8..24,
         th in 0u8..4,

@@ -17,7 +17,9 @@
 //!
 //! * `\d` — list relations and schemas;
 //! * `\explain <query>` — logical plan, fired rewrites, optimized
-//!   plan, physical operator tree, plan-cache state;
+//!   plan, physical operator tree with estimated vs actual rows per
+//!   operator (the query executes; its result is discarded),
+//!   plan-cache state;
 //! * `\conflicts` — the ∪̃ conflict report of the last query;
 //! * `\rank` — render the next query's result ranked by `sn`;
 //! * `\set threads <N>` — worker threads for query execution (plan
@@ -38,6 +40,10 @@
 //! * `\checkpoint` — durably persist every current relation into the
 //!   open data directory (checksummed segments + manifest swap) and
 //!   truncate the journal;
+//! * `\stats` — per-relation statistics (tuple count, distinct-key
+//!   estimate, average focal width, observed κ) as the planner's cost
+//!   model sees them; relations without statistics (pre-v3 segments)
+//!   are flagged as planning via heuristics;
 //! * `\pool` — buffer-pool statistics (hits/misses/evictions/bytes);
 //! * `\cache` — prepared-plan cache statistics (hits = re-executions
 //!   that skipped lowering/rewrite) and the current generation;
@@ -296,6 +302,9 @@ fn main() {
                     }
                     None => println!("no data directory open — \\open <dir> first"),
                 },
+                Some("stats") => {
+                    print!("{}", session.pin().catalog().stats_summary());
+                }
                 Some("pool") => {
                     let snapshot = session.pin();
                     let pool = &snapshot.catalog().pool;

@@ -28,6 +28,12 @@ use std::sync::Arc;
 pub struct Catalog {
     relations: HashMap<String, Arc<ExtendedRelation>>,
     stored: HashMap<String, Arc<StoredRelation>>,
+    /// Per-relation statistics feeding the plan layer's cost model
+    /// ([`evirel_plan::CostModel`]): computed at [`Catalog::register`]
+    /// time for in-memory relations, read from the segment's stats
+    /// section for stored attachments (absent for pre-v3 segments —
+    /// the planner then falls back to heuristics for that relation).
+    stats: HashMap<String, Arc<evirel_store::RelStats>>,
     /// The buffer pool stored relations (and spilled merge build
     /// sides) page through — one pool per catalog, shared by every
     /// query and exchange worker, budgeted by `EVIREL_BUFFER_BYTES`.
@@ -47,6 +53,7 @@ impl Default for Catalog {
         Catalog {
             relations: HashMap::new(),
             stored: HashMap::new(),
+            stats: HashMap::new(),
             pool: Arc::new(BufferPool::from_env()),
             union_options: UnionOptions::default(),
             parallelism: evirel_plan::default_parallelism(),
@@ -66,6 +73,8 @@ impl Catalog {
     pub fn register(&mut self, name: impl Into<String>, rel: ExtendedRelation) {
         let name = name.into();
         self.stored.remove(&name);
+        self.stats
+            .insert(name.clone(), Arc::new(evirel_store::compute_stats(&rel)));
         self.relations.insert(name, Arc::new(rel));
     }
 
@@ -74,6 +83,7 @@ impl Catalog {
     /// stored extensions live on disk).
     pub fn deregister(&mut self, name: &str) -> Option<ExtendedRelation> {
         self.stored.remove(name);
+        self.stats.remove(name);
         self.relations
             .remove(name)
             .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
@@ -98,6 +108,16 @@ impl Catalog {
         })?;
         let name = name.into();
         self.relations.remove(&name);
+        match stored.stats() {
+            Some(stats) => {
+                self.stats.insert(name.clone(), stats);
+            }
+            // Pre-v3 segment: no stats section. Drop any stale entry
+            // so the planner falls back to heuristics, not old data.
+            None => {
+                self.stats.remove(&name);
+            }
+        }
         self.stored.insert(name, Arc::new(stored));
         Ok(())
     }
@@ -111,8 +131,17 @@ impl Catalog {
     /// name.
     pub fn attach(&mut self, name: impl Into<String>, stored: impl Into<Arc<StoredRelation>>) {
         let name = name.into();
+        let stored = stored.into();
         self.relations.remove(&name);
-        self.stored.insert(name, stored.into());
+        match stored.stats() {
+            Some(stats) => {
+                self.stats.insert(name.clone(), stats);
+            }
+            None => {
+                self.stats.remove(&name);
+            }
+        }
+        self.stored.insert(name, stored);
     }
 
     /// Write the relation registered under `name` to a binary segment
@@ -191,6 +220,43 @@ impl Catalog {
         self.stored.get(name).cloned()
     }
 
+    /// Statistics for the relation under `name`, when known. Present
+    /// for every in-memory registration (computed at register time)
+    /// and for stored attachments whose segment carries a stats
+    /// section (v3+); absent for pre-v3 segments.
+    pub fn stats_for(&self, name: &str) -> Option<Arc<evirel_store::RelStats>> {
+        self.stats.get(name).cloned()
+    }
+
+    /// Human-readable per-relation statistics, one line per
+    /// registered name (sorted) — the `STATS` / `\stats` payload.
+    /// Relations without statistics (pre-v3 segments) say so rather
+    /// than being omitted.
+    pub fn stats_summary(&self) -> String {
+        let mut out = String::new();
+        for name in self.names() {
+            let kind = if self.stored.contains_key(name) {
+                "stored"
+            } else {
+                "memory"
+            };
+            match self.stats.get(name) {
+                Some(s) => {
+                    out.push_str(&format!("{name} ({kind}): {}\n", s.render()));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "{name} ({kind}): no statistics (pre-v3 segment; planner uses heuristics)\n"
+                    ));
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no relations registered\n");
+        }
+        out
+    }
+
     /// Registered names (in-memory and stored), sorted.
     pub fn names(&self) -> Vec<&str> {
         let mut names: Vec<&str> = self
@@ -221,6 +287,10 @@ impl RelationSource for Catalog {
 
     fn stored(&self, name: &str) -> Option<Arc<StoredRelation>> {
         self.get_stored(name)
+    }
+
+    fn stats(&self, name: &str) -> Option<Arc<evirel_store::RelStats>> {
+        self.stats_for(name)
     }
 }
 

@@ -60,10 +60,57 @@ pub struct DurabilityStats {
 }
 
 /// How many journal records a [`DurableCatalog`] retains in memory
-/// for replication senders. A follower whose resume cursor falls
-/// below the retained window gets a full snapshot transfer instead of
-/// record replay.
+/// for replication senders **by default**. A follower whose resume
+/// cursor falls below the retained window gets a full snapshot
+/// transfer instead of record replay. Override per process with the
+/// `EVIREL_RETAIN_RECORDS` environment variable (see
+/// [`retain_records_cap`]).
 pub const RETAINED_RECORDS_CAP: usize = 4096;
+
+/// Largest retained-window size `EVIREL_RETAIN_RECORDS` accepts.
+/// Each retained record is a small in-memory struct, but a window in
+/// the millions means someone fat-fingered a byte budget into a
+/// record count — reject it like garbage input.
+pub const MAX_RETAIN_RECORDS: usize = 1 << 20;
+
+/// Parse an `EVIREL_RETAIN_RECORDS` value: `Some(n)` for an integer
+/// in `1..=`[`MAX_RETAIN_RECORDS`], `None` for anything else
+/// (garbage, `0`, negatives, absurd counts) — the invalid cases
+/// [`retain_records_cap`] warns about.
+pub fn parse_retain_records(raw: &str) -> Option<usize> {
+    raw.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| (1..=MAX_RETAIN_RECORDS).contains(n))
+}
+
+/// The retained-window size a newly opened [`DurableCatalog`] uses:
+/// the `EVIREL_RETAIN_RECORDS` environment variable when it parses to
+/// an integer in `1..=`[`MAX_RETAIN_RECORDS`], else
+/// [`RETAINED_RECORDS_CAP`] (4096). Small windows resync followers
+/// sooner; large windows let a long-offline standby catch up by
+/// record replay.
+///
+/// An *invalid* value is rejected **loudly**: one warning per process
+/// goes to stderr naming the value and the accepted range, and the
+/// default applies — the same reject-loudly contract as
+/// `EVIREL_THREADS` ([`evirel_plan::default_parallelism`]).
+pub fn retain_records_cap() -> usize {
+    let Ok(raw) = std::env::var("EVIREL_RETAIN_RECORDS") else {
+        return RETAINED_RECORDS_CAP;
+    };
+    parse_retain_records(&raw).unwrap_or_else(|| {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: ignoring invalid EVIREL_RETAIN_RECORDS={raw:?}: expected \
+                 an integer in 1..={MAX_RETAIN_RECORDS}; using the default \
+                 ({RETAINED_RECORDS_CAP})"
+            );
+        });
+        RETAINED_RECORDS_CAP
+    })
+}
 
 /// What a replication sender should stream to a follower that has
 /// applied through some generation — computed by
@@ -104,9 +151,12 @@ pub struct DurableCatalog {
     /// Recent journal records kept in memory for replication senders
     /// (checkpoints truncate the on-disk journal, but a sender must
     /// still be able to resume a follower from before the
-    /// checkpoint). Ascending generations; capped at
-    /// [`RETAINED_RECORDS_CAP`].
+    /// checkpoint). Ascending generations; capped at `retained_cap`.
     retained: Vec<JournalRecord>,
+    /// Retained-window size, fixed at open time from
+    /// [`retain_records_cap`] (`EVIREL_RETAIN_RECORDS`, default
+    /// [`RETAINED_RECORDS_CAP`]).
+    retained_cap: usize,
     /// Followers resuming from a generation **below** this floor need
     /// a full resync — the records are no longer individually
     /// retained.
@@ -192,6 +242,16 @@ impl DurableCatalog {
             catalog.attach(entry.name.clone(), stored);
         }
 
+        // Apply the retained-window cap to the replayed tail too, so
+        // a long journal does not pin unbounded memory at open.
+        let retained_cap = retain_records_cap();
+        let mut retained_floor = manifest.generation;
+        if retained.len() > retained_cap {
+            let excess = retained.len() - retained_cap;
+            retained_floor = retained[excess - 1].generation();
+            retained.drain(..excess);
+        }
+
         let next_segment = next_segment_number(&dir);
         Ok((
             DurableCatalog {
@@ -203,7 +263,8 @@ impl DurableCatalog {
                 next_segment,
                 checkpoints: 0,
                 retained,
-                retained_floor: manifest.generation,
+                retained_cap,
+                retained_floor,
             },
             catalog,
         ))
@@ -350,8 +411,8 @@ impl DurableCatalog {
     /// the front (and raising the floor) past the cap.
     fn push_retained(&mut self, record: JournalRecord) {
         self.retained.push(record);
-        if self.retained.len() > RETAINED_RECORDS_CAP {
-            let excess = self.retained.len() - RETAINED_RECORDS_CAP;
+        if self.retained.len() > self.retained_cap {
+            let excess = self.retained.len() - self.retained_cap;
             self.retained_floor = self.retained[excess - 1].generation();
             self.retained.drain(..excess);
         }
@@ -573,4 +634,28 @@ fn segment_number(file: &str) -> Option<u64> {
         .strip_suffix(".evb")?
         .parse::<u64>()
         .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retain_records_parsing_rejects_invalid_values() {
+        assert_eq!(parse_retain_records("1"), Some(1));
+        assert_eq!(parse_retain_records(" 4096 "), Some(RETAINED_RECORDS_CAP));
+        assert_eq!(parse_retain_records("1048576"), Some(MAX_RETAIN_RECORDS));
+        for invalid in [
+            "",
+            "0",
+            "-2",
+            "64.0",
+            "O4",
+            "lots",
+            "1048577",
+            "9999999999999999999999",
+        ] {
+            assert_eq!(parse_retain_records(invalid), None, "{invalid:?}");
+        }
+    }
 }

@@ -51,11 +51,14 @@ pub mod session;
 pub mod snapshot;
 
 pub use catalog::Catalog;
-pub use durable::{DurabilityStats, DurableCatalog, StreamPlan, RETAINED_RECORDS_CAP};
+pub use durable::{
+    parse_retain_records, retain_records_cap, DurabilityStats, DurableCatalog, StreamPlan,
+    MAX_RETAIN_RECORDS, RETAINED_RECORDS_CAP,
+};
 pub use error::QueryError;
 pub use exec::{execute, execute_parsed, execute_with_report, QueryOutcome};
 pub use parser::parse;
-pub use plan::{explain, explain_with};
+pub use plan::{explain, explain_analyze_with, explain_with};
 pub use prepare::{normalize_eql, CacheStats, PlanCache, PreparedPlan};
 pub use session::{Session, SessionBudget, SessionOutcome};
 pub use snapshot::{CatalogSnapshot, SharedCatalog};

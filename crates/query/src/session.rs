@@ -219,16 +219,19 @@ impl Session {
         self.shared.update_at(mutate)
     }
 
-    /// Full `EXPLAIN` of `text` against the current generation, with
-    /// a trailing `plan cache:` line showing whether execution would
-    /// hit the prepared-plan cache (the observable "lowering/rewrite
-    /// skipped" signal).
+    /// Full `EXPLAIN` of `text` against the current generation —
+    /// **analyzing**: the plan executes (result discarded) so every
+    /// physical operator line shows estimated vs actual rows
+    /// ([`crate::explain_analyze_with`]) — with a trailing
+    /// `plan cache:` line showing whether execution would hit the
+    /// prepared-plan cache (the observable "lowering/rewrite skipped"
+    /// signal).
     ///
     /// # Errors
-    /// As [`crate::explain_with`].
+    /// As [`crate::explain_analyze_with`].
     pub fn explain(&self, text: &str) -> Result<String, QueryError> {
         let snapshot = self.pin();
-        let mut out = crate::plan::explain_with(snapshot.catalog(), text)?;
+        let mut out = crate::plan::explain_analyze_with(snapshot.catalog(), text)?;
         let hit = self.cache.peek(text, snapshot.generation());
         out.push_str(&format!(
             "plan cache: {} (generation {})\n",

@@ -16,10 +16,12 @@
 //! ```text
 //! PING                         liveness check
 //! QUERY\n<eql text>            execute a query (read)
-//! EXPLAIN\n<eql text>          plans + plan-cache state (read)
+//! EXPLAIN\n<eql text>          plans, est vs actual rows per
+//!                              operator (executes), cache state (read)
 //! MERGE <name>\n<eql text>     execute, register result as <name>
 //!                              (write — publishes a new generation)
-//! STATS                        server/cache/pool counters
+//! STATS                        server/cache/pool counters plus
+//!                              per-relation planner statistics
 //! FOLLOW <generation>          become a replication subscriber: "I
 //!                              have applied through <generation>;
 //!                              stream me everything after it". The

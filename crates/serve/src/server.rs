@@ -861,11 +861,22 @@ fn stats_response(session: &Session, shared: &Shared) -> Response {
         r.reconnects.load(Ordering::Relaxed),
         u8::from(r.connected.load(Ordering::SeqCst)),
     );
+    // Per-relation statistics as the planner's cost model sees them
+    // — one `relation <name> (...)` line each, pre-v3 segments
+    // flagged as planning via heuristics.
+    let relations: String = snapshot
+        .catalog()
+        .stats_summary()
+        .lines()
+        .map(|line| format!("relation {line}\n"))
+        .collect();
+    let relations = relations.trim_end();
     Response::Ok {
         body: format!(
             "server accepted={} busy={} sessions={} requests={} errors={} panics={} merges={}\n\
              cache entries={} hits={} misses={} stale={} evictions={} generation={}\n\
              pool hits={} misses={} evictions={} overcommits={}\n\
+             {relations}\n\
              {durability}\n\
              {replication}",
             s.accepted,

@@ -42,12 +42,22 @@ pub const PREAMBLE_V3: usize = 52;
 pub const TABLE_ENTRY_V2: usize = 12;
 /// Page-table entry size: v3 `(offset u64, len u32, crc u32)`.
 pub const TABLE_ENTRY_V3: usize = 16;
+/// Preamble flag bit: the file carries a statistics section
+/// (`[u32 len | RelStats payload | u32 crc]`) immediately after the
+/// page table. Older v3 files have a zero flags word and simply read
+/// as "no stats"; v2 files have no flags word at all.
+pub const FLAG_STATS: u16 = 0x0001;
 
 /// A parsed, validated segment preamble — version-independent view.
 #[derive(Debug, Clone)]
 pub struct SegmentHeader {
     /// On-disk format version ([`VERSION_V2`] or [`VERSION_V3`]).
     pub version: u16,
+    /// Preamble flags ([`FLAG_STATS`]); always zero for v2. The
+    /// flags word sits inside the CRC-covered preamble prefix, so a
+    /// flipped flag bit fails the preamble checksum rather than
+    /// silently changing how the tail of the file is parsed.
+    pub flags: u16,
     /// Target page size the writer used.
     pub page_size: usize,
     /// Length of the schema block that follows the preamble.
@@ -131,7 +141,12 @@ pub fn read_header(file: &mut File, file_len: u64) -> Result<SegmentHeader, Stor
              {VERSION_V2} and {VERSION_V3})"
         )));
     }
-    let _flags = cur.u16()?;
+    let flags = if version == VERSION_V3 {
+        cur.u16()?
+    } else {
+        cur.u16()?;
+        0
+    };
     let page_size = cur.u32()? as usize;
     let schema_len = cur.u32()? as usize;
     let table_offset = cur.u64()?;
@@ -166,6 +181,7 @@ pub fn read_header(file: &mut File, file_len: u64) -> Result<SegmentHeader, Stor
 
     let header = SegmentHeader {
         version,
+        flags,
         page_size,
         schema_len,
         table_offset,

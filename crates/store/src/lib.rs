@@ -39,6 +39,7 @@ pub mod manifest;
 pub mod pool;
 pub mod replica;
 pub mod segment;
+pub mod stats;
 pub mod stored;
 
 pub use checkpoint::CheckpointOutcome;
@@ -53,6 +54,7 @@ pub use segment::{
     write_segment, write_segment_meta, RecordId, Segment, SegmentMeta, SegmentWriter,
     DEFAULT_PAGE_SIZE,
 };
+pub use stats::{compute_stats, AttrStats, DistinctSketch, KappaSummary, RelStats, StatsBuilder};
 pub use stored::{StoredIter, StoredRelation};
 
 /// Result alias used across the crate.

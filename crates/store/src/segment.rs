@@ -14,6 +14,8 @@
 //! │ page 1: …                                                    │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ page table: page_count × (u64 offset ∣ u32 len ∣ u32 crc)    │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ stats section (flag 0x0001): u32 len ∣ RelStats ∣ u32 crc    │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -36,12 +38,25 @@
 //! Readers verify page checksums on every disk read and surface any
 //! mismatch as a typed [`StoreError::Corrupt`]. The previous v2
 //! format (no checksums) still loads via [`crate::compat`].
+//!
+//! **Statistics.** The writer folds every appended tuple into a
+//! [`crate::stats::StatsBuilder`] and, when the preamble's
+//! [`compat::FLAG_STATS`] bit is set, persists the finished
+//! [`RelStats`] block in a self-checksummed section after the page
+//! table. The flag lives inside the CRC-covered preamble prefix;
+//! the section carries its own CRC (verified at open — a corrupt
+//! stats block is a loud [`StoreError::Corrupt`], never a silently
+//! wrong estimate). Files without the flag — v2 segments and
+//! pre-stats v3 segments — read as "no stats": the plan layer then
+//! falls back to its size heuristics. Stats never affect query
+//! results, only cost estimates.
 
 use crate::codec::{self, Cursor};
 use crate::compat::{self, PageEntry, MAGIC, PREAMBLE_V3, VERSION_V3};
 use crate::crc::crc32;
 use crate::error::StoreError;
 use crate::failpoint::{fp_create, fp_rename, fp_sync, fp_sync_parent_dir, fp_write_all};
+use crate::stats::{RelStats, StatsBuilder};
 use evirel_relation::{AttrDomain, ExtendedRelation, Schema, Tuple};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
@@ -123,6 +138,9 @@ pub struct SegmentWriter {
     next_offset: u64,
     tuple_count: u64,
     scratch: Vec<u8>,
+    /// Running statistics over every appended tuple — persisted as
+    /// the stats section by [`SegmentWriter::finish_meta`].
+    stats: StatsBuilder,
 }
 
 impl SegmentWriter {
@@ -166,6 +184,7 @@ impl SegmentWriter {
             next_offset: (PREAMBLE_V3 + schema_len) as u64,
             tuple_count: 0,
             scratch: Vec::new(),
+            stats: StatsBuilder::new(schema),
         })
     }
 
@@ -176,6 +195,7 @@ impl SegmentWriter {
     /// # Errors
     /// [`StoreError::Io`] on write failures.
     pub fn append(&mut self, tuple: &Tuple) -> Result<RecordId, StoreError> {
+        self.stats.observe(tuple);
         self.scratch.clear();
         codec::encode_record(tuple, &mut self.scratch);
         let framed = 4 + self.scratch.len();
@@ -246,10 +266,21 @@ impl SegmentWriter {
         }
         let table_crc = crc32(&table);
         fp_write_all(&mut self.file, &table).map_err(|e| StoreError::io("write page table", &e))?;
+        // Stats section: [u32 len | RelStats payload | u32 crc],
+        // after the page table (readers locate it from table_end).
+        let rel_stats = self.stats.clone().finish();
+        self.scratch.clear();
+        rel_stats.encode(&mut self.scratch);
+        let mut section = Vec::with_capacity(self.scratch.len() + 8);
+        codec::put_u32(&mut section, self.scratch.len() as u32);
+        section.extend_from_slice(&self.scratch);
+        codec::put_u32(&mut section, crc32(&self.scratch));
+        fp_write_all(&mut self.file, &section)
+            .map_err(|e| StoreError::io("write stats section", &e))?;
         let mut preamble = Vec::with_capacity(PREAMBLE_V3);
         codec::put_u32(&mut preamble, MAGIC);
         codec::put_u16(&mut preamble, VERSION_V3);
-        codec::put_u16(&mut preamble, 0); // flags
+        codec::put_u16(&mut preamble, compat::FLAG_STATS);
         codec::put_u32(&mut preamble, self.page_size as u32);
         codec::put_u32(&mut preamble, self.schema_len as u32);
         codec::put_u64(&mut preamble, table_offset);
@@ -317,6 +348,44 @@ pub fn write_segment_meta(
     writer.finish_meta()
 }
 
+/// Read and verify the stats section at `offset`: `[u32 len |
+/// payload | u32 crc]`. The flag promised a section, so truncation
+/// or a checksum mismatch here is corruption, not absence.
+fn read_stats_section(file: &mut File, offset: u64, file_len: u64) -> Result<RelStats, StoreError> {
+    let mut len_buf = [0u8; 4];
+    let min_end = offset
+        .checked_add(8)
+        .ok_or_else(|| StoreError::corrupt("stats section offset overflows"))?;
+    if min_end > file_len {
+        return Err(StoreError::corrupt(
+            "stats section promised by preamble flag but file ends before it",
+        ));
+    }
+    file.seek(SeekFrom::Start(offset))
+        .and_then(|_| file.read_exact(&mut len_buf))
+        .map_err(|e| StoreError::io("read stats length", &e))?;
+    let len = u64::from(u32::from_le_bytes(len_buf));
+    if min_end + len > file_len {
+        return Err(StoreError::corrupt(format!(
+            "stats section ({len} bytes) extends past end of file"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut crc_buf = [0u8; 4];
+    file.read_exact(&mut payload)
+        .and_then(|_| file.read_exact(&mut crc_buf))
+        .map_err(|e| StoreError::io("read stats section", &e))?;
+    let expected = u32::from_le_bytes(crc_buf);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(StoreError::corrupt(format!(
+            "stats section checksum mismatch (stored {expected:#010x}, \
+             computed {actual:#010x})"
+        )));
+    }
+    RelStats::decode(&payload)
+}
+
 // ------------------------------------------------------------- reader
 
 /// An open segment: the parsed header (schema + domains + page table)
@@ -334,6 +403,9 @@ pub struct Segment {
     page_size: usize,
     version: u16,
     content_checksum: Option<u32>,
+    /// Persisted relation statistics, when the segment carries the
+    /// stats flag. `None` for v2 and pre-stats v3 files.
+    stats: Option<Arc<RelStats>>,
 }
 
 impl Segment {
@@ -397,6 +469,18 @@ impl Segment {
 
         let pages = compat::read_page_table(&mut file, &header)?;
 
+        let stats = if header.flags & compat::FLAG_STATS != 0 {
+            let table_len = (header.page_count * compat::TABLE_ENTRY_V3) as u64;
+            let stats_offset = header.table_offset + table_len;
+            Some(Arc::new(read_stats_section(
+                &mut file,
+                stats_offset,
+                file_len,
+            )?))
+        } else {
+            None
+        };
+
         Ok(Segment {
             id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
             file: Mutex::new(file),
@@ -407,6 +491,7 @@ impl Segment {
             page_size: header.page_size,
             version: header.version,
             content_checksum: header.content_checksum,
+            stats,
         })
     }
 
@@ -445,6 +530,13 @@ impl Segment {
     /// transitively covers the whole file); `None` for v2 segments.
     pub fn content_checksum(&self) -> Option<u32> {
         self.content_checksum
+    }
+
+    /// The persisted relation statistics, when this segment was
+    /// written with a stats section ([`compat::FLAG_STATS`]); `None`
+    /// for v2 and pre-stats v3 files — never an error.
+    pub fn stats(&self) -> Option<&Arc<RelStats>> {
+        self.stats.as_ref()
     }
 
     /// On-disk byte length of page `page`.

@@ -77,6 +77,12 @@ impl StoredRelation {
         &self.pool
     }
 
+    /// The segment's persisted statistics, when it carries a stats
+    /// section (`None` for v2 / pre-stats files — never an error).
+    pub fn stats(&self) -> Option<Arc<crate::stats::RelStats>> {
+        self.segment.stats().cloned()
+    }
+
     /// Decode all tuples of one page (pinning it only for the decode).
     ///
     /// # Errors
