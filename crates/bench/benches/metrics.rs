@@ -1,0 +1,139 @@
+//! Observability-layer benchmark: what instrumentation costs.
+//!
+//! Two layers of measurement:
+//!
+//! * `metrics/hot-path` — the primitive costs: a registry counter
+//!   increment vs a raw relaxed `AtomicU64` (the floor), a histogram
+//!   observation, and a full exposition render of a populated
+//!   registry (the scrape cost, paid by `METRICS` callers, not by
+//!   queries).
+//! * `metrics/instrumented` — PING and warm-cached QUERY round-trips
+//!   through a live instrumented server, measured exactly like
+//!   `serve/roundtrip` measures them. Compare against the
+//!   pre-instrumentation `serve/roundtrip` rows in BASELINES.md: the
+//!   delta is the end-to-end overhead of per-verb counters, latency
+//!   histograms, spans, and metered execution, and must stay < 2%.
+//!
+//! The smoke pass (`cargo test --benches`, CI) additionally asserts a
+//! `METRICS` scrape round-trips and exposes the serve counters.
+//!
+//! Reference numbers live in `crates/bench/BASELINES.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evirel_obs::{Histogram, MetricsRegistry};
+use evirel_query::Catalog;
+use evirel_serve::protocol::{read_frame, write_frame};
+use evirel_serve::{start, ServeConfig, ServerHandle};
+use evirel_workload::{restaurant_db_a, restaurant_db_b};
+use std::hint::black_box;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn server() -> ServerHandle {
+    let mut catalog = Catalog::new();
+    catalog.register("ra", restaurant_db_a().restaurants);
+    catalog.register("rb", restaurant_db_b().restaurants);
+    start(catalog, ServeConfig::default()).expect("server starts")
+}
+
+fn roundtrip(conn: &mut TcpStream, payload: &str) -> String {
+    write_frame(conn, payload).expect("request writes");
+    read_frame(conn)
+        .expect("response reads")
+        .expect("server replied")
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics/hot-path");
+
+    let raw = AtomicU64::new(0);
+    group.bench_function("raw-atomic-add", |b| {
+        b.iter(|| black_box(raw.fetch_add(1, Ordering::Relaxed)))
+    });
+
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("evirel_bench_total", "bench", &[]);
+    group.bench_function("counter-inc", |b| b.iter(|| counter.inc()));
+
+    let histogram = Histogram::default();
+    let mut us = 0u64;
+    group.bench_function("histogram-observe", |b| {
+        b.iter(|| {
+            us = (us + 997) % 2_000_000;
+            histogram.observe_us(black_box(us));
+        })
+    });
+
+    // Scrape cost over a registry shaped like a live server's: a few
+    // dozen counter/gauge series plus latency histograms.
+    let populated = MetricsRegistry::new();
+    for verb in ["query", "merge", "ping", "stats", "explain", "metrics"] {
+        populated
+            .counter("evirel_serve_requests_total", "requests", &[("verb", verb)])
+            .add(1234);
+        let h = populated.histogram("evirel_serve_request_seconds", "latency", &[("verb", verb)]);
+        for i in 0..64 {
+            h.observe_us(i * 300);
+        }
+    }
+    for name in [
+        "evirel_serve_queue_depth",
+        "evirel_serve_workers_busy",
+        "evirel_store_pool_hits_total",
+        "evirel_store_pool_misses_total",
+        "evirel_query_cache_hits_total",
+        "evirel_repl_generation_lag",
+    ] {
+        populated.gauge(name, "bench", &[]).set(42);
+    }
+    let text = populated.render();
+    assert!(text.contains("# TYPE evirel_serve_requests_total counter"));
+    group.bench_function("render", |b| b.iter(|| black_box(populated.render())));
+    group.finish();
+}
+
+/// Instrumented server round-trips, measured exactly as the
+/// pre-instrumentation `serve/roundtrip` bench measured them so the
+/// BASELINES.md before/after rows are apples to apples.
+fn bench_instrumented(c: &mut Criterion) {
+    let handle = server();
+    let mut conn = TcpStream::connect(handle.addr()).expect("connects");
+    conn.set_nodelay(true).expect("nodelay");
+    let query = "QUERY\nSELECT * FROM ra UNION rb WITH SN > 0.5";
+
+    // Sanity before timing: warm the plan cache, then prove the
+    // instrumentation is live — a METRICS scrape must expose the
+    // request counters this very connection just incremented.
+    let cold = roundtrip(&mut conn, query);
+    assert!(cold.starts_with("OK"), "{cold}");
+    let warm = roundtrip(&mut conn, query);
+    assert!(warm.contains("cached=1"), "cache must engage: {warm}");
+    let scrape = roundtrip(&mut conn, "METRICS");
+    assert!(scrape.starts_with("OK"), "{scrape}");
+    assert!(
+        scrape.contains("# TYPE evirel_serve_requests_total counter"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("evirel_serve_requests_total{verb=\"query\"} 2"),
+        "{scrape}"
+    );
+
+    let mut group = c.benchmark_group("metrics/instrumented");
+    group.bench_function("ping", |b| {
+        b.iter(|| black_box(roundtrip(&mut conn, "PING")))
+    });
+    group.bench_function("warm-query", |b| {
+        b.iter(|| black_box(roundtrip(&mut conn, query)))
+    });
+    group.finish();
+
+    drop(conn);
+    handle.shutdown();
+    let stats = handle.join();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.errors, 0);
+}
+
+criterion_group!(benches, bench_hot_path, bench_instrumented);
+criterion_main!(benches);

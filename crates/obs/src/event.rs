@@ -1,0 +1,165 @@
+//! Bounded structured event log.
+//!
+//! A ring buffer of [`Event`]s: the newest `capacity` survive, older
+//! ones are dropped (and counted). Recording is one short mutex hold
+//! on a cold path — events are for exceptional things (slow queries,
+//! promotions), not per-tuple traffic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One structured event: a kind plus ordered key/value fields,
+/// rendered as a logfmt-style line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Wall-clock timestamp, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Event kind, e.g. `slow_query`.
+    pub kind: &'static str,
+    /// Ordered key/value fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// A new event of `kind`, stamped now.
+    pub fn new(kind: &'static str) -> Event {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        Event {
+            unix_ms,
+            kind,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, key: &str, value: impl ToString) -> Event {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Render as one logfmt-style line:
+    /// `event=slow_query unix_ms=… key="value" …`. Values are quoted
+    /// only when they contain spaces, quotes, or `=`.
+    pub fn render(&self) -> String {
+        let mut out = format!("event={} unix_ms={}", self.kind, self.unix_ms);
+        for (k, v) in &self.fields {
+            if v.is_empty() || v.contains([' ', '"', '=', '\n']) {
+                out.push_str(&format!(
+                    " {k}=\"{}\"",
+                    v.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
+                ));
+            } else {
+                out.push_str(&format!(" {k}={v}"));
+            }
+        }
+        out
+    }
+}
+
+/// Default ring capacity; enough to hold the recent history of a
+/// misbehaving workload without unbounded growth.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// A bounded ring buffer of [`Event`]s.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn record(&self, event: Event) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_keeps_newest_and_counts_dropped() {
+        // Satellite: wraparound semantics — newest N survive, the
+        // dropped counter accounts for every eviction.
+        let log = EventLog::with_capacity(4);
+        for i in 0..10 {
+            log.record(Event::new("tick").field("i", i));
+        }
+        assert_eq!(log.dropped(), 6);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 4);
+        let is: Vec<String> = events.iter().map(|e| e.fields[0].1.clone()).collect();
+        assert_eq!(is, vec!["6", "7", "8", "9"]);
+    }
+
+    #[test]
+    fn render_is_logfmt_and_quotes_when_needed() {
+        let mut e = Event::new("slow_query")
+            .field("eql", "SELECT * FROM r")
+            .field("generation", 3)
+            .field("total_us", 1234);
+        e.unix_ms = 1_700_000_000_000;
+        let line = e.render();
+        assert_eq!(
+            line,
+            "event=slow_query unix_ms=1700000000000 eql=\"SELECT * FROM r\" generation=3 total_us=1234"
+        );
+        let mut e = Event::new("x").field("v", "a\"b\nc");
+        e.unix_ms = 0;
+        assert_eq!(e.render(), "event=x unix_ms=0 v=\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let log = EventLog::with_capacity(0);
+        log.record(Event::new("a"));
+        log.record(Event::new("b"));
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(log.snapshot()[0].kind, "b");
+    }
+}

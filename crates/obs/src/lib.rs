@@ -1,0 +1,52 @@
+//! Observability for the evirel engine: metrics, events, spans.
+//!
+//! Everything here is std-only (the workspace builds without a
+//! registry — see ROADMAP "Registry-free builds are a constraint")
+//! and cheap enough to stay on in production:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket latency [`Histogram`]s. Handles are `Arc`'d atomics:
+//!   the hot path is one relaxed `fetch_add`, no lock, no allocation.
+//!   The registry's map lock is touched only at registration (once
+//!   per call site) and at scrape time. [`MetricsRegistry::render`]
+//!   emits Prometheus-style text exposition (`# TYPE` lines, stable
+//!   names, machine-parseable) — what the `METRICS` protocol verb and
+//!   the eql shell's `\metrics` command serve.
+//! * [`EventLog`] — a bounded ring buffer of structured [`Event`]s
+//!   (the slow-query log lands here): newest N survive, older events
+//!   are counted as dropped, never block anything.
+//! * [`Trace`] / [`Span`] — per-request stage timing for the query
+//!   lifecycle (parse → plan-cache lookup → lower/rewrite → execute);
+//!   a [`Trace`] is a plain `Vec` owned by one request, so spans cost
+//!   two `Instant::now` calls and nothing shared.
+//!
+//! Instrumentation must never change what a query produces — the same
+//! rule the statistics layer follows ("statistics may change how a
+//! plan executes, never what it produces"). Nothing in this crate is
+//! consulted by planning or execution; it only observes.
+
+#![deny(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod span;
+
+pub use event::{Event, EventLog};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricsRegistry, Sample,
+    LATENCY_BOUNDS_US,
+};
+pub use span::{Span, Trace};
+
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide default registry. Components with no explicit
+/// registry plumbed in (the eql shell before `\open`, library tests)
+/// land their metrics here; `evirel-serve` creates one registry per
+/// server instance instead, so in-process test servers do not bleed
+/// counters into each other — in production (one server per process)
+/// the two designs coincide.
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}

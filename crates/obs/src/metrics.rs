@@ -1,0 +1,705 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms,
+//! and Prometheus-style text exposition.
+//!
+//! ## Naming scheme
+//!
+//! `evirel_<layer>_<what>_<unit>` — layer is one of `serve`, `query`,
+//! `exec`, `store`, `repl`; monotone counters end in `_total`, latency
+//! histograms in `_seconds`, free-standing instantaneous values are
+//! plain gauges (`_depth`, `_bytes`, …). Label sets are small and
+//! closed (`verb`, `stage`): unbounded label values would make the
+//! registry a memory leak.
+//!
+//! ## Concurrency
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`'d relaxed
+//! atomics — increments from any number of threads are exact (the
+//! concurrency stress test pins N×M == total), and reads are
+//! monotone for counters. The registry map itself is behind a mutex
+//! touched only at registration and scrape.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::event::EventLog;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raise to `v` if `v` is larger — for mirroring an external
+    /// cumulative counter (a subsystem's own snapshot struct) into
+    /// the registry at scrape time without ever moving backwards.
+    pub fn set_at_least(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` (saturating at zero: a dec racing a set must not
+    /// wrap to u64::MAX).
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in microseconds. Roughly
+/// exponential from 50 µs to 10 s — wide enough that a p99 read off
+/// the buckets is meaningful from a PING round-trip (~10 µs, first
+/// bucket) to an fsync stall (hundreds of ms). A final implicit
+/// `+Inf` bucket catches everything above.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 10_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds (µs), ascending; one more bucket than bounds for
+    /// `+Inf`.
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram. Observations are recorded in
+/// microseconds; p50/p90/p99 are derivable from the cumulative bucket
+/// counts (see [`Histogram::quantile_us`]), so no per-observation
+/// storage is needed and `observe` is three relaxed `fetch_add`s.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::with_bounds(LATENCY_BOUNDS_US)
+    }
+}
+
+impl Histogram {
+    /// A histogram over explicit bucket bounds (µs, ascending).
+    pub fn with_bounds(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+        Histogram(Arc::new(HistogramCore {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < us);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.0.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// The quantile `q` (0 ≤ q ≤ 1), estimated from the bucket
+    /// counts by linear interpolation inside the covering bucket —
+    /// what a dashboard would compute from the exposition. Returns 0
+    /// with no observations; observations past the last finite bound
+    /// report that bound (the histogram cannot see further).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let snap = self.snapshot();
+        snap.quantile_us(q)
+    }
+
+    /// A consistent-enough copy of the bucket counts (individual
+    /// loads are relaxed; a scrape concurrent with observations may
+    /// be mid-update by one observation, which monotone dashboards
+    /// tolerate by design).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds,
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum_us: self.sum_us(),
+            count: self.count(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds (µs), ascending; `buckets` has one extra slot for
+    /// `+Inf`.
+    pub bounds: &'static [u64],
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: Vec<u64>,
+    /// Sum of observations, µs.
+    pub sum_us: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// As [`Histogram::quantile_us`], over this snapshot.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+            seen += n;
+            if seen >= target {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // +Inf bucket: the histogram can only report its
+                    // last finite bound.
+                    return *self.bounds.last().unwrap_or(&0);
+                };
+                // Linear interpolation: how far into this bucket the
+                // target rank sits.
+                let into = n - (seen - target);
+                let frac = into as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+        }
+        *self.bounds.last().unwrap_or(&0)
+    }
+}
+
+/// What a metric family is, for the `# TYPE` exposition line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn exposition(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: MetricKind,
+    help: String,
+    /// Rendered label set (`{k="v",…}` or empty) → series.
+    series: BTreeMap<String, Series>,
+}
+
+/// One sampled value from [`MetricsRegistry::samples`] — counters and
+/// gauges only (histograms expose their buckets through `render`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Family name, e.g. `evirel_serve_requests_total`.
+    pub name: String,
+    /// Rendered label set (`{verb="query"}`) or empty.
+    pub labels: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Current value.
+    pub value: u64,
+}
+
+type CollectorFn = Box<dyn Fn() + Send + Sync>;
+
+/// A named collection of metrics plus the event log. See the crate
+/// docs for the design; see [`MetricsRegistry::render`] for the
+/// exposition format.
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+    /// Scrape-time refreshers: closures that pull a subsystem's own
+    /// snapshot counters (buffer pool, plan cache, replication) into
+    /// registry handles, keyed so re-registration replaces instead of
+    /// stacking. Run by [`MetricsRegistry::refresh`].
+    collectors: Mutex<BTreeMap<String, CollectorFn>>,
+    events: EventLog,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("MetricsRegistry")
+            .field("families", &families.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .enumerate()
+            .all(|(i, b)| b == b'_' || b.is_ascii_alphabetic() || (i > 0 && b.is_ascii_digit()))
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            debug_assert!(valid_name(k), "label name {k:?}");
+            format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+        })
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl MetricsRegistry {
+    /// An empty registry with a default-capacity event log.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            families: Mutex::new(BTreeMap::new()),
+            collectors: Mutex::new(BTreeMap::new()),
+            events: EventLog::default(),
+        }
+    }
+
+    /// The structured event log (slow queries land here).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The counter `name{labels}`, registering it (with `help`) on
+    /// first use. Re-calling with the same name and labels returns a
+    /// handle to the same underlying atomic.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different kind — metric
+    /// kinds are part of the contract with whatever scrapes them.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, labels, MetricKind::Counter) {
+            Series::Counter(c) => c,
+            _ => unreachable!("series() returns the requested kind"),
+        }
+    }
+
+    /// The gauge `name{labels}`; see [`MetricsRegistry::counter`].
+    ///
+    /// # Panics
+    /// As [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, labels, MetricKind::Gauge) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("series() returns the requested kind"),
+        }
+    }
+
+    /// The histogram `name{labels}` (default latency buckets); see
+    /// [`MetricsRegistry::counter`].
+    ///
+    /// # Panics
+    /// As [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.series(name, help, labels, MetricKind::Histogram) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("series() returns the requested kind"),
+        }
+    }
+
+    fn series(&self, name: &str, help: &str, labels: &[(&str, &str)], kind: MetricKind) -> Series {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let label_key = render_labels(labels);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            kind,
+            help: help.to_owned(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered as {:?}, requested as {kind:?}",
+            family.kind
+        );
+        family
+            .series
+            .entry(label_key)
+            .or_insert_with(|| match kind {
+                MetricKind::Counter => Series::Counter(Counter::default()),
+                MetricKind::Gauge => Series::Gauge(Gauge::default()),
+                MetricKind::Histogram => Series::Histogram(Histogram::default()),
+            })
+            .clone()
+    }
+
+    /// Register (or replace) the scrape-time collector `key`. The
+    /// closure runs on every [`MetricsRegistry::refresh`] — it should
+    /// read a subsystem snapshot and push the values into handles it
+    /// captured. Keyed replacement keeps re-registration (a REPL
+    /// `\open` swapping its pool) from stacking stale closures.
+    pub fn register_collector(&self, key: &str, f: impl Fn() + Send + Sync + 'static) {
+        let mut collectors = self.collectors.lock().unwrap_or_else(|e| e.into_inner());
+        collectors.insert(key.to_owned(), Box::new(f));
+    }
+
+    /// Run every registered collector, refreshing mirrored values.
+    /// Called by [`MetricsRegistry::render`]; callers reading raw
+    /// values ([`MetricsRegistry::value`], [`MetricsRegistry::samples`])
+    /// should call it first.
+    pub fn refresh(&self) {
+        let collectors = self.collectors.lock().unwrap_or_else(|e| e.into_inner());
+        for f in collectors.values() {
+            f();
+        }
+    }
+
+    /// The current value of counter/gauge `name{labels}`, if
+    /// registered. Does **not** refresh collectors.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let label_key = render_labels(labels);
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        match families.get(name)?.series.get(&label_key)? {
+            Series::Counter(c) => Some(c.get()),
+            Series::Gauge(g) => Some(g.get()),
+            Series::Histogram(h) => Some(h.count()),
+        }
+    }
+
+    /// Every counter and gauge series, sorted by (name, labels). Does
+    /// **not** refresh collectors.
+    pub fn samples(&self) -> Vec<Sample> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, series) in &family.series {
+                let value = match series {
+                    Series::Counter(c) => c.get(),
+                    Series::Gauge(g) => g.get(),
+                    Series::Histogram(_) => continue,
+                };
+                out.push(Sample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    kind: family.kind,
+                    value,
+                });
+            }
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition: for every family a
+    /// `# HELP` + `# TYPE` pair, then one line per series. Histograms
+    /// render cumulative `_bucket{le="…"}` series (bounds in seconds,
+    /// `+Inf` last) plus `_sum` (seconds) and `_count`. Collectors
+    /// are refreshed first.
+    pub fn render(&self) -> String {
+        self.refresh();
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            if !family.help.is_empty() {
+                out.push_str(&format!("# HELP {name} {}\n", family.help));
+            }
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.exposition()));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, &n) in snap.buckets.iter().enumerate() {
+                            cumulative += n;
+                            let le = match snap.bounds.get(i) {
+                                Some(&b) => format!("{}", b as f64 / 1e6),
+                                None => "+Inf".to_owned(),
+                            };
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                merge_le(labels, &le)
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_sum{labels} {}\n",
+                            snap.sum_us as f64 / 1e6
+                        ));
+                        out.push_str(&format!("{name}_count{labels} {}\n", snap.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Append `le="…"` to an already-rendered label set.
+fn merge_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_exact_under_concurrency() {
+        // Satellite: N threads × M increments == exact total — the
+        // registry's "lock-cheap" claim is only worth having if no
+        // increment is ever lost.
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("evirel_test_total", "test", &[]);
+        const THREADS: usize = 8;
+        const INCS: u64 = 25_000;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..INCS {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), THREADS as u64 * INCS);
+        assert_eq!(
+            reg.value("evirel_test_total", &[]),
+            Some(THREADS as u64 * INCS)
+        );
+    }
+
+    #[test]
+    fn histogram_concurrent_observations_are_exact() {
+        let h = Histogram::default();
+        const THREADS: usize = 4;
+        const OBS: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..OBS {
+                        h.observe_us(t as u64 * 1000 + i % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), THREADS as u64 * OBS);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn same_handle_for_same_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("evirel_x_total", "x", &[("verb", "query")]);
+        let b = reg.counter("evirel_x_total", "x", &[("verb", "query")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Different labels are different series.
+        let c = reg.counter("evirel_x_total", "x", &[("verb", "merge")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("evirel_y_total", "y", &[]);
+        let _ = reg.gauge("evirel_y_total", "y", &[]);
+    }
+
+    #[test]
+    fn gauge_sub_saturates() {
+        let g = Gauge::default();
+        g.set(1);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn quantiles_come_from_buckets() {
+        let h = Histogram::default();
+        // 100 observations at ~75 µs: all land in the (50, 100] bucket.
+        for _ in 0..100 {
+            h.observe_us(75);
+        }
+        let p50 = h.quantile_us(0.5);
+        assert!((50..=100).contains(&p50), "{p50}");
+        // A 1 s outlier drags p99 but not p50.
+        h.observe_us(1_000_000);
+        assert!(h.quantile_us(0.5) <= 100);
+        assert!(h.quantile_us(1.0) >= 500_000);
+        // Past the last finite bound, the histogram reports that bound.
+        let h = Histogram::default();
+        h.observe_us(u64::MAX);
+        assert_eq!(h.quantile_us(0.5), *LATENCY_BOUNDS_US.last().unwrap());
+        // Empty histogram: 0.
+        assert_eq!(Histogram::default().quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn collector_refresh_mirrors_external_counters() {
+        let reg = MetricsRegistry::new();
+        let mirrored = reg.counter("evirel_mirror_total", "m", &[]);
+        let source = Arc::new(AtomicU64::new(7));
+        {
+            let mirrored = mirrored.clone();
+            let source = Arc::clone(&source);
+            reg.register_collector("test", move || {
+                mirrored.set_at_least(source.load(Ordering::Relaxed));
+            });
+        }
+        assert_eq!(mirrored.get(), 0);
+        reg.refresh();
+        assert_eq!(mirrored.get(), 7);
+        source.store(9, Ordering::Relaxed);
+        // Re-registering under the same key replaces, not stacks.
+        {
+            let mirrored = mirrored.clone();
+            let source = Arc::clone(&source);
+            reg.register_collector("test", move || {
+                mirrored.set_at_least(source.load(Ordering::Relaxed));
+            });
+        }
+        let _ = reg.render(); // render refreshes
+        assert_eq!(mirrored.get(), 9);
+        // set_at_least never regresses.
+        source.store(3, Ordering::Relaxed);
+        reg.refresh();
+        assert_eq!(mirrored.get(), 9);
+    }
+
+    #[test]
+    fn exposition_has_type_lines_and_escapes_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("evirel_a_total", "as", &[("verb", "que\"ry")])
+            .inc();
+        reg.gauge("evirel_b_depth", "bs", &[]).set(4);
+        reg.histogram("evirel_c_seconds", "cs", &[]).observe_us(80);
+        let text = reg.render();
+        assert!(text.contains("# TYPE evirel_a_total counter"), "{text}");
+        assert!(
+            text.contains("evirel_a_total{verb=\"que\\\"ry\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE evirel_b_depth gauge"), "{text}");
+        assert!(text.contains("evirel_b_depth 4"), "{text}");
+        assert!(text.contains("# TYPE evirel_c_seconds histogram"), "{text}");
+        assert!(
+            text.contains("evirel_c_seconds_bucket{le=\"0.0001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("evirel_c_seconds_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("evirel_c_seconds_count 1"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_merge_labels_with_le() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("evirel_d_seconds", "ds", &[("stage", "execute")])
+            .observe_us(80);
+        let text = reg.render();
+        assert!(
+            text.contains("evirel_d_seconds_bucket{stage=\"execute\",le=\"0.0001\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("evirel_serve_requests_total"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("9lead"));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name("has-dash"));
+    }
+}

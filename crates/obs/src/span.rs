@@ -1,0 +1,134 @@
+//! Per-request stage timing.
+//!
+//! A [`Trace`] is a plain `Vec` of named stage durations owned by one
+//! request — no thread-locals, no global state, nothing shared. A
+//! [`Span`] is a drop-guard that records its elapsed time into the
+//! trace when it goes out of scope; [`Trace::time`] is the closure
+//! form. Stage names are `&'static str` so a trace never allocates
+//! per stage beyond the `Vec` slot.
+//!
+//! The query path records `parse`, `cache_lookup`, `lower_rewrite`,
+//! and `execute` stages; the serve layer adds `recv`. Traces feed the
+//! slow-query log and the per-stage latency histograms.
+
+use std::time::{Duration, Instant};
+
+/// Named stage durations for one request.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    started: Instant,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// An empty trace; total time counts from this call.
+    pub fn new() -> Trace {
+        Trace {
+            started: Instant::now(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Record a stage with an explicit duration.
+    pub fn record(&mut self, stage: &'static str, elapsed: Duration) {
+        self.stages.push((stage, elapsed));
+    }
+
+    /// Start a drop-guard span for `stage`; it records into this
+    /// trace when dropped.
+    pub fn span<'t>(&'t mut self, stage: &'static str) -> Span<'t> {
+        Span {
+            trace: self,
+            stage,
+            started: Instant::now(),
+        }
+    }
+
+    /// Run `f`, recording its elapsed time as `stage`.
+    pub fn time<T>(&mut self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let out = f();
+        self.record(stage, started.elapsed());
+        out
+    }
+
+    /// The recorded stages, in recording order.
+    pub fn stages(&self) -> &[(&'static str, Duration)] {
+        &self.stages
+    }
+
+    /// Duration of the first stage named `stage`, in microseconds.
+    pub fn stage_us(&self, stage: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|(name, _)| *name == stage)
+            .map(|(_, d)| d.as_micros().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Wall-clock time since the trace was created.
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The stages as `stage=<name>_us=<µs>` pairs for event fields,
+    /// e.g. `[("parse_us", "12"), …]`.
+    pub fn stage_fields(&self) -> Vec<(String, String)> {
+        self.stages
+            .iter()
+            .map(|(name, d)| {
+                (
+                    format!("{name}_us"),
+                    (d.as_micros().min(u128::from(u64::MAX)) as u64).to_string(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Drop-guard recording one stage's elapsed time into a [`Trace`].
+#[derive(Debug)]
+pub struct Span<'t> {
+    trace: &'t mut Trace,
+    stage: &'static str,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        self.trace.record(self.stage, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let mut trace = Trace::new();
+        {
+            let _s = trace.span("parse");
+        }
+        trace.time("execute", || std::thread::sleep(Duration::from_millis(2)));
+        let names: Vec<&str> = trace.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["parse", "execute"]);
+        assert!(trace.stage_us("execute").unwrap() >= 2_000);
+        assert!(trace.stage_us("missing").is_none());
+        assert!(trace.total() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn stage_fields_render_microseconds() {
+        let mut trace = Trace::new();
+        trace.record("parse", Duration::from_micros(42));
+        let fields = trace.stage_fields();
+        assert_eq!(fields, vec![("parse_us".to_owned(), "42".to_owned())]);
+    }
+}

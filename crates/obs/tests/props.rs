@@ -1,0 +1,155 @@
+//! Property tests for the metrics layer: histogram bucket boundaries
+//! and METRICS exposition re-parsing (names unique, values finite,
+//! monotone counters never decrease across scrapes).
+
+use std::collections::{BTreeMap, HashSet};
+
+use evirel_obs::{Histogram, MetricsRegistry, LATENCY_BOUNDS_US};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every observation lands in exactly one bucket, and the
+    /// cumulative count at each upper bound equals the number of
+    /// observations ≤ that bound (Prometheus `le` semantics —
+    /// boundary values are *included* in their bucket).
+    #[test]
+    fn histogram_bucket_boundaries(
+        obs in proptest::collection::vec(0u64..20_000_000, 0..200),
+        boundary_hits in proptest::collection::vec(0usize..16, 0..32),
+    ) {
+        let h = Histogram::default();
+        let mut all: Vec<u64> = obs.clone();
+        // Mix in observations that sit exactly on bucket bounds —
+        // the off-by-one cases a range-only generator rarely hits.
+        for i in &boundary_hits {
+            all.push(LATENCY_BOUNDS_US[*i % LATENCY_BOUNDS_US.len()]);
+        }
+        for &us in &all {
+            h.observe_us(us);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, all.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), all.len() as u64);
+        prop_assert_eq!(snap.sum_us, all.iter().sum::<u64>());
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+            cumulative += snap.buckets[i];
+            let expected = all.iter().filter(|&&us| us <= bound).count() as u64;
+            prop_assert_eq!(cumulative, expected, "le={}", bound);
+        }
+    }
+
+    /// The rendered exposition re-parses: unique series names, finite
+    /// parseable values, `# TYPE` for every family, and counter
+    /// values that never decrease from one scrape to the next.
+    #[test]
+    fn exposition_reparses_and_counters_are_monotone(
+        counts in proptest::collection::vec(0u64..1000, 1..6),
+        extra in proptest::collection::vec(0u64..1000, 1..6),
+        gauge_vals in proptest::collection::vec(0u64..1000, 1..4),
+        hist_obs in proptest::collection::vec(0u64..5_000_000, 0..50),
+    ) {
+        let reg = MetricsRegistry::new();
+        let verbs = ["query", "merge", "ping", "stats", "explain"];
+        let counters: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let c = reg.counter(
+                    "evirel_prop_requests_total",
+                    "prop",
+                    &[("verb", verbs[i % verbs.len()])],
+                );
+                c.add(n);
+                c
+            })
+            .collect();
+        for (i, &v) in gauge_vals.iter().enumerate() {
+            let names = ["evirel_prop_queue_depth", "evirel_prop_workers_busy", "evirel_prop_lag"];
+            reg.gauge(names[i % names.len()], "prop", &[]).set(v);
+        }
+        let h = reg.histogram("evirel_prop_seconds", "prop", &[]);
+        for &us in &hist_obs {
+            h.observe_us(us);
+        }
+
+        let first = parse_exposition(&reg.render());
+        // Mutate between scrapes: counters only go up, gauges anywhere.
+        for (c, &n) in counters.iter().zip(extra.iter().cycle()) {
+            c.add(n);
+        }
+        reg.gauge("evirel_prop_queue_depth", "prop", &[]).set(0);
+        let second = parse_exposition(&reg.render());
+
+        for (series, (kind, v1)) in &first {
+            let (kind2, v2) = &second[series];
+            prop_assert_eq!(kind, kind2);
+            let monotone = kind == "counter"
+                || series.contains("_bucket")
+                || series.ends_with("_count")
+                || series.ends_with("_sum");
+            if monotone {
+                prop_assert!(v2 >= v1, "{} went {} -> {}", series, v1, v2);
+            }
+        }
+    }
+}
+
+/// Parse exposition text into series → (family kind, value), panicking
+/// on any violated invariant: every series has a `# TYPE`, every
+/// series line appears once, every value parses finite.
+fn parse_exposition(text: &str) -> BTreeMap<String, (String, f64)> {
+    let mut kinds: BTreeMap<String, String> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    let mut seen = HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or_default().to_owned();
+            let kind = parts.next().unwrap_or_default().to_owned();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "bad kind in {line:?}"
+            );
+            assert!(
+                kinds.insert(name, kind).is_none(),
+                "duplicate TYPE: {line:?}"
+            );
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let split_at = line
+            .rfind(' ')
+            .unwrap_or_else(|| panic!("no value in {line:?}"));
+        let (series, value) = line.split_at(split_at);
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("unparseable value in {line:?}: {e}"));
+        assert!(value.is_finite(), "non-finite value in {line:?}");
+        assert!(
+            seen.insert(series.to_owned()),
+            "duplicate series {series:?}"
+        );
+        // The series' family must have a TYPE line. Histogram
+        // sub-series (_bucket/_sum/_count) belong to the base family.
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| kinds.get(*base).is_some_and(|k| k == "histogram"))
+            .unwrap_or(name);
+        let kind = kinds
+            .get(family)
+            .unwrap_or_else(|| panic!("series {series:?} has no TYPE"))
+            .clone();
+        out.insert(series.to_owned(), (kind, value));
+    }
+    out
+}

@@ -774,6 +774,57 @@ pub fn execute_optimized(
     run(op.as_mut(), ctx)
 }
 
+/// One operator's row accounting from a metered execution: what the
+/// cost model predicted vs what the operator actually emitted. The
+/// slow-query log attaches these so planner mis-estimates are visible
+/// in production, not just under `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMeter {
+    /// The operator's `describe()` line.
+    pub describe: String,
+    /// Cost-model row estimate; `None` when statistics were
+    /// unavailable for this node.
+    pub est_rows: Option<u64>,
+    /// Rows the operator actually emitted.
+    pub actual_rows: u64,
+}
+
+/// Collect every metered node under `op`, pre-order (root first).
+pub fn collect_meters(op: &dyn Operator, out: &mut Vec<OpMeter>) {
+    if let Some((est_rows, actual_rows)) = op.metered() {
+        out.push(OpMeter {
+            describe: op.describe(),
+            est_rows,
+            actual_rows,
+        });
+    }
+    for child in op.children() {
+        collect_meters(child, out);
+    }
+}
+
+/// [`execute_optimized`] with every operator wrapped in a row meter
+/// (the `EXPLAIN ANALYZE` machinery), returning the per-operator
+/// est-vs-actual counts alongside the result. Metering is observation
+/// only: [`MeteredOp`] passes tuples through untouched, so the result
+/// is identical to the unmetered path — the slow-query log relies on
+/// that to instrument production queries without changing them.
+///
+/// # Errors
+/// As [`execute_optimized`].
+pub fn execute_optimized_metered(
+    optimized: &LogicalPlan,
+    source: &dyn RelationSource,
+    ctx: &mut ExecContext,
+) -> Result<(ExtendedRelation, Vec<OpMeter>), PlanError> {
+    let options = ctx.union_options.clone();
+    let mut op = physical_impl(optimized, source, &options, ctx.parallelism, true)?;
+    let rel = run(op.as_mut(), ctx)?;
+    let mut meters = Vec::new();
+    collect_meters(op.as_ref(), &mut meters);
+    Ok((rel, meters))
+}
+
 /// Optimize and lower a plan into an operator tree without running it
 /// — for callers that want to pull tuples themselves.
 ///

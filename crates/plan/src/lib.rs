@@ -63,8 +63,9 @@ pub use cost::{stats_enabled, CostModel, NO_STATS_ENV};
 pub use error::PlanError;
 pub use exchange::{compute_slots, rank_keys, ExchangeOp, OrderMap, ShardScanOp};
 pub use exec::{
-    execute_optimized, execute_plan, explain_analyze_with, explain_plan, explain_plan_with,
-    open_plan, physical, physical_with, planned_rewrites,
+    collect_meters, execute_optimized, execute_optimized_metered, execute_plan,
+    explain_analyze_with, explain_plan, explain_plan_with, open_plan, physical, physical_with,
+    planned_rewrites, OpMeter,
 };
 pub use logical::{
     scan, schema_of, validate_plan, Bindings, LogicalPlan, PlanBuilder, RelationSource,

@@ -44,9 +44,13 @@
 //!   estimate, average focal width, observed κ) as the planner's cost
 //!   model sees them; relations without statistics (pre-v3 segments)
 //!   are flagged as planning via heuristics;
-//! * `\pool` — buffer-pool statistics (hits/misses/evictions/bytes);
+//! * `\pool` — buffer-pool statistics (hits/misses/evictions/bytes),
+//!   read from the shared metrics registry;
 //! * `\cache` — prepared-plan cache statistics (hits = re-executions
-//!   that skipped lowering/rewrite) and the current generation;
+//!   that skipped lowering/rewrite) and the current generation, read
+//!   from the shared metrics registry;
+//! * `\metrics` — every counter/gauge/histogram in Prometheus text
+//!   exposition (what the query service's `METRICS` verb returns);
 //! * `\q` — quit.
 //!
 //! Files ending in `.evb` on the command line are attached as stored
@@ -87,10 +91,13 @@ fn main() {
         }
     }
 
-    let session = Session::new(
-        Arc::new(SharedCatalog::new(catalog)),
-        Arc::new(PlanCache::default()),
-    );
+    let shared = Arc::new(SharedCatalog::new(catalog));
+    let cache = Arc::new(PlanCache::default());
+    // The REPL shares the server's collector wiring against the
+    // process-global registry: `\pool`, `\cache` and `\metrics` read
+    // the exact series the `METRICS` verb would expose.
+    evirel_query::register_query_collectors(evirel_obs::global(), &shared, &cache);
+    let session = Session::new(shared, cache);
 
     if let Some(q) = inline_query {
         run_query(&session, &q, false);
@@ -305,35 +312,47 @@ fn main() {
                 Some("stats") => {
                     print!("{}", session.pin().catalog().stats_summary());
                 }
+                // `\pool` and `\cache` read the shared metrics
+                // registry — the same series `\metrics` renders —
+                // not the subsystems directly, so every surface
+                // reports identical numbers.
                 Some("pool") => {
-                    let snapshot = session.pin();
-                    let pool = &snapshot.catalog().pool;
-                    let stats = pool.stats();
+                    let registry = evirel_obs::global();
+                    registry.refresh();
+                    let v = |name: &str| registry.value(name, &[]).unwrap_or(0);
                     println!(
                         "buffer pool: budget {} B, cached {} B in {} page(s); \
                          {} hit(s), {} miss(es), {} eviction(s), {} overcommit(s)",
-                        pool.budget_bytes(),
-                        stats.bytes_cached,
-                        stats.pages_cached,
-                        stats.hits,
-                        stats.misses,
-                        stats.evictions,
-                        stats.overcommits,
+                        session.pin().catalog().pool.budget_bytes(),
+                        v("evirel_store_pool_cached_bytes"),
+                        v("evirel_store_pool_cached_pages"),
+                        v("evirel_store_pool_hits_total"),
+                        v("evirel_store_pool_misses_total"),
+                        v("evirel_store_pool_evictions_total"),
+                        v("evirel_store_pool_overcommits_total"),
                     );
                 }
                 Some("cache") => {
-                    let stats = session.cache().stats();
+                    let registry = evirel_obs::global();
+                    registry.refresh();
+                    let v = |name: &str| registry.value(name, &[]).unwrap_or(0);
                     println!(
                         "plan cache: {} entries, generation {}; {} hit(s) \
                          (lowering/rewrite skipped), {} miss(es), {} stale \
                          (invalidated by generation bump), {} eviction(s)",
-                        stats.entries,
-                        session.shared().generation(),
-                        stats.hits,
-                        stats.misses,
-                        stats.stale,
-                        stats.evictions,
+                        v("evirel_query_cache_entries"),
+                        v("evirel_catalog_generation"),
+                        v("evirel_query_cache_hits_total"),
+                        v("evirel_query_cache_misses_total"),
+                        v("evirel_query_cache_stale_total"),
+                        v("evirel_query_cache_evictions_total"),
                     );
+                }
+                Some("metrics") => {
+                    // Full Prometheus-style exposition — everything
+                    // the server's METRICS verb would return for this
+                    // process.
+                    print!("{}", evirel_obs::global().render());
                 }
                 other => println!("unknown meta-command {other:?}"),
             }

@@ -32,6 +32,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::QueryError;
+use evirel_obs::{Counter, Histogram};
 use evirel_store::checkpoint::{checkpoint, CheckpointOutcome};
 use evirel_store::{
     Journal, JournalRecord, Manifest, ManifestEntry, Segment, StoreError, StoredRelation,
@@ -39,6 +40,7 @@ use evirel_store::{
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn store_err(e: StoreError) -> QueryError {
     QueryError::Execution {
@@ -57,6 +59,23 @@ pub struct DurabilityStats {
     pub checkpoints: u64,
     /// Bindings currently persisted.
     pub bindings: u64,
+}
+
+/// Observability handles the durability layer records into once the
+/// owner attaches them ([`DurableCatalog::set_metrics`]). The serve
+/// layer wires these to its per-server registry; a bare
+/// [`DurableCatalog`] (tests, the REPL) records nothing. Recording is
+/// observation-only — it never changes what is written or when.
+#[derive(Debug, Clone)]
+pub struct DurableMetrics {
+    /// Latency of one journal append + fsync — the commit point every
+    /// mutation pays before its generation becomes observable.
+    pub journal_append: Histogram,
+    /// Wall-clock duration of each checkpoint (manifest swap, journal
+    /// truncation, segment GC).
+    pub checkpoint: Histogram,
+    /// Total segment-file bytes written by binds.
+    pub segment_bytes: Counter,
 }
 
 /// How many journal records a [`DurableCatalog`] retains in memory
@@ -161,6 +180,8 @@ pub struct DurableCatalog {
     /// a full resync — the records are no longer individually
     /// retained.
     retained_floor: u64,
+    /// Observability handles, when the owner attached any.
+    metrics: Option<DurableMetrics>,
 }
 
 impl DurableCatalog {
@@ -265,9 +286,27 @@ impl DurableCatalog {
                 retained,
                 retained_cap,
                 retained_floor,
+                metrics: None,
             },
             catalog,
         ))
+    }
+
+    /// Attach observability handles: subsequent journal appends,
+    /// checkpoints, and segment writes record into them.
+    pub fn set_metrics(&mut self, metrics: DurableMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Journal one record, timing the append + fsync when metrics are
+    /// attached.
+    fn timed_append(&mut self, record: &JournalRecord) -> Result<(), QueryError> {
+        let started = Instant::now();
+        self.journal.append(record).map_err(store_err)?;
+        if let Some(m) = &self.metrics {
+            m.journal_append.observe(started.elapsed());
+        }
+        Ok(())
     }
 
     /// The data directory.
@@ -321,6 +360,10 @@ impl DurableCatalog {
         let path = self.dir.join(&file);
         let meta = evirel_store::write_segment_meta(rel, &path, evirel_store::DEFAULT_PAGE_SIZE)
             .map_err(store_err)?;
+        if let Some(m) = &self.metrics {
+            m.segment_bytes
+                .add(std::fs::metadata(&meta.path).map_or(0, |f| f.len()));
+        }
         let record = JournalRecord::Bind {
             name: name.to_owned(),
             file: file.clone(),
@@ -329,7 +372,7 @@ impl DurableCatalog {
             tuple_count: meta.tuple_count,
             generation,
         };
-        self.journal.append(&record).map_err(store_err)?;
+        self.timed_append(&record)?;
         self.entries.insert(
             name.to_owned(),
             ManifestEntry {
@@ -356,7 +399,7 @@ impl DurableCatalog {
             name: name.to_owned(),
             generation,
         };
-        self.journal.append(&record).map_err(store_err)?;
+        self.timed_append(&record)?;
         self.entries.remove(name);
         self.committed_generation = self.committed_generation.max(generation);
         self.push_retained(record);
@@ -383,7 +426,11 @@ impl DurableCatalog {
             generation: self.committed_generation,
             entries: self.entries.values().cloned().collect(),
         };
+        let started = Instant::now();
         let outcome = checkpoint(&self.dir, &manifest, &mut self.journal).map_err(store_err)?;
+        if let Some(m) = &self.metrics {
+            m.checkpoint.observe(started.elapsed());
+        }
         self.checkpoints += 1;
         self.retained.clear();
         self.retained_floor = self.committed_generation;
@@ -493,7 +540,7 @@ impl DurableCatalog {
                 }
                 evirel_store::verify_segment(&self.dir, file, *checksum, *tuple_count)
                     .map_err(store_err)?;
-                self.journal.append(record).map_err(store_err)?;
+                self.timed_append(record)?;
                 self.entries.insert(
                     name.clone(),
                     ManifestEntry {
@@ -512,7 +559,7 @@ impl DurableCatalog {
                 }
             }
             JournalRecord::Drop { name, .. } => {
-                self.journal.append(record).map_err(store_err)?;
+                self.timed_append(record)?;
                 self.entries.remove(name);
             }
         }

@@ -52,15 +52,18 @@ pub mod snapshot;
 
 pub use catalog::Catalog;
 pub use durable::{
-    parse_retain_records, retain_records_cap, DurabilityStats, DurableCatalog, StreamPlan,
-    MAX_RETAIN_RECORDS, RETAINED_RECORDS_CAP,
+    parse_retain_records, retain_records_cap, DurabilityStats, DurableCatalog, DurableMetrics,
+    StreamPlan, MAX_RETAIN_RECORDS, RETAINED_RECORDS_CAP,
 };
 pub use error::QueryError;
 pub use exec::{execute, execute_parsed, execute_with_report, QueryOutcome};
 pub use parser::parse;
 pub use plan::{explain, explain_analyze_with, explain_with};
 pub use prepare::{normalize_eql, CacheStats, PlanCache, PreparedPlan};
-pub use session::{Session, SessionBudget, SessionOutcome};
+pub use session::{
+    register_query_collectors, slow_query_ms_from_env, Session, SessionBudget, SessionOutcome,
+    DEFAULT_SLOW_QUERY_MS, SLOW_QUERY_ENV,
+};
 pub use snapshot::{CatalogSnapshot, SharedCatalog};
 
 /// Result alias used across the crate.

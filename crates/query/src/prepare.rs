@@ -23,9 +23,11 @@ use crate::error::QueryError;
 use crate::lexer::Token;
 use crate::plan::lower_validated;
 use crate::snapshot::CatalogSnapshot;
+use evirel_obs::Trace;
 use evirel_plan::LogicalPlan;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Default number of cached plans before FIFO eviction.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
@@ -185,7 +187,27 @@ impl PlanCache {
         snapshot: &CatalogSnapshot,
         text: &str,
     ) -> Result<(Arc<PreparedPlan>, bool), QueryError> {
-        let normalized = normalize_eql(text);
+        let mut trace = Trace::new();
+        self.prepare_or_cached_traced(snapshot, text, &mut trace)
+    }
+
+    /// [`PlanCache::prepare_or_cached`], recording stage timings into
+    /// `trace`: `parse` (tokenize + canonical key), `cache_lookup`
+    /// (the locked map probe), and — on a miss — `lower_rewrite` (the
+    /// full prepare). On a hit, `lower_rewrite` is absent: that is
+    /// the skipped work the cache exists to amortize, and its absence
+    /// in a slow-query event is itself a signal.
+    ///
+    /// # Errors
+    /// As [`PlanCache::prepare_or_cached`].
+    pub fn prepare_or_cached_traced(
+        &self,
+        snapshot: &CatalogSnapshot,
+        text: &str,
+        trace: &mut Trace,
+    ) -> Result<(Arc<PreparedPlan>, bool), QueryError> {
+        let normalized = trace.time("parse", || normalize_eql(text));
+        let lookup_started = Instant::now();
         {
             let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             let fresh = inner
@@ -193,13 +215,24 @@ impl PlanCache {
                 .get(&normalized)
                 .filter(|p| p.generation() == snapshot.generation())
                 .cloned();
-            match fresh {
+            let outcome = match fresh {
                 Some(plan) => {
                     inner.stats.hits += 1;
-                    return Ok((plan, true));
+                    Some(plan)
                 }
-                None if inner.plans.contains_key(&normalized) => inner.stats.stale += 1,
-                None => inner.stats.misses += 1,
+                None if inner.plans.contains_key(&normalized) => {
+                    inner.stats.stale += 1;
+                    None
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    None
+                }
+            };
+            drop(inner);
+            trace.record("cache_lookup", lookup_started.elapsed());
+            if let Some(plan) = outcome {
+                return Ok((plan, true));
             }
         }
         // Prepare outside the lock: planning is the expensive part,
@@ -207,11 +240,13 @@ impl PlanCache {
         // not serialize. Two sessions racing on the *same* text both
         // prepare; the newest-generation plan wins the slot — wasted
         // work, never wrong results.
+        let prepare_started = Instant::now();
         let plan = Arc::new(PreparedPlan::prepare(
             snapshot.catalog(),
             snapshot.generation(),
             text,
         )?);
+        trace.record("lower_rewrite", prepare_started.elapsed());
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match inner.plans.get(&normalized).map(|p| p.generation()) {
             // A racing session already cached a *fresher* plan for

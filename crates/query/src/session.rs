@@ -13,10 +13,128 @@
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::exec::QueryOutcome;
-use crate::prepare::PlanCache;
+use crate::prepare::{PlanCache, PreparedPlan};
 use crate::snapshot::{CatalogSnapshot, SharedCatalog};
-use evirel_plan::ExecContext;
-use std::sync::Arc;
+use evirel_obs::{Counter, Event, Histogram, MetricsRegistry, Trace};
+use evirel_plan::{ExecContext, OpMeter};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+/// Environment knob: queries whose wall-clock time meets or exceeds
+/// this many milliseconds emit one structured `slow_query` event (to
+/// the registry's event log and stderr) with per-stage span timings
+/// and the plan's est-vs-actual row counts. `0` logs every query —
+/// useful for smoke tests and load drills. Invalid values warn once
+/// on stderr and fall back to [`DEFAULT_SLOW_QUERY_MS`].
+pub const SLOW_QUERY_ENV: &str = "EVIREL_SLOW_QUERY_MS";
+
+/// Default slow-query threshold when [`SLOW_QUERY_ENV`] is unset.
+pub const DEFAULT_SLOW_QUERY_MS: u64 = 500;
+
+/// The slow-query threshold from [`SLOW_QUERY_ENV`], reject-loudly:
+/// an unparsable value warns once on stderr (naming the value, the
+/// accepted form, and the default used) rather than silently changing
+/// what gets logged.
+pub fn slow_query_ms_from_env() -> u64 {
+    let Ok(raw) = std::env::var(SLOW_QUERY_ENV) else {
+        return DEFAULT_SLOW_QUERY_MS;
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(ms) => ms,
+        Err(_) => {
+            static WARNED: Once = Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "evirel: ignoring invalid {SLOW_QUERY_ENV}={raw:?}: expected a \
+                     non-negative integer of milliseconds (0 logs every query); \
+                     using default {DEFAULT_SLOW_QUERY_MS}"
+                );
+            });
+            DEFAULT_SLOW_QUERY_MS
+        }
+    }
+}
+
+/// Pre-registered handles for the per-query hot path, so executing a
+/// query touches only atomics — the registry's map lock is paid once
+/// per session, not once per query.
+#[derive(Debug, Clone)]
+struct QueryMetrics {
+    executions: Counter,
+    slow_queries: Counter,
+    total_seconds: Histogram,
+    stage_parse: Histogram,
+    stage_cache_lookup: Histogram,
+    stage_lower_rewrite: Histogram,
+    stage_execute: Histogram,
+    tuples_scanned: Counter,
+    tuples_emitted: Counter,
+    pairs_merged: Counter,
+    conflicts: Counter,
+}
+
+impl QueryMetrics {
+    fn new(registry: &MetricsRegistry) -> QueryMetrics {
+        let stage = |name: &str| {
+            registry.histogram(
+                "evirel_query_stage_seconds",
+                "Per-stage query lifecycle latency",
+                &[("stage", name)],
+            )
+        };
+        QueryMetrics {
+            executions: registry.counter(
+                "evirel_query_executions_total",
+                "Queries executed to completion",
+                &[],
+            ),
+            slow_queries: registry.counter(
+                "evirel_query_slow_total",
+                "Queries at or over the EVIREL_SLOW_QUERY_MS threshold",
+                &[],
+            ),
+            total_seconds: registry.histogram(
+                "evirel_query_seconds",
+                "End-to-end query latency (prepare + execute)",
+                &[],
+            ),
+            stage_parse: stage("parse"),
+            stage_cache_lookup: stage("cache_lookup"),
+            stage_lower_rewrite: stage("lower_rewrite"),
+            stage_execute: stage("execute"),
+            tuples_scanned: registry.counter(
+                "evirel_exec_tuples_scanned_total",
+                "Tuples pulled out of scan leaves",
+                &[],
+            ),
+            tuples_emitted: registry.counter(
+                "evirel_exec_tuples_emitted_total",
+                "Tuples emitted by plan roots",
+                &[],
+            ),
+            pairs_merged: registry.counter(
+                "evirel_exec_pairs_merged_total",
+                "Tuple pairs combined by \u{222a}\u{303}/\u{2229}\u{303} merges",
+                &[],
+            ),
+            conflicts: registry.counter(
+                "evirel_exec_conflicts_total",
+                "Conflict-report entries recorded during execution",
+                &[],
+            ),
+        }
+    }
+
+    fn stage_histogram(&self, stage: &str) -> Option<&Histogram> {
+        match stage {
+            "parse" => Some(&self.stage_parse),
+            "cache_lookup" => Some(&self.stage_cache_lookup),
+            "lower_rewrite" => Some(&self.stage_lower_rewrite),
+            "execute" => Some(&self.stage_execute),
+            _ => None,
+        }
+    }
+}
 
 /// Per-session resource limits, carved from the process budgets.
 /// `None` fields fall back to the pinned catalog's own settings.
@@ -67,31 +185,57 @@ pub struct Session {
     /// This session's resource slice.
     pub budget: SessionBudget,
     read_only: bool,
+    metrics: Arc<MetricsRegistry>,
+    qm: QueryMetrics,
+    slow_query_ms: u64,
 }
 
 impl Session {
     /// A session with default (uncapped) budgets.
     pub fn new(shared: Arc<SharedCatalog>, cache: Arc<PlanCache>) -> Session {
-        Session {
-            shared,
-            cache,
-            budget: SessionBudget::default(),
-            read_only: false,
-        }
+        Session::with_budget(shared, cache, SessionBudget::default())
     }
 
-    /// A session with an explicit budget.
+    /// A session with an explicit budget. Metrics land in the
+    /// process-wide [`evirel_obs::global`] registry until
+    /// [`Session::set_metrics`] plumbs in a specific one.
     pub fn with_budget(
         shared: Arc<SharedCatalog>,
         cache: Arc<PlanCache>,
         budget: SessionBudget,
     ) -> Session {
+        let metrics = Arc::clone(evirel_obs::global());
+        let qm = QueryMetrics::new(&metrics);
         Session {
             shared,
             cache,
             budget,
             read_only: false,
+            metrics,
+            qm,
+            slow_query_ms: slow_query_ms_from_env(),
         }
+    }
+
+    /// Route this session's metrics and slow-query events into
+    /// `registry` — the server plumbs its per-instance registry here
+    /// so concurrent in-process servers do not bleed counters into
+    /// each other.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.qm = QueryMetrics::new(&registry);
+        self.metrics = registry;
+    }
+
+    /// The registry this session's queries report into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Override the slow-query threshold (milliseconds; 0 logs every
+    /// query) for this session — tests and drills use this instead of
+    /// mutating the process environment.
+    pub fn set_slow_query_ms(&mut self, ms: u64) {
+        self.slow_query_ms = ms;
     }
 
     /// Mark this session read-only: every `update*` call returns
@@ -160,11 +304,23 @@ impl Session {
         snapshot: &CatalogSnapshot,
         text: &str,
     ) -> Result<SessionOutcome, QueryError> {
-        let (prepared, cached_plan) = self.cache.prepare_or_cached(snapshot, text)?;
+        let mut trace = Trace::new();
+        let (prepared, cached_plan) = self
+            .cache
+            .prepare_or_cached_traced(snapshot, text, &mut trace)?;
         let mut ctx = self.context_for(snapshot.catalog());
-        let relation =
-            evirel_plan::execute_optimized(prepared.optimized(), snapshot.catalog(), &mut ctx)?;
-        Ok(SessionOutcome {
+        let exec_started = Instant::now();
+        // Metered execution is observation only (see
+        // `execute_optimized_metered`): results are identical to the
+        // unmetered path, so instrumenting production queries cannot
+        // change what they produce.
+        let (relation, meters) = evirel_plan::execute_optimized_metered(
+            prepared.optimized(),
+            snapshot.catalog(),
+            &mut ctx,
+        )?;
+        trace.record("execute", exec_started.elapsed());
+        let outcome = SessionOutcome {
             outcome: QueryOutcome {
                 relation,
                 report: ctx.conflict_report(),
@@ -172,7 +328,82 @@ impl Session {
             },
             cached_plan,
             generation: snapshot.generation(),
-        })
+        };
+        self.observe_query(&prepared, &outcome, &trace, &meters);
+        Ok(outcome)
+    }
+
+    /// Flush one completed query into the registry: stage latency
+    /// histograms, the end-to-end histogram, and the execution
+    /// counters — and emit a slow-query event when the total meets
+    /// the threshold.
+    ///
+    /// This is the **only** place [`evirel_plan::ExecStats`] flow
+    /// into the registry, and it reads the parent context *after* the
+    /// exchange has re-merged its per-worker contexts — so parallel
+    /// queries count each tuple exactly once, including when a
+    /// fragment declines the exchange and re-recurses into an inner
+    /// one (the per-worker contexts are private to the exchange and
+    /// never flushed here).
+    fn observe_query(
+        &self,
+        prepared: &PreparedPlan,
+        outcome: &SessionOutcome,
+        trace: &Trace,
+        meters: &[OpMeter],
+    ) {
+        let qm = &self.qm;
+        qm.executions.inc();
+        for (stage, elapsed) in trace.stages() {
+            if let Some(h) = qm.stage_histogram(stage) {
+                h.observe(*elapsed);
+            }
+        }
+        let total = trace.total();
+        qm.total_seconds.observe(total);
+        let stats = &outcome.outcome.stats;
+        qm.tuples_scanned.add(stats.tuples_scanned as u64);
+        qm.tuples_emitted.add(stats.tuples_emitted as u64);
+        qm.pairs_merged.add(stats.pairs_merged as u64);
+        qm.conflicts.add(stats.conflicts as u64);
+
+        if total < Duration::from_millis(self.slow_query_ms) {
+            return;
+        }
+        qm.slow_queries.inc();
+        let mut event = Event::new("slow_query")
+            .field("eql", prepared.normalized())
+            .field("generation", outcome.generation)
+            .field("cached_plan", outcome.cached_plan)
+            .field(
+                "total_us",
+                total.as_micros().min(u128::from(u64::MAX)) as u64,
+            );
+        for (key, value) in trace.stage_fields() {
+            event.fields.push((key, value));
+        }
+        if let Some(root) = meters.first() {
+            event = event.field(
+                "root_est_rows",
+                root.est_rows
+                    .map_or_else(|| "?".to_owned(), |n| n.to_string()),
+            );
+            event = event.field("root_act_rows", root.actual_rows);
+        }
+        let plan_lines: Vec<String> = meters
+            .iter()
+            .map(|m| {
+                format!(
+                    "{} est={} act={}",
+                    m.describe,
+                    m.est_rows.map_or_else(|| "?".to_owned(), |n| n.to_string()),
+                    m.actual_rows
+                )
+            })
+            .collect();
+        event = event.field("plan", plan_lines.join("; "));
+        eprintln!("{}", event.render());
+        self.metrics.events().record(event);
     }
 
     /// Apply a catalog mutation as the next generation (see
@@ -261,6 +492,87 @@ impl Session {
             .spill_bytes
             .unwrap_or_else(|| catalog.pool.budget_bytes());
         ctx
+    }
+}
+
+/// Register the query-level collectors — plan cache and buffer pool /
+/// catalog generation — into `metrics`. Both the `evirel-serve`
+/// server (per-server registry) and the `eql` REPL (process-global
+/// registry) call this, so `STATS`, `METRICS`, `\cache` and `\pool`
+/// all read the same series names.
+///
+/// The closures capture only the narrow `Arc`s passed in — safe to
+/// call with a registry owned by a struct that also owns these Arcs
+/// without creating a reference cycle.
+pub fn register_query_collectors(
+    metrics: &MetricsRegistry,
+    catalog: &Arc<SharedCatalog>,
+    cache: &Arc<PlanCache>,
+) {
+    {
+        let cache = Arc::clone(cache);
+        let hits = metrics.counter(
+            "evirel_query_cache_hits_total",
+            "Plan-cache hits (lowering/rewrite skipped)",
+            &[],
+        );
+        let misses = metrics.counter("evirel_query_cache_misses_total", "Plan-cache misses", &[]);
+        let stale = metrics.counter(
+            "evirel_query_cache_stale_total",
+            "Plan-cache entries invalidated by a generation bump",
+            &[],
+        );
+        let evictions = metrics.counter(
+            "evirel_query_cache_evictions_total",
+            "Plan-cache FIFO evictions",
+            &[],
+        );
+        let entries = metrics.gauge("evirel_query_cache_entries", "Plan-cache entries", &[]);
+        metrics.register_collector("query.cache", move || {
+            let s = cache.stats();
+            hits.set_at_least(s.hits);
+            misses.set_at_least(s.misses);
+            stale.set_at_least(s.stale);
+            evictions.set_at_least(s.evictions);
+            entries.set(s.entries as u64);
+        });
+    }
+    {
+        let catalog = Arc::clone(catalog);
+        let generation = metrics.gauge(
+            "evirel_catalog_generation",
+            "Published catalog generation",
+            &[],
+        );
+        let hits = metrics.counter("evirel_store_pool_hits_total", "Buffer-pool page hits", &[]);
+        let misses = metrics.counter(
+            "evirel_store_pool_misses_total",
+            "Buffer-pool page misses (disk reads)",
+            &[],
+        );
+        let evictions = metrics.counter(
+            "evirel_store_pool_evictions_total",
+            "Buffer-pool page evictions",
+            &[],
+        );
+        let overcommits = metrics.counter(
+            "evirel_store_pool_overcommits_total",
+            "Pages admitted past the byte budget",
+            &[],
+        );
+        let bytes = metrics.gauge("evirel_store_pool_cached_bytes", "Bytes cached", &[]);
+        let pages = metrics.gauge("evirel_store_pool_cached_pages", "Pages cached", &[]);
+        metrics.register_collector("store.pool", move || {
+            let snapshot = catalog.pin();
+            generation.set(snapshot.generation());
+            let s = snapshot.catalog().pool.stats();
+            hits.set_at_least(s.hits);
+            misses.set_at_least(s.misses);
+            evictions.set_at_least(s.evictions);
+            overcommits.set_at_least(s.overcommits);
+            bytes.set(s.bytes_cached as u64);
+            pages.set(s.pages_cached as u64);
+        });
     }
 }
 
@@ -361,6 +673,122 @@ mod tests {
         })
         .unwrap();
         assert!(s.pin().catalog().get("x").is_some());
+    }
+
+    /// Satellite regression: per-worker `ExecContext` stats summed at
+    /// exchange re-merge must flow into the registry **exactly once**
+    /// — the flush reads the parent context after re-merge, never the
+    /// workers, so a parallel run reports the same registry totals as
+    /// a sequential one (a per-worker or in-exchange flush would
+    /// double-count whenever a declined exchange re-recurses into an
+    /// inner one).
+    #[test]
+    fn exec_stats_reach_registry_exactly_once_at_1_and_4_threads() {
+        use evirel_workload::generator::{generate_pair, GeneratorConfig, PairConfig};
+        let (ga, gb) = generate_pair(&PairConfig {
+            base: GeneratorConfig {
+                tuples: 600,
+                seed: 7,
+                ..Default::default()
+            },
+            key_overlap: 0.5,
+            conflict_bias: 0.0,
+        })
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("ga", ga);
+        c.register("gb", gb);
+        let shared = Arc::new(SharedCatalog::new(c));
+        // 600-tuple inputs clear the exchange's pay-off floor, so the
+        // 4-thread run really executes through exchange workers.
+        let run = |threads: usize| -> [u64; 4] {
+            let registry = Arc::new(MetricsRegistry::new());
+            let mut s = Session::new(Arc::clone(&shared), Arc::new(PlanCache::default()));
+            s.budget.parallelism = Some(threads);
+            s.set_metrics(Arc::clone(&registry));
+            let out = s.query("SELECT * FROM ga UNION gb").unwrap();
+            let value = |name: &str| registry.value(name, &[]).unwrap();
+            let totals = [
+                value("evirel_exec_tuples_scanned_total"),
+                value("evirel_exec_tuples_emitted_total"),
+                value("evirel_exec_pairs_merged_total"),
+                value("evirel_exec_conflicts_total"),
+            ];
+            // Registry totals equal the query's own stats (one query
+            // against a fresh registry): nothing lost, nothing
+            // counted twice.
+            assert_eq!(totals[0], out.outcome.stats.tuples_scanned as u64);
+            assert_eq!(totals[1], out.outcome.stats.tuples_emitted as u64);
+            assert_eq!(totals[2], out.outcome.stats.pairs_merged as u64);
+            assert_eq!(totals[3], out.outcome.stats.conflicts as u64);
+            assert!(totals[0] > 0 && totals[1] > 0 && totals[2] > 0);
+            assert_eq!(value("evirel_query_executions_total"), 1);
+            totals
+        };
+        assert_eq!(
+            run(1),
+            run(4),
+            "registry totals diverged across parallelism"
+        );
+    }
+
+    /// A throttled query (threshold 0 = log everything) lands one
+    /// `slow_query` event carrying the normalized EQL, generation,
+    /// per-stage spans, and est-vs-actual rows.
+    #[test]
+    fn slow_query_log_captures_stages_and_row_meters() {
+        let mut s = session();
+        let registry = Arc::new(MetricsRegistry::new());
+        s.set_metrics(Arc::clone(&registry));
+        s.set_slow_query_ms(0);
+        s.query("select  *  from ra  union rb ;").unwrap();
+        let events = registry.events().snapshot();
+        assert_eq!(events.len(), 1);
+        let event = &events[0];
+        assert_eq!(event.kind, "slow_query");
+        let field = |k: &str| {
+            event
+                .fields
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("missing field {k} in {event:?}"))
+        };
+        // Normalized EQL, not the raw text.
+        assert_eq!(field("eql"), "SELECT * FROM ra UNION rb");
+        assert_eq!(field("generation"), "0");
+        assert_eq!(field("cached_plan"), "false");
+        for stage in [
+            "parse_us",
+            "cache_lookup_us",
+            "lower_rewrite_us",
+            "execute_us",
+        ] {
+            field(stage).parse::<u64>().unwrap();
+        }
+        // Root meter: 6 rows actually emitted by the union.
+        assert_eq!(field("root_act_rows"), "6");
+        assert!(field("plan").contains("act="), "{event:?}");
+        assert_eq!(registry.value("evirel_query_slow_total", &[]), Some(1));
+        // A second, cached run records a hit trace: lower_rewrite is
+        // absent (that work was skipped), cached_plan flips to true.
+        s.query("SELECT * FROM ra UNION rb").unwrap();
+        let events = registry.events().snapshot();
+        assert_eq!(events.len(), 2);
+        let cached = &events[1];
+        assert!(cached
+            .fields
+            .iter()
+            .any(|(k, v)| k == "cached_plan" && v == "true"));
+        assert!(!cached.fields.iter().any(|(k, _)| k == "lower_rewrite_us"));
+        // Above-threshold sessions stay quiet for fast queries.
+        let mut quiet = session();
+        let registry = Arc::new(MetricsRegistry::new());
+        quiet.set_metrics(Arc::clone(&registry));
+        quiet.set_slow_query_ms(60_000);
+        quiet.query("SELECT * FROM ra").unwrap();
+        assert!(registry.events().snapshot().is_empty());
+        assert_eq!(registry.value("evirel_query_slow_total", &[]), Some(0));
     }
 
     #[test]

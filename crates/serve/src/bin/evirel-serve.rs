@@ -40,7 +40,14 @@
 //! The process budgets come from the environment: `EVIREL_THREADS`
 //! (total worker threads for query execution, carved across the
 //! session pool) and `EVIREL_BUFFER_BYTES` (buffer-pool/spill
-//! budget, likewise carved). The server prints one line —
+//! budget, likewise carved). `EVIREL_SLOW_QUERY_MS` sets the
+//! slow-query threshold: queries at or above it emit one structured
+//! `slow_query` event (normalized EQL, per-stage span timings,
+//! est-vs-actual rows) to stderr and the in-process event ring —
+//! default 500, `0` logs every query, junk values warn once and fall
+//! back. Every counter the server keeps is scrapable over the
+//! `METRICS` verb in Prometheus text form; `STATS` renders the same
+//! registry human-readably. The server prints one line —
 //! `evirel-serve listening on <addr>` — to stdout once the socket is
 //! bound, then runs until a client sends `SHUTDOWN` — which only
 //! loopback clients may do unless `--allow-remote-shutdown` is given

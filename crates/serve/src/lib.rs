@@ -28,6 +28,15 @@
 //!   discipline, serve reads at the applied generation, reject
 //!   writes with `ERR readonly`, and can be promoted (`PROMOTE`, or
 //!   `--promote-on-disconnect`) when the primary dies.
+//! * **Observability** — every server owns an
+//!   [`evirel_obs::MetricsRegistry`]: per-verb request counters and
+//!   latency histograms, queue-depth/worker gauges, byte counters,
+//!   plus pull-collectors mirroring the plan cache, buffer pool,
+//!   durable catalog, and replication state. The `METRICS` verb
+//!   scrapes it as Prometheus text; `STATS` renders the same
+//!   registry human-readably, so the two can never disagree. Queries
+//!   at or above `EVIREL_SLOW_QUERY_MS` emit structured `slow_query`
+//!   events with per-stage span timings.
 //!
 //! ```no_run
 //! use evirel_query::Catalog;

@@ -22,6 +22,10 @@
 //!                              (write — publishes a new generation)
 //! STATS                        server/cache/pool counters plus
 //!                              per-relation planner statistics
+//! METRICS                      every counter/gauge/histogram in
+//!                              Prometheus text exposition (`# TYPE`
+//!                              lines, stable `evirel_*` names) —
+//!                              the scrape endpoint
 //! FOLLOW <generation>          become a replication subscriber: "I
 //!                              have applied through <generation>;
 //!                              stream me everything after it". The
@@ -198,6 +202,9 @@ pub enum Request {
     },
     /// Server, plan-cache, and buffer-pool counters.
     Stats,
+    /// Every metric in Prometheus text exposition — the scrape
+    /// endpoint. Same numbers as `STATS`, machine-readable.
+    Metrics,
     /// Subscribe to the replication stream from the generation after
     /// `from` (the subscriber's last applied generation).
     Follow {
@@ -226,6 +233,7 @@ impl Request {
         let request = match verb {
             "PING" => Request::Ping,
             "STATS" => Request::Stats,
+            "METRICS" => Request::Metrics,
             "SHUTDOWN" => Request::Shutdown,
             "PROMOTE" => Request::Promote,
             "FOLLOW" => {
@@ -280,12 +288,29 @@ impl Request {
         match self {
             Request::Ping => "PING".into(),
             Request::Stats => "STATS".into(),
+            Request::Metrics => "METRICS".into(),
             Request::Shutdown => "SHUTDOWN".into(),
             Request::Promote => "PROMOTE".into(),
             Request::Follow { from } => format!("FOLLOW {from}"),
             Request::Query(q) => format!("QUERY\n{q}"),
             Request::Explain(q) => format!("EXPLAIN\n{q}"),
             Request::Merge { name, query } => format!("MERGE {name}\n{query}"),
+        }
+    }
+
+    /// The lowercase verb name — the stable `verb` label value on the
+    /// server's per-verb request counters and latency histograms.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Query(_) => "query",
+            Request::Explain(_) => "explain",
+            Request::Merge { .. } => "merge",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Follow { .. } => "follow",
+            Request::Promote => "promote",
+            Request::Shutdown => "shutdown",
         }
     }
 }
@@ -719,6 +744,7 @@ mod tests {
         for req in [
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
             Request::Promote,
             Request::Follow { from: 0 },
@@ -735,6 +761,32 @@ mod tests {
     }
 
     #[test]
+    fn verb_labels_are_lowercase_and_distinct() {
+        let verbs: Vec<&str> = [
+            Request::Ping,
+            Request::Query(String::new()),
+            Request::Explain(String::new()),
+            Request::Merge {
+                name: String::new(),
+                query: String::new(),
+            },
+            Request::Stats,
+            Request::Metrics,
+            Request::Follow { from: 0 },
+            Request::Promote,
+            Request::Shutdown,
+        ]
+        .iter()
+        .map(Request::verb)
+        .collect();
+        let unique: std::collections::BTreeSet<&&str> = verbs.iter().collect();
+        assert_eq!(unique.len(), verbs.len(), "labels must be distinct");
+        for v in verbs {
+            assert_eq!(v, v.to_ascii_lowercase(), "labels are lowercase");
+        }
+    }
+
+    #[test]
     fn malformed_requests_are_typed_errors() {
         for bad in [
             "",
@@ -746,6 +798,7 @@ mod tests {
             "MERGE name-with-dash\nSELECT * FROM ra",
             "MERGE two names\nSELECT * FROM ra",
             "PING extra",
+            "METRICS now",
             "FOLLOW",
             "FOLLOW abc",
             "FOLLOW -1",

@@ -226,6 +226,14 @@ pub struct ApplyCtx<'a> {
     pub records_applied: &'a AtomicU64,
     /// Incremented per full-state snapshot installed.
     pub resyncs: &'a AtomicU64,
+    /// Highest generation the primary has announced (records,
+    /// snapshots, or `GEN` heartbeats) — the minuend of the
+    /// replication-lag gauge (`primary - applied`).
+    pub primary_generation: &'a AtomicU64,
+    /// Unix milliseconds of the last frame received from the primary;
+    /// 0 until the first frame. The heartbeat-age gauge subtracts
+    /// this from now.
+    pub heartbeat_unix_ms: &'a AtomicU64,
 }
 
 /// Apply stream frames from `r` until the stream ends, `stop` turns
@@ -252,6 +260,8 @@ pub fn apply_stream(r: &mut impl Read, ctx: &ApplyCtx<'_>) -> io::Result<()> {
         };
         let frame = StreamFrame::parse(&payload)
             .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        // Every frame is proof of life — heartbeats included.
+        ctx.heartbeat_unix_ms.store(unix_ms(), Ordering::Relaxed);
         match frame {
             StreamFrame::Seg {
                 file,
@@ -282,8 +292,15 @@ pub fn apply_stream(r: &mut impl Read, ctx: &ApplyCtx<'_>) -> io::Result<()> {
                 }
                 install_snapshot(ctx, &dir, generation, entries)?;
                 ctx.resyncs.fetch_add(1, Ordering::Relaxed);
+                ctx.primary_generation
+                    .fetch_max(generation, Ordering::Relaxed);
             }
-            StreamFrame::Gen { .. } => {} // heartbeat: liveness only
+            // Heartbeat: liveness, plus the primary's committed
+            // generation — what the lag gauge measures against.
+            StreamFrame::Gen { committed } => {
+                ctx.primary_generation
+                    .fetch_max(committed, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -309,7 +326,17 @@ fn apply_record(ctx: &ApplyCtx<'_>, dir: &Path, record: &JournalRecord) -> io::R
             .map_err(to_io)?,
     }
     ctx.records_applied.fetch_add(1, Ordering::Relaxed);
+    ctx.primary_generation
+        .fetch_max(generation, Ordering::Relaxed);
     Ok(())
+}
+
+/// Wall-clock Unix milliseconds — heartbeat timestamps only, never
+/// ordering.
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
 }
 
 /// Install a full-state snapshot: durable manifest swap first, then

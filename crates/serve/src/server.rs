@@ -31,8 +31,12 @@ use crate::protocol::{read_frame_with, write_frame, Request, Response};
 use crate::replicate::{
     follower_loop, serve_follow, ApplyCtx, FollowerExit, RetryPolicy, SenderCtx,
 };
-use evirel_query::{Catalog, DurableCatalog, PlanCache, Session, SessionBudget, SharedCatalog};
-use std::collections::VecDeque;
+use evirel_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use evirel_query::{
+    register_query_collectors, Catalog, DurableCatalog, DurableMetrics, PlanCache, Session,
+    SessionBudget, SharedCatalog,
+};
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,24 +122,26 @@ impl Default for ServeConfig {
     }
 }
 
-/// Monotonic server counters (all relaxed atomics — they are
-/// observability, not synchronization).
-#[derive(Debug, Default)]
+/// Monotonic server counters. Each field is a handle onto a series in
+/// the server's [`MetricsRegistry`] — `STATS`, `METRICS`, and
+/// [`ServerHandle::stats`] all read the same underlying atomics, so
+/// the numbers cannot disagree across surfaces.
+#[derive(Debug)]
 pub struct ServerStats {
     /// Connections admitted to the pending queue.
-    pub accepted: AtomicU64,
+    pub accepted: Counter,
     /// Connections rejected with `BUSY` at the admission gate.
-    pub rejected_busy: AtomicU64,
+    pub rejected_busy: Counter,
     /// Sessions served to completion by workers.
-    pub sessions: AtomicU64,
+    pub sessions: Counter,
     /// Requests handled (any verb, any outcome).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// `ERR` responses sent (typed failures, including protocol).
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Worker panics caught and converted to `ERR panic`.
-    pub panics: AtomicU64,
+    pub panics: Counter,
     /// Successful `MERGE` writes (generation bumps).
-    pub merges: AtomicU64,
+    pub merges: Counter,
 }
 
 /// A plain-data copy of [`ServerStats`] at one instant.
@@ -158,16 +164,135 @@ pub struct StatsSnapshot {
 }
 
 impl ServerStats {
+    fn new(registry: &MetricsRegistry) -> ServerStats {
+        ServerStats {
+            accepted: registry.counter(
+                "evirel_serve_connections_accepted_total",
+                "Connections admitted to the pending queue",
+                &[],
+            ),
+            rejected_busy: registry.counter(
+                "evirel_serve_busy_rejected_total",
+                "Connections rejected with BUSY at the admission gate",
+                &[],
+            ),
+            sessions: registry.counter(
+                "evirel_serve_sessions_total",
+                "Sessions served to completion by workers",
+                &[],
+            ),
+            requests: registry.counter(
+                "evirel_serve_requests_handled_total",
+                "Requests handled, any verb, any outcome",
+                &[],
+            ),
+            errors: registry.counter(
+                "evirel_serve_request_errors_total",
+                "ERR responses sent (typed failures, including protocol)",
+                &[],
+            ),
+            panics: registry.counter(
+                "evirel_serve_panics_total",
+                "Worker panics caught and converted to ERR panic",
+                &[],
+            ),
+            merges: registry.counter(
+                "evirel_serve_merges_total",
+                "Successful MERGE writes (generation bumps)",
+                &[],
+            ),
+        }
+    }
+
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
-            sessions: self.sessions.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            merges: self.merges.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            rejected_busy: self.rejected_busy.get(),
+            sessions: self.sessions.get(),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            panics: self.panics.get(),
+            merges: self.merges.get(),
         }
+    }
+}
+
+/// The `verb` label values the per-verb series pre-register (the
+/// protocol's verbs plus `invalid` for unparseable requests). Handles
+/// are created once at startup so the per-request hot path touches
+/// only atomics, never the registry lock.
+const VERB_LABELS: [&str; 10] = [
+    "ping", "query", "explain", "merge", "stats", "metrics", "follow", "promote", "shutdown",
+    "invalid",
+];
+
+/// Per-verb observation handles.
+struct VerbMetrics {
+    /// `evirel_serve_requests_total{verb=…}`.
+    requests: Counter,
+    /// `evirel_serve_request_seconds{verb=…}`.
+    latency: Histogram,
+}
+
+/// Serve-layer instrumentation beyond the [`ServerStats`] counters:
+/// per-verb traffic, queue pressure, worker utilization, wire volume.
+struct ServeMetrics {
+    queue_depth: Gauge,
+    workers_busy: Gauge,
+    bytes_read: Counter,
+    bytes_written: Counter,
+    verbs: BTreeMap<&'static str, VerbMetrics>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> ServeMetrics {
+        let verbs = VERB_LABELS
+            .iter()
+            .map(|&verb| {
+                (
+                    verb,
+                    VerbMetrics {
+                        requests: registry.counter(
+                            "evirel_serve_requests_total",
+                            "Requests received, by verb",
+                            &[("verb", verb)],
+                        ),
+                        latency: registry.histogram(
+                            "evirel_serve_request_seconds",
+                            "Request handling latency, by verb",
+                            &[("verb", verb)],
+                        ),
+                    },
+                )
+            })
+            .collect();
+        ServeMetrics {
+            queue_depth: registry.gauge(
+                "evirel_serve_queue_depth",
+                "Connections waiting in the pending queue",
+                &[],
+            ),
+            workers_busy: registry.gauge(
+                "evirel_serve_workers_busy",
+                "Workers currently serving a session",
+                &[],
+            ),
+            bytes_read: registry.counter(
+                "evirel_serve_bytes_read_total",
+                "Request bytes received, frame headers included",
+                &[],
+            ),
+            bytes_written: registry.counter(
+                "evirel_serve_bytes_written_total",
+                "Response bytes sent, frame headers included",
+                &[],
+            ),
+            verbs,
+        }
+    }
+
+    fn verb(&self, verb: &str) -> &VerbMetrics {
+        self.verbs.get(verb).unwrap_or(&self.verbs["invalid"])
     }
 }
 
@@ -195,6 +320,12 @@ struct Replication {
     reconnects: AtomicU64,
     /// Whether the follower link is currently up.
     connected: AtomicBool,
+    /// Highest generation the primary announced (follower side) —
+    /// the minuend of the replication-lag gauge.
+    primary_generation: AtomicU64,
+    /// Unix milliseconds of the last stream frame received (follower
+    /// side); 0 until the first frame.
+    heartbeat_unix_ms: AtomicU64,
 }
 
 impl Replication {
@@ -209,6 +340,8 @@ impl Replication {
             resyncs: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             connected: AtomicBool::new(false),
+            primary_generation: AtomicU64::new(0),
+            heartbeat_unix_ms: AtomicU64::new(0),
         }
     }
 
@@ -246,6 +379,12 @@ pub struct ReplicationSnapshot {
 struct Shared {
     shared: Arc<SharedCatalog>,
     cache: Arc<PlanCache>,
+    /// This server's metrics registry, fresh per [`start`] — two
+    /// in-process servers never bleed counters into each other.
+    /// Sessions flush their execution stats here, and the `METRICS`
+    /// verb renders it.
+    metrics: Arc<MetricsRegistry>,
+    serve_metrics: ServeMetrics,
     stats: ServerStats,
     queue: Mutex<VecDeque<TcpStream>>,
     ready: Condvar,
@@ -258,10 +397,14 @@ struct Shared {
     /// inside the catalog write lock, so a mutation is fsync'd before
     /// its generation is observable; the mutex only ever contends
     /// among writers, which the write lock already serializes.
-    durable: Option<Mutex<DurableCatalog>>,
+    /// Arc'd so the scrape-time durability collector can hold it
+    /// without owning the whole [`Shared`] (which owns the registry —
+    /// a collector capturing `Shared` would leak the server).
+    durable: Option<Arc<Mutex<DurableCatalog>>>,
     /// Replication role and counters (present on every server; a
     /// plain primary just never flips out of the `primary` role).
-    replication: Replication,
+    /// Arc'd for the same collector-capture reason as `durable`.
+    replication: Arc<Replication>,
 }
 
 impl Shared {
@@ -306,6 +449,13 @@ impl ServerHandle {
     /// Current server counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// This server's metrics registry — what the `METRICS` verb
+    /// renders. Fresh per server: in-process servers never share
+    /// counters.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
     }
 
     /// Current replication role and counters.
@@ -418,18 +568,53 @@ pub fn start_with_durability(
     let generation = durable
         .as_ref()
         .map_or(0, DurableCatalog::recovered_generation);
+    let metrics = Arc::new(MetricsRegistry::new());
+    let stats = ServerStats::new(&metrics);
+    let serve_metrics = ServeMetrics::new(&metrics);
+    let replication = Arc::new(Replication::new(config.follow.is_some()));
+    let durable = durable.map(|mut d| {
+        d.set_metrics(DurableMetrics {
+            journal_append: metrics.histogram(
+                "evirel_store_journal_append_seconds",
+                "Journal append + fsync latency (the commit point of every mutation)",
+                &[],
+            ),
+            checkpoint: metrics.histogram(
+                "evirel_store_checkpoint_seconds",
+                "Checkpoint duration (manifest swap, journal truncation, segment GC)",
+                &[],
+            ),
+            segment_bytes: metrics.counter(
+                "evirel_store_segment_bytes_total",
+                "Segment-file bytes written by binds",
+                &[],
+            ),
+        });
+        Arc::new(Mutex::new(d))
+    });
+    let shared_catalog = Arc::new(SharedCatalog::with_generation(catalog, generation));
+    let cache = Arc::new(PlanCache::default());
+    register_collectors(
+        &metrics,
+        &shared_catalog,
+        &cache,
+        &replication,
+        durable.as_ref(),
+    );
     let shared = Arc::new(Shared {
-        shared: Arc::new(SharedCatalog::with_generation(catalog, generation)),
-        cache: Arc::new(PlanCache::default()),
-        stats: ServerStats::default(),
+        shared: shared_catalog,
+        cache,
+        metrics,
+        serve_metrics,
+        stats,
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
         addr,
-        replication: Replication::new(config.follow.is_some()),
+        replication,
         config: ServeConfig { workers, ..config },
         budget,
-        durable: durable.map(Mutex::new),
+        durable,
     });
 
     let accept = {
@@ -466,6 +651,119 @@ pub fn start_with_durability(
     })
 }
 
+/// Mirror the subsystems that keep their own counters — plan cache,
+/// buffer pool, replication, durability — into the registry at scrape
+/// time, so `METRICS` and `STATS` read one source of truth. Each
+/// collector runs on [`MetricsRegistry::refresh`] (every scrape) and
+/// touches only narrow `Arc`s, never the whole [`Shared`] — which
+/// owns the registry, so capturing it would cycle and leak the
+/// server. [`Counter::set_at_least`] keeps mirrored counters monotone.
+fn register_collectors(
+    metrics: &Arc<MetricsRegistry>,
+    catalog: &Arc<SharedCatalog>,
+    cache: &Arc<PlanCache>,
+    replication: &Arc<Replication>,
+    durable: Option<&Arc<Mutex<DurableCatalog>>>,
+) {
+    // Plan-cache + buffer-pool/generation collectors are shared with
+    // the `eql` REPL so both surfaces expose identical series names.
+    register_query_collectors(metrics, catalog, cache);
+    {
+        let repl = Arc::clone(replication);
+        let catalog = Arc::clone(catalog);
+        let followers = metrics.gauge(
+            "evirel_repl_followers",
+            "FOLLOW subscriptions currently attached",
+            &[],
+        );
+        let sent = metrics.counter(
+            "evirel_repl_records_sent_total",
+            "Records or snapshots shipped to followers",
+            &[],
+        );
+        let applied = metrics.counter(
+            "evirel_repl_records_applied_total",
+            "Records applied from a primary",
+            &[],
+        );
+        let resyncs = metrics.counter(
+            "evirel_repl_resyncs_total",
+            "Full-state resyncs installed",
+            &[],
+        );
+        let reconnects = metrics.counter(
+            "evirel_repl_reconnects_total",
+            "Reconnect attempts after the initial connection",
+            &[],
+        );
+        let connected = metrics.gauge(
+            "evirel_repl_connected",
+            "Whether the follower link is up (0/1)",
+            &[],
+        );
+        let lag = metrics.gauge(
+            "evirel_repl_generation_lag",
+            "Primary generation minus locally applied generation",
+            &[],
+        );
+        let heartbeat_age = metrics.gauge(
+            "evirel_repl_heartbeat_age_seconds",
+            "Seconds since the last stream frame from the primary",
+            &[],
+        );
+        metrics.register_collector("replication", move || {
+            followers.set(repl.followers.load(Ordering::Relaxed));
+            sent.set_at_least(repl.records_sent.load(Ordering::Relaxed));
+            applied.set_at_least(repl.records_applied.load(Ordering::Relaxed));
+            resyncs.set_at_least(repl.resyncs.load(Ordering::Relaxed));
+            reconnects.set_at_least(repl.reconnects.load(Ordering::Relaxed));
+            connected.set(u64::from(repl.connected.load(Ordering::SeqCst)));
+            let primary = repl.primary_generation.load(Ordering::Relaxed);
+            lag.set(primary.saturating_sub(catalog.generation()));
+            let hb = repl.heartbeat_unix_ms.load(Ordering::Relaxed);
+            heartbeat_age.set(if hb == 0 {
+                0
+            } else {
+                unix_ms().saturating_sub(hb) / 1000
+            });
+        });
+    }
+    if let Some(durable) = durable {
+        let durable = Arc::clone(durable);
+        let committed = metrics.gauge(
+            "evirel_store_committed_generation",
+            "Last journaled or checkpointed generation",
+            &[],
+        );
+        let journal_records = metrics.gauge(
+            "evirel_store_journal_records",
+            "Journal records since the last checkpoint",
+            &[],
+        );
+        let checkpoints = metrics.counter(
+            "evirel_store_checkpoints_total",
+            "Checkpoints taken since open",
+            &[],
+        );
+        let bindings = metrics.gauge("evirel_store_bindings", "Bindings currently persisted", &[]);
+        metrics.register_collector("store.durable", move || {
+            let d = durable.lock().unwrap_or_else(|e| e.into_inner());
+            let s = d.stats();
+            committed.set(s.committed_generation);
+            journal_records.set(s.journal_records);
+            checkpoints.set_at_least(s.checkpoints);
+            bindings.set(s.bindings);
+        });
+    }
+}
+
+/// Wall-clock Unix milliseconds — heartbeat-age arithmetic only.
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
 /// The follower thread: follow the primary until shutdown, promotion,
 /// or (with `promote_on_disconnect`) the retry budget runs out; then
 /// release read-only mode if promotion applies.
@@ -474,7 +772,7 @@ fn run_follower(shared: &Shared, follow: &FollowConfig) {
     let stop = || shared.shutdown.load(Ordering::SeqCst) || repl.promote.load(Ordering::SeqCst);
     let durable = shared
         .durable
-        .as_ref()
+        .as_deref()
         .expect("follower servers always have a durability layer");
     let ctx = ApplyCtx {
         catalog: &shared.shared,
@@ -482,6 +780,8 @@ fn run_follower(shared: &Shared, follow: &FollowConfig) {
         stop: &stop,
         records_applied: &repl.records_applied,
         resyncs: &repl.resyncs,
+        primary_generation: &repl.primary_generation,
+        heartbeat_unix_ms: &repl.heartbeat_unix_ms,
     };
     let policy = RetryPolicy {
         initial_backoff: follow.initial_backoff,
@@ -519,12 +819,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() < shared.config.max_pending {
             queue.push_back(stream);
+            shared.serve_metrics.queue_depth.set(queue.len() as u64);
             drop(queue);
-            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.stats.accepted.inc();
             shared.ready.notify_one();
         } else {
             drop(queue);
-            shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            shared.stats.rejected_busy.inc();
             let busy = Response::Busy {
                 message: format!(
                     "server at capacity ({} pending sessions); back off and retry",
@@ -543,6 +844,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(c) = queue.pop_front() {
+                    shared.serve_metrics.queue_depth.set(queue.len() as u64);
                     break Some(c);
                 }
                 // Drain-then-exit: pending sessions admitted before
@@ -558,8 +860,10 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(stream) = conn else { return };
-        shared.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        shared.stats.sessions.inc();
+        shared.serve_metrics.workers_busy.add(1);
         serve_connection(stream, shared);
+        shared.serve_metrics.workers_busy.sub(1);
     }
 }
 
@@ -570,11 +874,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let shutdown_allowed =
         shutdown_permitted(stream.peer_addr(), shared.config.allow_remote_shutdown);
-    let session = Session::with_budget(
+    let mut session = Session::with_budget(
         Arc::clone(&shared.shared),
         Arc::clone(&shared.cache),
         shared.budget,
     );
+    // Query spans, slow-query events, and execution-stat counters all
+    // land in *this server's* registry, not the process-global one.
+    session.set_metrics(Arc::clone(&shared.metrics));
     loop {
         // A timeout here means the session is *idle* — read_frame_with
         // keeps retrying on its own once any frame byte has arrived,
@@ -596,20 +903,32 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             }
             Err(_) => return, // torn frame / reset — nothing to answer
         };
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared.stats.requests.inc();
+        shared
+            .serve_metrics
+            .bytes_read
+            .add((payload.len() + 4) as u64);
+        // Parse once: the verb labels the per-verb counter/latency
+        // series, FOLLOW is intercepted below, and handle_request
+        // gets the already-parsed request.
+        let parsed = Request::parse(&payload);
+        let verb_metrics = shared
+            .serve_metrics
+            .verb(parsed.as_ref().map_or("invalid", Request::verb));
+        verb_metrics.requests.inc();
         // FOLLOW takes the whole connection over: the stream stops
         // being request/response and becomes a one-way record feed,
         // so it is handled here (where the socket lives), not in
         // handle_request. The subscription occupies this worker for
         // its lifetime — size `workers` accordingly.
-        if let Ok(Request::Follow { from }) = Request::parse(&payload) {
-            let Some(durable) = &shared.durable else {
+        if let Ok(Request::Follow { from }) = &parsed {
+            let Some(durable) = shared.durable.as_deref() else {
                 let err = Response::error(
                     "unsupported",
                     "this server has no durability layer (no --data-dir); \
                      there is no journal to stream",
                 );
-                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.errors.inc();
                 if write_frame(&mut stream, &err.encode()).is_err() {
                     return;
                 }
@@ -623,7 +942,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 poll: shared.config.poll_interval,
                 records_sent: &shared.replication.records_sent,
             };
-            let _ = serve_follow(&mut stream, &ctx, from);
+            let _ = serve_follow(&mut stream, &ctx, *from);
             shared.replication.followers.fetch_sub(1, Ordering::SeqCst);
             return; // the stream is spent either way
         }
@@ -632,20 +951,27 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         // session only holds Arc'd shared state whose invariants the
         // RCU snapshot layer protects, so resuming after a caught
         // panic is sound.
+        let started = Instant::now();
         let handled = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&session, &payload, shared, shutdown_allowed)
+            handle_request(&session, parsed, shared, shutdown_allowed)
         }));
         let (response, shutdown_after) = handled.unwrap_or_else(|_| {
-            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            shared.stats.panics.inc();
             (
                 Response::error("panic", "internal panic while handling request"),
                 false,
             )
         });
+        verb_metrics.latency.observe(started.elapsed());
         if matches!(response, Response::Err { .. }) {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
         }
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let encoded = response.encode();
+        shared
+            .serve_metrics
+            .bytes_written
+            .add((encoded.len() + 4) as u64);
+        if write_frame(&mut stream, &encoded).is_err() {
             return; // peer gone mid-response
         }
         if shutdown_after {
@@ -665,14 +991,16 @@ fn shutdown_permitted(peer: io::Result<SocketAddr>, allow_remote: bool) -> bool 
 /// Handle one request; the bool asks the caller to begin shutdown
 /// after the response frame is written. `shutdown_allowed` is the
 /// per-connection SHUTDOWN gate (loopback peer, or the
-/// [`ServeConfig::allow_remote_shutdown`] opt-in).
+/// [`ServeConfig::allow_remote_shutdown`] opt-in). The request
+/// arrives pre-parsed — the caller needed the verb for its per-verb
+/// series before dispatching.
 fn handle_request(
     session: &Session,
-    payload: &str,
+    request: Result<Request, String>,
     shared: &Shared,
     shutdown_allowed: bool,
 ) -> (Response, bool) {
-    let request = match Request::parse(payload) {
+    let request = match request {
         Ok(r) => r,
         Err(message) => return (Response::error("protocol", message), false),
     };
@@ -704,6 +1032,14 @@ fn handle_request(
         },
         Request::Merge { name, query } => (merge_response(session, shared, &name, &query), false),
         Request::Stats => (stats_response(session, shared), false),
+        // The scrape endpoint: refresh collector-mirrored series and
+        // render the whole registry as Prometheus text exposition.
+        Request::Metrics => (
+            Response::Ok {
+                body: shared.metrics.render(),
+            },
+            false,
+        ),
         // FOLLOW is intercepted in serve_connection (it takes the
         // socket over); reaching it here means the takeover path was
         // bypassed, which only tests do.
@@ -819,7 +1155,7 @@ fn merge_response(session: &Session, shared: &Shared, name: &str, query: &str) -
         // the shared counter here could already see a concurrent
         // writer's later bump.
         Ok(((), generation)) => {
-            shared.stats.merges.fetch_add(1, Ordering::Relaxed);
+            shared.stats.merges.inc();
             Response::Ok {
                 body: format!("merged {name} tuples={tuples} generation={generation}"),
             }
@@ -829,37 +1165,43 @@ fn merge_response(session: &Session, shared: &Shared, name: &str, query: &str) -
 }
 
 fn stats_response(session: &Session, shared: &Shared) -> Response {
-    let s = shared.stats.snapshot();
-    let c = shared.cache.stats();
+    // One source of truth: refresh the collector-mirrored series,
+    // then read every number back out of the registry — `STATS` and
+    // `METRICS` render the same counters and cannot disagree. Only
+    // non-numeric state (role, data dir, relation statistics) comes
+    // from the subsystems directly.
+    shared.metrics.refresh();
+    let v = |name: &str| shared.metrics.value(name, &[]).unwrap_or(0);
     let snapshot = session.pin();
-    let pool = snapshot.catalog().pool.stats();
     let durability = match &shared.durable {
         Some(durable) => {
-            let durable = durable.lock().unwrap_or_else(|e| e.into_inner());
-            let d = durable.stats();
+            let dir = durable
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .dir()
+                .display()
+                .to_string();
             format!(
-                "durability dir={} generation_committed={} journal_records={} \
+                "durability dir={dir} generation_committed={} journal_records={} \
                  checkpoints={} bindings={}",
-                durable.dir().display(),
-                d.committed_generation,
-                d.journal_records,
-                d.checkpoints,
-                d.bindings,
+                v("evirel_store_committed_generation"),
+                v("evirel_store_journal_records"),
+                v("evirel_store_checkpoints_total"),
+                v("evirel_store_bindings"),
             )
         }
         None => "durability off".into(),
     };
-    let r = &shared.replication;
     let replication = format!(
         "replication role={} followers={} sent={} applied={} resyncs={} \
          reconnects={} connected={}",
-        r.role(),
-        r.followers.load(Ordering::Relaxed),
-        r.records_sent.load(Ordering::Relaxed),
-        r.records_applied.load(Ordering::Relaxed),
-        r.resyncs.load(Ordering::Relaxed),
-        r.reconnects.load(Ordering::Relaxed),
-        u8::from(r.connected.load(Ordering::SeqCst)),
+        shared.replication.role(),
+        v("evirel_repl_followers"),
+        v("evirel_repl_records_sent_total"),
+        v("evirel_repl_records_applied_total"),
+        v("evirel_repl_resyncs_total"),
+        v("evirel_repl_reconnects_total"),
+        v("evirel_repl_connected"),
     );
     // Per-relation statistics as the planner's cost model sees them
     // — one `relation <name> (...)` line each, pre-v3 segments
@@ -879,23 +1221,23 @@ fn stats_response(session: &Session, shared: &Shared) -> Response {
              {relations}\n\
              {durability}\n\
              {replication}",
-            s.accepted,
-            s.rejected_busy,
-            s.sessions,
-            s.requests,
-            s.errors,
-            s.panics,
-            s.merges,
-            c.entries,
-            c.hits,
-            c.misses,
-            c.stale,
-            c.evictions,
+            v("evirel_serve_connections_accepted_total"),
+            v("evirel_serve_busy_rejected_total"),
+            v("evirel_serve_sessions_total"),
+            v("evirel_serve_requests_handled_total"),
+            v("evirel_serve_request_errors_total"),
+            v("evirel_serve_panics_total"),
+            v("evirel_serve_merges_total"),
+            v("evirel_query_cache_entries"),
+            v("evirel_query_cache_hits_total"),
+            v("evirel_query_cache_misses_total"),
+            v("evirel_query_cache_stale_total"),
+            v("evirel_query_cache_evictions_total"),
             snapshot.generation(),
-            pool.hits,
-            pool.misses,
-            pool.evictions,
-            pool.overcommits,
+            v("evirel_store_pool_hits_total"),
+            v("evirel_store_pool_misses_total"),
+            v("evirel_store_pool_evictions_total"),
+            v("evirel_store_pool_overcommits_total"),
         ),
     }
 }

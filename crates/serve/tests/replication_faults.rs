@@ -152,6 +152,8 @@ struct Follower {
     shared: SharedCatalog,
     applied: AtomicU64,
     resyncs: AtomicU64,
+    primary_generation: AtomicU64,
+    heartbeat_unix_ms: AtomicU64,
 }
 
 impl Follower {
@@ -164,6 +166,8 @@ impl Follower {
             shared: SharedCatalog::with_generation(recovered, generation),
             applied: AtomicU64::new(0),
             resyncs: AtomicU64::new(0),
+            primary_generation: AtomicU64::new(0),
+            heartbeat_unix_ms: AtomicU64::new(0),
         }
     }
 
@@ -182,6 +186,8 @@ impl Follower {
             stop: &stop,
             records_applied: &self.applied,
             resyncs: &self.resyncs,
+            primary_generation: &self.primary_generation,
+            heartbeat_unix_ms: &self.heartbeat_unix_ms,
         };
         let mut r = stream;
         apply_stream(&mut r, &ctx)

@@ -62,6 +62,17 @@ fn driver_sustains_64_mixed_sessions_with_zero_errors() {
         report.cached_plans > 0,
         "repeated traffic must hit the prepared-plan cache"
     );
+    // Client-observed latency: every successful op left a sample in
+    // exactly one verb bucket, and the percentiles are ordered.
+    let (q, m) = (report.query_latency, report.merge_latency);
+    assert_eq!(q.count + m.count, report.ops_ok, "{report:?}");
+    for lat in [q, m] {
+        assert!(
+            lat.p50_us <= lat.p90_us && lat.p90_us <= lat.p99_us && lat.p99_us <= lat.max_us,
+            "percentiles must be monotone: {lat:?}"
+        );
+    }
+    assert!(q.max_us > 0, "a TCP round-trip takes measurable time");
 
     handle.shutdown();
     let stats = handle.join();

@@ -10,8 +10,11 @@
 //! Opens `--sessions` concurrent connections (barrier-synchronized,
 //! one thread each), issues `--ops` requests per session mixing
 //! `QUERY` reads with a `MERGE` write every `--merge-every`-th
-//! request, and prints the exact counters. With `--shutdown` it sends
-//! the `SHUTDOWN` verb after the run (the CI clean-shutdown gate).
+//! request, and prints the exact counters plus per-verb
+//! client-observed latency percentiles (p50/p90/p99/max — what the
+//! client waited, queueing and wire included, unlike the server's own
+//! handling-time histograms). With `--shutdown` it sends the
+//! `SHUTDOWN` verb after the run (the CI clean-shutdown gate).
 //!
 //! `--read-addr` splits the load across a replicated pair: `QUERY`
 //! reads go to the standby at that address (each session opens a
@@ -113,6 +116,22 @@ fn main() {
         report.protocol_errors,
         report.server_errors,
     );
+    for (verb, lat) in [
+        ("query", report.query_latency),
+        ("merge", report.merge_latency),
+        ("ping", report.ping_latency),
+    ] {
+        if lat.count > 0 {
+            println!(
+                "  {verb} latency (client-observed, n={}): p50={} p90={} p99={} max={}",
+                lat.count,
+                format_us(lat.p50_us),
+                format_us(lat.p90_us),
+                format_us(lat.p99_us),
+                format_us(lat.max_us),
+            );
+        }
+    }
 
     if shutdown_after {
         match request_once(&config.addr, "SHUTDOWN", Duration::from_secs(30)) {
@@ -130,6 +149,17 @@ fn main() {
 
     if report.protocol_errors > 0 || report.server_errors > 0 {
         std::process::exit(1);
+    }
+}
+
+/// Render a microsecond reading at a human scale (µs/ms/s).
+fn format_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
     }
 }
 

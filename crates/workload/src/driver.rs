@@ -20,8 +20,8 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
 
 /// Frame ceiling mirrored from the service spec.
 const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
@@ -114,6 +114,60 @@ pub struct LoadReport {
     pub cached_plans: u64,
     /// Successful `MERGE` writes acknowledged.
     pub merges_ok: u64,
+    /// Client-observed latency of successful `QUERY` round-trips.
+    pub query_latency: VerbLatency,
+    /// Client-observed latency of successful `MERGE` round-trips.
+    pub merge_latency: VerbLatency,
+    /// Client-observed latency of successful `PING` round-trips
+    /// (only populated when the query pool is empty).
+    pub ping_latency: VerbLatency,
+}
+
+/// Client-observed latency percentiles for one verb, in microseconds
+/// (nearest-rank over every successful round-trip of a run). The
+/// server's own histograms measure handling time only; this is what
+/// the client actually waited, queueing and wire included.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerbLatency {
+    /// Round-trips sampled.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl VerbLatency {
+    /// Nearest-rank percentiles over raw samples (order irrelevant).
+    fn from_samples(samples: &mut [u64]) -> VerbLatency {
+        if samples.is_empty() {
+            return VerbLatency::default();
+        }
+        samples.sort_unstable();
+        let rank = |q: f64| {
+            let idx = ((q * samples.len() as f64).ceil() as usize).saturating_sub(1);
+            samples[idx.min(samples.len() - 1)]
+        };
+        VerbLatency {
+            count: samples.len() as u64,
+            p50_us: rank(0.50),
+            p90_us: rank(0.90),
+            p99_us: rank(0.99),
+            max_us: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// Which latency bucket a request's round-trip time lands in.
+#[derive(Clone, Copy)]
+enum Verb {
+    Query,
+    Merge,
+    Ping,
 }
 
 #[derive(Default)]
@@ -126,9 +180,37 @@ struct Counters {
     server_errors: AtomicU64,
     cached_plans: AtomicU64,
     merges_ok: AtomicU64,
+    // Raw per-verb latency samples (µs), one push per successful
+    // round-trip; reduced to percentiles once at report time. A
+    // Mutex, not an atomic histogram: sessions push at most once per
+    // request, so contention is negligible next to a TCP round-trip.
+    query_us: Mutex<Vec<u64>>,
+    merge_us: Mutex<Vec<u64>>,
+    ping_us: Mutex<Vec<u64>>,
 }
 
 impl Counters {
+    fn record_latency(&self, verb: Verb, elapsed_us: u64) {
+        let samples = match verb {
+            Verb::Query => &self.query_us,
+            Verb::Merge => &self.merge_us,
+            Verb::Ping => &self.ping_us,
+        };
+        samples
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(elapsed_us);
+    }
+
+    fn latency(&self, verb: Verb) -> VerbLatency {
+        let samples = match verb {
+            Verb::Query => &self.query_us,
+            Verb::Merge => &self.merge_us,
+            Verb::Ping => &self.ping_us,
+        };
+        VerbLatency::from_samples(&mut samples.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
     fn report(&self) -> LoadReport {
         LoadReport {
             sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
@@ -139,6 +221,9 @@ impl Counters {
             server_errors: self.server_errors.load(Ordering::Relaxed),
             cached_plans: self.cached_plans.load(Ordering::Relaxed),
             merges_ok: self.merges_ok.load(Ordering::Relaxed),
+            query_latency: self.latency(Verb::Query),
+            merge_latency: self.latency(Verb::Merge),
+            ping_latency: self.latency(Verb::Ping),
         }
     }
 }
@@ -184,14 +269,17 @@ fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
         // Staggered by session id so a 1-in-K write mix holds across
         // the whole run even when ops_per_session < K.
         let is_merge = config.merge_every > 0 && (sid + op).is_multiple_of(config.merge_every);
-        let request = if is_merge {
+        let (request, verb) = if is_merge {
             let target = sid % config.merge_targets.max(1);
-            format!("MERGE m{target}\nSELECT * FROM ra UNION rb")
+            (
+                format!("MERGE m{target}\nSELECT * FROM ra UNION rb"),
+                Verb::Merge,
+            )
         } else if config.queries.is_empty() {
-            "PING".to_owned()
+            ("PING".to_owned(), Verb::Ping)
         } else {
             let q = &config.queries[(sid + op) % config.queries.len()];
-            format!("QUERY\n{q}")
+            (format!("QUERY\n{q}"), Verb::Query)
         };
         // Reads route to the standby when one is configured; writes
         // always go to the primary.
@@ -206,8 +294,10 @@ fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
         } else {
             &mut write_conn
         };
+        let issued = Instant::now();
         match roundtrip(conn, &request) {
             Ok(Reply::Ok(body)) => {
+                counters.record_latency(verb, issued.elapsed().as_micros() as u64);
                 counters.ops_ok.fetch_add(1, Ordering::Relaxed);
                 if is_merge {
                     counters.merges_ok.fetch_add(1, Ordering::Relaxed);
@@ -230,8 +320,10 @@ fn run_session(sid: usize, config: &LoadConfig, counters: &Counters) {
                             write_conn = c;
                             &mut write_conn
                         };
+                        let retried = Instant::now();
                         match roundtrip(conn, &request) {
                             Ok(Reply::Ok(_)) => {
+                                counters.record_latency(verb, retried.elapsed().as_micros() as u64);
                                 counters.ops_ok.fetch_add(1, Ordering::Relaxed);
                             }
                             Ok(Reply::Err) => {

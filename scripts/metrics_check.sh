@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Observability check for the query service.
+#
+# Boots a release evirel-serve with EVIREL_SLOW_QUERY_MS=0 (every
+# query emits a structured slow_query event to stderr), drives a
+# concurrent bombard load while scraping METRICS mid-flight, lets the
+# load drain, and asserts on the post-drain scrape:
+#
+#   1. the exposition is self-describing (`# TYPE` lines for the
+#      serve / query / store / replication families);
+#   2. the server-side per-verb request counters agree EXACTLY with
+#      the ops the driver reports as succeeded — no request is lost
+#      or double-counted under 4-worker concurrency (BUSY rejects are
+#      written by the accept thread, so they never skew the per-verb
+#      counters; give-ups just shrink both sides equally);
+#   3. the error/panic counters read zero;
+#   4. the stderr slow-query log captured the load's queries with
+#      per-stage span timings (parse/execute) and the normalized EQL.
+set -euo pipefail
+
+BIN_DIR=${BIN_DIR:-target/release}
+PORT=${PORT:-4730}
+SESSIONS=${SESSIONS:-32}
+OPS=${OPS:-16}
+ADDR="127.0.0.1:$PORT"
+LOG_DIR=$(mktemp -d -t evirel-metrics-XXXXXX)
+SERVE_PID=""
+trap 'kill -9 $SERVE_PID 2>/dev/null || true; rm -rf "$LOG_DIR"' EXIT
+
+fail() {
+  echo "FATAL: $*" >&2
+  exit 1
+}
+
+# One exact series value out of a Prometheus text exposition.
+# $1 = exposition file, $2 = series name (labels included, no space)
+series() {
+  awk -v name="$2" '$1 == name { print $2; found = 1 } END { if (!found) print "MISSING" }' "$1"
+}
+
+EVIREL_SLOW_QUERY_MS=0 "$BIN_DIR/evirel-serve" \
+  --addr "$ADDR" --workers 4 --max-pending 256 --seed-workload 200 \
+  2>"$LOG_DIR/serve.stderr" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  if "$BIN_DIR/evirel-bombard" --addr "$ADDR" --request PING >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+"$BIN_DIR/evirel-bombard" --addr "$ADDR" --sessions "$SESSIONS" --ops "$OPS" \
+  --merge-every 4 >"$LOG_DIR/bombard.out" 2>&1 &
+LOAD_PID=$!
+
+# Mid-load scrape: the endpoint must answer while workers are busy,
+# and the snapshot must already be self-describing.
+sleep 0.2
+"$BIN_DIR/evirel-bombard" --addr "$ADDR" --request METRICS >"$LOG_DIR/mid.prom" \
+  || fail "METRICS scrape failed mid-load"
+grep -q '^# TYPE evirel_serve_requests_total counter' "$LOG_DIR/mid.prom" \
+  || fail "mid-load scrape is not self-describing"
+
+wait "$LOAD_PID" || fail "bombard run reported errors: $(cat "$LOG_DIR/bombard.out")"
+"$BIN_DIR/evirel-bombard" --addr "$ADDR" --request METRICS >"$LOG_DIR/final.prom" \
+  || fail "METRICS scrape failed post-drain"
+
+# --- 1. self-describing exposition, one family per subsystem -------
+for family in \
+  'evirel_serve_requests_total counter' \
+  'evirel_serve_request_seconds histogram' \
+  'evirel_serve_queue_depth gauge' \
+  'evirel_query_cache_hits_total counter' \
+  'evirel_query_seconds histogram' \
+  'evirel_store_pool_hits_total counter' \
+  'evirel_repl_generation_lag gauge'; do
+  grep -q "^# TYPE $family\$" "$LOG_DIR/final.prom" \
+    || fail "missing '# TYPE $family' in the exposition"
+done
+
+# --- 2. per-verb totals == what the driver says succeeded ----------
+driver_ok=$(grep -o 'ok=[0-9]*' "$LOG_DIR/bombard.out" | cut -d= -f2)
+driver_merges=$(grep -o 'merges=[0-9]*' "$LOG_DIR/bombard.out" | cut -d= -f2)
+queries=$(series "$LOG_DIR/final.prom" 'evirel_serve_requests_total{verb="query"}')
+merges=$(series "$LOG_DIR/final.prom" 'evirel_serve_requests_total{verb="merge"}')
+[ "$((queries + merges))" -eq "$driver_ok" ] \
+  || fail "scraped query+merge = $queries+$merges != driver ok=$driver_ok"
+[ "$merges" -eq "$driver_merges" ] \
+  || fail "scraped merge count $merges != driver merges=$driver_merges"
+echo "metrics_check: per-verb totals match the driver ($queries query + $merges merge = $driver_ok ops)"
+
+# --- 3. zero errors, zero panics -----------------------------------
+for zero in evirel_serve_request_errors_total evirel_serve_panics_total; do
+  val=$(series "$LOG_DIR/final.prom" "$zero")
+  [ "$val" = "0" ] || fail "$zero = $val, expected 0"
+done
+
+# --- 4. the slow-query log saw the load ----------------------------
+grep -q 'event=slow_query' "$LOG_DIR/serve.stderr" \
+  || fail "no slow_query events on server stderr despite EVIREL_SLOW_QUERY_MS=0"
+slow=$(grep -c 'event=slow_query' "$LOG_DIR/serve.stderr")
+grep -q 'parse_us=' "$LOG_DIR/serve.stderr" \
+  || fail "slow_query events carry no per-stage parse span"
+grep -q 'execute_us=' "$LOG_DIR/serve.stderr" \
+  || fail "slow_query events carry no per-stage execute span"
+grep -q 'eql="SELECT' "$LOG_DIR/serve.stderr" \
+  || fail "slow_query events carry no normalized EQL"
+echo "metrics_check: $slow slow_query event(s) with per-stage spans on stderr"
+
+"$BIN_DIR/evirel-bombard" --addr "$ADDR" --request SHUTDOWN >/dev/null \
+  || fail "clean shutdown refused"
+wait "$SERVE_PID" || fail "server exited nonzero"
+echo "metrics_check: PASS"
